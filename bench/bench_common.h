@@ -1,0 +1,68 @@
+#pragma once
+
+// Shared setup for the benchmark/reproduction harnesses. Each bench binary
+// regenerates one table or figure of the paper; the defaults here keep a
+// full `for b in build/bench/*; do $b; done` run tractable on a laptop.
+// Set PRETE_BENCH_FAST=1 to shrink the sweeps further.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "net/topology.h"
+#include "net/traffic.h"
+#include "optical/fiber_model.h"
+#include "optical/simulator.h"
+#include "te/availability.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace prete::bench {
+
+inline bool fast_mode() { return std::getenv("PRETE_BENCH_FAST") != nullptr; }
+
+// One fully wired evaluation context for a topology.
+struct Context {
+  net::Topology topo;
+  std::vector<optical::FiberModelParams> params;
+  optical::CutLogitModel logit;
+  te::PlantStatistics stats;
+  net::TrafficMatrix base_demands;
+
+  explicit Context(net::Topology t, std::uint64_t seed = 11)
+      : topo(std::move(t)) {
+    util::Rng rng(seed);
+    params = optical::build_plant_model(topo.network, rng);
+    stats = te::derive_statistics(topo.network, params, logit, rng, 200);
+    util::Rng traffic_rng(seed + 1);
+    net::TrafficConfig tc;
+    tc.diurnal_swing = 0.0;
+    tc.noise = 0.0;
+    base_demands =
+        net::generate_traffic(topo.network, topo.flows, traffic_rng, tc)[0];
+  }
+
+  te::StudyOptions study_options(double beta = 0.99) const {
+    te::StudyOptions options;
+    options.beta = beta;
+    options.scenario_options.max_simultaneous_failures = 1;
+    options.scenario_options.max_scenarios = 60;
+    options.scenario_options.target_mass = 0.99999;
+    options.nature_scenario_options.max_simultaneous_failures = 2;
+    options.nature_scenario_options.max_scenarios = 300;
+    options.degradation_mass_target = fast_mode() ? 0.9 : 0.98;
+    return options;
+  }
+};
+
+inline void print_header(const std::string& title) {
+  std::cout << "\n==== " << title << " ====\n";
+}
+
+inline std::vector<double> default_scales() {
+  if (fast_mode()) return {1.0, 3.0, 4.5};
+  return {1.0, 2.0, 3.0, 4.0, 4.5, 5.0, 5.7};
+}
+
+}  // namespace prete::bench

@@ -1,0 +1,114 @@
+// Figure 5 + Tables 6/7: evidencing fiber-cut predictability.
+//  5(a): distribution of the time between a degradation and the next cut;
+//  5(b): normalized event counts (alpha = predictable cuts / all cuts);
+//  Table 6: chi-square contingency test on 15-minute epochs (p < 1e-50);
+//  Table 7: the counterfactual independent counts that would NOT reject.
+#include "bench_common.h"
+
+#include <set>
+
+#include "util/stats.h"
+
+using namespace prete;
+
+int main() {
+  bench::Context ctx(net::make_twan());
+  util::Rng rng(31);
+  const optical::PlantSimulator sim(ctx.topo.network, ctx.params);
+  const auto log = sim.simulate(365LL * 24 * 3600, rng);  // one year
+
+  bench::print_header("Figure 5(a): time from degradation to cut");
+  std::vector<double> gaps;
+  for (const auto& c : log.cuts) {
+    if (c.since_degradation_sec > 0) gaps.push_back(c.since_degradation_sec);
+  }
+  util::Table gap_table({"quantile", "gap (s)"});
+  for (double q : {0.1, 0.25, 0.5, 0.6, 0.75, 0.9}) {
+    gap_table.add_row({util::Table::format(q, 2),
+                       util::Table::format(util::quantile(gaps, q), 4)});
+  }
+  gap_table.print(std::cout);
+  int within_1e3 = 0;
+  int beyond_days = 0;
+  for (double g : gaps) {
+    if (g <= 1e3) ++within_1e3;
+    if (g > 2.0 * 24 * 3600) ++beyond_days;
+  }
+  std::cout << "cuts with a preceding degradation: " << gaps.size()
+            << "; within 1e3 s: "
+            << util::Table::format(
+                   static_cast<double>(within_1e3) / static_cast<double>(gaps.size()), 2)
+            << " (paper: 0.6); beyond days: "
+            << util::Table::format(
+                   static_cast<double>(beyond_days) / static_cast<double>(gaps.size()), 2)
+            << " (paper: 0.2)\n";
+
+  bench::print_header("Figure 5(b): normalized event counts");
+  const double cuts = static_cast<double>(log.cuts.size());
+  int predictable = 0;
+  for (const auto& c : log.cuts) predictable += c.predictable ? 1 : 0;
+  util::Table counts({"event", "normalized count"});
+  counts.add_row({"fiber degradations",
+                  util::Table::format(
+                      static_cast<double>(log.degradations.size()) / cuts, 3)});
+  counts.add_row({"fiber cuts", "1.000"});
+  counts.add_row({"predictable cuts",
+                  util::Table::format(static_cast<double>(predictable) / cuts, 3)});
+  counts.print(std::cout);
+  std::cout << "alpha = " << util::Table::format(log.predictable_fraction(), 3)
+            << " (paper: ~0.25); P(cut | degradation) = "
+            << util::Table::format(log.degradation_failure_fraction(), 3)
+            << " (paper: ~0.4)\n";
+
+  bench::print_header("Table 6: chi-square on 15-minute epochs");
+  // Discretize the year into 15-minute epochs per fiber and count
+  // co-occurrence of degradations and cuts.
+  const optical::TimeSec epoch_len = 15 * 60;
+  const auto epochs = log.horizon_sec / epoch_len;
+  const double total_cells =
+      static_cast<double>(epochs) * ctx.topo.network.num_fibers();
+  std::set<std::pair<int, optical::TimeSec>> degr_epochs;
+  std::set<std::pair<int, optical::TimeSec>> cut_epochs;
+  for (const auto& d : log.degradations) {
+    degr_epochs.insert({d.fiber, d.onset_sec / epoch_len});
+  }
+  for (const auto& c : log.cuts) {
+    cut_epochs.insert({c.fiber, c.time_sec / epoch_len});
+  }
+  double both = 0;
+  for (const auto& key : cut_epochs) both += degr_epochs.count(key) ? 1 : 0;
+  const double degr_only = static_cast<double>(degr_epochs.size()) - both;
+  const double cut_only = static_cast<double>(cut_epochs.size()) - both;
+  const double neither = total_cells - both - degr_only - cut_only;
+  const std::vector<std::vector<double>> observed{{both, cut_only},
+                                                  {degr_only, neither}};
+  const auto chi = util::chi_square_independence(observed);
+  util::Table t6({"epochs", "#degradation", "#no degradation"});
+  t6.add_row({"#failure", util::Table::format(both, 6),
+              util::Table::format(cut_only, 6)});
+  t6.add_row({"#no failure", util::Table::format(degr_only, 6),
+              util::Table::format(neither, 8)});
+  t6.print(std::cout);
+  std::cout << "chi-square log10(p) = " << util::Table::format(chi.log10_p, 4)
+            << " (paper: < -50) -> null hypothesis "
+            << (chi.p_value < 0.01 ? "REJECTED" : "not rejected")
+            << ": degradations and cuts are related\n";
+
+  bench::print_header("Table 7: counterfactual independent counts");
+  // Expected co-occurrence under independence.
+  const double expected_both = static_cast<double>(degr_epochs.size()) *
+                               static_cast<double>(cut_epochs.size()) /
+                               total_cells;
+  const std::vector<std::vector<double>> indep{
+      {expected_both, static_cast<double>(cut_epochs.size()) - expected_both},
+      {static_cast<double>(degr_epochs.size()) - expected_both,
+       total_cells - static_cast<double>(degr_epochs.size()) -
+           static_cast<double>(cut_epochs.size()) + expected_both}};
+  const auto chi7 = util::chi_square_independence(indep);
+  std::cout << "expected co-occurrence epochs = "
+            << util::Table::format(expected_both, 4) << ", p-value = "
+            << util::Table::format(chi7.p_value, 4)
+            << " -> null hypothesis "
+            << (chi7.p_value < 0.01 ? "rejected" : "NOT rejected") << "\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 12: quantifying degradation and failure probabilities.
+//  (a) the linear relationship between per-fiber degradation and cut counts;
+//  (b) the Weibull-shaped CDF of per-fiber degradation probabilities.
+#include "bench_common.h"
+
+#include "util/distributions.h"
+#include "util/stats.h"
+
+using namespace prete;
+
+int main() {
+  bench::Context ctx(net::make_twan());
+  util::Rng rng(51);
+  const optical::PlantSimulator sim(ctx.topo.network, ctx.params);
+  const auto log = sim.simulate(2LL * 365 * 24 * 3600, rng);  // two years
+
+  bench::print_header(
+      "Figure 12(a): per-fiber degradations vs cuts (linear relation)");
+  std::vector<double> degr_counts(static_cast<std::size_t>(ctx.topo.network.num_fibers()), 0.0);
+  std::vector<double> cut_counts(degr_counts.size(), 0.0);
+  for (const auto& d : log.degradations) {
+    ++degr_counts[static_cast<std::size_t>(d.fiber)];
+  }
+  for (const auto& c : log.cuts) {
+    ++cut_counts[static_cast<std::size_t>(c.fiber)];
+  }
+  const auto fit = util::fit_linear(degr_counts, cut_counts);
+  const double corr = util::pearson_correlation(degr_counts, cut_counts);
+  std::cout << "fit: cuts = " << util::Table::format(fit.intercept, 3) << " + "
+            << util::Table::format(fit.slope, 3)
+            << " * degradations, R^2 = " << util::Table::format(fit.r2, 3)
+            << ", correlation = " << util::Table::format(corr, 3) << "\n";
+  std::cout << "(the plant model is calibrated with total cut rate = 1.6 x "
+               "degradation rate, so the slope should sit near 1.6)\n";
+
+  bench::print_header(
+      "Figure 12(b): CDF of per-fiber degradation probability");
+  // Empirical probabilities vs the generating Weibull(0.8, 0.002).
+  std::vector<double> probs;
+  for (const auto& p : ctx.params) probs.push_back(p.degradation_prob_per_epoch);
+  const util::Weibull weibull(0.8, 0.002);
+  util::Table table({"p_d", "empirical CDF", "Weibull(0.8, 0.002) CDF"});
+  const auto cdf = util::thin_cdf(util::empirical_cdf(probs), 10);
+  for (const auto& point : cdf) {
+    table.add_row({util::Table::format(point.x, 4),
+                   util::Table::format(point.f, 3),
+                   util::Table::format(weibull.cdf(point.x), 3)});
+  }
+  table.print(std::cout);
+  std::cout << "(orders-of-magnitude spread across fibers, as in the paper)\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 13: availability vs demand scale for PreTE and the baseline TE
+// schemes (ECMP, FFC-1/2, TeaVar, ARROW, Flexile) on the B4 / IBM / TWAN
+// topologies. Also prints the Table 9 qualitative scheme comparison.
+//
+// PRETE_BENCH_FAST=1 shrinks the sweep; the TWAN topology is only swept
+// when PRETE_BENCH_FULL is set (it multiplies the runtime).
+#include "bench_common.h"
+
+#include "te/evaluator.h"
+#include "te/schemes.h"
+
+using namespace prete;
+
+namespace {
+
+void sweep_topology(const char* name, net::Topology topo) {
+  bench::print_header(std::string("Figure 13: availability vs demand scale (") +
+                      name + ")");
+  bench::Context ctx(std::move(topo));
+  const te::StudyOptions options = ctx.study_options(0.99);
+  const te::AvailabilityStudy study(ctx.topo, ctx.stats, options);
+  const std::vector<double> scales = bench::default_scales();
+
+  te::EcmpScheme ecmp;
+  te::FfcScheme ffc1(1);
+  te::FfcScheme ffc2(2);
+  te::TeaVarScheme teavar(0.99);
+  te::ArrowScheme arrow(0.99);
+  te::FlexileScheme flexile(0.99);
+  std::vector<te::TeScheme*> schemes{&ecmp,  &ffc1,    &ffc2,
+                                     &teavar, &arrow,  &flexile};
+
+  std::vector<std::string> headers{"scale"};
+  for (te::TeScheme* s : schemes) headers.push_back(s->name());
+  headers.push_back("PreTE");
+  util::Table table(std::move(headers));
+
+  for (double scale : scales) {
+    const auto demands = net::scale_traffic(ctx.base_demands, scale);
+    std::vector<std::string> row{util::Table::format(scale, 3)};
+    for (te::TeScheme* s : schemes) {
+      row.push_back(
+          util::Table::format(study.evaluate_static(*s, demands), 5));
+    }
+    row.push_back(util::Table::format(
+        study.evaluate_prete(te::PredictorModel::kNeuralNet, demands), 5));
+    table.add_row(std::move(row));
+    table.print(std::cout);  // progressive output: sweeps are slow
+    std::cout.flush();
+  }
+  std::cout << "(paper: PreTE sustains high availability to ~2x the demand "
+               "of the proactive baselines; ARROW plateaus below 99.95%)\n";
+}
+
+void table9() {
+  bench::print_header("Table 9: qualitative comparison (implemented schemes)");
+  util::Table t({"scheme", "degradation aware", "probabilistic failures",
+                 "tunnel updates", "reaction"});
+  t.add_row({"ECMP", "no", "no", "no", "-"});
+  t.add_row({"FFC-k", "no", "no", "no", "proactive (ms)"});
+  t.add_row({"TeaVar", "no", "fixed", "no", "proactive (ms)"});
+  t.add_row({"ARROW", "no", "fixed", "no", "proactive (8 s restoration)"});
+  t.add_row({"Flexile", "no", "fixed", "no", "reactive (seconds)"});
+  t.add_row({"PreTE", "yes", "dynamic (Eqn 1)", "yes (Algorithm 1)",
+             "proactive (ms)"});
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  table9();
+  sweep_topology("B4", net::make_b4());
+  if (!bench::fast_mode()) {
+    sweep_topology("IBM", net::make_ibm());
+  }
+  if (std::getenv("PRETE_BENCH_FULL")) {
+    sweep_topology("TWAN", net::make_twan());
+  }
+  return 0;
+}

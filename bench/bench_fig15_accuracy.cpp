@@ -1,0 +1,41 @@
+// Figure 15: impact of prediction accuracy on availability. PreTE runs with
+// four prediction models — the oracle (100% accuracy), the NN, the
+// fiber-blind statistic model, and TeaVar's static assumption — and we
+// sweep demand scales on the IBM topology (B4 in fast mode).
+#include "bench_common.h"
+
+using namespace prete;
+
+int main() {
+  bench::Context ctx(bench::fast_mode() ? net::make_b4() : net::make_ibm());
+  bench::print_header(
+      std::string("Figure 15: availability vs demand per prediction model (") +
+      ctx.topo.network.name() + ")");
+
+  const te::StudyOptions options = ctx.study_options(0.99);
+  const te::AvailabilityStudy study(ctx.topo, ctx.stats, options);
+  const std::vector<double> scales =
+      bench::fast_mode() ? std::vector<double>{1.0, 3.0, 4.5}
+                         : std::vector<double>{1.0, 2.3, 3.3, 4.5};
+
+  const std::vector<te::PredictorModel> models{
+      te::PredictorModel::kOracle, te::PredictorModel::kNeuralNet,
+      te::PredictorModel::kStatistic, te::PredictorModel::kTeaVar};
+
+  std::vector<std::string> headers{"scale"};
+  for (auto m : models) headers.push_back(te::to_string(m));
+  util::Table table(std::move(headers));
+  for (double scale : scales) {
+    const auto demands = net::scale_traffic(ctx.base_demands, scale);
+    std::vector<std::string> row{util::Table::format(scale, 3)};
+    for (auto m : models) {
+      row.push_back(util::Table::format(study.evaluate_prete(m, demands), 5));
+    }
+    table.add_row(std::move(row));
+    table.print(std::cout);
+    std::cout.flush();
+  }
+  std::cout << "(paper: oracle >= NN > statistic > TeaVar; the NN stays "
+               "close to the oracle's availability)\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Figure 20 (+ §8 discussion):
+//  (a) telemetry granularity vs the coverage/occurrence of predictable
+//      cuts — minute-level sampling misses the short degradations;
+//  (b) availability vs demand for different predictable fractions alpha.
+#include "bench_common.h"
+
+#include "optical/detector.h"
+
+using namespace prete;
+
+namespace {
+
+void figure20a(const bench::Context& ctx) {
+  bench::print_header(
+      "Figure 20(a): predictable-cut coverage vs telemetry granularity");
+  util::Rng rng(81);
+  const optical::PlantSimulator sim(ctx.topo.network, ctx.params);
+  const auto log = sim.simulate(120LL * 24 * 3600, rng);
+
+  int predictable_total = 0;
+  for (const auto& c : log.cuts) predictable_total += c.predictable ? 1 : 0;
+
+  util::Table table({"granularity (s)", "degradations captured",
+                     "coverage ratio", "occurrence ratio"});
+  for (int period : {1, 10, 60, 180, 300}) {
+    // A degradation is captured if any sample lands inside its window.
+    int captured = 0;
+    int captured_cuts = 0;
+    for (const auto& d : log.degradations) {
+      const auto onset = static_cast<long long>(d.onset_sec);
+      const auto end =
+          onset + static_cast<long long>(std::max(d.duration_sec, 1.0));
+      const bool hit = (onset / period) != (end / period) ||
+                       (onset % period == 0);
+      if (hit) {
+        ++captured;
+        if (d.led_to_cut) ++captured_cuts;
+      }
+    }
+    const double coverage =
+        log.cuts.empty() ? 0.0
+                         : static_cast<double>(captured_cuts) /
+                               static_cast<double>(log.cuts.size());
+    const double occurrence =
+        log.degradations.empty()
+            ? 0.0
+            : static_cast<double>(captured_cuts) /
+                  static_cast<double>(log.degradations.size());
+    table.add_row({std::to_string(period), std::to_string(captured),
+                   util::Table::format(coverage, 3),
+                   util::Table::format(occurrence, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "total cuts: " << log.cuts.size() << ", predictable with 1 s "
+            << "telemetry: " << predictable_total
+            << " (paper: coverage 25% at 1 s falls to ~2% at 5 min)\n";
+}
+
+void figure20b(const bench::Context& ctx) {
+  bench::print_header(
+      "Figure 20(b): availability vs demand for predictable fraction alpha");
+  const std::vector<double> scales =
+      bench::fast_mode() ? std::vector<double>{3.0, 4.5}
+                         : std::vector<double>{1.0, 3.3, 5.0};
+  util::Table table({"scale", "alpha=0.25", "alpha=0.5", "alpha=1.0"});
+  for (double scale : scales) {
+    const auto demands = net::scale_traffic(ctx.base_demands, scale);
+    std::vector<std::string> row{util::Table::format(scale, 3)};
+    for (double alpha : {0.25, 0.5, 1.0}) {
+      const te::PlantStatistics stats = te::with_alpha(ctx.stats, alpha);
+      const te::AvailabilityStudy study(ctx.topo, stats,
+                                        ctx.study_options(0.99));
+      row.push_back(util::Table::format(
+          study.evaluate_prete(te::PredictorModel::kNeuralNet, demands), 5));
+    }
+    table.add_row(std::move(row));
+    table.print(std::cout);
+    std::cout.flush();
+  }
+  std::cout << "(paper: with all cuts predictable the network sustains high "
+               "availability even at 6x demand)\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::Context ctx(net::make_b4());
+  figure20a(ctx);
+  figure20b(ctx);
+  return 0;
+}

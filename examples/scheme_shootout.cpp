@@ -1,0 +1,74 @@
+// Scheme shootout: a small CLI that compares every implemented TE scheme on
+// a chosen topology and demand scale.
+//
+//   scheme_shootout [b4|ibm|twan] [scale]
+//
+// Prints the availability (per the §6.2 method) and the in-nines view for
+// ECMP, FFC-1/2, TeaVar, ARROW, Flexile and PreTE.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "net/topology.h"
+#include "optical/fiber_model.h"
+#include "te/availability.h"
+#include "te/evaluator.h"
+#include "te/schemes.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace prete;
+
+  const std::string which = argc > 1 ? argv[1] : "b4";
+  const double scale = argc > 2 ? std::atof(argv[2]) : 3.0;
+  net::Topology topo = which == "ibm"    ? net::make_ibm()
+                       : which == "twan" ? net::make_twan()
+                                         : net::make_b4();
+  std::cout << "topology " << topo.network.name() << " (fibers "
+            << topo.network.num_fibers() << ", flows " << topo.flows.size()
+            << "), demand scale " << scale << "\n";
+
+  util::Rng rng(11);
+  const auto params = optical::build_plant_model(topo.network, rng);
+  const auto stats =
+      te::derive_statistics(topo.network, params, {}, rng, 200);
+  util::Rng traffic_rng(12);
+  net::TrafficConfig tc;
+  tc.diurnal_swing = 0.0;
+  tc.noise = 0.0;
+  const auto demands = net::scale_traffic(
+      net::generate_traffic(topo.network, topo.flows, traffic_rng, tc)[0],
+      scale);
+
+  te::StudyOptions options;
+  options.beta = 0.99;
+  options.scenario_options.max_simultaneous_failures = 1;
+  options.scenario_options.max_scenarios = 60;
+  options.degradation_mass_target = 0.95;
+  const te::AvailabilityStudy study(topo, stats, options);
+
+  util::Table table({"scheme", "availability", "nines"});
+  auto report = [&](const std::string& name, double availability) {
+    table.add_row({name, util::Table::format(availability, 6),
+                   util::Table::format(te::to_nines(availability), 3)});
+    table.print(std::cout);
+    std::cout.flush();
+  };
+
+  te::EcmpScheme ecmp;
+  te::FfcScheme ffc1(1);
+  te::FfcScheme ffc2(2);
+  te::TeaVarScheme teavar(0.99);
+  te::ArrowScheme arrow(0.99);
+  te::FlexileScheme flexile(0.99);
+  for (te::TeScheme* scheme :
+       std::initializer_list<te::TeScheme*>{&ecmp, &ffc1, &ffc2, &teavar,
+                                            &arrow, &flexile}) {
+    report(scheme->name(), study.evaluate_static(*scheme, demands));
+  }
+  report("PreTE",
+         study.evaluate_prete(te::PredictorModel::kNeuralNet, demands));
+  report("PreTE (oracle)",
+         study.evaluate_prete(te::PredictorModel::kOracle, demands));
+  return 0;
+}

@@ -1,0 +1,77 @@
+#include "core/controller.h"
+
+#include <stdexcept>
+
+namespace prete::core {
+
+Controller::Controller(const net::Topology& topology,
+                       std::vector<double> static_fiber_probs,
+                       std::shared_ptr<const ml::FailurePredictor> predictor,
+                       ControllerConfig config)
+    : topology_(topology),
+      static_probs_(std::move(static_fiber_probs)),
+      predictor_(std::move(predictor)),
+      config_(config),
+      tunnels_(net::build_tunnels(topology.network, topology.flows)) {
+  if (static_cast<int>(static_probs_.size()) != topology.network.num_fibers()) {
+    throw std::invalid_argument("static probabilities size mismatch");
+  }
+  if (!predictor_) throw std::invalid_argument("predictor is required");
+}
+
+ControlDecision Controller::run_pipeline(
+    const te::DegradationScenario& scenario, const net::TrafficMatrix& demands,
+    bool include_detection) {
+  te::PreTeScheme scheme(static_probs_, config_.te);
+  const auto outcome = scheme.compute_for_degradation(
+      topology_.network, topology_.flows, tunnels_, demands, scenario);
+
+  ControlDecision decision;
+  decision.policy = outcome.policy;
+  decision.believed_scenarios = outcome.scenarios;
+  decision.new_tunnels = static_cast<int>(outcome.tunnel_update.created.size());
+  decision.phi = outcome.solver_result.phi;
+  sim::LatencyModel latency = config_.latency;
+  if (!include_detection) latency.detection_ms = 0.0;
+  decision.pipeline = sim::pipeline_trace(
+      latency, decision.new_tunnels,
+      static_cast<int>(outcome.scenarios.scenarios.size()));
+  return decision;
+}
+
+ControlDecision Controller::on_te_period(const net::TrafficMatrix& demands) {
+  return run_pipeline(
+      te::DegradationScenario::none(topology_.network.num_fibers()), demands,
+      /*include_detection=*/false);
+}
+
+std::optional<ControlDecision> Controller::on_telemetry(
+    net::FiberId fiber, const std::vector<double>& trace_db,
+    optical::TimeSec trace_start_sec, double healthy_loss_db,
+    const net::TrafficMatrix& demands) {
+  const optical::DegradationDetector detector(healthy_loss_db);
+  const auto result =
+      detector.scan(optical::interpolate_missing(trace_db), trace_start_sec,
+                    topology_.network.fiber(fiber));
+  if (result.degradations.empty()) return std::nullopt;
+  // React to the first detected degradation in the window.
+  return on_degradation(result.degradations.front().features, demands);
+}
+
+ControlDecision Controller::on_degradation(
+    const optical::DegradationFeatures& features,
+    const net::TrafficMatrix& demands) {
+  te::DegradationScenario scenario =
+      te::DegradationScenario::none(topology_.network.num_fibers());
+  const auto fiber = static_cast<std::size_t>(features.fiber_id);
+  if (features.fiber_id < 0 || features.fiber_id >= topology_.network.num_fibers()) {
+    throw std::out_of_range("degradation on unknown fiber");
+  }
+  scenario.degraded[fiber] = true;
+  scenario.predicted_prob[fiber] = predictor_->predict(features);
+  return run_pipeline(scenario, demands, /*include_detection=*/true);
+}
+
+void Controller::on_degradation_cleared() { tunnels_.clear_dynamic(); }
+
+}  // namespace prete::core

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ml/predictor.h"
+#include "net/topology.h"
+#include "net/traffic.h"
+#include "optical/detector.h"
+#include "sim/latency.h"
+#include "te/availability.h"
+#include "te/prete.h"
+
+namespace prete::core {
+
+// Configuration of a PreTE deployment.
+struct ControllerConfig {
+  te::PreTeConfig te;
+  sim::LatencyModel latency;
+  // How long a dynamic tunnel is kept after a degradation clears (one TE
+  // period by default, §4.2).
+  double dynamic_tunnel_ttl_sec = 300.0;
+};
+
+// The outcome of one control decision: the policy to install, the pipeline
+// timing that producing it would take on the testbed, and bookkeeping about
+// the tunnels created.
+struct ControlDecision {
+  te::TePolicy policy;
+  te::ScenarioSet believed_scenarios;
+  sim::PipelineTrace pipeline;
+  int new_tunnels = 0;
+  double phi = 0.0;  // guaranteed beta-quantile loss
+};
+
+// The PreTE controller (Figure 8): consumes per-second optical telemetry,
+// detects degradations, queries the failure predictor, reactively creates
+// tunnels, and solves the availability-constrained TE program.
+//
+// The controller owns a mutable tunnel table seeded from the topology; each
+// degradation may append dynamic tunnels, and `on_degradation_cleared`
+// restores the original state.
+class Controller {
+ public:
+  Controller(const net::Topology& topology,
+             std::vector<double> static_fiber_probs,
+             std::shared_ptr<const ml::FailurePredictor> predictor,
+             ControllerConfig config = {});
+
+  // Periodic TE run (every TE period, no degradation signal).
+  ControlDecision on_te_period(const net::TrafficMatrix& demands);
+
+  // Telemetry-triggered run: a trace window for one fiber is scanned; if a
+  // degradation is found, the full reactive pipeline executes. Returns
+  // nullopt when the trace shows no degradation.
+  std::optional<ControlDecision> on_telemetry(
+      net::FiberId fiber, const std::vector<double>& trace_db,
+      optical::TimeSec trace_start_sec, double healthy_loss_db,
+      const net::TrafficMatrix& demands);
+
+  // Degradation event already extracted (e.g. by an external telemetry
+  // system): run prediction + tunnel updates + optimization.
+  ControlDecision on_degradation(const optical::DegradationFeatures& features,
+                                 const net::TrafficMatrix& demands);
+
+  // The degradation cleared without a cut (or the cut was repaired):
+  // dynamic tunnels are dismantled (§4.2).
+  void on_degradation_cleared();
+
+  const net::TunnelSet& tunnels() const { return tunnels_; }
+  const ControllerConfig& config() const { return config_; }
+  const std::vector<double>& static_probs() const { return static_probs_; }
+
+ private:
+  ControlDecision run_pipeline(const te::DegradationScenario& scenario,
+                               const net::TrafficMatrix& demands,
+                               bool include_detection);
+
+  const net::Topology& topology_;
+  std::vector<double> static_probs_;
+  std::shared_ptr<const ml::FailurePredictor> predictor_;
+  ControllerConfig config_;
+  net::TunnelSet tunnels_;
+};
+
+}  // namespace prete::core

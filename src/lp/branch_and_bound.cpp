@@ -1,0 +1,142 @@
+#include "lp/branch_and_bound.h"
+
+#include <cmath>
+#include <queue>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace prete::lp {
+
+namespace {
+
+struct Node {
+  // Extra bounds imposed by branching: (var, lower, upper).
+  std::vector<std::tuple<int, double, double>> bounds;
+  double relaxation_bound;  // parent relaxation objective (minimization form)
+};
+
+struct NodeOrder {
+  bool operator()(const Node& a, const Node& b) const {
+    return a.relaxation_bound > b.relaxation_bound;  // best-first
+  }
+};
+
+int most_fractional(const Model& model, const std::vector<double>& x,
+                    double tol) {
+  int best = -1;
+  double best_frac = tol;
+  for (int j = 0; j < model.num_variables(); ++j) {
+    if (!model.variable(j).is_integer) continue;
+    const double v = x[static_cast<std::size_t>(j)];
+    const double frac = std::abs(v - std::round(v));
+    if (frac > best_frac) {
+      best_frac = frac;
+      best = j;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Solution BranchAndBound::solve(const Model& model) const {
+  SimplexSolver simplex(options_.simplex);
+  if (!model.has_integers()) return simplex.solve(model);
+
+  const double sense_sign = model.sense() == Sense::kMaximize ? -1.0 : 1.0;
+
+  Solution incumbent;
+  incumbent.status = SolveStatus::kInfeasible;
+  double incumbent_value = kInfinity;  // minimization form
+
+  std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
+  open.push({{}, -kInfinity});
+  int nodes = 0;
+  bool hit_node_limit = false;
+
+  Model scratch = model;
+  while (!open.empty() && nodes < options_.max_nodes) {
+    Node node = open.top();
+    open.pop();
+    ++nodes;
+    if (node.relaxation_bound >= incumbent_value - options_.gap_tol *
+                                       (1.0 + std::abs(incumbent_value))) {
+      continue;  // cannot improve
+    }
+
+    // Apply branching bounds on top of the base model.
+    for (int j = 0; j < model.num_variables(); ++j) {
+      const Variable& v = model.variable(j);
+      scratch.set_bounds(j, v.lower, v.upper);
+    }
+    bool conflict = false;
+    for (const auto& [var, lo, hi] : node.bounds) {
+      const Variable& v = scratch.variable(var);
+      const double new_lo = std::max(v.lower, lo);
+      const double new_hi = std::min(v.upper, hi);
+      if (new_lo > new_hi) {
+        conflict = true;
+        break;
+      }
+      scratch.set_bounds(var, new_lo, new_hi);
+    }
+    if (conflict) continue;
+
+    const Solution relax = simplex.solve(scratch);
+    if (relax.status == SolveStatus::kUnbounded) {
+      // An unbounded relaxation at the root means the MIP itself may be
+      // unbounded; report it rather than silently pruning.
+      if (node.bounds.empty()) {
+        Solution out;
+        out.status = SolveStatus::kUnbounded;
+        return out;
+      }
+      continue;
+    }
+    if (relax.status != SolveStatus::kOptimal) continue;
+    const double relax_value = sense_sign * relax.objective;
+    if (relax_value >= incumbent_value - options_.gap_tol *
+                           (1.0 + std::abs(incumbent_value))) {
+      continue;
+    }
+
+    const int branch_var =
+        most_fractional(model, relax.x, options_.integrality_tol);
+    if (branch_var < 0) {
+      // Integral: new incumbent.
+      incumbent = relax;
+      incumbent_value = relax_value;
+      continue;
+    }
+
+    const double v = relax.x[static_cast<std::size_t>(branch_var)];
+    Node down = node;
+    down.relaxation_bound = relax_value;
+    down.bounds.emplace_back(branch_var, -kInfinity, std::floor(v));
+    Node up = node;
+    up.relaxation_bound = relax_value;
+    up.bounds.emplace_back(branch_var, std::ceil(v), kInfinity);
+    open.push(std::move(down));
+    open.push(std::move(up));
+  }
+  hit_node_limit = !open.empty() && nodes >= options_.max_nodes;
+
+  if (incumbent.status == SolveStatus::kOptimal) {
+    // Round integer variables exactly.
+    for (int j = 0; j < model.num_variables(); ++j) {
+      if (model.variable(j).is_integer) {
+        incumbent.x[static_cast<std::size_t>(j)] =
+            std::round(incumbent.x[static_cast<std::size_t>(j)]);
+      }
+    }
+    if (hit_node_limit) incumbent.status = SolveStatus::kIterationLimit;
+    return incumbent;
+  }
+  Solution out;
+  out.status =
+      hit_node_limit ? SolveStatus::kIterationLimit : SolveStatus::kInfeasible;
+  return out;
+}
+
+}  // namespace prete::lp

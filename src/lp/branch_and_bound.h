@@ -1,0 +1,31 @@
+#pragma once
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace prete::lp {
+
+struct BranchAndBoundOptions {
+  SimplexOptions simplex;
+  double integrality_tol = 1e-6;
+  // Relative optimality gap at which the search stops.
+  double gap_tol = 1e-6;
+  int max_nodes = 20000;
+};
+
+// Best-first branch-and-bound over the model's integer variables, using the
+// simplex core for node relaxations. Intended for the small MIPs left after
+// Benders decomposition (the master problem over binary scenario selectors)
+// and for verifying the decomposition in tests.
+class BranchAndBound {
+ public:
+  explicit BranchAndBound(BranchAndBoundOptions options = {})
+      : options_(options) {}
+
+  Solution solve(const Model& model) const;
+
+ private:
+  BranchAndBoundOptions options_;
+};
+
+}  // namespace prete::lp

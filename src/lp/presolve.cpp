@@ -1,0 +1,190 @@
+#include "lp/presolve.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "lp/simplex.h"
+
+namespace prete::lp {
+
+std::vector<double> PresolveResult::restore(
+    const std::vector<double>& reduced_x) const {
+  std::vector<double> x(static_cast<std::size_t>(original_variables), 0.0);
+  for (int j = 0; j < original_variables; ++j) {
+    const int mapped = variable_map[static_cast<std::size_t>(j)];
+    x[static_cast<std::size_t>(j)] =
+        mapped >= 0 ? reduced_x[static_cast<std::size_t>(mapped)]
+                    : fixed_value[static_cast<std::size_t>(j)];
+  }
+  return x;
+}
+
+PresolveResult presolve(const Model& model) {
+  PresolveResult result;
+  result.original_variables = model.num_variables();
+  result.variable_map.assign(static_cast<std::size_t>(model.num_variables()), -1);
+  result.fixed_value.assign(static_cast<std::size_t>(model.num_variables()), 0.0);
+  result.reduced.set_sense(model.sense());
+
+  constexpr double kTol = 1e-9;
+
+  // Working bounds: tightened by singleton rows before variables are built.
+  std::vector<double> lower(static_cast<std::size_t>(model.num_variables()));
+  std::vector<double> upper(static_cast<std::size_t>(model.num_variables()));
+  std::vector<bool> used(static_cast<std::size_t>(model.num_variables()), false);
+  for (int j = 0; j < model.num_variables(); ++j) {
+    lower[static_cast<std::size_t>(j)] = model.variable(j).lower;
+    upper[static_cast<std::size_t>(j)] = model.variable(j).upper;
+  }
+
+  // Pass 1: singleton rows become bound tightenings; note used variables.
+  std::vector<bool> keep_row(static_cast<std::size_t>(model.num_rows()), true);
+  for (int i = 0; i < model.num_rows(); ++i) {
+    const Row& row = model.row(i);
+    // Count structural nonzeros.
+    int nonzeros = 0;
+    const Coefficient* only = nullptr;
+    for (const Coefficient& c : row.coefficients) {
+      if (c.value != 0.0) {
+        ++nonzeros;
+        only = &c;
+      }
+    }
+    if (nonzeros == 0) {
+      // Empty row: constant constraint.
+      const bool ok = (row.type == RowType::kLessEqual && 0.0 <= row.rhs + kTol) ||
+                      (row.type == RowType::kGreaterEqual && 0.0 >= row.rhs - kTol) ||
+                      (row.type == RowType::kEqual && std::abs(row.rhs) <= kTol);
+      if (!ok) {
+        result.infeasible = true;
+        return result;
+      }
+      keep_row[static_cast<std::size_t>(i)] = false;
+      continue;
+    }
+    if (nonzeros == 1) {
+      // a*x {<=,>=,=} b  ->  bound on x.
+      const auto j = static_cast<std::size_t>(only->var);
+      const double bound = row.rhs / only->value;
+      const bool flips = only->value < 0.0;
+      switch (row.type) {
+        case RowType::kLessEqual:
+          if (flips) {
+            lower[j] = std::max(lower[j], bound);
+          } else {
+            upper[j] = std::min(upper[j], bound);
+          }
+          break;
+        case RowType::kGreaterEqual:
+          if (flips) {
+            upper[j] = std::min(upper[j], bound);
+          } else {
+            lower[j] = std::max(lower[j], bound);
+          }
+          break;
+        case RowType::kEqual:
+          lower[j] = std::max(lower[j], bound);
+          upper[j] = std::min(upper[j], bound);
+          break;
+      }
+      if (lower[j] > upper[j] + kTol) {
+        result.infeasible = true;
+        return result;
+      }
+      keep_row[static_cast<std::size_t>(i)] = false;
+      // The variable still exists (it may appear in other rows).
+      used[j] = true;
+      continue;
+    }
+    for (const Coefficient& c : row.coefficients) {
+      if (c.value != 0.0) used[static_cast<std::size_t>(c.var)] = true;
+    }
+  }
+
+  // Pass 2: build the reduced variable set.
+  const double sense_sign = model.sense() == Sense::kMaximize ? -1.0 : 1.0;
+  for (int j = 0; j < model.num_variables(); ++j) {
+    const auto js = static_cast<std::size_t>(j);
+    const Variable& v = model.variable(j);
+    if (std::abs(upper[js] - lower[js]) <= kTol) {
+      // Fixed: substitute everywhere.
+      result.fixed_value[js] = 0.5 * (lower[js] + upper[js]);
+      continue;
+    }
+    if (!used[js]) {
+      // Appears in no surviving row: sits at its cost-optimal bound.
+      const double c = sense_sign * v.objective;
+      double x;
+      if (c > kTol) {
+        x = lower[js];
+      } else if (c < -kTol) {
+        x = upper[js];
+      } else {
+        x = std::isfinite(lower[js]) ? lower[js]
+                                     : (std::isfinite(upper[js]) ? upper[js] : 0.0);
+      }
+      if (!std::isfinite(x)) {
+        // Unbounded empty column: leave it in the model so the solver
+        // reports unboundedness properly.
+        result.variable_map[js] = result.reduced.add_variable(
+            lower[js], upper[js], v.objective, v.name);
+        continue;
+      }
+      result.fixed_value[js] = x;
+      continue;
+    }
+    result.variable_map[js] =
+        result.reduced.add_variable(lower[js], upper[js], v.objective, v.name);
+  }
+
+  // Pass 3: rebuild surviving rows with substituted fixed variables.
+  for (int i = 0; i < model.num_rows(); ++i) {
+    if (!keep_row[static_cast<std::size_t>(i)]) continue;
+    const Row& row = model.row(i);
+    Row out;
+    out.type = row.type;
+    out.rhs = row.rhs;
+    out.name = row.name;
+    for (const Coefficient& c : row.coefficients) {
+      if (c.value == 0.0) continue;
+      const int mapped = result.variable_map[static_cast<std::size_t>(c.var)];
+      if (mapped >= 0) {
+        out.coefficients.push_back({mapped, c.value});
+      } else {
+        out.rhs -= c.value * result.fixed_value[static_cast<std::size_t>(c.var)];
+      }
+    }
+    if (out.coefficients.empty()) {
+      const bool ok =
+          (out.type == RowType::kLessEqual && 0.0 <= out.rhs + kTol) ||
+          (out.type == RowType::kGreaterEqual && 0.0 >= out.rhs - kTol) ||
+          (out.type == RowType::kEqual && std::abs(out.rhs) <= kTol);
+      if (!ok) {
+        result.infeasible = true;
+        return result;
+      }
+      continue;
+    }
+    result.reduced.add_row(std::move(out));
+  }
+  return result;
+}
+
+Solution solve_with_presolve(const Model& model, const SimplexOptions& options) {
+  const PresolveResult pre = presolve(model);
+  if (pre.infeasible) {
+    Solution out;
+    out.status = SolveStatus::kInfeasible;
+    return out;
+  }
+  Solution reduced = SimplexSolver(options).solve(pre.reduced);
+  if (reduced.status != SolveStatus::kOptimal) return reduced;
+  Solution out;
+  out.status = SolveStatus::kOptimal;
+  out.iterations = reduced.iterations;
+  out.x = pre.restore(reduced.x);
+  out.objective = model.objective_value(out.x);
+  return out;
+}
+
+}  // namespace prete::lp

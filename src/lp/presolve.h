@@ -1,0 +1,38 @@
+#pragma once
+
+#include "lp/model.h"
+
+namespace prete::lp {
+
+// Standard LP presolve reductions, applied before the simplex:
+//  - fixed variables (lower == upper) are substituted into rows,
+//  - empty rows are checked for trivial feasibility and dropped,
+//  - empty columns (variables in no row) are pinned to their cost-optimal
+//    bound,
+//  - singleton rows (one variable) are converted into bound tightenings.
+// The reductions preserve optimality; `restore` maps a reduced solution
+// back to the original variable space.
+struct PresolveResult {
+  Model reduced;
+  // Whether presolve already proved the model infeasible.
+  bool infeasible = false;
+  // Original variable count (for restore).
+  int original_variables = 0;
+  // For each original variable: the reduced-model index, or -1 when the
+  // variable was eliminated (its fixed value is in `fixed_value`).
+  std::vector<int> variable_map;
+  std::vector<double> fixed_value;
+
+  // Expands a reduced-model solution to original-model coordinates.
+  std::vector<double> restore(const std::vector<double>& reduced_x) const;
+};
+
+PresolveResult presolve(const Model& model);
+
+// Convenience: presolve + solve + restore. Status semantics match
+// SimplexSolver::solve. Duals are not restored (row mapping is dropped);
+// use the raw solver when duals are needed (e.g. Benders subproblems).
+Solution solve_with_presolve(const Model& model,
+                             const struct SimplexOptions& options);
+
+}  // namespace prete::lp

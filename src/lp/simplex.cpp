@@ -1,0 +1,528 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace prete::lp {
+
+namespace {
+
+enum class VarStatus { kBasic, kAtLower, kAtUpper, kFreeAtZero };
+
+// Internal equality-form problem: columns = structural vars, slacks, and
+// artificials; every row is an equality. All costs are for minimization.
+struct Workspace {
+  int m = 0;           // rows
+  int total = 0;       // total columns
+  int num_structural = 0;
+  int num_slack = 0;   // == m
+  // Column-wise sparse matrix.
+  std::vector<std::vector<Coefficient>> columns;
+  std::vector<double> lower;
+  std::vector<double> upper;
+  std::vector<double> phase2_cost;
+  std::vector<double> rhs;
+
+  std::vector<VarStatus> status;
+  std::vector<int> basis;          // basis[r] = column basic in row r
+  std::vector<double> basic_value; // value of basis[r]
+  std::vector<double> binv;        // dense m x m row-major basis inverse
+  std::vector<double> nonbasic_value;  // value for every column (basic entries stale)
+
+  double& binv_at(int r, int c) { return binv[static_cast<std::size_t>(r) * m + c]; }
+  double binv_at(int r, int c) const {
+    return binv[static_cast<std::size_t>(r) * m + c];
+  }
+};
+
+double bound_start_value(double lower, double upper) {
+  if (std::isfinite(lower)) return lower;
+  if (std::isfinite(upper)) return upper;
+  return 0.0;
+}
+
+VarStatus bound_start_status(double lower, double upper) {
+  if (std::isfinite(lower)) return VarStatus::kAtLower;
+  if (std::isfinite(upper)) return VarStatus::kAtUpper;
+  return VarStatus::kFreeAtZero;
+}
+
+class SimplexEngine {
+ public:
+  SimplexEngine(const Model& model, const SimplexOptions& options)
+      : options_(options) {
+    build(model);
+  }
+
+  Solution run(const Model& model) {
+    Solution solution;
+    int total_iters = 0;
+
+    // Phase 1: minimize the sum of artificial variables.
+    std::vector<double> phase1_cost(static_cast<std::size_t>(ws_.total), 0.0);
+    for (int j = first_artificial_; j < ws_.total; ++j) {
+      phase1_cost[static_cast<std::size_t>(j)] = 1.0;
+    }
+    const SolveStatus phase1 = optimize(phase1_cost, /*phase1=*/true, total_iters);
+    if (phase1 == SolveStatus::kIterationLimit) {
+      solution.status = SolveStatus::kIterationLimit;
+      solution.iterations = total_iters;
+      return solution;
+    }
+    if (current_objective(phase1_cost) > 1e3 * options_.feasibility_tol) {
+      solution.status = SolveStatus::kInfeasible;
+      solution.iterations = total_iters;
+      return solution;
+    }
+    // Lock the artificials at zero for phase 2.
+    for (int j = first_artificial_; j < ws_.total; ++j) {
+      ws_.upper[static_cast<std::size_t>(j)] = 0.0;
+      if (ws_.status[static_cast<std::size_t>(j)] != VarStatus::kBasic) {
+        ws_.status[static_cast<std::size_t>(j)] = VarStatus::kAtLower;
+        ws_.nonbasic_value[static_cast<std::size_t>(j)] = 0.0;
+      }
+    }
+
+    const SolveStatus phase2 = optimize(ws_.phase2_cost, /*phase1=*/false, total_iters);
+    solution.iterations = total_iters;
+    solution.status = phase2;
+    if (phase2 != SolveStatus::kOptimal) return solution;
+
+    // Extract primal values for structural variables.
+    solution.x.assign(static_cast<std::size_t>(ws_.num_structural), 0.0);
+    std::vector<double> full(static_cast<std::size_t>(ws_.total), 0.0);
+    for (int j = 0; j < ws_.total; ++j) {
+      full[static_cast<std::size_t>(j)] = ws_.nonbasic_value[static_cast<std::size_t>(j)];
+    }
+    for (int r = 0; r < ws_.m; ++r) {
+      full[static_cast<std::size_t>(ws_.basis[static_cast<std::size_t>(r)])] =
+          ws_.basic_value[static_cast<std::size_t>(r)];
+    }
+    for (int j = 0; j < ws_.num_structural; ++j) {
+      solution.x[static_cast<std::size_t>(j)] = full[static_cast<std::size_t>(j)];
+    }
+
+    // Duals: y = c_B' B^-1 for the internal minimization.
+    std::vector<double> y = dual_vector(ws_.phase2_cost);
+    solution.duals.assign(static_cast<std::size_t>(ws_.m), 0.0);
+    double obj = 0.0;
+    for (int j = 0; j < ws_.num_structural; ++j) {
+      obj += ws_.phase2_cost[static_cast<std::size_t>(j)] *
+             solution.x[static_cast<std::size_t>(j)];
+    }
+    if (model.sense() == Sense::kMaximize) {
+      obj = -obj;
+      for (double& v : y) v = -v;
+    }
+    solution.objective = obj;
+    for (int r = 0; r < ws_.m; ++r) {
+      solution.duals[static_cast<std::size_t>(r)] = y[static_cast<std::size_t>(r)];
+    }
+    return solution;
+  }
+
+ private:
+  void build(const Model& model) {
+    const int n = model.num_variables();
+    const int m = model.num_rows();
+    ws_.m = m;
+    ws_.num_structural = n;
+    ws_.num_slack = m;
+    first_artificial_ = n + m;
+    ws_.total = n + 2 * m;
+
+    ws_.columns.assign(static_cast<std::size_t>(ws_.total), {});
+    ws_.lower.assign(static_cast<std::size_t>(ws_.total), 0.0);
+    ws_.upper.assign(static_cast<std::size_t>(ws_.total), kInfinity);
+    ws_.phase2_cost.assign(static_cast<std::size_t>(ws_.total), 0.0);
+    ws_.rhs.assign(static_cast<std::size_t>(m), 0.0);
+
+    const double sign = model.sense() == Sense::kMaximize ? -1.0 : 1.0;
+    for (int j = 0; j < n; ++j) {
+      const Variable& v = model.variable(j);
+      ws_.lower[static_cast<std::size_t>(j)] = v.lower;
+      ws_.upper[static_cast<std::size_t>(j)] = v.upper;
+      ws_.phase2_cost[static_cast<std::size_t>(j)] = sign * v.objective;
+    }
+    for (int i = 0; i < m; ++i) {
+      const Row& row = model.row(i);
+      ws_.rhs[static_cast<std::size_t>(i)] = row.rhs;
+      for (const auto& coef : row.coefficients) {
+        if (coef.value != 0.0) {
+          ws_.columns[static_cast<std::size_t>(coef.var)].push_back({i, coef.value});
+        }
+      }
+      // Slack column: row becomes a*x + s = b.
+      const int slack = n + i;
+      ws_.columns[static_cast<std::size_t>(slack)].push_back({i, 1.0});
+      switch (row.type) {
+        case RowType::kLessEqual:
+          ws_.lower[static_cast<std::size_t>(slack)] = 0.0;
+          ws_.upper[static_cast<std::size_t>(slack)] = kInfinity;
+          break;
+        case RowType::kGreaterEqual:
+          ws_.lower[static_cast<std::size_t>(slack)] = -kInfinity;
+          ws_.upper[static_cast<std::size_t>(slack)] = 0.0;
+          break;
+        case RowType::kEqual:
+          ws_.lower[static_cast<std::size_t>(slack)] = 0.0;
+          ws_.upper[static_cast<std::size_t>(slack)] = 0.0;
+          break;
+      }
+    }
+
+    // Initial nonbasic point: every structural/slack variable at its nearest
+    // finite bound (or zero if free).
+    ws_.status.assign(static_cast<std::size_t>(ws_.total), VarStatus::kAtLower);
+    ws_.nonbasic_value.assign(static_cast<std::size_t>(ws_.total), 0.0);
+    for (int j = 0; j < first_artificial_; ++j) {
+      ws_.status[static_cast<std::size_t>(j)] =
+          bound_start_status(ws_.lower[static_cast<std::size_t>(j)],
+                             ws_.upper[static_cast<std::size_t>(j)]);
+      ws_.nonbasic_value[static_cast<std::size_t>(j)] =
+          bound_start_value(ws_.lower[static_cast<std::size_t>(j)],
+                            ws_.upper[static_cast<std::size_t>(j)]);
+    }
+
+    // Residual that the artificial basis must absorb.
+    std::vector<double> residual = ws_.rhs;
+    for (int j = 0; j < first_artificial_; ++j) {
+      const double xj = ws_.nonbasic_value[static_cast<std::size_t>(j)];
+      if (xj == 0.0) continue;
+      for (const auto& entry : ws_.columns[static_cast<std::size_t>(j)]) {
+        residual[static_cast<std::size_t>(entry.var)] -= entry.value * xj;
+      }
+    }
+
+    ws_.basis.assign(static_cast<std::size_t>(m), 0);
+    ws_.basic_value.assign(static_cast<std::size_t>(m), 0.0);
+    ws_.binv.assign(static_cast<std::size_t>(m) * static_cast<std::size_t>(m), 0.0);
+    for (int i = 0; i < m; ++i) {
+      const int art = first_artificial_ + i;
+      const double sign = residual[static_cast<std::size_t>(i)] >= 0.0 ? 1.0 : -1.0;
+      ws_.columns[static_cast<std::size_t>(art)].push_back({i, sign});
+      ws_.status[static_cast<std::size_t>(art)] = VarStatus::kBasic;
+      ws_.basis[static_cast<std::size_t>(i)] = art;
+      ws_.basic_value[static_cast<std::size_t>(i)] =
+          std::abs(residual[static_cast<std::size_t>(i)]);
+      ws_.binv_at(i, i) = sign;  // inverse of the +-1 diagonal basis
+    }
+  }
+
+  double current_objective(const std::vector<double>& cost) const {
+    double obj = 0.0;
+    for (int j = 0; j < ws_.total; ++j) {
+      if (ws_.status[static_cast<std::size_t>(j)] != VarStatus::kBasic) {
+        obj += cost[static_cast<std::size_t>(j)] *
+               ws_.nonbasic_value[static_cast<std::size_t>(j)];
+      }
+    }
+    for (int r = 0; r < ws_.m; ++r) {
+      obj += cost[static_cast<std::size_t>(ws_.basis[static_cast<std::size_t>(r)])] *
+             ws_.basic_value[static_cast<std::size_t>(r)];
+    }
+    return obj;
+  }
+
+  std::vector<double> dual_vector(const std::vector<double>& cost) const {
+    std::vector<double> y(static_cast<std::size_t>(ws_.m), 0.0);
+    for (int r = 0; r < ws_.m; ++r) {
+      const double cb = cost[static_cast<std::size_t>(ws_.basis[static_cast<std::size_t>(r)])];
+      if (cb == 0.0) continue;
+      for (int c = 0; c < ws_.m; ++c) {
+        y[static_cast<std::size_t>(c)] += cb * ws_.binv_at(r, c);
+      }
+    }
+    return y;
+  }
+
+  double reduced_cost(int j, const std::vector<double>& cost,
+                      const std::vector<double>& y) const {
+    double d = cost[static_cast<std::size_t>(j)];
+    for (const auto& entry : ws_.columns[static_cast<std::size_t>(j)]) {
+      d -= y[static_cast<std::size_t>(entry.var)] * entry.value;
+    }
+    return d;
+  }
+
+  // w = B^-1 * column_j
+  void ftran(int j, std::vector<double>& w) const {
+    std::fill(w.begin(), w.end(), 0.0);
+    for (const auto& entry : ws_.columns[static_cast<std::size_t>(j)]) {
+      const double a = entry.value;
+      if (a == 0.0) continue;
+      const int c = entry.var;
+      for (int r = 0; r < ws_.m; ++r) {
+        w[static_cast<std::size_t>(r)] += a * ws_.binv_at(r, c);
+      }
+    }
+  }
+
+  // Rebuilds binv from the current basis columns by Gauss-Jordan with
+  // partial pivoting, then recomputes the basic values.
+  bool refactorize() {
+    const int m = ws_.m;
+    std::vector<double> dense(static_cast<std::size_t>(m) * m, 0.0);
+    for (int c = 0; c < m; ++c) {
+      for (const auto& entry :
+           ws_.columns[static_cast<std::size_t>(ws_.basis[static_cast<std::size_t>(c)])]) {
+        dense[static_cast<std::size_t>(entry.var) * m + c] = entry.value;
+      }
+    }
+    std::vector<double> inv(static_cast<std::size_t>(m) * m, 0.0);
+    for (int i = 0; i < m; ++i) inv[static_cast<std::size_t>(i) * m + i] = 1.0;
+
+    for (int col = 0; col < m; ++col) {
+      int pivot = col;
+      double best = std::abs(dense[static_cast<std::size_t>(col) * m + col]);
+      for (int r = col + 1; r < m; ++r) {
+        const double v = std::abs(dense[static_cast<std::size_t>(r) * m + col]);
+        if (v > best) {
+          best = v;
+          pivot = r;
+        }
+      }
+      if (best < 1e-12) return false;  // numerically singular basis
+      if (pivot != col) {
+        for (int c = 0; c < m; ++c) {
+          std::swap(dense[static_cast<std::size_t>(pivot) * m + c],
+                    dense[static_cast<std::size_t>(col) * m + c]);
+          std::swap(inv[static_cast<std::size_t>(pivot) * m + c],
+                    inv[static_cast<std::size_t>(col) * m + c]);
+        }
+      }
+      const double piv = dense[static_cast<std::size_t>(col) * m + col];
+      const double inv_piv = 1.0 / piv;
+      for (int c = 0; c < m; ++c) {
+        dense[static_cast<std::size_t>(col) * m + c] *= inv_piv;
+        inv[static_cast<std::size_t>(col) * m + c] *= inv_piv;
+      }
+      for (int r = 0; r < m; ++r) {
+        if (r == col) continue;
+        const double factor = dense[static_cast<std::size_t>(r) * m + col];
+        if (factor == 0.0) continue;
+        for (int c = 0; c < m; ++c) {
+          dense[static_cast<std::size_t>(r) * m + c] -=
+              factor * dense[static_cast<std::size_t>(col) * m + c];
+          inv[static_cast<std::size_t>(r) * m + c] -=
+              factor * inv[static_cast<std::size_t>(col) * m + c];
+        }
+      }
+    }
+    ws_.binv = std::move(inv);
+    recompute_basic_values();
+    return true;
+  }
+
+  void recompute_basic_values() {
+    // x_B = B^-1 (b - N x_N)
+    std::vector<double> rhs = ws_.rhs;
+    for (int j = 0; j < ws_.total; ++j) {
+      if (ws_.status[static_cast<std::size_t>(j)] == VarStatus::kBasic) continue;
+      const double xj = ws_.nonbasic_value[static_cast<std::size_t>(j)];
+      if (xj == 0.0) continue;
+      for (const auto& entry : ws_.columns[static_cast<std::size_t>(j)]) {
+        rhs[static_cast<std::size_t>(entry.var)] -= entry.value * xj;
+      }
+    }
+    for (int r = 0; r < ws_.m; ++r) {
+      double v = 0.0;
+      for (int c = 0; c < ws_.m; ++c) {
+        v += ws_.binv_at(r, c) * rhs[static_cast<std::size_t>(c)];
+      }
+      ws_.basic_value[static_cast<std::size_t>(r)] = v;
+    }
+  }
+
+  SolveStatus optimize(const std::vector<double>& cost, bool phase1,
+                       int& total_iters) {
+    const int m = ws_.m;
+    const int max_iters =
+        options_.max_iterations > 0
+            ? options_.max_iterations
+            : 2000 + 40 * (ws_.total + m);
+    std::vector<double> w(static_cast<std::size_t>(m), 0.0);
+    int degenerate_streak = 0;
+    int since_refactor = 0;
+
+    for (int iter = 0; iter < max_iters; ++iter, ++total_iters) {
+      const std::vector<double> y = dual_vector(cost);
+
+      // Pricing.
+      const bool use_bland = degenerate_streak > options_.degenerate_pivot_limit;
+      int entering = -1;
+      double entering_dir = 0.0;
+      double best_score = options_.optimality_tol;
+      for (int j = 0; j < ws_.total; ++j) {
+        const VarStatus st = ws_.status[static_cast<std::size_t>(j)];
+        if (st == VarStatus::kBasic) continue;
+        // Locked variables (fixed artificials, equality slacks) cannot move.
+        if (ws_.lower[static_cast<std::size_t>(j)] ==
+            ws_.upper[static_cast<std::size_t>(j)]) {
+          continue;
+        }
+        const double d = reduced_cost(j, cost, y);
+        double score = 0.0;
+        double dir = 0.0;
+        if ((st == VarStatus::kAtLower || st == VarStatus::kFreeAtZero) &&
+            d < -options_.optimality_tol) {
+          score = -d;
+          dir = 1.0;
+        } else if ((st == VarStatus::kAtUpper || st == VarStatus::kFreeAtZero) &&
+                   d > options_.optimality_tol) {
+          score = d;
+          dir = -1.0;
+        }
+        if (score <= 0.0) continue;
+        if (use_bland) {  // first eligible index
+          entering = j;
+          entering_dir = dir;
+          break;
+        }
+        if (score > best_score) {
+          best_score = score;
+          entering = j;
+          entering_dir = dir;
+        }
+      }
+      if (entering < 0) return SolveStatus::kOptimal;  // dual feasible
+
+      ftran(entering, w);
+
+      // Ratio test. The entering variable moves by t >= 0 in direction
+      // entering_dir; basic variable r changes at rate -entering_dir * w[r].
+      double t_max = ws_.upper[static_cast<std::size_t>(entering)] -
+                     ws_.lower[static_cast<std::size_t>(entering)];
+      if (!std::isfinite(t_max)) t_max = kInfinity;
+      int leaving = -1;  // row index of the blocking basic variable
+      bool leaving_to_upper = false;
+      double best_pivot_mag = 0.0;
+      constexpr double kPivotTol = 1e-9;
+      for (int r = 0; r < m; ++r) {
+        const double rate = -entering_dir * w[static_cast<std::size_t>(r)];
+        if (std::abs(rate) < kPivotTol) continue;
+        const int b = ws_.basis[static_cast<std::size_t>(r)];
+        const double xb = ws_.basic_value[static_cast<std::size_t>(r)];
+        double limit = kInfinity;
+        bool to_upper = false;
+        if (rate < 0.0) {  // decreasing toward its lower bound
+          const double lb = ws_.lower[static_cast<std::size_t>(b)];
+          if (std::isfinite(lb)) limit = (xb - lb) / (-rate);
+        } else {  // increasing toward its upper bound
+          const double ub = ws_.upper[static_cast<std::size_t>(b)];
+          if (std::isfinite(ub)) {
+            limit = (ub - xb) / rate;
+            to_upper = true;
+          }
+        }
+        if (limit < -1e-12) limit = 0.0;
+        if (limit < t_max - 1e-12 ||
+            (limit < t_max + 1e-12 &&
+             std::abs(w[static_cast<std::size_t>(r)]) > best_pivot_mag)) {
+          t_max = std::max(limit, 0.0);
+          leaving = r;
+          leaving_to_upper = to_upper;
+          best_pivot_mag = std::abs(w[static_cast<std::size_t>(r)]);
+        }
+      }
+
+      if (!std::isfinite(t_max)) {
+        return phase1 ? SolveStatus::kInfeasible : SolveStatus::kUnbounded;
+      }
+      degenerate_streak = t_max < 1e-11 ? degenerate_streak + 1 : 0;
+
+      // Apply the step to the basic values.
+      if (t_max > 0.0) {
+        for (int r = 0; r < m; ++r) {
+          ws_.basic_value[static_cast<std::size_t>(r)] -=
+              t_max * entering_dir * w[static_cast<std::size_t>(r)];
+        }
+      }
+
+      if (leaving < 0) {
+        // Bound flip: the entering variable runs to its opposite bound.
+        auto& st = ws_.status[static_cast<std::size_t>(entering)];
+        st = entering_dir > 0 ? VarStatus::kAtUpper : VarStatus::kAtLower;
+        ws_.nonbasic_value[static_cast<std::size_t>(entering)] =
+            entering_dir > 0 ? ws_.upper[static_cast<std::size_t>(entering)]
+                             : ws_.lower[static_cast<std::size_t>(entering)];
+        continue;
+      }
+
+      // Pivot: entering becomes basic in row `leaving`.
+      const int leave_var = ws_.basis[static_cast<std::size_t>(leaving)];
+      const double entering_value =
+          ws_.nonbasic_value[static_cast<std::size_t>(entering)] +
+          entering_dir * t_max;
+
+      ws_.status[static_cast<std::size_t>(leave_var)] =
+          leaving_to_upper ? VarStatus::kAtUpper : VarStatus::kAtLower;
+      ws_.nonbasic_value[static_cast<std::size_t>(leave_var)] =
+          leaving_to_upper ? ws_.upper[static_cast<std::size_t>(leave_var)]
+                           : ws_.lower[static_cast<std::size_t>(leave_var)];
+      ws_.status[static_cast<std::size_t>(entering)] = VarStatus::kBasic;
+      ws_.basis[static_cast<std::size_t>(leaving)] = entering;
+      ws_.basic_value[static_cast<std::size_t>(leaving)] = entering_value;
+
+      // Product-form update of the inverse: pivot on w[leaving].
+      const double piv = w[static_cast<std::size_t>(leaving)];
+      const double inv_piv = 1.0 / piv;
+      for (int c = 0; c < m; ++c) ws_.binv_at(leaving, c) *= inv_piv;
+      for (int r = 0; r < m; ++r) {
+        if (r == leaving) continue;
+        const double factor = w[static_cast<std::size_t>(r)];
+        if (factor == 0.0) continue;
+        for (int c = 0; c < m; ++c) {
+          ws_.binv_at(r, c) -= factor * ws_.binv_at(leaving, c);
+        }
+      }
+
+      if (++since_refactor >= options_.refactor_interval) {
+        since_refactor = 0;
+        if (!refactorize()) return SolveStatus::kIterationLimit;
+      }
+    }
+    return SolveStatus::kIterationLimit;
+  }
+
+  SimplexOptions options_;
+  Workspace ws_;
+  int first_artificial_ = 0;
+};
+
+}  // namespace
+
+Solution SimplexSolver::solve(const Model& model) const {
+  if (model.num_rows() == 0) {
+    // Pure bound problem: each variable sits at whichever bound its cost
+    // prefers; unbounded if the preferred direction has no finite bound.
+    Solution solution;
+    solution.status = SolveStatus::kOptimal;
+    solution.x.assign(static_cast<std::size_t>(model.num_variables()), 0.0);
+    const double sign = model.sense() == Sense::kMaximize ? -1.0 : 1.0;
+    for (int j = 0; j < model.num_variables(); ++j) {
+      const Variable& v = model.variable(j);
+      const double c = sign * v.objective;
+      double x = 0.0;
+      if (c > 0) {
+        x = v.lower;
+      } else if (c < 0) {
+        x = v.upper;
+      } else {
+        x = bound_start_value(v.lower, v.upper);
+      }
+      if (!std::isfinite(x)) {
+        solution.status = SolveStatus::kUnbounded;
+        return solution;
+      }
+      solution.x[static_cast<std::size_t>(j)] = x;
+    }
+    solution.objective = model.objective_value(solution.x);
+    return solution;
+  }
+  SimplexEngine engine(model, options_);
+  return engine.run(model);
+}
+
+}  // namespace prete::lp

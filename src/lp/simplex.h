@@ -1,0 +1,38 @@
+#pragma once
+
+#include "lp/model.h"
+
+namespace prete::lp {
+
+struct SimplexOptions {
+  // Primal feasibility tolerance on bound/constraint violation.
+  double feasibility_tol = 1e-7;
+  // Dual feasibility (reduced-cost) tolerance.
+  double optimality_tol = 1e-7;
+  // 0 means "choose automatically from problem size".
+  int max_iterations = 0;
+  // Rebuild the basis inverse from scratch every this many pivots to bound
+  // numerical drift of the product-form updates.
+  int refactor_interval = 128;
+  // Switch to Bland's anti-cycling rule after this many consecutive
+  // degenerate pivots.
+  int degenerate_pivot_limit = 200;
+};
+
+// Two-phase bounded-variable revised primal simplex with a dense basis
+// inverse. Designed for the mid-sized LPs produced by the TE formulations
+// (hundreds to a few thousand rows once lazy row generation is applied).
+//
+// The returned duals are shadow prices d(objective)/d(rhs) in the model's
+// own sense (for kMaximize they are the derivatives of the maximum).
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(SimplexOptions options = {}) : options_(options) {}
+
+  Solution solve(const Model& model) const;
+
+ private:
+  SimplexOptions options_;
+};
+
+}  // namespace prete::lp

@@ -1,0 +1,176 @@
+#include "ml/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace prete::ml {
+
+TeaVarStaticPredictor::TeaVarStaticPredictor(
+    std::map<int, double> static_probability, double fallback)
+    : static_probability_(std::move(static_probability)), fallback_(fallback) {}
+
+double TeaVarStaticPredictor::predict(
+    const optical::DegradationFeatures& features) const {
+  const auto it = static_probability_.find(features.fiber_id);
+  return it != static_probability_.end() ? it->second : fallback_;
+}
+
+void StatisticPredictor::train(const Dataset& train) {
+  fiber_counts_.clear();
+  int fails = 0;
+  for (const Example& e : train.examples) {
+    auto& [fail, total] = fiber_counts_[e.features.fiber_id];
+    fail += e.label;
+    ++total;
+    fails += e.label;
+  }
+  global_rate_ = train.examples.empty()
+                     ? 0.4
+                     : static_cast<double>(fails) /
+                           static_cast<double>(train.examples.size());
+}
+
+double StatisticPredictor::predict(
+    const optical::DegradationFeatures& features) const {
+  const auto it = fiber_counts_.find(features.fiber_id);
+  if (it == fiber_counts_.end()) return global_rate_;
+  const auto& [fail, total] = it->second;
+  // Laplace smoothing toward the global rate.
+  return (static_cast<double>(fail) + smoothing_ * global_rate_) /
+         (static_cast<double>(total) + smoothing_);
+}
+
+std::vector<double> DecisionTreePredictor::to_vector(
+    const optical::DegradationFeatures& f) {
+  return {f.hour,
+          f.degree_db,
+          f.gradient_db,
+          f.fluctuation,
+          f.length_km,
+          static_cast<double>(f.region),
+          static_cast<double>(f.vendor),
+          static_cast<double>(f.fiber_id)};
+}
+
+void DecisionTreePredictor::train(const Dataset& train) {
+  nodes_.clear();
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  x.reserve(train.examples.size());
+  y.reserve(train.examples.size());
+  for (const Example& e : train.examples) {
+    x.push_back(to_vector(e.features));
+    y.push_back(e.label);
+  }
+  std::vector<int> indices(static_cast<int>(x.size()));
+  std::iota(indices.begin(), indices.end(), 0);
+  build(indices, x, y, 0);
+}
+
+int DecisionTreePredictor::build(std::vector<int>& indices,
+                                 const std::vector<std::vector<double>>& x,
+                                 const std::vector<int>& y, int depth) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+
+  int positives = 0;
+  for (int i : indices) positives += y[static_cast<std::size_t>(i)];
+  const double p = indices.empty()
+                       ? 0.0
+                       : static_cast<double>(positives) /
+                             static_cast<double>(indices.size());
+  nodes_[static_cast<std::size_t>(node_id)].probability = p;
+
+  if (depth >= config_.max_depth ||
+      static_cast<int>(indices.size()) < 2 * config_.min_samples_leaf ||
+      positives == 0 || positives == static_cast<int>(indices.size())) {
+    return node_id;  // leaf
+  }
+
+  // Exhaustive split search: for each feature, candidate thresholds at the
+  // midpoints of sorted unique values.
+  const std::size_t num_features = x.front().size();
+  double best_gini = std::numeric_limits<double>::infinity();
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  for (std::size_t f = 0; f < num_features; ++f) {
+    std::vector<int> sorted = indices;
+    std::sort(sorted.begin(), sorted.end(), [&](int a, int b) {
+      return x[static_cast<std::size_t>(a)][f] < x[static_cast<std::size_t>(b)][f];
+    });
+    int left_pos = 0;
+    for (std::size_t k = 1; k < sorted.size(); ++k) {
+      left_pos += y[static_cast<std::size_t>(sorted[k - 1])];
+      const double prev = x[static_cast<std::size_t>(sorted[k - 1])][f];
+      const double curr = x[static_cast<std::size_t>(sorted[k])][f];
+      if (prev == curr) continue;
+      const auto left_n = static_cast<double>(k);
+      const auto right_n = static_cast<double>(sorted.size() - k);
+      if (left_n < config_.min_samples_leaf || right_n < config_.min_samples_leaf) {
+        continue;
+      }
+      const double lp = static_cast<double>(left_pos) / left_n;
+      const double rp = static_cast<double>(positives - left_pos) / right_n;
+      const double gini = left_n * 2.0 * lp * (1.0 - lp) +
+                          right_n * 2.0 * rp * (1.0 - rp);
+      if (gini < best_gini) {
+        best_gini = gini;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (prev + curr);
+      }
+    }
+  }
+  if (best_feature < 0) return node_id;
+
+  std::vector<int> left;
+  std::vector<int> right;
+  for (int i : indices) {
+    if (x[static_cast<std::size_t>(i)][static_cast<std::size_t>(best_feature)] <=
+        best_threshold) {
+      left.push_back(i);
+    } else {
+      right.push_back(i);
+    }
+  }
+  if (left.empty() || right.empty()) return node_id;
+
+  nodes_[static_cast<std::size_t>(node_id)].feature = best_feature;
+  nodes_[static_cast<std::size_t>(node_id)].threshold = best_threshold;
+  const int l = build(left, x, y, depth + 1);
+  nodes_[static_cast<std::size_t>(node_id)].left = l;
+  const int r = build(right, x, y, depth + 1);
+  nodes_[static_cast<std::size_t>(node_id)].right = r;
+  return node_id;
+}
+
+double DecisionTreePredictor::predict(
+    const optical::DegradationFeatures& features) const {
+  if (nodes_.empty()) return 0.0;
+  const std::vector<double> v = to_vector(features);
+  int node = 0;
+  while (nodes_[static_cast<std::size_t>(node)].feature >= 0) {
+    const Node& n = nodes_[static_cast<std::size_t>(node)];
+    node = v[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left
+                                                                 : n.right;
+  }
+  return nodes_[static_cast<std::size_t>(node)].probability;
+}
+
+OraclePredictor::OraclePredictor(const Dataset& reference) {
+  for (const Example& e : reference.examples) {
+    lookup_[{e.features.fiber_id, e.features.degree_db, e.features.gradient_db}] =
+        e.true_probability;
+  }
+}
+
+double OraclePredictor::predict(
+    const optical::DegradationFeatures& features) const {
+  const auto it =
+      lookup_.find({features.fiber_id, features.degree_db, features.gradient_db});
+  return it != lookup_.end() ? it->second : 0.5;
+}
+
+}  // namespace prete::ml

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/predictor.h"
+
+namespace prete::ml {
+
+// TeaVar's naive model (Table 5 "Teavar"): ignores the degradation signal
+// entirely and returns the static per-fiber failure probability p_i, which
+// is always far below 0.5 — so it never predicts failure (P = R ~ 0).
+class TeaVarStaticPredictor : public FailurePredictor {
+ public:
+  // static_probability: per-fiber p_i (uniform fallback for unseen fibers).
+  explicit TeaVarStaticPredictor(std::map<int, double> static_probability,
+                                 double fallback = 0.001);
+
+  double predict(const optical::DegradationFeatures& features) const override;
+
+ private:
+  std::map<int, double> static_probability_;
+  double fallback_;
+};
+
+// The "Statistic" model of Table 5: per-fiber empirical failure rate after
+// degradation, with Laplace smoothing toward the global rate.
+class StatisticPredictor : public FailurePredictor {
+ public:
+  explicit StatisticPredictor(double smoothing = 5.0) : smoothing_(smoothing) {}
+
+  void train(const Dataset& train);
+  double predict(const optical::DegradationFeatures& features) const override;
+
+ private:
+  double smoothing_;
+  double global_rate_ = 0.4;
+  std::map<int, std::pair<int, int>> fiber_counts_;  // fiber -> (fail, total)
+};
+
+// CART decision tree over the numeric feature vector (hour, degree,
+// gradient, fluctuation, length, region, vendor, fiber-id). Gini impurity,
+// depth-limited — the Table 5 "DT" baseline.
+struct DecisionTreeConfig {
+  int max_depth = 5;
+  int min_samples_leaf = 20;
+};
+
+class DecisionTreePredictor : public FailurePredictor {
+ public:
+  explicit DecisionTreePredictor(DecisionTreeConfig config = {})
+      : config_(config) {}
+
+  void train(const Dataset& train);
+  double predict(const optical::DegradationFeatures& features) const override;
+
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+
+ private:
+  struct Node {
+    int feature = -1;        // -1 = leaf
+    double threshold = 0.0;  // go left if x[feature] <= threshold
+    int left = -1;
+    int right = -1;
+    double probability = 0.0;  // leaf failure probability
+  };
+
+  static std::vector<double> to_vector(const optical::DegradationFeatures& f);
+  int build(std::vector<int>& indices, const std::vector<std::vector<double>>& x,
+            const std::vector<int>& y, int depth);
+
+  DecisionTreeConfig config_;
+  std::vector<Node> nodes_;
+};
+
+// Nature itself (the oracle of Figure 15): returns the true conditional
+// probability attached to the example. Only usable on simulated data where
+// the ground truth is known; keyed by exact feature lookup.
+class OraclePredictor : public FailurePredictor {
+ public:
+  explicit OraclePredictor(const Dataset& reference);
+  double predict(const optical::DegradationFeatures& features) const override;
+
+ private:
+  // Keyed by (fiber, degree, gradient) which is unique in practice for
+  // simulated events.
+  std::map<std::tuple<int, double, double>, double> lookup_;
+};
+
+}  // namespace prete::ml

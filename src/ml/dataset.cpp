@@ -1,0 +1,69 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <map>
+
+namespace prete::ml {
+
+int Dataset::positives() const {
+  int count = 0;
+  for (const Example& e : examples) count += e.label;
+  return count;
+}
+
+double Dataset::positive_fraction() const {
+  if (examples.empty()) return 0.0;
+  return static_cast<double>(positives()) /
+         static_cast<double>(examples.size());
+}
+
+Dataset build_dataset(const optical::EventLog& log) {
+  Dataset ds;
+  ds.examples.reserve(log.degradations.size());
+  for (const auto& d : log.degradations) {
+    Example e;
+    e.features = d.features;
+    e.label = d.led_to_cut ? 1 : 0;
+    e.true_probability = d.true_cut_probability;
+    ds.examples.push_back(e);
+  }
+  return ds;
+}
+
+TrainTestSplit split_per_fiber(const Dataset& dataset, double train_fraction) {
+  // Examples arrive chronologically from the log; group by fiber preserving
+  // order, then cut each fiber's sequence at train_fraction.
+  std::map<int, std::vector<const Example*>> by_fiber;
+  for (const Example& e : dataset.examples) {
+    by_fiber[e.features.fiber_id].push_back(&e);
+  }
+  TrainTestSplit split;
+  for (const auto& [fiber, list] : by_fiber) {
+    const auto cut = static_cast<std::size_t>(
+        train_fraction * static_cast<double>(list.size()));
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      (i < cut ? split.train : split.test).examples.push_back(*list[i]);
+    }
+  }
+  return split;
+}
+
+Dataset oversample(const Dataset& dataset, util::Rng& rng) {
+  std::vector<const Example*> pos;
+  std::vector<const Example*> neg;
+  for (const Example& e : dataset.examples) {
+    (e.label ? pos : neg).push_back(&e);
+  }
+  Dataset out = dataset;
+  if (pos.empty() || neg.empty()) return out;
+  auto& minority = pos.size() < neg.size() ? pos : neg;
+  const std::size_t majority_size = std::max(pos.size(), neg.size());
+  while (minority.size() < majority_size) {
+    const auto pick = rng.next_below(minority.size());
+    out.examples.push_back(*minority[static_cast<std::size_t>(pick)]);
+    minority.push_back(minority[static_cast<std::size_t>(pick)]);
+  }
+  return out;
+}
+
+}  // namespace prete::ml

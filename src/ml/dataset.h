@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "optical/events.h"
+#include "util/rng.h"
+
+namespace prete::ml {
+
+// One training/evaluation example: the features of a degradation event and
+// whether a cut followed within the next TE period (§4.1.1's label).
+struct Example {
+  optical::DegradationFeatures features;
+  int label = 0;  // 1 = cut followed
+  // Nature's conditional probability (hidden from the models; used to score
+  // probability estimates for Figure 14).
+  double true_probability = 0.0;
+};
+
+struct Dataset {
+  std::vector<Example> examples;
+
+  int positives() const;
+  double positive_fraction() const;
+};
+
+// Builds the labeled dataset from a simulated event log.
+Dataset build_dataset(const optical::EventLog& log);
+
+// Per-fiber chronological 80/20 split (Appendix A.2: "the first 80% of each
+// fiber's degradation signals as training data").
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+TrainTestSplit split_per_fiber(const Dataset& dataset, double train_fraction = 0.8);
+
+// Random oversampling of the minority class until the classes balance
+// (§4.1.1 "we adopt the oversampling approach to address the imbalance").
+Dataset oversample(const Dataset& dataset, util::Rng& rng);
+
+}  // namespace prete::ml

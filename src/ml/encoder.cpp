@@ -1,0 +1,83 @@
+#include "ml/encoder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace prete::ml {
+
+double FeatureEncoder::Range::scale(double v) const {
+  if (max <= min) return 0.0;
+  return std::clamp((v - min) / (max - min), 0.0, 1.0);
+}
+
+void FeatureEncoder::fit(const Dataset& train) {
+  if (train.examples.empty()) throw std::invalid_argument("empty training set");
+  auto init = [](Range& r, double v) {
+    r.min = v;
+    r.max = v;
+  };
+  const auto& first = train.examples.front().features;
+  init(degree_, first.degree_db);
+  init(gradient_, first.gradient_db);
+  init(fluctuation_, first.fluctuation);
+  init(length_, first.length_km);
+  num_regions_ = 1;
+  num_fibers_ = 1;
+  num_vendors_ = 1;
+  for (const Example& e : train.examples) {
+    const auto& f = e.features;
+    degree_.min = std::min(degree_.min, f.degree_db);
+    degree_.max = std::max(degree_.max, f.degree_db);
+    gradient_.min = std::min(gradient_.min, f.gradient_db);
+    gradient_.max = std::max(gradient_.max, f.gradient_db);
+    fluctuation_.min = std::min(fluctuation_.min, f.fluctuation);
+    fluctuation_.max = std::max(fluctuation_.max, f.fluctuation);
+    length_.min = std::min(length_.min, f.length_km);
+    length_.max = std::max(length_.max, f.length_km);
+    num_regions_ = std::max(num_regions_, f.region + 1);
+    num_fibers_ = std::max(num_fibers_, f.fiber_id + 1);
+    num_vendors_ = std::max(num_vendors_, f.vendor + 1);
+  }
+  fitted_ = true;
+}
+
+int FeatureEncoder::dense_size() const {
+  int n = 0;
+  if (mask_.degree) ++n;
+  if (mask_.gradient) ++n;
+  if (mask_.fluctuation) ++n;
+  if (mask_.length) ++n;
+  if (mask_.time) n += 24;
+  return n;
+}
+
+std::vector<double> FeatureEncoder::encode_dense(
+    const optical::DegradationFeatures& f) const {
+  if (!fitted_) throw std::logic_error("encoder not fitted");
+  std::vector<double> x;
+  x.reserve(static_cast<std::size_t>(dense_size()));
+  if (mask_.degree) x.push_back(degree_.scale(f.degree_db));
+  if (mask_.gradient) x.push_back(gradient_.scale(f.gradient_db));
+  if (mask_.fluctuation) x.push_back(fluctuation_.scale(f.fluctuation));
+  if (mask_.length) x.push_back(length_.scale(f.length_km));
+  if (mask_.time) {
+    // One-hot hour of day (Appendix A.2).
+    int hour = static_cast<int>(std::floor(f.hour));
+    hour = std::clamp(hour, 0, 23);
+    for (int h = 0; h < 24; ++h) x.push_back(h == hour ? 1.0 : 0.0);
+  }
+  return x;
+}
+
+FeatureEncoder::CategoricalIndices FeatureEncoder::encode_categorical(
+    const optical::DegradationFeatures& f) const {
+  if (!fitted_) throw std::logic_error("encoder not fitted");
+  CategoricalIndices idx;
+  if (mask_.region) idx.region = std::clamp(f.region, 0, num_regions_ - 1);
+  if (mask_.fiber_id) idx.fiber = std::clamp(f.fiber_id, 0, num_fibers_ - 1);
+  if (mask_.vendor) idx.vendor = std::clamp(f.vendor, 0, num_vendors_ - 1);
+  return idx;
+}
+
+}  // namespace prete::ml

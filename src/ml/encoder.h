@@ -1,0 +1,67 @@
+#pragma once
+
+#include <vector>
+
+#include "ml/dataset.h"
+#include "optical/features.h"
+
+namespace prete::ml {
+
+// Which inputs reach the model — used for the Table 8 leave-one-feature-out
+// ablation ("NN w/o x").
+struct FeatureMask {
+  bool time = true;
+  bool degree = true;
+  bool gradient = true;
+  bool fluctuation = true;
+  bool length = true;
+  bool region = true;
+  bool fiber_id = true;
+  bool vendor = true;
+};
+
+// Encodes degradation features into the MLP's inputs following Appendix
+// A.2: degree/gradient/fluctuation/length min-max scaled into [0,1]; time
+// one-hot by hour; region/fiber-id/vendor passed as embedding indices.
+class FeatureEncoder {
+ public:
+  explicit FeatureEncoder(FeatureMask mask = {}) : mask_(mask) {}
+
+  // Learns the min-max ranges and category cardinalities from training data.
+  void fit(const Dataset& train);
+
+  // Dense input: [scaled continuous ...][hour one-hot (24)].
+  std::vector<double> encode_dense(const optical::DegradationFeatures& f) const;
+
+  struct CategoricalIndices {
+    int region = -1;   // -1 = masked out
+    int fiber = -1;
+    int vendor = -1;
+  };
+  CategoricalIndices encode_categorical(const optical::DegradationFeatures& f) const;
+
+  int dense_size() const;
+  int num_regions() const { return num_regions_; }
+  int num_fibers() const { return num_fibers_; }
+  int num_vendors() const { return num_vendors_; }
+  const FeatureMask& mask() const { return mask_; }
+
+ private:
+  struct Range {
+    double min = 0.0;
+    double max = 1.0;
+    double scale(double v) const;
+  };
+
+  FeatureMask mask_;
+  Range degree_;
+  Range gradient_;
+  Range fluctuation_;
+  Range length_;
+  int num_regions_ = 1;
+  int num_fibers_ = 1;
+  int num_vendors_ = 1;
+  bool fitted_ = false;
+};
+
+}  // namespace prete::ml

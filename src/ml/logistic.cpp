@@ -1,0 +1,93 @@
+#include "ml/logistic.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace prete::ml {
+
+LogisticPredictor::LogisticPredictor(FeatureEncoder encoder,
+                                     LogisticConfig config)
+    : encoder_(std::move(encoder)), config_(config) {
+  const auto& mask = encoder_.mask();
+  input_size_ = encoder_.dense_size();
+  if (mask.region) input_size_ += encoder_.num_regions();
+  if (mask.fiber_id) input_size_ += encoder_.num_fibers();
+  if (mask.vendor) input_size_ += encoder_.num_vendors();
+  if (input_size_ == 0) throw std::invalid_argument("all features masked out");
+  weights_.assign(static_cast<std::size_t>(input_size_) + 1, 0.0);
+}
+
+std::vector<double> LogisticPredictor::encode(
+    const optical::DegradationFeatures& f) const {
+  std::vector<double> x = encoder_.encode_dense(f);
+  x.resize(static_cast<std::size_t>(input_size_), 0.0);
+  const auto& mask = encoder_.mask();
+  std::size_t offset = static_cast<std::size_t>(encoder_.dense_size());
+  const auto idx = encoder_.encode_categorical(f);
+  if (mask.region) {
+    if (idx.region >= 0) x[offset + static_cast<std::size_t>(idx.region)] = 1.0;
+    offset += static_cast<std::size_t>(encoder_.num_regions());
+  }
+  if (mask.fiber_id) {
+    if (idx.fiber >= 0) x[offset + static_cast<std::size_t>(idx.fiber)] = 1.0;
+    offset += static_cast<std::size_t>(encoder_.num_fibers());
+  }
+  if (mask.vendor) {
+    if (idx.vendor >= 0) x[offset + static_cast<std::size_t>(idx.vendor)] = 1.0;
+  }
+  return x;
+}
+
+double LogisticPredictor::train(const Dataset& raw_train) {
+  util::Rng rng(config_.seed);
+  const Dataset train = config_.oversample_minority
+                            ? oversample(raw_train, rng)
+                            : raw_train;
+  if (train.examples.empty()) throw std::invalid_argument("empty training set");
+
+  // Pre-encode once.
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  x.reserve(train.examples.size());
+  for (const Example& e : train.examples) {
+    x.push_back(encode(e.features));
+    y.push_back(e.label);
+  }
+  const double inv_n = 1.0 / static_cast<double>(x.size());
+
+  double nll = 0.0;
+  std::vector<double> grad(weights_.size());
+  for (int it = 0; it < config_.iterations; ++it) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    nll = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      double z = weights_.back();
+      for (std::size_t j = 0; j < x[i].size(); ++j) {
+        z += weights_[j] * x[i][j];
+      }
+      const double p = 1.0 / (1.0 + std::exp(-z));
+      nll -= y[i] ? std::log(std::max(p, 1e-12))
+                  : std::log(std::max(1.0 - p, 1e-12));
+      const double err = (p - static_cast<double>(y[i])) * inv_n;
+      for (std::size_t j = 0; j < x[i].size(); ++j) {
+        grad[j] += err * x[i][j];
+      }
+      grad.back() += err;
+    }
+    for (std::size_t j = 0; j + 1 < weights_.size(); ++j) {
+      weights_[j] -= config_.learning_rate * (grad[j] + config_.l2 * weights_[j]);
+    }
+    weights_.back() -= config_.learning_rate * grad.back();
+  }
+  return nll * inv_n;
+}
+
+double LogisticPredictor::predict(
+    const optical::DegradationFeatures& f) const {
+  const std::vector<double> x = encode(f);
+  double z = weights_.back();
+  for (std::size_t j = 0; j < x.size(); ++j) z += weights_[j] * x[j];
+  return 1.0 / (1.0 + std::exp(-z));
+}
+
+}  // namespace prete::ml

@@ -1,0 +1,40 @@
+#pragma once
+
+#include "ml/dataset.h"
+#include "ml/encoder.h"
+#include "ml/predictor.h"
+
+namespace prete::ml {
+
+// Logistic regression over the encoded dense features plus one-hot
+// categorical indicators. A natural mid-point between the decision tree and
+// the MLP: linear in the features, no learned embeddings — it can learn
+// per-fiber intercepts but not feature interactions. Trained with full-batch
+// gradient descent + L2.
+struct LogisticConfig {
+  double learning_rate = 0.5;
+  double l2 = 1e-4;
+  int iterations = 400;
+  bool oversample_minority = true;
+  std::uint64_t seed = 1;
+};
+
+class LogisticPredictor : public FailurePredictor {
+ public:
+  explicit LogisticPredictor(FeatureEncoder encoder, LogisticConfig config = {});
+
+  // Returns the final mean training NLL.
+  double train(const Dataset& train);
+
+  double predict(const optical::DegradationFeatures& features) const override;
+
+ private:
+  std::vector<double> encode(const optical::DegradationFeatures& f) const;
+
+  FeatureEncoder encoder_;
+  LogisticConfig config_;
+  int input_size_ = 0;
+  std::vector<double> weights_;  // last entry is the bias
+};
+
+}  // namespace prete::ml

@@ -1,0 +1,56 @@
+#include "ml/metrics.h"
+
+#include <cmath>
+
+namespace prete::ml {
+
+double Metrics::precision() const {
+  return tp + fp > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fp)
+                     : 0.0;
+}
+
+double Metrics::recall() const {
+  return tp + fn > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fn)
+                     : 0.0;
+}
+
+double Metrics::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return p + r > 0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+double Metrics::accuracy() const {
+  const int total = tp + fp + tn + fn;
+  return total > 0 ? static_cast<double>(tp + tn) / static_cast<double>(total)
+                   : 0.0;
+}
+
+Metrics evaluate(const FailurePredictor& predictor, const Dataset& test) {
+  Metrics m;
+  for (const Example& e : test.examples) {
+    const int predicted = predictor.classify(e.features);
+    if (predicted && e.label) {
+      ++m.tp;
+    } else if (predicted && !e.label) {
+      ++m.fp;
+    } else if (!predicted && e.label) {
+      ++m.fn;
+    } else {
+      ++m.tn;
+    }
+  }
+  return m;
+}
+
+std::vector<double> probability_errors(const FailurePredictor& predictor,
+                                       const Dataset& test) {
+  std::vector<double> errors;
+  errors.reserve(test.examples.size());
+  for (const Example& e : test.examples) {
+    errors.push_back(std::abs(predictor.predict(e.features) - e.true_probability));
+  }
+  return errors;
+}
+
+}  // namespace prete::ml

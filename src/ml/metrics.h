@@ -1,0 +1,31 @@
+#pragma once
+
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/predictor.h"
+
+namespace prete::ml {
+
+// Binary classification metrics as defined in §6.3 (footnote 4).
+struct Metrics {
+  int tp = 0;
+  int fp = 0;
+  int tn = 0;
+  int fn = 0;
+
+  double precision() const;
+  double recall() const;
+  double f1() const;
+  double accuracy() const;
+};
+
+// Evaluates a predictor's argmax labels on a dataset.
+Metrics evaluate(const FailurePredictor& predictor, const Dataset& test);
+
+// Per-example absolute probability-prediction errors |p_hat - p_true|
+// (the Figure 14 CDF series).
+std::vector<double> probability_errors(const FailurePredictor& predictor,
+                                       const Dataset& test);
+
+}  // namespace prete::ml

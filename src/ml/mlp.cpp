@@ -1,0 +1,280 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <ostream>
+#include <istream>
+#include <string>
+#include <stdexcept>
+
+namespace prete::ml {
+
+void MlpPredictor::Tensor::init(int r, int c, double scale, util::Rng& rng) {
+  rows = r;
+  cols = c;
+  const auto n = static_cast<std::size_t>(r) * static_cast<std::size_t>(c);
+  w.assign(n, 0.0);
+  g.assign(n, 0.0);
+  m.assign(n, 0.0);
+  v.assign(n, 0.0);
+  for (double& x : w) x = scale * (2.0 * rng.next_double() - 1.0);
+}
+
+void MlpPredictor::Tensor::zero_grad() { std::fill(g.begin(), g.end(), 0.0); }
+
+void MlpPredictor::Tensor::adam_step(double lr, double l2, int t) {
+  constexpr double kBeta1 = 0.9;
+  constexpr double kBeta2 = 0.999;
+  constexpr double kEps = 1e-8;
+  const double bc1 = 1.0 - std::pow(kBeta1, t);
+  const double bc2 = 1.0 - std::pow(kBeta2, t);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const double grad = g[i] + l2 * w[i];
+    m[i] = kBeta1 * m[i] + (1.0 - kBeta1) * grad;
+    v[i] = kBeta2 * v[i] + (1.0 - kBeta2) * grad * grad;
+    const double mhat = m[i] / bc1;
+    const double vhat = v[i] / bc2;
+    w[i] -= lr * mhat / (std::sqrt(vhat) + kEps);
+  }
+}
+
+MlpPredictor::MlpPredictor(FeatureEncoder encoder, MlpConfig config)
+    : encoder_(std::move(encoder)), config_(config) {
+  util::Rng rng(config_.seed);
+  const auto& mask = encoder_.mask();
+  const int dense = encoder_.dense_size();
+  region_offset_ = dense;
+  const int region_dim = mask.region ? config_.region_embedding : 0;
+  fiber_offset_ = region_offset_ + region_dim;
+  const int fiber_dim = mask.fiber_id ? config_.fiber_embedding : 0;
+  vendor_offset_ = fiber_offset_ + fiber_dim;
+  const int vendor_dim = mask.vendor ? config_.vendor_embedding : 0;
+  input_size_ = vendor_offset_ + vendor_dim;
+  if (input_size_ == 0) throw std::invalid_argument("all features masked out");
+
+  const double in_scale = std::sqrt(2.0 / static_cast<double>(input_size_));
+  w1_.init(config_.hidden_units, input_size_, in_scale, rng);
+  b1_.init(config_.hidden_units, 1, 0.0, rng);
+  w2_.init(2, config_.hidden_units,
+           std::sqrt(2.0 / static_cast<double>(config_.hidden_units)), rng);
+  b2_.init(2, 1, 0.0, rng);
+  region_emb_.init(encoder_.num_regions(), std::max(region_dim, 1), 0.1, rng);
+  fiber_emb_.init(encoder_.num_fibers(), std::max(fiber_dim, 1), 0.1, rng);
+  vendor_emb_.init(encoder_.num_vendors(), std::max(vendor_dim, 1), 0.1, rng);
+}
+
+std::vector<double> MlpPredictor::assemble_input(
+    const optical::DegradationFeatures& f) const {
+  std::vector<double> input(static_cast<std::size_t>(input_size_), 0.0);
+  const std::vector<double> dense = encoder_.encode_dense(f);
+  std::copy(dense.begin(), dense.end(), input.begin());
+  const auto idx = encoder_.encode_categorical(f);
+  const auto& mask = encoder_.mask();
+  if (mask.region && idx.region >= 0) {
+    for (int d = 0; d < config_.region_embedding; ++d) {
+      input[static_cast<std::size_t>(region_offset_ + d)] =
+          region_emb_.at(idx.region, d);
+    }
+  }
+  if (mask.fiber_id && idx.fiber >= 0) {
+    for (int d = 0; d < config_.fiber_embedding; ++d) {
+      input[static_cast<std::size_t>(fiber_offset_ + d)] =
+          fiber_emb_.at(idx.fiber, d);
+    }
+  }
+  if (mask.vendor && idx.vendor >= 0) {
+    for (int d = 0; d < config_.vendor_embedding; ++d) {
+      input[static_cast<std::size_t>(vendor_offset_ + d)] =
+          vendor_emb_.at(idx.vendor, d);
+    }
+  }
+  return input;
+}
+
+double MlpPredictor::forward(const std::vector<double>& input,
+                             std::vector<double>* hidden_out,
+                             std::vector<double>* probs_out) const {
+  std::vector<double> hidden(static_cast<std::size_t>(config_.hidden_units));
+  for (int h = 0; h < config_.hidden_units; ++h) {
+    double acc = b1_.at(h, 0);
+    for (int i = 0; i < input_size_; ++i) {
+      acc += w1_.at(h, i) * input[static_cast<std::size_t>(i)];
+    }
+    hidden[static_cast<std::size_t>(h)] = acc > 0.0 ? acc : 0.0;  // ReLU
+  }
+  double logits[2];
+  for (int k = 0; k < 2; ++k) {
+    double acc = b2_.at(k, 0);
+    for (int h = 0; h < config_.hidden_units; ++h) {
+      acc += w2_.at(k, h) * hidden[static_cast<std::size_t>(h)];
+    }
+    logits[k] = acc;
+  }
+  // Softmax over {normal, failure}.
+  const double mx = std::max(logits[0], logits[1]);
+  const double e0 = std::exp(logits[0] - mx);
+  const double e1 = std::exp(logits[1] - mx);
+  const double p1 = e1 / (e0 + e1);
+  if (hidden_out) *hidden_out = std::move(hidden);
+  if (probs_out) *probs_out = {1.0 - p1, p1};
+  return p1;
+}
+
+double MlpPredictor::train(const Dataset& raw_train) {
+  util::Rng rng(config_.seed ^ 0xABCDEF);
+  const Dataset train = config_.oversample_minority
+                            ? oversample(raw_train, rng)
+                            : raw_train;
+  if (train.examples.empty()) throw std::invalid_argument("empty training set");
+
+  std::vector<std::size_t> order(train.examples.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  const auto& mask = encoder_.mask();
+  double final_loss = 0.0;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng);
+    double epoch_loss = 0.0;
+    std::size_t batch_count = 0;
+    for (std::size_t start = 0; start < order.size();
+         start += static_cast<std::size_t>(config_.batch_size)) {
+      const std::size_t end = std::min(
+          order.size(), start + static_cast<std::size_t>(config_.batch_size));
+      w1_.zero_grad();
+      b1_.zero_grad();
+      w2_.zero_grad();
+      b2_.zero_grad();
+      region_emb_.zero_grad();
+      fiber_emb_.zero_grad();
+      vendor_emb_.zero_grad();
+
+      const double inv_batch = 1.0 / static_cast<double>(end - start);
+      for (std::size_t bi = start; bi < end; ++bi) {
+        const Example& ex = train.examples[order[bi]];
+        const std::vector<double> input = assemble_input(ex.features);
+        std::vector<double> hidden;
+        std::vector<double> probs;
+        forward(input, &hidden, &probs);
+        const double p_true = std::max(probs[static_cast<std::size_t>(ex.label)], 1e-12);
+        epoch_loss += -std::log(p_true);
+
+        // Backward: dL/dlogits = probs - onehot(label).
+        double dlogits[2] = {probs[0], probs[1]};
+        dlogits[ex.label] -= 1.0;
+        dlogits[0] *= inv_batch;
+        dlogits[1] *= inv_batch;
+
+        std::vector<double> dhidden(static_cast<std::size_t>(config_.hidden_units), 0.0);
+        for (int k = 0; k < 2; ++k) {
+          b2_.grad_at(k, 0) += dlogits[k];
+          for (int h = 0; h < config_.hidden_units; ++h) {
+            w2_.grad_at(k, h) += dlogits[k] * hidden[static_cast<std::size_t>(h)];
+            dhidden[static_cast<std::size_t>(h)] += dlogits[k] * w2_.at(k, h);
+          }
+        }
+        std::vector<double> dinput(static_cast<std::size_t>(input_size_), 0.0);
+        for (int h = 0; h < config_.hidden_units; ++h) {
+          if (hidden[static_cast<std::size_t>(h)] <= 0.0) continue;  // ReLU'
+          const double dh = dhidden[static_cast<std::size_t>(h)];
+          b1_.grad_at(h, 0) += dh;
+          for (int i = 0; i < input_size_; ++i) {
+            w1_.grad_at(h, i) += dh * input[static_cast<std::size_t>(i)];
+            dinput[static_cast<std::size_t>(i)] += dh * w1_.at(h, i);
+          }
+        }
+        // Embedding gradients flow through the input slices.
+        const auto idx = encoder_.encode_categorical(ex.features);
+        if (mask.region && idx.region >= 0) {
+          for (int d = 0; d < config_.region_embedding; ++d) {
+            region_emb_.grad_at(idx.region, d) +=
+                dinput[static_cast<std::size_t>(region_offset_ + d)];
+          }
+        }
+        if (mask.fiber_id && idx.fiber >= 0) {
+          for (int d = 0; d < config_.fiber_embedding; ++d) {
+            fiber_emb_.grad_at(idx.fiber, d) +=
+                dinput[static_cast<std::size_t>(fiber_offset_ + d)];
+          }
+        }
+        if (mask.vendor && idx.vendor >= 0) {
+          for (int d = 0; d < config_.vendor_embedding; ++d) {
+            vendor_emb_.grad_at(idx.vendor, d) +=
+                dinput[static_cast<std::size_t>(vendor_offset_ + d)];
+          }
+        }
+      }
+
+      ++adam_t_;
+      w1_.adam_step(config_.learning_rate, config_.l2, adam_t_);
+      b1_.adam_step(config_.learning_rate, 0.0, adam_t_);
+      w2_.adam_step(config_.learning_rate, config_.l2, adam_t_);
+      b2_.adam_step(config_.learning_rate, 0.0, adam_t_);
+      region_emb_.adam_step(config_.learning_rate, config_.l2, adam_t_);
+      fiber_emb_.adam_step(config_.learning_rate, config_.l2, adam_t_);
+      vendor_emb_.adam_step(config_.learning_rate, config_.l2, adam_t_);
+      ++batch_count;
+    }
+    final_loss = epoch_loss / static_cast<double>(train.examples.size());
+    (void)batch_count;
+  }
+  return final_loss;
+}
+
+double MlpPredictor::predict(const optical::DegradationFeatures& f) const {
+  return forward(assemble_input(f), nullptr, nullptr);
+}
+
+namespace {
+constexpr const char* kMagic = "prete-mlp-v1";
+
+void write_tensor(std::ostream& os, const std::vector<double>& w) {
+  os << w.size();
+  os.precision(17);
+  for (double v : w) os << ' ' << v;
+  os << '\n';
+}
+
+void read_tensor(std::istream& is, std::vector<double>& w) {
+  std::size_t n = 0;
+  is >> n;
+  if (!is || n != w.size()) {
+    throw std::runtime_error("MLP model file does not match the architecture");
+  }
+  for (double& v : w) is >> v;
+  if (!is) throw std::runtime_error("truncated MLP model file");
+}
+}  // namespace
+
+void MlpPredictor::save(std::ostream& os) const {
+  os << kMagic << ' ' << input_size_ << ' ' << config_.hidden_units << '\n';
+  write_tensor(os, w1_.w);
+  write_tensor(os, b1_.w);
+  write_tensor(os, w2_.w);
+  write_tensor(os, b2_.w);
+  write_tensor(os, region_emb_.w);
+  write_tensor(os, fiber_emb_.w);
+  write_tensor(os, vendor_emb_.w);
+}
+
+void MlpPredictor::load(std::istream& is) {
+  std::string magic;
+  int input = 0;
+  int hidden = 0;
+  is >> magic >> input >> hidden;
+  if (!is || magic != kMagic) {
+    throw std::runtime_error("not a PreTE MLP model file");
+  }
+  if (input != input_size_ || hidden != config_.hidden_units) {
+    throw std::runtime_error("MLP model file does not match the architecture");
+  }
+  read_tensor(is, w1_.w);
+  read_tensor(is, b1_.w);
+  read_tensor(is, w2_.w);
+  read_tensor(is, b2_.w);
+  read_tensor(is, region_emb_.w);
+  read_tensor(is, fiber_emb_.w);
+  read_tensor(is, vendor_emb_.w);
+}
+
+}  // namespace prete::ml

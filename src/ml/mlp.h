@@ -1,0 +1,101 @@
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/encoder.h"
+#include "ml/predictor.h"
+#include "util/rng.h"
+
+namespace prete::ml {
+
+struct MlpConfig {
+  // Architecture per Appendix A.2 / Figure 9.
+  int hidden_units = 64;
+  int region_embedding = 4;
+  int fiber_embedding = 8;
+  int vendor_embedding = 3;
+  // Training recipe per Appendix A.2.
+  double learning_rate = 1e-3;
+  double l2 = 2e-4;
+  int epochs = 60;
+  int batch_size = 32;
+  bool oversample_minority = true;
+  std::uint64_t seed = 1;
+};
+
+// The paper's failure-prediction network: min-max-scaled continuous inputs
+// and one-hot hour in the dense block, learned embeddings for region /
+// fiber-id / vendor, one 64-unit ReLU hidden layer, a 2-unit decoder, and a
+// softmax head. Trained with Adam + L2 and minority oversampling.
+class MlpPredictor : public FailurePredictor {
+ public:
+  MlpPredictor(FeatureEncoder encoder, MlpConfig config = {});
+
+  // Trains on the given dataset; returns the final mean training NLL.
+  double train(const Dataset& train);
+
+  double predict(const optical::DegradationFeatures& features) const override;
+
+  // Serializes the trained weights (text format, version-tagged). The paper
+  // trains offline and ships the model to the controller (§5); save/load is
+  // that deployment boundary. The encoder's min-max ranges are NOT part of
+  // the file — construct the loading predictor with an encoder fitted on
+  // the same training data so the input scaling matches.
+  void save(std::ostream& os) const;
+  // Loads weights saved by save(). The architecture (config + encoder
+  // cardinalities) must match; throws std::runtime_error otherwise.
+  void load(std::istream& is);
+
+  const FeatureEncoder& encoder() const { return encoder_; }
+  const MlpConfig& config() const { return config_; }
+
+ private:
+  struct Tensor {
+    int rows = 0;
+    int cols = 0;
+    std::vector<double> w;   // row-major weights
+    std::vector<double> g;   // gradient accumulator
+    std::vector<double> m;   // Adam first moment
+    std::vector<double> v;   // Adam second moment
+
+    void init(int r, int c, double scale, util::Rng& rng);
+    void zero_grad();
+    void adam_step(double lr, double l2, int t);
+    double& at(int r, int c) { return w[static_cast<std::size_t>(r) * cols + c]; }
+    double at(int r, int c) const {
+      return w[static_cast<std::size_t>(r) * cols + c];
+    }
+    double& grad_at(int r, int c) {
+      return g[static_cast<std::size_t>(r) * cols + c];
+    }
+  };
+
+  // Builds the concatenated input vector for an example.
+  std::vector<double> assemble_input(const optical::DegradationFeatures& f) const;
+  // Forward pass; returns P(failure). When `grad` is true the intermediate
+  // activations are kept for the subsequent backward pass.
+  double forward(const std::vector<double>& input,
+                 std::vector<double>* hidden_out,
+                 std::vector<double>* probs_out) const;
+
+  FeatureEncoder encoder_;
+  MlpConfig config_;
+  int input_size_ = 0;
+  int fiber_offset_ = 0;   // offsets of embedding slices within the input
+  int region_offset_ = 0;
+  int vendor_offset_ = 0;
+
+  Tensor w1_;              // hidden x input
+  Tensor b1_;              // hidden x 1
+  Tensor w2_;              // 2 x hidden
+  Tensor b2_;              // 2 x 1
+  Tensor region_emb_;      // num_regions x region_embedding
+  Tensor fiber_emb_;       // num_fibers x fiber_embedding
+  Tensor vendor_emb_;      // num_vendors x vendor_embedding
+  int adam_t_ = 0;
+};
+
+}  // namespace prete::ml

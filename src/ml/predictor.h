@@ -1,0 +1,24 @@
+#pragma once
+
+#include "optical/features.h"
+
+namespace prete::ml {
+
+// Common interface of every failure-probability model compared in Table 5 /
+// Figure 15: TeaVar's static probability, the statistic model, the decision
+// tree, and PreTE's neural network.
+class FailurePredictor {
+ public:
+  virtual ~FailurePredictor() = default;
+
+  // Estimated probability that the degradation evolves into a cut within
+  // the next TE period (p_NN in Eqn. 1).
+  virtual double predict(const optical::DegradationFeatures& features) const = 0;
+
+  // Hard label via argmax over {normal, failure} (§4.1.1).
+  int classify(const optical::DegradationFeatures& features) const {
+    return predict(features) >= 0.5 ? 1 : 0;
+  }
+};
+
+}  // namespace prete::ml

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prete::net {
+
+using NodeId = int;
+using FiberId = int;
+using LinkId = int;
+
+// A physical optical fiber (or a shared-risk bundle of fibers routed through
+// one conduit; the paper treats co-degrading fibers as a single entity, §3.1).
+struct Fiber {
+  FiberId id = -1;
+  NodeId a = -1;  // endpoints (fibers are bidirectional structures)
+  NodeId b = -1;
+  double length_km = 0.0;
+  int region = 0;
+  int vendor = 0;
+  double age_years = 0.0;
+  std::string name;
+};
+
+// A directed IP-layer link riding on exactly one fiber. Several IP links can
+// share a fiber (wavelengths), so one fiber cut takes down all of them.
+struct Link {
+  LinkId id = -1;
+  NodeId src = -1;
+  NodeId dst = -1;
+  FiberId fiber = -1;
+  double capacity_gbps = 0.0;
+};
+
+// Two-layer WAN: an optical fiber plant and the IP links provisioned on it.
+// This is the substrate every TE scheme in the repository operates on.
+class Network {
+ public:
+  explicit Network(std::string name = "wan") : name_(std::move(name)) {}
+
+  NodeId add_node(std::string label = {});
+  // Adds a fiber between nodes a and b.
+  FiberId add_fiber(NodeId a, NodeId b, double length_km, int region = 0,
+                    int vendor = 0, double age_years = 5.0);
+  // Adds a *pair* of directed IP links (one per direction) on the fiber and
+  // returns the id of the forward one; the reverse is id+1.
+  LinkId add_ip_link_pair(FiberId fiber, double capacity_gbps);
+
+  int num_nodes() const { return static_cast<int>(node_labels_.size()); }
+  int num_fibers() const { return static_cast<int>(fibers_.size()); }
+  int num_links() const { return static_cast<int>(links_.size()); }
+
+  const Fiber& fiber(FiberId f) const { return fibers_.at(static_cast<std::size_t>(f)); }
+  const Link& link(LinkId e) const { return links_.at(static_cast<std::size_t>(e)); }
+  const std::vector<Fiber>& fibers() const { return fibers_; }
+  const std::vector<Link>& links() const { return links_; }
+  const std::string& node_label(NodeId n) const {
+    return node_labels_.at(static_cast<std::size_t>(n));
+  }
+  const std::string& name() const { return name_; }
+
+  // Directed IP links leaving `n`.
+  const std::vector<LinkId>& out_links(NodeId n) const {
+    return out_links_.at(static_cast<std::size_t>(n));
+  }
+
+  // All IP links riding on fiber `f` (both directions).
+  const std::vector<LinkId>& links_on_fiber(FiberId f) const {
+    return fiber_links_.at(static_cast<std::size_t>(f));
+  }
+
+  // Total IP capacity lost if fiber `f` is cut (sum over both directions).
+  double fiber_ip_capacity_gbps(FiberId f) const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> node_labels_;
+  std::vector<Fiber> fibers_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> out_links_;
+  std::vector<std::vector<LinkId>> fiber_links_;
+};
+
+}  // namespace prete::net

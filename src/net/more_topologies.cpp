@@ -1,0 +1,73 @@
+#include "net/more_topologies.h"
+
+#include <utility>
+
+namespace prete::net {
+
+namespace {
+
+struct EdgeSpec {
+  int a;
+  int b;
+};
+
+Topology build(const char* name, int nodes, const std::vector<EdgeSpec>& edges,
+               int trunks, int flows, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Network net(name);
+  for (int i = 0; i < nodes; ++i) net.add_node();
+  for (const EdgeSpec& e : edges) {
+    net.add_fiber(e.a, e.b, rng.uniform(150.0, 1800.0), e.a % 3,
+                  static_cast<int>(rng.next_below(4)), rng.uniform(1.0, 20.0));
+  }
+  // Same trunk provisioning recipe as the stock topologies: base trunks per
+  // fiber plus extras on the longest fibers; ARROW-like capacity mix.
+  const int fibers = net.num_fibers();
+  std::vector<int> per_fiber(static_cast<std::size_t>(fibers), trunks / fibers);
+  int extras = trunks - (trunks / fibers) * fibers;
+  std::vector<int> order(static_cast<std::size_t>(fibers));
+  for (int f = 0; f < fibers; ++f) order[static_cast<std::size_t>(f)] = f;
+  std::sort(order.begin(), order.end(), [&](int x, int y) {
+    if (net.fiber(x).length_km != net.fiber(y).length_km) {
+      return net.fiber(x).length_km > net.fiber(y).length_km;
+    }
+    return x < y;
+  });
+  for (int i = 0; i < extras; ++i) {
+    ++per_fiber[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])];
+  }
+  for (int f = 0; f < fibers; ++f) {
+    for (int t = 0; t < per_fiber[static_cast<std::size_t>(f)]; ++t) {
+      const double u = rng.next_double();
+      net.add_ip_link_pair(f, u < 0.5 ? 800.0 : (u < 0.85 ? 1600.0 : 2400.0));
+    }
+  }
+  Topology topo{std::move(net), {}};
+  topo.flows = pick_flows(topo.network, flows, rng);
+  return topo;
+}
+
+}  // namespace
+
+Topology make_abilene() {
+  // The classic Internet2 map: 11 PoPs, 14 spans.
+  const std::vector<EdgeSpec> edges{
+      {0, 1}, {1, 2}, {2, 3},  {3, 4},  {4, 5},  {5, 6},   {6, 7},
+      {7, 0}, {1, 8}, {8, 9},  {9, 4},  {2, 10}, {10, 5},  {8, 10}};
+  return build("Abilene", 11, edges, 30, 30, 0xAB11E);
+}
+
+Topology make_geant() {
+  // A 22-node European ring-of-rings with express links.
+  std::vector<EdgeSpec> edges;
+  for (int i = 0; i < 22; ++i) edges.push_back({i, (i + 1) % 22});
+  for (const EdgeSpec& chord :
+       {EdgeSpec{0, 7}, {2, 12}, {4, 16}, {6, 19}, {9, 20}, {1, 11},
+        {3, 14}, {5, 10}, {8, 17}, {13, 21}, {15, 2}, {18, 6}, {0, 11},
+        {7, 14}}) {
+    edges.push_back(chord);
+  }
+  return build("GEANT", 22, edges, 70, 70, 0x63A47);
+}
+
+}  // namespace prete::net

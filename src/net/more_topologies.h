@@ -1,0 +1,17 @@
+#pragma once
+
+#include "net/topology.h"
+
+namespace prete::net {
+
+// Additional evaluation topologies beyond the paper's three, built with the
+// same two-layer provisioning recipe. Useful for robustness checks: the
+// availability orderings of Figure 13 should not be a B4/IBM artifact.
+
+// Abilene / Internet2 research backbone: 11 sites, 14 fibers.
+Topology make_abilene();
+
+// A GEANT-like European research backbone: 22 sites, 36 fibers.
+Topology make_geant();
+
+}  // namespace prete::net

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "net/graph.h"
+
+namespace prete::net {
+
+// A path is a sequence of directed IP link ids.
+using Path = std::vector<LinkId>;
+
+// Weight used for routing; defaults to fiber length so that routing follows
+// geography like production IGP metrics.
+using LinkWeight = std::function<double(const Link&)>;
+
+LinkWeight hop_count_weight();
+LinkWeight fiber_length_weight(const Network& net);
+
+// Shortest src->dst path by the given weight, skipping links for which
+// `usable` returns false. Returns nullopt when dst is unreachable.
+std::optional<Path> shortest_path(
+    const Network& net, NodeId src, NodeId dst, const LinkWeight& weight,
+    const std::function<bool(const Link&)>& usable = {});
+
+// Yen's algorithm: up to k loop-free shortest paths in increasing weight.
+std::vector<Path> k_shortest_paths(const Network& net, NodeId src, NodeId dst,
+                                   int k, const LinkWeight& weight);
+
+// Up to k paths that are pairwise fiber-disjoint (greedy peeling: each found
+// path removes its fibers from the graph). Guarantees survivability of at
+// least one path under any single-fiber cut when k >= 2 and the fiber plant
+// is 2-connected.
+std::vector<Path> fiber_disjoint_paths(const Network& net, NodeId src,
+                                       NodeId dst, int k,
+                                       const LinkWeight& weight);
+
+// Path helpers.
+double path_weight(const Network& net, const Path& path, const LinkWeight& weight);
+bool path_uses_fiber(const Network& net, const Path& path, FiberId fiber);
+bool path_is_valid(const Network& net, const Path& path, NodeId src, NodeId dst);
+std::vector<NodeId> path_nodes(const Network& net, const Path& path);
+
+}  // namespace prete::net

@@ -1,0 +1,199 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+namespace prete::net {
+
+namespace {
+
+struct EdgeSpec {
+  int a;
+  int b;
+};
+
+// Provision IP trunks on the fiber plant so that the total trunk count
+// matches `total_trunks` (Table 3). Base trunks per fiber plus extras on the
+// highest-capacity (longest) fibers, with capacities drawn from a discrete
+// ARROW-like distribution: most trunks 800G, some 1.6T, few 2.4T.
+void provision_ip_layer(Network& net, int total_trunks, util::Rng& rng) {
+  const int fibers = net.num_fibers();
+  if (total_trunks < fibers) {
+    throw std::invalid_argument("need at least one trunk per fiber");
+  }
+  std::vector<int> per_fiber(static_cast<std::size_t>(fibers),
+                             total_trunks / fibers);
+  int extras = total_trunks - (total_trunks / fibers) * fibers;
+  // Deterministic: longest fibers get the extra trunks.
+  std::vector<int> order(static_cast<std::size_t>(fibers));
+  for (int f = 0; f < fibers; ++f) order[static_cast<std::size_t>(f)] = f;
+  std::sort(order.begin(), order.end(), [&](int x, int y) {
+    const double lx = net.fiber(x).length_km;
+    const double ly = net.fiber(y).length_km;
+    if (lx != ly) return lx > ly;
+    return x < y;
+  });
+  for (int i = 0; i < extras; ++i) {
+    ++per_fiber[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])];
+  }
+  for (int f = 0; f < fibers; ++f) {
+    for (int t = 0; t < per_fiber[static_cast<std::size_t>(f)]; ++t) {
+      const double u = rng.next_double();
+      const double capacity = u < 0.5 ? 800.0 : (u < 0.85 ? 1600.0 : 2400.0);
+      net.add_ip_link_pair(f, capacity);
+    }
+  }
+}
+
+Network build_fiber_plant(const char* name, int nodes,
+                          const std::vector<EdgeSpec>& edges,
+                          util::Rng& rng) {
+  Network net(name);
+  for (int i = 0; i < nodes; ++i) net.add_node();
+  for (const EdgeSpec& e : edges) {
+    const double length = rng.uniform(200.0, 2500.0);
+    const int region = e.a % 3;  // three regions as in Figure 1(b)
+    const int vendor = static_cast<int>(rng.next_below(4));
+    const double age = rng.uniform(1.0, 20.0);
+    net.add_fiber(e.a, e.b, length, region, vendor, age);
+  }
+  return net;
+}
+
+}  // namespace
+
+std::vector<Flow> pick_flows(const Network& net, int count, util::Rng& rng) {
+  // Gravity weights per node.
+  std::vector<double> weight(static_cast<std::size_t>(net.num_nodes()));
+  for (double& w : weight) w = rng.uniform(0.5, 2.0);
+
+  struct Pair {
+    double score;
+    NodeId src;
+    NodeId dst;
+  };
+  std::vector<Pair> pairs;
+  for (NodeId i = 0; i < net.num_nodes(); ++i) {
+    for (NodeId j = 0; j < net.num_nodes(); ++j) {
+      if (i == j) continue;
+      pairs.push_back({weight[static_cast<std::size_t>(i)] *
+                           weight[static_cast<std::size_t>(j)],
+                       i, j});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.src != b.src) return a.src < b.src;
+    return a.dst < b.dst;
+  });
+  count = std::min<int>(count, static_cast<int>(pairs.size()));
+  std::vector<Flow> flows;
+  flows.reserve(static_cast<std::size_t>(count));
+  for (int k = 0; k < count; ++k) {
+    flows.push_back({k, pairs[static_cast<std::size_t>(k)].src,
+                     pairs[static_cast<std::size_t>(k)].dst,
+                     pairs[static_cast<std::size_t>(k)].score});
+  }
+  return flows;
+}
+
+Topology make_b4() {
+  util::Rng rng(0xB4);
+  // 12 sites, 19 fibers: the B4 optical topology as used by SMORE/TeaVar.
+  const std::vector<EdgeSpec> edges{
+      {0, 1},  {0, 2},  {1, 2}, {1, 3},  {2, 4},   {3, 4},  {3, 5},
+      {4, 6},  {5, 6},  {5, 7}, {6, 8},  {7, 8},   {7, 9},  {8, 10},
+      {9, 10}, {9, 11}, {10, 11}, {2, 5}, {6, 9}};
+  Network net = build_fiber_plant("B4", 12, edges, rng);
+  provision_ip_layer(net, 52, rng);
+  Topology topo{std::move(net), {}};
+  topo.flows = pick_flows(topo.network, 52, rng);
+  return topo;
+}
+
+Topology make_ibm() {
+  util::Rng rng(0x1B3);
+  // 17 sites, 23 fibers: ring plus six express chords (SMORE's IBM map).
+  std::vector<EdgeSpec> edges;
+  for (int i = 0; i < 17; ++i) edges.push_back({i, (i + 1) % 17});
+  edges.push_back({0, 5});
+  edges.push_back({2, 9});
+  edges.push_back({4, 12});
+  edges.push_back({7, 14});
+  edges.push_back({10, 16});
+  edges.push_back({1, 13});
+  Network net = build_fiber_plant("IBM", 17, edges, rng);
+  provision_ip_layer(net, 85, rng);
+  Topology topo{std::move(net), {}};
+  topo.flows = pick_flows(topo.network, 85, rng);
+  return topo;
+}
+
+Topology make_twan(std::uint64_t seed) {
+  util::Rng rng(seed);
+  const int nodes = 30;
+  std::set<std::pair<int, int>> used;
+  std::vector<EdgeSpec> edges;
+  // Backbone ring guarantees 2-connectivity.
+  for (int i = 0; i < nodes; ++i) {
+    edges.push_back({i, (i + 1) % nodes});
+    used.insert({std::min(i, (i + 1) % nodes), std::max(i, (i + 1) % nodes)});
+  }
+  // Random chords up to 50 fibers total.
+  while (static_cast<int>(edges.size()) < 50) {
+    const int a = static_cast<int>(rng.next_below(nodes));
+    const int b = static_cast<int>(rng.next_below(nodes));
+    if (a == b) continue;
+    const auto key = std::make_pair(std::min(a, b), std::max(a, b));
+    if (used.count(key)) continue;
+    used.insert(key);
+    edges.push_back({a, b});
+  }
+  Network net = build_fiber_plant("TWAN", nodes, edges, rng);
+  provision_ip_layer(net, 100, rng);
+  Topology topo{std::move(net), {}};
+  topo.flows = pick_flows(topo.network, 100, rng);
+  return topo;
+}
+
+Topology make_triangle() {
+  Network net("triangle");
+  const NodeId s1 = net.add_node("s1");
+  const NodeId s2 = net.add_node("s2");
+  const NodeId s3 = net.add_node("s3");
+  const FiberId f12 = net.add_fiber(s1, s2, 100.0);
+  const FiberId f13 = net.add_fiber(s1, s3, 100.0);
+  const FiberId f23 = net.add_fiber(s2, s3, 100.0);
+  // 10 "units" of capacity per link, one trunk per fiber (Figure 2a).
+  net.add_ip_link_pair(f12, 10.0);
+  net.add_ip_link_pair(f13, 10.0);
+  net.add_ip_link_pair(f23, 10.0);
+  Topology topo{std::move(net), {}};
+  // Flows s1->s2 and s1->s3 as in the worked example.
+  topo.flows.push_back({0, s1, s2, 10.0});
+  topo.flows.push_back({1, s1, s3, 10.0});
+  return topo;
+}
+
+Topology make_four_site() {
+  Network net("production-4site");
+  const NodeId s1 = net.add_node("s1");
+  const NodeId s2 = net.add_node("s2");
+  const NodeId s3 = net.add_node("s3");
+  const NodeId s4 = net.add_node("s4");
+  // Figure 18(a): links s1s2, s1s3, s2s3, s1s4, s4s3, uniform 1000 Gbps.
+  for (auto [a, b] : {std::pair{s1, s2}, {s1, s3}, {s2, s3}, {s1, s4}, {s4, s3}}) {
+    const FiberId f = net.add_fiber(a, b, 500.0);
+    net.add_ip_link_pair(f, 1000.0);
+  }
+  Topology topo{std::move(net), {}};
+  topo.flows.push_back({0, s1, s2, 700.0});
+  topo.flows.push_back({1, s1, s3, 600.0});
+  topo.flows.push_back({2, s4, s3, 300.0});
+  return topo;
+}
+
+}  // namespace prete::net

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "net/graph.h"
+#include "net/tunnels.h"
+#include "util/rng.h"
+
+namespace prete::net {
+
+// A ready-to-use evaluation topology: the two-layer network plus the flow
+// set sized per the paper's Table 3 (#tunnels = 4 x #flows).
+struct Topology {
+  Network network;
+  std::vector<Flow> flows;
+};
+
+// Google's B4-inspired WAN (12 sites, 19 fibers, 52 IP trunks, 52 flows).
+// The paper takes the optical topology from SMORE [24] and provisions IP
+// links with the capacity distributions of ARROW [41]; we reproduce the same
+// process with deterministic pseudo-random assignment.
+Topology make_b4();
+
+// IBM backbone (17 sites, 23 fibers, 85 IP trunks, 85 flows per Table 3).
+Topology make_ibm();
+
+// Synthetic stand-in for the paper's confidential TWAN subset:
+// O(30) sites, O(50) fibers, O(100) IP trunks, O(100) flows.
+Topology make_twan(std::uint64_t seed = 2025);
+
+// The 3-node worked example of Figures 2/3/7: links s1s2, s1s3, s2s3 with
+// 10 capacity units each and a single IP trunk per fiber.
+Topology make_triangle();
+
+// The 4-site production case of §7 / Figure 18: uniform 1000 Gbps links.
+Topology make_four_site();
+
+// Selects the top `count` node pairs by gravity weight as the flow set.
+std::vector<Flow> pick_flows(const Network& net, int count, util::Rng& rng);
+
+}  // namespace prete::net

@@ -1,0 +1,68 @@
+#include "net/traffic.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "net/paths.h"
+
+namespace prete::net {
+
+double shortest_path_max_utilization(const Network& net,
+                                     const std::vector<Flow>& flows,
+                                     const TrafficMatrix& tm) {
+  std::vector<double> load(static_cast<std::size_t>(net.num_links()), 0.0);
+  const LinkWeight weight = fiber_length_weight(net);
+  for (const Flow& flow : flows) {
+    const auto path = shortest_path(net, flow.src, flow.dst, weight);
+    if (!path) throw std::runtime_error("disconnected flow in traffic gen");
+    for (LinkId e : *path) {
+      load[static_cast<std::size_t>(e)] += tm[static_cast<std::size_t>(flow.id)];
+    }
+  }
+  double max_util = 0.0;
+  for (LinkId e = 0; e < net.num_links(); ++e) {
+    max_util = std::max(max_util, load[static_cast<std::size_t>(e)] /
+                                      net.link(e).capacity_gbps);
+  }
+  return max_util;
+}
+
+std::vector<TrafficMatrix> generate_traffic(const Network& net,
+                                            const std::vector<Flow>& flows,
+                                            util::Rng& rng,
+                                            const TrafficConfig& config) {
+  // Base gravity demand is carried in Flow::demand_gbps (the gravity score);
+  // normalize it against capacity.
+  TrafficMatrix base(flows.size());
+  for (const Flow& f : flows) {
+    base[static_cast<std::size_t>(f.id)] = std::max(f.demand_gbps, 1e-6);
+  }
+  const double util = shortest_path_max_utilization(net, flows, base);
+  const double norm = config.base_max_utilization / util;
+  for (double& d : base) d *= norm;
+
+  std::vector<TrafficMatrix> matrices;
+  matrices.reserve(static_cast<std::size_t>(config.num_matrices));
+  constexpr double kTwoPi = 6.283185307179586;
+  for (int h = 0; h < config.num_matrices; ++h) {
+    // Diurnal curve peaking mid-day relative to the matrix index.
+    const double phase =
+        kTwoPi * static_cast<double>(h) / static_cast<double>(config.num_matrices);
+    const double diurnal = 1.0 - config.diurnal_swing * 0.5 * (1.0 + std::cos(phase));
+    TrafficMatrix tm(base.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      const double jitter = 1.0 + config.noise * (2.0 * rng.next_double() - 1.0);
+      tm[i] = base[i] * diurnal * jitter;
+    }
+    matrices.push_back(std::move(tm));
+  }
+  return matrices;
+}
+
+TrafficMatrix scale_traffic(const TrafficMatrix& tm, double scale) {
+  TrafficMatrix out(tm.size());
+  for (std::size_t i = 0; i < tm.size(); ++i) out[i] = tm[i] * scale;
+  return out;
+}
+
+}  // namespace prete::net

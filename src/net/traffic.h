@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "net/graph.h"
+#include "net/tunnels.h"
+#include "util/rng.h"
+
+namespace prete::net {
+
+// A traffic matrix assigns a demand (Gbps) to every flow of a topology.
+using TrafficMatrix = std::vector<double>;  // indexed by FlowId
+
+struct TrafficConfig {
+  // Target maximum link utilization under shortest-path routing at scale 1.
+  // The paper then sweeps a demand-scale multiplier (Figure 13).
+  double base_max_utilization = 0.4;
+  // Number of matrices (paper: 24 — hourly, Table 3).
+  int num_matrices = 24;
+  // Peak-to-trough ratio of the diurnal pattern.
+  double diurnal_swing = 0.35;
+  // Relative noise applied per flow per hour.
+  double noise = 0.05;
+};
+
+// Generates the 24 hourly traffic matrices of Table 3: a gravity-model base
+// demand per flow, normalized so that shortest-path routing at scale 1 peaks
+// at `base_max_utilization`, modulated by a diurnal curve plus noise.
+std::vector<TrafficMatrix> generate_traffic(const Network& net,
+                                            const std::vector<Flow>& flows,
+                                            util::Rng& rng,
+                                            const TrafficConfig& config = {});
+
+// The shortest-path normalization used by generate_traffic, exposed for
+// tests: max link utilization when each flow's demand rides its one
+// shortest path.
+double shortest_path_max_utilization(const Network& net,
+                                     const std::vector<Flow>& flows,
+                                     const TrafficMatrix& tm);
+
+// Applies a demand scale to a matrix.
+TrafficMatrix scale_traffic(const TrafficMatrix& tm, double scale);
+
+}  // namespace prete::net

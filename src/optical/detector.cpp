@@ -1,0 +1,97 @@
+#include "optical/detector.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace prete::optical {
+
+DegradationDetector::DegradationDetector(double baseline_db,
+                                         int sample_period_sec)
+    : baseline_db_(baseline_db), sample_period_sec_(sample_period_sec) {
+  if (sample_period_sec <= 0) {
+    throw std::invalid_argument("sample period must be positive");
+  }
+}
+
+FiberState DegradationDetector::classify(double loss_db) const {
+  const double delta = loss_db - baseline_db_;
+  if (delta >= kCutThresholdDb) return FiberState::kCut;
+  if (delta >= kDegradedThresholdDb) return FiberState::kDegraded;
+  return FiberState::kHealthy;
+}
+
+DetectionResult DegradationDetector::scan(const std::vector<double>& trace,
+                                          TimeSec t0,
+                                          const net::Fiber& fiber) const {
+  DetectionResult result;
+  bool in_degradation = false;
+  bool in_cut = false;
+  DetectedDegradation current;
+  double gradient_sum = 0.0;
+  int gradient_count = 0;
+  int fluctuations = 0;
+  double prev_loss = baseline_db_;
+
+  auto finish_degradation = [&](TimeSec end) {
+    current.end_sec = end;
+    current.features.gradient_db =
+        gradient_count > 0 ? gradient_sum / gradient_count : 0.0;
+    current.features.fluctuation = fluctuations;
+    result.degradations.push_back(current);
+    in_degradation = false;
+  };
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const double loss = trace[i];
+    if (std::isnan(loss)) {
+      throw std::invalid_argument(
+          "detector requires interpolated traces (NaN found)");
+    }
+    const TimeSec t = t0 + static_cast<TimeSec>(i) * sample_period_sec_;
+    const FiberState state = classify(loss);
+    switch (state) {
+      case FiberState::kHealthy:
+        if (in_degradation) finish_degradation(t);
+        in_cut = false;
+        break;
+      case FiberState::kDegraded:
+        if (in_cut) break;  // still saturated by an ongoing cut
+        if (!in_degradation) {
+          in_degradation = true;
+          current = DetectedDegradation{};
+          current.onset_sec = t;
+          current.features.fiber_id = fiber.id;
+          current.features.region = fiber.region;
+          current.features.vendor = fiber.vendor;
+          current.features.length_km = fiber.length_km;
+          current.features.hour = std::fmod(static_cast<double>(t) / 3600.0, 24.0);
+          current.features.degree_db = loss - baseline_db_;
+          gradient_sum = 0.0;
+          gradient_count = 0;
+          fluctuations = 0;
+        } else {
+          const double delta = std::abs(loss - prev_loss);
+          gradient_sum += delta;
+          ++gradient_count;
+          // Fluctuations over 0.01 dB between adjacent values (§3.2,
+          // filtering out noise).
+          if (delta > 0.01) ++fluctuations;
+        }
+        break;
+      case FiberState::kCut:
+        if (in_degradation) finish_degradation(t);
+        if (!in_cut) {
+          result.cuts.push_back({t});
+          in_cut = true;
+        }
+        break;
+    }
+    prev_loss = loss;
+  }
+  if (in_degradation) {
+    finish_degradation(t0 + static_cast<TimeSec>(trace.size()) * sample_period_sec_);
+  }
+  return result;
+}
+
+}  // namespace prete::optical

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "net/graph.h"
+#include "optical/events.h"
+#include "optical/simulator.h"
+
+namespace prete::optical {
+
+enum class FiberState { kHealthy, kDegraded, kCut };
+
+// A degradation episode reconstructed from a telemetry trace, including the
+// four critical features of §3.2 measured from the waveform.
+struct DetectedDegradation {
+  TimeSec onset_sec = 0;
+  TimeSec end_sec = 0;  // exclusive; end of the degraded run in the trace
+  DegradationFeatures features;
+};
+
+struct DetectedCut {
+  TimeSec time_sec = 0;
+};
+
+struct DetectionResult {
+  std::vector<DetectedDegradation> degradations;
+  std::vector<DetectedCut> cuts;
+};
+
+// Streaming classifier over per-second (or coarser) loss samples, applying
+// the OpTel thresholds: healthy < baseline+3 dB, degraded in [3, 10) dB
+// above baseline, cut >= +10 dB. Missing samples must be interpolated
+// before detection (interpolate_missing).
+class DegradationDetector {
+ public:
+  // `baseline_db` is the healthy transmission loss of the fiber;
+  // `sample_period_sec` is the telemetry granularity (1 for OpTel-class
+  // systems, 180+ for traditional collectors).
+  DegradationDetector(double baseline_db, int sample_period_sec = 1);
+
+  // Classifies one sample.
+  FiberState classify(double loss_db) const;
+
+  // Scans a trace starting at absolute time `t0` and extracts events. The
+  // features (time/degree/gradient/fluctuation) are measured from the
+  // waveform exactly as §3.2 defines them.
+  DetectionResult scan(const std::vector<double>& trace, TimeSec t0,
+                       const net::Fiber& fiber) const;
+
+ private:
+  double baseline_db_;
+  int sample_period_sec_;
+};
+
+}  // namespace prete::optical

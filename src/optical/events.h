@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.h"
+#include "optical/features.h"
+
+namespace prete::optical {
+
+// Seconds since the start of the observation window.
+using TimeSec = std::int64_t;
+
+// One observed fiber degradation episode with its ground truth outcome.
+struct DegradationRecord {
+  net::FiberId fiber = -1;
+  TimeSec onset_sec = 0;
+  double duration_sec = 0.0;
+  DegradationFeatures features;
+  // Ground truth: did this degradation evolve into a fiber cut, and if so
+  // after how long (measured from onset)?
+  bool led_to_cut = false;
+  double cut_delay_sec = 0.0;
+  // Nature's actual conditional cut probability for this event (hidden from
+  // the predictors; used to score probability estimates, Figure 14).
+  double true_cut_probability = 0.0;
+};
+
+// One fiber-cut event.
+struct CutRecord {
+  net::FiberId fiber = -1;
+  TimeSec time_sec = 0;
+  double repair_hours = 0.0;
+  // Does a degradation precede this cut closely enough (within a TE period,
+  // 5 minutes) to make it "predictable" per §3.1?
+  bool predictable = false;
+  // Seconds since the most recent degradation on this fiber (any distance);
+  // the Figure 5(a) distribution.
+  double since_degradation_sec = -1.0;
+};
+
+// Full ground-truth log of a simulated observation window.
+struct EventLog {
+  TimeSec horizon_sec = 0;
+  std::vector<DegradationRecord> degradations;
+  std::vector<CutRecord> cuts;
+
+  // Fraction of cuts preceded by a degradation within the TE period (alpha).
+  double predictable_fraction() const;
+  // Fraction of degradations that evolve into cuts (~40% in the paper).
+  double degradation_failure_fraction() const;
+};
+
+}  // namespace prete::optical

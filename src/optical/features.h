@@ -1,0 +1,22 @@
+#pragma once
+
+namespace prete::optical {
+
+// The feature vector of one fiber-degradation event, exactly the inputs of
+// the paper's prediction model (§3.2 critical features + §4.1 intrinsic
+// features; Appendix A.2 adds vendor).
+struct DegradationFeatures {
+  // Intrinsic fiber features.
+  int fiber_id = 0;
+  int region = 0;
+  int vendor = 0;
+  double length_km = 0.0;
+
+  // Critical degradation features (§3.2).
+  double hour = 0.0;            // local time of onset, [0, 24)
+  double degree_db = 0.0;       // loss jump from healthy to degraded state
+  double gradient_db = 0.0;     // mean |delta| between adjacent loss samples
+  double fluctuation = 0.0;     // count of |delta| > 0.01 dB during the event
+};
+
+}  // namespace prete::optical

@@ -1,0 +1,76 @@
+#include "optical/fiber_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/distributions.h"
+
+namespace prete::optical {
+
+namespace {
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+}  // namespace
+
+double CutLogitModel::probability(const DegradationFeatures& f,
+                                  double fiber_effect) const {
+  constexpr double kTwoPi = 6.283185307179586;
+  const double time_term = std::cos(kTwoPi * f.hour / 24.0);
+  const double degree_term = std::clamp((f.degree_db - 3.0) / 7.0, 0.0, 1.0);
+  const double gradient_term = std::min(f.gradient_db, 1.0);
+  const double fluct_term = std::min(f.fluctuation / 20.0, 1.0);
+  const double logit = bias + fiber_effect + time_weight * time_term +
+                       degree_weight * degree_term +
+                       gradient_weight * gradient_term +
+                       fluctuation_weight * fluct_term;
+  return sigmoid(logit);
+}
+
+DegradationFeatures sample_degradation_features(const net::Fiber& fiber,
+                                                double hour, util::Rng& rng) {
+  DegradationFeatures f;
+  f.fiber_id = fiber.id;
+  f.region = fiber.region;
+  f.vendor = fiber.vendor;
+  f.length_km = fiber.length_km;
+  f.hour = hour;
+  // Degree: 3-10 dB per the degradation definition (§3.1), biased low.
+  f.degree_db = 3.0 + 7.0 * std::pow(rng.next_double(), 1.5);
+  // Gradient: heavy-tailed mean |delta| between adjacent samples. Aging
+  // fibers produce slow, small gradients; mechanical stress produces large
+  // ones.
+  f.gradient_db = std::min(util::sample_lognormal(rng, -2.2, 1.0), 3.0);
+  // Fluctuation: count of significant (>0.01 dB) adjacent changes; bursty.
+  f.fluctuation = std::floor(util::sample_lognormal(rng, 1.3, 0.9));
+  return f;
+}
+
+std::vector<FiberModelParams> build_plant_model(const net::Network& net,
+                                                util::Rng& rng,
+                                                const PlantModelConfig& config) {
+  const util::Weibull weibull(config.weibull_shape, config.weibull_scale);
+  std::vector<FiberModelParams> params;
+  params.reserve(static_cast<std::size_t>(net.num_fibers()));
+  for (net::FiberId f = 0; f < net.num_fibers(); ++f) {
+    FiberModelParams p;
+    p.degradation_prob_per_epoch = std::min(weibull.sample(rng), 0.05);
+    // Linear degradation->cut relationship (Figure 12a): predictable cut
+    // rate is mean_cut_given_degradation * p_d; total cut rate p_i follows
+    // from alpha = predictable / total. Late (beyond-TE-period) cuts caused
+    // by degradations count toward the total but not the predictable rate.
+    const double predictable_rate =
+        config.mean_cut_given_degradation * p.degradation_prob_per_epoch;
+    const double late_rate = (1.0 - config.mean_cut_given_degradation) *
+                             config.late_cut_prob *
+                             p.degradation_prob_per_epoch;
+    const double total_rate = predictable_rate / std::max(config.alpha, 1e-9);
+    p.abrupt_cut_prob_per_epoch =
+        std::max(total_rate - predictable_rate - late_rate, 0.0);
+    p.fiber_effect = config.fiber_effect_sigma * util::sample_standard_normal(rng);
+    // Healthy loss: ~0.2 dB/km attenuation before amplification, floored.
+    p.healthy_loss_db = std::max(3.0, 0.02 * net.fiber(f).length_km);
+    params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace prete::optical

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <vector>
+
+#include "net/graph.h"
+#include "optical/features.h"
+#include "util/rng.h"
+
+namespace prete::optical {
+
+// Nature's generative model for one fiber: how often it degrades, what the
+// degradation episodes look like, and how likely each episode is to evolve
+// into a cut. This is the hidden process that PreTE's telemetry observes
+// and its NN predictor has to learn.
+struct FiberModelParams {
+  // Probability of a degradation episode starting in a 5-minute TE epoch.
+  // The paper draws this from Weibull(shape 0.8, scale 0.002) (§6.1).
+  double degradation_prob_per_epoch = 0.002;
+  // Rate of abrupt (unpredictable) cuts per epoch. Calibrated so that the
+  // predictable fraction alpha is ~25% overall (§3.1).
+  double abrupt_cut_prob_per_epoch = 0.0;
+  // Per-fiber random effect in the cut logit; this is why "fiber ID plays
+  // the most important role in failure prediction" (Appendix A.6).
+  double fiber_effect = 0.0;
+  // Baseline transmission loss in dB when healthy.
+  double healthy_loss_db = 5.0;
+};
+
+// Coefficients of nature's conditional cut probability
+// sigmoid(bias + fiber_effect + time + degree + gradient + fluctuation).
+// The defaults are calibrated to reproduce Figure 6's failure-proportion
+// curves: ~60% at midnight vs ~20% at 6am, increasing in degree, gradient
+// and fluctuation, with the overall mean near 40% (§3.2).
+struct CutLogitModel {
+  // Calibrated so that the mean conditional probability is ~0.40 (§3.2) and
+  // the Bayes-optimal classifier accuracy is ~0.82 — the paper's NN reaches
+  // 0.81 precision/recall (Table 5), so nature must offer that headroom.
+  double bias = -2.8;
+  double time_weight = 1.7;        // applied to cos(2*pi*hour/24)
+  double degree_weight = 2.6;      // applied to (degree-3)/7 in [0,1]
+  double gradient_weight = 2.0;    // applied to min(gradient, 1.0)
+  double fluctuation_weight = 2.2; // applied to saturating count / 20
+
+  double probability(const DegradationFeatures& f, double fiber_effect) const;
+};
+
+// Samples the feature vector of a fresh degradation episode.
+DegradationFeatures sample_degradation_features(const net::Fiber& fiber,
+                                                double hour, util::Rng& rng);
+
+// Builds per-fiber model parameters for a whole network following the
+// paper's recipe: Weibull degradation probabilities, a linear
+// degradation->cut relationship, and alpha = predictable fraction.
+struct PlantModelConfig {
+  double weibull_shape = 0.8;
+  double weibull_scale = 0.002;
+  // Predictable fraction of cuts (paper: ~25%).
+  double alpha = 0.25;
+  // Mean P(cut | degradation) (paper: ~40%).
+  double mean_cut_given_degradation = 0.4;
+  // Probability that a non-failing degradation still produces a late,
+  // unpredictable cut (must match SimulatorConfig::late_cut_prob so the
+  // alpha calibration stays exact).
+  double late_cut_prob = 0.12;
+  // Spread of the per-fiber random effect (log-odds). Large enough that
+  // fiber identity is the single most informative feature (Appendix A.6).
+  double fiber_effect_sigma = 1.6;
+};
+
+std::vector<FiberModelParams> build_plant_model(const net::Network& net,
+                                                util::Rng& rng,
+                                                const PlantModelConfig& config = {});
+
+}  // namespace prete::optical

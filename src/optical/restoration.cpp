@@ -1,0 +1,145 @@
+#include "optical/restoration.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace prete::optical {
+
+RestorationPlanner::RestorationPlanner(const net::Network& network,
+                                       RestorationConfig config)
+    : network_(network), config_(config) {}
+
+double RestorationPlanner::spare_capacity_gbps(net::FiberId fiber) const {
+  return config_.spare_fraction * network_.fiber_ip_capacity_gbps(fiber) / 2.0;
+  // /2: fiber_ip_capacity counts both directions; spare is per direction.
+}
+
+namespace {
+
+// Dijkstra over the FIBER graph (undirected) between two nodes, using only
+// fibers with at least `needed` spare capacity and excluding `banned`.
+// Returns the fiber path or empty when unreachable.
+std::vector<net::FiberId> spare_path(const net::Network& network,
+                                     net::NodeId src, net::NodeId dst,
+                                     const std::vector<double>& spare,
+                                     double needed, net::FiberId banned) {
+  const auto n = static_cast<std::size_t>(network.num_nodes());
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+  std::vector<net::FiberId> via(n, -1);
+  using Entry = std::pair<double, net::NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[static_cast<std::size_t>(src)] = 0.0;
+  heap.push({0.0, src});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;
+    if (u == dst) break;
+    for (const net::Fiber& fiber : network.fibers()) {
+      if (fiber.id == banned) continue;
+      if (spare[static_cast<std::size_t>(fiber.id)] + 1e-9 < needed) continue;
+      net::NodeId next = -1;
+      if (fiber.a == u) {
+        next = fiber.b;
+      } else if (fiber.b == u) {
+        next = fiber.a;
+      } else {
+        continue;
+      }
+      const double nd = d + fiber.length_km + 1.0;
+      if (nd < dist[static_cast<std::size_t>(next)]) {
+        dist[static_cast<std::size_t>(next)] = nd;
+        via[static_cast<std::size_t>(next)] = fiber.id;
+        heap.push({nd, next});
+      }
+    }
+  }
+  if (via[static_cast<std::size_t>(dst)] < 0) return {};
+  std::vector<net::FiberId> path;
+  net::NodeId v = dst;
+  while (v != src) {
+    const net::FiberId f = via[static_cast<std::size_t>(v)];
+    path.push_back(f);
+    const net::Fiber& fiber = network.fiber(f);
+    v = fiber.a == v ? fiber.b : fiber.a;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+RestorationResult RestorationPlanner::plan_with_budget(
+    net::FiberId cut, std::vector<double>& spare) const {
+  RestorationResult result;
+  const net::Fiber& fiber = network_.fiber(cut);
+  const auto& links = network_.links_on_fiber(cut);
+  result.restored_fraction.assign(links.size(), 0.0);
+  result.paths.resize(links.size());
+
+  double restored_capacity = 0.0;
+  double total_capacity = 0.0;
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    const net::Link& link = network_.link(links[i]);
+    total_capacity += link.capacity_gbps;
+    // Find a spare path able to carry this trunk.
+    const auto path = spare_path(network_, fiber.a, fiber.b, spare,
+                                 link.capacity_gbps, cut);
+    if (!path.empty()) {
+      for (net::FiberId f : path) {
+        spare[static_cast<std::size_t>(f)] -= link.capacity_gbps;
+      }
+      result.restored_fraction[i] = 1.0;
+      result.paths[i] = path;
+      restored_capacity += link.capacity_gbps;
+      continue;
+    }
+    // Partial restoration: route whatever the bottleneck allows on the best
+    // unconstrained spare path.
+    const auto any_path = spare_path(network_, fiber.a, fiber.b, spare,
+                                     1e-6, cut);
+    if (any_path.empty()) continue;
+    double bottleneck = std::numeric_limits<double>::infinity();
+    for (net::FiberId f : any_path) {
+      bottleneck = std::min(bottleneck, spare[static_cast<std::size_t>(f)]);
+    }
+    if (bottleneck <= 0.0) continue;
+    const double carried = std::min(bottleneck, link.capacity_gbps);
+    for (net::FiberId f : any_path) {
+      spare[static_cast<std::size_t>(f)] -= carried;
+    }
+    result.restored_fraction[i] = carried / link.capacity_gbps;
+    result.paths[i] = any_path;
+    restored_capacity += carried;
+  }
+  result.total_restored_fraction =
+      total_capacity > 0.0 ? restored_capacity / total_capacity : 0.0;
+  return result;
+}
+
+RestorationResult RestorationPlanner::plan(net::FiberId cut) const {
+  std::vector<double> spare(static_cast<std::size_t>(network_.num_fibers()));
+  for (net::FiberId f = 0; f < network_.num_fibers(); ++f) {
+    spare[static_cast<std::size_t>(f)] = spare_capacity_gbps(f);
+  }
+  return plan_with_budget(cut, spare);
+}
+
+std::vector<RestorationResult> RestorationPlanner::plan(
+    const std::vector<net::FiberId>& cuts) const {
+  std::vector<double> spare(static_cast<std::size_t>(network_.num_fibers()));
+  for (net::FiberId f = 0; f < network_.num_fibers(); ++f) {
+    spare[static_cast<std::size_t>(f)] = spare_capacity_gbps(f);
+  }
+  // Cut fibers contribute no spare.
+  for (net::FiberId cut : cuts) spare[static_cast<std::size_t>(cut)] = 0.0;
+  std::vector<RestorationResult> results;
+  results.reserve(cuts.size());
+  for (net::FiberId cut : cuts) {
+    results.push_back(plan_with_budget(cut, spare));
+  }
+  return results;
+}
+
+}  // namespace prete::optical

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <vector>
+
+#include "net/graph.h"
+
+namespace prete::optical {
+
+// ARROW-style optical restoration [41]: when a fiber is cut, its wavelengths
+// can be re-provisioned through spare regenerator/wavelength capacity on
+// surviving fibers, partially or fully restoring the IP links that rode the
+// cut fiber (after the ~8 s restoration latency).
+//
+// The model: every fiber has a wavelength budget proportional to its IP
+// capacity plus a spare margin. Restoration routes each affected IP trunk
+// along the shortest surviving fiber path with remaining spare wavelengths,
+// consuming the spare capacity as it goes (first-fail-first-served).
+struct RestorationConfig {
+  // Spare wavelength capacity per fiber, as a fraction of its lit IP
+  // capacity (ARROW provisions restoration-aware spare capacity).
+  double spare_fraction = 0.5;
+  // Restoration completes after this many seconds (the paper evaluates 8 s).
+  double latency_sec = 8.0;
+};
+
+// The outcome for one cut fiber.
+struct RestorationResult {
+  // Restored fraction per IP link riding the cut fiber (parallel to
+  // Network::links_on_fiber(cut)), in [0, 1].
+  std::vector<double> restored_fraction;
+  // Capacity-weighted average restored fraction.
+  double total_restored_fraction = 0.0;
+  // Fiber path (by id) chosen for each restored trunk; empty if stranded.
+  std::vector<std::vector<net::FiberId>> paths;
+};
+
+class RestorationPlanner {
+ public:
+  RestorationPlanner(const net::Network& network, RestorationConfig config = {});
+
+  // Plans restoration for a single cut fiber against fresh spare capacity.
+  RestorationResult plan(net::FiberId cut) const;
+
+  // Plans restoration for several simultaneous cuts; spare capacity is
+  // shared, so later cuts may find it exhausted.
+  std::vector<RestorationResult> plan(const std::vector<net::FiberId>& cuts) const;
+
+  // Spare wavelength capacity (Gbps-equivalent) of a fiber.
+  double spare_capacity_gbps(net::FiberId fiber) const;
+
+  const RestorationConfig& config() const { return config_; }
+
+ private:
+  RestorationResult plan_with_budget(net::FiberId cut,
+                                     std::vector<double>& spare) const;
+
+  const net::Network& network_;
+  RestorationConfig config_;
+};
+
+}  // namespace prete::optical

@@ -1,0 +1,234 @@
+#include "optical/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/distributions.h"
+
+namespace prete::optical {
+
+namespace {
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+}
+
+double EventLog::predictable_fraction() const {
+  if (cuts.empty()) return 0.0;
+  int predictable = 0;
+  for (const CutRecord& c : cuts) {
+    if (c.predictable) ++predictable;
+  }
+  return static_cast<double>(predictable) / static_cast<double>(cuts.size());
+}
+
+double EventLog::degradation_failure_fraction() const {
+  if (degradations.empty()) return 0.0;
+  int failed = 0;
+  for (const DegradationRecord& d : degradations) {
+    if (d.led_to_cut) ++failed;
+  }
+  return static_cast<double>(failed) /
+         static_cast<double>(degradations.size());
+}
+
+PlantSimulator::PlantSimulator(const net::Network& net,
+                               std::vector<FiberModelParams> params,
+                               CutLogitModel logit, SimulatorConfig config)
+    : net_(net), params_(std::move(params)), logit_(logit), config_(config) {}
+
+EventLog PlantSimulator::simulate(TimeSec horizon_sec, util::Rng& rng) const {
+  EventLog log;
+  log.horizon_sec = horizon_sec;
+  const auto epochs = static_cast<TimeSec>(
+      horizon_sec / static_cast<TimeSec>(kTePeriodSec));
+
+  for (net::FiberId f = 0; f < net_.num_fibers(); ++f) {
+    util::Rng fiber_rng = rng.fork();
+    const FiberModelParams& p = params_[static_cast<std::size_t>(f)];
+    TimeSec repaired_at = 0;       // fiber is down before this instant
+    double last_degradation = -1;  // onset of the most recent degradation
+
+    for (TimeSec epoch = 0; epoch < epochs; ++epoch) {
+      const TimeSec epoch_start = epoch * static_cast<TimeSec>(kTePeriodSec);
+      if (epoch_start < repaired_at) continue;  // under repair
+
+      // Degradation episode?
+      if (fiber_rng.bernoulli(p.degradation_prob_per_epoch)) {
+        DegradationRecord rec;
+        rec.fiber = f;
+        rec.onset_sec =
+            epoch_start + static_cast<TimeSec>(fiber_rng.uniform(0.0, kTePeriodSec - 10.0));
+        rec.duration_sec = std::min(
+            util::sample_lognormal(fiber_rng, config_.duration_mu,
+                                   config_.duration_sigma),
+            kTePeriodSec);
+        const double hour =
+            std::fmod(static_cast<double>(rec.onset_sec) / 3600.0, 24.0);
+        rec.features =
+            sample_degradation_features(net_.fiber(f), hour, fiber_rng);
+        rec.true_cut_probability = logit_.probability(rec.features, p.fiber_effect);
+        rec.led_to_cut = fiber_rng.bernoulli(rec.true_cut_probability);
+        last_degradation = static_cast<double>(rec.onset_sec);
+
+        if (rec.led_to_cut) {
+          // Cut within the TE period: this is a predictable cut.
+          rec.cut_delay_sec = fiber_rng.uniform(5.0, kTePeriodSec - 10.0);
+          CutRecord cut;
+          cut.fiber = f;
+          cut.time_sec = rec.onset_sec + static_cast<TimeSec>(rec.cut_delay_sec);
+          cut.repair_hours = fiber_rng.uniform(config_.repair_hours_min,
+                                               config_.repair_hours_max);
+          cut.predictable = true;
+          cut.since_degradation_sec = rec.cut_delay_sec;
+          repaired_at =
+              cut.time_sec + static_cast<TimeSec>(cut.repair_hours * 3600.0);
+          log.cuts.push_back(cut);
+        } else if (fiber_rng.bernoulli(config_.late_cut_prob)) {
+          // Degradation-related cut beyond the TE period (Figure 5a's
+          // 300s..1e3s+ bucket): too late to count as predictable.
+          const double delay = kTePeriodSec + util::sample_lognormal(fiber_rng,
+                                                                     5.5, 0.8);
+          CutRecord cut;
+          cut.fiber = f;
+          cut.time_sec = rec.onset_sec + static_cast<TimeSec>(delay);
+          cut.repair_hours = fiber_rng.uniform(config_.repair_hours_min,
+                                               config_.repair_hours_max);
+          cut.predictable = false;
+          cut.since_degradation_sec = delay;
+          repaired_at =
+              cut.time_sec + static_cast<TimeSec>(cut.repair_hours * 3600.0);
+          log.cuts.push_back(cut);
+        }
+        log.degradations.push_back(std::move(rec));
+        continue;  // at most one event per epoch per fiber
+      }
+
+      // Abrupt, unpredictable cut?
+      if (fiber_rng.bernoulli(p.abrupt_cut_prob_per_epoch)) {
+        CutRecord cut;
+        cut.fiber = f;
+        cut.time_sec =
+            epoch_start + static_cast<TimeSec>(fiber_rng.uniform(0.0, kTePeriodSec));
+        cut.repair_hours = fiber_rng.uniform(config_.repair_hours_min,
+                                             config_.repair_hours_max);
+        cut.predictable = false;
+        cut.since_degradation_sec =
+            last_degradation >= 0
+                ? static_cast<double>(cut.time_sec) - last_degradation
+                : -1.0;
+        repaired_at =
+            cut.time_sec + static_cast<TimeSec>(cut.repair_hours * 3600.0);
+        log.cuts.push_back(cut);
+      }
+    }
+  }
+
+  // Global chronological order across fibers.
+  std::sort(log.degradations.begin(), log.degradations.end(),
+            [](const DegradationRecord& a, const DegradationRecord& b) {
+              return a.onset_sec < b.onset_sec;
+            });
+  std::sort(log.cuts.begin(), log.cuts.end(),
+            [](const CutRecord& a, const CutRecord& b) {
+              return a.time_sec < b.time_sec;
+            });
+  return log;
+}
+
+std::vector<double> PlantSimulator::loss_trace(const EventLog& log,
+                                               net::FiberId fiber, TimeSec t0,
+                                               TimeSec t1,
+                                               util::Rng& rng) const {
+  const FiberModelParams& p = params_.at(static_cast<std::size_t>(fiber));
+  const auto n = static_cast<std::size_t>(std::max<TimeSec>(t1 - t0, 0));
+  std::vector<double> trace(n, p.healthy_loss_db);
+
+  // Base noise.
+  for (double& v : trace) v += config_.noise_db * util::sample_standard_normal(rng);
+
+  // Overlay degradation waveforms.
+  for (const DegradationRecord& d : log.degradations) {
+    if (d.fiber != fiber) continue;
+    const TimeSec start = std::max(d.onset_sec, t0);
+    const TimeSec end =
+        std::min(d.onset_sec + static_cast<TimeSec>(d.duration_sec) + 1, t1);
+    if (start >= end) continue;
+    // Waveform: jump by `degree`, then a random walk whose step size matches
+    // the gradient feature and whose direction changes produce the
+    // fluctuation count.
+    double level = d.features.degree_db;
+    for (TimeSec t = start; t < end; ++t) {
+      const double flip_rate =
+          std::min(d.features.fluctuation / std::max(d.duration_sec, 1.0), 1.0);
+      if (rng.bernoulli(flip_rate)) {
+        level += (rng.bernoulli(0.5) ? 1.0 : -1.0) * d.features.gradient_db;
+      }
+      level = std::clamp(level, kDegradedThresholdDb + 0.1,
+                         kCutThresholdDb - 0.1);
+      trace[static_cast<std::size_t>(t - t0)] = p.healthy_loss_db + level;
+    }
+  }
+
+  // Overlay cuts (loss saturates until repair).
+  for (const CutRecord& c : log.cuts) {
+    if (c.fiber != fiber) continue;
+    const TimeSec cut_end =
+        c.time_sec + static_cast<TimeSec>(c.repair_hours * 3600.0);
+    const TimeSec start = std::max(c.time_sec, t0);
+    const TimeSec end = std::min(cut_end, t1);
+    for (TimeSec t = start; t < end; ++t) {
+      trace[static_cast<std::size_t>(t - t0)] = p.healthy_loss_db + kCutLossDb;
+    }
+  }
+
+  // Telemetry sample loss.
+  for (double& v : trace) {
+    if (rng.bernoulli(config_.sample_loss_prob)) v = kNan;
+  }
+  return trace;
+}
+
+std::vector<double> resample_trace(const std::vector<double>& trace,
+                                   int period_sec) {
+  std::vector<double> out;
+  if (period_sec <= 0) return out;
+  out.reserve(trace.size() / static_cast<std::size_t>(period_sec) + 1);
+  for (std::size_t i = 0; i < trace.size();
+       i += static_cast<std::size_t>(period_sec)) {
+    out.push_back(trace[i]);
+  }
+  return out;
+}
+
+std::vector<double> interpolate_missing(std::vector<double> trace) {
+  const std::size_t n = trace.size();
+  std::size_t i = 0;
+  while (i < n) {
+    if (!std::isnan(trace[i])) {
+      ++i;
+      continue;
+    }
+    // Find the gap [i, j).
+    std::size_t j = i;
+    while (j < n && std::isnan(trace[j])) ++j;
+    const bool has_left = i > 0;
+    const bool has_right = j < n;
+    if (has_left && has_right) {
+      const double left = trace[i - 1];
+      const double right = trace[j];
+      const double span = static_cast<double>(j - i + 1);
+      for (std::size_t k = i; k < j; ++k) {
+        const double frac = static_cast<double>(k - i + 1) / span;
+        trace[k] = left + (right - left) * frac;
+      }
+    } else if (has_left) {
+      for (std::size_t k = i; k < j; ++k) trace[k] = trace[i - 1];
+    } else if (has_right) {
+      for (std::size_t k = i; k < j; ++k) trace[k] = trace[j];
+    }
+    i = j;
+  }
+  return trace;
+}
+
+}  // namespace prete::optical

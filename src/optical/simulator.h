@@ -1,0 +1,76 @@
+#pragma once
+
+#include <vector>
+
+#include "net/graph.h"
+#include "optical/events.h"
+#include "optical/fiber_model.h"
+#include "util/rng.h"
+
+namespace prete::optical {
+
+inline constexpr double kTePeriodSec = 300.0;  // 5-minute TE epoch
+inline constexpr double kDegradedThresholdDb = 3.0;   // OpTel degradation
+inline constexpr double kCutThresholdDb = 10.0;       // OpTel cut
+inline constexpr double kCutLossDb = 25.0;            // loss shown during a cut
+
+struct SimulatorConfig {
+  // Probability that a degradation-caused cut lands beyond the TE period
+  // (the "late" bucket of Figure 5a), conditionally independent of the
+  // within-period cut probability.
+  double late_cut_prob = 0.12;
+  // Repair time bounds in hours.
+  double repair_hours_min = 2.0;
+  double repair_hours_max = 12.0;
+  // Lognormal duration of degradation episodes: median ~8 s so that 50%
+  // last under 10 s (Figure 4a).
+  double duration_mu = 2.08;   // ln(8)
+  double duration_sigma = 1.1;
+  // Telemetry imperfections: probability that a one-second sample is lost
+  // (filled in by interpolation downstream, §3.1).
+  double sample_loss_prob = 0.01;
+  // Gaussian noise on healthy samples, dB.
+  double noise_db = 0.02;
+};
+
+// Event-driven simulator of the whole fiber plant. Generates the ground
+// truth event log over a horizon and can materialize per-second loss traces
+// for any window (so that year-long simulations stay cheap while figure
+// benches can still plot realistic waveforms).
+class PlantSimulator {
+ public:
+  PlantSimulator(const net::Network& net, std::vector<FiberModelParams> params,
+                 CutLogitModel logit = {}, SimulatorConfig config = {});
+
+  // Simulates `horizon_sec` seconds of plant behaviour.
+  EventLog simulate(TimeSec horizon_sec, util::Rng& rng) const;
+
+  // Per-second transmission-loss samples for `fiber` over [t0, t1), given a
+  // previously generated log. NaN marks lost samples.
+  std::vector<double> loss_trace(const EventLog& log, net::FiberId fiber,
+                                 TimeSec t0, TimeSec t1, util::Rng& rng) const;
+
+  const FiberModelParams& params(net::FiberId f) const {
+    return params_.at(static_cast<std::size_t>(f));
+  }
+  const CutLogitModel& logit() const { return logit_; }
+  const SimulatorConfig& config() const { return config_; }
+  const net::Network& network() const { return net_; }
+
+ private:
+  const net::Network& net_;
+  std::vector<FiberModelParams> params_;
+  CutLogitModel logit_;
+  SimulatorConfig config_;
+};
+
+// Resamples a one-second trace at a coarser granularity (every `period_sec`
+// seconds), as traditional minute-level telemetry systems do (§8, Fig 20).
+std::vector<double> resample_trace(const std::vector<double>& trace,
+                                   int period_sec);
+
+// Linear interpolation of NaN gaps (the paper "applies interpolation
+// methods to complete the missing data", §3.1).
+std::vector<double> interpolate_missing(std::vector<double> trace);
+
+}  // namespace prete::optical

@@ -1,0 +1,39 @@
+#include "optical/snr.h"
+
+#include <cmath>
+
+namespace prete::optical {
+
+double SnrModel::osnr_db(double extra_loss_db) const {
+  return healthy_osnr_db - std::max(extra_loss_db, 0.0);
+}
+
+double SnrModel::q_db(double extra_loss_db) const {
+  return osnr_db(extra_loss_db) + q_offset_db;
+}
+
+double SnrModel::margin_db(double extra_loss_db) const {
+  return q_db(extra_loss_db) - q_threshold_db;
+}
+
+bool SnrModel::decodable(double extra_loss_db) const {
+  return margin_db(extra_loss_db) >= 0.0;
+}
+
+double SnrModel::loss_budget_db() const {
+  return healthy_osnr_db + q_offset_db - q_threshold_db;
+}
+
+std::vector<double> margin_series(const SnrModel& model,
+                                  const std::vector<double>& loss_trace_db,
+                                  double healthy_loss_db) {
+  std::vector<double> out;
+  out.reserve(loss_trace_db.size());
+  for (double loss : loss_trace_db) {
+    const double extra = std::isnan(loss) ? 0.0 : loss - healthy_loss_db;
+    out.push_back(model.margin_db(extra));
+  }
+  return out;
+}
+
+}  // namespace prete::optical

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+namespace prete::optical {
+
+// Optical signal-quality model: maps the transmission loss the telemetry
+// system measures to an OSNR / Q-factor margin, the physical quantity that
+// decides whether a wavelength still decodes error-free. The paper's
+// degradation definition (3-10 dB above healthy, "signal still supports
+// error-free decoding") corresponds to a shrinking-but-positive margin;
+// beyond ~10 dB the margin goes negative and the link is effectively cut.
+struct SnrModel {
+  // OSNR of the healthy channel, dB.
+  double healthy_osnr_db = 22.0;
+  // Q-factor threshold for error-free decoding post-FEC, dB (typical 8.5).
+  double q_threshold_db = 8.5;
+  // Q ~ OSNR mapping offset for the modulation in use (dB).
+  double q_offset_db = -3.0;
+
+  // OSNR after `extra_loss_db` of additional span loss (1 dB of loss costs
+  // ~1 dB of OSNR when the amplifier chain saturates).
+  double osnr_db(double extra_loss_db) const;
+  // Q-factor in dB for the given extra loss.
+  double q_db(double extra_loss_db) const;
+  // Remaining decoding margin (Q - threshold), dB.
+  double margin_db(double extra_loss_db) const;
+  // Whether the channel still decodes error-free.
+  bool decodable(double extra_loss_db) const;
+  // Largest extra loss that keeps the channel decodable.
+  double loss_budget_db() const;
+};
+
+// Per-sample margin series for a loss trace relative to its healthy
+// baseline — the SNR view of Figure 4(b)'s waveform.
+std::vector<double> margin_series(const SnrModel& model,
+                                  const std::vector<double>& loss_trace_db,
+                                  double healthy_loss_db);
+
+}  // namespace prete::optical

@@ -1,0 +1,34 @@
+#include "sim/latency.h"
+
+#include <cmath>
+
+namespace prete::sim {
+
+double tunnel_install_time_ms(const LatencyModel& model, int num_tunnels) {
+  if (num_tunnels <= 0) return 0.0;
+  const int batch = model.install_batch_size > 0 ? model.install_batch_size : 1;
+  const int rounds = (num_tunnels + batch - 1) / batch;
+  return static_cast<double>(rounds) * model.tunnel_install_ms;
+}
+
+PipelineTrace pipeline_trace(const LatencyModel& model, int num_new_tunnels,
+                             int num_scenarios) {
+  PipelineTrace trace;
+  double t = 0.0;
+  auto push = [&](const char* name, double duration) {
+    trace.stages.push_back({name, t, duration});
+    t += duration;
+  };
+  push("degradation detection", model.detection_ms);
+  push("model inference", model.nn_inference_ms);
+  push("failure scenario regeneration", model.scenario_regen_ms);
+  push("TE computation",
+       model.te_compute_base_ms +
+           model.te_compute_per_scenario_ms * static_cast<double>(num_scenarios));
+  trace.control_path_ms = t;
+  push("tunnel update", tunnel_install_time_ms(model, num_new_tunnels));
+  trace.total_ms = t;
+  return trace;
+}
+
+}  // namespace prete::sim

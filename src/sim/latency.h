@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+namespace prete::sim {
+
+// Latency constants of the controller pipeline, milliseconds. Defaults are
+// the values measured on the paper's production-level testbed (§5, Fig 11):
+// the control path itself stays under 300 ms end-to-end; serialized tunnel
+// installation dominates afterwards (~250 ms per tunnel, 5 s for 20).
+struct LatencyModel {
+  double detection_ms = 80.0;            // optical data analysis
+  double nn_inference_ms = 5.0;          // "only takes several milliseconds"
+  double scenario_regen_ms = 10.0;       // "about ten milliseconds"
+  double te_compute_base_ms = 120.0;     // LP/Benders solve, small topology
+  double te_compute_per_scenario_ms = 2.0;
+  double tunnel_install_ms = 250.0;      // serialized per-tunnel install
+  double tunnel_install_jitter_ms = 30.0;
+  // Batch strategy (§5: "update a dozen tunnels at a time"): tunnels in a
+  // batch install concurrently; batches are serialized.
+  int install_batch_size = 1;
+};
+
+// One timed stage of the pipeline (a rectangle in Figure 11a).
+struct PipelineStage {
+  const char* name;
+  double start_ms;
+  double duration_ms;
+};
+
+struct PipelineTrace {
+  std::vector<PipelineStage> stages;
+  // End of the control-path stages (detection .. TE computation).
+  double control_path_ms = 0.0;
+  // Full completion including tunnel installation.
+  double total_ms = 0.0;
+};
+
+// Builds the pipeline trace for a degradation event that requires
+// `num_new_tunnels` tunnels and solves over `num_scenarios` scenarios.
+PipelineTrace pipeline_trace(const LatencyModel& model, int num_new_tunnels,
+                             int num_scenarios);
+
+// Total tunnel installation time for n tunnels (the Figure 11b series):
+// linear in n under serialized installs, divided by the batch size when
+// batching is enabled.
+double tunnel_install_time_ms(const LatencyModel& model, int num_tunnels);
+
+}  // namespace prete::sim

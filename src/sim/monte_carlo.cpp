@@ -1,0 +1,165 @@
+#include "sim/monte_carlo.h"
+
+#include <cmath>
+
+#include "te/prete.h"
+#include "te/scenario.h"
+
+namespace prete::sim {
+
+MonteCarloStudy::MonteCarloStudy(const net::Topology& topology,
+                                 te::PlantStatistics stats,
+                                 MonteCarloConfig config)
+    : topology_(topology),
+      stats_(std::move(stats)),
+      config_(config),
+      base_tunnels_(net::build_tunnels(topology.network, topology.flows)) {}
+
+MonteCarloStudy::Epoch MonteCarloStudy::sample_epoch(util::Rng& rng) const {
+  Epoch epoch;
+  const auto n = static_cast<std::size_t>(stats_.num_fibers());
+  epoch.degraded.assign(n, false);
+  epoch.failed.assign(n, false);
+  for (std::size_t f = 0; f < n; ++f) {
+    if (rng.bernoulli(stats_.degradation_prob[f])) {
+      epoch.degraded[f] = true;
+      // Degradation-conditioned cut.
+      if (rng.bernoulli(stats_.cut_given_degradation[f])) {
+        epoch.failed[f] = true;
+      }
+    } else if (rng.bernoulli((1.0 - stats_.alpha) * stats_.cut_prob[f])) {
+      // Quiet-epoch (unpredictable) cut, per Theorem 4.1's discount.
+      epoch.failed[f] = true;
+    }
+  }
+  return epoch;
+}
+
+double MonteCarloStudy::epoch_availability(const te::TeProblem& problem,
+                                           const te::TePolicy& policy,
+                                           const Epoch& epoch) const {
+  te::FailureScenario scenario;
+  scenario.fiber_failed = epoch.failed;
+  scenario.probability = 1.0;
+  const auto losses = te::flow_losses(problem, policy, scenario);
+  int ok = 0;
+  for (double loss : losses) {
+    if (loss <= config_.loss_tolerance) ++ok;
+  }
+  return losses.empty() ? 1.0
+                        : static_cast<double>(ok) /
+                              static_cast<double>(losses.size());
+}
+
+MonteCarloResult MonteCarloStudy::run_static(te::TeScheme& scheme,
+                                             const net::TrafficMatrix& demands,
+                                             util::Rng& rng) const {
+  te::TeProblem problem;
+  problem.network = &topology_.network;
+  problem.flows = &topology_.flows;
+  problem.tunnels = &base_tunnels_;
+  problem.demands = demands;
+  const auto believed = te::generate_failure_scenarios(
+      stats_.cut_prob, config_.planning_scenarios);
+  const te::TePolicy policy = scheme.compute(problem, believed);
+
+  MonteCarloResult result;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int e = 0; e < config_.epochs; ++e) {
+    const Epoch epoch = sample_epoch(rng);
+    bool any_degr = false;
+    bool any_cut = false;
+    for (std::size_t f = 0; f < epoch.degraded.size(); ++f) {
+      any_degr = any_degr || epoch.degraded[f];
+      any_cut = any_cut || epoch.failed[f];
+    }
+    result.epochs_with_degradation += any_degr ? 1 : 0;
+    result.epochs_with_cut += any_cut ? 1 : 0;
+    const double a = epoch_availability(problem, policy, epoch);
+    sum += a;
+    sum_sq += a * a;
+  }
+  const double n = static_cast<double>(config_.epochs);
+  result.mean_flow_availability = sum / n;
+  const double var =
+      std::max(0.0, sum_sq / n - result.mean_flow_availability *
+                                     result.mean_flow_availability);
+  result.standard_error = std::sqrt(var / n);
+  return result;
+}
+
+MonteCarloResult MonteCarloStudy::run_prete(const net::TrafficMatrix& demands,
+                                            util::Rng& rng) const {
+  te::PreTeConfig config;
+  config.beta = config_.beta;
+  config.alpha = stats_.alpha;
+  config.tunnel_update = config_.tunnel_update;
+  config.scenario_options = config_.planning_scenarios;
+
+  // Policies are cached per degradation signature: no-degradation, or a
+  // single degraded fiber (multi-degradation epochs are second-order rare
+  // and reuse the first degraded fiber's policy as an approximation).
+  struct CachedPolicy {
+    net::TunnelSet tunnels{0};
+    te::TePolicy policy;
+    bool ready = false;
+  };
+  std::vector<CachedPolicy> cache(
+      static_cast<std::size_t>(stats_.num_fibers()) + 1);
+
+  auto policy_for = [&](int degraded_fiber) -> CachedPolicy& {
+    auto& slot = cache[static_cast<std::size_t>(degraded_fiber + 1)];
+    if (slot.ready) return slot;
+    slot.tunnels = base_tunnels_;
+    te::PreTeScheme prete(stats_.cut_prob, config);
+    te::DegradationScenario scenario =
+        te::DegradationScenario::none(stats_.num_fibers());
+    if (degraded_fiber >= 0) {
+      scenario.degraded[static_cast<std::size_t>(degraded_fiber)] = true;
+      scenario.predicted_prob[static_cast<std::size_t>(degraded_fiber)] =
+          stats_.cut_given_degradation[static_cast<std::size_t>(degraded_fiber)];
+    }
+    const auto outcome = prete.compute_for_degradation(
+        topology_.network, topology_.flows, slot.tunnels, demands, scenario);
+    slot.policy = outcome.policy;
+    slot.ready = true;
+    return slot;
+  };
+
+  MonteCarloResult result;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int e = 0; e < config_.epochs; ++e) {
+    const Epoch epoch = sample_epoch(rng);
+    int degraded_fiber = -1;
+    bool any_cut = false;
+    for (std::size_t f = 0; f < epoch.degraded.size(); ++f) {
+      if (epoch.degraded[f] && degraded_fiber < 0) {
+        degraded_fiber = static_cast<int>(f);
+      }
+      any_cut = any_cut || epoch.failed[f];
+    }
+    result.epochs_with_degradation += degraded_fiber >= 0 ? 1 : 0;
+    result.epochs_with_cut += any_cut ? 1 : 0;
+
+    CachedPolicy& deployed = policy_for(degraded_fiber);
+    te::TeProblem problem;
+    problem.network = &topology_.network;
+    problem.flows = &topology_.flows;
+    problem.tunnels = &deployed.tunnels;
+    problem.demands = demands;
+    const double a = epoch_availability(problem, deployed.policy, epoch);
+    sum += a;
+    sum_sq += a * a;
+  }
+  const double n = static_cast<double>(config_.epochs);
+  result.mean_flow_availability = sum / n;
+  const double var =
+      std::max(0.0, sum_sq / n - result.mean_flow_availability *
+                                     result.mean_flow_availability);
+  result.standard_error = std::sqrt(var / n);
+  return result;
+}
+
+}  // namespace prete::sim

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <functional>
+
+#include "net/topology.h"
+#include "net/traffic.h"
+#include "te/availability.h"
+#include "te/evaluator.h"
+
+namespace prete::sim {
+
+// Monte Carlo validation of the analytic availability study: instead of
+// probability-weighting enumerated scenarios, sample TE epochs end to end —
+// degradation arrivals per fiber, conditional cuts, abrupt cuts — evaluate
+// the deployed policy's flow losses in each sampled epoch, and report the
+// empirical availability. The analytic and sampled numbers must agree
+// within Monte Carlo error; this closes the loop on the evaluator.
+struct MonteCarloConfig {
+  int epochs = 4000;
+  double beta = 0.99;
+  te::ScenarioOptions planning_scenarios;
+  te::TunnelUpdateConfig tunnel_update;
+  double loss_tolerance = 1e-4;
+};
+
+struct MonteCarloResult {
+  double mean_flow_availability = 0.0;
+  int epochs_with_degradation = 0;
+  int epochs_with_cut = 0;
+  // Standard error of the availability estimate (per-epoch variance).
+  double standard_error = 0.0;
+};
+
+class MonteCarloStudy {
+ public:
+  MonteCarloStudy(const net::Topology& topology, te::PlantStatistics stats,
+                  MonteCarloConfig config = {});
+
+  // Samples epochs for a static policy (computed once on the believed
+  // static probabilities, like the baselines).
+  MonteCarloResult run_static(te::TeScheme& scheme,
+                              const net::TrafficMatrix& demands,
+                              util::Rng& rng) const;
+
+  // Samples epochs for PreTE: each degradation epoch recomputes the policy
+  // with the calibrated probability and Algorithm-1 tunnels.
+  MonteCarloResult run_prete(const net::TrafficMatrix& demands,
+                             util::Rng& rng) const;
+
+ private:
+  // Samples which fibers degrade and which fail in one epoch.
+  struct Epoch {
+    std::vector<bool> degraded;
+    std::vector<bool> failed;
+  };
+  Epoch sample_epoch(util::Rng& rng) const;
+
+  double epoch_availability(const te::TeProblem& problem,
+                            const te::TePolicy& policy,
+                            const Epoch& epoch) const;
+
+  const net::Topology& topology_;
+  te::PlantStatistics stats_;
+  MonteCarloConfig config_;
+  net::TunnelSet base_tunnels_;
+};
+
+}  // namespace prete::sim

@@ -1,0 +1,49 @@
+#include "sim/testbed.h"
+
+#include "optical/simulator.h"
+#include "util/distributions.h"
+
+namespace prete::sim {
+
+TestbedRun run_testbed(const TestbedScript& script, const LatencyModel& latency,
+                       int num_new_tunnels, int num_scenarios,
+                       util::Rng& rng) {
+  TestbedRun run;
+  run.trace_db.reserve(static_cast<std::size_t>(script.end_sec));
+  for (optical::TimeSec t = 0; t < script.end_sec; ++t) {
+    double loss = script.healthy_loss_db;
+    if (t >= script.cut_sec) {
+      loss += optical::kCutLossDb;
+    } else if (t >= script.degradation_onset_sec) {
+      loss += script.degraded_extra_db +
+              0.2 * util::sample_standard_normal(rng);  // visible wiggle
+    }
+    loss += script.noise_db * util::sample_standard_normal(rng);
+    run.trace_db.push_back(loss);
+  }
+
+  net::Fiber fiber;
+  fiber.id = 0;
+  fiber.length_km = 100.0;  // "the fiber length is about 100 km"
+  const optical::DegradationDetector detector(script.healthy_loss_db);
+  run.detection = detector.scan(run.trace_db, 0, fiber);
+
+  if (!run.detection.degradations.empty()) {
+    run.degradation_detected_sec =
+        static_cast<double>(run.detection.degradations.front().onset_sec);
+  }
+  if (!run.detection.cuts.empty()) {
+    run.cut_detected_sec =
+        static_cast<double>(run.detection.cuts.front().time_sec);
+  }
+
+  run.pipeline = pipeline_trace(latency, num_new_tunnels, num_scenarios);
+  if (run.degradation_detected_sec >= 0.0) {
+    const double done_sec =
+        run.degradation_detected_sec + run.pipeline.total_ms / 1000.0;
+    run.prepared_before_cut = done_sec < static_cast<double>(script.cut_sec);
+  }
+  return run;
+}
+
+}  // namespace prete::sim

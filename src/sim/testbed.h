@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "net/topology.h"
+#include "optical/detector.h"
+#include "sim/latency.h"
+#include "util/rng.h"
+
+namespace prete::sim {
+
+// Emulation of the production-level testbed of §5 / Figure 10: three
+// routers, hundreds of kilometres of fiber, and a variable optical
+// attenuator (VOA) on the s1-s2 span that replays the canonical fiber
+// event: healthy (0-65 s), degraded (65-110 s), cut (110-400 s).
+struct TestbedScript {
+  optical::TimeSec degradation_onset_sec = 65;
+  optical::TimeSec cut_sec = 110;
+  optical::TimeSec end_sec = 400;
+  double healthy_loss_db = 6.0;
+  double degraded_extra_db = 5.0;   // inside the 3..10 dB degradation band
+  double noise_db = 0.05;
+};
+
+struct TestbedRun {
+  // Per-second transmission loss observed through the VOA span.
+  std::vector<double> trace_db;
+  // What the controller's detector reconstructed.
+  optical::DetectionResult detection;
+  // The controller pipeline timing, triggered at degradation detection.
+  PipelineTrace pipeline;
+  // Absolute times (seconds from script start).
+  double degradation_detected_sec = -1.0;
+  double cut_detected_sec = -1.0;
+  // True iff the pipeline (including tunnel installs) finished before the
+  // actual cut — the §5 feasibility claim.
+  bool prepared_before_cut = false;
+};
+
+// Runs the testbed scenario: generates the VOA-shaped trace, runs the
+// detector at one-second granularity, and times the controller pipeline for
+// `num_new_tunnels` tunnel installs over `num_scenarios` scenarios.
+TestbedRun run_testbed(const TestbedScript& script, const LatencyModel& latency,
+                       int num_new_tunnels, int num_scenarios, util::Rng& rng);
+
+}  // namespace prete::sim

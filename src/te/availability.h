@@ -1,0 +1,141 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/topology.h"
+#include "net/traffic.h"
+#include "optical/fiber_model.h"
+#include "te/prete.h"
+#include "te/schemes.h"
+
+namespace prete::te {
+
+// Nature's per-fiber statistics, as a TE-layer summary of the optical plant
+// model: per-TE-epoch degradation probability p_d, total cut probability
+// p_i, and the mean conditional cut probability once a degradation shows.
+struct PlantStatistics {
+  std::vector<double> degradation_prob;        // p_d per fiber
+  std::vector<double> cut_prob;                // p_i per fiber
+  std::vector<double> cut_given_degradation;   // E[p_cut | degradation]
+  double alpha = 0.25;                         // predictable fraction
+
+  int num_fibers() const { return static_cast<int>(cut_prob.size()); }
+};
+
+// Derives the statistics from the generative fiber models by Monte Carlo
+// over nature's feature distribution.
+PlantStatistics derive_statistics(const net::Network& network,
+                                  const std::vector<optical::FiberModelParams>& params,
+                                  const optical::CutLogitModel& logit,
+                                  util::Rng& rng, int samples_per_fiber = 400);
+
+// Rescales the predictable fraction (Figure 20b's knob): cut probabilities
+// stay fixed, but a different share of them is preceded by degradations.
+PlantStatistics with_alpha(PlantStatistics stats, double alpha);
+
+// The prediction models compared in Table 5 / Figure 15, abstracted by how
+// they map a degradation on fiber n to a believed failure probability.
+enum class PredictorModel {
+  kOracle,     // knows the outcome: probability 1 or 0
+  kNeuralNet,  // close to the true conditional probability (small error)
+  kStatistic,  // the global 40% rate, fiber-blind
+  kTeaVar,     // ignores the degradation signal entirely: static p_i
+};
+
+const char* to_string(PredictorModel model);
+
+struct StudyOptions {
+  double beta = 0.999;
+  // Scenario enumeration for the schemes' beliefs (planning).
+  ScenarioOptions scenario_options;
+  // Scenario enumeration for nature (evaluation). Deeper coverage than
+  // planning, because the un-enumerated residual counts as loss and caps
+  // the measurable availability.
+  ScenarioOptions nature_scenario_options{
+      .max_simultaneous_failures = 2, .target_mass = 1.0 - 1e-6,
+      .max_scenarios = 400};
+  // Degradation scenarios: singles only (concurrent degradations are rare
+  // second-order events; the paper batches them through the NN, §4.1.1).
+  double degradation_mass_target = 0.99999;
+  // Mean absolute error of the NN's probability estimate (Figure 14 shows
+  // a small error; Table 5's 81% precision/recall corresponds to ~0.1).
+  double nn_probability_error = 0.1;
+  // Algorithm 1 knobs (Figure 16's ratio, and PreTE-naive when disabled).
+  bool create_tunnels = true;
+  TunnelUpdateConfig tunnel_update;
+  // Workload uncertainty (Figure 17): schemes plan on demands scaled by a
+  // relative error; the starred variants plan on the true demands.
+  double demand_error = 0.0;
+  double loss_tolerance = 1e-4;
+  // Outage accounting for reactive/restoration schemes (see
+  // EvaluationOptions::outage_epoch_fraction). 1.0 = binary per-epoch.
+  double outage_epoch_fraction = 1.0;
+};
+
+// Evaluates schemes the way §6.2 prescribes: the availability of a policy is
+// the probability-weighted fraction of flows meeting demand, averaged over
+// nature's degradation scenarios — where nature's failure probabilities are
+// time-varying (high after a degradation, discounted otherwise), while the
+// baselines plan on the static p_i.
+class AvailabilityStudy {
+ public:
+  AvailabilityStudy(const net::Topology& topology, PlantStatistics stats,
+                    StudyOptions options = {});
+
+  // Availability of a static (compute-once) scheme at the given demands.
+  double evaluate_static(TeScheme& scheme, const net::TrafficMatrix& demands) const;
+
+  // Availability of PreTE with the given prediction model.
+  double evaluate_prete(PredictorModel model,
+                        const net::TrafficMatrix& demands) const;
+
+  // Mean TE recomputation workload for PreTE at these demands: average
+  // number of new tunnels per degradation event (drives Figures 11b/16b).
+  double mean_new_tunnels(const net::TrafficMatrix& demands) const;
+
+  const PlantStatistics& statistics() const { return stats_; }
+  const StudyOptions& options() const { return options_; }
+
+ private:
+  struct DegradationCase {
+    int fiber = -1;  // -1 = no degradation
+    double probability = 0.0;
+  };
+  std::vector<DegradationCase> degradation_cases() const;
+
+  // Nature's failure probabilities in a degradation case, with the degraded
+  // fiber's probability overridden (used for oracle branches too).
+  std::vector<double> nature_probs(int degraded_fiber, double degraded_prob) const;
+
+  double evaluate_policy(const TeProblem& problem, const TePolicy& policy,
+                         const std::vector<double>& true_probs,
+                         FailureReaction reaction) const;
+
+  const net::Topology& topology_;
+  PlantStatistics stats_;
+  StudyOptions options_;
+  net::TunnelSet base_tunnels_;
+};
+
+// Sweeps demand scales and reports the availability series (one Figure 13
+// curve). Scales are multiplicative factors over the base matrix.
+struct AvailabilityPoint {
+  double scale = 1.0;
+  double availability = 0.0;
+};
+
+std::vector<AvailabilityPoint> sweep_scales(
+    const AvailabilityStudy& study, TeScheme& scheme,
+    const net::TrafficMatrix& base_demands, const std::vector<double>& scales);
+
+std::vector<AvailabilityPoint> sweep_scales_prete(
+    const AvailabilityStudy& study, PredictorModel model,
+    const net::TrafficMatrix& base_demands, const std::vector<double>& scales);
+
+// Largest demand scale whose availability still meets `target`, linearly
+// interpolated between sweep points (Table 4's satisfied-demand metric).
+double max_scale_at_availability(const std::vector<AvailabilityPoint>& curve,
+                                 double target);
+
+}  // namespace prete::te

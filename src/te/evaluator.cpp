@@ -1,0 +1,135 @@
+#include "te/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prete::te {
+
+std::vector<double> flow_losses(const TeProblem& problem,
+                                const TePolicy& policy,
+                                const FailureScenario& scenario) {
+  const net::Network& net = *problem.network;
+  const net::TunnelSet& tunnels = *problem.tunnels;
+
+  // Per-link load from surviving tunnels.
+  std::vector<double> load(static_cast<std::size_t>(net.num_links()), 0.0);
+  std::vector<bool> alive(static_cast<std::size_t>(tunnels.num_tunnels()), false);
+  for (const net::Tunnel& t : tunnels.tunnels()) {
+    const bool is_alive = tunnels.alive(net, t.id, scenario.fiber_failed);
+    alive[static_cast<std::size_t>(t.id)] = is_alive;
+    if (!is_alive) continue;
+    const double a = policy.tunnel_allocation(t.id);
+    if (a <= 0.0) continue;
+    for (net::LinkId e : t.path) {
+      load[static_cast<std::size_t>(e)] += a;
+    }
+  }
+
+  // Overload factor per link: if load > capacity the link delivers
+  // proportionally (models FIFO sharing for naive schemes; LP-based schemes
+  // are capacity-feasible so the factor is 1).
+  std::vector<double> factor(static_cast<std::size_t>(net.num_links()), 1.0);
+  for (net::LinkId e = 0; e < net.num_links(); ++e) {
+    const double c = net.link(e).capacity_gbps;
+    if (load[static_cast<std::size_t>(e)] > c && load[static_cast<std::size_t>(e)] > 0) {
+      factor[static_cast<std::size_t>(e)] = c / load[static_cast<std::size_t>(e)];
+    }
+  }
+
+  std::vector<double> losses(problem.flows->size(), 0.0);
+  for (const net::Flow& flow : *problem.flows) {
+    const double demand = problem.demand(flow.id);
+    if (demand <= 0.0) continue;
+    double delivered = 0.0;
+    for (net::TunnelId t : tunnels.tunnels_for_flow(flow.id)) {
+      if (!alive[static_cast<std::size_t>(t)]) continue;
+      const double a = policy.tunnel_allocation(t);
+      if (a <= 0.0) continue;
+      // The tunnel delivers through its most-congested link.
+      double tunnel_factor = 1.0;
+      for (net::LinkId e : tunnels.tunnel(t).path) {
+        tunnel_factor = std::min(tunnel_factor, factor[static_cast<std::size_t>(e)]);
+      }
+      delivered += a * tunnel_factor;
+    }
+    losses[static_cast<std::size_t>(flow.id)] =
+        std::clamp(1.0 - delivered / demand, 0.0, 1.0);
+  }
+  return losses;
+}
+
+std::vector<bool> affected_flows(const TeProblem& problem,
+                                 const FailureScenario& scenario,
+                                 const TePolicy* policy) {
+  const net::Network& net = *problem.network;
+  const net::TunnelSet& tunnels = *problem.tunnels;
+  std::vector<bool> affected(problem.flows->size(), false);
+  for (const net::Tunnel& t : tunnels.tunnels()) {
+    if (policy && policy->tunnel_allocation(t.id) <= 1e-9) continue;
+    if (!tunnels.alive(net, t.id, scenario.fiber_failed)) {
+      affected[static_cast<std::size_t>(t.flow)] = true;
+    }
+  }
+  return affected;
+}
+
+AvailabilityResult evaluate_availability(const TeProblem& problem,
+                                         const TePolicy& policy,
+                                         const ScenarioSet& scenarios,
+                                         const EvaluationOptions& options) {
+  AvailabilityResult result;
+  const double num_flows = static_cast<double>(problem.flows->size());
+  if (num_flows == 0) return result;
+
+  for (const FailureScenario& scenario : scenarios.scenarios) {
+    const std::vector<double> losses = flow_losses(problem, policy, scenario);
+    std::vector<bool> outage(losses.size(), false);
+    if (options.reaction != FailureReaction::kRateAdaptation &&
+        scenario.any_failure()) {
+      // Reactive convergence / optical restoration outage hits every
+      // affected flow regardless of the eventual allocation.
+      outage = affected_flows(problem, scenario, &policy);
+    }
+
+    int ok = 0;
+    double available = 0.0;  // fractional per-flow availability
+    double max_loss = 0.0;
+    for (std::size_t f = 0; f < losses.size(); ++f) {
+      const bool loss_ok = losses[f] <= options.loss_tolerance;
+      if (outage[f]) {
+        // Charged for the outage window; the rest of the epoch counts only
+        // if the post-reaction allocation serves the flow.
+        available += loss_ok ? 1.0 - options.outage_epoch_fraction : 0.0;
+        max_loss = std::max(max_loss, 1.0);
+      } else {
+        if (loss_ok) {
+          ++ok;
+          available += 1.0;
+        }
+        max_loss = std::max(max_loss, losses[f]);
+      }
+    }
+    result.mean_flow_availability += scenario.probability * available / num_flows;
+    result.system_availability +=
+        ok == static_cast<int>(losses.size()) ? scenario.probability : 0.0;
+    result.expected_max_loss += scenario.probability * max_loss;
+  }
+
+  if (!options.residual_counts_as_loss) {
+    // Optimistic: scale up by the covered mass.
+    const double mass = std::max(scenarios.covered_probability, 1e-12);
+    result.mean_flow_availability /= mass;
+    result.system_availability /= mass;
+    result.expected_max_loss /= mass;
+  } else {
+    result.expected_max_loss += 1.0 - scenarios.covered_probability;
+  }
+  return result;
+}
+
+double to_nines(double availability) {
+  const double unavail = std::clamp(1.0 - availability, 1e-12, 1.0);
+  return -std::log10(unavail);
+}
+
+}  // namespace prete::te

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <vector>
+
+#include "te/scenario.h"
+#include "te/types.h"
+
+namespace prete::te {
+
+// How a scheme behaves when a failure hits (Appendix A.10 "Failure
+// Reactions"):
+//  - kRateAdaptation: proactive; surviving tunnels keep their allocations
+//    and the switchover is sub-epoch (ms). Loss = unmet demand fraction.
+//  - kRecompute: reactive (Flexile/NCFlow); affected flows lose traffic for
+//    the convergence window, counting the epoch as unavailable for them even
+//    if the recomputed policy is lossless afterwards.
+//  - kOpticalRestoration: ARROW; failed capacity comes back after the
+//    restoration latency, but affected flows suffer loss during it.
+enum class FailureReaction { kRateAdaptation, kRecompute, kOpticalRestoration };
+
+// Per-flow loss fractions under one failure scenario.
+// For every flow: delivered = sum of allocations on surviving tunnels,
+// scaled down proportionally on any over-capacity link (this models both
+// rate adaptation and naive schemes like ECMP that can overload links).
+std::vector<double> flow_losses(const TeProblem& problem,
+                                const TePolicy& policy,
+                                const FailureScenario& scenario);
+
+// Whether each flow is "affected" by the scenario: at least one of its
+// traffic-carrying tunnels dies. When `policy` is supplied, tunnels with
+// zero allocation do not count (they carry nothing to disrupt).
+std::vector<bool> affected_flows(const TeProblem& problem,
+                                 const FailureScenario& scenario,
+                                 const TePolicy* policy = nullptr);
+
+struct AvailabilityResult {
+  // Probability-weighted fraction of flows meeting their demand
+  // (loss <= tolerance) across scenarios — the per-flow availability the
+  // paper plots (Figure 13 y-axis, in "nines").
+  double mean_flow_availability = 0.0;
+  // Probability that no flow sees loss (system-level availability).
+  double system_availability = 0.0;
+  // Expected maximum flow loss (the Phi objective, for diagnostics).
+  double expected_max_loss = 0.0;
+};
+
+struct EvaluationOptions {
+  FailureReaction reaction = FailureReaction::kRateAdaptation;
+  double loss_tolerance = 1e-4;
+  // Probability mass not covered by the scenario set is counted as
+  // unavailable (pessimistic, keeps comparisons honest).
+  bool residual_counts_as_loss = true;
+  // How much of a TE epoch an affected flow is charged for a reactive
+  // convergence / optical-restoration outage. 1.0 (default) is the binary
+  // per-epoch accounting: any outage makes the flow unavailable for the
+  // epoch. Setting it to outage_sec / epoch_sec (e.g. 8/300 for ARROW's
+  // restoration) yields availability-as-fraction-of-time, which is what the
+  // paper's ARROW/Flexile columns imply ("ARROW cannot achieve 99.95%" yet
+  // reaches ~99.5%). Ignored for kRateAdaptation (its switchover is ms).
+  double outage_epoch_fraction = 1.0;
+};
+
+// Evaluates a policy's availability over a scenario set.
+// For kRecompute and kOpticalRestoration, affected flows are unavailable in
+// any scenario with a failure (convergence/restoration outage), and
+// post-reaction losses additionally count against unaffected flows.
+AvailabilityResult evaluate_availability(const TeProblem& problem,
+                                         const TePolicy& policy,
+                                         const ScenarioSet& scenarios,
+                                         const EvaluationOptions& options = {});
+
+// Converts availability to "number of nines" (0.999 -> 3.0).
+double to_nines(double availability);
+
+}  // namespace prete::te

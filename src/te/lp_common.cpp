@@ -1,0 +1,84 @@
+#include "te/lp_common.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace prete::te {
+
+std::vector<int> add_allocation_variables(lp::Model& model,
+                                          const TeProblem& problem) {
+  const net::TunnelSet& tunnels = *problem.tunnels;
+  std::vector<int> vars;
+  vars.reserve(static_cast<std::size_t>(tunnels.num_tunnels()));
+  for (const net::Tunnel& t : tunnels.tunnels()) {
+    vars.push_back(model.add_variable(0.0, lp::kInfinity, 0.0,
+                                      "a_f" + std::to_string(t.flow) + "_t" +
+                                          std::to_string(t.id)));
+  }
+  return vars;
+}
+
+void add_capacity_rows(lp::Model& model, const TeProblem& problem,
+                       const std::vector<int>& alloc_vars) {
+  const net::Network& net = *problem.network;
+  const net::TunnelSet& tunnels = *problem.tunnels;
+  // Collect tunnels per link once.
+  std::vector<std::vector<lp::Coefficient>> rows(
+      static_cast<std::size_t>(net.num_links()));
+  for (const net::Tunnel& t : tunnels.tunnels()) {
+    for (net::LinkId e : t.path) {
+      rows[static_cast<std::size_t>(e)].push_back(
+          {alloc_vars[static_cast<std::size_t>(t.id)], 1.0});
+    }
+  }
+  for (net::LinkId e = 0; e < net.num_links(); ++e) {
+    if (rows[static_cast<std::size_t>(e)].empty()) continue;
+    model.add_row(std::move(rows[static_cast<std::size_t>(e)]),
+                  lp::RowType::kLessEqual, net.link(e).capacity_gbps,
+                  "cap_e" + std::to_string(e));
+  }
+}
+
+LazyResult solve_with_lazy_rows(lp::Model& model,
+                                const ViolationOracle& violations,
+                                const LazyOptions& options) {
+  const lp::SimplexSolver solver(options.simplex);
+  LazyResult result;
+  for (int round = 0; round < options.max_rounds; ++round) {
+    result.solution = solver.solve(model);
+    result.rounds = round + 1;
+    if (result.solution.status != lp::SolveStatus::kOptimal) return result;
+    std::vector<ScoredRow> rows = violations(model, result.solution);
+    if (rows.empty()) return result;
+    if (model.num_rows() >= options.max_total_rows) return result;
+    std::sort(rows.begin(), rows.end(), [](const ScoredRow& a, const ScoredRow& b) {
+      return a.violation > b.violation;
+    });
+    const auto budget = static_cast<std::size_t>(
+        std::min(options.max_rows_per_round,
+                 options.max_total_rows - model.num_rows()));
+    const auto keep = std::min<std::size_t>(rows.size(), budget);
+    for (std::size_t i = 0; i < keep; ++i) {
+      model.add_row(std::move(rows[i].row));
+      ++result.rows_added;
+    }
+  }
+  // Ran out of rounds with violations remaining: report as iteration limit.
+  result.solution.status = lp::SolveStatus::kIterationLimit;
+  return result;
+}
+
+TePolicy extract_policy(const TeProblem& problem,
+                        const std::vector<int>& alloc_vars,
+                        const lp::Solution& solution) {
+  TePolicy policy;
+  policy.allocation.assign(
+      static_cast<std::size_t>(problem.tunnels->num_tunnels()), 0.0);
+  for (std::size_t t = 0; t < alloc_vars.size(); ++t) {
+    policy.allocation[t] =
+        solution.x[static_cast<std::size_t>(alloc_vars[t])];
+  }
+  return policy;
+}
+
+}  // namespace prete::te

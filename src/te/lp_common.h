@@ -1,0 +1,63 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+#include "te/types.h"
+
+namespace prete::te {
+
+// Adds one allocation variable per tunnel (a_{f,t} >= 0) and returns their
+// variable ids (indexed by TunnelId).
+std::vector<int> add_allocation_variables(lp::Model& model,
+                                          const TeProblem& problem);
+
+// Adds the link-capacity rows (Eqn. 3): for every directed IP link, the sum
+// of allocations of tunnels crossing it must not exceed its capacity.
+void add_capacity_rows(lp::Model& model, const TeProblem& problem,
+                       const std::vector<int>& alloc_vars);
+
+// Lazy-constraint solve loop: repeatedly solves `model`, asks `violations`
+// for rows violated by the current solution (returning an empty vector when
+// none), adds them, and re-solves. This keeps the dense simplex basis small
+// on formulations with one row per (flow, scenario) pair, where almost all
+// rows are slack at the optimum.
+struct LazyResult {
+  lp::Solution solution;
+  int rounds = 0;
+  int rows_added = 0;
+};
+
+// A violated row with its violation magnitude; the lazy driver adds only the
+// most-violated rows each round to keep the basis small.
+struct ScoredRow {
+  double violation = 0.0;
+  lp::Row row;
+};
+
+using ViolationOracle =
+    std::function<std::vector<ScoredRow>(const lp::Model&, const lp::Solution&)>;
+
+struct LazyOptions {
+  lp::SimplexOptions simplex;
+  int max_rounds = 80;
+  // Cap on rows added per round (the worst offenders are kept).
+  int max_rows_per_round = 60;
+  // Hard cap on the model's total row count: keeps the dense simplex basis
+  // bounded even on instances whose active set is genuinely large. When the
+  // cap is reached the current (feasible, slightly under-protected)
+  // solution is returned.
+  int max_total_rows = 900;
+};
+
+LazyResult solve_with_lazy_rows(lp::Model& model, const ViolationOracle& violations,
+                                const LazyOptions& options = {});
+
+// Extracts the tunnel allocation policy from an LP solution.
+TePolicy extract_policy(const TeProblem& problem,
+                        const std::vector<int>& alloc_vars,
+                        const lp::Solution& solution);
+
+}  // namespace prete::te

@@ -1,0 +1,456 @@
+#include "te/minmax.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <tuple>
+#include <stdexcept>
+
+#include "lp/branch_and_bound.h"
+#include "lp/simplex.h"
+#include "te/lp_common.h"
+
+namespace prete::te {
+
+namespace {
+
+// Fraction of flow f's demand carried by tunnels surviving scenario q under
+// the given allocations.
+double alive_fraction(const TeProblem& problem, const lp::Solution& sol,
+                      const std::vector<int>& alloc, net::FlowId f,
+                      const FailureScenario& q) {
+  const double d = std::max(problem.demand(f), 1e-9);
+  double frac = 0.0;
+  for (net::TunnelId t : problem.tunnels->tunnels_for_flow(f)) {
+    if (problem.tunnels->alive(*problem.network, t, q.fiber_failed)) {
+      frac += sol.x[static_cast<std::size_t>(alloc[static_cast<std::size_t>(t)])] / d;
+    }
+  }
+  return frac;
+}
+
+// Builds the Phi-row for (f, q): Phi + sum_{t alive} a_t / d_f >= rhs.
+lp::Row phi_row(const TeProblem& problem, const std::vector<int>& alloc,
+                int phi_var, net::FlowId f, const FailureScenario& q,
+                double rhs) {
+  std::vector<lp::Coefficient> coefs;
+  const double d = std::max(problem.demand(f), 1e-9);
+  for (net::TunnelId t : problem.tunnels->tunnels_for_flow(f)) {
+    if (problem.tunnels->alive(*problem.network, t, q.fiber_failed)) {
+      coefs.push_back({alloc[static_cast<std::size_t>(t)], 1.0 / d});
+    }
+  }
+  coefs.push_back({phi_var, 1.0});
+  return {std::move(coefs), lp::RowType::kGreaterEqual, rhs, ""};
+}
+
+void check_mass(const ScenarioSet& scenarios, double beta) {
+  if (scenarios.covered_probability + 1e-12 < beta) {
+    throw std::invalid_argument(
+        "scenario set covers less probability mass than beta");
+  }
+}
+
+}  // namespace
+
+MinMaxResult solve_min_max_direct(const TeProblem& problem,
+                                  const ScenarioSet& scenarios,
+                                  const MinMaxOptions& options) {
+  check_mass(scenarios, options.beta);
+  const auto& flows = *problem.flows;
+  const auto& Q = scenarios.scenarios;
+
+  lp::Model model(lp::Sense::kMinimize);
+  const std::vector<int> alloc = add_allocation_variables(model, problem);
+  const int phi = model.add_variable(0.0, 1.0, 1.0, "Phi");
+  // delta_{f,q} binaries and l_{f,q} losses.
+  std::map<std::pair<int, std::size_t>, int> delta;
+  std::map<std::pair<int, std::size_t>, int> loss;
+  for (const net::Flow& flow : flows) {
+    for (std::size_t q = 0; q < Q.size(); ++q) {
+      delta[{flow.id, q}] = model.add_binary(0.0);
+      loss[{flow.id, q}] = model.add_variable(0.0, 1.0, 0.0);
+    }
+  }
+  add_capacity_rows(model, problem, alloc);
+  for (const net::Flow& flow : flows) {
+    const double d = std::max(problem.demand(flow.id), 1e-9);
+    // (5): sum_q p_q delta_{f,q} >= beta.
+    std::vector<lp::Coefficient> avail_row;
+    for (std::size_t q = 0; q < Q.size(); ++q) {
+      avail_row.push_back({delta[{flow.id, q}], Q[q].probability});
+      // (4): sum_{t alive} a + d * l >= d.
+      std::vector<lp::Coefficient> demand_row;
+      for (net::TunnelId t : problem.tunnels->tunnels_for_flow(flow.id)) {
+        if (problem.tunnels->alive(*problem.network, t, Q[q].fiber_failed)) {
+          demand_row.push_back({alloc[static_cast<std::size_t>(t)], 1.0});
+        }
+      }
+      demand_row.push_back({loss[{flow.id, q}], d});
+      model.add_row(std::move(demand_row), lp::RowType::kGreaterEqual, d);
+      // (6): Phi - l + (1 - delta) >= 0  <=>  Phi - l - delta >= -1.
+      model.add_row({{phi, 1.0},
+                     {loss[{flow.id, q}], -1.0},
+                     {delta[{flow.id, q}], -1.0}},
+                    lp::RowType::kGreaterEqual, -1.0);
+    }
+    model.add_row(std::move(avail_row), lp::RowType::kGreaterEqual,
+                  options.beta);
+  }
+
+  lp::BranchAndBoundOptions bb;
+  bb.max_nodes = 50000;
+  const lp::Solution sol = lp::BranchAndBound(bb).solve(model);
+  MinMaxResult result;
+  result.iterations = 1;
+  if (sol.status != lp::SolveStatus::kOptimal) {
+    result.phi = 1.0;
+    return result;
+  }
+  result.policy = extract_policy(problem, alloc, sol);
+  result.phi = sol.x[static_cast<std::size_t>(phi)];
+  result.upper_bound = result.phi;
+  result.lower_bound = result.phi;
+  result.converged = true;
+  return result;
+}
+
+namespace {
+
+// One Benders optimality cut: Phi >= constant + sum_{f,q} weight * delta.
+struct BendersCut {
+  double constant = 0.0;
+  // Sparse weights keyed by (flow, scenario index); all weights <= 0 would
+  // make the cut useless, so only nonzero entries are stored.
+  std::map<std::pair<int, std::size_t>, double> weights;
+
+  double value(const std::vector<std::vector<char>>& delta) const {
+    double v = constant;
+    for (const auto& [key, w] : weights) {
+      v += w * static_cast<double>(
+                   delta[static_cast<std::size_t>(key.first)][key.second]);
+    }
+    return v;
+  }
+};
+
+}  // namespace
+
+namespace {
+
+// Second stage: with the delta selection and its quantile guarantee Phi*
+// fixed, re-optimize the allocation with a CVaR objective over ALL (flow,
+// scenario) pairs while enforcing loss <= Phi* on every guaranteed pair.
+// The pure min-max objective is indifferent between policies with the same
+// worst quantile loss; this stage breaks that tie the way an operator
+// would — protect everything that is cheap to protect.
+TePolicy refine_policy(const TeProblem& problem, const ScenarioSet& scenarios,
+                       const std::vector<std::vector<char>>& delta,
+                       double phi_star, double beta) {
+  const auto& flows = *problem.flows;
+  const auto& Q = scenarios.scenarios;
+  lp::Model model(lp::Sense::kMinimize);
+  const std::vector<int> alloc = add_allocation_variables(model, problem);
+  const int var_t = model.add_variable(0.0, 1.0, 1.0, "VaR");
+  add_capacity_rows(model, problem, alloc);
+  const double tail = std::max(1.0 - beta, 1e-6);
+  const double flow_weight = 1.0 / static_cast<double>(flows.size());
+  const double phi_bound = std::min(phi_star + 1e-7, 1.0);
+  const bool enforce_guarantee = phi_bound < 1.0;
+
+  std::set<std::pair<int, std::size_t>> have_cvar_row;
+  std::set<std::pair<int, std::size_t>> have_guarantee_row;
+  auto add_cvar_row = [&](net::FlowId f, std::size_t q) {
+    const int s = model.add_variable(
+        0.0, 1.0, Q[q].probability * flow_weight / tail, "");
+    lp::Row row = phi_row(problem, alloc, s, f, Q[q], 1.0);
+    row.coefficients.push_back({var_t, 1.0});
+    model.add_row(std::move(row));
+    have_cvar_row.insert({f, q});
+  };
+  auto add_guarantee_row = [&](net::FlowId f, std::size_t q) {
+    // frac >= 1 - Phi*: the quantile guarantee, independent of t.
+    std::vector<lp::Coefficient> coefs;
+    const double d = std::max(problem.demand(f), 1e-9);
+    for (net::TunnelId t : problem.tunnels->tunnels_for_flow(f)) {
+      if (problem.tunnels->alive(*problem.network, t, Q[q].fiber_failed)) {
+        coefs.push_back({alloc[static_cast<std::size_t>(t)], 1.0 / d});
+      }
+    }
+    model.add_row(std::move(coefs), lp::RowType::kGreaterEqual,
+                  1.0 - phi_bound);
+    have_guarantee_row.insert({f, q});
+  };
+  for (const net::Flow& flow : flows) add_cvar_row(flow.id, 0);
+
+  const lp::SimplexSolver solver;
+  lp::Solution solution;
+  constexpr int kMaxRounds = 100;
+  constexpr int kMaxRowsPerRound = 60;
+  constexpr int kMaxTotalRows = 900;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    solution = solver.solve(model);
+    if (solution.status != lp::SolveStatus::kOptimal) return {};
+    if (model.num_rows() >= kMaxTotalRows) break;  // bounded-basis stop
+    const double t_val = solution.x[static_cast<std::size_t>(var_t)];
+    // (violation, (flow, scenario), needs_guarantee)
+    std::vector<std::tuple<double, std::pair<int, std::size_t>, bool>> violated;
+    for (std::size_t q = 0; q < Q.size(); ++q) {
+      for (const net::Flow& flow : flows) {
+        const double frac =
+            alive_fraction(problem, solution, alloc, flow.id, Q[q]);
+        const bool guaranteed =
+            enforce_guarantee &&
+            delta[static_cast<std::size_t>(flow.id)][q] != 0;
+        if (guaranteed && !have_guarantee_row.count({flow.id, q}) &&
+            1.0 - frac > phi_bound + 1e-7) {
+          violated.push_back(
+              {1.0 - frac - phi_bound, {flow.id, q}, true});
+        }
+        if (!have_cvar_row.count({flow.id, q}) &&
+            1.0 - frac - t_val > 1e-6 && Q[q].probability > 1e-12) {
+          violated.push_back(
+              {(1.0 - frac - t_val) * Q[q].probability, {flow.id, q}, false});
+        }
+      }
+    }
+    if (violated.empty()) break;
+    std::sort(violated.begin(), violated.end(), [](const auto& a, const auto& b) {
+      return std::get<0>(a) > std::get<0>(b);
+    });
+    const auto keep = std::min<std::size_t>(violated.size(), kMaxRowsPerRound);
+    for (std::size_t i = 0; i < keep; ++i) {
+      const auto& [viol, key, needs_guarantee] = violated[i];
+      (void)viol;
+      if (needs_guarantee) {
+        add_guarantee_row(key.first, key.second);
+      } else {
+        add_cvar_row(key.first, key.second);
+      }
+    }
+  }
+  if (solution.status != lp::SolveStatus::kOptimal) return {};
+  return extract_policy(problem, alloc, solution);
+}
+
+}  // namespace
+
+MinMaxResult solve_min_max_benders(const TeProblem& problem,
+                                   const ScenarioSet& scenarios,
+                                   const MinMaxOptions& options) {
+  check_mass(scenarios, options.beta);
+  const auto& flows = *problem.flows;
+  const auto& Q = scenarios.scenarios;
+
+  // Fatal pairs: scenarios where a flow keeps no tunnel at all. No
+  // allocation can protect them (their Phi-row reads Phi >= 1), and at the
+  // degenerate SP optimum the duals cannot be relied on to point the master
+  // at them — so they are dropped up-front, within each flow's probability
+  // budget, and pinned to zero.
+  std::vector<std::vector<char>> fatal(flows.size(),
+                                       std::vector<char>(Q.size(), 0));
+  std::vector<double> pinned_mass(flows.size(), 0.0);
+  const double base_budget = scenarios.covered_probability - options.beta;
+  for (const net::Flow& flow : flows) {
+    std::vector<std::pair<double, std::size_t>> fatal_q;  // (prob, q)
+    for (std::size_t q = 0; q < Q.size(); ++q) {
+      bool any_alive = false;
+      for (net::TunnelId t : problem.tunnels->tunnels_for_flow(flow.id)) {
+        if (problem.tunnels->alive(*problem.network, t, Q[q].fiber_failed)) {
+          any_alive = true;
+          break;
+        }
+      }
+      if (!any_alive) fatal_q.push_back({Q[q].probability, q});
+    }
+    // Drop the most probable fatal scenarios first — they hurt Phi the most
+    // if kept, and if all fit in the budget the order is irrelevant.
+    std::sort(fatal_q.begin(), fatal_q.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    double used = 0.0;
+    for (const auto& [p, q] : fatal_q) {
+      if (used + p <= base_budget + 1e-12) {
+        fatal[static_cast<std::size_t>(flow.id)][q] = 1;
+        used += p;
+      }
+    }
+    pinned_mass[static_cast<std::size_t>(flow.id)] = used;
+  }
+
+  // delta[f][q]: whether flow f must survive scenario q. Initialized to all
+  // ones except the pinned fatal pairs (Algorithm 2 line 2 initializes to
+  // ones, which "directly satisfies constraint (5)"; the fatal pins keep
+  // (5) satisfied because they fit inside the budget).
+  std::vector<std::vector<char>> delta(
+      flows.size(), std::vector<char>(Q.size(), 1));
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    for (std::size_t q = 0; q < Q.size(); ++q) {
+      if (fatal[f][q]) delta[f][q] = 0;
+    }
+  }
+
+  MinMaxResult result;
+  result.upper_bound = 1.0;
+  result.lower_bound = 0.0;
+  std::vector<BendersCut> cuts;
+  std::vector<std::vector<char>> best_delta = delta;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // ---- Subproblem: LP with lazy Phi-rows for delta == 1 pairs. ----
+    // The loop is managed here (not via solve_with_lazy_rows) because the
+    // dual of every added row must be mapped back to its (flow, scenario)
+    // key to assemble the Benders cut.
+    lp::Model sp(lp::Sense::kMinimize);
+    const std::vector<int> alloc = add_allocation_variables(sp, problem);
+    const int phi = sp.add_variable(0.0, 1.0, 1.0, "Phi");
+    add_capacity_rows(sp, problem, alloc);
+    std::vector<std::pair<int, std::size_t>> row_keys;  // after capacity rows
+    std::set<std::pair<int, std::size_t>> seen_keys;
+    const int fixed_rows = sp.num_rows();
+    // Seed with the highest-probability scenario's rows.
+    for (const net::Flow& flow : flows) {
+      if (delta[static_cast<std::size_t>(flow.id)][0]) {
+        sp.add_row(phi_row(problem, alloc, phi, flow.id, Q[0], 1.0));
+        row_keys.push_back({flow.id, 0});
+        seen_keys.insert({flow.id, 0});
+      }
+    }
+
+    lp::Solution sp_solution;
+    const lp::SimplexSolver solver;
+    bool sp_ok = false;
+    constexpr int kMaxRounds = 80;
+    constexpr int kMaxRowsPerRound = 60;
+    constexpr int kMaxTotalRows = 900;
+    for (int round = 0; round < kMaxRounds; ++round) {
+      sp_solution = solver.solve(sp);
+      if (sp_solution.status != lp::SolveStatus::kOptimal) break;
+      if (sp.num_rows() >= kMaxTotalRows) {
+        sp_ok = true;  // bounded-basis stop: accept the current subproblem
+        break;
+      }
+      constexpr double kTol = 1e-7;
+      const double phi_val = sp_solution.x[static_cast<std::size_t>(phi)];
+      // Collect the globally worst violated (f, q) rows.
+      std::vector<std::pair<double, std::pair<int, std::size_t>>> violated;
+      for (std::size_t q = 0; q < Q.size(); ++q) {
+        for (const net::Flow& flow : flows) {
+          if (!delta[static_cast<std::size_t>(flow.id)][q]) continue;
+          if (seen_keys.count({flow.id, q})) continue;
+          const double shortfall =
+              1.0 - phi_val -
+              alive_fraction(problem, sp_solution, alloc, flow.id, Q[q]);
+          if (shortfall > kTol) violated.push_back({shortfall, {flow.id, q}});
+        }
+      }
+      if (violated.empty()) {
+        sp_ok = true;
+        break;
+      }
+      std::sort(violated.begin(), violated.end(),
+                [](const auto& a, const auto& b) { return a.first > b.first; });
+      const auto keep = std::min<std::size_t>(violated.size(), kMaxRowsPerRound);
+      for (std::size_t i = 0; i < keep; ++i) {
+        const auto& key = violated[i].second;
+        sp.add_row(phi_row(problem, alloc, phi, key.first, Q[key.second], 1.0));
+        row_keys.push_back(key);
+        seen_keys.insert(key);
+      }
+    }
+    if (!sp_ok) {
+      break;  // keep the best incumbent found so far
+    }
+    const lp::Solution& sp_result_solution = sp_solution;
+    const double sp_value = sp_result_solution.objective;
+
+    // Update incumbent (the SP allocation is feasible for the original
+    // problem because delta always satisfies constraint (5)).
+    if (sp_value < result.upper_bound) {
+      result.upper_bound = sp_value;
+      result.policy = extract_policy(problem, alloc, sp_result_solution);
+      result.phi = sp_value;
+      best_delta = delta;
+    }
+
+    // ---- Optimality cut from the duals (Eqn. 11). ----
+    BendersCut cut;
+    cut.constant = sp_value;
+    for (std::size_t r = 0; r < row_keys.size(); ++r) {
+      const double w =
+          sp_result_solution.duals[static_cast<std::size_t>(fixed_rows) + r];
+      if (w > 1e-10) {
+        cut.weights[row_keys[r]] += w;
+        cut.constant -= w;  // subtract w * delta_hat (delta_hat == 1)
+      }
+    }
+    cuts.push_back(cut);
+
+    // ---- Master: per-flow scenario selection. ----
+    // Aggregated weight per (f, q): max over cuts (a monotone proxy that
+    // keeps every cut's reduction opportunities visible).
+    std::vector<std::vector<double>> weight(
+        flows.size(), std::vector<double>(Q.size(), 0.0));
+    for (const BendersCut& c : cuts) {
+      for (const auto& [key, w] : c.weights) {
+        auto& cell =
+            weight[static_cast<std::size_t>(key.first)][key.second];
+        cell = std::max(cell, w);
+      }
+    }
+    for (const net::Flow& flow : flows) {
+      auto& df = delta[static_cast<std::size_t>(flow.id)];
+      const auto& pins = fatal[static_cast<std::size_t>(flow.id)];
+      const double budget =
+          base_budget - pinned_mass[static_cast<std::size_t>(flow.id)];
+      for (std::size_t q = 0; q < Q.size(); ++q) df[q] = pins[q] ? 0 : 1;
+      // Drop scenarios in decreasing weight while the mass budget allows;
+      // ties broken toward lower-probability scenarios (cheaper to drop).
+      std::vector<std::size_t> order(Q.size());
+      for (std::size_t q = 0; q < Q.size(); ++q) order[q] = q;
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        const double wa = weight[static_cast<std::size_t>(flow.id)][a];
+        const double wb = weight[static_cast<std::size_t>(flow.id)][b];
+        if (wa != wb) return wa > wb;
+        return Q[a].probability < Q[b].probability;
+      });
+      double dropped = 0.0;
+      for (std::size_t q : order) {
+        if (pins[q]) continue;
+        if (weight[static_cast<std::size_t>(flow.id)][q] <= 0.0) break;
+        if (dropped + Q[q].probability <= budget + 1e-12) {
+          df[q] = 0;
+          dropped += Q[q].probability;
+        }
+      }
+    }
+
+    // Lower bound estimate: the master value at the new delta.
+    double lb = 0.0;
+    for (const BendersCut& c : cuts) lb = std::max(lb, c.value(delta));
+    result.lower_bound = std::max(result.lower_bound, std::min(lb, result.upper_bound));
+
+    if (result.upper_bound - result.lower_bound <= options.epsilon) {
+      result.converged = true;
+      break;
+    }
+  }
+  if (result.upper_bound - result.lower_bound <= options.epsilon) {
+    result.converged = true;
+  }
+  // Second stage: keep the Phi guarantee when it is SLA-meaningful, and in
+  // any case serve whatever else is free to serve (CVaR refinement).
+  const double guarantee = result.upper_bound <= options.guarantee_threshold
+                               ? result.upper_bound
+                               : 1.0;  // vacuous -> pure CVaR refinement
+  TePolicy refined =
+      refine_policy(problem, scenarios, best_delta, guarantee, options.beta);
+  if (!refined.allocation.empty()) {
+    result.policy = std::move(refined);
+  }
+  return result;
+}
+
+}  // namespace prete::te

@@ -1,0 +1,56 @@
+#pragma once
+
+#include "lp/model.h"
+#include "te/scenario.h"
+#include "te/types.h"
+
+namespace prete::te {
+
+// Solver for the paper's availability-constrained min-max-loss program
+// (Eqns 2-8): choose tunnel allocations a_{f,t} minimizing the maximum
+// beta-quantile loss Phi across flows, where each flow may ignore failure
+// scenarios totalling at most (1 - beta) probability (binary delta_{f,q}).
+//
+// Reformulation used throughout: the loss variables l_{f,q} are eliminated
+// (they sit at max(0, 1 - sum_alive a/d) at any optimum), leaving rows
+//   Phi + sum_{t in (T u Y)_{f,q}} a_{f,t} / d_f >= delta_{f,q}
+// with delta only in the right-hand side — which makes Benders cuts exact
+// subgradients of the subproblem value function.
+struct MinMaxOptions {
+  double beta = 0.99;
+  // Benders convergence threshold on UB - LB (Algorithm 2's epsilon).
+  double epsilon = 1e-4;
+  int max_iterations = 25;
+  // The Benders solve is followed by a CVaR refinement that keeps the
+  // quantile guarantee "loss <= Phi*" as hard rows — but only when Phi* is
+  // small enough to be SLA-meaningful. Past this threshold a fairness
+  // guarantee of (say) 22% loss for everyone has no operational value, and
+  // enforcing it destroys bulk availability; the refinement then runs
+  // unconstrained (pure CVaR on the calibrated scenario set).
+  double guarantee_threshold = 0.05;
+};
+
+struct MinMaxResult {
+  TePolicy policy;
+  double phi = 1.0;       // maximum beta-quantile loss achieved
+  int iterations = 0;     // Benders iterations (1 for the direct solver)
+  double upper_bound = 1.0;
+  double lower_bound = 0.0;
+  bool converged = false;
+};
+
+// Exact mixed-integer solve via branch-and-bound over all delta_{f,q}.
+// Only tractable for small instances (|F| x |Q| <~ 60); used as the ground
+// truth in tests and for the worked examples of Figures 2/3/7.
+MinMaxResult solve_min_max_direct(const TeProblem& problem,
+                                  const ScenarioSet& scenarios,
+                                  const MinMaxOptions& options = {});
+
+// Benders decomposition (Algorithm 2 + Appendix A.4): subproblem LP with
+// lazy rows, optimality cuts from the duals, and a per-flow master that
+// selects which scenarios each flow must survive (probability mass >= beta).
+MinMaxResult solve_min_max_benders(const TeProblem& problem,
+                                   const ScenarioSet& scenarios,
+                                   const MinMaxOptions& options = {});
+
+}  // namespace prete::te

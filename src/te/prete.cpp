@@ -1,0 +1,68 @@
+#include "te/prete.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace prete::te {
+
+bool DegradationScenario::any() const {
+  return std::any_of(degraded.begin(), degraded.end(), [](bool b) { return b; });
+}
+
+DegradationScenario DegradationScenario::none(int num_fibers) {
+  DegradationScenario s;
+  s.degraded.assign(static_cast<std::size_t>(num_fibers), false);
+  s.predicted_prob.assign(static_cast<std::size_t>(num_fibers), 0.0);
+  return s;
+}
+
+PreTeScheme::PreTeScheme(std::vector<double> static_fiber_probs,
+                         PreTeConfig config)
+    : static_probs_(std::move(static_fiber_probs)), config_(config) {}
+
+PreTeScheme::Outcome PreTeScheme::compute_for_degradation(
+    const net::Network& network, const std::vector<net::Flow>& flows,
+    net::TunnelSet& tunnels, const net::TrafficMatrix& demands,
+    const DegradationScenario& degradation) {
+  if (degradation.degraded.size() != static_probs_.size() ||
+      static_cast<int>(static_probs_.size()) != network.num_fibers()) {
+    throw std::invalid_argument("degradation scenario size mismatch");
+  }
+
+  Outcome outcome;
+
+  // Step 1 (§4.1): calibrate probabilities per Eqn. 1.
+  const std::vector<double> calibrated = calibrated_probabilities(
+      static_probs_, degradation.degraded, degradation.predicted_prob,
+      config_.alpha);
+
+  // Step 2 (§4.2, Algorithm 1): reactive tunnel updates per degraded fiber.
+  for (net::FiberId f = 0; f < network.num_fibers(); ++f) {
+    if (!degradation.degraded[static_cast<std::size_t>(f)]) continue;
+    const TunnelUpdateResult r = update_tunnels_for_degradation(
+        network, flows, tunnels, f, config_.tunnel_update);
+    outcome.tunnel_update.affected_flows += r.affected_flows;
+    outcome.tunnel_update.affected_tunnels += r.affected_tunnels;
+    outcome.tunnel_update.created.insert(outcome.tunnel_update.created.end(),
+                                         r.created.begin(), r.created.end());
+  }
+
+  // Step 3 (§4.3): regenerate scenarios and solve the unified program.
+  outcome.scenarios =
+      generate_failure_scenarios(calibrated, config_.scenario_options);
+
+  TeProblem problem;
+  problem.network = &network;
+  problem.flows = &flows;
+  problem.tunnels = &tunnels;
+  problem.demands = demands;
+
+  MinMaxOptions solver = config_.solver;
+  solver.beta = std::min(config_.beta, outcome.scenarios.covered_probability);
+  outcome.solver_result =
+      solve_min_max_benders(problem, outcome.scenarios, solver);
+  outcome.policy = outcome.solver_result.policy;
+  return outcome;
+}
+
+}  // namespace prete::te

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <vector>
+
+#include "te/minmax.h"
+#include "te/scenario.h"
+#include "te/schemes.h"
+#include "te/tunnel_update.h"
+#include "te/types.h"
+
+namespace prete::te {
+
+// The degradation scenario s (§4.3): which fibers currently show a
+// degradation signal, and the predicted failure probability for each.
+struct DegradationScenario {
+  std::vector<bool> degraded;          // per fiber
+  std::vector<double> predicted_prob;  // p_NN for degraded fibers (else unused)
+
+  bool any() const;
+  static DegradationScenario none(int num_fibers);
+};
+
+struct PreTeConfig {
+  double beta = 0.99;
+  // Predictable-cut fraction alpha from measurements (§6.1: 25%).
+  double alpha = 0.25;
+  TunnelUpdateConfig tunnel_update;
+  MinMaxOptions solver;
+  ScenarioOptions scenario_options;
+};
+
+// The PreTE TE scheme (§4): on each TE period (or degradation trigger),
+//   1. calibrate per-fiber failure probabilities via Eqn. 1,
+//   2. create new tunnels for flows crossing degraded fibers (Algorithm 1),
+//   3. regenerate failure scenarios and solve the min-max-loss program
+//      (Eqns 2-8) with Benders decomposition.
+//
+// compute_for_degradation mutates the tunnel set (adds dynamic tunnels) and
+// returns the policy over the enlarged tunnel table.
+class PreTeScheme {
+ public:
+  PreTeScheme(std::vector<double> static_fiber_probs, PreTeConfig config = {});
+
+  struct Outcome {
+    TePolicy policy;
+    ScenarioSet scenarios;           // the believed (calibrated) scenario set
+    TunnelUpdateResult tunnel_update;
+    MinMaxResult solver_result;
+  };
+
+  // Computes the PreTE policy for a degradation scenario. `tunnels` must be
+  // the mutable tunnel table for this epoch (dynamic tunnels are appended).
+  Outcome compute_for_degradation(const net::Network& network,
+                                  const std::vector<net::Flow>& flows,
+                                  net::TunnelSet& tunnels,
+                                  const net::TrafficMatrix& demands,
+                                  const DegradationScenario& degradation);
+
+  const PreTeConfig& config() const { return config_; }
+  const std::vector<double>& static_probs() const { return static_probs_; }
+
+ private:
+  std::vector<double> static_probs_;
+  PreTeConfig config_;
+};
+
+}  // namespace prete::te

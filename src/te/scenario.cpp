@@ -1,0 +1,102 @@
+#include "te/scenario.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace prete::te {
+
+bool FailureScenario::any_failure() const {
+  return std::any_of(fiber_failed.begin(), fiber_failed.end(),
+                     [](bool b) { return b; });
+}
+
+int FailureScenario::failure_count() const {
+  return static_cast<int>(
+      std::count(fiber_failed.begin(), fiber_failed.end(), true));
+}
+
+namespace {
+
+// Exact product-form probability of the scenario where exactly the fibers
+// in `failed` are cut.
+double subset_probability(const std::vector<double>& cut_probs,
+                          const std::vector<int>& failed) {
+  double p = 1.0;
+  std::size_t next = 0;
+  for (std::size_t i = 0; i < cut_probs.size(); ++i) {
+    const bool is_failed =
+        next < failed.size() && failed[next] == static_cast<int>(i);
+    if (is_failed) ++next;
+    p *= is_failed ? cut_probs[i] : (1.0 - cut_probs[i]);
+  }
+  return p;
+}
+
+}  // namespace
+
+ScenarioSet generate_failure_scenarios(const std::vector<double>& cut_probs,
+                                       const ScenarioOptions& options) {
+  const auto n = static_cast<int>(cut_probs.size());
+  for (double p : cut_probs) {
+    if (p < 0.0 || p > 1.0) throw std::invalid_argument("probability out of range");
+  }
+
+  struct Candidate {
+    std::vector<int> failed;  // sorted fiber ids
+    double probability;
+  };
+  std::vector<Candidate> candidates;
+  candidates.push_back({{}, subset_probability(cut_probs, {})});
+  if (options.max_simultaneous_failures >= 1) {
+    for (int i = 0; i < n; ++i) {
+      candidates.push_back({{i}, subset_probability(cut_probs, {i})});
+    }
+  }
+  if (options.max_simultaneous_failures >= 2) {
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        candidates.push_back({{i, j}, subset_probability(cut_probs, {i, j})});
+      }
+    }
+  }
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.probability != b.probability) {
+                return a.probability > b.probability;
+              }
+              return a.failed < b.failed;  // deterministic tie-break
+            });
+
+  ScenarioSet set;
+  for (const Candidate& c : candidates) {
+    if (c.probability <= 0.0) continue;  // impossible scenario
+    if (static_cast<int>(set.scenarios.size()) >= options.max_scenarios) break;
+    FailureScenario s;
+    s.fiber_failed.assign(static_cast<std::size_t>(n), false);
+    for (int f : c.failed) s.fiber_failed[static_cast<std::size_t>(f)] = true;
+    s.probability = c.probability;
+    set.scenarios.push_back(std::move(s));
+    set.covered_probability += c.probability;
+    if (set.covered_probability >= options.target_mass) break;
+  }
+  return set;
+}
+
+std::vector<double> calibrated_probabilities(
+    const std::vector<double>& static_probs,
+    const std::vector<bool>& degraded,
+    const std::vector<double>& predicted_probs, double alpha) {
+  if (static_probs.size() != degraded.size() ||
+      static_probs.size() != predicted_probs.size()) {
+    throw std::invalid_argument("calibrated_probabilities: size mismatch");
+  }
+  std::vector<double> out(static_probs.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = degraded[i] ? predicted_probs[i]
+                         : (1.0 - alpha) * static_probs[i];
+  }
+  return out;
+}
+
+}  // namespace prete::te

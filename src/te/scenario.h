@@ -1,0 +1,51 @@
+#pragma once
+
+#include <vector>
+
+#include "net/graph.h"
+
+namespace prete::te {
+
+// One failure scenario q: the set of simultaneously failed fibers with its
+// product-form probability p_q (§4.3).
+struct FailureScenario {
+  std::vector<bool> fiber_failed;
+  double probability = 0.0;
+
+  bool any_failure() const;
+  int failure_count() const;
+};
+
+struct ScenarioSet {
+  std::vector<FailureScenario> scenarios;
+  // Probability mass covered by the enumerated scenarios. The residual
+  // (1 - covered) corresponds to rare multi-failure scenarios beyond the
+  // cutoff (treated as loss by pessimistic evaluators).
+  double covered_probability = 0.0;
+};
+
+struct ScenarioOptions {
+  // Enumerate joint failures up to this cardinality.
+  int max_simultaneous_failures = 2;
+  // Stop adding scenarios once this probability mass is covered.
+  double target_mass = 1.0 - 1e-6;
+  // Hard cap on scenario count (keeps the optimizations tractable).
+  int max_scenarios = 200;
+};
+
+// Enumerates failure scenarios for the given per-fiber cut probabilities in
+// decreasing probability order: the no-failure scenario, then single cuts,
+// then pairs, subject to the cutoff options (§6.1 "We select degradation and
+// failure scenarios based on the specific cutoff values").
+ScenarioSet generate_failure_scenarios(const std::vector<double>& cut_probs,
+                                       const ScenarioOptions& options = {});
+
+// Eqn. 1 / §4.3: per-fiber failure probabilities under a degradation
+// scenario. For degraded fibers use the predictor output; otherwise the
+// discounted static probability (1 - alpha) * p_i.
+std::vector<double> calibrated_probabilities(
+    const std::vector<double>& static_probs,
+    const std::vector<bool>& degraded,
+    const std::vector<double>& predicted_probs, double alpha);
+
+}  // namespace prete::te

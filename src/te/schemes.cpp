@@ -1,0 +1,269 @@
+#include "te/schemes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "te/lp_common.h"
+#include "te/minmax.h"
+
+namespace prete::te {
+
+namespace {
+
+// Is tunnel t alive when the fibers in `failed` are cut?
+bool tunnel_alive(const TeProblem& problem, net::TunnelId t,
+                  const std::vector<int>& failed) {
+  const net::Network& net = *problem.network;
+  for (net::LinkId e : problem.tunnels->tunnel(t).path) {
+    const net::FiberId f = net.link(e).fiber;
+    if (std::find(failed.begin(), failed.end(), f) != failed.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+TePolicy EcmpScheme::compute(const TeProblem& problem, const ScenarioSet&) {
+  TePolicy policy;
+  policy.allocation.assign(
+      static_cast<std::size_t>(problem.tunnels->num_tunnels()), 0.0);
+  for (const net::Flow& flow : *problem.flows) {
+    const auto& tunnels = problem.tunnels->tunnels_for_flow(flow.id);
+    if (tunnels.empty()) continue;
+    const double share =
+        problem.demand(flow.id) / static_cast<double>(tunnels.size());
+    for (net::TunnelId t : tunnels) {
+      policy.allocation[static_cast<std::size_t>(t)] = share;
+    }
+  }
+  return policy;
+}
+
+TePolicy FfcScheme::compute(const TeProblem& problem,
+                            const ScenarioSet&) {
+  const net::Network& net = *problem.network;
+  const auto& flows = *problem.flows;
+
+  lp::Model model(lp::Sense::kMaximize);
+  const std::vector<int> alloc = add_allocation_variables(model, problem);
+  // Granted bandwidth b_f in [0, d_f]. Objective: lexicographic-ish
+  // max-min fairness (a dominant weight on the minimum granted fraction
+  // lambda) plus the equal-weight satisfied fraction, so no flow is starved
+  // at an LP corner.
+  std::vector<int> granted;
+  granted.reserve(flows.size());
+  for (const net::Flow& flow : flows) {
+    const double d = std::max(problem.demand(flow.id), 1e-9);
+    granted.push_back(model.add_variable(0.0, d, 1.0 / d,
+                                         "b_f" + std::to_string(flow.id)));
+  }
+  const int lambda = model.add_variable(
+      0.0, 1.0, 10.0 * static_cast<double>(flows.size()), "lambda");
+  for (const net::Flow& flow : flows) {
+    const double d = std::max(problem.demand(flow.id), 1e-9);
+    model.add_row({{granted[static_cast<std::size_t>(flow.id)], 1.0},
+                   {lambda, -d}},
+                  lp::RowType::kGreaterEqual, 0.0);
+  }
+  add_capacity_rows(model, problem, alloc);
+  // No-failure rows seed the lazy loop.
+  for (const net::Flow& flow : flows) {
+    std::vector<lp::Coefficient> coefs;
+    for (net::TunnelId t : problem.tunnels->tunnels_for_flow(flow.id)) {
+      coefs.push_back({alloc[static_cast<std::size_t>(t)], 1.0});
+    }
+    coefs.push_back({granted[static_cast<std::size_t>(flow.id)], -1.0});
+    model.add_row(std::move(coefs), lp::RowType::kGreaterEqual, 0.0);
+  }
+
+  // Structural failure sets of cardinality <= k.
+  std::vector<std::vector<int>> failure_sets;
+  for (net::FiberId i = 0; i < net.num_fibers(); ++i) {
+    if (k_ >= 1) failure_sets.push_back({i});
+    if (k_ >= 2) {
+      for (net::FiberId j = i + 1; j < net.num_fibers(); ++j) {
+        failure_sets.push_back({i, j});
+      }
+    }
+  }
+
+  auto oracle = [&](const lp::Model&,
+                    const lp::Solution& sol) -> std::vector<ScoredRow> {
+    std::vector<ScoredRow> rows;
+    constexpr double kTol = 1e-6;
+    for (const auto& failed : failure_sets) {
+      // Worst-violated flow for this failure set. Flows that keep NO tunnel
+      // under the failure set are skipped: no allocation can protect a
+      // physically disconnected flow, and forcing b_f = 0 for it would
+      // punish the flow in every scenario rather than just this one.
+      double worst = kTol;
+      const net::Flow* worst_flow = nullptr;
+      for (const net::Flow& flow : flows) {
+        double alive_sum = 0.0;
+        bool any_alive = false;
+        for (net::TunnelId t : problem.tunnels->tunnels_for_flow(flow.id)) {
+          if (tunnel_alive(problem, t, failed)) {
+            any_alive = true;
+            alive_sum +=
+                sol.x[static_cast<std::size_t>(alloc[static_cast<std::size_t>(t)])];
+          }
+        }
+        if (!any_alive) continue;
+        const double b =
+            sol.x[static_cast<std::size_t>(granted[static_cast<std::size_t>(flow.id)])];
+        if (b - alive_sum > worst) {
+          worst = b - alive_sum;
+          worst_flow = &flow;
+        }
+      }
+      if (!worst_flow) continue;
+      std::vector<lp::Coefficient> coefs;
+      for (net::TunnelId t :
+           problem.tunnels->tunnels_for_flow(worst_flow->id)) {
+        if (tunnel_alive(problem, t, failed)) {
+          coefs.push_back({alloc[static_cast<std::size_t>(t)], 1.0});
+        }
+      }
+      coefs.push_back(
+          {granted[static_cast<std::size_t>(worst_flow->id)], -1.0});
+      rows.push_back(
+          {worst, {std::move(coefs), lp::RowType::kGreaterEqual, 0.0, ""}});
+    }
+    return rows;
+  };
+
+  const LazyResult result = solve_with_lazy_rows(model, oracle);
+  if (result.solution.status != lp::SolveStatus::kOptimal) {
+    return EcmpScheme().compute(problem, {});  // defensive fallback
+  }
+  return extract_policy(problem, alloc, result.solution);
+}
+
+namespace {
+
+// TeaVar's CVaR LP on the flow-averaged loss: minimize
+//   t + 1/(1-beta) * sum_{f,q} (p_q / |F|) * s_{f,q}
+// with s_{f,q} >= 1 - (surviving allocation fraction) - t. The per-(f,q)
+// shortfall variables and their rows are created lazily, so the dense
+// simplex basis stays near the active set.
+TePolicy solve_cvar(const TeProblem& problem, const ScenarioSet& scenarios,
+                    double beta) {
+  const auto& flows = *problem.flows;
+  lp::Model model(lp::Sense::kMinimize);
+  const std::vector<int> alloc = add_allocation_variables(model, problem);
+  const int var_t = model.add_variable(0.0, 1.0, 1.0, "VaR");
+  const double tail = std::max(1.0 - beta, 1e-6);
+  const double flow_weight = 1.0 / static_cast<double>(flows.size());
+  add_capacity_rows(model, problem, alloc);
+
+  auto alive_fraction = [&](const lp::Solution& sol, const net::Flow& flow,
+                            std::size_t q) {
+    double frac = 0.0;
+    const double d = std::max(problem.demand(flow.id), 1e-9);
+    for (net::TunnelId t : problem.tunnels->tunnels_for_flow(flow.id)) {
+      if (problem.tunnels->alive(*problem.network, t,
+                                 scenarios.scenarios[q].fiber_failed)) {
+        frac +=
+            sol.x[static_cast<std::size_t>(alloc[static_cast<std::size_t>(t)])] / d;
+      }
+    }
+    return frac;
+  };
+  std::set<std::pair<int, std::size_t>> have_row;
+  auto add_shortfall_row = [&](const net::Flow& flow, std::size_t q) {
+    const int s = model.add_variable(
+        0.0, 1.0,
+        scenarios.scenarios[q].probability * flow_weight / tail,
+        "s_f" + std::to_string(flow.id) + "_q" + std::to_string(q));
+    std::vector<lp::Coefficient> coefs;
+    const double d = std::max(problem.demand(flow.id), 1e-9);
+    for (net::TunnelId t : problem.tunnels->tunnels_for_flow(flow.id)) {
+      if (problem.tunnels->alive(*problem.network, t,
+                                 scenarios.scenarios[q].fiber_failed)) {
+        coefs.push_back({alloc[static_cast<std::size_t>(t)], 1.0 / d});
+      }
+    }
+    coefs.push_back({s, 1.0});
+    coefs.push_back({var_t, 1.0});
+    model.add_row(std::move(coefs), lp::RowType::kGreaterEqual, 1.0);
+    have_row.insert({flow.id, q});
+  };
+
+  // Seed with the highest-probability (usually no-failure) scenario.
+  for (const net::Flow& flow : flows) add_shortfall_row(flow, 0);
+
+  const lp::SimplexSolver solver;
+  lp::Solution solution;
+  bool converged = false;
+  constexpr int kMaxRounds = 80;
+  constexpr int kMaxRowsPerRound = 60;
+  constexpr int kMaxTotalRows = 900;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    solution = solver.solve(model);
+    if (solution.status != lp::SolveStatus::kOptimal) break;
+    if (model.num_rows() >= kMaxTotalRows) {
+      converged = true;  // bounded-basis stop: accept the current policy
+      break;
+    }
+    const double t_val = solution.x[static_cast<std::size_t>(var_t)];
+    std::vector<std::pair<double, std::pair<int, std::size_t>>> violated;
+    constexpr double kTol = 1e-6;
+    for (std::size_t q = 0; q < scenarios.scenarios.size(); ++q) {
+      for (const net::Flow& flow : flows) {
+        if (have_row.count({flow.id, q})) continue;  // s var absorbs it
+        const double violation = 1.0 - alive_fraction(solution, flow, q) - t_val;
+        if (violation > kTol) violated.push_back({violation, {flow.id, q}});
+      }
+    }
+    if (violated.empty()) {
+      converged = true;
+      break;
+    }
+    std::sort(violated.begin(), violated.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    const auto keep = std::min<std::size_t>(violated.size(), kMaxRowsPerRound);
+    for (std::size_t i = 0; i < keep; ++i) {
+      const auto& [flow_id, q] = violated[i].second;
+      add_shortfall_row(flows[static_cast<std::size_t>(flow_id)], q);
+    }
+  }
+  if (!converged) {
+    return EcmpScheme().compute(problem, {});  // defensive fallback
+  }
+  return extract_policy(problem, alloc, solution);
+}
+
+}  // namespace
+
+TePolicy TeaVarScheme::compute(const TeProblem& problem,
+                               const ScenarioSet& scenarios) {
+  return solve_cvar(problem, scenarios, beta_);
+}
+
+TePolicy ArrowScheme::compute(const TeProblem& problem,
+                              const ScenarioSet& scenarios) {
+  // Optical restoration rebuilds the failed capacity within seconds, so the
+  // allocation only has to fit the healthy network; the restoration outage
+  // itself is charged by the evaluator via reaction().
+  ScenarioSet healthy;
+  if (!scenarios.scenarios.empty()) {
+    FailureScenario base = scenarios.scenarios.front();
+    std::fill(base.fiber_failed.begin(), base.fiber_failed.end(), false);
+    base.probability = 1.0;
+    healthy.scenarios.push_back(std::move(base));
+    healthy.covered_probability = 1.0;
+  }
+  return solve_cvar(problem, healthy, beta_);
+}
+
+TePolicy FlexileScheme::compute(const TeProblem& problem,
+                                const ScenarioSet& scenarios) {
+  MinMaxOptions options;
+  options.beta = std::min(beta_, scenarios.covered_probability);
+  return solve_min_max_benders(problem, scenarios, options).policy;
+}
+
+}  // namespace prete::te

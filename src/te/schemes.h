@@ -1,0 +1,97 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "te/evaluator.h"
+#include "te/scenario.h"
+#include "te/types.h"
+
+namespace prete::te {
+
+// A TE scheme maps a problem + failure scenario set to a tunnel allocation
+// policy. The scenario set carries the probabilities the scheme *believes*
+// (static p_i for the baselines, Eqn-1-calibrated for PreTE); evaluation
+// happens against nature's scenario set separately.
+class TeScheme {
+ public:
+  virtual ~TeScheme() = default;
+  virtual TePolicy compute(const TeProblem& problem,
+                           const ScenarioSet& scenarios) = 0;
+  virtual std::string name() const = 0;
+  // How the scheme reacts to an actual failure (Appendix A.10).
+  virtual FailureReaction reaction() const {
+    return FailureReaction::kRateAdaptation;
+  }
+};
+
+// ECMP baseline: demand split equally across the flow's tunnels, no failure
+// awareness, can overload links.
+class EcmpScheme : public TeScheme {
+ public:
+  TePolicy compute(const TeProblem& problem, const ScenarioSet&) override;
+  std::string name() const override { return "ECMP"; }
+};
+
+// FFC-k [26]: maximize granted bandwidth such that no flow loses traffic
+// under ANY combination of up to k fiber failures.
+class FfcScheme : public TeScheme {
+ public:
+  explicit FfcScheme(int k) : k_(k) {}
+  TePolicy compute(const TeProblem& problem, const ScenarioSet& scenarios) override;
+  std::string name() const override { return "FFC-" + std::to_string(k_); }
+
+ private:
+  int k_;
+};
+
+// TeaVaR [6]: minimizes the beta-CVaR of the maximum flow loss over the
+// probabilistic failure scenarios (allocation caps reserved per scenario,
+// rate adaptation on failure).
+class TeaVarScheme : public TeScheme {
+ public:
+  explicit TeaVarScheme(double beta = 0.99) : beta_(beta) {}
+  TePolicy compute(const TeProblem& problem, const ScenarioSet& scenarios) override;
+  std::string name() const override { return "TeaVar"; }
+
+ private:
+  double beta_;
+};
+
+// ARROW [41]: plans like TeaVar but relies on optical restoration after a
+// failure; affected flows suffer the 8-second restoration outage
+// (reaction() reports kOpticalRestoration so the evaluator accounts it).
+class ArrowScheme : public TeScheme {
+ public:
+  explicit ArrowScheme(double beta = 0.99, double restoration_sec = 8.0)
+      : beta_(beta), restoration_sec_(restoration_sec) {}
+  TePolicy compute(const TeProblem& problem, const ScenarioSet& scenarios) override;
+  std::string name() const override { return "ARROW"; }
+  FailureReaction reaction() const override {
+    return FailureReaction::kOpticalRestoration;
+  }
+  double restoration_sec() const { return restoration_sec_; }
+
+ private:
+  double beta_;
+  double restoration_sec_;
+};
+
+// Flexile [21]: the same availability-constrained min-max-loss optimization
+// PreTE builds on, but driven purely reactively — the controller recomputes
+// after failures, so affected flows eat the convergence window (reaction()
+// reports kRecompute).
+class FlexileScheme : public TeScheme {
+ public:
+  explicit FlexileScheme(double beta = 0.99) : beta_(beta) {}
+  TePolicy compute(const TeProblem& problem, const ScenarioSet& scenarios) override;
+  std::string name() const override { return "Flexile"; }
+  FailureReaction reaction() const override {
+    return FailureReaction::kRecompute;
+  }
+
+ private:
+  double beta_;
+};
+
+}  // namespace prete::te

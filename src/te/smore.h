@@ -1,0 +1,19 @@
+#pragma once
+
+#include "te/schemes.h"
+
+namespace prete::te {
+
+// SMORE [24]-style semi-oblivious TE: route every flow's full demand across
+// its (low-stretch, here k-shortest + fiber-disjoint) tunnel set so as to
+// minimize the maximum link utilization. No failure awareness in the
+// allocation — resilience comes only from the path diversity itself, with
+// rate adaptation redistributing nothing (surviving tunnels keep their
+// share). Listed in the paper's Table 9 with "-" failure reaction.
+class SmoreScheme : public TeScheme {
+ public:
+  TePolicy compute(const TeProblem& problem, const ScenarioSet&) override;
+  std::string name() const override { return "SMORE"; }
+};
+
+}  // namespace prete::te

@@ -1,0 +1,72 @@
+#include "te/tunnel_update.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/paths.h"
+
+namespace prete::te {
+
+TunnelUpdateResult update_tunnels_for_degradation(
+    const net::Network& network, const std::vector<net::Flow>& flows,
+    net::TunnelSet& tunnels, net::FiberId degraded_fiber,
+    const TunnelUpdateConfig& config) {
+  TunnelUpdateResult result;
+  const net::LinkWeight weight = net::fiber_length_weight(network);
+  // Step 1: G'(V, E) = G minus the degraded fiber's links.
+  auto usable = [&](const net::Link& link) {
+    return link.fiber != degraded_fiber;
+  };
+
+  for (const net::Flow& flow : flows) {
+    // Step 2: Lambda = number of this flow's tunnels traversing the fiber.
+    int lambda = 0;
+    std::vector<net::Path> existing;
+    for (net::TunnelId t : tunnels.tunnels_for_flow(flow.id)) {
+      existing.push_back(tunnels.tunnel(t).path);
+      if (tunnels.uses_fiber(network, t, degraded_fiber)) ++lambda;
+    }
+    if (lambda == 0) continue;
+    ++result.affected_flows;
+    result.affected_tunnels += lambda;
+
+    const int want = std::min(
+        config.max_new_tunnels_per_flow,
+        static_cast<int>(std::ceil(config.ratio * static_cast<double>(lambda))));
+    if (want <= 0) continue;
+
+    // Establish new tunnels from G': k-shortest paths avoiding the fiber,
+    // skipping paths the flow already has.
+    const auto candidates = net::k_shortest_paths(
+        network, flow.src, flow.dst, want + static_cast<int>(existing.size()),
+        [&](const net::Link& l) {
+          // Infinite-cost emulation: usable() filter applied below instead.
+          return weight(l);
+        });
+    int created = 0;
+    for (const net::Path& p : candidates) {
+      if (created >= want) break;
+      if (net::path_uses_fiber(network, p, degraded_fiber)) continue;
+      if (std::find(existing.begin(), existing.end(), p) != existing.end()) {
+        continue;
+      }
+      result.created.push_back(tunnels.add_tunnel(flow.id, p, /*dynamic=*/true));
+      existing.push_back(p);
+      ++created;
+    }
+    if (created < want) {
+      // Fall back to direct shortest paths on G' if Yen could not supply
+      // enough fiber-avoiding paths.
+      const auto direct =
+          net::shortest_path(network, flow.src, flow.dst, weight, usable);
+      if (direct && std::find(existing.begin(), existing.end(), *direct) ==
+                        existing.end()) {
+        result.created.push_back(
+            tunnels.add_tunnel(flow.id, *direct, /*dynamic=*/true));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace prete::te

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "net/graph.h"
+#include "net/tunnels.h"
+
+namespace prete::te {
+
+struct TunnelUpdateConfig {
+  // New tunnels per affected tunnel (Figure 16's "ratio" knob; the paper
+  // recommends 1 as the runtime/availability sweet spot).
+  double ratio = 1.0;
+  // Cap on new tunnels per flow.
+  int max_new_tunnels_per_flow = 8;
+};
+
+struct TunnelUpdateResult {
+  // Ids of the tunnels created (all flagged dynamic in the tunnel set).
+  std::vector<net::TunnelId> created;
+  // Number of flows that had at least one affected tunnel.
+  int affected_flows = 0;
+  // Total affected tunnels (the Lambda values summed).
+  int affected_tunnels = 0;
+};
+
+// Algorithm 1: for every flow with tunnels traversing the degraded fiber,
+// establish new tunnels routed on the graph with that fiber removed, so the
+// new paths are disjoint from the degraded fiber. Mutates `tunnels` by
+// appending dynamic tunnels (Y^s in the paper).
+TunnelUpdateResult update_tunnels_for_degradation(
+    const net::Network& network, const std::vector<net::Flow>& flows,
+    net::TunnelSet& tunnels, net::FiberId degraded_fiber,
+    const TunnelUpdateConfig& config = {});
+
+}  // namespace prete::te

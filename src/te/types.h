@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "net/graph.h"
+#include "net/traffic.h"
+#include "net/tunnels.h"
+
+namespace prete::te {
+
+// One TE optimization instance: topology, flows, their demands for this
+// epoch, and the tunnel table (pre-established plus any dynamic tunnels).
+struct TeProblem {
+  const net::Network* network = nullptr;
+  const std::vector<net::Flow>* flows = nullptr;
+  const net::TunnelSet* tunnels = nullptr;
+  net::TrafficMatrix demands;  // Gbps per flow
+
+  double demand(net::FlowId f) const {
+    return demands[static_cast<std::size_t>(f)];
+  }
+};
+
+// A TE policy: the bandwidth allocated to each tunnel (a_{f,t} in Table 2).
+// Rate adaptation after a failure keeps these allocations on the surviving
+// tunnels (proactive model, §2.1).
+struct TePolicy {
+  std::vector<double> allocation;  // indexed by TunnelId
+
+  double tunnel_allocation(net::TunnelId t) const {
+    return t >= 0 && static_cast<std::size_t>(t) < allocation.size()
+               ? allocation[static_cast<std::size_t>(t)]
+               : 0.0;
+  }
+};
+
+}  // namespace prete::te

@@ -1,0 +1,18 @@
+#include "util/distributions.h"
+
+namespace prete::util {
+
+double sample_standard_normal(Rng& rng) {
+  // Box-Muller; draw u1 away from zero so log() stays finite.
+  double u1 = rng.next_double();
+  while (u1 <= 0.0) u1 = rng.next_double();
+  const double u2 = rng.next_double();
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+}
+
+double sample_lognormal(Rng& rng, double mu, double sigma) {
+  return std::exp(mu + sigma * sample_standard_normal(rng));
+}
+
+}  // namespace prete::util

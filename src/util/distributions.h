@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace prete::util {
+
+// Weibull distribution. The paper generates per-fiber degradation
+// probabilities from Weibull(shape = 0.8, scale = 0.002) (§6.1).
+class Weibull {
+ public:
+  Weibull(double shape, double scale) : shape_(shape), scale_(scale) {
+    if (shape <= 0 || scale <= 0) {
+      throw std::invalid_argument("Weibull parameters must be positive");
+    }
+  }
+
+  double sample(Rng& rng) const {
+    // Inverse-CDF sampling; guard the log argument away from 0.
+    double u = rng.next_double();
+    if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+    return scale_ * std::pow(-std::log1p(-u), 1.0 / shape_);
+  }
+
+  double cdf(double x) const {
+    if (x <= 0) return 0.0;
+    return -std::expm1(-std::pow(x / scale_, shape_));
+  }
+
+  double pdf(double x) const {
+    if (x <= 0) return 0.0;
+    const double r = x / scale_;
+    return (shape_ / scale_) * std::pow(r, shape_ - 1.0) *
+           std::exp(-std::pow(r, shape_));
+  }
+
+  double mean() const { return scale_ * std::tgamma(1.0 + 1.0 / shape_); }
+
+  double shape() const { return shape_; }
+  double scale() const { return scale_; }
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+// Geometric waiting time (number of Bernoulli(p) trials before the first
+// success). The paper models unpredictable fiber cuts as geometric across
+// time epochs (Theorem 4.1).
+class Geometric {
+ public:
+  explicit Geometric(double p) : p_(p) {
+    if (p <= 0.0 || p > 1.0) {
+      throw std::invalid_argument("Geometric p must be in (0, 1]");
+    }
+  }
+
+  // Samples the number of failures before the first success (support {0,1,...}).
+  std::uint64_t sample(Rng& rng) const {
+    if (p_ >= 1.0) return 0;
+    double u = rng.next_double();
+    if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+    return static_cast<std::uint64_t>(std::log1p(-u) / std::log1p(-p_));
+  }
+
+  double pmf(std::uint64_t k) const {
+    return p_ * std::pow(1.0 - p_, static_cast<double>(k));
+  }
+
+  double p() const { return p_; }
+
+ private:
+  double p_;
+};
+
+// Exponential distribution, used for event inter-arrival times in the
+// per-second telemetry generator.
+class Exponential {
+ public:
+  explicit Exponential(double rate) : rate_(rate) {
+    if (rate <= 0) throw std::invalid_argument("Exponential rate must be positive");
+  }
+
+  double sample(Rng& rng) const {
+    double u = rng.next_double();
+    if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+    return -std::log1p(-u) / rate_;
+  }
+
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+};
+
+// Standard normal sample via Box-Muller (single value; cache-free to keep
+// the generator state trivially forkable).
+double sample_standard_normal(Rng& rng);
+
+// Log-normal sample, used for heavy-tailed degradation durations.
+double sample_lognormal(Rng& rng, double mu, double sigma);
+
+}  // namespace prete::util

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace prete::util {
+
+// Deterministic, fast pseudo-random generator (xoshiro256**).
+// All simulation components take an explicit Rng so that every experiment
+// in the repository is reproducible from a single seed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  // Re-initializes the full 256-bit state from a 64-bit seed via splitmix64,
+  // which guarantees the state is never all-zero.
+  void reseed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  // Uniform integer in [0, n). n must be positive.
+  std::uint64_t next_below(std::uint64_t n) {
+    // Lemire's nearly-divisionless bounded sampling.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = -n % n;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  bool bernoulli(double p) { return next_double() < p; }
+
+  // Forks an independent stream; used to give each simulated fiber its own
+  // generator so event ordering never perturbs other fibers' randomness.
+  Rng fork() { return Rng(next_u64() ^ 0xd1342543de82ef95ULL); }
+
+  // UniformRandomBitGenerator interface (usable with <algorithm> shuffles).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace prete::util

@@ -1,0 +1,131 @@
+#include "lp/branch_and_bound.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace prete::lp {
+namespace {
+
+TEST(BranchAndBoundTest, PureLpPassthrough) {
+  Model m(Sense::kMaximize);
+  const int x = m.add_variable(0, 4.5, 1.0, "x");
+  m.add_row({{x, 1.0}}, RowType::kLessEqual, 3.2);
+  const Solution s = BranchAndBound().solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 3.2, 1e-8);
+}
+
+TEST(BranchAndBoundTest, SimpleKnapsack) {
+  // max 5a + 4b + 3c st 2a + 3b + c <= 5, binary -> a=1, c=1: 8? a=1,b=1: 9.
+  Model m(Sense::kMaximize);
+  const int a = m.add_binary(5.0, "a");
+  const int b = m.add_binary(4.0, "b");
+  const int c = m.add_binary(3.0, "c");
+  m.add_row({{a, 2.0}, {b, 3.0}, {c, 1.0}}, RowType::kLessEqual, 5.0);
+  const Solution s = BranchAndBound().solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 9.0, 1e-6);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(a)], 1.0, 1e-6);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(b)], 1.0, 1e-6);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(c)], 0.0, 1e-6);
+}
+
+TEST(BranchAndBoundTest, GeneralIntegerRounding) {
+  // max x st 2x <= 7, x integer -> x=3 (LP relaxation gives 3.5).
+  Model m(Sense::kMaximize);
+  const int x = m.add_integer(0, 100, 1.0, "x");
+  m.add_row({{x, 2.0}}, RowType::kLessEqual, 7.0);
+  const Solution s = BranchAndBound().solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 3.0, 1e-6);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(x)], 3.0, 1e-6);
+}
+
+TEST(BranchAndBoundTest, InfeasibleBinary) {
+  Model m;
+  const int a = m.add_binary(1.0, "a");
+  const int b = m.add_binary(1.0, "b");
+  m.add_row({{a, 1.0}, {b, 1.0}}, RowType::kGreaterEqual, 3.0);
+  EXPECT_EQ(BranchAndBound().solve(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(BranchAndBoundTest, EqualityCover) {
+  // min a + b + c st a + b + c = 2 (binary) -> objective 2.
+  Model m;
+  const int a = m.add_binary(1.0, "a");
+  const int b = m.add_binary(1.0, "b");
+  const int c = m.add_binary(1.0, "c");
+  m.add_row({{a, 1.0}, {b, 1.0}, {c, 1.0}}, RowType::kEqual, 2.0);
+  const Solution s = BranchAndBound().solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-6);
+  for (int v : {a, b, c}) {
+    const double xv = s.x[static_cast<std::size_t>(v)];
+    EXPECT_TRUE(std::abs(xv) < 1e-6 || std::abs(xv - 1.0) < 1e-6);
+  }
+}
+
+TEST(BranchAndBoundTest, MixedIntegerProblem) {
+  // max 2i + y st i + y <= 3.7, y <= 1.5, i binary*3 -> i in {0..3} via three
+  // binaries, y continuous. Optimum: i-sum=3, y=0.7 -> 6.7.
+  Model m(Sense::kMaximize);
+  const int i1 = m.add_binary(2.0);
+  const int i2 = m.add_binary(2.0);
+  const int i3 = m.add_binary(2.0);
+  const int y = m.add_variable(0, 1.5, 1.0, "y");
+  m.add_row({{i1, 1.0}, {i2, 1.0}, {i3, 1.0}, {y, 1.0}}, RowType::kLessEqual,
+            3.7);
+  const Solution s = BranchAndBound().solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 6.7, 1e-6);
+}
+
+// Property: B&B on random small knapsacks must match brute-force enumeration.
+class KnapsackProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(KnapsackProperty, MatchesBruteForce) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam() * 31 + 7));
+  const int n = 3 + static_cast<int>(rng.next_below(8));
+  std::vector<double> value(static_cast<std::size_t>(n));
+  std::vector<double> weight(static_cast<std::size_t>(n));
+  double total_weight = 0.0;
+  for (int j = 0; j < n; ++j) {
+    value[static_cast<std::size_t>(j)] = rng.uniform(1.0, 10.0);
+    weight[static_cast<std::size_t>(j)] = rng.uniform(1.0, 5.0);
+    total_weight += weight[static_cast<std::size_t>(j)];
+  }
+  const double capacity = rng.uniform(0.3, 0.7) * total_weight;
+
+  Model m(Sense::kMaximize);
+  std::vector<Coefficient> row;
+  for (int j = 0; j < n; ++j) {
+    m.add_binary(value[static_cast<std::size_t>(j)]);
+    row.push_back({j, weight[static_cast<std::size_t>(j)]});
+  }
+  m.add_row(std::move(row), RowType::kLessEqual, capacity);
+  const Solution s = BranchAndBound().solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+
+  double best = 0.0;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    double w = 0.0;
+    double v = 0.0;
+    for (int j = 0; j < n; ++j) {
+      if (mask & (1 << j)) {
+        w += weight[static_cast<std::size_t>(j)];
+        v += value[static_cast<std::size_t>(j)];
+      }
+    }
+    if (w <= capacity) best = std::max(best, v);
+  }
+  EXPECT_NEAR(s.objective, best, 1e-6) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KnapsackProperty, ::testing::Range(1, 25));
+
+}  // namespace
+}  // namespace prete::lp

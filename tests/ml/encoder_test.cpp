@@ -1,0 +1,129 @@
+#include "ml/encoder.h"
+
+#include <gtest/gtest.h>
+
+namespace prete::ml {
+namespace {
+
+Dataset tiny_dataset() {
+  Dataset ds;
+  for (int i = 0; i < 4; ++i) {
+    Example e;
+    e.features.fiber_id = i;
+    e.features.region = i % 2;
+    e.features.vendor = i % 3;
+    e.features.degree_db = 3.0 + i;
+    e.features.gradient_db = 0.1 * i;
+    e.features.fluctuation = 2.0 * i;
+    e.features.length_km = 100.0 * (i + 1);
+    e.features.hour = 6.0 * i;
+    ds.examples.push_back(e);
+  }
+  return ds;
+}
+
+TEST(EncoderTest, DenseSizeFullMask) {
+  FeatureEncoder enc;
+  enc.fit(tiny_dataset());
+  // 4 continuous + 24 one-hot hours.
+  EXPECT_EQ(enc.dense_size(), 28);
+}
+
+TEST(EncoderTest, MinMaxScalingIntoUnitInterval) {
+  FeatureEncoder enc;
+  enc.fit(tiny_dataset());
+  optical::DegradationFeatures f;
+  f.degree_db = 6.0;  // range [3,6] -> 1.0
+  f.gradient_db = 0.0;
+  f.fluctuation = 3.0;  // range [0,6] -> 0.5
+  f.length_km = 100.0;  // range [100,400] -> 0.0
+  f.hour = 12.0;
+  const auto x = enc.encode_dense(f);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 0.0);
+  EXPECT_DOUBLE_EQ(x[2], 0.5);
+  EXPECT_DOUBLE_EQ(x[3], 0.0);
+}
+
+TEST(EncoderTest, OutOfRangeClamped) {
+  FeatureEncoder enc;
+  enc.fit(tiny_dataset());
+  optical::DegradationFeatures f;
+  f.degree_db = 99.0;
+  f.hour = 0.0;
+  const auto x = enc.encode_dense(f);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+}
+
+TEST(EncoderTest, HourOneHot) {
+  FeatureEncoder enc;
+  enc.fit(tiny_dataset());
+  optical::DegradationFeatures f;
+  f.hour = 13.7;
+  const auto x = enc.encode_dense(f);
+  double sum = 0.0;
+  for (int h = 0; h < 24; ++h) sum += x[static_cast<std::size_t>(4 + h)];
+  EXPECT_DOUBLE_EQ(sum, 1.0);
+  EXPECT_DOUBLE_EQ(x[4 + 13], 1.0);
+}
+
+TEST(EncoderTest, MaskedFeaturesDropOut) {
+  FeatureMask mask;
+  mask.time = false;
+  mask.degree = false;
+  FeatureEncoder enc(mask);
+  enc.fit(tiny_dataset());
+  EXPECT_EQ(enc.dense_size(), 3);  // gradient, fluctuation, length
+  optical::DegradationFeatures f;
+  f.gradient_db = 0.3;
+  EXPECT_EQ(enc.encode_dense(f).size(), 3u);
+}
+
+TEST(EncoderTest, CategoricalCardinalities) {
+  FeatureEncoder enc;
+  enc.fit(tiny_dataset());
+  EXPECT_EQ(enc.num_fibers(), 4);
+  EXPECT_EQ(enc.num_regions(), 2);
+  EXPECT_EQ(enc.num_vendors(), 3);
+  optical::DegradationFeatures f;
+  f.fiber_id = 2;
+  f.region = 1;
+  f.vendor = 0;
+  const auto idx = enc.encode_categorical(f);
+  EXPECT_EQ(idx.fiber, 2);
+  EXPECT_EQ(idx.region, 1);
+  EXPECT_EQ(idx.vendor, 0);
+}
+
+TEST(EncoderTest, MaskedCategoricalIsMinusOne) {
+  FeatureMask mask;
+  mask.fiber_id = false;
+  FeatureEncoder enc(mask);
+  enc.fit(tiny_dataset());
+  optical::DegradationFeatures f;
+  f.fiber_id = 1;
+  EXPECT_EQ(enc.encode_categorical(f).fiber, -1);
+}
+
+TEST(EncoderTest, UnseenCategoryClamped) {
+  FeatureEncoder enc;
+  enc.fit(tiny_dataset());
+  optical::DegradationFeatures f;
+  f.fiber_id = 99;
+  EXPECT_EQ(enc.encode_categorical(f).fiber, 3);
+}
+
+TEST(EncoderTest, ThrowsIfNotFitted) {
+  FeatureEncoder enc;
+  optical::DegradationFeatures f;
+  EXPECT_THROW(enc.encode_dense(f), std::logic_error);
+  EXPECT_THROW(enc.encode_categorical(f), std::logic_error);
+}
+
+TEST(EncoderTest, ThrowsOnEmptyTrainingSet) {
+  FeatureEncoder enc;
+  EXPECT_THROW(enc.fit(Dataset{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prete::ml

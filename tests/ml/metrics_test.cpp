@@ -1,0 +1,102 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace prete::ml {
+namespace {
+
+// Fixed-output predictor for testing the metric plumbing.
+class ConstantPredictor : public FailurePredictor {
+ public:
+  explicit ConstantPredictor(double p) : p_(p) {}
+  double predict(const optical::DegradationFeatures&) const override {
+    return p_;
+  }
+
+ private:
+  double p_;
+};
+
+// Predicts failure iff degree exceeds a threshold.
+class ThresholdPredictor : public FailurePredictor {
+ public:
+  explicit ThresholdPredictor(double threshold) : threshold_(threshold) {}
+  double predict(const optical::DegradationFeatures& f) const override {
+    return f.degree_db > threshold_ ? 0.9 : 0.1;
+  }
+
+ private:
+  double threshold_;
+};
+
+Dataset two_by_two() {
+  Dataset ds;
+  // degree 8 & label 1 (TP for threshold 7), degree 8 & label 0 (FP),
+  // degree 4 & label 1 (FN), degree 4 & label 0 (TN).
+  const double degrees[] = {8, 8, 4, 4};
+  const int labels[] = {1, 0, 1, 0};
+  for (int i = 0; i < 4; ++i) {
+    Example e;
+    e.features.degree_db = degrees[i];
+    e.label = labels[i];
+    e.true_probability = labels[i];
+    ds.examples.push_back(e);
+  }
+  return ds;
+}
+
+TEST(MetricsTest, ConfusionMatrixCells) {
+  const Dataset ds = two_by_two();
+  const ThresholdPredictor pred(7.0);
+  const Metrics m = evaluate(pred, ds);
+  EXPECT_EQ(m.tp, 1);
+  EXPECT_EQ(m.fp, 1);
+  EXPECT_EQ(m.fn, 1);
+  EXPECT_EQ(m.tn, 1);
+  EXPECT_DOUBLE_EQ(m.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(m.recall(), 0.5);
+  EXPECT_DOUBLE_EQ(m.f1(), 0.5);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.5);
+}
+
+TEST(MetricsTest, PerfectPredictor) {
+  Dataset ds = two_by_two();
+  // Drop the noisy rows so the threshold rule is exact.
+  ds.examples.erase(ds.examples.begin() + 1, ds.examples.begin() + 3);
+  const ThresholdPredictor pred(7.0);
+  const Metrics m = evaluate(pred, ds);
+  EXPECT_DOUBLE_EQ(m.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(m.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(m.f1(), 1.0);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 1.0);
+}
+
+TEST(MetricsTest, DegenerateDenominators) {
+  Metrics m;  // all zero
+  EXPECT_DOUBLE_EQ(m.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(m.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(m.f1(), 0.0);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.0);
+}
+
+TEST(MetricsTest, AlwaysNegativeHasZeroRecall) {
+  const Dataset ds = two_by_two();
+  const ConstantPredictor pred(0.0);
+  const Metrics m = evaluate(pred, ds);
+  EXPECT_EQ(m.tp, 0);
+  EXPECT_EQ(m.fp, 0);
+  EXPECT_DOUBLE_EQ(m.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.5);
+}
+
+TEST(ProbabilityErrorsTest, AbsoluteDifferences) {
+  const Dataset ds = two_by_two();
+  const ConstantPredictor pred(0.3);
+  const auto errors = probability_errors(pred, ds);
+  ASSERT_EQ(errors.size(), 4u);
+  EXPECT_DOUBLE_EQ(errors[0], 0.7);  // truth 1.0
+  EXPECT_DOUBLE_EQ(errors[1], 0.3);  // truth 0.0
+}
+
+}  // namespace
+}  // namespace prete::ml

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ml/metrics.h"
+#include "ml/mlp.h"
+#include "util/rng.h"
+
+namespace prete::ml {
+namespace {
+
+Dataset make_dataset(int n, util::Rng& rng) {
+  Dataset ds;
+  for (int i = 0; i < n; ++i) {
+    Example e;
+    e.features.fiber_id = static_cast<int>(rng.next_below(5));
+    e.features.region = static_cast<int>(rng.next_below(2));
+    e.features.vendor = static_cast<int>(rng.next_below(3));
+    e.features.degree_db = rng.uniform(3.0, 10.0);
+    e.features.gradient_db = rng.uniform(0.0, 1.0);
+    e.features.fluctuation = rng.uniform(0.0, 20.0);
+    e.features.length_km = rng.uniform(100.0, 2000.0);
+    e.features.hour = rng.uniform(0.0, 24.0);
+    e.label = e.features.degree_db > 6.5 ? 1 : 0;
+    ds.examples.push_back(e);
+  }
+  return ds;
+}
+
+TEST(MlpSerializationTest, RoundTripPreservesPredictions) {
+  util::Rng rng(1);
+  const Dataset train = make_dataset(400, rng);
+  FeatureEncoder encoder;
+  encoder.fit(train);
+  MlpConfig config;
+  config.epochs = 10;
+  MlpPredictor trained(encoder, config);
+  trained.train(train);
+
+  std::stringstream buffer;
+  trained.save(buffer);
+
+  MlpPredictor loaded(encoder, config);  // fresh random weights
+  loaded.load(buffer);
+  for (const Example& e : train.examples) {
+    EXPECT_NEAR(loaded.predict(e.features), trained.predict(e.features), 1e-12);
+  }
+}
+
+TEST(MlpSerializationTest, LoadRejectsGarbage) {
+  util::Rng rng(2);
+  const Dataset train = make_dataset(100, rng);
+  FeatureEncoder encoder;
+  encoder.fit(train);
+  MlpPredictor mlp(encoder);
+  std::stringstream garbage("not a model at all");
+  EXPECT_THROW(mlp.load(garbage), std::runtime_error);
+}
+
+TEST(MlpSerializationTest, LoadRejectsMismatchedArchitecture) {
+  util::Rng rng(3);
+  const Dataset train = make_dataset(100, rng);
+  FeatureEncoder encoder;
+  encoder.fit(train);
+  MlpConfig small;
+  small.hidden_units = 16;
+  MlpPredictor small_model(encoder, small);
+  std::stringstream buffer;
+  small_model.save(buffer);
+
+  MlpPredictor default_model(encoder);  // 64 hidden units
+  EXPECT_THROW(default_model.load(buffer), std::runtime_error);
+}
+
+TEST(MlpSerializationTest, TruncatedFileRejected) {
+  util::Rng rng(4);
+  const Dataset train = make_dataset(100, rng);
+  FeatureEncoder encoder;
+  encoder.fit(train);
+  MlpPredictor mlp(encoder);
+  std::stringstream buffer;
+  mlp.save(buffer);
+  std::string content = buffer.str();
+  content.resize(content.size() / 2);
+  std::stringstream truncated(content);
+  MlpPredictor other(encoder);
+  EXPECT_THROW(other.load(truncated), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace prete::ml

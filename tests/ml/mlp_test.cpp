@@ -1,0 +1,150 @@
+#include "ml/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/metrics.h"
+#include "net/topology.h"
+#include "optical/simulator.h"
+
+namespace prete::ml {
+namespace {
+
+// Synthetic linearly-separable-by-degree dataset.
+Dataset separable_dataset(int n, util::Rng& rng) {
+  Dataset ds;
+  for (int i = 0; i < n; ++i) {
+    Example e;
+    e.features.fiber_id = static_cast<int>(rng.next_below(4));
+    e.features.region = static_cast<int>(rng.next_below(2));
+    e.features.vendor = static_cast<int>(rng.next_below(2));
+    e.features.degree_db = rng.uniform(3.0, 10.0);
+    e.features.gradient_db = rng.uniform(0.0, 1.0);
+    e.features.fluctuation = rng.uniform(0.0, 20.0);
+    e.features.length_km = rng.uniform(100.0, 2000.0);
+    e.features.hour = rng.uniform(0.0, 24.0);
+    e.label = e.features.degree_db > 6.5 ? 1 : 0;
+    e.true_probability = e.label;
+    ds.examples.push_back(e);
+  }
+  return ds;
+}
+
+TEST(MlpTest, LearnsSeparableRule) {
+  util::Rng rng(1);
+  const Dataset train = separable_dataset(800, rng);
+  const Dataset test = separable_dataset(200, rng);
+  FeatureEncoder enc;
+  enc.fit(train);
+  MlpConfig config;
+  config.epochs = 30;
+  MlpPredictor mlp(enc, config);
+  const double loss = mlp.train(train);
+  EXPECT_LT(loss, 0.2);
+  const Metrics m = evaluate(mlp, test);
+  EXPECT_GT(m.accuracy(), 0.93);
+  EXPECT_GT(m.precision(), 0.9);
+  EXPECT_GT(m.recall(), 0.9);
+}
+
+TEST(MlpTest, OutputIsProbability) {
+  util::Rng rng(2);
+  const Dataset train = separable_dataset(100, rng);
+  FeatureEncoder enc;
+  enc.fit(train);
+  MlpConfig config;
+  config.epochs = 3;
+  MlpPredictor mlp(enc, config);
+  mlp.train(train);
+  for (const Example& e : train.examples) {
+    const double p = mlp.predict(e.features);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(MlpTest, DeterministicForSameSeed) {
+  util::Rng rng(3);
+  const Dataset train = separable_dataset(200, rng);
+  FeatureEncoder enc;
+  enc.fit(train);
+  MlpConfig config;
+  config.epochs = 5;
+  MlpPredictor a(enc, config);
+  MlpPredictor b(enc, config);
+  a.train(train);
+  b.train(train);
+  for (int i = 0; i < 20; ++i) {
+    const auto& f = train.examples[static_cast<std::size_t>(i)].features;
+    EXPECT_DOUBLE_EQ(a.predict(f), b.predict(f));
+  }
+}
+
+TEST(MlpTest, ThrowsOnEmptyTraining) {
+  util::Rng rng(4);
+  const Dataset train = separable_dataset(50, rng);
+  FeatureEncoder enc;
+  enc.fit(train);
+  MlpPredictor mlp(enc);
+  EXPECT_THROW(mlp.train(Dataset{}), std::invalid_argument);
+}
+
+TEST(MlpTest, ThrowsWhenAllFeaturesMasked) {
+  util::Rng rng(5);
+  const Dataset train = separable_dataset(50, rng);
+  FeatureMask mask;
+  mask.time = mask.degree = mask.gradient = mask.fluctuation = false;
+  mask.length = mask.region = mask.fiber_id = mask.vendor = false;
+  FeatureEncoder enc(mask);
+  enc.fit(train);
+  EXPECT_THROW(MlpPredictor{enc}, std::invalid_argument);
+}
+
+TEST(MlpTest, FiberEffectLearnedThroughEmbedding) {
+  // Labels depend ONLY on fiber id; the MLP must learn it via embeddings.
+  util::Rng rng(6);
+  Dataset train;
+  for (int i = 0; i < 600; ++i) {
+    Example e;
+    e.features.fiber_id = static_cast<int>(rng.next_below(6));
+    e.features.degree_db = rng.uniform(3.0, 10.0);
+    e.features.hour = rng.uniform(0.0, 24.0);
+    e.label = e.features.fiber_id % 2;
+    train.examples.push_back(e);
+  }
+  FeatureEncoder enc;
+  enc.fit(train);
+  MlpConfig config;
+  config.epochs = 30;
+  MlpPredictor mlp(enc, config);
+  mlp.train(train);
+  const Metrics m = evaluate(mlp, train);
+  EXPECT_GT(m.accuracy(), 0.95);
+}
+
+TEST(MlpTest, EndToEndOnSimulatedPlantBeatsChance) {
+  // Integration: train on simulated TWAN degradations; accuracy must be
+  // clearly better than the majority class.
+  const net::Topology topo = net::make_twan();
+  util::Rng setup(7);
+  optical::PlantSimulator sim(topo.network,
+                              optical::build_plant_model(topo.network, setup));
+  util::Rng rng(8);
+  const auto log = sim.simulate(120LL * 24 * 3600, rng);  // ~4 months
+  const Dataset ds = build_dataset(log);
+  ASSERT_GT(ds.examples.size(), 800u);
+  const auto split = split_per_fiber(ds);
+  FeatureEncoder enc;
+  enc.fit(split.train);
+  MlpConfig config;
+  config.epochs = 25;
+  MlpPredictor mlp(enc, config);
+  mlp.train(split.train);
+  const Metrics m = evaluate(mlp, split.test);
+  const double majority = 1.0 - ds.positive_fraction();
+  EXPECT_GT(m.accuracy(), majority + 0.05);
+  EXPECT_GT(m.recall(), 0.5);
+  EXPECT_GT(m.precision(), 0.5);
+}
+
+}  // namespace
+}  // namespace prete::ml

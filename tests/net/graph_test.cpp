@@ -1,0 +1,73 @@
+#include "net/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace prete::net {
+namespace {
+
+TEST(NetworkTest, NodesAndLabels) {
+  Network net("t");
+  const NodeId a = net.add_node("alpha");
+  const NodeId b = net.add_node();
+  EXPECT_EQ(net.num_nodes(), 2);
+  EXPECT_EQ(net.node_label(a), "alpha");
+  EXPECT_EQ(net.node_label(b), "s2");
+}
+
+TEST(NetworkTest, FiberEndpointsValidated) {
+  Network net;
+  const NodeId a = net.add_node();
+  EXPECT_THROW(net.add_fiber(a, a, 10.0), std::invalid_argument);
+  EXPECT_THROW(net.add_fiber(a, 5, 10.0), std::invalid_argument);
+}
+
+TEST(NetworkTest, IpLinkPairIsBidirectional) {
+  Network net;
+  const NodeId a = net.add_node();
+  const NodeId b = net.add_node();
+  const FiberId f = net.add_fiber(a, b, 100.0);
+  const LinkId e = net.add_ip_link_pair(f, 800.0);
+  EXPECT_EQ(net.num_links(), 2);
+  EXPECT_EQ(net.link(e).src, a);
+  EXPECT_EQ(net.link(e).dst, b);
+  EXPECT_EQ(net.link(e + 1).src, b);
+  EXPECT_EQ(net.link(e + 1).dst, a);
+  EXPECT_EQ(net.link(e).fiber, f);
+  EXPECT_EQ(net.out_links(a).size(), 1u);
+  EXPECT_EQ(net.out_links(b).size(), 1u);
+}
+
+TEST(NetworkTest, LinksOnFiberTracksWavelengths) {
+  Network net;
+  const NodeId a = net.add_node();
+  const NodeId b = net.add_node();
+  const FiberId f = net.add_fiber(a, b, 100.0);
+  net.add_ip_link_pair(f, 800.0);
+  net.add_ip_link_pair(f, 1600.0);
+  EXPECT_EQ(net.links_on_fiber(f).size(), 4u);  // 2 trunks x 2 directions
+  EXPECT_DOUBLE_EQ(net.fiber_ip_capacity_gbps(f), 2.0 * (800.0 + 1600.0));
+}
+
+TEST(NetworkTest, RejectsNonPositiveCapacity) {
+  Network net;
+  const NodeId a = net.add_node();
+  const NodeId b = net.add_node();
+  const FiberId f = net.add_fiber(a, b, 100.0);
+  EXPECT_THROW(net.add_ip_link_pair(f, 0.0), std::invalid_argument);
+}
+
+TEST(NetworkTest, FiberMetadataStored) {
+  Network net;
+  const NodeId a = net.add_node("s1");
+  const NodeId b = net.add_node("s2");
+  const FiberId f = net.add_fiber(a, b, 321.0, /*region=*/2, /*vendor=*/1,
+                                  /*age_years=*/7.5);
+  EXPECT_DOUBLE_EQ(net.fiber(f).length_km, 321.0);
+  EXPECT_EQ(net.fiber(f).region, 2);
+  EXPECT_EQ(net.fiber(f).vendor, 1);
+  EXPECT_DOUBLE_EQ(net.fiber(f).age_years, 7.5);
+  EXPECT_EQ(net.fiber(f).name, "s1s2");
+}
+
+}  // namespace
+}  // namespace prete::net

@@ -1,0 +1,121 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/paths.h"
+
+namespace prete::net {
+namespace {
+
+TEST(TopologyTest, B4MatchesTable3) {
+  const Topology topo = make_b4();
+  EXPECT_EQ(topo.network.num_nodes(), 12);
+  EXPECT_EQ(topo.network.num_fibers(), 19);
+  EXPECT_EQ(topo.network.num_links(), 2 * 52);  // 52 trunks, both directions
+  EXPECT_EQ(topo.flows.size(), 52u);
+}
+
+TEST(TopologyTest, IbmMatchesTable3) {
+  const Topology topo = make_ibm();
+  EXPECT_EQ(topo.network.num_fibers(), 23);
+  EXPECT_EQ(topo.network.num_links(), 2 * 85);
+  EXPECT_EQ(topo.flows.size(), 85u);
+}
+
+TEST(TopologyTest, TwanIsPaperScale) {
+  const Topology topo = make_twan();
+  EXPECT_EQ(topo.network.num_fibers(), 50);   // O(50) fibers
+  EXPECT_EQ(topo.network.num_links(), 200);   // O(100) trunks
+  EXPECT_EQ(topo.flows.size(), 100u);
+}
+
+TEST(TopologyTest, Deterministic) {
+  const Topology a = make_b4();
+  const Topology b = make_b4();
+  ASSERT_EQ(a.network.num_links(), b.network.num_links());
+  for (LinkId e = 0; e < a.network.num_links(); ++e) {
+    EXPECT_DOUBLE_EQ(a.network.link(e).capacity_gbps,
+                     b.network.link(e).capacity_gbps);
+  }
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_EQ(a.flows[i].src, b.flows[i].src);
+    EXPECT_EQ(a.flows[i].dst, b.flows[i].dst);
+  }
+}
+
+TEST(TopologyTest, AllTopologiesConnected) {
+  for (const Topology& topo : {make_b4(), make_ibm(), make_twan()}) {
+    for (NodeId dst = 1; dst < topo.network.num_nodes(); ++dst) {
+      EXPECT_TRUE(
+          shortest_path(topo.network, 0, dst, hop_count_weight()).has_value())
+          << topo.network.name() << " node " << dst;
+    }
+  }
+}
+
+TEST(TopologyTest, TwoConnectedFiberPlant) {
+  // Every stock topology must survive any single fiber cut (needed for the
+  // residual-tunnel guarantee).
+  for (const Topology& topo : {make_b4(), make_ibm(), make_twan()}) {
+    for (FiberId f = 0; f < topo.network.num_fibers(); ++f) {
+      auto usable = [&](const Link& l) { return l.fiber != f; };
+      for (NodeId dst = 1; dst < topo.network.num_nodes(); ++dst) {
+        EXPECT_TRUE(shortest_path(topo.network, 0, dst, hop_count_weight(), usable)
+                        .has_value())
+            << topo.network.name() << " fiber " << f << " node " << dst;
+      }
+    }
+  }
+}
+
+TEST(TopologyTest, FlowsAreDistinctPairs) {
+  const Topology topo = make_ibm();
+  std::set<std::pair<NodeId, NodeId>> pairs;
+  for (const Flow& f : topo.flows) {
+    EXPECT_NE(f.src, f.dst);
+    EXPECT_TRUE(pairs.insert({f.src, f.dst}).second);
+  }
+}
+
+TEST(TopologyTest, TriangleMatchesFigure2) {
+  const Topology topo = make_triangle();
+  EXPECT_EQ(topo.network.num_nodes(), 3);
+  EXPECT_EQ(topo.network.num_fibers(), 3);
+  for (LinkId e = 0; e < topo.network.num_links(); ++e) {
+    EXPECT_DOUBLE_EQ(topo.network.link(e).capacity_gbps, 10.0);
+  }
+  ASSERT_EQ(topo.flows.size(), 2u);
+  EXPECT_EQ(topo.network.node_label(topo.flows[0].src), "s1");
+}
+
+TEST(TopologyTest, FourSiteMatchesFigure18) {
+  const Topology topo = make_four_site();
+  EXPECT_EQ(topo.network.num_nodes(), 4);
+  EXPECT_EQ(topo.network.num_fibers(), 5);
+  for (LinkId e = 0; e < topo.network.num_links(); ++e) {
+    EXPECT_DOUBLE_EQ(topo.network.link(e).capacity_gbps, 1000.0);
+  }
+  ASSERT_EQ(topo.flows.size(), 3u);
+  EXPECT_DOUBLE_EQ(topo.flows[0].demand_gbps, 700.0);
+  EXPECT_DOUBLE_EQ(topo.flows[1].demand_gbps, 600.0);
+  EXPECT_DOUBLE_EQ(topo.flows[2].demand_gbps, 300.0);
+}
+
+TEST(TopologyTest, TwanSeedsDiffer) {
+  const Topology a = make_twan(1);
+  const Topology b = make_twan(2);
+  bool any_difference = false;
+  for (FiberId f = 0; f < a.network.num_fibers() && !any_difference; ++f) {
+    if (a.network.fiber(f).a != b.network.fiber(f).a ||
+        a.network.fiber(f).b != b.network.fiber(f).b) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+}  // namespace
+}  // namespace prete::net

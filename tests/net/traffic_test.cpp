@@ -1,0 +1,81 @@
+#include "net/traffic.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+
+namespace prete::net {
+namespace {
+
+TEST(TrafficTest, GeneratesRequestedMatrixCount) {
+  const Topology topo = make_b4();
+  util::Rng rng(1);
+  const auto tms = generate_traffic(topo.network, topo.flows, rng);
+  EXPECT_EQ(tms.size(), 24u);
+  for (const auto& tm : tms) EXPECT_EQ(tm.size(), topo.flows.size());
+}
+
+TEST(TrafficTest, AllDemandsPositive) {
+  const Topology topo = make_ibm();
+  util::Rng rng(2);
+  for (const auto& tm : generate_traffic(topo.network, topo.flows, rng)) {
+    for (double d : tm) EXPECT_GT(d, 0.0);
+  }
+}
+
+TEST(TrafficTest, NormalizationHitsTargetUtilization) {
+  const Topology topo = make_b4();
+  util::Rng rng(3);
+  TrafficConfig config;
+  config.diurnal_swing = 0.0;
+  config.noise = 0.0;
+  const auto tms = generate_traffic(topo.network, topo.flows, rng, config);
+  const double util =
+      shortest_path_max_utilization(topo.network, topo.flows, tms[0]);
+  EXPECT_NEAR(util, config.base_max_utilization, 1e-9);
+}
+
+TEST(TrafficTest, DiurnalPatternVaries) {
+  const Topology topo = make_b4();
+  util::Rng rng(4);
+  TrafficConfig config;
+  config.noise = 0.0;
+  const auto tms = generate_traffic(topo.network, topo.flows, rng, config);
+  // Hour 0 is the trough (cos phase 0) and mid-day the peak.
+  double total0 = 0.0;
+  double total12 = 0.0;
+  for (double d : tms[0]) total0 += d;
+  for (double d : tms[12]) total12 += d;
+  EXPECT_GT(total12, total0 * 1.2);
+}
+
+TEST(TrafficTest, ScaleMultipliesUniformly) {
+  const TrafficMatrix tm{1.0, 2.0, 3.0};
+  const TrafficMatrix scaled = scale_traffic(tm, 2.5);
+  EXPECT_DOUBLE_EQ(scaled[0], 2.5);
+  EXPECT_DOUBLE_EQ(scaled[1], 5.0);
+  EXPECT_DOUBLE_EQ(scaled[2], 7.5);
+}
+
+class TrafficScaleProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(TrafficScaleProperty, UtilizationScalesLinearly) {
+  const double scale = GetParam();
+  const Topology topo = make_b4();
+  util::Rng rng(5);
+  TrafficConfig config;
+  config.diurnal_swing = 0.0;
+  config.noise = 0.0;
+  const auto tms = generate_traffic(topo.network, topo.flows, rng, config);
+  const double base =
+      shortest_path_max_utilization(topo.network, topo.flows, tms[0]);
+  const double scaled = shortest_path_max_utilization(
+      topo.network, topo.flows, scale_traffic(tms[0], scale));
+  EXPECT_NEAR(scaled, base * scale, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, TrafficScaleProperty,
+                         ::testing::Values(0.5, 1.0, 2.0, 3.3, 5.7));
+
+}  // namespace
+}  // namespace prete::net

@@ -1,0 +1,102 @@
+#include "net/tunnels.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+
+namespace prete::net {
+namespace {
+
+TEST(TunnelSetTest, AddAndQuery) {
+  const Topology topo = make_triangle();
+  TunnelSet ts(2);
+  // Flow 0 = s1->s2 via direct link 0.
+  const TunnelId t = ts.add_tunnel(0, {0});
+  EXPECT_EQ(ts.num_tunnels(), 1);
+  EXPECT_TRUE(ts.uses_link(topo.network, t, 0));
+  EXPECT_FALSE(ts.uses_link(topo.network, t, 2));
+  EXPECT_TRUE(ts.uses_fiber(topo.network, t, 0));
+  EXPECT_FALSE(ts.uses_fiber(topo.network, t, 1));
+}
+
+TEST(TunnelSetTest, RejectsBadFlow) {
+  TunnelSet ts(1);
+  EXPECT_THROW(ts.add_tunnel(3, {}), std::out_of_range);
+}
+
+TEST(TunnelSetTest, AliveTracksFiberFailures) {
+  const Topology topo = make_triangle();
+  TunnelSet ts(2);
+  const TunnelId direct = ts.add_tunnel(0, {0});  // s1->s2 on fiber 0
+  std::vector<bool> failed(3, false);
+  EXPECT_TRUE(ts.alive(topo.network, direct, failed));
+  failed[0] = true;
+  EXPECT_FALSE(ts.alive(topo.network, direct, failed));
+}
+
+TEST(TunnelSetTest, ClearDynamicKeepsStaticAndReindexes) {
+  TunnelSet ts(2);
+  ts.add_tunnel(0, {0});
+  ts.add_tunnel(1, {2}, /*dynamic=*/true);
+  ts.add_tunnel(1, {4});
+  ts.clear_dynamic();
+  EXPECT_EQ(ts.num_tunnels(), 2);
+  EXPECT_EQ(ts.tunnels_for_flow(1).size(), 1u);
+  // Ids must be dense after compaction.
+  for (int t = 0; t < ts.num_tunnels(); ++t) {
+    EXPECT_EQ(ts.tunnel(t).id, t);
+  }
+}
+
+TEST(BuildTunnelsTest, TrianglePerFlowCounts) {
+  const Topology topo = make_triangle();
+  const TunnelSet ts = build_tunnels(topo.network, topo.flows,
+                                     {.tunnels_per_flow = 2, .disjoint_tunnels = 2});
+  // Each triangle flow has exactly 2 simple paths, pairwise fiber-disjoint.
+  EXPECT_EQ(ts.tunnels_for_flow(0).size(), 2u);
+  EXPECT_EQ(ts.tunnels_for_flow(1).size(), 2u);
+}
+
+TEST(BuildTunnelsTest, PaperTunnelCountsTable3) {
+  const Topology b4 = make_b4();
+  const TunnelSet ts_b4 = build_tunnels(b4.network, b4.flows);
+  EXPECT_EQ(ts_b4.num_tunnels(), 208);  // Table 3: B4 #Tunnels
+
+  const Topology ibm = make_ibm();
+  const TunnelSet ts_ibm = build_tunnels(ibm.network, ibm.flows);
+  EXPECT_EQ(ts_ibm.num_tunnels(), 340);  // Table 3: IBM #Tunnels
+}
+
+TEST(BuildTunnelsTest, SingleFiberCutLeavesResidualTunnel) {
+  // Paper §4.2: at least one residual tunnel per flow under each single-
+  // fiber failure scenario.
+  const Topology topo = make_b4();
+  const TunnelSet ts = build_tunnels(topo.network, topo.flows);
+  for (FiberId f = 0; f < topo.network.num_fibers(); ++f) {
+    std::vector<bool> failed(static_cast<std::size_t>(topo.network.num_fibers()), false);
+    failed[static_cast<std::size_t>(f)] = true;
+    for (const Flow& flow : topo.flows) {
+      bool any_alive = false;
+      for (TunnelId t : ts.tunnels_for_flow(flow.id)) {
+        if (ts.alive(topo.network, t, failed)) {
+          any_alive = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(any_alive) << "flow " << flow.id << " dies with fiber " << f;
+    }
+  }
+}
+
+TEST(BuildTunnelsTest, TunnelsAreValidPaths) {
+  const Topology topo = make_ibm();
+  const TunnelSet ts = build_tunnels(topo.network, topo.flows);
+  for (const Tunnel& t : ts.tunnels()) {
+    const Flow& flow = topo.flows[static_cast<std::size_t>(t.flow)];
+    EXPECT_TRUE(path_is_valid(topo.network, t.path, flow.src, flow.dst));
+    EXPECT_FALSE(t.dynamic);
+  }
+}
+
+}  // namespace
+}  // namespace prete::net

@@ -1,0 +1,147 @@
+#include "optical/fiber_model.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+
+namespace prete::optical {
+namespace {
+
+TEST(CutLogitTest, MidnightRiskierThanMorning) {
+  CutLogitModel logit;
+  DegradationFeatures f;
+  f.degree_db = 5.0;
+  f.gradient_db = 0.2;
+  f.fluctuation = 5.0;
+  f.hour = 0.0;  // midnight
+  const double midnight = logit.probability(f, 0.0);
+  f.hour = 6.0;
+  const double morning = logit.probability(f, 0.0);
+  // Figure 6 (time): ~60% at 12am vs ~20% at 6am.
+  EXPECT_GT(midnight, morning + 0.15);
+}
+
+TEST(CutLogitTest, MonotoneInDegree) {
+  CutLogitModel logit;
+  DegradationFeatures f;
+  f.hour = 12.0;
+  f.gradient_db = 0.1;
+  f.fluctuation = 3.0;
+  double prev = -1.0;
+  for (double degree : {3.0, 5.0, 7.0, 10.0}) {
+    f.degree_db = degree;
+    const double p = logit.probability(f, 0.0);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(CutLogitTest, MonotoneInGradientAndFluctuation) {
+  CutLogitModel logit;
+  DegradationFeatures f;
+  f.hour = 12.0;
+  f.degree_db = 5.0;
+  f.fluctuation = 3.0;
+  f.gradient_db = 0.05;
+  const double low_grad = logit.probability(f, 0.0);
+  f.gradient_db = 0.8;
+  const double high_grad = logit.probability(f, 0.0);
+  EXPECT_GT(high_grad, low_grad);
+
+  f.gradient_db = 0.2;
+  f.fluctuation = 1.0;
+  const double low_fluct = logit.probability(f, 0.0);
+  f.fluctuation = 18.0;
+  const double high_fluct = logit.probability(f, 0.0);
+  EXPECT_GT(high_fluct, low_fluct);
+}
+
+TEST(CutLogitTest, FiberEffectShiftsProbability) {
+  CutLogitModel logit;
+  DegradationFeatures f;
+  f.hour = 12.0;
+  f.degree_db = 5.0;
+  f.gradient_db = 0.2;
+  f.fluctuation = 5.0;
+  EXPECT_GT(logit.probability(f, 1.0), logit.probability(f, 0.0));
+  EXPECT_LT(logit.probability(f, -1.0), logit.probability(f, 0.0));
+}
+
+TEST(CutLogitTest, MeanNearFortyPercent) {
+  // Over nature's feature distribution, P(cut | degradation) must sit near
+  // the paper's 40% (§3.2). TWAN's 50 fibers keep the per-fiber random
+  // effects from dominating the empirical mean.
+  const net::Topology topo = net::make_twan();
+  util::Rng rng(1);
+  CutLogitModel logit;
+  const auto params = build_plant_model(topo.network, rng);
+  double total = 0.0;
+  int count = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const int f = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(topo.network.num_fibers())));
+    const double hour = rng.uniform(0.0, 24.0);
+    const auto features =
+        sample_degradation_features(topo.network.fiber(f), hour, rng);
+    total += logit.probability(features,
+                               params[static_cast<std::size_t>(f)].fiber_effect);
+    ++count;
+  }
+  EXPECT_NEAR(total / count, 0.40, 0.08);
+}
+
+TEST(FeatureSamplingTest, RangesRespectDefinition) {
+  const net::Topology topo = net::make_b4();
+  util::Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    const auto f = sample_degradation_features(topo.network.fiber(0), 13.5, rng);
+    EXPECT_GE(f.degree_db, 3.0);   // degradation = 3..10 dB above healthy
+    EXPECT_LE(f.degree_db, 10.0);
+    EXPECT_GE(f.gradient_db, 0.0);
+    EXPECT_LE(f.gradient_db, 3.0);
+    EXPECT_GE(f.fluctuation, 0.0);
+    EXPECT_DOUBLE_EQ(f.hour, 13.5);
+    EXPECT_EQ(f.fiber_id, 0);
+  }
+}
+
+TEST(PlantModelTest, WeibullDegradationProbabilities) {
+  const net::Topology topo = net::make_twan();
+  util::Rng rng(3);
+  const auto params = build_plant_model(topo.network, rng);
+  ASSERT_EQ(params.size(), static_cast<std::size_t>(topo.network.num_fibers()));
+  for (const auto& p : params) {
+    EXPECT_GT(p.degradation_prob_per_epoch, 0.0);
+    EXPECT_LE(p.degradation_prob_per_epoch, 0.05);
+    EXPECT_GE(p.abrupt_cut_prob_per_epoch, 0.0);
+    EXPECT_GE(p.healthy_loss_db, 3.0);
+  }
+}
+
+TEST(PlantModelTest, AbruptRateScalesWithDegradationRate) {
+  // Linear degradation<->cut relationship (Figure 12a): the abrupt cut rate
+  // is proportional to the degradation rate with the alpha calibration.
+  const net::Topology topo = net::make_ibm();
+  util::Rng rng(4);
+  const auto params = build_plant_model(topo.network, rng);
+  for (const auto& p : params) {
+    const double expected =
+        p.degradation_prob_per_epoch * (0.4 / 0.25 - 0.4 - 0.6 * 0.12);
+    EXPECT_NEAR(p.abrupt_cut_prob_per_epoch, expected, 1e-12);
+  }
+}
+
+TEST(PlantModelTest, AlphaOneMeansNoAbruptCuts) {
+  const net::Topology topo = net::make_b4();
+  util::Rng rng(5);
+  PlantModelConfig config;
+  config.alpha = 1.0;
+  config.late_cut_prob = 0.0;
+  const auto params = build_plant_model(topo.network, rng, config);
+  for (const auto& p : params) {
+    EXPECT_NEAR(p.abrupt_cut_prob_per_epoch, 0.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace prete::optical

@@ -1,0 +1,85 @@
+#include "optical/restoration.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+
+namespace prete::optical {
+namespace {
+
+TEST(RestorationTest, TriangleCutFullyRestoredWithEnoughSpare) {
+  const net::Topology topo = net::make_triangle();
+  RestorationConfig config;
+  config.spare_fraction = 2.5;  // 25 Gbps spare per fiber >= 10 Gbps trunk
+  const RestorationPlanner planner(topo.network, config);
+  const RestorationResult result = planner.plan(0);  // cut s1-s2
+  ASSERT_EQ(result.restored_fraction.size(), 2u);  // both directions
+  for (double frac : result.restored_fraction) EXPECT_DOUBLE_EQ(frac, 1.0);
+  EXPECT_DOUBLE_EQ(result.total_restored_fraction, 1.0);
+  // Restoration path must detour via s3: fibers 1 (s1-s3) and 2 (s2-s3).
+  ASSERT_EQ(result.paths[0].size(), 2u);
+  EXPECT_NE(result.paths[0][0], 0);
+  EXPECT_NE(result.paths[0][1], 0);
+}
+
+TEST(RestorationTest, NoSpareMeansNoRestoration) {
+  const net::Topology topo = net::make_triangle();
+  RestorationConfig config;
+  config.spare_fraction = 0.0;
+  const RestorationPlanner planner(topo.network, config);
+  const RestorationResult result = planner.plan(0);
+  EXPECT_DOUBLE_EQ(result.total_restored_fraction, 0.0);
+  for (const auto& path : result.paths) EXPECT_TRUE(path.empty());
+}
+
+TEST(RestorationTest, PartialRestorationWhenSpareIsTight) {
+  const net::Topology topo = net::make_triangle();
+  RestorationConfig config;
+  config.spare_fraction = 0.5;  // 5 Gbps spare per fiber, trunks are 10
+  const RestorationPlanner planner(topo.network, config);
+  const RestorationResult result = planner.plan(0);
+  EXPECT_GT(result.total_restored_fraction, 0.0);
+  EXPECT_LT(result.total_restored_fraction, 1.0);
+}
+
+TEST(RestorationTest, SpareCapacityScalesWithFraction) {
+  const net::Topology topo = net::make_b4();
+  const RestorationPlanner half(topo.network, {.spare_fraction = 0.5});
+  const RestorationPlanner full(topo.network, {.spare_fraction = 1.0});
+  for (net::FiberId f = 0; f < topo.network.num_fibers(); ++f) {
+    EXPECT_NEAR(full.spare_capacity_gbps(f), 2.0 * half.spare_capacity_gbps(f),
+                1e-9);
+  }
+}
+
+TEST(RestorationTest, B4AllSingleCutsGetSubstantialRestoration) {
+  const net::Topology topo = net::make_b4();
+  const RestorationPlanner planner(topo.network, {.spare_fraction = 1.0});
+  for (net::FiberId f = 0; f < topo.network.num_fibers(); ++f) {
+    const RestorationResult result = planner.plan(f);
+    EXPECT_GT(result.total_restored_fraction, 0.2) << "fiber " << f;
+    // Restoration never uses the cut fiber itself.
+    for (const auto& path : result.paths) {
+      for (net::FiberId used : path) EXPECT_NE(used, f);
+    }
+  }
+}
+
+TEST(RestorationTest, SimultaneousCutsShareSpare) {
+  const net::Topology topo = net::make_b4();
+  const RestorationPlanner planner(topo.network, {.spare_fraction = 0.4});
+  // Two heavy fibers cut together: total restoration cannot exceed what
+  // either achieves alone with fresh spare.
+  const auto alone0 = planner.plan(0);
+  const auto together = planner.plan(std::vector<net::FiberId>{0, 1});
+  ASSERT_EQ(together.size(), 2u);
+  EXPECT_LE(together[0].total_restored_fraction,
+            alone0.total_restored_fraction + 1e-9);
+}
+
+TEST(RestorationTest, DefaultLatencyMatchesPaper) {
+  EXPECT_DOUBLE_EQ(RestorationConfig{}.latency_sec, 8.0);
+}
+
+}  // namespace
+}  // namespace prete::optical

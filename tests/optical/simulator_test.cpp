@@ -1,0 +1,207 @@
+#include "optical/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/topology.h"
+
+namespace prete::optical {
+namespace {
+
+constexpr TimeSec kYearSec = 365LL * 24 * 3600;
+
+PlantSimulator make_simulator(const net::Network& net, std::uint64_t seed) {
+  util::Rng rng(seed);
+  return PlantSimulator(net, build_plant_model(net, rng));
+}
+
+TEST(SimulatorTest, EventLogOrderedAndInHorizon) {
+  const net::Topology topo = net::make_ibm();
+  const PlantSimulator sim = make_simulator(topo.network, 1);
+  util::Rng rng(2);
+  const EventLog log = sim.simulate(kYearSec / 12, rng);
+  TimeSec prev = 0;
+  for (const auto& d : log.degradations) {
+    EXPECT_GE(d.onset_sec, prev);
+    prev = d.onset_sec;
+    EXPECT_LT(d.onset_sec, kYearSec / 12);
+    EXPECT_GE(d.fiber, 0);
+    EXPECT_LT(d.fiber, topo.network.num_fibers());
+  }
+}
+
+TEST(SimulatorTest, PredictableFractionNearAlpha) {
+  // A full simulated year over the TWAN plant must reproduce alpha ~ 25%.
+  const net::Topology topo = net::make_twan();
+  const PlantSimulator sim = make_simulator(topo.network, 3);
+  util::Rng rng(4);
+  const EventLog log = sim.simulate(kYearSec, rng);
+  ASSERT_GT(log.cuts.size(), 50u);
+  EXPECT_NEAR(log.predictable_fraction(), 0.25, 0.08);
+}
+
+TEST(SimulatorTest, DegradationFailureFractionNearForty) {
+  const net::Topology topo = net::make_twan();
+  const PlantSimulator sim = make_simulator(topo.network, 5);
+  util::Rng rng(6);
+  const EventLog log = sim.simulate(kYearSec, rng);
+  ASSERT_GT(log.degradations.size(), 200u);
+  // §3.2: about 40% of degradations lead to cuts.
+  EXPECT_NEAR(log.degradation_failure_fraction(), 0.40, 0.08);
+}
+
+TEST(SimulatorTest, DegradationDurationsMostlyShort) {
+  const net::Topology topo = net::make_twan();
+  const PlantSimulator sim = make_simulator(topo.network, 7);
+  util::Rng rng(8);
+  const EventLog log = sim.simulate(kYearSec / 2, rng);
+  ASSERT_GT(log.degradations.size(), 100u);
+  int under_10s = 0;
+  for (const auto& d : log.degradations) {
+    if (d.duration_sec < 10.0) ++under_10s;
+  }
+  // Figure 4(a): ~50% of degradations last under 10 seconds.
+  const double frac = static_cast<double>(under_10s) /
+                      static_cast<double>(log.degradations.size());
+  EXPECT_NEAR(frac, 0.5, 0.12);
+}
+
+TEST(SimulatorTest, PredictableCutsWithinTePeriod) {
+  const net::Topology topo = net::make_twan();
+  const PlantSimulator sim = make_simulator(topo.network, 9);
+  util::Rng rng(10);
+  const EventLog log = sim.simulate(kYearSec / 2, rng);
+  for (const auto& c : log.cuts) {
+    if (c.predictable) {
+      EXPECT_GT(c.since_degradation_sec, 0.0);
+      EXPECT_LE(c.since_degradation_sec, kTePeriodSec);
+    }
+  }
+}
+
+TEST(SimulatorTest, TruthProbabilityConsistentWithOutcomes) {
+  // Average of nature's stated probabilities must match the realized failure
+  // rate (the log is self-consistent, so predictors can be scored on it).
+  const net::Topology topo = net::make_twan();
+  const PlantSimulator sim = make_simulator(topo.network, 11);
+  util::Rng rng(12);
+  const EventLog log = sim.simulate(kYearSec, rng);
+  double expected = 0.0;
+  double actual = 0.0;
+  for (const auto& d : log.degradations) {
+    expected += d.true_cut_probability;
+    actual += d.led_to_cut ? 1.0 : 0.0;
+  }
+  ASSERT_GT(log.degradations.size(), 400u);
+  EXPECT_NEAR(actual / expected, 1.0, 0.15);
+}
+
+TEST(SimulatorTest, TraceShowsHealthyDegradedCutLevels) {
+  const net::Topology topo = net::make_triangle();
+  util::Rng setup(13);
+  auto params = build_plant_model(topo.network, setup);
+  // Force a deterministic scenario on fiber 0.
+  PlantSimulator sim(topo.network, params);
+  EventLog log;
+  log.horizon_sec = 500;
+  DegradationRecord d;
+  d.fiber = 0;
+  d.onset_sec = 100;
+  d.duration_sec = 50.0;
+  d.features.degree_db = 6.0;
+  d.features.gradient_db = 0.1;
+  d.features.fluctuation = 10.0;
+  d.led_to_cut = true;
+  d.cut_delay_sec = 200.0;
+  log.degradations.push_back(d);
+  CutRecord c;
+  c.fiber = 0;
+  c.time_sec = 300;
+  c.repair_hours = 1.0;
+  log.cuts.push_back(c);
+
+  util::Rng rng(14);
+  SimulatorConfig config;
+  auto trace = sim.loss_trace(log, 0, 0, 500, rng);
+  trace = interpolate_missing(std::move(trace));
+  const double base = sim.params(0).healthy_loss_db;
+  // Healthy region.
+  EXPECT_LT(std::abs(trace[50] - base), 1.0);
+  // Degraded region: 3..10 dB above baseline.
+  EXPECT_GE(trace[120] - base, kDegradedThresholdDb - 0.5);
+  EXPECT_LT(trace[120] - base, kCutThresholdDb);
+  // Cut region saturates.
+  EXPECT_GE(trace[400] - base, kCutThresholdDb);
+}
+
+TEST(SimulatorTest, TraceOtherFiberUnaffected) {
+  const net::Topology topo = net::make_triangle();
+  util::Rng setup(15);
+  PlantSimulator sim(topo.network, build_plant_model(topo.network, setup));
+  EventLog log;
+  log.horizon_sec = 100;
+  CutRecord c;
+  c.fiber = 0;
+  c.time_sec = 10;
+  c.repair_hours = 1.0;
+  log.cuts.push_back(c);
+  util::Rng rng(16);
+  auto trace = interpolate_missing(sim.loss_trace(log, 1, 0, 100, rng));
+  const double base = sim.params(1).healthy_loss_db;
+  for (double v : trace) EXPECT_LT(std::abs(v - base), 1.0);
+}
+
+TEST(ResampleTest, TakesEveryNth) {
+  const std::vector<double> trace{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const auto out = resample_trace(trace, 3);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 3.0);
+  EXPECT_DOUBLE_EQ(out[3], 9.0);
+}
+
+TEST(InterpolateTest, FillsInteriorGapLinearly) {
+  const double nan = std::nan("");
+  const auto out = interpolate_missing({1.0, nan, nan, 4.0});
+  EXPECT_DOUBLE_EQ(out[1], 2.0);
+  EXPECT_DOUBLE_EQ(out[2], 3.0);
+}
+
+TEST(InterpolateTest, EdgesExtendNearestValue) {
+  const double nan = std::nan("");
+  const auto out = interpolate_missing({nan, 2.0, nan});
+  EXPECT_DOUBLE_EQ(out[0], 2.0);
+  EXPECT_DOUBLE_EQ(out[2], 2.0);
+}
+
+TEST(InterpolateTest, NoNanLeftForRealTraces) {
+  const net::Topology topo = net::make_triangle();
+  util::Rng setup(17);
+  PlantSimulator sim(topo.network, build_plant_model(topo.network, setup));
+  EventLog log;
+  log.horizon_sec = 2000;
+  util::Rng rng(18);
+  const auto trace = interpolate_missing(sim.loss_trace(log, 0, 0, 2000, rng));
+  for (double v : trace) EXPECT_FALSE(std::isnan(v));
+}
+
+TEST(SimulatorTest, CutSuppressesEventsUntilRepair) {
+  // After a cut, the same fiber must not degrade again until repaired.
+  const net::Topology topo = net::make_twan();
+  const PlantSimulator sim = make_simulator(topo.network, 19);
+  util::Rng rng(20);
+  const EventLog log = sim.simulate(kYearSec, rng);
+  for (const auto& c : log.cuts) {
+    const TimeSec repair_end =
+        c.time_sec + static_cast<TimeSec>(c.repair_hours * 3600.0);
+    for (const auto& d : log.degradations) {
+      if (d.fiber != c.fiber) continue;
+      const bool inside = d.onset_sec > c.time_sec && d.onset_sec < repair_end;
+      EXPECT_FALSE(inside) << "degradation during repair window";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prete::optical

@@ -1,0 +1,76 @@
+#include "optical/snr.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "optical/simulator.h"
+
+namespace prete::optical {
+namespace {
+
+TEST(SnrTest, HealthyChannelHasPositiveMargin) {
+  const SnrModel model;
+  EXPECT_GT(model.margin_db(0.0), 0.0);
+  EXPECT_TRUE(model.decodable(0.0));
+}
+
+TEST(SnrTest, MarginDecreasesOneForOneWithLoss) {
+  const SnrModel model;
+  EXPECT_NEAR(model.margin_db(0.0) - model.margin_db(3.0), 3.0, 1e-12);
+  EXPECT_NEAR(model.margin_db(3.0) - model.margin_db(7.0), 4.0, 1e-12);
+}
+
+TEST(SnrTest, LossBudgetMatchesDegradationBand) {
+  // The paper's degradation band is 3-10 dB above healthy with the signal
+  // still decodable; the default model's budget must sit inside/at the top
+  // of that band so degradations shrink the margin without killing it.
+  const SnrModel model;
+  const double budget = model.loss_budget_db();
+  EXPECT_GE(budget, 9.0);
+  EXPECT_LE(budget, 12.0);
+  EXPECT_TRUE(model.decodable(9.0));
+  EXPECT_FALSE(model.decodable(budget + 0.1));
+}
+
+TEST(SnrTest, NegativeExtraLossClamped) {
+  const SnrModel model;
+  EXPECT_DOUBLE_EQ(model.osnr_db(-2.0), model.healthy_osnr_db);
+}
+
+TEST(SnrTest, MarginSeriesTracksWaveform) {
+  // Healthy -> degraded -> cut trace: the margin must stay positive through
+  // the degradation and go negative at the cut.
+  const net::Topology topo = net::make_triangle();
+  util::Rng setup(31);
+  PlantSimulator sim(topo.network, build_plant_model(topo.network, setup));
+  EventLog log;
+  log.horizon_sec = 300;
+  DegradationRecord d;
+  d.fiber = 0;
+  d.onset_sec = 100;
+  d.duration_sec = 50.0;
+  d.features.degree_db = 5.0;
+  d.features.gradient_db = 0.1;
+  d.features.fluctuation = 5.0;
+  log.degradations.push_back(d);
+  CutRecord c;
+  c.fiber = 0;
+  c.time_sec = 200;
+  c.repair_hours = 1.0;
+  log.cuts.push_back(c);
+
+  util::Rng rng(32);
+  const auto trace =
+      interpolate_missing(sim.loss_trace(log, 0, 0, 300, rng));
+  const SnrModel model;
+  const auto margins =
+      margin_series(model, trace, sim.params(0).healthy_loss_db);
+  ASSERT_EQ(margins.size(), trace.size());
+  EXPECT_GT(margins[50], 5.0);    // healthy: big margin
+  EXPECT_GT(margins[120], 0.0);   // degraded: shrunken but decodable
+  EXPECT_LT(margins[120], margins[50]);
+  EXPECT_LT(margins[250], 0.0);   // cut: not decodable
+}
+
+}  // namespace
+}  // namespace prete::optical

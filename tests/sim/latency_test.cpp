@@ -1,0 +1,68 @@
+#include "sim/latency.h"
+
+#include <gtest/gtest.h>
+
+namespace prete::sim {
+namespace {
+
+TEST(LatencyTest, ControlPathUnder300Ms) {
+  // §5: "The end-to-end latency in our testbed is less than 300
+  // milliseconds" for the control path.
+  const LatencyModel model;
+  const PipelineTrace trace = pipeline_trace(model, 5, 8);
+  EXPECT_LT(trace.control_path_ms, 300.0);
+  EXPECT_GT(trace.control_path_ms, 0.0);
+}
+
+TEST(LatencyTest, StagesAreContiguous) {
+  const LatencyModel model;
+  const PipelineTrace trace = pipeline_trace(model, 3, 10);
+  double t = 0.0;
+  for (const PipelineStage& stage : trace.stages) {
+    EXPECT_DOUBLE_EQ(stage.start_ms, t);
+    EXPECT_GE(stage.duration_ms, 0.0);
+    t += stage.duration_ms;
+  }
+  EXPECT_DOUBLE_EQ(trace.total_ms, t);
+}
+
+TEST(LatencyTest, TunnelInstallDominates) {
+  // Figure 11a: "the majority of time is spent on the establishment of new
+  // tunnels".
+  const LatencyModel model;
+  const PipelineTrace trace = pipeline_trace(model, 10, 8);
+  EXPECT_GT(trace.total_ms - trace.control_path_ms, trace.control_path_ms);
+}
+
+TEST(LatencyTest, InstallTimeLinearInTunnelCount) {
+  // Figure 11b: linear relationship; ~5 s for 20 tunnels.
+  const LatencyModel model;
+  const double t10 = tunnel_install_time_ms(model, 10);
+  const double t20 = tunnel_install_time_ms(model, 20);
+  EXPECT_NEAR(t20, 2.0 * t10, 1e-9);
+  EXPECT_NEAR(t20, 5000.0, 500.0);
+  EXPECT_DOUBLE_EQ(tunnel_install_time_ms(model, 0), 0.0);
+}
+
+TEST(LatencyTest, BatchingReducesInstallTime) {
+  // §5: "it is possible to implement a batch strategy (e.g., update a dozen
+  // tunnels at a time) to reduce the overall time required".
+  LatencyModel serial;
+  LatencyModel batched;
+  batched.install_batch_size = 12;
+  const double serial_time = tunnel_install_time_ms(serial, 100);
+  const double batched_time = tunnel_install_time_ms(batched, 100);
+  EXPECT_LT(batched_time, serial_time / 8.0);
+  // 100 tunnels in batches of 12 -> 9 rounds.
+  EXPECT_DOUBLE_EQ(batched_time, 9.0 * batched.tunnel_install_ms);
+}
+
+TEST(LatencyTest, ScenarioCountAffectsTeCompute) {
+  const LatencyModel model;
+  const PipelineTrace small = pipeline_trace(model, 0, 5);
+  const PipelineTrace large = pipeline_trace(model, 0, 100);
+  EXPECT_GT(large.control_path_ms, small.control_path_ms);
+}
+
+}  // namespace
+}  // namespace prete::sim

@@ -1,0 +1,111 @@
+#include "sim/monte_carlo.h"
+
+#include <gtest/gtest.h>
+
+#include "te/schemes.h"
+
+namespace prete::sim {
+namespace {
+
+struct McFixture {
+  net::Topology topo = net::make_b4();
+  te::PlantStatistics stats;
+  net::TrafficMatrix demands;
+
+  explicit McFixture(double scale = 1.0) {
+    util::Rng rng(11);
+    const auto params = optical::build_plant_model(topo.network, rng);
+    stats = te::derive_statistics(topo.network, params, {}, rng, 100);
+    util::Rng traffic_rng(12);
+    net::TrafficConfig tc;
+    tc.diurnal_swing = 0.0;
+    tc.noise = 0.0;
+    demands = net::scale_traffic(
+        net::generate_traffic(topo.network, topo.flows, traffic_rng, tc)[0],
+        scale);
+  }
+
+  MonteCarloConfig config(int epochs = 3000) const {
+    MonteCarloConfig c;
+    c.epochs = epochs;
+    c.beta = 0.99;
+    c.planning_scenarios.max_simultaneous_failures = 1;
+    c.planning_scenarios.max_scenarios = 40;
+    return c;
+  }
+};
+
+TEST(MonteCarloTest, EventRatesMatchStatistics) {
+  McFixture fx;
+  const MonteCarloStudy mc(fx.topo, fx.stats, fx.config(6000));
+  te::TeaVarScheme teavar(0.99);
+  util::Rng rng(1);
+  const auto result = mc.run_static(teavar, fx.demands, rng);
+  // Expected per-epoch degradation probability = 1 - prod(1 - p_d).
+  double none = 1.0;
+  for (double pd : fx.stats.degradation_prob) none *= (1.0 - pd);
+  const double expected_degr = 1.0 - none;
+  EXPECT_NEAR(static_cast<double>(result.epochs_with_degradation) / 6000.0,
+              expected_degr, 0.02);
+  EXPECT_GT(result.epochs_with_cut, 0);
+  EXPECT_LT(result.epochs_with_cut, result.epochs_with_degradation * 3 + 200);
+}
+
+TEST(MonteCarloTest, AgreesWithAnalyticStudyAtModerateDemand) {
+  // The headline cross-check: sampled availability must match the analytic
+  // probability-weighted availability within Monte Carlo error.
+  McFixture fx(2.0);
+  const MonteCarloStudy mc(fx.topo, fx.stats, fx.config(4000));
+  te::TeaVarScheme teavar(0.99);
+  util::Rng rng(2);
+  const auto sampled = mc.run_static(teavar, fx.demands, rng);
+
+  te::StudyOptions options;
+  options.beta = 0.99;
+  options.scenario_options.max_simultaneous_failures = 1;
+  options.scenario_options.max_scenarios = 40;
+  options.degradation_mass_target = 0.999;
+  const te::AvailabilityStudy analytic(fx.topo, fx.stats, options);
+  const double expected = analytic.evaluate_static(teavar, fx.demands);
+
+  EXPECT_NEAR(sampled.mean_flow_availability, expected,
+              5.0 * sampled.standard_error + 2e-3);
+}
+
+TEST(MonteCarloTest, PreTeBeatsTeaVarPastTheKnee) {
+  McFixture fx(4.5);
+  const MonteCarloStudy mc(fx.topo, fx.stats, fx.config(1500));
+  te::TeaVarScheme teavar(0.99);
+  util::Rng rng1(3);
+  const auto tv = mc.run_static(teavar, fx.demands, rng1);
+  util::Rng rng2(3);  // same epoch sample sequence for a paired comparison
+  const auto prete = mc.run_prete(fx.demands, rng2);
+  EXPECT_GT(prete.mean_flow_availability, tv.mean_flow_availability + 0.02);
+}
+
+TEST(MonteCarloTest, StandardErrorShrinksWithEpochs) {
+  McFixture fx(3.0);
+  te::TeaVarScheme teavar(0.99);
+  util::Rng rng1(4);
+  util::Rng rng2(4);
+  const MonteCarloStudy small(fx.topo, fx.stats, fx.config(500));
+  const MonteCarloStudy large(fx.topo, fx.stats, fx.config(8000));
+  const auto few = small.run_static(teavar, fx.demands, rng1);
+  const auto many = large.run_static(teavar, fx.demands, rng2);
+  EXPECT_LT(many.standard_error, few.standard_error);
+}
+
+TEST(MonteCarloTest, DeterministicForSameSeed) {
+  McFixture fx(2.0);
+  const MonteCarloStudy mc(fx.topo, fx.stats, fx.config(800));
+  te::TeaVarScheme teavar(0.99);
+  util::Rng a(5);
+  util::Rng b(5);
+  const auto r1 = mc.run_static(teavar, fx.demands, a);
+  const auto r2 = mc.run_static(teavar, fx.demands, b);
+  EXPECT_DOUBLE_EQ(r1.mean_flow_availability, r2.mean_flow_availability);
+  EXPECT_EQ(r1.epochs_with_cut, r2.epochs_with_cut);
+}
+
+}  // namespace
+}  // namespace prete::sim

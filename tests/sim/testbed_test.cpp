@@ -1,0 +1,60 @@
+#include "sim/testbed.h"
+
+#include <gtest/gtest.h>
+
+namespace prete::sim {
+namespace {
+
+TEST(TestbedTest, DetectsScriptedDegradationAndCut) {
+  TestbedScript script;
+  LatencyModel latency;
+  util::Rng rng(1);
+  const TestbedRun run = run_testbed(script, latency, 5, 8, rng);
+  ASSERT_FALSE(run.detection.degradations.empty());
+  ASSERT_FALSE(run.detection.cuts.empty());
+  // The VOA transitions at 65 s and 110 s; detection lands within a couple
+  // of samples.
+  EXPECT_NEAR(run.degradation_detected_sec, 65.0, 3.0);
+  EXPECT_NEAR(run.cut_detected_sec, 110.0, 3.0);
+}
+
+TEST(TestbedTest, PreparedBeforeCutWithFewTunnels) {
+  // §5's feasibility claim: the pipeline (including serialized installs of
+  // a handful of tunnels) fits inside the degradation->cut gap (45 s).
+  TestbedScript script;
+  LatencyModel latency;
+  util::Rng rng(2);
+  const TestbedRun run = run_testbed(script, latency, 5, 8, rng);
+  EXPECT_TRUE(run.prepared_before_cut);
+}
+
+TEST(TestbedTest, NotPreparedWithHugeSerialInstall) {
+  // 200 serialized tunnel installs take ~50 s > the 45 s gap.
+  TestbedScript script;
+  LatencyModel latency;
+  util::Rng rng(3);
+  const TestbedRun run = run_testbed(script, latency, 200, 8, rng);
+  EXPECT_FALSE(run.prepared_before_cut);
+  // Batching rescues it (§5).
+  LatencyModel batched = latency;
+  batched.install_batch_size = 12;
+  const TestbedRun rescued = run_testbed(script, batched, 200, 8, rng);
+  EXPECT_TRUE(rescued.prepared_before_cut);
+}
+
+TEST(TestbedTest, TraceShapeMatchesScript) {
+  TestbedScript script;
+  LatencyModel latency;
+  util::Rng rng(4);
+  const TestbedRun run = run_testbed(script, latency, 1, 4, rng);
+  ASSERT_EQ(run.trace_db.size(), 400u);
+  // Healthy region near baseline.
+  EXPECT_NEAR(run.trace_db[30], script.healthy_loss_db, 1.0);
+  // Degraded region raised by ~5 dB.
+  EXPECT_NEAR(run.trace_db[90], script.healthy_loss_db + 5.0, 2.0);
+  // Cut region saturated.
+  EXPECT_GT(run.trace_db[200], script.healthy_loss_db + 10.0);
+}
+
+}  // namespace
+}  // namespace prete::sim

@@ -1,0 +1,162 @@
+#include "te/availability.h"
+
+#include <gtest/gtest.h>
+
+#include "te/evaluator.h"
+
+namespace prete::te {
+namespace {
+
+// A small, fast study on the B4 topology with modest scenario options.
+struct StudyFixture {
+  net::Topology topo = net::make_b4();
+  PlantStatistics stats;
+  net::TrafficMatrix demands;
+
+  explicit StudyFixture(double scale = 1.0) {
+    util::Rng rng(11);
+    const auto params = optical::build_plant_model(topo.network, rng);
+    stats = derive_statistics(topo.network, params, {}, rng, 100);
+    util::Rng traffic_rng(12);
+    net::TrafficConfig tc;
+    tc.diurnal_swing = 0.0;
+    tc.noise = 0.0;
+    demands = net::scale_traffic(
+        net::generate_traffic(topo.network, topo.flows, traffic_rng, tc)[0],
+        scale);
+  }
+
+  StudyOptions fast_options() const {
+    StudyOptions options;
+    options.beta = 0.99;
+    options.scenario_options.max_simultaneous_failures = 1;
+    options.scenario_options.max_scenarios = 40;
+    options.scenario_options.target_mass = 0.9999;
+    options.degradation_mass_target = 0.995;
+    return options;
+  }
+};
+
+TEST(PlantStatisticsTest, DerivedValuesAreSane) {
+  StudyFixture fx;
+  ASSERT_EQ(fx.stats.num_fibers(), fx.topo.network.num_fibers());
+  for (int f = 0; f < fx.stats.num_fibers(); ++f) {
+    EXPECT_GT(fx.stats.degradation_prob[static_cast<std::size_t>(f)], 0.0);
+    EXPECT_GT(fx.stats.cut_prob[static_cast<std::size_t>(f)], 0.0);
+    EXPECT_GT(fx.stats.cut_given_degradation[static_cast<std::size_t>(f)], 0.0);
+    EXPECT_LT(fx.stats.cut_given_degradation[static_cast<std::size_t>(f)], 1.0);
+  }
+  // Alpha should land near the calibrated 25%.
+  EXPECT_NEAR(fx.stats.alpha, 0.25, 0.07);
+}
+
+TEST(PlantStatisticsTest, WithAlphaRescalesConditional) {
+  StudyFixture fx;
+  const PlantStatistics full = with_alpha(fx.stats, 1.0);
+  EXPECT_DOUBLE_EQ(full.alpha, 1.0);
+  for (int f = 0; f < full.num_fibers(); ++f) {
+    EXPECT_GE(full.cut_given_degradation[static_cast<std::size_t>(f)],
+              fx.stats.cut_given_degradation[static_cast<std::size_t>(f)] - 1e-12);
+    // Cut probabilities are untouched.
+    EXPECT_DOUBLE_EQ(full.cut_prob[static_cast<std::size_t>(f)],
+                     fx.stats.cut_prob[static_cast<std::size_t>(f)]);
+  }
+}
+
+TEST(AvailabilityStudyTest, MismatchedStatsThrow) {
+  StudyFixture fx;
+  PlantStatistics wrong = fx.stats;
+  wrong.cut_prob.pop_back();
+  wrong.degradation_prob.pop_back();
+  wrong.cut_given_degradation.pop_back();
+  EXPECT_THROW(AvailabilityStudy(fx.topo, wrong), std::invalid_argument);
+}
+
+TEST(AvailabilityStudyTest, ModerateDemandGivesHighAvailability) {
+  StudyFixture fx(1.0);
+  AvailabilityStudy study(fx.topo, fx.stats, fx.fast_options());
+  TeaVarScheme teavar(0.99);
+  const double avail = study.evaluate_static(teavar, fx.demands);
+  EXPECT_GT(avail, 0.99);
+  EXPECT_LE(avail, 1.0 + 1e-9);
+}
+
+TEST(AvailabilityStudyTest, AvailabilityDecreasesWithScale) {
+  StudyFixture fx;
+  AvailabilityStudy study(fx.topo, fx.stats, fx.fast_options());
+  TeaVarScheme teavar(0.99);
+  const auto curve =
+      sweep_scales(study, teavar, fx.demands, {1.0, 3.0, 6.0});
+  EXPECT_GE(curve[0].availability, curve[1].availability - 1e-6);
+  EXPECT_GE(curve[1].availability, curve[2].availability - 1e-6);
+}
+
+TEST(AvailabilityStudyTest, PreTeBeatsStaticTeaVarAtHighDemand) {
+  // The headline claim (Figure 13): at demand scales where single-cut
+  // protection stops being free, PreTE's calibrated probabilities +
+  // prepared tunnels sustain clearly higher availability. (At low scales
+  // both schemes protect everything and tie.)
+  StudyFixture fx(4.5);
+  AvailabilityStudy study(fx.topo, fx.stats, fx.fast_options());
+  TeaVarScheme teavar(0.99);
+  const double teavar_avail = study.evaluate_static(teavar, fx.demands);
+  const double prete_avail =
+      study.evaluate_prete(PredictorModel::kNeuralNet, fx.demands);
+  EXPECT_GT(prete_avail, teavar_avail + 0.05);
+}
+
+TEST(AvailabilityStudyTest, OracleIsBestPredictor) {
+  StudyFixture fx(2.5);
+  AvailabilityStudy study(fx.topo, fx.stats, fx.fast_options());
+  const double oracle =
+      study.evaluate_prete(PredictorModel::kOracle, fx.demands);
+  const double nn = study.evaluate_prete(PredictorModel::kNeuralNet, fx.demands);
+  const double teavar_pred =
+      study.evaluate_prete(PredictorModel::kTeaVar, fx.demands);
+  // Figure 15 ordering: oracle >= NN >= TeaVar's static prediction.
+  EXPECT_GE(oracle, nn - 5e-3);
+  EXPECT_GE(nn, teavar_pred - 5e-3);
+}
+
+TEST(AvailabilityStudyTest, ReactiveSchemeChargedForConvergence) {
+  StudyFixture fx(1.0);
+  AvailabilityStudy study(fx.topo, fx.stats, fx.fast_options());
+  FlexileScheme flexile(0.99);
+  TeaVarScheme teavar(0.99);
+  const double flexile_avail = study.evaluate_static(flexile, fx.demands);
+  const double teavar_avail = study.evaluate_static(teavar, fx.demands);
+  // Same optimization family, but the reactive scheme pays the convergence
+  // outage on every failure -> lower availability.
+  EXPECT_LT(flexile_avail, teavar_avail);
+}
+
+TEST(AvailabilityStudyTest, MeanNewTunnelsPositive) {
+  StudyFixture fx;
+  AvailabilityStudy study(fx.topo, fx.stats, fx.fast_options());
+  const double mean = study.mean_new_tunnels(fx.demands);
+  EXPECT_GT(mean, 0.0);
+  EXPECT_LT(mean, 100.0);
+}
+
+TEST(MaxScaleTest, InterpolatesCurve) {
+  std::vector<AvailabilityPoint> curve{
+      {1.0, 0.9999}, {2.0, 0.999}, {3.0, 0.99}, {4.0, 0.9}};
+  EXPECT_NEAR(max_scale_at_availability(curve, 0.999), 2.0, 1e-9);
+  const double at99 = max_scale_at_availability(curve, 0.99);
+  EXPECT_NEAR(at99, 3.0, 1e-9);
+  // Between 0.999 and 0.99 the scale interpolates between 2 and 3.
+  const double mid = max_scale_at_availability(curve, 0.9945);
+  EXPECT_GT(mid, 2.0);
+  EXPECT_LT(mid, 3.0);
+  EXPECT_DOUBLE_EQ(max_scale_at_availability(curve, 0.99999), 0.0);
+}
+
+TEST(PredictorModelTest, Names) {
+  EXPECT_STREQ(to_string(PredictorModel::kOracle), "Oracle");
+  EXPECT_STREQ(to_string(PredictorModel::kNeuralNet), "NN");
+  EXPECT_STREQ(to_string(PredictorModel::kStatistic), "Statistic");
+  EXPECT_STREQ(to_string(PredictorModel::kTeaVar), "TeaVar-pred");
+}
+
+}  // namespace
+}  // namespace prete::te

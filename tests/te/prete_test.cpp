@@ -1,0 +1,138 @@
+#include "te/prete.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "te/evaluator.h"
+
+namespace prete::te {
+namespace {
+
+TEST(DegradationScenarioTest, NoneHasNoDegradation) {
+  const auto s = DegradationScenario::none(5);
+  EXPECT_FALSE(s.any());
+  EXPECT_EQ(s.degraded.size(), 5u);
+}
+
+TEST(PreTeTest, NoDegradationUsesDiscountedProbabilities) {
+  net::Topology topo = net::make_triangle();
+  net::TunnelSet tunnels(2);
+  tunnels.add_tunnel(0, {0});
+  tunnels.add_tunnel(0, {2, 5});
+  tunnels.add_tunnel(1, {2});
+  tunnels.add_tunnel(1, {0, 4});
+
+  PreTeConfig config;
+  config.beta = 0.95;
+  config.alpha = 0.25;
+  PreTeScheme prete({0.02, 0.02, 0.02}, config);
+  const auto outcome = prete.compute_for_degradation(
+      topo.network, topo.flows, tunnels, {10.0, 10.0},
+      DegradationScenario::none(3));
+  // Scenario set built from (1 - alpha) * p_i = 0.015 per fiber.
+  ASSERT_FALSE(outcome.scenarios.scenarios.empty());
+  EXPECT_NEAR(outcome.scenarios.scenarios[0].probability,
+              0.985 * 0.985 * 0.985, 1e-12);
+  EXPECT_TRUE(outcome.tunnel_update.created.empty());
+  EXPECT_EQ(tunnels.num_tunnels(), 4);
+}
+
+TEST(PreTeTest, DegradationTriggersTunnelsAndHighProbability) {
+  net::Topology topo = net::make_triangle();
+  net::TunnelSet tunnels(2);
+  tunnels.add_tunnel(0, {0});
+  tunnels.add_tunnel(1, {2});
+  tunnels.add_tunnel(1, {0, 4});
+
+  PreTeConfig config;
+  config.beta = 0.9;
+  PreTeScheme prete({0.01, 0.01, 0.01}, config);
+  DegradationScenario s = DegradationScenario::none(3);
+  s.degraded[0] = true;
+  s.predicted_prob[0] = 0.45;  // NN says 45% cut probability
+  const auto outcome = prete.compute_for_degradation(
+      topo.network, topo.flows, tunnels, {10.0, 10.0}, s);
+
+  // Algorithm 1 created tunnels avoiding fiber 0.
+  EXPECT_GT(outcome.tunnel_update.created.size(), 0u);
+  EXPECT_EQ(outcome.tunnel_update.affected_flows, 2);
+  // The believed scenario set gives fiber 0 its NN probability: the
+  // fiber-0-fails scenario must be prominent.
+  bool found = false;
+  for (const auto& scenario : outcome.scenarios.scenarios) {
+    if (scenario.failure_count() == 1 && scenario.fiber_failed[0]) {
+      found = true;
+      EXPECT_GT(scenario.probability, 0.4);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PreTeTest, PolicySurvivesThePredictedCut) {
+  // The core promise (Figure 7): with a degradation on s1s2 and the NN
+  // predicting a likely cut, PreTE's policy keeps both flows whole when the
+  // cut actually happens.
+  net::Topology topo = net::make_triangle();
+  net::TunnelSet tunnels(2);
+  tunnels.add_tunnel(0, {0});
+  tunnels.add_tunnel(1, {2});
+  tunnels.add_tunnel(1, {0, 4});
+
+  PreTeConfig config;
+  config.beta = 0.9;
+  PreTeScheme prete({0.005, 0.009, 0.001}, config);
+  DegradationScenario s = DegradationScenario::none(3);
+  s.degraded[0] = true;
+  s.predicted_prob[0] = 0.5;
+  // 5 + 5 units as in the worked example (link capacity is 10, so both
+  // flows can share the s1-s3 link once s1s2 is gone).
+  const auto outcome = prete.compute_for_degradation(
+      topo.network, topo.flows, tunnels, {5.0, 5.0}, s);
+
+  TeProblem problem;
+  problem.network = &topo.network;
+  problem.flows = &topo.flows;
+  problem.tunnels = &tunnels;
+  problem.demands = {5.0, 5.0};
+  FailureScenario cut;
+  cut.fiber_failed = {true, false, false};
+  cut.probability = 1.0;
+  const auto losses = flow_losses(problem, outcome.policy, cut);
+  // Figure 7(b): "our approach still supports 10 units" for both flows.
+  EXPECT_LT(losses[0], 1e-5);
+  EXPECT_LT(losses[1], 1e-5);
+}
+
+TEST(PreTeTest, SizeMismatchThrows) {
+  net::Topology topo = net::make_triangle();
+  net::TunnelSet tunnels(2);
+  tunnels.add_tunnel(0, {0});
+  tunnels.add_tunnel(1, {2});
+  PreTeScheme prete({0.01, 0.01});  // wrong size: triangle has 3 fibers
+  EXPECT_THROW(prete.compute_for_degradation(topo.network, topo.flows, tunnels,
+                                             {10.0, 10.0},
+                                             DegradationScenario::none(3)),
+               std::invalid_argument);
+}
+
+TEST(PreTeTest, AlphaZeroMatchesStaticScenarios) {
+  // "If alpha equals 0 ... PreTE degrades to the existing work."
+  net::Topology topo = net::make_triangle();
+  net::TunnelSet tunnels(2);
+  tunnels.add_tunnel(0, {0});
+  tunnels.add_tunnel(0, {2, 5});
+  tunnels.add_tunnel(1, {2});
+  tunnels.add_tunnel(1, {0, 4});
+  PreTeConfig config;
+  config.alpha = 0.0;
+  config.beta = 0.95;
+  PreTeScheme prete({0.02, 0.03, 0.01}, config);
+  const auto outcome = prete.compute_for_degradation(
+      topo.network, topo.flows, tunnels, {10.0, 10.0},
+      DegradationScenario::none(3));
+  EXPECT_NEAR(outcome.scenarios.scenarios[0].probability,
+              0.98 * 0.97 * 0.99, 1e-12);
+}
+
+}  // namespace
+}  // namespace prete::te

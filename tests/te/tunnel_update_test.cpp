@@ -1,0 +1,129 @@
+#include "te/tunnel_update.h"
+
+#include <gtest/gtest.h>
+
+#include "net/paths.h"
+#include "net/topology.h"
+
+namespace prete::te {
+namespace {
+
+TEST(TunnelUpdateTest, TriangleFigure7) {
+  // §3.3 / Figure 7: link s1s2 degrades; flow s1s2 gets the new tunnel
+  // s1s3s2; flow s1s3 "remains the same because there is no new path".
+  net::Topology topo = net::make_triangle();
+  net::TunnelSet tunnels(2);
+  tunnels.add_tunnel(0, {0});     // s1->s2 direct (fiber 0)
+  tunnels.add_tunnel(1, {2});     // s1->s3 direct (fiber 1)
+  tunnels.add_tunnel(1, {0, 4});  // s1->s2->s3 (fibers 0, 2)
+
+  const auto result = update_tunnels_for_degradation(
+      topo.network, topo.flows, tunnels, /*degraded_fiber=*/0);
+  EXPECT_EQ(result.affected_flows, 2);   // both flows have tunnels on fiber 0
+  EXPECT_EQ(result.affected_tunnels, 2);
+  // New tunnels avoid fiber 0 and are marked dynamic.
+  for (net::TunnelId t : result.created) {
+    EXPECT_TRUE(tunnels.tunnel(t).dynamic);
+    EXPECT_FALSE(tunnels.uses_fiber(topo.network, t, 0));
+  }
+  // Flow 0 must now own the s1->s3->s2 detour.
+  bool flow0_has_detour = false;
+  for (net::TunnelId t : tunnels.tunnels_for_flow(0)) {
+    if (tunnels.tunnel(t).path == net::Path{2, 5}) flow0_has_detour = true;
+  }
+  EXPECT_TRUE(flow0_has_detour);
+}
+
+TEST(TunnelUpdateTest, UnaffectedFiberIsNoOp) {
+  net::Topology topo = net::make_triangle();
+  net::TunnelSet tunnels(2);
+  tunnels.add_tunnel(0, {0});
+  tunnels.add_tunnel(1, {2});
+  const auto result = update_tunnels_for_degradation(
+      topo.network, topo.flows, tunnels, /*degraded_fiber=*/2);
+  EXPECT_EQ(result.affected_flows, 0);
+  EXPECT_TRUE(result.created.empty());
+  EXPECT_EQ(tunnels.num_tunnels(), 2);
+}
+
+TEST(TunnelUpdateTest, RatioScalesNewTunnelCount) {
+  net::Topology topo = net::make_b4();
+  const net::FiberId fiber = 0;
+  TunnelUpdateConfig one;
+  one.ratio = 1.0;
+  TunnelUpdateConfig half;
+  half.ratio = 0.5;
+
+  net::TunnelSet t1 = net::build_tunnels(topo.network, topo.flows);
+  const auto r1 =
+      update_tunnels_for_degradation(topo.network, topo.flows, t1, fiber, one);
+  net::TunnelSet t2 = net::build_tunnels(topo.network, topo.flows);
+  const auto r2 =
+      update_tunnels_for_degradation(topo.network, topo.flows, t2, fiber, half);
+  EXPECT_GT(r1.created.size(), 0u);
+  EXPECT_LE(r2.created.size(), r1.created.size());
+}
+
+TEST(TunnelUpdateTest, NewTunnelsAvoidDegradedFiberOnB4) {
+  net::Topology topo = net::make_b4();
+  for (net::FiberId f = 0; f < topo.network.num_fibers(); f += 5) {
+    net::TunnelSet tunnels = net::build_tunnels(topo.network, topo.flows);
+    const int before = tunnels.num_tunnels();
+    const auto result =
+        update_tunnels_for_degradation(topo.network, topo.flows, tunnels, f);
+    EXPECT_EQ(tunnels.num_tunnels(),
+              before + static_cast<int>(result.created.size()));
+    for (net::TunnelId t : result.created) {
+      EXPECT_FALSE(tunnels.uses_fiber(topo.network, t, f)) << "fiber " << f;
+      const net::Flow& flow =
+          topo.flows[static_cast<std::size_t>(tunnels.tunnel(t).flow)];
+      EXPECT_TRUE(net::path_is_valid(topo.network, tunnels.tunnel(t).path,
+                                     flow.src, flow.dst));
+    }
+  }
+}
+
+TEST(TunnelUpdateTest, ClearDynamicRestoresOriginalState) {
+  // "Once the failure is repaired ... the tunnel is then updated to its
+  // original state" (§4.2).
+  net::Topology topo = net::make_b4();
+  net::TunnelSet tunnels = net::build_tunnels(topo.network, topo.flows);
+  const int before = tunnels.num_tunnels();
+  update_tunnels_for_degradation(topo.network, topo.flows, tunnels, 3);
+  EXPECT_GT(tunnels.num_tunnels(), before);
+  tunnels.clear_dynamic();
+  EXPECT_EQ(tunnels.num_tunnels(), before);
+}
+
+TEST(TunnelUpdateTest, MaxNewTunnelsCapEnforced) {
+  net::Topology topo = net::make_b4();
+  net::TunnelSet tunnels = net::build_tunnels(topo.network, topo.flows);
+  TunnelUpdateConfig config;
+  config.ratio = 10.0;
+  config.max_new_tunnels_per_flow = 2;
+  const auto result = update_tunnels_for_degradation(topo.network, topo.flows,
+                                                     tunnels, 0, config);
+  std::vector<int> per_flow(topo.flows.size(), 0);
+  for (net::TunnelId t : result.created) {
+    ++per_flow[static_cast<std::size_t>(tunnels.tunnel(t).flow)];
+  }
+  for (int count : per_flow) EXPECT_LE(count, 3);  // cap + 1 fallback path
+}
+
+TEST(TunnelUpdateTest, NoDuplicateTunnels) {
+  net::Topology topo = net::make_b4();
+  net::TunnelSet tunnels = net::build_tunnels(topo.network, topo.flows);
+  update_tunnels_for_degradation(topo.network, topo.flows, tunnels, 1);
+  for (const net::Flow& flow : topo.flows) {
+    const auto& ts = tunnels.tunnels_for_flow(flow.id);
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      for (std::size_t j = i + 1; j < ts.size(); ++j) {
+        EXPECT_NE(tunnels.tunnel(ts[i]).path, tunnels.tunnel(ts[j]).path)
+            << "flow " << flow.id;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prete::te

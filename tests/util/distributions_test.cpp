@@ -1,0 +1,139 @@
+#include "util/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace prete::util {
+namespace {
+
+TEST(WeibullTest, CdfBoundaries) {
+  Weibull w(0.8, 0.002);
+  EXPECT_DOUBLE_EQ(w.cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.cdf(-1.0), 0.0);
+  EXPECT_NEAR(w.cdf(1e9), 1.0, 1e-12);
+}
+
+TEST(WeibullTest, CdfAtScaleIsOneMinusInvE) {
+  // F(scale) = 1 - e^-1 for any shape.
+  for (double shape : {0.5, 0.8, 1.0, 2.0}) {
+    Weibull w(shape, 3.0);
+    EXPECT_NEAR(w.cdf(3.0), 1.0 - std::exp(-1.0), 1e-12);
+  }
+}
+
+TEST(WeibullTest, SampleMeanMatchesAnalytic) {
+  Weibull w(0.8, 0.002);
+  Rng rng(1);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += w.sample(rng);
+  EXPECT_NEAR(sum / n, w.mean(), 0.05 * w.mean());
+}
+
+TEST(WeibullTest, SampleQuantilesMatchCdf) {
+  Weibull w(0.8, 0.002);
+  Rng rng(2);
+  int below_median = 0;
+  const int n = 100000;
+  // Median = scale * ln(2)^(1/shape).
+  const double median = 0.002 * std::pow(std::log(2.0), 1.0 / 0.8);
+  for (int i = 0; i < n; ++i) {
+    if (w.sample(rng) < median) ++below_median;
+  }
+  EXPECT_NEAR(static_cast<double>(below_median) / n, 0.5, 0.01);
+}
+
+TEST(WeibullTest, RejectsBadParameters) {
+  EXPECT_THROW(Weibull(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Weibull(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(GeometricTest, PmfSumsToOne) {
+  Geometric g(0.3);
+  double total = 0.0;
+  for (std::uint64_t k = 0; k < 200; ++k) total += g.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(GeometricTest, SampleMean) {
+  Geometric g(0.25);
+  Rng rng(4);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(g.sample(rng));
+  // Mean of failures-before-success = (1-p)/p = 3.
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(GeometricTest, ProbabilityOneAlwaysZero) {
+  Geometric g(1.0);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(g.sample(rng), 0u);
+}
+
+TEST(GeometricTest, RejectsBadParameters) {
+  EXPECT_THROW(Geometric(0.0), std::invalid_argument);
+  EXPECT_THROW(Geometric(1.5), std::invalid_argument);
+}
+
+TEST(ExponentialTest, SampleMeanIsInverseRate) {
+  Exponential e(2.0);
+  Rng rng(6);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += e.sample(rng);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(NormalTest, StandardMoments) {
+  Rng rng(7);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = sample_standard_normal(rng);
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(LognormalTest, MedianIsExpMu) {
+  Rng rng(8);
+  int below = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (sample_lognormal(rng, 1.5, 0.7) < std::exp(1.5)) ++below;
+  }
+  EXPECT_NEAR(static_cast<double>(below) / n, 0.5, 0.01);
+}
+
+class WeibullShapeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(WeibullShapeSweep, EmpiricalCdfMatchesAnalytic) {
+  const double shape = GetParam();
+  Weibull w(shape, 1.0);
+  Rng rng(static_cast<std::uint64_t>(shape * 100));
+  const int n = 50000;
+  std::vector<double> samples;
+  samples.reserve(n);
+  for (int i = 0; i < n; ++i) samples.push_back(w.sample(rng));
+  // Check the analytic CDF at a few probe points.
+  for (double x : {0.25, 0.5, 1.0, 2.0}) {
+    int below = 0;
+    for (double s : samples) {
+      if (s <= x) ++below;
+    }
+    EXPECT_NEAR(static_cast<double>(below) / n, w.cdf(x), 0.012)
+        << "shape=" << shape << " x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, WeibullShapeSweep,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.5, 2.5));
+
+}  // namespace
+}  // namespace prete::util

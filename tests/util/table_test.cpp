@@ -1,0 +1,45 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace prete::util {
+namespace {
+
+TEST(TableTest, PrintsHeaderAndRows) {
+  Table t({"scheme", "availability"});
+  t.add_row({"PreTE", "99.9"});
+  t.add_row({"TeaVar", "99.0"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("scheme"), std::string::npos);
+  EXPECT_NE(out.find("PreTE"), std::string::npos);
+  EXPECT_NE(out.find("TeaVar"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, RejectsWrongWidth) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TableTest, NumericRow) {
+  Table t({"x", "y"});
+  t.add_numeric_row({1.23456, 2.0}, 3);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("1.23"), std::string::npos);
+}
+
+TEST(TableTest, CsvShape) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+}  // namespace
+}  // namespace prete::util
