@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_scenarios.dir/bench_ablation_scenarios.cpp.o"
+  "CMakeFiles/bench_ablation_scenarios.dir/bench_ablation_scenarios.cpp.o.d"
+  "bench_ablation_scenarios"
+  "bench_ablation_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

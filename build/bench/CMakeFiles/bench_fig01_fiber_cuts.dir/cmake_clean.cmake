@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_fiber_cuts.dir/bench_fig01_fiber_cuts.cpp.o"
+  "CMakeFiles/bench_fig01_fiber_cuts.dir/bench_fig01_fiber_cuts.cpp.o.d"
+  "bench_fig01_fiber_cuts"
+  "bench_fig01_fiber_cuts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_fiber_cuts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_predictability.dir/bench_fig05_predictability.cpp.o"
+  "CMakeFiles/bench_fig05_predictability.dir/bench_fig05_predictability.cpp.o.d"
+  "bench_fig05_predictability"
+  "bench_fig05_predictability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_predictability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_probabilities.dir/bench_fig12_probabilities.cpp.o"
+  "CMakeFiles/bench_fig12_probabilities.dir/bench_fig12_probabilities.cpp.o.d"
+  "bench_fig12_probabilities"
+  "bench_fig12_probabilities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_probabilities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_new_tunnels.dir/bench_fig16_new_tunnels.cpp.o"
+  "CMakeFiles/bench_fig16_new_tunnels.dir/bench_fig16_new_tunnels.cpp.o.d"
+  "bench_fig16_new_tunnels"
+  "bench_fig16_new_tunnels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_new_tunnels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

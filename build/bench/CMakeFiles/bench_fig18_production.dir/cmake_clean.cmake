@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_production.dir/bench_fig18_production.cpp.o"
+  "CMakeFiles/bench_fig18_production.dir/bench_fig18_production.cpp.o.d"
+  "bench_fig18_production"
+  "bench_fig18_production.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_production.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

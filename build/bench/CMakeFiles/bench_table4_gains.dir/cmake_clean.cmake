@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_gains.dir/bench_table4_gains.cpp.o"
+  "CMakeFiles/bench_table4_gains.dir/bench_table4_gains.cpp.o.d"
+  "bench_table4_gains"
+  "bench_table4_gains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_gains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

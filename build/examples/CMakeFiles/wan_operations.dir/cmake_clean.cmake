@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_operations.dir/wan_operations.cpp.o"
+  "CMakeFiles/wan_operations.dir/wan_operations.cpp.o.d"
+  "wan_operations"
+  "wan_operations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_operations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prete_core.dir/controller.cpp.o"
+  "CMakeFiles/prete_core.dir/controller.cpp.o.d"
+  "libprete_core.a"
+  "libprete_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prete_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prete_lp.dir/branch_and_bound.cpp.o"
+  "CMakeFiles/prete_lp.dir/branch_and_bound.cpp.o.d"
+  "CMakeFiles/prete_lp.dir/model.cpp.o"
+  "CMakeFiles/prete_lp.dir/model.cpp.o.d"
+  "CMakeFiles/prete_lp.dir/presolve.cpp.o"
+  "CMakeFiles/prete_lp.dir/presolve.cpp.o.d"
+  "CMakeFiles/prete_lp.dir/simplex.cpp.o"
+  "CMakeFiles/prete_lp.dir/simplex.cpp.o.d"
+  "libprete_lp.a"
+  "libprete_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prete_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

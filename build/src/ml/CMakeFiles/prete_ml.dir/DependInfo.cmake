@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/baselines.cpp" "src/ml/CMakeFiles/prete_ml.dir/baselines.cpp.o" "gcc" "src/ml/CMakeFiles/prete_ml.dir/baselines.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/prete_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/prete_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/encoder.cpp" "src/ml/CMakeFiles/prete_ml.dir/encoder.cpp.o" "gcc" "src/ml/CMakeFiles/prete_ml.dir/encoder.cpp.o.d"
+  "/root/repo/src/ml/logistic.cpp" "src/ml/CMakeFiles/prete_ml.dir/logistic.cpp.o" "gcc" "src/ml/CMakeFiles/prete_ml.dir/logistic.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/prete_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/prete_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/mlp.cpp" "src/ml/CMakeFiles/prete_ml.dir/mlp.cpp.o" "gcc" "src/ml/CMakeFiles/prete_ml.dir/mlp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/prete_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/optical/CMakeFiles/prete_optical.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/prete_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

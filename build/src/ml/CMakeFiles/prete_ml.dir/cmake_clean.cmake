@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prete_ml.dir/baselines.cpp.o"
+  "CMakeFiles/prete_ml.dir/baselines.cpp.o.d"
+  "CMakeFiles/prete_ml.dir/dataset.cpp.o"
+  "CMakeFiles/prete_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/prete_ml.dir/encoder.cpp.o"
+  "CMakeFiles/prete_ml.dir/encoder.cpp.o.d"
+  "CMakeFiles/prete_ml.dir/logistic.cpp.o"
+  "CMakeFiles/prete_ml.dir/logistic.cpp.o.d"
+  "CMakeFiles/prete_ml.dir/metrics.cpp.o"
+  "CMakeFiles/prete_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/prete_ml.dir/mlp.cpp.o"
+  "CMakeFiles/prete_ml.dir/mlp.cpp.o.d"
+  "libprete_ml.a"
+  "libprete_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prete_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

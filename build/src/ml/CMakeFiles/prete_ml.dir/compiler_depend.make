@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for prete_ml.
+# This may be replaced when dependencies are built.

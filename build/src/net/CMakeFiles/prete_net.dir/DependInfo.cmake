@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/graph.cpp" "src/net/CMakeFiles/prete_net.dir/graph.cpp.o" "gcc" "src/net/CMakeFiles/prete_net.dir/graph.cpp.o.d"
+  "/root/repo/src/net/more_topologies.cpp" "src/net/CMakeFiles/prete_net.dir/more_topologies.cpp.o" "gcc" "src/net/CMakeFiles/prete_net.dir/more_topologies.cpp.o.d"
+  "/root/repo/src/net/paths.cpp" "src/net/CMakeFiles/prete_net.dir/paths.cpp.o" "gcc" "src/net/CMakeFiles/prete_net.dir/paths.cpp.o.d"
+  "/root/repo/src/net/srlg.cpp" "src/net/CMakeFiles/prete_net.dir/srlg.cpp.o" "gcc" "src/net/CMakeFiles/prete_net.dir/srlg.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/prete_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/prete_net.dir/topology.cpp.o.d"
+  "/root/repo/src/net/traffic.cpp" "src/net/CMakeFiles/prete_net.dir/traffic.cpp.o" "gcc" "src/net/CMakeFiles/prete_net.dir/traffic.cpp.o.d"
+  "/root/repo/src/net/tunnels.cpp" "src/net/CMakeFiles/prete_net.dir/tunnels.cpp.o" "gcc" "src/net/CMakeFiles/prete_net.dir/tunnels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/prete_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prete_net.dir/graph.cpp.o"
+  "CMakeFiles/prete_net.dir/graph.cpp.o.d"
+  "CMakeFiles/prete_net.dir/more_topologies.cpp.o"
+  "CMakeFiles/prete_net.dir/more_topologies.cpp.o.d"
+  "CMakeFiles/prete_net.dir/paths.cpp.o"
+  "CMakeFiles/prete_net.dir/paths.cpp.o.d"
+  "CMakeFiles/prete_net.dir/srlg.cpp.o"
+  "CMakeFiles/prete_net.dir/srlg.cpp.o.d"
+  "CMakeFiles/prete_net.dir/topology.cpp.o"
+  "CMakeFiles/prete_net.dir/topology.cpp.o.d"
+  "CMakeFiles/prete_net.dir/traffic.cpp.o"
+  "CMakeFiles/prete_net.dir/traffic.cpp.o.d"
+  "CMakeFiles/prete_net.dir/tunnels.cpp.o"
+  "CMakeFiles/prete_net.dir/tunnels.cpp.o.d"
+  "libprete_net.a"
+  "libprete_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prete_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

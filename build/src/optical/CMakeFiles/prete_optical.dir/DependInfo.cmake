@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optical/detector.cpp" "src/optical/CMakeFiles/prete_optical.dir/detector.cpp.o" "gcc" "src/optical/CMakeFiles/prete_optical.dir/detector.cpp.o.d"
+  "/root/repo/src/optical/fiber_model.cpp" "src/optical/CMakeFiles/prete_optical.dir/fiber_model.cpp.o" "gcc" "src/optical/CMakeFiles/prete_optical.dir/fiber_model.cpp.o.d"
+  "/root/repo/src/optical/restoration.cpp" "src/optical/CMakeFiles/prete_optical.dir/restoration.cpp.o" "gcc" "src/optical/CMakeFiles/prete_optical.dir/restoration.cpp.o.d"
+  "/root/repo/src/optical/simulator.cpp" "src/optical/CMakeFiles/prete_optical.dir/simulator.cpp.o" "gcc" "src/optical/CMakeFiles/prete_optical.dir/simulator.cpp.o.d"
+  "/root/repo/src/optical/snr.cpp" "src/optical/CMakeFiles/prete_optical.dir/snr.cpp.o" "gcc" "src/optical/CMakeFiles/prete_optical.dir/snr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/prete_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/prete_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

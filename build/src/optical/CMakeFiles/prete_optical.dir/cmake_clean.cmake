@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prete_optical.dir/detector.cpp.o"
+  "CMakeFiles/prete_optical.dir/detector.cpp.o.d"
+  "CMakeFiles/prete_optical.dir/fiber_model.cpp.o"
+  "CMakeFiles/prete_optical.dir/fiber_model.cpp.o.d"
+  "CMakeFiles/prete_optical.dir/restoration.cpp.o"
+  "CMakeFiles/prete_optical.dir/restoration.cpp.o.d"
+  "CMakeFiles/prete_optical.dir/simulator.cpp.o"
+  "CMakeFiles/prete_optical.dir/simulator.cpp.o.d"
+  "CMakeFiles/prete_optical.dir/snr.cpp.o"
+  "CMakeFiles/prete_optical.dir/snr.cpp.o.d"
+  "libprete_optical.a"
+  "libprete_optical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prete_optical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

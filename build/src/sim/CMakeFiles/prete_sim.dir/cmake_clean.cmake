@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prete_sim.dir/latency.cpp.o"
+  "CMakeFiles/prete_sim.dir/latency.cpp.o.d"
+  "CMakeFiles/prete_sim.dir/monte_carlo.cpp.o"
+  "CMakeFiles/prete_sim.dir/monte_carlo.cpp.o.d"
+  "CMakeFiles/prete_sim.dir/production_case.cpp.o"
+  "CMakeFiles/prete_sim.dir/production_case.cpp.o.d"
+  "CMakeFiles/prete_sim.dir/testbed.cpp.o"
+  "CMakeFiles/prete_sim.dir/testbed.cpp.o.d"
+  "libprete_sim.a"
+  "libprete_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prete_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

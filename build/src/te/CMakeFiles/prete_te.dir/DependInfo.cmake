@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/te/availability.cpp" "src/te/CMakeFiles/prete_te.dir/availability.cpp.o" "gcc" "src/te/CMakeFiles/prete_te.dir/availability.cpp.o.d"
+  "/root/repo/src/te/evaluator.cpp" "src/te/CMakeFiles/prete_te.dir/evaluator.cpp.o" "gcc" "src/te/CMakeFiles/prete_te.dir/evaluator.cpp.o.d"
+  "/root/repo/src/te/lp_common.cpp" "src/te/CMakeFiles/prete_te.dir/lp_common.cpp.o" "gcc" "src/te/CMakeFiles/prete_te.dir/lp_common.cpp.o.d"
+  "/root/repo/src/te/minmax.cpp" "src/te/CMakeFiles/prete_te.dir/minmax.cpp.o" "gcc" "src/te/CMakeFiles/prete_te.dir/minmax.cpp.o.d"
+  "/root/repo/src/te/prete.cpp" "src/te/CMakeFiles/prete_te.dir/prete.cpp.o" "gcc" "src/te/CMakeFiles/prete_te.dir/prete.cpp.o.d"
+  "/root/repo/src/te/scenario.cpp" "src/te/CMakeFiles/prete_te.dir/scenario.cpp.o" "gcc" "src/te/CMakeFiles/prete_te.dir/scenario.cpp.o.d"
+  "/root/repo/src/te/schemes.cpp" "src/te/CMakeFiles/prete_te.dir/schemes.cpp.o" "gcc" "src/te/CMakeFiles/prete_te.dir/schemes.cpp.o.d"
+  "/root/repo/src/te/smore.cpp" "src/te/CMakeFiles/prete_te.dir/smore.cpp.o" "gcc" "src/te/CMakeFiles/prete_te.dir/smore.cpp.o.d"
+  "/root/repo/src/te/tunnel_update.cpp" "src/te/CMakeFiles/prete_te.dir/tunnel_update.cpp.o" "gcc" "src/te/CMakeFiles/prete_te.dir/tunnel_update.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/prete_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/prete_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/prete_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/optical/CMakeFiles/prete_optical.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

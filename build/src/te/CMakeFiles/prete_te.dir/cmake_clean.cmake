@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prete_te.dir/availability.cpp.o"
+  "CMakeFiles/prete_te.dir/availability.cpp.o.d"
+  "CMakeFiles/prete_te.dir/evaluator.cpp.o"
+  "CMakeFiles/prete_te.dir/evaluator.cpp.o.d"
+  "CMakeFiles/prete_te.dir/lp_common.cpp.o"
+  "CMakeFiles/prete_te.dir/lp_common.cpp.o.d"
+  "CMakeFiles/prete_te.dir/minmax.cpp.o"
+  "CMakeFiles/prete_te.dir/minmax.cpp.o.d"
+  "CMakeFiles/prete_te.dir/prete.cpp.o"
+  "CMakeFiles/prete_te.dir/prete.cpp.o.d"
+  "CMakeFiles/prete_te.dir/scenario.cpp.o"
+  "CMakeFiles/prete_te.dir/scenario.cpp.o.d"
+  "CMakeFiles/prete_te.dir/schemes.cpp.o"
+  "CMakeFiles/prete_te.dir/schemes.cpp.o.d"
+  "CMakeFiles/prete_te.dir/smore.cpp.o"
+  "CMakeFiles/prete_te.dir/smore.cpp.o.d"
+  "CMakeFiles/prete_te.dir/tunnel_update.cpp.o"
+  "CMakeFiles/prete_te.dir/tunnel_update.cpp.o.d"
+  "libprete_te.a"
+  "libprete_te.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prete_te.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

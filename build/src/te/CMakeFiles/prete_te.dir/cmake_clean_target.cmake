@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprete_te.a"
+)

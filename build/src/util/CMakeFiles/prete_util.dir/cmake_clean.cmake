@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prete_util.dir/distributions.cpp.o"
+  "CMakeFiles/prete_util.dir/distributions.cpp.o.d"
+  "CMakeFiles/prete_util.dir/stats.cpp.o"
+  "CMakeFiles/prete_util.dir/stats.cpp.o.d"
+  "CMakeFiles/prete_util.dir/table.cpp.o"
+  "CMakeFiles/prete_util.dir/table.cpp.o.d"
+  "libprete_util.a"
+  "libprete_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prete_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/controller_test.cpp" "tests/core/CMakeFiles/core_controller_test.dir/controller_test.cpp.o" "gcc" "tests/core/CMakeFiles/core_controller_test.dir/controller_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/prete_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/prete_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/prete_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/te/CMakeFiles/prete_te.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/prete_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/optical/CMakeFiles/prete_optical.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/prete_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/prete_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_branch_and_bound_test.dir/branch_and_bound_test.cpp.o"
+  "CMakeFiles/lp_branch_and_bound_test.dir/branch_and_bound_test.cpp.o.d"
+  "lp_branch_and_bound_test"
+  "lp_branch_and_bound_test.pdb"
+  "lp_branch_and_bound_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_branch_and_bound_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

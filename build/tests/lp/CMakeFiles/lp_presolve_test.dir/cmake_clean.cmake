@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_presolve_test.dir/presolve_test.cpp.o"
+  "CMakeFiles/lp_presolve_test.dir/presolve_test.cpp.o.d"
+  "lp_presolve_test"
+  "lp_presolve_test.pdb"
+  "lp_presolve_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_presolve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

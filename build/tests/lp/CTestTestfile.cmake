@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/lp
+# Build directory: /root/repo/build/tests/lp
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/lp/lp_simplex_test[1]_include.cmake")
+include("/root/repo/build/tests/lp/lp_branch_and_bound_test[1]_include.cmake")
+include("/root/repo/build/tests/lp/lp_model_test[1]_include.cmake")
+include("/root/repo/build/tests/lp/lp_presolve_test[1]_include.cmake")

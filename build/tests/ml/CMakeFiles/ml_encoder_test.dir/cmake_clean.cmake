@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_encoder_test.dir/encoder_test.cpp.o"
+  "CMakeFiles/ml_encoder_test.dir/encoder_test.cpp.o.d"
+  "ml_encoder_test"
+  "ml_encoder_test.pdb"
+  "ml_encoder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_encoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_logistic_test.dir/logistic_test.cpp.o"
+  "CMakeFiles/ml_logistic_test.dir/logistic_test.cpp.o.d"
+  "ml_logistic_test"
+  "ml_logistic_test.pdb"
+  "ml_logistic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_logistic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_mlp_serialization_test.dir/mlp_serialization_test.cpp.o"
+  "CMakeFiles/ml_mlp_serialization_test.dir/mlp_serialization_test.cpp.o.d"
+  "ml_mlp_serialization_test"
+  "ml_mlp_serialization_test.pdb"
+  "ml_mlp_serialization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_mlp_serialization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

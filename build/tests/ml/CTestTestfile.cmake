@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/ml
+# Build directory: /root/repo/build/tests/ml
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/ml/ml_dataset_test[1]_include.cmake")
+include("/root/repo/build/tests/ml/ml_encoder_test[1]_include.cmake")
+include("/root/repo/build/tests/ml/ml_mlp_test[1]_include.cmake")
+include("/root/repo/build/tests/ml/ml_baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/ml/ml_metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/ml/ml_logistic_test[1]_include.cmake")
+include("/root/repo/build/tests/ml/ml_mlp_serialization_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_more_topologies_test.dir/more_topologies_test.cpp.o"
+  "CMakeFiles/net_more_topologies_test.dir/more_topologies_test.cpp.o.d"
+  "net_more_topologies_test"
+  "net_more_topologies_test.pdb"
+  "net_more_topologies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_more_topologies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

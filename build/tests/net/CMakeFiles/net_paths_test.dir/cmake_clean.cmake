@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_paths_test.dir/paths_test.cpp.o"
+  "CMakeFiles/net_paths_test.dir/paths_test.cpp.o.d"
+  "net_paths_test"
+  "net_paths_test.pdb"
+  "net_paths_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_paths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

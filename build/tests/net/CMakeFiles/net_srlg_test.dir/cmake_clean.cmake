@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_srlg_test.dir/srlg_test.cpp.o"
+  "CMakeFiles/net_srlg_test.dir/srlg_test.cpp.o.d"
+  "net_srlg_test"
+  "net_srlg_test.pdb"
+  "net_srlg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_srlg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_tunnels_test.dir/tunnels_test.cpp.o"
+  "CMakeFiles/net_tunnels_test.dir/tunnels_test.cpp.o.d"
+  "net_tunnels_test"
+  "net_tunnels_test.pdb"
+  "net_tunnels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_tunnels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optical_detector_test.dir/detector_test.cpp.o"
+  "CMakeFiles/optical_detector_test.dir/detector_test.cpp.o.d"
+  "optical_detector_test"
+  "optical_detector_test.pdb"
+  "optical_detector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optical_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optical_fiber_model_test.dir/fiber_model_test.cpp.o"
+  "CMakeFiles/optical_fiber_model_test.dir/fiber_model_test.cpp.o.d"
+  "optical_fiber_model_test"
+  "optical_fiber_model_test.pdb"
+  "optical_fiber_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optical_fiber_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

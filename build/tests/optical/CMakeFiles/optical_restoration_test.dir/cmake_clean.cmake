@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optical_restoration_test.dir/restoration_test.cpp.o"
+  "CMakeFiles/optical_restoration_test.dir/restoration_test.cpp.o.d"
+  "optical_restoration_test"
+  "optical_restoration_test.pdb"
+  "optical_restoration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optical_restoration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optical_simulator_test.dir/simulator_test.cpp.o"
+  "CMakeFiles/optical_simulator_test.dir/simulator_test.cpp.o.d"
+  "optical_simulator_test"
+  "optical_simulator_test.pdb"
+  "optical_simulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optical_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optical_snr_test.dir/snr_test.cpp.o"
+  "CMakeFiles/optical_snr_test.dir/snr_test.cpp.o.d"
+  "optical_snr_test"
+  "optical_snr_test.pdb"
+  "optical_snr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optical_snr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

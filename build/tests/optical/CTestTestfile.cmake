@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/optical
+# Build directory: /root/repo/build/tests/optical
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/optical/optical_fiber_model_test[1]_include.cmake")
+include("/root/repo/build/tests/optical/optical_simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/optical/optical_detector_test[1]_include.cmake")
+include("/root/repo/build/tests/optical/optical_restoration_test[1]_include.cmake")
+include("/root/repo/build/tests/optical/optical_snr_test[1]_include.cmake")

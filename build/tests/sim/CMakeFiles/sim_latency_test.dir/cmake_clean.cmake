@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_latency_test.dir/latency_test.cpp.o"
+  "CMakeFiles/sim_latency_test.dir/latency_test.cpp.o.d"
+  "sim_latency_test"
+  "sim_latency_test.pdb"
+  "sim_latency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_latency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_monte_carlo_test.dir/monte_carlo_test.cpp.o"
+  "CMakeFiles/sim_monte_carlo_test.dir/monte_carlo_test.cpp.o.d"
+  "sim_monte_carlo_test"
+  "sim_monte_carlo_test.pdb"
+  "sim_monte_carlo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_monte_carlo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

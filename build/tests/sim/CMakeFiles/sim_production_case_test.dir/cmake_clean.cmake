@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_production_case_test.dir/production_case_test.cpp.o"
+  "CMakeFiles/sim_production_case_test.dir/production_case_test.cpp.o.d"
+  "sim_production_case_test"
+  "sim_production_case_test.pdb"
+  "sim_production_case_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_production_case_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

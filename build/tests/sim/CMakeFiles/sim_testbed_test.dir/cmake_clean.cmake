@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_testbed_test.dir/testbed_test.cpp.o"
+  "CMakeFiles/sim_testbed_test.dir/testbed_test.cpp.o.d"
+  "sim_testbed_test"
+  "sim_testbed_test.pdb"
+  "sim_testbed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_testbed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

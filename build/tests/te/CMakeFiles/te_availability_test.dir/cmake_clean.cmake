@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/te_availability_test.dir/availability_test.cpp.o"
+  "CMakeFiles/te_availability_test.dir/availability_test.cpp.o.d"
+  "te_availability_test"
+  "te_availability_test.pdb"
+  "te_availability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/te_availability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/te/evaluator_test.cpp" "tests/te/CMakeFiles/te_evaluator_test.dir/evaluator_test.cpp.o" "gcc" "tests/te/CMakeFiles/te_evaluator_test.dir/evaluator_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/te/CMakeFiles/prete_te.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/prete_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/optical/CMakeFiles/prete_optical.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/prete_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/prete_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/te_evaluator_test.dir/evaluator_test.cpp.o"
+  "CMakeFiles/te_evaluator_test.dir/evaluator_test.cpp.o.d"
+  "te_evaluator_test"
+  "te_evaluator_test.pdb"
+  "te_evaluator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/te_evaluator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/te_minmax_test.dir/minmax_test.cpp.o"
+  "CMakeFiles/te_minmax_test.dir/minmax_test.cpp.o.d"
+  "te_minmax_test"
+  "te_minmax_test.pdb"
+  "te_minmax_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/te_minmax_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/te_prete_test.dir/prete_test.cpp.o"
+  "CMakeFiles/te_prete_test.dir/prete_test.cpp.o.d"
+  "te_prete_test"
+  "te_prete_test.pdb"
+  "te_prete_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/te_prete_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

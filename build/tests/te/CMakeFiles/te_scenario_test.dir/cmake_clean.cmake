@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/te_scenario_test.dir/scenario_test.cpp.o"
+  "CMakeFiles/te_scenario_test.dir/scenario_test.cpp.o.d"
+  "te_scenario_test"
+  "te_scenario_test.pdb"
+  "te_scenario_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/te_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/te_schemes_test.dir/schemes_test.cpp.o"
+  "CMakeFiles/te_schemes_test.dir/schemes_test.cpp.o.d"
+  "te_schemes_test"
+  "te_schemes_test.pdb"
+  "te_schemes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/te_schemes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

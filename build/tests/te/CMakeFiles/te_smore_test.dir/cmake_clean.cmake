@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/te_smore_test.dir/smore_test.cpp.o"
+  "CMakeFiles/te_smore_test.dir/smore_test.cpp.o.d"
+  "te_smore_test"
+  "te_smore_test.pdb"
+  "te_smore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/te_smore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/te_tunnel_update_test.dir/tunnel_update_test.cpp.o"
+  "CMakeFiles/te_tunnel_update_test.dir/tunnel_update_test.cpp.o.d"
+  "te_tunnel_update_test"
+  "te_tunnel_update_test.pdb"
+  "te_tunnel_update_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/te_tunnel_update_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/te_worked_examples_test.dir/worked_examples_test.cpp.o"
+  "CMakeFiles/te_worked_examples_test.dir/worked_examples_test.cpp.o.d"
+  "te_worked_examples_test"
+  "te_worked_examples_test.pdb"
+  "te_worked_examples_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/te_worked_examples_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/te
+# Build directory: /root/repo/build/tests/te
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/te/te_scenario_test[1]_include.cmake")
+include("/root/repo/build/tests/te/te_evaluator_test[1]_include.cmake")
+include("/root/repo/build/tests/te/te_schemes_test[1]_include.cmake")
+include("/root/repo/build/tests/te/te_minmax_test[1]_include.cmake")
+include("/root/repo/build/tests/te/te_tunnel_update_test[1]_include.cmake")
+include("/root/repo/build/tests/te/te_prete_test[1]_include.cmake")
+include("/root/repo/build/tests/te/te_worked_examples_test[1]_include.cmake")
+include("/root/repo/build/tests/te/te_availability_test[1]_include.cmake")
+include("/root/repo/build/tests/te/te_smore_test[1]_include.cmake")

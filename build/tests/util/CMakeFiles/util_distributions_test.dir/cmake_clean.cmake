@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_distributions_test.dir/distributions_test.cpp.o"
+  "CMakeFiles/util_distributions_test.dir/distributions_test.cpp.o.d"
+  "util_distributions_test"
+  "util_distributions_test.pdb"
+  "util_distributions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_distributions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/util
+# Build directory: /root/repo/build/tests/util
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util/util_rng_test[1]_include.cmake")
+include("/root/repo/build/tests/util/util_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/util/util_distributions_test[1]_include.cmake")
+include("/root/repo/build/tests/util/util_table_test[1]_include.cmake")
