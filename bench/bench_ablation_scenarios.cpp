@@ -10,7 +10,9 @@
 
 using namespace prete;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
+  bench::Phase total_phase("total");
   bench::Context ctx(net::make_b4());
   const auto demands = net::scale_traffic(ctx.base_demands, 3.0);
 

@@ -121,7 +121,11 @@ void quality_comparison() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  quality_comparison();
+  bench::init(argc, argv);
+  {
+    bench::Phase phase("quality comparison");
+    quality_comparison();
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -5,7 +5,9 @@
 // full `for b in build/bench/*; do $b; done` run tractable on a laptop.
 // Set PRETE_BENCH_FAST=1 to shrink the sweeps further.
 
+#include <chrono>
 #include <cstdlib>
+#include <iomanip>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -14,6 +16,7 @@
 #include "net/traffic.h"
 #include "optical/fiber_model.h"
 #include "optical/simulator.h"
+#include "runtime/thread_pool.h"
 #include "te/availability.h"
 #include "util/rng.h"
 #include "util/table.h"
@@ -21,6 +24,55 @@
 namespace prete::bench {
 
 inline bool fast_mode() { return std::getenv("PRETE_BENCH_FAST") != nullptr; }
+
+// Call first thing in main(). Sizes the global thread pool from a
+// --threads=N (or "--threads N") flag; without the flag the pool reads
+// PRETE_THREADS, falling back to hardware concurrency. Results are
+// bit-identical at any setting — the knob only moves wall-clock.
+inline void init(int argc, char** argv) {
+  int threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::atoi(arg.c_str() + 10);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    }
+  }
+  if (threads > 0) {
+    runtime::ThreadPool::set_global_threads(static_cast<unsigned>(threads));
+  }
+  std::cout << "[runtime] threads=" << runtime::ThreadPool::global().size()
+            << "\n";
+}
+
+// RAII wall-clock phase timer: prints "[phase] <name>: <seconds> s" when it
+// leaves scope, so BENCH_*.json runs can track the speedup trajectory.
+class Phase {
+ public:
+  explicit Phase(std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  ~Phase() {
+    std::cout << "[phase] " << name_ << ": " << std::fixed
+              << std::setprecision(2) << seconds() << " s\n"
+              << std::defaultfloat;
+    std::cout.flush();
+  }
+
+  Phase(const Phase&) = delete;
+  Phase& operator=(const Phase&) = delete;
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 // One fully wired evaluation context for a topology.
 struct Context {

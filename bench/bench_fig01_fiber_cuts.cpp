@@ -112,7 +112,9 @@ void affected_fraction() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
+  bench::Phase total_phase("total");
   bench::Context ctx(net::make_twan());
   trace_summary(ctx);
   lost_capacity_cdf(ctx);

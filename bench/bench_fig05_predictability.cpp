@@ -11,7 +11,9 @@
 
 using namespace prete;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
+  bench::Phase total_phase("total");
   bench::Context ctx(net::make_twan());
   util::Rng rng(31);
   const optical::PlantSimulator sim(ctx.topo.network, ctx.params);

@@ -38,7 +38,9 @@ void feature_curve(const char* name, const std::vector<double>& values,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
+  bench::Phase total_phase("total");
   bench::Context ctx(net::make_twan());
   util::Rng rng(41);
   const optical::PlantSimulator sim(ctx.topo.network, ctx.params);

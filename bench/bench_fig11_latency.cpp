@@ -76,7 +76,11 @@ BENCHMARK(BM_ReactivePipeline)->Arg(0)->Arg(7)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_figure11();
+  bench::init(argc, argv);
+  {
+    bench::Phase phase("figure 11");
+    print_figure11();
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -16,6 +16,7 @@ namespace {
 void sweep_topology(const char* name, net::Topology topo) {
   bench::print_header(std::string("Figure 13: availability vs demand scale (") +
                       name + ")");
+  bench::Phase phase(std::string("fig13 sweep ") + name);
   bench::Context ctx(std::move(topo));
   const te::StudyOptions options = ctx.study_options(0.99);
   const te::AvailabilityStudy study(ctx.topo, ctx.stats, options);
@@ -68,7 +69,9 @@ void table9() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
+  bench::Phase total_phase("total");
   table9();
   sweep_topology("B4", net::make_b4());
   if (!bench::fast_mode()) {

@@ -6,7 +6,9 @@
 
 using namespace prete;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
+  bench::Phase total_phase("total");
   bench::Context ctx(bench::fast_mode() ? net::make_b4() : net::make_ibm());
   bench::print_header(
       std::string("Figure 15: availability vs demand per prediction model (") +

@@ -9,7 +9,9 @@
 
 using namespace prete;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
+  bench::Phase total_phase("total");
   bench::Context ctx(net::make_b4());
   const double scale = 4.5;  // past the baselines' knee, where tunnels matter
   const auto demands = net::scale_traffic(ctx.base_demands, scale);

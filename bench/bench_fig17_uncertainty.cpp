@@ -124,7 +124,9 @@ void figure19(const bench::Context& ctx) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
+  bench::Phase total_phase("total");
   bench::Context ctx(net::make_b4());
   figure17(ctx);
   figure19(ctx);

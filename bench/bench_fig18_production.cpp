@@ -8,7 +8,9 @@
 
 using namespace prete;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
+  bench::Phase total_phase("total");
   bench::print_header("Figure 18: packet loss timeline, traditional vs PreTE");
   const sim::ProductionScript script;
   const sim::LatencyModel latency;

@@ -83,7 +83,9 @@ void figure20b(const bench::Context& ctx) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
+  bench::Phase total_phase("total");
   bench::Context ctx(net::make_b4());
   figure20a(ctx);
   figure20b(ctx);

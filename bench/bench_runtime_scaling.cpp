@@ -1,0 +1,105 @@
+// Runtime scaling: wall-clock for the 4000-epoch Monte Carlo study (the
+// MonteCarloConfig default) at 1 thread vs the configured pool size, with a
+// bit-identity check between the two runs. This is the determinism +
+// speedup demonstration for the parallel runtime; the per-phase timings
+// feed the BENCH_*.json trajectory.
+//
+// Usage: bench_runtime_scaling [--threads=N]   (default: PRETE_THREADS or
+// hardware concurrency for the parallel run).
+#include "bench_common.h"
+
+#include "sim/monte_carlo.h"
+#include "te/schemes.h"
+
+using namespace prete;
+
+namespace {
+
+sim::MonteCarloConfig mc_config(int epochs) {
+  sim::MonteCarloConfig c;
+  c.epochs = epochs;
+  c.beta = 0.99;
+  c.planning_scenarios.max_simultaneous_failures = 1;
+  c.planning_scenarios.max_scenarios = 40;
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
+  const unsigned parallel_threads = runtime::ThreadPool::global().size();
+  bench::print_header("Runtime scaling: Monte Carlo epochs, serial vs pool");
+
+  bench::Context ctx(net::make_b4());
+  const int epochs = bench::fast_mode() ? 800 : 4000;
+  const auto demands = net::scale_traffic(ctx.base_demands, 2.0);
+  const sim::MonteCarloStudy mc(ctx.topo, ctx.stats, mc_config(epochs));
+  te::TeaVarScheme teavar(0.99);
+
+  util::Table table({"phase", "threads", "seconds", "availability"});
+  sim::MonteCarloResult serial_static, parallel_static;
+  sim::MonteCarloResult serial_prete, parallel_prete;
+  double t_serial_static = 0, t_parallel_static = 0;
+  double t_serial_prete = 0, t_parallel_prete = 0;
+
+  runtime::ThreadPool::set_global_threads(1);
+  {
+    bench::Phase phase("run_static serial");
+    util::Rng rng(1);
+    serial_static = mc.run_static(teavar, demands, rng);
+    t_serial_static = phase.seconds();
+  }
+  {
+    bench::Phase phase("run_prete serial");
+    util::Rng rng(2);
+    serial_prete = mc.run_prete(demands, rng);
+    t_serial_prete = phase.seconds();
+  }
+
+  runtime::ThreadPool::set_global_threads(parallel_threads);
+  {
+    bench::Phase phase("run_static parallel");
+    util::Rng rng(1);
+    parallel_static = mc.run_static(teavar, demands, rng);
+    t_parallel_static = phase.seconds();
+  }
+  {
+    bench::Phase phase("run_prete parallel");
+    util::Rng rng(2);
+    parallel_prete = mc.run_prete(demands, rng);
+    t_parallel_prete = phase.seconds();
+  }
+
+  table.add_row({"run_static", "1", util::Table::format(t_serial_static, 2),
+                 util::Table::format(serial_static.mean_flow_availability, 6)});
+  table.add_row({"run_static", std::to_string(parallel_threads),
+                 util::Table::format(t_parallel_static, 2),
+                 util::Table::format(parallel_static.mean_flow_availability, 6)});
+  table.add_row({"run_prete", "1", util::Table::format(t_serial_prete, 2),
+                 util::Table::format(serial_prete.mean_flow_availability, 6)});
+  table.add_row({"run_prete", std::to_string(parallel_threads),
+                 util::Table::format(t_parallel_prete, 2),
+                 util::Table::format(parallel_prete.mean_flow_availability, 6)});
+  table.print(std::cout);
+
+  const bool identical =
+      serial_static.mean_flow_availability ==
+          parallel_static.mean_flow_availability &&
+      serial_static.standard_error == parallel_static.standard_error &&
+      serial_static.epochs_with_cut == parallel_static.epochs_with_cut &&
+      serial_prete.mean_flow_availability ==
+          parallel_prete.mean_flow_availability &&
+      serial_prete.standard_error == parallel_prete.standard_error &&
+      serial_prete.epochs_with_cut == parallel_prete.epochs_with_cut;
+  std::cout << "bit-identical across thread counts: "
+            << (identical ? "yes" : "NO — DETERMINISM BUG") << "\n";
+  std::cout << "speedup run_static: "
+            << util::Table::format(
+                   t_serial_static / std::max(t_parallel_static, 1e-9), 2)
+            << "x, run_prete: "
+            << util::Table::format(
+                   t_serial_prete / std::max(t_parallel_prete, 1e-9), 2)
+            << "x on " << parallel_threads << " threads\n";
+  return identical ? 0 : 1;
+}

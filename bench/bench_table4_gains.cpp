@@ -10,7 +10,9 @@
 
 using namespace prete;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
+  bench::Phase total_phase("total");
   bench::Context ctx(bench::fast_mode() ? net::make_b4() : net::make_ibm());
   bench::print_header(
       std::string("Table 4: satisfied-demand gains at availability targets (") +

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+#include "runtime/task_group.h"
+#include "runtime/thread_pool.h"
+
+namespace prete::runtime {
+
+// Deterministic chunking: the plan depends only on the range size and the
+// grain — never on the worker count — so any chunked reduction associates
+// its floating-point operations identically at every pool size. This is the
+// load-bearing half of the repo's determinism contract; the other half is
+// util::Rng::split giving each chunk/task an index-derived stream.
+struct ChunkPlan {
+  std::size_t chunks = 0;
+  std::size_t chunk_size = 0;
+};
+
+inline ChunkPlan plan_chunks(std::size_t n, std::size_t grain) {
+  // Cap the task count so tiny grains on huge ranges do not drown the pool
+  // in scheduling overhead.
+  constexpr std::size_t kMaxChunks = 256;
+  if (n == 0) return {};
+  const std::size_t size =
+      std::max(std::max<std::size_t>(grain, 1), (n + kMaxChunks - 1) / kMaxChunks);
+  return {(n + size - 1) / size, size};
+}
+
+// Invokes fn(begin, end, chunk_index) for every chunk of [0, n), in
+// parallel. The chunk decomposition follows plan_chunks; chunks run
+// concurrently but fn is handed contiguous, disjoint index ranges.
+template <typename Fn>
+void parallel_for_chunks(std::size_t n, std::size_t grain, Fn&& fn,
+                         ThreadPool& pool = ThreadPool::global()) {
+  const ChunkPlan plan = plan_chunks(n, grain);
+  if (plan.chunks == 0) return;
+  auto run_chunk = [&](std::size_t c) {
+    const std::size_t begin = c * plan.chunk_size;
+    const std::size_t end = std::min(n, begin + plan.chunk_size);
+    fn(begin, end, c);
+  };
+  if (plan.chunks == 1 || pool.size() <= 1) {
+    for (std::size_t c = 0; c < plan.chunks; ++c) run_chunk(c);
+    return;
+  }
+  TaskGroup group(pool);
+  for (std::size_t c = 0; c < plan.chunks; ++c) {
+    group.run([&run_chunk, c] { run_chunk(c); });
+  }
+  group.wait();
+}
+
+// Invokes fn(i) for every i in [0, n) with chunked scheduling.
+template <typename Fn>
+void parallel_for(std::size_t n, Fn&& fn, std::size_t grain = 1,
+                  ThreadPool& pool = ThreadPool::global()) {
+  parallel_for_chunks(
+      n, grain,
+      [&fn](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      },
+      pool);
+}
+
+// Maps fn over [0, n) into a vector, preserving index order. The element
+// type must be default-constructible.
+template <typename Fn>
+auto parallel_map(std::size_t n, Fn&& fn, std::size_t grain = 1,
+                  ThreadPool& pool = ThreadPool::global())
+    -> std::vector<std::decay_t<std::invoke_result_t<Fn&, std::size_t>>> {
+  std::vector<std::decay_t<std::invoke_result_t<Fn&, std::size_t>>> out(n);
+  parallel_for_chunks(
+      n, grain,
+      [&fn, &out](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t i = begin; i < end; ++i) out[i] = fn(i);
+      },
+      pool);
+  return out;
+}
+
+// Chunked reduction: acc_c = fold of map(i) over chunk c in index order,
+// result = fold of the acc_c in chunk order. Because the chunk plan is
+// independent of the worker count, the result is bit-identical for any
+// pool size (including the serial fallback, which walks the same chunks).
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(std::size_t n, T identity, Map&& map, Combine&& combine,
+                  std::size_t grain = 1,
+                  ThreadPool& pool = ThreadPool::global()) {
+  const ChunkPlan plan = plan_chunks(n, grain);
+  if (plan.chunks == 0) return identity;
+  std::vector<T> partial(plan.chunks, identity);
+  parallel_for_chunks(
+      n, grain,
+      [&](std::size_t begin, std::size_t end, std::size_t c) {
+        T acc = identity;
+        for (std::size_t i = begin; i < end; ++i) acc = combine(acc, map(i));
+        partial[c] = acc;
+      },
+      pool);
+  T result = identity;
+  for (const T& p : partial) result = combine(result, p);
+  return result;
+}
+
+}  // namespace prete::runtime

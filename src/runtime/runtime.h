@@ -1,0 +1,22 @@
+#pragma once
+
+// Deterministic parallel execution subsystem.
+//
+// The repo's hot loops — Monte Carlo epochs, per-scenario loss evaluation,
+// plant-model sampling — are embarrassingly parallel. This subsystem runs
+// them on a work-stealing thread pool while keeping every result
+// bit-identical regardless of thread count, via two rules:
+//
+//  1. Chunk decompositions (parallel.h) depend only on the range size and
+//     grain, never on the worker count, and partial results fold in chunk
+//     order.
+//  2. Randomized tasks draw from index-derived streams
+//     (util::Rng::split(task_index)) instead of a shared generator, so
+//     scheduling order never perturbs anyone's randomness.
+//
+// Sizing: the global pool reads PRETE_THREADS, falling back to hardware
+// concurrency. PRETE_THREADS=1 degrades to inline serial execution.
+
+#include "runtime/parallel.h"     // IWYU pragma: export
+#include "runtime/task_group.h"   // IWYU pragma: export
+#include "runtime/thread_pool.h"  // IWYU pragma: export

@@ -1,0 +1,56 @@
+#include "runtime/task_group.h"
+
+#include <chrono>
+#include <utility>
+
+namespace prete::runtime {
+
+void TaskGroup::run(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pending_;
+  }
+  pool_.submit([this, fn = std::move(fn)] {
+    try {
+      fn();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+    // Notify under the lock: the moment pending_ hits 0 a waiter may return
+    // and destroy this group, so the cv must not be touched after unlock.
+    std::lock_guard<std::mutex> lock(mutex_);
+    --pending_;
+    done_.notify_all();
+  });
+}
+
+void TaskGroup::wait_nothrow() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (pending_ == 0) return;
+    }
+    // Help: run queued pool work (ours or anybody's) instead of blocking.
+    if (pool_.try_run_one()) continue;
+    // Nothing runnable — our stragglers are executing on other threads.
+    // Sleep with a timeout: a straggler may spawn new pool work that only
+    // this thread can help with (single-worker nesting).
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (pending_ == 0) return;
+    done_.wait_for(lock, std::chrono::milliseconds(1),
+                   [this] { return pending_ == 0; });
+  }
+}
+
+void TaskGroup::wait() {
+  wait_nothrow();
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::swap(error, error_);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace prete::runtime

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+
+#include "runtime/thread_pool.h"
+
+namespace prete::runtime {
+
+// Structured fork-join on a ThreadPool. run() enqueues tasks; wait() blocks
+// until all of them (including tasks spawned by tasks via further run()
+// calls) have finished, then rethrows the first exception any task raised.
+//
+// wait() helps execute queued pool work while it waits, so TaskGroups nest
+// arbitrarily — a pool task may create its own group and wait on it —
+// without deadlocking, even on a single-worker pool.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool = ThreadPool::global()) : pool_(pool) {}
+
+  // Waits for stragglers but swallows their exceptions; call wait()
+  // explicitly when task failures must be observed.
+  ~TaskGroup() { wait_nothrow(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void run(std::function<void()> fn);
+
+  // Blocks until every task submitted so far has completed, then rethrows
+  // the first captured exception (later ones are dropped).
+  void wait();
+
+  ThreadPool& pool() { return pool_; }
+
+ private:
+  void wait_nothrow();
+
+  ThreadPool& pool_;
+  std::mutex mutex_;
+  std::condition_variable done_;
+  int pending_ = 0;
+  std::exception_ptr error_;
+};
+
+}  // namespace prete::runtime

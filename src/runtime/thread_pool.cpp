@@ -1,0 +1,140 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace prete::runtime {
+
+namespace {
+
+// Which pool (if any) the current thread is a worker of, and its queue
+// index within that pool. Lets submit() push to the worker's own deque.
+struct WorkerIdentity {
+  const ThreadPool* pool = nullptr;
+  std::size_t queue_index = 0;
+};
+thread_local WorkerIdentity t_worker;
+
+std::mutex g_global_mutex;
+std::unique_ptr<ThreadPool>& global_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+}  // namespace
+
+unsigned default_thread_count() {
+  if (const char* env = std::getenv("PRETE_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) return static_cast<unsigned>(std::min(parsed, 256L));
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned n = std::max(threads, 1u);
+  queues_.reserve(n + 1);
+  for (unsigned i = 0; i < n + 1; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  std::size_t target = 0;  // external submitters use the injection queue
+  if (t_worker.pool == this) target = t_worker.queue_index;
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    ++queued_;
+  }
+  wake_.notify_one();
+}
+
+bool ThreadPool::pop_from(Queue& queue, bool back,
+                          std::function<void()>& task) {
+  std::lock_guard<std::mutex> lock(queue.mutex);
+  if (queue.tasks.empty()) return false;
+  if (back) {
+    task = std::move(queue.tasks.back());
+    queue.tasks.pop_back();
+  } else {
+    task = std::move(queue.tasks.front());
+    queue.tasks.pop_front();
+  }
+  return true;
+}
+
+bool ThreadPool::pop_task(std::size_t preferred, std::function<void()>& task) {
+  // Own deque LIFO first, then FIFO steals round-robin from the other
+  // queues (external helpers have no own deque and scan everything FIFO,
+  // starting at the injection queue).
+  bool found =
+      preferred != 0 && pop_from(*queues_[preferred], /*back=*/true, task);
+  for (std::size_t i = 0; i < queues_.size() && !found; ++i) {
+    const std::size_t victim = (preferred + i) % queues_.size();
+    if (victim == preferred && preferred != 0) continue;
+    found = pop_from(*queues_[victim], /*back=*/false, task);
+  }
+  if (found) {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    --queued_;
+  }
+  return found;
+}
+
+bool ThreadPool::try_run_one() {
+  const std::size_t self =
+      t_worker.pool == this ? t_worker.queue_index : std::size_t{0};
+  std::function<void()> task;
+  if (!pop_task(self, task)) return false;
+  task();
+  return true;
+}
+
+void ThreadPool::worker_loop(unsigned self) {
+  t_worker.pool = this;
+  t_worker.queue_index = static_cast<std::size_t>(self) + 1;
+  for (;;) {
+    std::function<void()> task;
+    if (pop_task(t_worker.queue_index, task)) {
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    wake_.wait(lock, [this] { return stop_ || queued_ > 0; });
+    // Drain-on-destruction: exit only once the queues are empty.
+    if (stop_ && queued_ == 0) return;
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  if (!global_slot()) global_slot() = std::make_unique<ThreadPool>();
+  return *global_slot();
+}
+
+void ThreadPool::set_global_threads(unsigned threads) {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  global_slot().reset();  // drains and joins the old pool first
+  global_slot() = std::make_unique<ThreadPool>(
+      threads > 0 ? threads : default_thread_count());
+}
+
+}  // namespace prete::runtime

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace prete::runtime {
+
+// Worker count requested via the PRETE_THREADS environment variable
+// (clamped to [1, 256]), falling back to std::thread::hardware_concurrency.
+unsigned default_thread_count();
+
+// Work-stealing pool of persistent workers. Each worker owns a deque: it
+// pushes and pops its own work LIFO (cache-friendly for fork-join) and
+// steals FIFO from the other workers or the external injection queue when
+// its deque runs dry. Waiters (TaskGroup::wait) participate in execution
+// instead of blocking, so nested fork-join never deadlocks even on a
+// single-worker pool.
+//
+// The pool only schedules; determinism is the callers' contract. The
+// parallel_* primitives in parallel.h chunk their ranges independently of
+// the worker count and fold partial results in chunk order, so numerical
+// results are bit-identical at any pool size.
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned threads = default_thread_count());
+  // Drains every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  // Enqueues a task. Tasks submitted directly must not throw (an escaping
+  // exception terminates the process); use TaskGroup for exception capture.
+  void submit(std::function<void()> task);
+
+  // Runs one queued task on the calling thread if any is immediately
+  // available; returns false when every queue is empty. Lets waiters help
+  // instead of blocking.
+  bool try_run_one();
+
+  // Process-wide pool, created on first use with default_thread_count().
+  static ThreadPool& global();
+
+  // Rebuilds the global pool with the given worker count (0 = default).
+  // Only safe while no parallel work is in flight; intended for program
+  // startup (bench --threads flag) and tests.
+  static void set_global_threads(unsigned threads);
+
+ private:
+  struct Queue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(unsigned self);
+  // Pops for worker `self`: own deque back first, then injection queue,
+  // then steals from the other workers' fronts.
+  bool pop_task(std::size_t preferred, std::function<void()>& task);
+  bool pop_from(Queue& queue, bool back, std::function<void()>& task);
+
+  // queues_[0] is the injection queue for external submitters; worker i
+  // owns queues_[i + 1].
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex sleep_mutex_;
+  std::condition_variable wake_;
+  int queued_ = 0;  // tasks sitting in queues (guarded by sleep_mutex_)
+  bool stop_ = false;
+};
+
+}  // namespace prete::runtime

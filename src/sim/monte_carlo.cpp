@@ -2,10 +2,48 @@
 
 #include <cmath>
 
+#include "runtime/parallel.h"
 #include "te/prete.h"
 #include "te/scenario.h"
 
 namespace prete::sim {
+
+namespace {
+
+// Per-epoch accumulator folded by parallel_reduce in fixed chunk order.
+struct EpochAccumulator {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  int degraded = 0;
+  int cut = 0;
+};
+
+EpochAccumulator merge(EpochAccumulator a, const EpochAccumulator& b) {
+  a.sum += b.sum;
+  a.sum_sq += b.sum_sq;
+  a.degraded += b.degraded;
+  a.cut += b.cut;
+  return a;
+}
+
+// Epochs per scheduled task: sampling + one loss evaluation is cheap, so
+// batch enough of them to amortize the pool overhead.
+constexpr std::size_t kEpochGrain = 16;
+
+MonteCarloResult finalize(const EpochAccumulator& acc, int epochs) {
+  MonteCarloResult result;
+  result.epochs_with_degradation = acc.degraded;
+  result.epochs_with_cut = acc.cut;
+  const double n = static_cast<double>(epochs);
+  result.mean_flow_availability = acc.sum / n;
+  const double var =
+      std::max(0.0, acc.sum_sq / n - result.mean_flow_availability *
+                                         result.mean_flow_availability);
+  result.standard_error = std::sqrt(var / n);
+  return result;
+}
+
+}  // namespace
 
 MonteCarloStudy::MonteCarloStudy(const net::Topology& topology,
                                  te::PlantStatistics stats,
@@ -63,30 +101,30 @@ MonteCarloResult MonteCarloStudy::run_static(te::TeScheme& scheme,
       stats_.cut_prob, config_.planning_scenarios);
   const te::TePolicy policy = scheme.compute(problem, believed);
 
-  MonteCarloResult result;
-  double sum = 0.0;
-  double sum_sq = 0.0;
-  for (int e = 0; e < config_.epochs; ++e) {
-    const Epoch epoch = sample_epoch(rng);
-    bool any_degr = false;
-    bool any_cut = false;
-    for (std::size_t f = 0; f < epoch.degraded.size(); ++f) {
-      any_degr = any_degr || epoch.degraded[f];
-      any_cut = any_cut || epoch.failed[f];
-    }
-    result.epochs_with_degradation += any_degr ? 1 : 0;
-    result.epochs_with_cut += any_cut ? 1 : 0;
-    const double a = epoch_availability(problem, policy, epoch);
-    sum += a;
-    sum_sq += a * a;
-  }
-  const double n = static_cast<double>(config_.epochs);
-  result.mean_flow_availability = sum / n;
-  const double var =
-      std::max(0.0, sum_sq / n - result.mean_flow_availability *
-                                     result.mean_flow_availability);
-  result.standard_error = std::sqrt(var / n);
-  return result;
+  // One draw advances the caller's rng identically at any thread count;
+  // epoch e samples from the index-derived stream root.split(e).
+  const util::Rng root(rng.next_u64());
+  const EpochAccumulator total = runtime::parallel_reduce(
+      static_cast<std::size_t>(config_.epochs), EpochAccumulator{},
+      [&](std::size_t e) {
+        util::Rng stream = root.split(e);
+        const Epoch epoch = sample_epoch(stream);
+        EpochAccumulator acc;
+        bool any_degr = false;
+        bool any_cut = false;
+        for (std::size_t f = 0; f < epoch.degraded.size(); ++f) {
+          any_degr = any_degr || epoch.degraded[f];
+          any_cut = any_cut || epoch.failed[f];
+        }
+        acc.degraded = any_degr ? 1 : 0;
+        acc.cut = any_cut ? 1 : 0;
+        const double a = epoch_availability(problem, policy, epoch);
+        acc.sum = a;
+        acc.sum_sq = a * a;
+        return acc;
+      },
+      merge, kEpochGrain);
+  return finalize(total, config_.epochs);
 }
 
 MonteCarloResult MonteCarloStudy::run_prete(const net::TrafficMatrix& demands,
@@ -97,20 +135,48 @@ MonteCarloResult MonteCarloStudy::run_prete(const net::TrafficMatrix& demands,
   config.tunnel_update = config_.tunnel_update;
   config.scenario_options = config_.planning_scenarios;
 
-  // Policies are cached per degradation signature: no-degradation, or a
-  // single degraded fiber (multi-degradation epochs are second-order rare
-  // and reuse the first degraded fiber's policy as an approximation).
+  // Three phases so the epoch evaluation loop only ever reads shared state:
+  // (1) sample every epoch from its split stream, (2) compute the policy
+  // cache for the degradation signatures that actually occurred —
+  // no-degradation, or a single degraded fiber (multi-degradation epochs
+  // are second-order rare and reuse the first degraded fiber's policy as an
+  // approximation) — one parallel task per distinct signature, (3) evaluate
+  // the epochs against the now-immutable cache.
+  const util::Rng root(rng.next_u64());
+  const std::vector<Epoch> epochs = runtime::parallel_map(
+      static_cast<std::size_t>(config_.epochs),
+      [&](std::size_t e) {
+        util::Rng stream = root.split(e);
+        return sample_epoch(stream);
+      },
+      kEpochGrain);
+
+  // First degraded fiber per epoch (-1 = none), and the distinct signatures.
+  std::vector<int> epoch_fiber(epochs.size(), -1);
+  std::vector<char> needed(static_cast<std::size_t>(stats_.num_fibers()) + 1,
+                           0);
+  for (std::size_t e = 0; e < epochs.size(); ++e) {
+    for (std::size_t f = 0; f < epochs[e].degraded.size(); ++f) {
+      if (epochs[e].degraded[f]) {
+        epoch_fiber[e] = static_cast<int>(f);
+        break;
+      }
+    }
+    needed[static_cast<std::size_t>(epoch_fiber[e] + 1)] = 1;
+  }
+  std::vector<int> signatures;
+  for (std::size_t i = 0; i < needed.size(); ++i) {
+    if (needed[i]) signatures.push_back(static_cast<int>(i) - 1);
+  }
+
   struct CachedPolicy {
     net::TunnelSet tunnels{0};
     te::TePolicy policy;
-    bool ready = false;
   };
-  std::vector<CachedPolicy> cache(
-      static_cast<std::size_t>(stats_.num_fibers()) + 1);
-
-  auto policy_for = [&](int degraded_fiber) -> CachedPolicy& {
+  std::vector<CachedPolicy> cache(needed.size());
+  runtime::parallel_for(signatures.size(), [&](std::size_t s) {
+    const int degraded_fiber = signatures[s];
     auto& slot = cache[static_cast<std::size_t>(degraded_fiber + 1)];
-    if (slot.ready) return slot;
     slot.tunnels = base_tunnels_;
     te::PreTeScheme prete(stats_.cut_prob, config);
     te::DegradationScenario scenario =
@@ -118,48 +184,40 @@ MonteCarloResult MonteCarloStudy::run_prete(const net::TrafficMatrix& demands,
     if (degraded_fiber >= 0) {
       scenario.degraded[static_cast<std::size_t>(degraded_fiber)] = true;
       scenario.predicted_prob[static_cast<std::size_t>(degraded_fiber)] =
-          stats_.cut_given_degradation[static_cast<std::size_t>(degraded_fiber)];
+          stats_.cut_given_degradation[static_cast<std::size_t>(
+              degraded_fiber)];
     }
     const auto outcome = prete.compute_for_degradation(
         topology_.network, topology_.flows, slot.tunnels, demands, scenario);
     slot.policy = outcome.policy;
-    slot.ready = true;
-    return slot;
-  };
+  });
 
-  MonteCarloResult result;
-  double sum = 0.0;
-  double sum_sq = 0.0;
-  for (int e = 0; e < config_.epochs; ++e) {
-    const Epoch epoch = sample_epoch(rng);
-    int degraded_fiber = -1;
-    bool any_cut = false;
-    for (std::size_t f = 0; f < epoch.degraded.size(); ++f) {
-      if (epoch.degraded[f] && degraded_fiber < 0) {
-        degraded_fiber = static_cast<int>(f);
-      }
-      any_cut = any_cut || epoch.failed[f];
-    }
-    result.epochs_with_degradation += degraded_fiber >= 0 ? 1 : 0;
-    result.epochs_with_cut += any_cut ? 1 : 0;
+  const EpochAccumulator total = runtime::parallel_reduce(
+      epochs.size(), EpochAccumulator{},
+      [&](std::size_t e) {
+        const Epoch& epoch = epochs[e];
+        EpochAccumulator acc;
+        bool any_cut = false;
+        for (std::size_t f = 0; f < epoch.failed.size(); ++f) {
+          any_cut = any_cut || epoch.failed[f];
+        }
+        acc.degraded = epoch_fiber[e] >= 0 ? 1 : 0;
+        acc.cut = any_cut ? 1 : 0;
 
-    CachedPolicy& deployed = policy_for(degraded_fiber);
-    te::TeProblem problem;
-    problem.network = &topology_.network;
-    problem.flows = &topology_.flows;
-    problem.tunnels = &deployed.tunnels;
-    problem.demands = demands;
-    const double a = epoch_availability(problem, deployed.policy, epoch);
-    sum += a;
-    sum_sq += a * a;
-  }
-  const double n = static_cast<double>(config_.epochs);
-  result.mean_flow_availability = sum / n;
-  const double var =
-      std::max(0.0, sum_sq / n - result.mean_flow_availability *
-                                     result.mean_flow_availability);
-  result.standard_error = std::sqrt(var / n);
-  return result;
+        const CachedPolicy& deployed =
+            cache[static_cast<std::size_t>(epoch_fiber[e] + 1)];
+        te::TeProblem problem;
+        problem.network = &topology_.network;
+        problem.flows = &topology_.flows;
+        problem.tunnels = &deployed.tunnels;
+        problem.demands = demands;
+        const double a = epoch_availability(problem, deployed.policy, epoch);
+        acc.sum = a;
+        acc.sum_sq = a * a;
+        return acc;
+      },
+      merge, kEpochGrain);
+  return finalize(total, config_.epochs);
 }
 
 }  // namespace prete::sim

@@ -15,6 +15,11 @@ namespace prete::sim {
 // the deployed policy's flow losses in each sampled epoch, and report the
 // empirical availability. The analytic and sampled numbers must agree
 // within Monte Carlo error; this closes the loop on the evaluator.
+//
+// Epochs run in parallel on the runtime thread pool. Each run draws exactly
+// one u64 from the caller's rng to derive a root stream; epoch e then
+// samples from root.split(e), and the availability sums fold in fixed chunk
+// order — so results are bit-identical at any PRETE_THREADS setting.
 struct MonteCarloConfig {
   int epochs = 4000;
   double beta = 0.99;

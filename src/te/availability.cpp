@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/parallel.h"
 #include "te/evaluator.h"
 
 namespace prete::te {
@@ -17,24 +18,35 @@ PlantStatistics derive_statistics(const net::Network& network,
   stats.degradation_prob.resize(n);
   stats.cut_prob.resize(n);
   stats.cut_given_degradation.resize(n);
-  for (net::FiberId f = 0; f < network.num_fibers(); ++f) {
-    const auto& p = params[static_cast<std::size_t>(f)];
-    stats.degradation_prob[static_cast<std::size_t>(f)] =
-        p.degradation_prob_per_epoch;
-    // Monte Carlo estimate of E[p_cut | degradation] for this fiber.
-    double mean = 0.0;
-    for (int s = 0; s < samples_per_fiber; ++s) {
-      const double hour = rng.uniform(0.0, 24.0);
-      const auto features =
-          optical::sample_degradation_features(network.fiber(f), hour, rng);
-      mean += logit.probability(features, p.fiber_effect);
-    }
-    mean /= static_cast<double>(samples_per_fiber);
-    stats.cut_given_degradation[static_cast<std::size_t>(f)] = mean;
+  // Fibers sample in parallel, each from its own index-derived stream (one
+  // draw from the caller's rng seeds the root), so the estimates do not
+  // depend on thread count or fiber iteration order.
+  const util::Rng root(rng.next_u64());
+  const std::vector<double> conditional = runtime::parallel_map(
+      n,
+      [&](std::size_t f) {
+        util::Rng stream = root.split(f);
+        const auto& p = params[f];
+        const net::Fiber& fiber = network.fiber(static_cast<net::FiberId>(f));
+        // Monte Carlo estimate of E[p_cut | degradation] for this fiber.
+        double mean = 0.0;
+        for (int s = 0; s < samples_per_fiber; ++s) {
+          const double hour = stream.uniform(0.0, 24.0);
+          const auto features =
+              optical::sample_degradation_features(fiber, hour, stream);
+          mean += logit.probability(features, p.fiber_effect);
+        }
+        return mean / static_cast<double>(samples_per_fiber);
+      });
+  for (std::size_t f = 0; f < n; ++f) {
+    const auto& p = params[f];
+    stats.degradation_prob[f] = p.degradation_prob_per_epoch;
+    stats.cut_given_degradation[f] = conditional[f];
     // Total cut rate: predictable (within-TE) cuts + abrupt cuts. Late cuts
     // fold into the abrupt term already calibrated by build_plant_model.
-    stats.cut_prob[static_cast<std::size_t>(f)] =
-        mean * p.degradation_prob_per_epoch + p.abrupt_cut_prob_per_epoch;
+    stats.cut_prob[f] =
+        conditional[f] * p.degradation_prob_per_epoch +
+        p.abrupt_cut_prob_per_epoch;
   }
   // Realized alpha: predictable mass over total mass.
   double predictable = 0.0;

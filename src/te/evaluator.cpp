@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/parallel.h"
+
 namespace prete::te {
 
 std::vector<double> flow_losses(const TeProblem& problem,
@@ -81,39 +83,63 @@ AvailabilityResult evaluate_availability(const TeProblem& problem,
   const double num_flows = static_cast<double>(problem.flows->size());
   if (num_flows == 0) return result;
 
-  for (const FailureScenario& scenario : scenarios.scenarios) {
-    const std::vector<double> losses = flow_losses(problem, policy, scenario);
-    std::vector<bool> outage(losses.size(), false);
-    if (options.reaction != FailureReaction::kRateAdaptation &&
-        scenario.any_failure()) {
-      // Reactive convergence / optical restoration outage hits every
-      // affected flow regardless of the eventual allocation.
-      outage = affected_flows(problem, scenario, &policy);
-    }
-
-    int ok = 0;
-    double available = 0.0;  // fractional per-flow availability
-    double max_loss = 0.0;
-    for (std::size_t f = 0; f < losses.size(); ++f) {
-      const bool loss_ok = losses[f] <= options.loss_tolerance;
-      if (outage[f]) {
-        // Charged for the outage window; the rest of the epoch counts only
-        // if the post-reaction allocation serves the flow.
-        available += loss_ok ? 1.0 - options.outage_epoch_fraction : 0.0;
-        max_loss = std::max(max_loss, 1.0);
-      } else {
-        if (loss_ok) {
-          ++ok;
-          available += 1.0;
+  // Scenarios are independent: evaluate them in parallel and fold the
+  // probability-weighted sums in fixed chunk order (bit-identical at any
+  // thread count).
+  struct Acc {
+    double mean_avail = 0.0;
+    double system_avail = 0.0;
+    double expected_max_loss = 0.0;
+  };
+  const Acc total = runtime::parallel_reduce(
+      scenarios.scenarios.size(), Acc{},
+      [&](std::size_t q) {
+        const FailureScenario& scenario = scenarios.scenarios[q];
+        const std::vector<double> losses =
+            flow_losses(problem, policy, scenario);
+        std::vector<bool> outage(losses.size(), false);
+        if (options.reaction != FailureReaction::kRateAdaptation &&
+            scenario.any_failure()) {
+          // Reactive convergence / optical restoration outage hits every
+          // affected flow regardless of the eventual allocation.
+          outage = affected_flows(problem, scenario, &policy);
         }
-        max_loss = std::max(max_loss, losses[f]);
-      }
-    }
-    result.mean_flow_availability += scenario.probability * available / num_flows;
-    result.system_availability +=
-        ok == static_cast<int>(losses.size()) ? scenario.probability : 0.0;
-    result.expected_max_loss += scenario.probability * max_loss;
-  }
+
+        int ok = 0;
+        double available = 0.0;  // fractional per-flow availability
+        double max_loss = 0.0;
+        for (std::size_t f = 0; f < losses.size(); ++f) {
+          const bool loss_ok = losses[f] <= options.loss_tolerance;
+          if (outage[f]) {
+            // Charged for the outage window; the rest of the epoch counts
+            // only if the post-reaction allocation serves the flow.
+            available += loss_ok ? 1.0 - options.outage_epoch_fraction : 0.0;
+            max_loss = std::max(max_loss, 1.0);
+          } else {
+            if (loss_ok) {
+              ++ok;
+              available += 1.0;
+            }
+            max_loss = std::max(max_loss, losses[f]);
+          }
+        }
+        Acc acc;
+        acc.mean_avail = scenario.probability * available / num_flows;
+        acc.system_avail =
+            ok == static_cast<int>(losses.size()) ? scenario.probability : 0.0;
+        acc.expected_max_loss = scenario.probability * max_loss;
+        return acc;
+      },
+      [](Acc a, const Acc& b) {
+        a.mean_avail += b.mean_avail;
+        a.system_avail += b.system_avail;
+        a.expected_max_loss += b.expected_max_loss;
+        return a;
+      },
+      /*grain=*/4);
+  result.mean_flow_availability = total.mean_avail;
+  result.system_availability = total.system_avail;
+  result.expected_max_loss = total.expected_max_loss;
 
   if (!options.residual_counts_as_loss) {
     // Optimistic: scale up by the covered mass.

@@ -9,6 +9,7 @@
 
 #include "lp/branch_and_bound.h"
 #include "lp/simplex.h"
+#include "runtime/parallel.h"
 #include "te/lp_common.h"
 
 namespace prete::te {
@@ -194,26 +195,38 @@ TePolicy refine_policy(const TeProblem& problem, const ScenarioSet& scenarios,
     if (solution.status != lp::SolveStatus::kOptimal) return {};
     if (model.num_rows() >= kMaxTotalRows) break;  // bounded-basis stop
     const double t_val = solution.x[static_cast<std::size_t>(var_t)];
-    // (violation, (flow, scenario), needs_guarantee)
-    std::vector<std::tuple<double, std::pair<int, std::size_t>, bool>> violated;
-    for (std::size_t q = 0; q < Q.size(); ++q) {
-      for (const net::Flow& flow : flows) {
-        const double frac =
-            alive_fraction(problem, solution, alloc, flow.id, Q[q]);
-        const bool guaranteed =
-            enforce_guarantee &&
-            delta[static_cast<std::size_t>(flow.id)][q] != 0;
-        if (guaranteed && !have_guarantee_row.count({flow.id, q}) &&
-            1.0 - frac > phi_bound + 1e-7) {
-          violated.push_back(
-              {1.0 - frac - phi_bound, {flow.id, q}, true});
-        }
-        if (!have_cvar_row.count({flow.id, q}) &&
-            1.0 - frac - t_val > 1e-6 && Q[q].probability > 1e-12) {
-          violated.push_back(
-              {(1.0 - frac - t_val) * Q[q].probability, {flow.id, q}, false});
-        }
-      }
+    // (violation, (flow, scenario), needs_guarantee). The per-scenario
+    // pricing sweep only reads the solution and the row-bookkeeping sets,
+    // so scenarios price in parallel; flattening in scenario order keeps
+    // the candidate list identical to the serial sweep.
+    using Candidate = std::tuple<double, std::pair<int, std::size_t>, bool>;
+    const auto per_scenario = runtime::parallel_map(
+        Q.size(),
+        [&](std::size_t q) {
+          std::vector<Candidate> found;
+          for (const net::Flow& flow : flows) {
+            const double frac =
+                alive_fraction(problem, solution, alloc, flow.id, Q[q]);
+            const bool guaranteed =
+                enforce_guarantee &&
+                delta[static_cast<std::size_t>(flow.id)][q] != 0;
+            if (guaranteed && !have_guarantee_row.count({flow.id, q}) &&
+                1.0 - frac > phi_bound + 1e-7) {
+              found.push_back({1.0 - frac - phi_bound, {flow.id, q}, true});
+            }
+            if (!have_cvar_row.count({flow.id, q}) &&
+                1.0 - frac - t_val > 1e-6 && Q[q].probability > 1e-12) {
+              found.push_back(
+                  {(1.0 - frac - t_val) * Q[q].probability, {flow.id, q},
+                   false});
+            }
+          }
+          return found;
+        },
+        /*grain=*/4);
+    std::vector<Candidate> violated;
+    for (const auto& found : per_scenario) {
+      violated.insert(violated.end(), found.begin(), found.end());
     }
     if (violated.empty()) break;
     std::sort(violated.begin(), violated.end(), [](const auto& a, const auto& b) {
@@ -334,17 +347,28 @@ MinMaxResult solve_min_max_benders(const TeProblem& problem,
       }
       constexpr double kTol = 1e-7;
       const double phi_val = sp_solution.x[static_cast<std::size_t>(phi)];
-      // Collect the globally worst violated (f, q) rows.
-      std::vector<std::pair<double, std::pair<int, std::size_t>>> violated;
-      for (std::size_t q = 0; q < Q.size(); ++q) {
-        for (const net::Flow& flow : flows) {
-          if (!delta[static_cast<std::size_t>(flow.id)][q]) continue;
-          if (seen_keys.count({flow.id, q})) continue;
-          const double shortfall =
-              1.0 - phi_val -
-              alive_fraction(problem, sp_solution, alloc, flow.id, Q[q]);
-          if (shortfall > kTol) violated.push_back({shortfall, {flow.id, q}});
-        }
+      // Collect the globally worst violated (f, q) rows. Scenarios price in
+      // parallel (reads only); concatenation in scenario order keeps the
+      // list identical to the serial sweep.
+      using SpCandidate = std::pair<double, std::pair<int, std::size_t>>;
+      const auto per_scenario = runtime::parallel_map(
+          Q.size(),
+          [&](std::size_t q) {
+            std::vector<SpCandidate> found;
+            for (const net::Flow& flow : flows) {
+              if (!delta[static_cast<std::size_t>(flow.id)][q]) continue;
+              if (seen_keys.count({flow.id, q})) continue;
+              const double shortfall =
+                  1.0 - phi_val -
+                  alive_fraction(problem, sp_solution, alloc, flow.id, Q[q]);
+              if (shortfall > kTol) found.push_back({shortfall, {flow.id, q}});
+            }
+            return found;
+          },
+          /*grain=*/4);
+      std::vector<SpCandidate> violated;
+      for (const auto& found : per_scenario) {
+        violated.insert(violated.end(), found.begin(), found.end());
       }
       if (violated.empty()) {
         sp_ok = true;

@@ -17,6 +17,7 @@ class Rng {
   // Re-initializes the full 256-bit state from a 64-bit seed via splitmix64,
   // which guarantees the state is never all-zero.
   void reseed(std::uint64_t seed) {
+    seed_ = seed;
     std::uint64_t x = seed;
     for (auto& word : state_) {
       x += 0x9e3779b97f4a7c15ULL;
@@ -68,7 +69,23 @@ class Rng {
 
   // Forks an independent stream; used to give each simulated fiber its own
   // generator so event ordering never perturbs other fibers' randomness.
+  // Mutates this generator — the fork order matters. For parallel work use
+  // split() instead, which is order-independent.
   Rng fork() { return Rng(next_u64() ^ 0xd1342543de82ef95ULL); }
+
+  // Derives the independent sub-stream numbered `stream` from this
+  // generator's seed, without consuming any state: splitmix64 over
+  // (seed, stream) yields a decorrelated child seed, so split(i) is the
+  // same generator no matter when — or on which thread — it is taken.
+  // This is the determinism contract of the parallel runtime: task i draws
+  // from split(i) and results are bit-identical at any thread count.
+  Rng split(std::uint64_t stream) const {
+    std::uint64_t z = seed_ ^ (0x632be59bd9b4e019ULL * (stream + 1));
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return Rng(z ^ (z >> 31));
+  }
 
   // UniformRandomBitGenerator interface (usable with <algorithm> shuffles).
   static constexpr result_type min() { return 0; }
@@ -83,6 +100,7 @@ class Rng {
   }
 
   std::uint64_t state_[4]{};
+  std::uint64_t seed_ = 0;  // last reseed value; the root of split() streams
 };
 
 }  // namespace prete::util

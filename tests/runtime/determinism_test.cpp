@@ -1,0 +1,124 @@
+// The determinism contract, end to end: every parallelized pipeline stage
+// must produce bit-identical results at PRETE_THREADS=1 and PRETE_THREADS=N.
+// These tests resize the global pool between runs and compare exactly
+// (EXPECT_EQ on doubles, not EXPECT_NEAR).
+#include <gtest/gtest.h>
+
+#include "runtime/thread_pool.h"
+#include "sim/monte_carlo.h"
+#include "te/schemes.h"
+
+namespace prete::sim {
+namespace {
+
+struct Fixture {
+  net::Topology topo = net::make_b4();
+  te::PlantStatistics stats;
+  net::TrafficMatrix demands;
+
+  explicit Fixture(double scale = 2.0) {
+    util::Rng rng(11);
+    const auto params = optical::build_plant_model(topo.network, rng);
+    stats = te::derive_statistics(topo.network, params, {}, rng, 100);
+    util::Rng traffic_rng(12);
+    net::TrafficConfig tc;
+    tc.diurnal_swing = 0.0;
+    tc.noise = 0.0;
+    demands = net::scale_traffic(
+        net::generate_traffic(topo.network, topo.flows, traffic_rng, tc)[0],
+        scale);
+  }
+
+  MonteCarloConfig config(int epochs) const {
+    MonteCarloConfig c;
+    c.epochs = epochs;
+    c.beta = 0.99;
+    c.planning_scenarios.max_simultaneous_failures = 1;
+    c.planning_scenarios.max_scenarios = 40;
+    return c;
+  }
+};
+
+void expect_identical(const MonteCarloResult& a, const MonteCarloResult& b) {
+  EXPECT_EQ(a.mean_flow_availability, b.mean_flow_availability);
+  EXPECT_EQ(a.standard_error, b.standard_error);
+  EXPECT_EQ(a.epochs_with_degradation, b.epochs_with_degradation);
+  EXPECT_EQ(a.epochs_with_cut, b.epochs_with_cut);
+}
+
+TEST(RuntimeDeterminismTest, MonteCarloStaticBitIdenticalAcrossThreadCounts) {
+  const Fixture fx;
+  const MonteCarloStudy mc(fx.topo, fx.stats, fx.config(800));
+  te::TeaVarScheme teavar(0.99);
+
+  runtime::ThreadPool::set_global_threads(1);
+  util::Rng rng1(5);
+  const auto serial = mc.run_static(teavar, fx.demands, rng1);
+
+  runtime::ThreadPool::set_global_threads(4);
+  util::Rng rng4(5);
+  const auto parallel = mc.run_static(teavar, fx.demands, rng4);
+
+  runtime::ThreadPool::set_global_threads(0);
+  expect_identical(serial, parallel);
+  // The caller's generator must also have advanced identically.
+  EXPECT_EQ(rng1.next_u64(), rng4.next_u64());
+}
+
+TEST(RuntimeDeterminismTest, MonteCarloPreTeBitIdenticalAcrossThreadCounts) {
+  const Fixture fx;
+  const MonteCarloStudy mc(fx.topo, fx.stats, fx.config(300));
+
+  runtime::ThreadPool::set_global_threads(1);
+  util::Rng rng1(7);
+  const auto serial = mc.run_prete(fx.demands, rng1);
+
+  runtime::ThreadPool::set_global_threads(4);
+  util::Rng rng4(7);
+  const auto parallel = mc.run_prete(fx.demands, rng4);
+
+  runtime::ThreadPool::set_global_threads(0);
+  expect_identical(serial, parallel);
+}
+
+TEST(RuntimeDeterminismTest, DeriveStatisticsBitIdenticalAcrossThreadCounts) {
+  net::Topology topo = net::make_b4();
+  util::Rng seed_rng(11);
+  const auto params = optical::build_plant_model(topo.network, seed_rng);
+
+  runtime::ThreadPool::set_global_threads(1);
+  util::Rng rng1(21);
+  const auto serial = te::derive_statistics(topo.network, params, {}, rng1, 200);
+
+  runtime::ThreadPool::set_global_threads(4);
+  util::Rng rng4(21);
+  const auto parallel =
+      te::derive_statistics(topo.network, params, {}, rng4, 200);
+
+  runtime::ThreadPool::set_global_threads(0);
+  ASSERT_EQ(serial.cut_prob.size(), parallel.cut_prob.size());
+  for (std::size_t f = 0; f < serial.cut_prob.size(); ++f) {
+    EXPECT_EQ(serial.cut_prob[f], parallel.cut_prob[f]);
+    EXPECT_EQ(serial.cut_given_degradation[f],
+              parallel.cut_given_degradation[f]);
+  }
+  EXPECT_EQ(serial.alpha, parallel.alpha);
+}
+
+TEST(RuntimeDeterminismTest, RepeatedParallelRunsAreStable) {
+  // Same seed, same thread count, run twice: scheduling jitter between runs
+  // must not leak into the result.
+  const Fixture fx;
+  const MonteCarloStudy mc(fx.topo, fx.stats, fx.config(600));
+  te::TeaVarScheme teavar(0.99);
+  runtime::ThreadPool::set_global_threads(4);
+  util::Rng a(9);
+  util::Rng b(9);
+  const auto r1 = mc.run_static(teavar, fx.demands, a);
+  const auto r2 = mc.run_static(teavar, fx.demands, b);
+  runtime::ThreadPool::set_global_threads(0);
+  expect_identical(r1, r2);
+}
+
+}  // namespace
+}  // namespace prete::sim

@@ -1,0 +1,122 @@
+#include "runtime/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace prete::runtime {
+namespace {
+
+TEST(ChunkPlanTest, IndependentOfThreadCountAndCoversRange) {
+  for (std::size_t n : {0u, 1u, 7u, 255u, 256u, 257u, 10000u}) {
+    for (std::size_t grain : {1u, 4u, 64u}) {
+      const ChunkPlan plan = plan_chunks(n, grain);
+      if (n == 0) {
+        EXPECT_EQ(plan.chunks, 0u);
+        continue;
+      }
+      // Chunks tile [0, n) exactly.
+      EXPECT_GE(plan.chunks * plan.chunk_size, n);
+      EXPECT_LT((plan.chunks - 1) * plan.chunk_size, n);
+      EXPECT_GE(plan.chunk_size, grain);
+      EXPECT_LE(plan.chunks, 256u);
+    }
+  }
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); }, 1, pool);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  parallel_for(0, [&](std::size_t) { touched = true; }, 1, pool);
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelMapTest, MatchesSerialComputation) {
+  ThreadPool pool(3);
+  const auto out =
+      parallel_map(1000, [](std::size_t i) { return i * i; }, 1, pool);
+  ASSERT_EQ(out.size(), 1000u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelReduceTest, ExactSumMatchesSerial) {
+  ThreadPool pool(4);
+  const long total = parallel_reduce(
+      5000, 0L, [](std::size_t i) { return static_cast<long>(i); },
+      [](long a, long b) { return a + b; }, 1, pool);
+  EXPECT_EQ(total, 4999L * 5000L / 2);
+}
+
+TEST(ParallelReduceTest, BitIdenticalAcrossPoolSizes) {
+  // Floating-point accumulation depends on association order; the chunked
+  // reduction must associate identically at every pool size. This is the
+  // subsystem's core determinism guarantee.
+  auto compute = [](ThreadPool& pool) {
+    return parallel_reduce(
+        20000, 0.0,
+        [](std::size_t i) {
+          // Irrational-ish terms so any reassociation shows up in the bits.
+          return std::sin(static_cast<double>(i)) / (1.0 + std::sqrt(i));
+        },
+        [](double a, double b) { return a + b; }, 8, pool);
+  };
+  ThreadPool pool1(1);
+  ThreadPool pool2(2);
+  ThreadPool pool5(5);
+  const double r1 = compute(pool1);
+  const double r2 = compute(pool2);
+  const double r5 = compute(pool5);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(r2, r5);
+}
+
+TEST(ParallelReduceTest, SplitStreamsBitIdenticalAcrossPoolSizes) {
+  // The full determinism recipe: per-task Rng::split streams + ordered
+  // chunk folding. Simulates a Monte Carlo sum.
+  auto compute = [](ThreadPool& pool) {
+    const util::Rng root(1234);
+    return parallel_reduce(
+        5000, 0.0,
+        [&root](std::size_t i) {
+          util::Rng stream = root.split(i);
+          double x = 0.0;
+          for (int k = 0; k < 10; ++k) x += stream.next_double();
+          return x;
+        },
+        [](double a, double b) { return a + b; }, 16, pool);
+  };
+  ThreadPool pool1(1);
+  ThreadPool pool4(4);
+  EXPECT_EQ(compute(pool1), compute(pool4));
+}
+
+TEST(ParallelMapTest, NestedParallelMapCompletes) {
+  ThreadPool pool(2);
+  const auto out = parallel_map(
+      20,
+      [&pool](std::size_t i) {
+        const auto inner = parallel_map(
+            20, [i](std::size_t j) { return i * j; }, 1, pool);
+        return std::accumulate(inner.begin(), inner.end(), std::size_t{0});
+      },
+      1, pool);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], i * (19 * 20 / 2));
+  }
+}
+
+}  // namespace
+}  // namespace prete::runtime

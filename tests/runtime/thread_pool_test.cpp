@@ -1,0 +1,162 @@
+#include "runtime/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "runtime/task_group.h"
+
+namespace prete::runtime {
+namespace {
+
+TEST(ThreadPoolTest, DrainsQueuedTasksOnDestruction) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 500; ++i) {
+      pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // Destructor must finish every queued task before joining.
+  }
+  EXPECT_EQ(done.load(), 500);
+}
+
+TEST(ThreadPoolTest, SizeIsAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountRespectsEnv) {
+  setenv("PRETE_THREADS", "3", 1);
+  EXPECT_EQ(default_thread_count(), 3u);
+  setenv("PRETE_THREADS", "0", 1);  // invalid: fall back to hardware
+  EXPECT_GE(default_thread_count(), 1u);
+  unsetenv("PRETE_THREADS");
+  EXPECT_GE(default_thread_count(), 1u);
+}
+
+TEST(ThreadPoolTest, TryRunOneHelpsFromExternalThread) {
+  ThreadPool pool(1);
+  // Pin the single worker inside a task, then help from this thread.
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  std::atomic<int> done{0};
+  pool.submit([&] {
+    started.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!started.load()) std::this_thread::yield();
+  pool.submit([&done] { done.fetch_add(1); });
+  EXPECT_TRUE(pool.try_run_one());  // runs the queued task on this thread
+  EXPECT_EQ(done.load(), 1);
+  EXPECT_FALSE(pool.try_run_one());
+  release.store(true);
+}
+
+TEST(TaskGroupTest, WaitsForAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 200; ++i) {
+    group.run([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  group.wait();
+  EXPECT_EQ(done.load(), 200);
+}
+
+TEST(TaskGroupTest, NestedGroupsCompleteOnSingleWorkerPool) {
+  // The hard case: one worker, tasks that fork-join inside tasks. wait()
+  // must help execute queued work or this deadlocks.
+  ThreadPool pool(1);
+  std::atomic<int> leaves{0};
+  TaskGroup outer(pool);
+  for (int i = 0; i < 8; ++i) {
+    outer.run([&pool, &leaves] {
+      TaskGroup inner(pool);
+      for (int j = 0; j < 8; ++j) {
+        inner.run([&pool, &leaves] {
+          TaskGroup innermost(pool);
+          innermost.run([&leaves] { leaves.fetch_add(1); });
+          innermost.wait();
+        });
+      }
+      inner.wait();
+    });
+  }
+  outer.wait();
+  EXPECT_EQ(leaves.load(), 64);
+}
+
+TEST(TaskGroupTest, NestedGroupsCompleteOnMultiWorkerPool) {
+  ThreadPool pool(4);
+  std::atomic<int> leaves{0};
+  TaskGroup outer(pool);
+  for (int i = 0; i < 16; ++i) {
+    outer.run([&pool, &leaves] {
+      TaskGroup inner(pool);
+      for (int j = 0; j < 16; ++j) {
+        inner.run([&leaves] { leaves.fetch_add(1); });
+      }
+      inner.wait();
+    });
+  }
+  outer.wait();
+  EXPECT_EQ(leaves.load(), 256);
+}
+
+TEST(TaskGroupTest, ExceptionPropagatesToWait) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  std::atomic<int> survivors{0};
+  for (int i = 0; i < 10; ++i) {
+    group.run([i, &survivors] {
+      if (i == 3) throw std::runtime_error("task failed");
+      survivors.fetch_add(1);
+    });
+  }
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  // The failure must not cancel the siblings.
+  EXPECT_EQ(survivors.load(), 9);
+}
+
+TEST(TaskGroupTest, WaitAfterExceptionClearsError) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  group.run([] { throw std::runtime_error("once"); });
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  group.run([] {});
+  EXPECT_NO_THROW(group.wait());
+}
+
+TEST(TaskGroupTest, StressManySmallNestedTasks) {
+  ThreadPool pool(4);
+  std::atomic<long> sum{0};
+  TaskGroup outer(pool);
+  for (int i = 0; i < 50; ++i) {
+    outer.run([&pool, &sum] {
+      TaskGroup inner(pool);
+      for (int j = 0; j < 100; ++j) {
+        inner.run([&sum, j] { sum.fetch_add(j, std::memory_order_relaxed); });
+      }
+      inner.wait();
+    });
+  }
+  outer.wait();
+  EXPECT_EQ(sum.load(), 50L * (99L * 100L / 2));
+}
+
+TEST(ThreadPoolTest, GlobalPoolResizes) {
+  ThreadPool::set_global_threads(2);
+  EXPECT_EQ(ThreadPool::global().size(), 2u);
+  ThreadPool::set_global_threads(1);
+  EXPECT_EQ(ThreadPool::global().size(), 1u);
+  ThreadPool::set_global_threads(0);  // 0 = default
+  EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+}  // namespace
+}  // namespace prete::runtime

@@ -78,6 +78,81 @@ TEST(RngTest, ForkProducesIndependentStream) {
   EXPECT_LT(equal, 2);
 }
 
+TEST(RngTest, SplitIsPureAndStable) {
+  Rng parent(77);
+  // split() must not consume parent state, and split(i) must be the same
+  // stream no matter when it is taken — that is what makes parallel task
+  // streams order-independent.
+  Rng early = parent.split(4);
+  parent.next_u64();
+  parent.next_u64();
+  Rng late = parent.split(4);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(early.next_u64(), late.next_u64());
+  // And the parent's own sequence is unperturbed by splitting.
+  Rng control(77);
+  control.next_u64();
+  control.next_u64();
+  EXPECT_EQ(parent.next_u64(), control.next_u64());
+}
+
+TEST(RngTest, SplitStreamsAreDecorrelated) {
+  Rng parent(123);
+  // Pairwise: adjacent streams, distant streams, and stream-vs-parent must
+  // all look independent (no matching outputs, healthy means).
+  const std::uint64_t streams[] = {0, 1, 2, 1000, 1u << 20};
+  for (std::uint64_t a : streams) {
+    for (std::uint64_t b : streams) {
+      if (a == b) continue;
+      Rng ra = parent.split(a);
+      Rng rb = parent.split(b);
+      int equal = 0;
+      for (int i = 0; i < 256; ++i) {
+        if (ra.next_u64() == rb.next_u64()) ++equal;
+      }
+      EXPECT_LT(equal, 2) << "streams " << a << " and " << b;
+    }
+  }
+  for (std::uint64_t s : streams) {
+    Rng stream = parent.split(s);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += stream.next_double();
+    EXPECT_NEAR(sum / n, 0.5, 0.02) << "stream " << s;
+  }
+}
+
+TEST(RngTest, SplitDiffersAcrossParentSeeds) {
+  Rng a(1);
+  Rng b(2);
+  Rng sa = a.split(3);
+  Rng sb = b.split(3);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (sa.next_u64() == sb.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ReseedZeroSeedStaysNonZero) {
+  // splitmix64 expansion guarantees the xoshiro state is never all-zero,
+  // even for the all-zero-risk seed 0 (an all-zero state would lock the
+  // generator at 0 forever).
+  Rng rng(0);
+  bool nonzero = false;
+  std::set<std::uint64_t> distinct;
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t v = rng.next_u64();
+    if (v != 0) nonzero = true;
+    distinct.insert(v);
+  }
+  EXPECT_TRUE(nonzero);
+  EXPECT_GT(distinct.size(), 8u);
+  // reseed(0) after use must behave the same way.
+  rng.reseed(0);
+  Rng fresh(0);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(rng.next_u64(), fresh.next_u64());
+}
+
 TEST(RngTest, UniformRange) {
   Rng rng(21);
   for (int i = 0; i < 1000; ++i) {
