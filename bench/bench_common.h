@@ -25,22 +25,46 @@ namespace prete::bench {
 
 inline bool fast_mode() { return std::getenv("PRETE_BENCH_FAST") != nullptr; }
 
+// Parses a --threads value. A valid count is a positive integer with no
+// trailing garbage; anything else (0, negatives, "abc", "4x", "") aborts
+// with a clear message instead of being silently ignored.
+inline unsigned parse_thread_count(const std::string& value) {
+  std::size_t consumed = 0;
+  long parsed = -1;
+  try {
+    parsed = std::stol(value, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != value.size() || parsed <= 0) {
+    std::cerr << "error: invalid --threads value '" << value
+              << "' (expected a positive integer)\n";
+    std::exit(2);
+  }
+  return static_cast<unsigned>(parsed);
+}
+
 // Call first thing in main(). Sizes the global thread pool from a
 // --threads=N (or "--threads N") flag; without the flag the pool reads
 // PRETE_THREADS, falling back to hardware concurrency. Results are
-// bit-identical at any setting — the knob only moves wall-clock.
+// bit-identical at any setting — the knob only moves wall-clock. Malformed
+// thread counts are an error, not a silent fallback.
 inline void init(int argc, char** argv) {
-  int threads = 0;
+  unsigned threads = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--threads=", 0) == 0) {
-      threads = std::atoi(arg.c_str() + 10);
-    } else if (arg == "--threads" && i + 1 < argc) {
-      threads = std::atoi(argv[++i]);
+      threads = parse_thread_count(arg.substr(10));
+    } else if (arg == "--threads") {
+      if (i + 1 >= argc) {
+        std::cerr << "error: --threads requires a value\n";
+        std::exit(2);
+      }
+      threads = parse_thread_count(argv[++i]);
     }
   }
   if (threads > 0) {
-    runtime::ThreadPool::set_global_threads(static_cast<unsigned>(threads));
+    runtime::ThreadPool::set_global_threads(threads);
   }
   std::cout << "[runtime] threads=" << runtime::ThreadPool::global().size()
             << "\n";

@@ -8,7 +8,11 @@
 // hardware concurrency for the parallel run).
 #include "bench_common.h"
 
+#include <cmath>
+
+#include "net/tunnels.h"
 #include "sim/monte_carlo.h"
+#include "te/minmax.h"
 #include "te/schemes.h"
 
 using namespace prete;
@@ -24,6 +28,71 @@ sim::MonteCarloConfig mc_config(int epochs) {
   return c;
 }
 
+// Benders master phase: repeated solves on a B4 instance with a two-failure
+// scenario set, so cut evaluation and the per-flow drop ordering dominate.
+struct MasterSample {
+  double phi = 0;
+  double lower_bound = 0;
+  int iterations = 0;
+  bool operator==(const MasterSample& o) const {
+    return phi == o.phi && lower_bound == o.lower_bound &&
+           iterations == o.iterations;
+  }
+};
+
+MasterSample run_master_phase(const bench::Context& ctx,
+                              const net::TunnelSet& tunnels,
+                              const net::TrafficMatrix& demands, int repeats) {
+  te::TeProblem problem;
+  problem.network = &ctx.topo.network;
+  problem.flows = &ctx.topo.flows;
+  problem.tunnels = &tunnels;
+  problem.demands = demands;
+  te::ScenarioOptions so;
+  so.max_simultaneous_failures = 2;
+  so.max_scenarios = 200;
+  const auto scenarios = te::generate_failure_scenarios(ctx.stats.cut_prob, so);
+  te::MinMaxOptions options;
+  options.beta = std::min(0.99, scenarios.covered_probability);
+  MasterSample sample;
+  for (int r = 0; r < repeats; ++r) {
+    const auto result = te::solve_min_max_benders(problem, scenarios, options);
+    sample.phi = result.phi;
+    sample.lower_bound = result.lower_bound;
+    sample.iterations += result.iterations;
+  }
+  return sample;
+}
+
+// Telemetry phase: a plant-wide event log plus per-fiber loss traces, the
+// two PlantSimulator paths sharded over the pool.
+struct TelemetrySample {
+  std::size_t cuts = 0;
+  std::size_t degradations = 0;
+  double trace_checksum = 0;
+  bool operator==(const TelemetrySample& o) const {
+    return cuts == o.cuts && degradations == o.degradations &&
+           trace_checksum == o.trace_checksum;
+  }
+};
+
+TelemetrySample run_telemetry_phase(const optical::PlantSimulator& plant,
+                                    double horizon_sec) {
+  util::Rng rng(7);
+  const auto log =
+      plant.simulate(static_cast<optical::TimeSec>(horizon_sec), rng);
+  const auto traces = plant.loss_traces(log, 0, 3600, rng);
+  TelemetrySample sample;
+  sample.cuts = log.cuts.size();
+  sample.degradations = log.degradations.size();
+  for (const auto& trace : traces) {
+    for (double v : trace) {
+      if (!std::isnan(v)) sample.trace_checksum += v;
+    }
+  }
+  return sample;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -37,11 +106,22 @@ int main(int argc, char** argv) {
   const sim::MonteCarloStudy mc(ctx.topo, ctx.stats, mc_config(epochs));
   te::TeaVarScheme teavar(0.99);
 
+  const net::TunnelSet tunnels =
+      net::build_tunnels(ctx.topo.network, ctx.topo.flows);
+  const int master_repeats = bench::fast_mode() ? 1 : 3;
+  const double telemetry_horizon =
+      bench::fast_mode() ? 90.0 * 86400.0 : 365.0 * 86400.0;
+  const optical::PlantSimulator plant(ctx.topo.network, ctx.params, ctx.logit);
+
   util::Table table({"phase", "threads", "seconds", "availability"});
   sim::MonteCarloResult serial_static, parallel_static;
   sim::MonteCarloResult serial_prete, parallel_prete;
+  MasterSample serial_master, parallel_master;
+  TelemetrySample serial_telemetry, parallel_telemetry;
   double t_serial_static = 0, t_parallel_static = 0;
   double t_serial_prete = 0, t_parallel_prete = 0;
+  double t_serial_master = 0, t_parallel_master = 0;
+  double t_serial_telemetry = 0, t_parallel_telemetry = 0;
 
   runtime::ThreadPool::set_global_threads(1);
   {
@@ -55,6 +135,16 @@ int main(int argc, char** argv) {
     util::Rng rng(2);
     serial_prete = mc.run_prete(demands, rng);
     t_serial_prete = phase.seconds();
+  }
+  {
+    bench::Phase phase("benders_master serial");
+    serial_master = run_master_phase(ctx, tunnels, demands, master_repeats);
+    t_serial_master = phase.seconds();
+  }
+  {
+    bench::Phase phase("telemetry serial");
+    serial_telemetry = run_telemetry_phase(plant, telemetry_horizon);
+    t_serial_telemetry = phase.seconds();
   }
 
   runtime::ThreadPool::set_global_threads(parallel_threads);
@@ -70,6 +160,16 @@ int main(int argc, char** argv) {
     parallel_prete = mc.run_prete(demands, rng);
     t_parallel_prete = phase.seconds();
   }
+  {
+    bench::Phase phase("benders_master parallel");
+    parallel_master = run_master_phase(ctx, tunnels, demands, master_repeats);
+    t_parallel_master = phase.seconds();
+  }
+  {
+    bench::Phase phase("telemetry parallel");
+    parallel_telemetry = run_telemetry_phase(plant, telemetry_horizon);
+    t_parallel_telemetry = phase.seconds();
+  }
 
   table.add_row({"run_static", "1", util::Table::format(t_serial_static, 2),
                  util::Table::format(serial_static.mean_flow_availability, 6)});
@@ -81,6 +181,16 @@ int main(int argc, char** argv) {
   table.add_row({"run_prete", std::to_string(parallel_threads),
                  util::Table::format(t_parallel_prete, 2),
                  util::Table::format(parallel_prete.mean_flow_availability, 6)});
+  table.add_row({"benders_master", "1", util::Table::format(t_serial_master, 2),
+                 util::Table::format(serial_master.phi, 6)});
+  table.add_row({"benders_master", std::to_string(parallel_threads),
+                 util::Table::format(t_parallel_master, 2),
+                 util::Table::format(parallel_master.phi, 6)});
+  table.add_row({"telemetry", "1", util::Table::format(t_serial_telemetry, 2),
+                 std::to_string(serial_telemetry.cuts) + " cuts"});
+  table.add_row({"telemetry", std::to_string(parallel_threads),
+                 util::Table::format(t_parallel_telemetry, 2),
+                 std::to_string(parallel_telemetry.cuts) + " cuts"});
   table.print(std::cout);
 
   const bool identical =
@@ -91,7 +201,9 @@ int main(int argc, char** argv) {
       serial_prete.mean_flow_availability ==
           parallel_prete.mean_flow_availability &&
       serial_prete.standard_error == parallel_prete.standard_error &&
-      serial_prete.epochs_with_cut == parallel_prete.epochs_with_cut;
+      serial_prete.epochs_with_cut == parallel_prete.epochs_with_cut &&
+      serial_master == parallel_master &&
+      serial_telemetry == parallel_telemetry;
   std::cout << "bit-identical across thread counts: "
             << (identical ? "yes" : "NO — DETERMINISM BUG") << "\n";
   std::cout << "speedup run_static: "
@@ -100,6 +212,12 @@ int main(int argc, char** argv) {
             << "x, run_prete: "
             << util::Table::format(
                    t_serial_prete / std::max(t_parallel_prete, 1e-9), 2)
+            << "x, benders_master: "
+            << util::Table::format(
+                   t_serial_master / std::max(t_parallel_master, 1e-9), 2)
+            << "x, telemetry: "
+            << util::Table::format(
+                   t_serial_telemetry / std::max(t_parallel_telemetry, 1e-9), 2)
             << "x on " << parallel_threads << " threads\n";
   return identical ? 0 : 1;
 }

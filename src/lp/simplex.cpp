@@ -6,6 +6,46 @@
 
 namespace prete::lp {
 
+SimplexBasis SimplexBasis::truncated(int rows) const {
+  SimplexBasis out;
+  rows = std::max(0, std::min(rows, num_rows()));
+  if (rows == 0) return out;
+  out.structural_status = structural_status;
+  out.slack_status.assign(slack_status.begin(), slack_status.begin() + rows);
+  out.basic.assign(basic.begin(), basic.begin() + rows);
+  out.basic_value.assign(basic_value.begin(), basic_value.begin() + rows);
+
+  // Basis entries pointing at dropped slack columns cannot survive; their
+  // rows fall back to an artificial start.
+  for (auto& entry : out.basic) {
+    if (entry.kind == Kind::kSlack && entry.index >= rows) {
+      entry = {Kind::kArtificial, 0};
+    }
+  }
+  // Columns that were basic only in dropped rows demote to a bound; the
+  // engine re-validates statuses against the bounds at apply time.
+  std::vector<char> referenced_structural(structural_status.size(), 0);
+  std::vector<char> referenced_slack(static_cast<std::size_t>(rows), 0);
+  for (const auto& entry : out.basic) {
+    if (entry.kind == Kind::kStructural) {
+      referenced_structural[static_cast<std::size_t>(entry.index)] = 1;
+    } else if (entry.kind == Kind::kSlack) {
+      referenced_slack[static_cast<std::size_t>(entry.index)] = 1;
+    }
+  }
+  for (std::size_t j = 0; j < out.structural_status.size(); ++j) {
+    if (out.structural_status[j] == Status::kBasic && !referenced_structural[j]) {
+      out.structural_status[j] = Status::kAtLower;
+    }
+  }
+  for (std::size_t i = 0; i < out.slack_status.size(); ++i) {
+    if (out.slack_status[i] == Status::kBasic && !referenced_slack[i]) {
+      out.slack_status[i] = Status::kAtLower;
+    }
+  }
+  return out;
+}
+
 namespace {
 
 enum class VarStatus { kBasic, kAtLower, kAtUpper, kFreeAtZero };
@@ -50,16 +90,18 @@ VarStatus bound_start_status(double lower, double upper) {
 
 class SimplexEngine {
  public:
-  SimplexEngine(const Model& model, const SimplexOptions& options)
+  SimplexEngine(const Model& model, const SimplexOptions& options,
+                const SimplexBasis* warm)
       : options_(options) {
-    build(model);
+    build(model, warm);
   }
 
   Solution run(const Model& model) {
     Solution solution;
     int total_iters = 0;
 
-    // Phase 1: minimize the sum of artificial variables.
+    // Phase 1: minimize the sum of artificial variables. With a warm basis
+    // and no basic artificials this terminates without a single pivot.
     std::vector<double> phase1_cost(static_cast<std::size_t>(ws_.total), 0.0);
     for (int j = first_artificial_; j < ws_.total; ++j) {
       phase1_cost[static_cast<std::size_t>(j)] = 1.0;
@@ -122,8 +164,51 @@ class SimplexEngine {
     return solution;
   }
 
+  // Snapshot of the final basis; only meaningful after an optimal run().
+  void export_basis(SimplexBasis& out) const {
+    const auto to_status = [](VarStatus st) {
+      switch (st) {
+        case VarStatus::kBasic:
+          return SimplexBasis::Status::kBasic;
+        case VarStatus::kAtUpper:
+          return SimplexBasis::Status::kAtUpper;
+        case VarStatus::kFreeAtZero:
+          return SimplexBasis::Status::kFreeAtZero;
+        case VarStatus::kAtLower:
+          break;
+      }
+      return SimplexBasis::Status::kAtLower;
+    };
+    out.structural_status.resize(static_cast<std::size_t>(ws_.num_structural));
+    for (int j = 0; j < ws_.num_structural; ++j) {
+      out.structural_status[static_cast<std::size_t>(j)] =
+          to_status(ws_.status[static_cast<std::size_t>(j)]);
+    }
+    out.slack_status.resize(static_cast<std::size_t>(ws_.m));
+    for (int i = 0; i < ws_.m; ++i) {
+      out.slack_status[static_cast<std::size_t>(i)] =
+          to_status(ws_.status[static_cast<std::size_t>(ws_.num_structural + i)]);
+    }
+    out.basic.resize(static_cast<std::size_t>(ws_.m));
+    out.basic_value.resize(static_cast<std::size_t>(ws_.m));
+    for (int r = 0; r < ws_.m; ++r) {
+      const int b = ws_.basis[static_cast<std::size_t>(r)];
+      SimplexBasis::Entry entry;
+      if (b < ws_.num_structural) {
+        entry = {SimplexBasis::Kind::kStructural, b};
+      } else if (b < first_artificial_) {
+        entry = {SimplexBasis::Kind::kSlack, b - ws_.num_structural};
+      } else {
+        entry = {SimplexBasis::Kind::kArtificial, 0};
+      }
+      out.basic[static_cast<std::size_t>(r)] = entry;
+      out.basic_value[static_cast<std::size_t>(r)] =
+          ws_.basic_value[static_cast<std::size_t>(r)];
+    }
+  }
+
  private:
-  void build(const Model& model) {
+  void build(const Model& model, const SimplexBasis* warm) {
     const int n = model.num_variables();
     const int m = model.num_rows();
     ws_.m = m;
@@ -185,23 +270,166 @@ class SimplexEngine {
                             ws_.upper[static_cast<std::size_t>(j)]);
     }
 
-    // Residual that the artificial basis must absorb.
-    std::vector<double> residual = ws_.rhs;
-    for (int j = 0; j < first_artificial_; ++j) {
-      const double xj = ws_.nonbasic_value[static_cast<std::size_t>(j)];
-      if (xj == 0.0) continue;
-      for (const auto& entry : ws_.columns[static_cast<std::size_t>(j)]) {
-        residual[static_cast<std::size_t>(entry.var)] -= entry.value * xj;
+    const bool compatible = warm != nullptr && warm->valid() &&
+                            warm->num_structural() <= n && warm->num_rows() <= m;
+    if (compatible) {
+      // Overlay the hint's nonbasic statuses; even when the basis install
+      // below fails, starting each variable at the bound it ended at last
+      // time keeps the phase-1 residual small.
+      for (int j = 0; j < warm->num_structural(); ++j) {
+        apply_warm_status(j, warm->structural_status[static_cast<std::size_t>(j)]);
+      }
+      for (int i = 0; i < warm->num_rows(); ++i) {
+        apply_warm_status(n + i, warm->slack_status[static_cast<std::size_t>(i)]);
       }
     }
 
     ws_.basis.assign(static_cast<std::size_t>(m), 0);
     ws_.basic_value.assign(static_cast<std::size_t>(m), 0.0);
     ws_.binv.assign(static_cast<std::size_t>(m) * static_cast<std::size_t>(m), 0.0);
+
+    if (compatible && install_warm_basis(*warm)) return;
+    install_artificial_basis();
+  }
+
+  // Moves a nonbasic column to the hinted bound when the bound structure
+  // still permits it; kBasic is handled by the basis install.
+  void apply_warm_status(int j, SimplexBasis::Status hinted) {
+    const double lo = ws_.lower[static_cast<std::size_t>(j)];
+    const double up = ws_.upper[static_cast<std::size_t>(j)];
+    switch (hinted) {
+      case SimplexBasis::Status::kAtLower:
+        if (std::isfinite(lo)) {
+          ws_.status[static_cast<std::size_t>(j)] = VarStatus::kAtLower;
+          ws_.nonbasic_value[static_cast<std::size_t>(j)] = lo;
+        }
+        break;
+      case SimplexBasis::Status::kAtUpper:
+        if (std::isfinite(up)) {
+          ws_.status[static_cast<std::size_t>(j)] = VarStatus::kAtUpper;
+          ws_.nonbasic_value[static_cast<std::size_t>(j)] = up;
+        }
+        break;
+      case SimplexBasis::Status::kFreeAtZero:
+        if (!std::isfinite(lo) && !std::isfinite(up)) {
+          ws_.status[static_cast<std::size_t>(j)] = VarStatus::kFreeAtZero;
+          ws_.nonbasic_value[static_cast<std::size_t>(j)] = 0.0;
+        }
+        break;
+      case SimplexBasis::Status::kBasic:
+        break;
+    }
+  }
+
+  // Residual b - A x of the current nonbasic starting point, with planned
+  // basic columns (plan[r] >= 0) taken at `basic_guess[r]` instead.
+  std::vector<double> starting_residual(const std::vector<int>& plan,
+                                        const std::vector<double>& basic_guess) const {
+    std::vector<double> residual = ws_.rhs;
+    std::vector<double> value(static_cast<std::size_t>(first_artificial_), 0.0);
+    for (int j = 0; j < first_artificial_; ++j) {
+      value[static_cast<std::size_t>(j)] =
+          ws_.nonbasic_value[static_cast<std::size_t>(j)];
+    }
+    for (int r = 0; r < ws_.m; ++r) {
+      if (plan[static_cast<std::size_t>(r)] >= 0) {
+        value[static_cast<std::size_t>(plan[static_cast<std::size_t>(r)])] =
+            basic_guess[static_cast<std::size_t>(r)];
+      }
+    }
+    for (int j = 0; j < first_artificial_; ++j) {
+      const double xj = value[static_cast<std::size_t>(j)];
+      if (xj == 0.0) continue;
+      for (const auto& entry : ws_.columns[static_cast<std::size_t>(j)]) {
+        residual[static_cast<std::size_t>(entry.var)] -= entry.value * xj;
+      }
+    }
+    return residual;
+  }
+
+  // Tries to seat the hinted basis: hinted columns stay basic in their rows,
+  // rows beyond the hint (or hinted-artificial rows) get a fresh artificial
+  // sized to absorb the residual. Falls back (returns false, state restored)
+  // if the hint is inconsistent, the basis is singular, or the implied basic
+  // point is primal-infeasible — primal phase 1 can only repair artificials.
+  bool install_warm_basis(const SimplexBasis& warm) {
+    const int n = ws_.num_structural;
+    const int m = ws_.m;
+    std::vector<int> plan(static_cast<std::size_t>(m), -1);  // -1 = artificial
+    std::vector<char> used(static_cast<std::size_t>(first_artificial_), 0);
+    for (int r = 0; r < warm.num_rows(); ++r) {
+      const SimplexBasis::Entry entry = warm.basic[static_cast<std::size_t>(r)];
+      int col = -1;
+      if (entry.kind == SimplexBasis::Kind::kStructural) {
+        if (entry.index < 0 || entry.index >= warm.num_structural()) return false;
+        col = entry.index;
+      } else if (entry.kind == SimplexBasis::Kind::kSlack) {
+        if (entry.index < 0 || entry.index >= warm.num_rows()) return false;
+        col = n + entry.index;
+      } else {
+        continue;  // artificial row
+      }
+      if (used[static_cast<std::size_t>(col)]) return false;
+      used[static_cast<std::size_t>(col)] = 1;
+      plan[static_cast<std::size_t>(r)] = col;
+    }
+
+    std::vector<double> basic_guess(static_cast<std::size_t>(m), 0.0);
+    for (int r = 0; r < warm.num_rows(); ++r) {
+      basic_guess[static_cast<std::size_t>(r)] =
+          warm.basic_value[static_cast<std::size_t>(r)];
+    }
+    const std::vector<double> residual = starting_residual(plan, basic_guess);
+
+    const std::vector<VarStatus> status_backup = ws_.status;
+    for (int r = 0; r < m; ++r) {
+      int col = plan[static_cast<std::size_t>(r)];
+      if (col < 0) {
+        col = first_artificial_ + r;
+        const double sgn = residual[static_cast<std::size_t>(r)] >= 0.0 ? 1.0 : -1.0;
+        ws_.columns[static_cast<std::size_t>(col)].assign(1, {r, sgn});
+        ws_.basic_value[static_cast<std::size_t>(r)] =
+            std::abs(residual[static_cast<std::size_t>(r)]);
+      } else {
+        ws_.basic_value[static_cast<std::size_t>(r)] =
+            basic_guess[static_cast<std::size_t>(r)];
+      }
+      ws_.status[static_cast<std::size_t>(col)] = VarStatus::kBasic;
+      ws_.basis[static_cast<std::size_t>(r)] = col;
+    }
+
+    bool ok = refactorize();  // also recomputes the basic values exactly
+    if (ok) {
+      const double tol = 1e3 * options_.feasibility_tol;
+      for (int r = 0; r < m && ok; ++r) {
+        const int b = ws_.basis[static_cast<std::size_t>(r)];
+        const double v = ws_.basic_value[static_cast<std::size_t>(r)];
+        ok = v >= ws_.lower[static_cast<std::size_t>(b)] - tol &&
+             v <= ws_.upper[static_cast<std::size_t>(b)] + tol;
+      }
+    }
+    if (!ok) {
+      ws_.status = status_backup;
+      for (int r = 0; r < m; ++r) {
+        ws_.columns[static_cast<std::size_t>(first_artificial_ + r)].clear();
+      }
+      return false;
+    }
+    return true;
+  }
+
+  // The all-artificial cold basis (also the warm-start fallback), absorbing
+  // whatever residual the current nonbasic starting point leaves.
+  void install_artificial_basis() {
+    const int m = ws_.m;
+    const std::vector<int> no_plan(static_cast<std::size_t>(m), -1);
+    const std::vector<double> residual =
+        starting_residual(no_plan, std::vector<double>(static_cast<std::size_t>(m), 0.0));
+    std::fill(ws_.binv.begin(), ws_.binv.end(), 0.0);
     for (int i = 0; i < m; ++i) {
       const int art = first_artificial_ + i;
       const double sign = residual[static_cast<std::size_t>(i)] >= 0.0 ? 1.0 : -1.0;
-      ws_.columns[static_cast<std::size_t>(art)].push_back({i, sign});
+      ws_.columns[static_cast<std::size_t>(art)].assign(1, {i, sign});
       ws_.status[static_cast<std::size_t>(art)] = VarStatus::kBasic;
       ws_.basis[static_cast<std::size_t>(i)] = art;
       ws_.basic_value[static_cast<std::size_t>(i)] =
@@ -493,7 +721,8 @@ class SimplexEngine {
 
 }  // namespace
 
-Solution SimplexSolver::solve(const Model& model) const {
+Solution SimplexSolver::solve(const Model& model, const SimplexBasis* warm,
+                              SimplexBasis* basis_out) const {
   if (model.num_rows() == 0) {
     // Pure bound problem: each variable sits at whichever bound its cost
     // prefers; unbounded if the preferred direction has no finite bound.
@@ -521,8 +750,12 @@ Solution SimplexSolver::solve(const Model& model) const {
     solution.objective = model.objective_value(solution.x);
     return solution;
   }
-  SimplexEngine engine(model, options_);
-  return engine.run(model);
+  SimplexEngine engine(model, options_, warm);
+  Solution solution = engine.run(model);
+  if (basis_out != nullptr && solution.status == SolveStatus::kOptimal) {
+    engine.export_basis(*basis_out);
+  }
+  return solution;
 }
 
 }  // namespace prete::lp

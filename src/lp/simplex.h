@@ -1,5 +1,8 @@
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "lp/model.h"
 
 namespace prete::lp {
@@ -19,6 +22,42 @@ struct SimplexOptions {
   int degenerate_pivot_limit = 200;
 };
 
+// Snapshot of an optimal basis, reusable as a warm start for a later solve.
+// Valid as a hint only when the later model extends the snapshot's model as
+// a prefix: the first num_structural() variables and the first num_rows()
+// rows (bounds, coefficients, rhs) must be unchanged — appended variables
+// and appended rows are fine. Row generation (Benders subproblems, lazy CVaR
+// rows) satisfies this by construction. The caller owns that contract; the
+// solver only validates internal consistency and falls back to a cold start
+// on any mismatch it can detect.
+struct SimplexBasis {
+  enum class Status : std::uint8_t { kAtLower, kAtUpper, kFreeAtZero, kBasic };
+  enum class Kind : std::uint8_t { kStructural, kSlack, kArtificial };
+  struct Entry {
+    Kind kind = Kind::kArtificial;
+    int index = 0;  // structural column j, or the slack's row i
+  };
+
+  std::vector<Status> structural_status;  // per structural variable
+  std::vector<Status> slack_status;       // per row
+  std::vector<Entry> basic;               // basic column of each row
+  std::vector<double> basic_value;        // value of that column at the optimum
+
+  int num_structural() const { return static_cast<int>(structural_status.size()); }
+  int num_rows() const { return static_cast<int>(slack_status.size()); }
+  bool valid() const {
+    return !slack_status.empty() &&
+           basic.size() == slack_status.size() &&
+           basic_value.size() == slack_status.size();
+  }
+
+  // Hint for a model that keeps only the first `rows` rows of the snapshot's
+  // model (e.g. the shared capacity-row prefix of successive Benders
+  // subproblems). Basic columns of dropped rows demote to their nearest
+  // bound.
+  SimplexBasis truncated(int rows) const;
+};
+
 // Two-phase bounded-variable revised primal simplex with a dense basis
 // inverse. Designed for the mid-sized LPs produced by the TE formulations
 // (hundreds to a few thousand rows once lazy row generation is applied).
@@ -29,7 +68,16 @@ class SimplexSolver {
  public:
   explicit SimplexSolver(SimplexOptions options = {}) : options_(options) {}
 
-  Solution solve(const Model& model) const;
+  Solution solve(const Model& model) const { return solve(model, nullptr, nullptr); }
+
+  // Warm-startable solve. `warm` (may be null) seeds the starting point and
+  // basis from a previous solve under the prefix contract documented on
+  // SimplexBasis; `basis_out` (may be null) receives the optimal basis for
+  // the next solve in the sequence. Warm starts change only the pivot path,
+  // never the optimality conditions, and depend on nothing but the hint —
+  // so solve sequences stay deterministic at any thread count.
+  Solution solve(const Model& model, const SimplexBasis* warm,
+                 SimplexBasis* basis_out) const;
 
  private:
   SimplexOptions options_;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <limits>
 
+#include "runtime/parallel.h"
 #include "util/distributions.h"
 
 namespace prete::optical {
@@ -36,14 +38,34 @@ PlantSimulator::PlantSimulator(const net::Network& net,
                                CutLogitModel logit, SimulatorConfig config)
     : net_(net), params_(std::move(params)), logit_(logit), config_(config) {}
 
+namespace {
+
+// One fiber's slice of the event log; merged in fiber order after the
+// parallel sweep so the global log never depends on scheduling.
+struct FiberEvents {
+  std::vector<DegradationRecord> degradations;
+  std::vector<CutRecord> cuts;
+};
+
+}  // namespace
+
 EventLog PlantSimulator::simulate(TimeSec horizon_sec, util::Rng& rng) const {
   EventLog log;
   log.horizon_sec = horizon_sec;
   const auto epochs = static_cast<TimeSec>(
       horizon_sec / static_cast<TimeSec>(kTePeriodSec));
 
-  for (net::FiberId f = 0; f < net_.num_fibers(); ++f) {
-    util::Rng fiber_rng = rng.fork();
+  // Fibers shard over the runtime pool, each drawing from its own
+  // index-derived stream (one draw from the caller's rng seeds the root) —
+  // the same contract as te::derive_statistics, so the log is bit-identical
+  // at any thread count and the caller's generator advances identically.
+  const util::Rng root(rng.next_u64());
+  const auto num_fibers = static_cast<std::size_t>(net_.num_fibers());
+  std::vector<FiberEvents> per_fiber = runtime::parallel_map(
+      num_fibers, [&](std::size_t fiber_index) {
+    FiberEvents events;
+    const auto f = static_cast<net::FiberId>(fiber_index);
+    util::Rng fiber_rng = root.split(fiber_index);
     const FiberModelParams& p = params_[static_cast<std::size_t>(f)];
     TimeSec repaired_at = 0;       // fiber is down before this instant
     double last_degradation = -1;  // onset of the most recent degradation
@@ -82,7 +104,7 @@ EventLog PlantSimulator::simulate(TimeSec horizon_sec, util::Rng& rng) const {
           cut.since_degradation_sec = rec.cut_delay_sec;
           repaired_at =
               cut.time_sec + static_cast<TimeSec>(cut.repair_hours * 3600.0);
-          log.cuts.push_back(cut);
+          events.cuts.push_back(cut);
         } else if (fiber_rng.bernoulli(config_.late_cut_prob)) {
           // Degradation-related cut beyond the TE period (Figure 5a's
           // 300s..1e3s+ bucket): too late to count as predictable.
@@ -97,9 +119,9 @@ EventLog PlantSimulator::simulate(TimeSec horizon_sec, util::Rng& rng) const {
           cut.since_degradation_sec = delay;
           repaired_at =
               cut.time_sec + static_cast<TimeSec>(cut.repair_hours * 3600.0);
-          log.cuts.push_back(cut);
+          events.cuts.push_back(cut);
         }
-        log.degradations.push_back(std::move(rec));
+        events.degradations.push_back(std::move(rec));
         continue;  // at most one event per epoch per fiber
       }
 
@@ -118,9 +140,17 @@ EventLog PlantSimulator::simulate(TimeSec horizon_sec, util::Rng& rng) const {
                 : -1.0;
         repaired_at =
             cut.time_sec + static_cast<TimeSec>(cut.repair_hours * 3600.0);
-        log.cuts.push_back(cut);
+        events.cuts.push_back(cut);
       }
     }
+    return events;
+  });
+
+  for (FiberEvents& events : per_fiber) {
+    std::move(events.degradations.begin(), events.degradations.end(),
+              std::back_inserter(log.degradations));
+    std::move(events.cuts.begin(), events.cuts.end(),
+              std::back_inserter(log.cuts));
   }
 
   // Global chronological order across fibers.
@@ -186,6 +216,16 @@ std::vector<double> PlantSimulator::loss_trace(const EventLog& log,
     if (rng.bernoulli(config_.sample_loss_prob)) v = kNan;
   }
   return trace;
+}
+
+std::vector<std::vector<double>> PlantSimulator::loss_traces(
+    const EventLog& log, TimeSec t0, TimeSec t1, util::Rng& rng) const {
+  const util::Rng root(rng.next_u64());
+  const auto num_fibers = static_cast<std::size_t>(net_.num_fibers());
+  return runtime::parallel_map(num_fibers, [&](std::size_t f) {
+    util::Rng fiber_rng = root.split(f);
+    return loss_trace(log, static_cast<net::FiberId>(f), t0, t1, fiber_rng);
+  });
 }
 
 std::vector<double> resample_trace(const std::vector<double>& trace,

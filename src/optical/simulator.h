@@ -50,6 +50,14 @@ class PlantSimulator {
   std::vector<double> loss_trace(const EventLog& log, net::FiberId fiber,
                                  TimeSec t0, TimeSec t1, util::Rng& rng) const;
 
+  // Batched form: one trace per fiber over [t0, t1), sharded across the
+  // runtime pool. Fiber f draws from stream split(f) of a root seeded by a
+  // single draw from `rng`, so the result is bit-identical at any thread
+  // count (same contract as simulate() and te::derive_statistics).
+  std::vector<std::vector<double>> loss_traces(const EventLog& log, TimeSec t0,
+                                               TimeSec t1,
+                                               util::Rng& rng) const;
+
   const FiberModelParams& params(net::FiberId f) const {
     return params_.at(static_cast<std::size_t>(f));
   }

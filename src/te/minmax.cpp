@@ -187,11 +187,14 @@ TePolicy refine_policy(const TeProblem& problem, const ScenarioSet& scenarios,
 
   const lp::SimplexSolver solver;
   lp::Solution solution;
+  // Rows and shortfall variables only ever append, so each re-solve can
+  // warm-start from the previous round's basis.
+  lp::SimplexBasis warm;
   constexpr int kMaxRounds = 100;
   constexpr int kMaxRowsPerRound = 60;
   constexpr int kMaxTotalRows = 900;
   for (int round = 0; round < kMaxRounds; ++round) {
-    solution = solver.solve(model);
+    solution = solver.solve(model, warm.valid() ? &warm : nullptr, &warm);
     if (solution.status != lp::SolveStatus::kOptimal) return {};
     if (model.num_rows() >= kMaxTotalRows) break;  // bounded-basis stop
     const double t_val = solution.x[static_cast<std::size_t>(var_t)];
@@ -306,8 +309,14 @@ MinMaxResult solve_min_max_benders(const TeProblem& problem,
   MinMaxResult result;
   result.upper_bound = 1.0;
   result.lower_bound = 0.0;
+  result.pinned_fatal_mass = pinned_mass;
+  BendersBounds bounds;
   std::vector<BendersCut> cuts;
   std::vector<std::vector<char>> best_delta = delta;
+  // Successive subproblems share the variable layout and the capacity-row
+  // prefix, so the final basis of one iteration (truncated to that prefix)
+  // warm-starts the next.
+  lp::SimplexBasis carry;
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
@@ -334,12 +343,13 @@ MinMaxResult solve_min_max_benders(const TeProblem& problem,
 
     lp::Solution sp_solution;
     const lp::SimplexSolver solver;
+    lp::SimplexBasis warm = carry;  // invalid on the first iteration
     bool sp_ok = false;
     constexpr int kMaxRounds = 80;
     constexpr int kMaxRowsPerRound = 60;
     constexpr int kMaxTotalRows = 900;
     for (int round = 0; round < kMaxRounds; ++round) {
-      sp_solution = solver.solve(sp);
+      sp_solution = solver.solve(sp, warm.valid() ? &warm : nullptr, &warm);
       if (sp_solution.status != lp::SolveStatus::kOptimal) break;
       if (sp.num_rows() >= kMaxTotalRows) {
         sp_ok = true;  // bounded-basis stop: accept the current subproblem
@@ -384,6 +394,7 @@ MinMaxResult solve_min_max_benders(const TeProblem& problem,
         seen_keys.insert(key);
       }
     }
+    if (warm.valid()) carry = warm.truncated(fixed_rows);
     if (!sp_ok) {
       break;  // keep the best incumbent found so far
     }
@@ -392,6 +403,7 @@ MinMaxResult solve_min_max_benders(const TeProblem& problem,
 
     // Update incumbent (the SP allocation is feasible for the original
     // problem because delta always satisfies constraint (5)).
+    bounds.observe_upper(sp_value);
     if (sp_value < result.upper_bound) {
       result.upper_bound = sp_value;
       result.policy = extract_policy(problem, alloc, sp_result_solution);
@@ -413,56 +425,67 @@ MinMaxResult solve_min_max_benders(const TeProblem& problem,
     cuts.push_back(cut);
 
     // ---- Master: per-flow scenario selection. ----
-    // Aggregated weight per (f, q): max over cuts (a monotone proxy that
-    // keeps every cut's reduction opportunities visible).
-    std::vector<std::vector<double>> weight(
-        flows.size(), std::vector<double>(Q.size(), 0.0));
-    for (const BendersCut& c : cuts) {
-      for (const auto& [key, w] : c.weights) {
-        auto& cell =
-            weight[static_cast<std::size_t>(key.first)][key.second];
-        cell = std::max(cell, w);
-      }
-    }
-    for (const net::Flow& flow : flows) {
-      auto& df = delta[static_cast<std::size_t>(flow.id)];
-      const auto& pins = fatal[static_cast<std::size_t>(flow.id)];
-      const double budget =
-          base_budget - pinned_mass[static_cast<std::size_t>(flow.id)];
-      for (std::size_t q = 0; q < Q.size(); ++q) df[q] = pins[q] ? 0 : 1;
-      // Drop scenarios in decreasing weight while the mass budget allows;
-      // ties broken toward lower-probability scenarios (cheaper to drop).
-      std::vector<std::size_t> order(Q.size());
-      for (std::size_t q = 0; q < Q.size(); ++q) order[q] = q;
-      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-        const double wa = weight[static_cast<std::size_t>(flow.id)][a];
-        const double wb = weight[static_cast<std::size_t>(flow.id)][b];
-        if (wa != wb) return wa > wb;
-        return Q[a].probability < Q[b].probability;
-      });
-      double dropped = 0.0;
-      for (std::size_t q : order) {
-        if (pins[q]) continue;
-        if (weight[static_cast<std::size_t>(flow.id)][q] <= 0.0) break;
-        if (dropped + Q[q].probability <= budget + 1e-12) {
-          df[q] = 0;
-          dropped += Q[q].probability;
-        }
-      }
-    }
+    // Each flow's pass is independent — it aggregates its own cut weights
+    // (max over cuts, a monotone proxy that keeps every cut's reduction
+    // opportunities visible; the cut maps are ordered by (flow, scenario),
+    // so a flow's entries are one contiguous range), sorts its own drop
+    // order, and spends its own budget. Flows shard over the pool and write
+    // disjoint delta rows, so the pass is bit-identical at any pool size.
+    runtime::parallel_for(
+        flows.size(),
+        [&](std::size_t fi) {
+          const net::Flow& flow = flows[fi];
+          const auto f = static_cast<std::size_t>(flow.id);
+          std::vector<double> weight(Q.size(), 0.0);
+          for (const BendersCut& c : cuts) {
+            for (auto it = c.weights.lower_bound({flow.id, 0});
+                 it != c.weights.end() && it->first.first == flow.id; ++it) {
+              double& cell = weight[it->first.second];
+              cell = std::max(cell, it->second);
+            }
+          }
+          auto& df = delta[f];
+          const auto& pins = fatal[f];
+          const double budget = base_budget - pinned_mass[f];
+          for (std::size_t q = 0; q < Q.size(); ++q) df[q] = pins[q] ? 0 : 1;
+          // Drop scenarios in decreasing weight while the mass budget
+          // allows; ties broken toward lower-probability scenarios (cheaper
+          // to drop).
+          std::vector<std::size_t> order(Q.size());
+          for (std::size_t q = 0; q < Q.size(); ++q) order[q] = q;
+          std::sort(order.begin(), order.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      if (weight[a] != weight[b]) return weight[a] > weight[b];
+                      return Q[a].probability < Q[b].probability;
+                    });
+          double dropped = 0.0;
+          for (std::size_t q : order) {
+            if (pins[q]) continue;
+            if (weight[q] <= 0.0) break;
+            if (dropped + Q[q].probability <= budget + 1e-12) {
+              df[q] = 0;
+              dropped += Q[q].probability;
+            }
+          }
+        });
 
-    // Lower bound estimate: the master value at the new delta.
-    double lb = 0.0;
-    for (const BendersCut& c : cuts) lb = std::max(lb, c.value(delta));
-    result.lower_bound = std::max(result.lower_bound, std::min(lb, result.upper_bound));
-
-    if (result.upper_bound - result.lower_bound <= options.epsilon) {
+    // Lower bound estimate: the master value at the new delta. The cut list
+    // grows linearly with iterations and each evaluation is independent;
+    // max is associative, so the chunked reduction is bit-identical at any
+    // pool size. A candidate above the incumbent marks the bounds as
+    // crossed instead of being clamped into a spurious zero gap.
+    const double lb = runtime::parallel_reduce(
+        cuts.size(), 0.0,
+        [&](std::size_t i) { return cuts[i].value(delta); },
+        [](double a, double b) { return std::max(a, b); },
+        /*grain=*/8);
+    const bool gap_closed = bounds.update(lb, options.epsilon);
+    result.lower_bound = bounds.clamped_lower();
+    result.bound_crossed = bounds.crossed;
+    if (gap_closed) {
       result.converged = true;
       break;
     }
-  }
-  if (result.upper_bound - result.lower_bound <= options.epsilon) {
-    result.converged = true;
   }
   // Second stage: keep the Phi guarantee when it is SLA-meaningful, and in
   // any case serve whatever else is free to serve (CVaR refinement).

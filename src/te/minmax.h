@@ -1,5 +1,8 @@
 #pragma once
 
+#include <algorithm>
+#include <vector>
+
 #include "lp/model.h"
 #include "te/scenario.h"
 #include "te/types.h"
@@ -35,8 +38,42 @@ struct MinMaxResult {
   double phi = 1.0;       // maximum beta-quantile loss achieved
   int iterations = 0;     // Benders iterations (1 for the direct solver)
   double upper_bound = 1.0;
-  double lower_bound = 0.0;
+  double lower_bound = 0.0;  // clamped to upper_bound for reporting
   bool converged = false;
+  // The raw master lower bound exceeded the incumbent upper bound at some
+  // iteration — a symptom of stale/incorrect cuts. A crossed bound is never
+  // reported as convergence; callers treating `converged` as a certificate
+  // should check this flag.
+  bool bound_crossed = false;
+  // Probability mass of fatal (no-surviving-tunnel) scenarios pre-dropped
+  // per flow; each entry fits inside that flow's covered_probability - beta
+  // budget and is charged against it before the master drops anything else.
+  std::vector<double> pinned_fatal_mass;
+};
+
+// Tracks the Benders bound pair across iterations. The lower bound is kept
+// raw: a candidate above the upper bound marks the bounds as crossed instead
+// of being clamped into a spurious zero gap (the clamp used to convert the
+// crossing into `converged = true` silently).
+struct BendersBounds {
+  double upper = 1.0;
+  double lower = 0.0;  // raw best master bound, may exceed `upper` if crossed
+  bool crossed = false;
+
+  static constexpr double kCrossingTol = 1e-9;
+
+  void observe_upper(double candidate) { upper = std::min(upper, candidate); }
+
+  // Folds in a master lower-bound estimate; returns true when the gap has
+  // genuinely closed. Never reports convergence once the bounds crossed.
+  bool update(double candidate, double epsilon) {
+    lower = std::max(lower, candidate);
+    if (lower > upper + kCrossingTol) crossed = true;
+    return !crossed && upper - lower <= epsilon;
+  }
+
+  // Reporting form: lower_bound <= upper_bound always holds for callers.
+  double clamped_lower() const { return std::min(lower, upper); }
 };
 
 // Exact mixed-integer solve via branch-and-bound over all delta_{f,q}.

@@ -75,8 +75,8 @@ class Geometric {
   double p_;
 };
 
-// Exponential distribution, used for event inter-arrival times in the
-// per-second telemetry generator.
+// Exponential distribution, used for event inter-arrival times in
+// `optical::PlantSimulator`'s per-second telemetry generation.
 class Exponential {
  public:
   explicit Exponential(double rate) : rate_(rate) {

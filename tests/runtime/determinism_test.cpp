@@ -4,8 +4,13 @@
 // (EXPECT_EQ on doubles, not EXPECT_NEAR).
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "net/tunnels.h"
+#include "optical/simulator.h"
 #include "runtime/thread_pool.h"
 #include "sim/monte_carlo.h"
+#include "te/minmax.h"
 #include "te/schemes.h"
 
 namespace prete::sim {
@@ -103,6 +108,94 @@ TEST(RuntimeDeterminismTest, DeriveStatisticsBitIdenticalAcrossThreadCounts) {
               parallel.cut_given_degradation[f]);
   }
   EXPECT_EQ(serial.alpha, parallel.alpha);
+}
+
+TEST(RuntimeDeterminismTest, BendersMasterBitIdenticalAcrossThreadCounts) {
+  // The parallel cut evaluation + per-flow drop ordering in the Benders
+  // master, plus the simplex warm starts, must not perturb a single bit of
+  // the result across pool sizes.
+  const Fixture fx;
+  const net::TunnelSet tunnels =
+      net::build_tunnels(fx.topo.network, fx.topo.flows);
+  te::TeProblem problem;
+  problem.network = &fx.topo.network;
+  problem.flows = &fx.topo.flows;
+  problem.tunnels = &tunnels;
+  problem.demands = fx.demands;
+  te::ScenarioOptions so;
+  so.max_simultaneous_failures = 2;
+  so.max_scenarios = 80;  // keeps the test fast enough for the TSan leg
+  const auto scenarios =
+      te::generate_failure_scenarios(fx.stats.cut_prob, so);
+  te::MinMaxOptions options;
+  options.beta = std::min(0.99, scenarios.covered_probability);
+
+  runtime::ThreadPool::set_global_threads(1);
+  const auto serial = te::solve_min_max_benders(problem, scenarios, options);
+
+  runtime::ThreadPool::set_global_threads(4);
+  const auto parallel = te::solve_min_max_benders(problem, scenarios, options);
+
+  runtime::ThreadPool::set_global_threads(0);
+  EXPECT_EQ(serial.phi, parallel.phi);
+  EXPECT_EQ(serial.upper_bound, parallel.upper_bound);
+  EXPECT_EQ(serial.lower_bound, parallel.lower_bound);
+  EXPECT_EQ(serial.iterations, parallel.iterations);
+  EXPECT_EQ(serial.converged, parallel.converged);
+  EXPECT_EQ(serial.bound_crossed, parallel.bound_crossed);
+  ASSERT_EQ(serial.policy.allocation.size(), parallel.policy.allocation.size());
+  for (std::size_t t = 0; t < serial.policy.allocation.size(); ++t) {
+    EXPECT_EQ(serial.policy.allocation[t], parallel.policy.allocation[t]);
+  }
+}
+
+TEST(RuntimeDeterminismTest, PlantSimulatorBitIdenticalAcrossThreadCounts) {
+  // Per-fiber telemetry generation shards over the pool with split(fiber)
+  // streams: the event log, the batched loss traces, and the caller's
+  // generator must all be bit-identical across pool sizes.
+  net::Topology topo = net::make_b4();
+  util::Rng seed_rng(31);
+  const auto params = optical::build_plant_model(topo.network, seed_rng);
+  const optical::PlantSimulator plant(topo.network, params);
+  constexpr optical::TimeSec kHorizon = 60 * 86400;
+
+  runtime::ThreadPool::set_global_threads(1);
+  util::Rng rng1(13);
+  const auto log1 = plant.simulate(kHorizon, rng1);
+  const auto traces1 = plant.loss_traces(log1, 0, 1800, rng1);
+
+  runtime::ThreadPool::set_global_threads(4);
+  util::Rng rng4(13);
+  const auto log4 = plant.simulate(kHorizon, rng4);
+  const auto traces4 = plant.loss_traces(log4, 0, 1800, rng4);
+
+  runtime::ThreadPool::set_global_threads(0);
+  ASSERT_EQ(log1.cuts.size(), log4.cuts.size());
+  for (std::size_t i = 0; i < log1.cuts.size(); ++i) {
+    EXPECT_EQ(log1.cuts[i].fiber, log4.cuts[i].fiber);
+    EXPECT_EQ(log1.cuts[i].time_sec, log4.cuts[i].time_sec);
+    EXPECT_EQ(log1.cuts[i].repair_hours, log4.cuts[i].repair_hours);
+    EXPECT_EQ(log1.cuts[i].predictable, log4.cuts[i].predictable);
+  }
+  ASSERT_EQ(log1.degradations.size(), log4.degradations.size());
+  for (std::size_t i = 0; i < log1.degradations.size(); ++i) {
+    EXPECT_EQ(log1.degradations[i].fiber, log4.degradations[i].fiber);
+    EXPECT_EQ(log1.degradations[i].onset_sec, log4.degradations[i].onset_sec);
+    EXPECT_EQ(log1.degradations[i].true_cut_probability,
+              log4.degradations[i].true_cut_probability);
+  }
+  ASSERT_EQ(traces1.size(), traces4.size());
+  for (std::size_t f = 0; f < traces1.size(); ++f) {
+    ASSERT_EQ(traces1[f].size(), traces4[f].size()) << "fiber " << f;
+    for (std::size_t t = 0; t < traces1[f].size(); ++t) {
+      const bool nan1 = std::isnan(traces1[f][t]);
+      const bool nan4 = std::isnan(traces4[f][t]);
+      EXPECT_EQ(nan1, nan4);
+      if (!nan1 && !nan4) EXPECT_EQ(traces1[f][t], traces4[f][t]);
+    }
+  }
+  // The caller's generator advanced by exactly one draw per call.
+  EXPECT_EQ(rng1.next_u64(), rng4.next_u64());
 }
 
 TEST(RuntimeDeterminismTest, RepeatedParallelRunsAreStable) {

@@ -168,6 +168,127 @@ TEST(MinMaxBendersTest, PhiMatchesEvaluatedQuantileLoss) {
   }
 }
 
+TEST(BendersBoundsTest, CrossedBoundIsNotConvergence) {
+  // Regression: the old implementation clamped the master lower bound with
+  // min(lb, upper_bound) before the gap test, so a bound crossing
+  // (lb > ub, a symptom of bad cuts) collapsed to a zero gap and reported
+  // converged = true. The raw-tracking version must flag it instead.
+  BendersBounds bounds;
+  bounds.observe_upper(0.30);
+  EXPECT_FALSE(bounds.update(0.45, 1e-4));  // old clamp: gap 0 -> "converged"
+  EXPECT_TRUE(bounds.crossed);
+  EXPECT_DOUBLE_EQ(bounds.clamped_lower(), 0.30);  // reporting stays ordered
+  // Once crossed, later consistent candidates cannot certify convergence
+  // either — the cut set is suspect.
+  EXPECT_FALSE(bounds.update(0.2999, 1e-4));
+}
+
+TEST(BendersBoundsTest, GenuineGapCloseStillConverges) {
+  BendersBounds bounds;
+  bounds.observe_upper(0.30);
+  EXPECT_FALSE(bounds.update(0.10, 1e-4));
+  EXPECT_TRUE(bounds.update(0.29995, 1e-3));
+  EXPECT_FALSE(bounds.crossed);
+  EXPECT_DOUBLE_EQ(bounds.clamped_lower(), 0.29995);
+}
+
+TEST(BendersBoundsTest, RoundoffCrossingIsTolerated) {
+  BendersBounds bounds;
+  bounds.observe_upper(0.25);
+  // Within kCrossingTol of the upper bound: numerically equal, converged.
+  EXPECT_TRUE(bounds.update(0.25 + 1e-10, 1e-4));
+  EXPECT_FALSE(bounds.crossed);
+}
+
+TEST(MinMaxBendersTest, BoundNotCrossedOnHealthyInstances) {
+  TriangleCase fx;
+  const auto set = triangle_scenarios(0.02, 0.03, 0.01);
+  MinMaxOptions options;
+  options.beta = 0.95;
+  const auto result = solve_min_max_benders(fx.problem, set, options);
+  EXPECT_FALSE(result.bound_crossed);
+  EXPECT_LE(result.lower_bound, result.upper_bound + 1e-9);
+}
+
+// Flow 0 restricted to the single direct tunnel over fiber 0, so the
+// fiber-0 scenario is fatal for it (no surviving tunnel at any allocation).
+struct FatalTunnelCase {
+  net::Topology topo = net::make_triangle();
+  net::TunnelSet tunnels{2};
+  TeProblem problem;
+
+  FatalTunnelCase() {
+    tunnels.add_tunnel(0, {0});      // only tunnel: dies with fiber 0
+    tunnels.add_tunnel(1, {2});      // s1->s3 direct
+    tunnels.add_tunnel(1, {0, 4});   // s1->s2->s3
+    problem.network = &topo.network;
+    problem.flows = &topo.flows;
+    problem.tunnels = &tunnels;
+    problem.demands = {10.0, 10.0};
+  }
+};
+
+TEST(MinMaxBendersTest, FatalPairIsPinnedWithinBudget) {
+  FatalTunnelCase fx;
+  const auto set = triangle_scenarios(0.004, 0.003, 0.002);
+  MinMaxOptions options;
+  options.beta = 0.99;  // budget ~0.01 comfortably covers the fatal mass
+  const auto result = solve_min_max_benders(fx.problem, set, options);
+
+  ASSERT_EQ(result.pinned_fatal_mass.size(), 2u);
+  // Flow 0's fatal single-failure fiber-0 scenario (~0.004 mass) is
+  // pre-dropped; its mass is charged against (and must fit inside) the
+  // covered - beta budget.
+  EXPECT_GT(result.pinned_fatal_mass[0], 0.003);
+  EXPECT_LE(result.pinned_fatal_mass[0],
+            set.covered_probability - options.beta + 1e-12);
+  // Flow 1 keeps a surviving tunnel under every single failure; only the
+  // tiny double-failure scenarios that kill both its tunnels get pinned.
+  EXPECT_LT(result.pinned_fatal_mass[1], 1e-4);
+  // With the fatal pairs out of the quantile, the rest is protectable.
+  EXPECT_LT(result.phi, 0.05);
+}
+
+TEST(MinMaxBendersTest, FatalPairBeyondBudgetIsNotPinned) {
+  FatalTunnelCase fx;
+  const auto set = triangle_scenarios(0.004, 0.003, 0.002);
+  MinMaxOptions options;
+  // Budget covered - 0.9999 < the single-failure fatal scenario's
+  // probability (~0.004): that pin cannot fit. Only sub-budget multi-failure
+  // fatal scenarios may still be pinned, and with the dominant fatal pair
+  // left in the quantile Phi saturates.
+  options.beta = 0.9999;
+  ASSERT_LT(set.covered_probability - options.beta, 0.003);
+  const auto result = solve_min_max_benders(fx.problem, set, options);
+  EXPECT_LT(result.pinned_fatal_mass[0], 1e-4);
+  EXPECT_LE(result.pinned_fatal_mass[0],
+            set.covered_probability - options.beta + 1e-12);
+  EXPECT_GT(result.phi, 0.9);
+}
+
+TEST(MinMaxBendersTest, PinnedMassIsChargedAgainstDropBudget) {
+  // If the master forgot to subtract the pinned mass from its drop budget,
+  // flow 0 could drop more scenario mass than 1 - beta allows and the
+  // returned policy would violate the quantile guarantee. Verify the
+  // guarantee directly on the evaluated losses.
+  FatalTunnelCase fx;
+  fx.problem.demands = {12.0, 12.0};
+  const auto set = triangle_scenarios(0.004, 0.03, 0.03);
+  MinMaxOptions options;
+  options.beta = 0.99;
+  const auto result = solve_min_max_benders(fx.problem, set, options);
+  for (const net::Flow& flow : *fx.problem.flows) {
+    double ok_mass = 0.0;
+    for (const auto& scenario : set.scenarios) {
+      const auto losses = flow_losses(fx.problem, result.policy, scenario);
+      if (losses[static_cast<std::size_t>(flow.id)] <= result.phi + 1e-6) {
+        ok_mass += scenario.probability;
+      }
+    }
+    EXPECT_GE(ok_mass, options.beta - 1e-9) << "flow " << flow.id;
+  }
+}
+
 class BendersVsDirectProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(BendersVsDirectProperty, SmallRandomInstances) {
