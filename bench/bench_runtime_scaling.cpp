@@ -10,8 +10,10 @@
 
 #include <cmath>
 
+#include "lp/simplex.h"
 #include "net/tunnels.h"
 #include "sim/monte_carlo.h"
+#include "te/lp_common.h"
 #include "te/minmax.h"
 #include "te/schemes.h"
 
@@ -93,6 +95,156 @@ TelemetrySample run_telemetry_phase(const optical::PlantSimulator& plant,
   return sample;
 }
 
+// Simplex pricing phase, two legs. Cold leg: a fixed sequence of
+// subproblem-style LP instances (capacity rows plus a growing slice of
+// Phi-rows on B4), each solved cold with Dantzig and with devex pricing.
+// The instances are identical for both rules and their optimum (the min-max
+// loss Phi) is a unique value both must report bitwise-identically; only
+// the pivot path — and hence the pivot count — may differ. Pipeline leg:
+// the full Benders decomposition under each rule, the production shape
+// where devex's phase-2 advantage compounds across hundreds of warm
+// re-solves (different pivot paths may visit different lazy rows there, so
+// the phi values are compared within solver tolerance, not bitwise).
+struct PricingSample {
+  int dantzig_pivots = 0;
+  int devex_pivots = 0;
+  int pipeline_dantzig_pivots = 0;
+  int pipeline_devex_pivots = 0;
+  bool objectives_bitwise_equal = true;
+  double objective_checksum = 0.0;
+  double pipeline_phi_delta = 0.0;
+  bool operator==(const PricingSample& o) const {
+    return dantzig_pivots == o.dantzig_pivots &&
+           devex_pivots == o.devex_pivots &&
+           pipeline_dantzig_pivots == o.pipeline_dantzig_pivots &&
+           pipeline_devex_pivots == o.pipeline_devex_pivots &&
+           objectives_bitwise_equal == o.objectives_bitwise_equal &&
+           objective_checksum == o.objective_checksum &&
+           pipeline_phi_delta == o.pipeline_phi_delta;
+  }
+};
+
+PricingSample run_pricing_phase(const bench::Context& ctx,
+                                const net::TunnelSet& tunnels,
+                                const net::TrafficMatrix& demands,
+                                int instances, int pipeline_iterations) {
+  te::TeProblem problem;
+  problem.network = &ctx.topo.network;
+  problem.flows = &ctx.topo.flows;
+  problem.tunnels = &tunnels;
+  problem.demands = demands;
+  te::ScenarioOptions so;
+  so.max_simultaneous_failures = 2;
+  so.max_scenarios = 200;
+  const auto scenarios = te::generate_failure_scenarios(ctx.stats.cut_prob, so);
+  const auto& Q = scenarios.scenarios;
+
+  PricingSample sample;
+  for (int e = 0; e < instances; ++e) {
+    lp::Model model(lp::Sense::kMinimize);
+    const std::vector<int> alloc = te::add_allocation_variables(model, problem);
+    const int phi = model.add_variable(0.0, 1.0, 1.0, "Phi");
+    te::add_capacity_rows(model, problem, alloc);
+    // Instance e covers the first 4 + e scenarios for every flow — related
+    // but distinct LPs, like successive Benders subproblem rounds.
+    const std::size_t slice =
+        std::min(Q.size(), static_cast<std::size_t>(4 + e));
+    for (const net::Flow& flow : *problem.flows) {
+      const double d = std::max(problem.demand(flow.id), 1e-9);
+      for (std::size_t q = 0; q < slice; ++q) {
+        std::vector<lp::Coefficient> coefs;
+        for (net::TunnelId t : tunnels.tunnels_for_flow(flow.id)) {
+          if (tunnels.alive(*problem.network, t, Q[q].fiber_failed)) {
+            coefs.push_back({alloc[static_cast<std::size_t>(t)], 1.0 / d});
+          }
+        }
+        coefs.push_back({phi, 1.0});
+        model.add_row(std::move(coefs), lp::RowType::kGreaterEqual, 1.0);
+      }
+    }
+    lp::SimplexOptions dantzig_opts;
+    dantzig_opts.pricing = lp::PricingRule::kDantzig;
+    lp::SimplexOptions devex_opts;
+    devex_opts.pricing = lp::PricingRule::kDevex;
+    const lp::Solution dantzig = lp::SimplexSolver(dantzig_opts).solve(model);
+    const lp::Solution devex = lp::SimplexSolver(devex_opts).solve(model);
+    sample.dantzig_pivots += dantzig.iterations;
+    sample.devex_pivots += devex.iterations;
+    if (dantzig.objective != devex.objective) {
+      sample.objectives_bitwise_equal = false;
+    }
+    sample.objective_checksum += devex.objective;
+  }
+
+  // Pipeline leg: one full decomposition per rule, no cache.
+  te::MinMaxOptions options;
+  options.beta = std::min(0.99, scenarios.covered_probability);
+  options.max_iterations = pipeline_iterations;
+  options.simplex.pricing = lp::PricingRule::kDantzig;
+  const te::MinMaxResult bd = te::solve_min_max_benders(problem, scenarios, options);
+  options.simplex.pricing = lp::PricingRule::kDevex;
+  const te::MinMaxResult bv = te::solve_min_max_benders(problem, scenarios, options);
+  sample.pipeline_dantzig_pivots = bd.simplex_pivots;
+  sample.pipeline_devex_pivots = bv.simplex_pivots;
+  sample.pipeline_phi_delta = std::abs(bd.phi - bv.phi);
+  return sample;
+}
+
+// Basis-carry phase: the same epoch sequence (fixed topology and tunnel set,
+// demands drifting a little each epoch, as across TE periods) solved twice —
+// once stateless (every epoch cold) and once through a te::BasisCache. After
+// the first epoch the cached run must spend fewer pivots.
+struct CarrySample {
+  int cold_first_epoch_pivots = 0;
+  int cold_tail_pivots = 0;     // epochs after the first, stateless
+  int carried_tail_pivots = 0;  // epochs after the first, cache carried
+  int cache_hits = 0;
+  double max_phi_delta = 0.0;  // |phi_cold - phi_carried| over the sequence
+  bool operator==(const CarrySample& o) const {
+    return cold_first_epoch_pivots == o.cold_first_epoch_pivots &&
+           cold_tail_pivots == o.cold_tail_pivots &&
+           carried_tail_pivots == o.carried_tail_pivots &&
+           cache_hits == o.cache_hits && max_phi_delta == o.max_phi_delta;
+  }
+};
+
+CarrySample run_carry_phase(const bench::Context& ctx,
+                            const net::TunnelSet& tunnels,
+                            const net::TrafficMatrix& demands, int epochs) {
+  te::TeProblem problem;
+  problem.network = &ctx.topo.network;
+  problem.flows = &ctx.topo.flows;
+  problem.tunnels = &tunnels;
+  te::ScenarioOptions so;
+  so.max_simultaneous_failures = 2;
+  so.max_scenarios = 200;
+  const auto scenarios = te::generate_failure_scenarios(ctx.stats.cut_prob, so);
+  te::MinMaxOptions options;
+  options.beta = std::min(0.99, scenarios.covered_probability);
+
+  CarrySample sample;
+  te::BasisCache cache;
+  for (int e = 0; e < epochs; ++e) {
+    // Demand drift leaves the problem shape (and so the basis-cache
+    // signature) unchanged — exactly the regime the cache targets.
+    problem.demands = net::scale_traffic(demands, 1.0 + 0.02 * e);
+    const te::MinMaxResult cold =
+        te::solve_min_max_benders(problem, scenarios, options);
+    const te::MinMaxResult carried =
+        te::solve_min_max_benders(problem, scenarios, options, &cache);
+    if (e == 0) {
+      sample.cold_first_epoch_pivots = cold.simplex_pivots;
+    } else {
+      sample.cold_tail_pivots += cold.simplex_pivots;
+      sample.carried_tail_pivots += carried.simplex_pivots;
+    }
+    sample.max_phi_delta =
+        std::max(sample.max_phi_delta, std::abs(cold.phi - carried.phi));
+  }
+  sample.cache_hits = cache.hits;
+  return sample;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -118,10 +270,17 @@ int main(int argc, char** argv) {
   sim::MonteCarloResult serial_prete, parallel_prete;
   MasterSample serial_master, parallel_master;
   TelemetrySample serial_telemetry, parallel_telemetry;
+  PricingSample serial_pricing, parallel_pricing;
+  CarrySample serial_carry, parallel_carry;
   double t_serial_static = 0, t_parallel_static = 0;
   double t_serial_prete = 0, t_parallel_prete = 0;
   double t_serial_master = 0, t_parallel_master = 0;
   double t_serial_telemetry = 0, t_parallel_telemetry = 0;
+  double t_serial_pricing = 0, t_parallel_pricing = 0;
+  double t_serial_carry = 0, t_parallel_carry = 0;
+  const int pricing_instances = bench::fast_mode() ? 3 : 6;
+  const int pipeline_iterations = bench::fast_mode() ? 4 : 10;
+  const int carry_epochs = bench::fast_mode() ? 3 : 5;
 
   runtime::ThreadPool::set_global_threads(1);
   {
@@ -145,6 +304,17 @@ int main(int argc, char** argv) {
     bench::Phase phase("telemetry serial");
     serial_telemetry = run_telemetry_phase(plant, telemetry_horizon);
     t_serial_telemetry = phase.seconds();
+  }
+  {
+    bench::Phase phase("simplex_pricing serial");
+    serial_pricing = run_pricing_phase(ctx, tunnels, demands,
+                                       pricing_instances, pipeline_iterations);
+    t_serial_pricing = phase.seconds();
+  }
+  {
+    bench::Phase phase("basis_carry serial");
+    serial_carry = run_carry_phase(ctx, tunnels, demands, carry_epochs);
+    t_serial_carry = phase.seconds();
   }
 
   runtime::ThreadPool::set_global_threads(parallel_threads);
@@ -170,6 +340,17 @@ int main(int argc, char** argv) {
     parallel_telemetry = run_telemetry_phase(plant, telemetry_horizon);
     t_parallel_telemetry = phase.seconds();
   }
+  {
+    bench::Phase phase("simplex_pricing parallel");
+    parallel_pricing = run_pricing_phase(
+        ctx, tunnels, demands, pricing_instances, pipeline_iterations);
+    t_parallel_pricing = phase.seconds();
+  }
+  {
+    bench::Phase phase("basis_carry parallel");
+    parallel_carry = run_carry_phase(ctx, tunnels, demands, carry_epochs);
+    t_parallel_carry = phase.seconds();
+  }
 
   table.add_row({"run_static", "1", util::Table::format(t_serial_static, 2),
                  util::Table::format(serial_static.mean_flow_availability, 6)});
@@ -193,6 +374,33 @@ int main(int argc, char** argv) {
                  std::to_string(parallel_telemetry.cuts) + " cuts"});
   table.print(std::cout);
 
+  // LP kernel phases: pivot counts, not thread scaling, are the story here
+  // (both legs also feed the bit-identity gate below).
+  util::Table lp_table({"phase", "variant", "seconds", "pivots"});
+  lp_table.add_row({"simplex_pricing", "cold LPs dantzig",
+                    util::Table::format(t_serial_pricing, 2),
+                    std::to_string(serial_pricing.dantzig_pivots)});
+  lp_table.add_row({"simplex_pricing", "cold LPs devex", "",
+                    std::to_string(serial_pricing.devex_pivots)});
+  lp_table.add_row({"simplex_pricing", "pipeline dantzig", "",
+                    std::to_string(serial_pricing.pipeline_dantzig_pivots)});
+  lp_table.add_row({"simplex_pricing", "pipeline devex", "",
+                    std::to_string(serial_pricing.pipeline_devex_pivots)});
+  lp_table.add_row({"basis_carry", "cold tail",
+                    util::Table::format(t_serial_carry, 2),
+                    std::to_string(serial_carry.cold_tail_pivots)});
+  lp_table.add_row({"basis_carry", "carried tail", "",
+                    std::to_string(serial_carry.carried_tail_pivots)});
+  lp_table.print(std::cout);
+  std::cout << "simplex_pricing cold objectives bitwise equal: "
+            << (serial_pricing.objectives_bitwise_equal ? "yes" : "NO")
+            << ", pipeline |phi_dantzig - phi_devex|: "
+            << util::Table::format(serial_pricing.pipeline_phi_delta, 12)
+            << "\n"
+            << "basis_carry cache hits: " << serial_carry.cache_hits
+            << ", max |phi_cold - phi_carried|: "
+            << util::Table::format(serial_carry.max_phi_delta, 9) << "\n";
+
   const bool identical =
       serial_static.mean_flow_availability ==
           parallel_static.mean_flow_availability &&
@@ -203,9 +411,27 @@ int main(int argc, char** argv) {
       serial_prete.standard_error == parallel_prete.standard_error &&
       serial_prete.epochs_with_cut == parallel_prete.epochs_with_cut &&
       serial_master == parallel_master &&
-      serial_telemetry == parallel_telemetry;
+      serial_telemetry == parallel_telemetry &&
+      serial_pricing == parallel_pricing && serial_carry == parallel_carry;
   std::cout << "bit-identical across thread counts: "
             << (identical ? "yes" : "NO — DETERMINISM BUG") << "\n";
+  const bool pricing_ok =
+      serial_pricing.objectives_bitwise_equal &&
+      serial_pricing.devex_pivots + serial_pricing.pipeline_devex_pivots <=
+          serial_pricing.dantzig_pivots +
+              serial_pricing.pipeline_dantzig_pivots &&
+      serial_pricing.pipeline_phi_delta < 1e-9;
+  const bool carry_ok =
+      serial_carry.carried_tail_pivots < serial_carry.cold_tail_pivots &&
+      serial_carry.max_phi_delta < 1e-6;
+  if (!pricing_ok) {
+    std::cout << "simplex_pricing gate FAILED (devex pivots or objective "
+                 "mismatch)\n";
+  }
+  if (!carry_ok) {
+    std::cout << "basis_carry gate FAILED (carried tail not cheaper or phi "
+                 "drift)\n";
+  }
   std::cout << "speedup run_static: "
             << util::Table::format(
                    t_serial_static / std::max(t_parallel_static, 1e-9), 2)
@@ -219,5 +445,5 @@ int main(int argc, char** argv) {
             << util::Table::format(
                    t_serial_telemetry / std::max(t_parallel_telemetry, 1e-9), 2)
             << "x on " << parallel_threads << " threads\n";
-  return identical ? 0 : 1;
+  return identical && pricing_ok && carry_ok ? 0 : 1;
 }

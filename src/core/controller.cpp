@@ -12,7 +12,8 @@ Controller::Controller(const net::Topology& topology,
       static_probs_(std::move(static_fiber_probs)),
       predictor_(std::move(predictor)),
       config_(config),
-      tunnels_(net::build_tunnels(topology.network, topology.flows)) {
+      tunnels_(net::build_tunnels(topology.network, topology.flows)),
+      scheme_(static_probs_, config_.te) {
   if (static_cast<int>(static_probs_.size()) != topology.network.num_fibers()) {
     throw std::invalid_argument("static probabilities size mismatch");
   }
@@ -22,8 +23,7 @@ Controller::Controller(const net::Topology& topology,
 ControlDecision Controller::run_pipeline(
     const te::DegradationScenario& scenario, const net::TrafficMatrix& demands,
     bool include_detection) {
-  te::PreTeScheme scheme(static_probs_, config_.te);
-  const auto outcome = scheme.compute_for_degradation(
+  const auto outcome = scheme_.compute_for_degradation(
       topology_.network, topology_.flows, tunnels_, demands, scenario);
 
   ControlDecision decision;
@@ -31,6 +31,7 @@ ControlDecision Controller::run_pipeline(
   decision.believed_scenarios = outcome.scenarios;
   decision.new_tunnels = static_cast<int>(outcome.tunnel_update.created.size());
   decision.phi = outcome.solver_result.phi;
+  decision.solver_pivots = outcome.solver_result.simplex_pivots;
   sim::LatencyModel latency = config_.latency;
   if (!include_detection) latency.detection_ms = 0.0;
   decision.pipeline = sim::pipeline_trace(
@@ -54,8 +55,19 @@ std::optional<ControlDecision> Controller::on_telemetry(
       detector.scan(optical::interpolate_missing(trace_db), trace_start_sec,
                     topology_.network.fiber(fiber));
   if (result.degradations.empty()) return std::nullopt;
-  // React to the first detected degradation in the window.
-  return on_degradation(result.degradations.front().features, demands);
+  // React to the first episode with an observed onset: a boundary-truncated
+  // episode carries window-edge features (its degree is the walked noisy
+  // level, its onset the window start), which would mislead the predictor.
+  // When every episode in the window is truncated, react to the first one
+  // anyway — stale features still beat ignoring a live degradation.
+  const optical::DetectedDegradation* chosen = &result.degradations.front();
+  for (const optical::DetectedDegradation& d : result.degradations) {
+    if (!d.truncated_start) {
+      chosen = &d;
+      break;
+    }
+  }
+  return on_degradation(chosen->features, demands);
 }
 
 ControlDecision Controller::on_degradation(

@@ -32,6 +32,9 @@ struct ControlDecision {
   sim::PipelineTrace pipeline;
   int new_tunnels = 0;
   double phi = 0.0;  // guaranteed beta-quantile loss
+  // Simplex pivots spent producing this decision — drops on epochs that
+  // reuse a carried basis (see te::BasisCache).
+  int solver_pivots = 0;
 };
 
 // The PreTE controller (Figure 8): consumes per-second optical telemetry,
@@ -71,6 +74,9 @@ class Controller {
   const net::TunnelSet& tunnels() const { return tunnels_; }
   const ControllerConfig& config() const { return config_; }
   const std::vector<double>& static_probs() const { return static_probs_; }
+  // The long-lived TE scheme — exposes basis-cache statistics so callers
+  // can observe cross-epoch warm-start behavior.
+  const te::PreTeScheme& scheme() const { return scheme_; }
 
  private:
   ControlDecision run_pipeline(const te::DegradationScenario& scenario,
@@ -82,6 +88,11 @@ class Controller {
   std::shared_ptr<const ml::FailurePredictor> predictor_;
   ControllerConfig config_;
   net::TunnelSet tunnels_;
+  // Persists across on_te_period / on_degradation calls so its per-shape
+  // basis caches carry simplex warm starts from epoch to epoch. A topology
+  // or tunnel-set change alters the problem-shape signature, which
+  // invalidates the affected cache entry (cold solve, identical result).
+  te::PreTeScheme scheme_;
 };
 
 }  // namespace prete::core

@@ -7,6 +7,21 @@
 
 namespace prete::lp {
 
+// Entering-variable selection rule for the pivot loop.
+//
+// kDantzig picks the most negative reduced cost — cheap per iteration but
+// iteration counts grow sharply on TWAN-scale masters. kDevex (Forrest &
+// Goldfarb reference-framework devex) weighs each reduced cost by an
+// approximate steepest-edge norm, trading one extra pivot-row sweep per
+// pivot for fewer pivots on the TE formulations; it applies to phase 2
+// only (phase 1, whose transient composite objective starts from an
+// all-artificial frame, always prices by Dantzig). Both rules are pure
+// functions of the model and warm-start hint (ties break toward the lowest
+// column index), so solve sequences stay deterministic at any thread count;
+// the Bland anti-cycling regime overrides either rule after a degenerate
+// streak.
+enum class PricingRule : std::uint8_t { kDantzig, kDevex };
+
 struct SimplexOptions {
   // Primal feasibility tolerance on bound/constraint violation.
   double feasibility_tol = 1e-7;
@@ -20,6 +35,8 @@ struct SimplexOptions {
   // Switch to Bland's anti-cycling rule after this many consecutive
   // degenerate pivots.
   int degenerate_pivot_limit = 200;
+  // Entering-variable selection rule (see PricingRule).
+  PricingRule pricing = PricingRule::kDevex;
 };
 
 // Snapshot of an optimal basis, reusable as a warm start for a later solve.
@@ -54,8 +71,11 @@ struct SimplexBasis {
   // Hint for a model that keeps only the first `rows` rows of the snapshot's
   // model (e.g. the shared capacity-row prefix of successive Benders
   // subproblems). Basic columns of dropped rows demote to their nearest
-  // bound.
-  SimplexBasis truncated(int rows) const;
+  // bound. When `structurals >= 0`, statuses of structural variables beyond
+  // that count are also dropped (for models that append lazy variables —
+  // CVaR shortfall columns — on top of a shared allocation prefix); the
+  // default keeps every structural status.
+  SimplexBasis truncated(int rows, int structurals = -1) const;
 };
 
 // Two-phase bounded-variable revised primal simplex with a dense basis

@@ -60,6 +60,9 @@ DetectionResult DegradationDetector::scan(const std::vector<double>& trace,
           in_degradation = true;
           current = DetectedDegradation{};
           current.onset_sec = t;
+          // An episode already degraded at the first sample has no observed
+          // onset: the measured onset/degree/hour describe the window edge.
+          current.truncated_start = i == 0;
           current.features.fiber_id = fiber.id;
           current.features.region = fiber.region;
           current.features.vendor = fiber.vendor;
@@ -89,7 +92,12 @@ DetectionResult DegradationDetector::scan(const std::vector<double>& trace,
     prev_loss = loss;
   }
   if (in_degradation) {
-    finish_degradation(t0 + static_cast<TimeSec>(trace.size()) * sample_period_sec_);
+    // The trace ran out mid-episode: stamp the last *observed* sample's
+    // timestamp (not one period past it — nothing was measured there) and
+    // flag the truncation so consumers know no recovery was seen.
+    current.truncated_end = true;
+    finish_degradation(t0 + static_cast<TimeSec>(trace.size() - 1) *
+                                sample_period_sec_);
   }
   return result;
 }

@@ -17,6 +17,15 @@ struct DetectedDegradation {
   TimeSec onset_sec = 0;
   TimeSec end_sec = 0;  // exclusive; end of the degraded run in the trace
   DegradationFeatures features;
+  // The episode was already in progress at the first trace sample: onset_sec
+  // is the window edge (not the true onset), degree_db is the walked noisy
+  // level (not the onset step), and hour is measured at the window edge.
+  // Downstream consumers (controller triggering, ML feature extraction)
+  // should prefer episodes with a clean onset when one exists.
+  bool truncated_start = false;
+  // The trace ended while the episode was still degraded: end_sec is the
+  // last observed sample's timestamp, not an observed recovery.
+  bool truncated_end = false;
 };
 
 struct DetectedCut {

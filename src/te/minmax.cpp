@@ -55,6 +55,26 @@ void check_mass(const ScenarioSet& scenarios, double beta) {
 
 }  // namespace
 
+std::uint64_t problem_shape_signature(const TeProblem& problem) {
+  // FNV-1a over everything that fixes the LP column order and the
+  // capacity-row coefficient pattern.
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(problem.network->num_links()));
+  mix(static_cast<std::uint64_t>(problem.tunnels->num_tunnels()));
+  for (const net::Tunnel& t : problem.tunnels->tunnels()) {
+    mix(static_cast<std::uint64_t>(t.flow));
+    mix(static_cast<std::uint64_t>(t.path.size()));
+    for (net::LinkId link : t.path) mix(static_cast<std::uint64_t>(link));
+  }
+  return h;
+}
+
 MinMaxResult solve_min_max_direct(const TeProblem& problem,
                                   const ScenarioSet& scenarios,
                                   const MinMaxOptions& options) {
@@ -148,13 +168,21 @@ namespace {
 // would — protect everything that is cheap to protect.
 TePolicy refine_policy(const TeProblem& problem, const ScenarioSet& scenarios,
                        const std::vector<std::vector<char>>& delta,
-                       double phi_star, double beta) {
+                       double phi_star, double beta,
+                       const lp::SimplexOptions& simplex_options,
+                       BasisCache* cache, int* pivots) {
   const auto& flows = *problem.flows;
   const auto& Q = scenarios.scenarios;
   lp::Model model(lp::Sense::kMinimize);
   const std::vector<int> alloc = add_allocation_variables(model, problem);
   const int var_t = model.add_variable(0.0, 1.0, 1.0, "VaR");
   add_capacity_rows(model, problem, alloc);
+  // Prefix shared by every refinement LP of this problem shape: allocation
+  // variables + VaR, then the capacity rows. Lazy CVaR rows append shortfall
+  // variables and rows on top, so the cross-epoch snapshot truncates back to
+  // this prefix.
+  const int fixed_rows = model.num_rows();
+  const int fixed_structurals = static_cast<int>(alloc.size()) + 1;
   const double tail = std::max(1.0 - beta, 1e-6);
   const double flow_weight = 1.0 / static_cast<double>(flows.size());
   const double phi_bound = std::min(phi_star + 1e-7, 1.0);
@@ -162,6 +190,7 @@ TePolicy refine_policy(const TeProblem& problem, const ScenarioSet& scenarios,
 
   std::set<std::pair<int, std::size_t>> have_cvar_row;
   std::set<std::pair<int, std::size_t>> have_guarantee_row;
+  std::vector<BasisCache::RefineRow> recipe;
   auto add_cvar_row = [&](net::FlowId f, std::size_t q) {
     const int s = model.add_variable(
         0.0, 1.0, Q[q].probability * flow_weight / tail, "");
@@ -169,6 +198,7 @@ TePolicy refine_policy(const TeProblem& problem, const ScenarioSet& scenarios,
     row.coefficients.push_back({var_t, 1.0});
     model.add_row(std::move(row));
     have_cvar_row.insert({f, q});
+    recipe.push_back({false, f, q});
   };
   auto add_guarantee_row = [&](net::FlowId f, std::size_t q) {
     // frac >= 1 - Phi*: the quantile guarantee, independent of t.
@@ -182,20 +212,73 @@ TePolicy refine_policy(const TeProblem& problem, const ScenarioSet& scenarios,
     model.add_row(std::move(coefs), lp::RowType::kGreaterEqual,
                   1.0 - phi_bound);
     have_guarantee_row.insert({f, q});
+    recipe.push_back({true, f, q});
   };
-  for (const net::Flow& flow : flows) add_cvar_row(flow.id, 0);
 
-  const lp::SimplexSolver solver;
-  lp::Solution solution;
-  // Rows and shortfall variables only ever append, so each re-solve can
-  // warm-start from the previous round's basis.
+  // Replay the cached epoch's lazy rows in order so the cached full basis
+  // lines up row-for-row (and, for CVaR rows, shortfall-variable-for-
+  // variable). CVaR rows are valid members of the full CVaR model for any
+  // pair, so replaying them never changes the optimum; a guarantee row is
+  // only valid while its pair is guaranteed under the CURRENT delta and
+  // phi_bound, so the replay stops at the first entry that is not.
   lp::SimplexBasis warm;
+  if (cache != nullptr) {
+    std::size_t aligned_rows = 0;
+    int aligned_cvar = 0;
+    if (cache->refine.valid()) {
+      for (const BasisCache::RefineRow& rr : cache->refine_rows) {
+        if (rr.q >= Q.size() || rr.flow < 0 ||
+            static_cast<std::size_t>(rr.flow) >= delta.size()) {
+          break;
+        }
+        if (rr.guarantee) {
+          if (!enforce_guarantee ||
+              !delta[static_cast<std::size_t>(rr.flow)][rr.q] ||
+              have_guarantee_row.count({rr.flow, rr.q})) {
+            break;
+          }
+          add_guarantee_row(rr.flow, rr.q);
+        } else {
+          if (have_cvar_row.count({rr.flow, rr.q})) break;
+          add_cvar_row(rr.flow, rr.q);
+          ++aligned_cvar;
+        }
+        ++aligned_rows;
+      }
+    }
+    if (aligned_rows > 0) {
+      warm = aligned_rows == cache->refine_rows.size()
+                 ? cache->refine
+                 : cache->refine.truncated(
+                       fixed_rows + static_cast<int>(aligned_rows),
+                       fixed_structurals + aligned_cvar);
+      ++cache->hits;
+    } else {
+      ++cache->cold_starts;
+    }
+  }
+  // Every flow gets its q=0 CVaR row unless the replay already added it.
+  for (const net::Flow& flow : flows) {
+    if (!have_cvar_row.count({flow.id, 0})) add_cvar_row(flow.id, 0);
+  }
+
+  const lp::SimplexSolver solver(simplex_options);
+  lp::Solution solution;
+  // Rows and shortfall variables only ever append, so each re-solve also
+  // warm-starts from the previous round's basis.
+  lp::SimplexBasis snapshot_basis;
+  std::vector<BasisCache::RefineRow> snapshot_recipe;
   constexpr int kMaxRounds = 100;
   constexpr int kMaxRowsPerRound = 60;
   constexpr int kMaxTotalRows = 900;
   for (int round = 0; round < kMaxRounds; ++round) {
     solution = solver.solve(model, warm.valid() ? &warm : nullptr, &warm);
+    if (pivots != nullptr) *pivots += solution.iterations;
     if (solution.status != lp::SolveStatus::kOptimal) return {};
+    // Snapshot while basis and recipe agree: rows added below this point
+    // would not be covered by `warm` until the next solve.
+    snapshot_basis = warm;
+    snapshot_recipe = recipe;
     if (model.num_rows() >= kMaxTotalRows) break;  // bounded-basis stop
     const double t_val = solution.x[static_cast<std::size_t>(var_t)];
     // (violation, (flow, scenario), needs_guarantee). The per-scenario
@@ -247,6 +330,10 @@ TePolicy refine_policy(const TeProblem& problem, const ScenarioSet& scenarios,
     }
   }
   if (solution.status != lp::SolveStatus::kOptimal) return {};
+  if (cache != nullptr && snapshot_basis.valid()) {
+    cache->refine = std::move(snapshot_basis);
+    cache->refine_rows = std::move(snapshot_recipe);
+  }
   return extract_policy(problem, alloc, solution);
 }
 
@@ -254,10 +341,21 @@ TePolicy refine_policy(const TeProblem& problem, const ScenarioSet& scenarios,
 
 MinMaxResult solve_min_max_benders(const TeProblem& problem,
                                    const ScenarioSet& scenarios,
-                                   const MinMaxOptions& options) {
+                                   const MinMaxOptions& options,
+                                   BasisCache* cache) {
   check_mass(scenarios, options.beta);
   const auto& flows = *problem.flows;
   const auto& Q = scenarios.scenarios;
+
+  // A cache from a different problem shape violates the SimplexBasis prefix
+  // contract — reset it and rebuild from this solve. Stale-but-matching
+  // caches are safe: warm installation revalidates feasibility and falls
+  // back cold, so a bad hint costs pivots, never a different optimum.
+  const std::uint64_t signature = problem_shape_signature(problem);
+  if (cache != nullptr && cache->signature != signature) {
+    *cache = BasisCache{};
+    cache->signature = signature;
+  }
 
   // Fatal pairs: scenarios where a flow keeps no tunnel at all. No
   // allocation can protect them (their Phi-row reads Phi >= 1), and at the
@@ -314,9 +412,23 @@ MinMaxResult solve_min_max_benders(const TeProblem& problem,
   std::vector<BendersCut> cuts;
   std::vector<std::vector<char>> best_delta = delta;
   // Successive subproblems share the variable layout and the capacity-row
-  // prefix, so the final basis of one iteration (truncated to that prefix)
-  // warm-starts the next.
+  // prefix. The final basis of one solve warm-starts the next by replaying
+  // its Phi-row keys: re-adding the same rows in the same order makes the
+  // full basis — which holds the previous optimum — line up row-for-row.
+  // The cache seeds the first iteration from the previous epoch's solve the
+  // same way.
   lp::SimplexBasis carry;
+  std::vector<std::pair<int, std::size_t>> carry_keys;
+  if (cache != nullptr) {
+    if (cache->benders.valid()) {
+      carry = cache->benders;
+      carry_keys = cache->benders_rows;
+      ++cache->hits;
+    } else {
+      ++cache->cold_starts;
+    }
+  }
+  const lp::SimplexSolver solver(options.simplex);
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
@@ -332,25 +444,55 @@ MinMaxResult solve_min_max_benders(const TeProblem& problem,
     std::vector<std::pair<int, std::size_t>> row_keys;  // after capacity rows
     std::set<std::pair<int, std::size_t>> seen_keys;
     const int fixed_rows = sp.num_rows();
-    // Seed with the highest-probability scenario's rows.
-    for (const net::Flow& flow : flows) {
-      if (delta[static_cast<std::size_t>(flow.id)][0]) {
-        sp.add_row(phi_row(problem, alloc, phi, flow.id, Q[0], 1.0));
-        row_keys.push_back({flow.id, 0});
-        seen_keys.insert({flow.id, 0});
+    // Replay the carried rows in order, stopping at the first key the
+    // current delta no longer selects — everything before the stop lines up
+    // with the carried basis row-for-row. Phi-rows are valid for any
+    // selected pair, so replaying them never changes the subproblem optimum.
+    std::size_t aligned = 0;
+    if (carry.valid()) {
+      for (const auto& key : carry_keys) {
+        if (key.second >= Q.size() || key.first < 0 ||
+            static_cast<std::size_t>(key.first) >= delta.size() ||
+            !delta[static_cast<std::size_t>(key.first)][key.second] ||
+            seen_keys.count(key)) {
+          break;
+        }
+        sp.add_row(phi_row(problem, alloc, phi, key.first, Q[key.second], 1.0));
+        row_keys.push_back(key);
+        seen_keys.insert(key);
+        ++aligned;
+      }
+    }
+    if (row_keys.empty()) {
+      // Cold seed: the highest-probability scenario's rows.
+      for (const net::Flow& flow : flows) {
+        if (delta[static_cast<std::size_t>(flow.id)][0]) {
+          sp.add_row(phi_row(problem, alloc, phi, flow.id, Q[0], 1.0));
+          row_keys.push_back({flow.id, 0});
+          seen_keys.insert({flow.id, 0});
+        }
       }
     }
 
     lp::Solution sp_solution;
-    const lp::SimplexSolver solver;
-    lp::SimplexBasis warm = carry;  // invalid on the first iteration
+    lp::SimplexBasis warm;  // invalid on an unseeded first round
+    if (aligned > 0) {
+      warm = aligned == carry_keys.size()
+                 ? carry
+                 : carry.truncated(fixed_rows + static_cast<int>(aligned));
+    }
     bool sp_ok = false;
     constexpr int kMaxRounds = 80;
     constexpr int kMaxRowsPerRound = 60;
     constexpr int kMaxTotalRows = 900;
     for (int round = 0; round < kMaxRounds; ++round) {
       sp_solution = solver.solve(sp, warm.valid() ? &warm : nullptr, &warm);
+      result.simplex_pivots += sp_solution.iterations;
       if (sp_solution.status != lp::SolveStatus::kOptimal) break;
+      // Snapshot while basis and keys agree: rows added below this point
+      // would not be covered by `warm` until the next solve.
+      carry = warm;
+      carry_keys = row_keys;
       if (sp.num_rows() >= kMaxTotalRows) {
         sp_ok = true;  // bounded-basis stop: accept the current subproblem
         break;
@@ -394,7 +536,6 @@ MinMaxResult solve_min_max_benders(const TeProblem& problem,
         seen_keys.insert(key);
       }
     }
-    if (warm.valid()) carry = warm.truncated(fixed_rows);
     if (!sp_ok) {
       break;  // keep the best incumbent found so far
     }
@@ -492,8 +633,13 @@ MinMaxResult solve_min_max_benders(const TeProblem& problem,
   const double guarantee = result.upper_bound <= options.guarantee_threshold
                                ? result.upper_bound
                                : 1.0;  // vacuous -> pure CVaR refinement
+  if (cache != nullptr && carry.valid()) {
+    cache->benders = carry;
+    cache->benders_rows = carry_keys;
+  }
   TePolicy refined =
-      refine_policy(problem, scenarios, best_delta, guarantee, options.beta);
+      refine_policy(problem, scenarios, best_delta, guarantee, options.beta,
+                    options.simplex, cache, &result.simplex_pivots);
   if (!refined.allocation.empty()) {
     result.policy = std::move(refined);
   }

@@ -1,9 +1,11 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "lp/model.h"
+#include "lp/simplex.h"
 #include "te/scenario.h"
 #include "te/types.h"
 
@@ -31,6 +33,9 @@ struct MinMaxOptions {
   // enforcing it destroys bulk availability; the refinement then runs
   // unconstrained (pure CVaR on the calibrated scenario set).
   double guarantee_threshold = 0.05;
+  // Passed through to every LP solve inside the decomposition (pricing rule,
+  // tolerances). Defaults select devex pricing.
+  lp::SimplexOptions simplex;
 };
 
 struct MinMaxResult {
@@ -49,7 +54,60 @@ struct MinMaxResult {
   // per flow; each entry fits inside that flow's covered_probability - beta
   // budget and is charged against it before the master drops anything else.
   std::vector<double> pinned_fatal_mass;
+  // Total simplex pivots spent across every LP solve in the decomposition
+  // (subproblem rounds, per-flow masters, CVaR refinement). The number a
+  // basis cache is supposed to shrink.
+  int simplex_pivots = 0;
 };
+
+// Cross-epoch warm-start state for the Benders decomposition, owned by the
+// caller (te::PreTeScheme keeps one per problem shape). `signature` must be
+// problem_shape_signature(problem) of the TeProblem the bases were exported
+// from: the allocation-variable prefix and capacity-row prefix of the lazy
+// LPs are pure functions of the problem shape, so a matching signature means
+// the SimplexBasis prefix contract holds and the snapshots are valid hints.
+// On a signature mismatch solve_min_max_benders resets the entry and runs
+// cold — a stale cache can cost pivots, never correctness.
+//
+// Each basis is the FULL final basis of its LP, stored together with the
+// ordered recipe of the lazy rows (and, for the refinement, lazy shortfall
+// variables) that LP had grown. The next solve replays the recipe — adding
+// the same rows in the same order before its first solve, stopping at the
+// first entry its own state no longer admits — so the snapshot lines up
+// row-for-row and the carried optimum survives installation. Truncating the
+// basis to the capacity-row prefix instead is useless in practice: the
+// allocation variables are basic in the dropped Phi-rows, so truncation
+// demotes them to zero and the warm start degenerates to a cold one.
+struct BasisCache {
+  std::uint64_t signature = 0;
+
+  // Final subproblem basis + the (flow, scenario) keys of its Phi-rows, in
+  // row order after the capacity prefix.
+  lp::SimplexBasis benders;
+  std::vector<std::pair<int, std::size_t>> benders_rows;
+
+  // Final CVaR-refinement basis + its lazy-row recipe. CVaR rows also append
+  // one shortfall variable each, so the recipe records the row kind to
+  // replay the structural prefix in order.
+  struct RefineRow {
+    bool guarantee = false;  // false: CVaR row (appends a shortfall variable)
+    int flow = 0;
+    std::size_t q = 0;
+  };
+  lp::SimplexBasis refine;
+  std::vector<RefineRow> refine_rows;
+
+  int hits = 0;         // solves that consumed a carried basis
+  int cold_starts = 0;  // solves that found no usable basis
+};
+
+// Stable hash of the LP-shape-determining parts of a TeProblem: link count,
+// tunnel count, and each tunnel's (flow, path) — everything that fixes the
+// variable order and the capacity-row coefficients. Demands are deliberately
+// excluded: they only move bounds/rhs, which the warm-start installation
+// revalidates anyway, and demand drift between epochs is exactly the case a
+// carried basis is meant to accelerate.
+std::uint64_t problem_shape_signature(const TeProblem& problem);
 
 // Tracks the Benders bound pair across iterations. The lower bound is kept
 // raw: a candidate above the upper bound marks the bounds as crossed instead
@@ -86,8 +144,19 @@ MinMaxResult solve_min_max_direct(const TeProblem& problem,
 // Benders decomposition (Algorithm 2 + Appendix A.4): subproblem LP with
 // lazy rows, optimality cuts from the duals, and a per-flow master that
 // selects which scenarios each flow must survive (probability mass >= beta).
+//
+// `cache` (may be null) carries simplex bases across calls: on entry a cache
+// whose signature matches the problem shape seeds the subproblem and
+// refinement warm starts; on exit the final bases and row recipes are
+// written back. A warm start never changes an LP's optimal value
+// (installation revalidates feasibility and falls back cold), but it can
+// steer which optimal basis — and hence which lazy rows — the decomposition
+// visits, so cached and uncached runs may return different policies of equal
+// quality. For a fixed cache state the solve is still a pure function of its
+// inputs: repeated runs, at any thread count, are bit-identical.
 MinMaxResult solve_min_max_benders(const TeProblem& problem,
                                    const ScenarioSet& scenarios,
-                                   const MinMaxOptions& options = {});
+                                   const MinMaxOptions& options = {},
+                                   BasisCache* cache = nullptr);
 
 }  // namespace prete::te

@@ -43,6 +43,7 @@ PreTeScheme::Outcome PreTeScheme::compute_for_degradation(
         network, flows, tunnels, f, config_.tunnel_update);
     outcome.tunnel_update.affected_flows += r.affected_flows;
     outcome.tunnel_update.affected_tunnels += r.affected_tunnels;
+    outcome.tunnel_update.shortfall += r.shortfall;
     outcome.tunnel_update.created.insert(outcome.tunnel_update.created.end(),
                                          r.created.begin(), r.created.end());
   }
@@ -59,10 +60,27 @@ PreTeScheme::Outcome PreTeScheme::compute_for_degradation(
 
   MinMaxOptions solver = config_.solver;
   solver.beta = std::min(config_.beta, outcome.scenarios.covered_probability);
+  if (basis_caches_.size() >= kMaxCachedShapes &&
+      basis_caches_.find(problem_shape_signature(problem)) ==
+          basis_caches_.end()) {
+    basis_caches_.clear();
+  }
+  BasisCache& cache = basis_caches_[problem_shape_signature(problem)];
   outcome.solver_result =
-      solve_min_max_benders(problem, outcome.scenarios, solver);
+      solve_min_max_benders(problem, outcome.scenarios, solver, &cache);
   outcome.policy = outcome.solver_result.policy;
   return outcome;
+}
+
+PreTeScheme::CacheStats PreTeScheme::cache_stats() const {
+  CacheStats stats;
+  stats.shapes = static_cast<int>(basis_caches_.size());
+  for (const auto& [signature, cache] : basis_caches_) {
+    (void)signature;
+    stats.hits += cache.hits;
+    stats.cold_starts += cache.cold_starts;
+  }
+  return stats;
 }
 
 }  // namespace prete::te

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <vector>
 
 #include "te/minmax.h"
@@ -37,6 +39,13 @@ struct PreTeConfig {
 //
 // compute_for_degradation mutates the tunnel set (adds dynamic tunnels) and
 // returns the policy over the enlarged tunnel table.
+//
+// The scheme is stateful across calls: it keeps one te::BasisCache per LP
+// problem shape (keyed by problem_shape_signature), so a long-lived scheme
+// — core::Controller holds one for the controller lifetime — warm-starts
+// each epoch's Benders solve from the previous epoch with the same topology
+// and tunnel set. Tunnel-set changes produce a new signature and therefore a
+// cold (but correct) solve; results are bit-identical to a stateless scheme.
 class PreTeScheme {
  public:
   PreTeScheme(std::vector<double> static_fiber_probs, PreTeConfig config = {});
@@ -59,9 +68,23 @@ class PreTeScheme {
   const PreTeConfig& config() const { return config_; }
   const std::vector<double>& static_probs() const { return static_probs_; }
 
+  // Aggregate basis-cache statistics over every shape seen so far.
+  struct CacheStats {
+    int shapes = 0;       // distinct problem shapes currently cached
+    int hits = 0;         // LP solves seeded from a carried basis
+    int cold_starts = 0;  // LP solves with no usable carried basis
+  };
+  CacheStats cache_stats() const;
+
  private:
+  // Bounded so a scheme driven through many distinct tunnel sets (Monte
+  // Carlo sweeps) cannot grow without limit; clearing everything on overflow
+  // is deterministic and merely costs the next few solves a cold start.
+  static constexpr std::size_t kMaxCachedShapes = 16;
+
   std::vector<double> static_probs_;
   PreTeConfig config_;
+  std::map<std::uint64_t, BasisCache> basis_caches_;
 };
 
 }  // namespace prete::te

@@ -197,12 +197,15 @@ TePolicy solve_cvar(const TeProblem& problem, const ScenarioSet& scenarios,
 
   const lp::SimplexSolver solver;
   lp::Solution solution;
+  // Shortfall variables and rows only ever append, so each re-solve
+  // warm-starts from the previous round's basis (prefix contract).
+  lp::SimplexBasis warm;
   bool converged = false;
   constexpr int kMaxRounds = 80;
   constexpr int kMaxRowsPerRound = 60;
   constexpr int kMaxTotalRows = 900;
   for (int round = 0; round < kMaxRounds; ++round) {
-    solution = solver.solve(model);
+    solution = solver.solve(model, warm.valid() ? &warm : nullptr, &warm);
     if (solution.status != lp::SolveStatus::kOptimal) break;
     if (model.num_rows() >= kMaxTotalRows) {
       converged = true;  // bounded-basis stop: accept the current policy

@@ -37,34 +37,64 @@ TunnelUpdateResult update_tunnels_for_degradation(
 
     // Establish new tunnels from G': k-shortest paths avoiding the fiber,
     // skipping paths the flow already has.
-    const auto candidates = net::k_shortest_paths(
-        network, flow.src, flow.dst, want + static_cast<int>(existing.size()),
-        [&](const net::Link& l) {
-          // Infinite-cost emulation: usable() filter applied below instead.
-          return weight(l);
-        });
     int created = 0;
-    for (const net::Path& p : candidates) {
-      if (created >= want) break;
-      if (net::path_uses_fiber(network, p, degraded_fiber)) continue;
+    auto admit = [&](const net::Path& p) {
+      if (net::path_uses_fiber(network, p, degraded_fiber)) return;
       if (std::find(existing.begin(), existing.end(), p) != existing.end()) {
-        continue;
+        return;
       }
       result.created.push_back(tunnels.add_tunnel(flow.id, p, /*dynamic=*/true));
       existing.push_back(p);
       ++created;
+    };
+    // The Yen budget also counts candidates that traverse the degraded fiber
+    // (Yen ranks on the full graph; the filter is applied afterwards), so a
+    // single query of `want + existing` paths under-provisions whenever the
+    // flow's short paths cluster on that fiber. Grow the budget until `want`
+    // survivors are admitted or Yen exhausts the path space.
+    constexpr int kMaxYenBudget = 64;
+    int budget = want + static_cast<int>(existing.size());
+    for (;;) {
+      const auto candidates = net::k_shortest_paths(
+          network, flow.src, flow.dst, budget,
+          [&](const net::Link& l) { return weight(l); });
+      for (const net::Path& p : candidates) {
+        if (created >= want) break;
+        admit(p);
+      }
+      if (created >= want || budget >= kMaxYenBudget ||
+          static_cast<int>(candidates.size()) < budget) {
+        break;  // satisfied, budget cap, or no more paths to rank
+      }
+      // Already-admitted paths sit in `existing`, so re-scanning the larger
+      // candidate list only admits new survivors.
+      budget = std::min(kMaxYenBudget, budget * 2);
     }
     if (created < want) {
-      // Fall back to direct shortest paths on G' if Yen could not supply
-      // enough fiber-avoiding paths.
-      const auto direct =
-          net::shortest_path(network, flow.src, flow.dst, weight, usable);
-      if (direct && std::find(existing.begin(), existing.end(), *direct) ==
-                        existing.end()) {
-        result.created.push_back(
-            tunnels.add_tunnel(flow.id, *direct, /*dynamic=*/true));
+      // Fall back to shortest paths computed directly on G'. Looped over the
+      // remaining deficit with multiplicative penalties on used links so
+      // successive queries return distinct routes where the graph has them.
+      std::vector<double> penalty(static_cast<std::size_t>(network.num_links()),
+                                  1.0);
+      const int max_attempts = 4 * want;
+      for (int attempt = 0; attempt < max_attempts && created < want;
+           ++attempt) {
+        const auto direct = net::shortest_path(
+            network, flow.src, flow.dst,
+            [&](const net::Link& l) {
+              return weight(l) * penalty[static_cast<std::size_t>(l.id)];
+            },
+            usable);
+        if (!direct) break;  // flow disconnected in G'
+        for (net::LinkId l : *direct) {
+          penalty[static_cast<std::size_t>(l)] *= 8.0;
+        }
+        admit(*direct);
       }
     }
+    // Whatever remains is a true shortfall of G', reported instead of
+    // silently under-provisioning.
+    result.shortfall += want - created;
   }
   return result;
 }

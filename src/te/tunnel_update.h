@@ -22,6 +22,11 @@ struct TunnelUpdateResult {
   int affected_flows = 0;
   // Total affected tunnels (the Lambda values summed).
   int affected_tunnels = 0;
+  // Sum over affected flows of (tunnels wanted - tunnels created): nonzero
+  // only when G' genuinely cannot supply enough distinct fiber-avoiding
+  // paths (e.g. the degraded fiber is a bridge). Callers should treat a
+  // nonzero shortfall as reduced protection, not as an error.
+  int shortfall = 0;
 };
 
 // Algorithm 1: for every flow with tunnels traversing the degraded fiber,

@@ -55,7 +55,14 @@ std::vector<CdfPoint> empirical_cdf(std::vector<double> values) {
 
 std::vector<CdfPoint> thin_cdf(const std::vector<CdfPoint>& cdf,
                                std::size_t max_points) {
-  if (cdf.size() <= max_points || max_points < 2) return cdf;
+  if (max_points < 2) {
+    // Thinning must keep the first and last point to preserve the support
+    // endpoints; fewer than two output points cannot honor that, and
+    // returning the full CDF would break the size contract the plotting
+    // callers rely on.
+    throw std::invalid_argument("thin_cdf requires max_points >= 2");
+  }
+  if (cdf.size() <= max_points) return cdf;
   std::vector<CdfPoint> out;
   out.reserve(max_points);
   for (std::size_t i = 0; i < max_points; ++i) {

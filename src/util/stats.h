@@ -30,7 +30,8 @@ struct CdfPoint {
 std::vector<CdfPoint> empirical_cdf(std::vector<double> values);
 
 // Downsamples a CDF to at most `max_points` evenly spaced points (keeps the
-// first and last), for compact bench output.
+// first and last), for compact bench output. Throws std::invalid_argument
+// when `max_points < 2` — the endpoints cannot both be kept.
 std::vector<CdfPoint> thin_cdf(const std::vector<CdfPoint>& cdf,
                                std::size_t max_points);
 

@@ -132,6 +132,49 @@ TEST(ControllerTest, UnknownFiberThrows) {
                std::out_of_range);
 }
 
+TEST(ControllerTest, CarriedBasisCutsPivotsAcrossEpochs) {
+  // The controller's scheme persists across TE periods, so epoch 2 on the
+  // same topology/tunnel set warm-starts from epoch 1's bases and must spend
+  // strictly fewer simplex pivots for the same guarantee.
+  net::Topology topo = net::make_b4();
+  std::vector<double> probs(static_cast<std::size_t>(topo.network.num_fibers()),
+                            0.005);
+  ControllerConfig config;
+  config.te.beta = 0.99;
+  config.te.solver.max_iterations = 6;  // bound test runtime
+  Controller controller(topo, probs,
+                        std::make_shared<FixedPredictor>(0.45), config);
+  util::Rng rng(11);
+  net::TrafficConfig tc;
+  tc.diurnal_swing = 0.0;
+  tc.noise = 0.0;
+  const auto demands =
+      net::generate_traffic(topo.network, topo.flows, rng, tc)[0];
+
+  const auto epoch1 = controller.on_te_period(demands);
+  const auto stats1 = controller.scheme().cache_stats();
+  EXPECT_GT(epoch1.solver_pivots, 0);
+  EXPECT_EQ(stats1.hits, 0);
+  EXPECT_GT(stats1.cold_starts, 0);
+
+  const auto epoch2 = controller.on_te_period(demands);
+  const auto stats2 = controller.scheme().cache_stats();
+  EXPECT_LT(epoch2.solver_pivots, epoch1.solver_pivots);
+  EXPECT_GT(stats2.hits, 0);
+  EXPECT_NEAR(epoch2.phi, epoch1.phi, 1e-6);
+
+  // A degradation appends dynamic tunnels — a new problem shape. The cached
+  // bases for the old shape must not be consumed: the new shape runs cold.
+  optical::DegradationFeatures features;
+  features.fiber_id = 0;
+  const auto degraded = controller.on_degradation(features, demands);
+  const auto stats3 = controller.scheme().cache_stats();
+  EXPECT_GT(degraded.new_tunnels, 0);
+  EXPECT_EQ(stats3.shapes, stats2.shapes + 1);
+  EXPECT_GT(stats3.cold_starts, stats2.cold_starts);
+  EXPECT_EQ(stats3.hits, stats2.hits);
+}
+
 TEST(ControllerTest, PipelineIncludesDetectionOnDegradation) {
   ControllerFixture fx;
   Controller controller = fx.make();

@@ -309,5 +309,112 @@ TEST(SimplexTest, ModeratelyLargeTransportProblem) {
   EXPECT_LT(m.max_violation(s.x), 1e-6);
 }
 
+// Property: devex and Dantzig pricing are interchangeable in everything but
+// pivot path — same status, same optimal value, and each rule's exported
+// basis is a valid optimal warm start (re-solving from it takes 0 pivots).
+class PricingEquivalenceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PricingEquivalenceProperty, SameOptimumAndReusableBasis) {
+  util::Rng rng(static_cast<std::uint64_t>(4000 + GetParam()));
+  const int n = 4 + static_cast<int>(rng.next_below(8));
+  const int rows = 3 + static_cast<int>(rng.next_below(8));
+
+  Model m(Sense::kMaximize);
+  for (int j = 0; j < n; ++j) {
+    m.add_variable(0.0, rng.uniform(0.5, 5.0), rng.uniform(-1.0, 2.0));
+  }
+  std::vector<double> interior(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    interior[static_cast<std::size_t>(j)] =
+        rng.uniform(0.0, m.variable(j).upper);
+  }
+  for (int i = 0; i < rows; ++i) {
+    std::vector<Coefficient> coefs;
+    double lhs = 0.0;
+    for (int j = 0; j < n; ++j) {
+      if (rng.bernoulli(0.6)) {
+        const double a = rng.uniform(-1.0, 3.0);
+        coefs.push_back({j, a});
+        lhs += a * interior[static_cast<std::size_t>(j)];
+      }
+    }
+    if (coefs.empty()) coefs.push_back({0, 1.0});
+    m.add_row(std::move(coefs), RowType::kLessEqual,
+              lhs + rng.uniform(0.0, 2.0));
+  }
+
+  SimplexOptions dantzig_opts;
+  dantzig_opts.pricing = PricingRule::kDantzig;
+  SimplexOptions devex_opts;
+  devex_opts.pricing = PricingRule::kDevex;
+
+  SimplexBasis dantzig_basis, devex_basis;
+  const Solution a =
+      SimplexSolver(dantzig_opts).solve(m, nullptr, &dantzig_basis);
+  const Solution b = SimplexSolver(devex_opts).solve(m, nullptr, &devex_basis);
+  ASSERT_EQ(a.status, SolveStatus::kOptimal) << "seed " << GetParam();
+  ASSERT_EQ(b.status, SolveStatus::kOptimal) << "seed " << GetParam();
+  // Both rules must reach the same optimal VALUE; the witness basis may
+  // differ on degenerate ties.
+  EXPECT_NEAR(a.objective, b.objective, 1e-7) << "seed " << GetParam();
+  EXPECT_LT(m.max_violation(b.x), 1e-6);
+
+  // Each exported basis must be optimal for the model it came from: warm
+  // re-solving from it — under either pricing rule — takes zero pivots.
+  for (const SimplexBasis* warm : {&dantzig_basis, &devex_basis}) {
+    ASSERT_TRUE(warm->valid());
+    for (const SimplexOptions* opts : {&dantzig_opts, &devex_opts}) {
+      const Solution again = SimplexSolver(*opts).solve(m, warm, nullptr);
+      ASSERT_EQ(again.status, SolveStatus::kOptimal);
+      EXPECT_EQ(again.iterations, 0) << "seed " << GetParam();
+      EXPECT_NEAR(again.objective, a.objective, 1e-7);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PricingEquivalenceProperty,
+                         ::testing::Range(1, 25));
+
+TEST(SimplexTest, DevexMatchesDantzigOnTransportProblem) {
+  // Deterministic mid-size instance: both pricings must land on objective
+  // 100 (see ModeratelyLargeTransportProblem) with devex spending no more
+  // pivots than Dantzig.
+  constexpr int kN = 20;
+  Model m(Sense::kMinimize);
+  std::vector<std::vector<int>> x(kN, std::vector<int>(kN));
+  for (int i = 0; i < kN; ++i) {
+    for (int j = 0; j < kN; ++j) {
+      x[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          m.add_variable(0, kInfinity, 1.0 + ((i + j) % 2));
+    }
+  }
+  for (int i = 0; i < kN; ++i) {
+    std::vector<Coefficient> coefs;
+    for (int j = 0; j < kN; ++j) {
+      coefs.push_back({x[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)], 1.0});
+    }
+    m.add_row(std::move(coefs), RowType::kEqual, 5.0);
+  }
+  for (int j = 0; j < kN; ++j) {
+    std::vector<Coefficient> coefs;
+    for (int i = 0; i < kN; ++i) {
+      coefs.push_back({x[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)], 1.0});
+    }
+    m.add_row(std::move(coefs), RowType::kEqual, 5.0);
+  }
+
+  SimplexOptions dantzig_opts;
+  dantzig_opts.pricing = PricingRule::kDantzig;
+  SimplexOptions devex_opts;
+  devex_opts.pricing = PricingRule::kDevex;
+  const Solution a = SimplexSolver(dantzig_opts).solve(m);
+  const Solution b = SimplexSolver(devex_opts).solve(m);
+  ASSERT_EQ(a.status, SolveStatus::kOptimal);
+  ASSERT_EQ(b.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(a.objective, 100.0, 1e-6);
+  EXPECT_NEAR(b.objective, 100.0, 1e-6);
+  EXPECT_LE(b.iterations, a.iterations);
+}
+
 }  // namespace
 }  // namespace prete::lp

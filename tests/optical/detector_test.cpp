@@ -91,7 +91,33 @@ TEST(DetectorTest, OpenDegradationFlushedAtTraceEnd) {
   const std::vector<double> trace{5.0, 9.0, 9.0};
   const auto result = det.scan(trace, 0, test_fiber());
   ASSERT_EQ(result.degradations.size(), 1u);
-  EXPECT_EQ(result.degradations[0].end_sec, 3);
+  // The last observed sample is at t=2; nothing was measured past it, so the
+  // flushed episode ends there and is flagged as truncated.
+  EXPECT_EQ(result.degradations[0].end_sec, 2);
+  EXPECT_TRUE(result.degradations[0].truncated_end);
+  EXPECT_FALSE(result.degradations[0].truncated_start);
+}
+
+TEST(DetectorTest, EpisodeInProgressAtWindowStartIsFlaggedTruncated) {
+  const DegradationDetector det(5.0);
+  // Degraded from the very first sample: the onset and degree describe the
+  // window edge, not the true onset.
+  const std::vector<double> trace{9.0, 9.2, 5.0};
+  const auto result = det.scan(trace, 100, test_fiber());
+  ASSERT_EQ(result.degradations.size(), 1u);
+  EXPECT_TRUE(result.degradations[0].truncated_start);
+  EXPECT_FALSE(result.degradations[0].truncated_end);
+  EXPECT_EQ(result.degradations[0].onset_sec, 100);
+  EXPECT_EQ(result.degradations[0].end_sec, 102);
+}
+
+TEST(DetectorTest, CleanEpisodeHasNoTruncationFlags) {
+  const DegradationDetector det(5.0);
+  const std::vector<double> trace{5.0, 9.0, 9.0, 5.0};
+  const auto result = det.scan(trace, 0, test_fiber());
+  ASSERT_EQ(result.degradations.size(), 1u);
+  EXPECT_FALSE(result.degradations[0].truncated_start);
+  EXPECT_FALSE(result.degradations[0].truncated_end);
 }
 
 TEST(DetectorTest, CoarseSamplingTimestamps) {

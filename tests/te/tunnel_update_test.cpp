@@ -110,6 +110,80 @@ TEST(TunnelUpdateTest, MaxNewTunnelsCapEnforced) {
   for (int count : per_flow) EXPECT_LE(count, 3);  // cap + 1 fallback path
 }
 
+// A topology engineered so every short s->t path crosses the degraded fiber
+// while enough long detours exist to cover the protection target. `extra_z`
+// controls how many long s->z_j->t detours avoid fiber 0.
+struct FunnelTopology {
+  net::Topology topo;
+  std::vector<net::Path> through_paths;  // all cross fiber 0
+};
+
+FunnelTopology make_funnel(int num_z) {
+  FunnelTopology out;
+  net::Network& n = out.topo.network;
+  const net::NodeId s = n.add_node("s");
+  const net::NodeId m = n.add_node("m");
+  const net::NodeId t = n.add_node("t");
+  std::vector<net::NodeId> y(5), z(static_cast<std::size_t>(num_z));
+  for (auto& node : y) node = n.add_node();
+  for (auto& node : z) node = n.add_node();
+
+  auto link = [&](net::NodeId a, net::NodeId b, double len) {
+    return n.add_ip_link_pair(n.add_fiber(a, b, len), 100.0);
+  };
+  // Fiber 0 (s-m) funnels every short path; m fans out to t directly and
+  // via the y_i, so Yen's first |want + existing| candidates all cross it.
+  const net::LinkId sm = link(s, m, 1.0);  // fiber 0
+  const net::LinkId mt = link(m, t, 1.0);
+  out.through_paths.push_back({sm, mt});
+  for (net::NodeId yi : y) {
+    const net::LinkId my = link(m, yi, 1.0);
+    const net::LinkId yt = link(yi, t, 1.0);
+    out.through_paths.push_back({sm, my, yt});
+  }
+  // Long detours s-z_j-t are the only fiber-0-avoiding routes.
+  for (net::NodeId zj : z) {
+    const net::LinkId sz = link(s, zj, 10.0);
+    link(zj, t, 10.0);
+    (void)sz;
+  }
+  out.topo.flows.push_back({0, s, t, 10.0});
+  return out;
+}
+
+TEST(TunnelUpdateTest, TopsUpWhenShortPathsClusterOnDegradedFiber) {
+  // Regression: the flow holds 3 tunnels, all over fiber 0, and the 6
+  // shortest s->t paths ALL cross fiber 0 — a fixed Yen budget of
+  // want + existing admits nothing. The update must keep widening the
+  // search until the 3 long detours are found, leaving no shortfall.
+  FunnelTopology f = make_funnel(/*num_z=*/3);
+  net::TunnelSet tunnels(1);
+  for (int i = 0; i < 3; ++i) tunnels.add_tunnel(0, f.through_paths[static_cast<std::size_t>(i)]);
+
+  const auto result = update_tunnels_for_degradation(
+      f.topo.network, f.topo.flows, tunnels, /*degraded_fiber=*/0);
+  EXPECT_EQ(result.affected_tunnels, 3);
+  EXPECT_EQ(result.created.size(), 3u);
+  EXPECT_EQ(result.shortfall, 0);
+  for (net::TunnelId t : result.created) {
+    EXPECT_FALSE(tunnels.uses_fiber(f.topo.network, t, 0));
+  }
+}
+
+TEST(TunnelUpdateTest, GenuineShortfallIsReported) {
+  // Same funnel but only ONE fiber-0-avoiding route exists: the update
+  // should create it and report the remaining deficit instead of silently
+  // under-provisioning.
+  FunnelTopology f = make_funnel(/*num_z=*/1);
+  net::TunnelSet tunnels(1);
+  for (int i = 0; i < 3; ++i) tunnels.add_tunnel(0, f.through_paths[static_cast<std::size_t>(i)]);
+
+  const auto result = update_tunnels_for_degradation(
+      f.topo.network, f.topo.flows, tunnels, /*degraded_fiber=*/0);
+  EXPECT_EQ(result.created.size(), 1u);
+  EXPECT_EQ(result.shortfall, 2);
+}
+
 TEST(TunnelUpdateTest, NoDuplicateTunnels) {
   net::Topology topo = net::make_b4();
   net::TunnelSet tunnels = net::build_tunnels(topo.network, topo.flows);
