@@ -10,6 +10,7 @@
 
 #include <cmath>
 
+#include "core/fault_campaign.h"
 #include "lp/simplex.h"
 #include "net/tunnels.h"
 #include "sim/monte_carlo.h"
@@ -245,6 +246,21 @@ CarrySample run_carry_phase(const bench::Context& ctx,
   return sample;
 }
 
+// Fault-campaign phase: the deterministic robustness harness end to end —
+// the controller driven through injected telemetry corruption, predictor
+// faults, and starved solver budgets. The decision digest doubles as the
+// bit-identity witness; the gate requires a clean run (no exceptions, no
+// validator failures) that exercised every degradation rung.
+core::FaultCampaignReport run_campaign_phase(const bench::Context& ctx,
+                                             const net::TrafficMatrix& demands,
+                                             int steps) {
+  core::FaultCampaignConfig config;
+  config.steps = steps;
+  config.te.beta = 0.99;
+  return core::run_fault_campaign(ctx.topo, ctx.stats.cut_prob, demands,
+                                  config);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -272,15 +288,18 @@ int main(int argc, char** argv) {
   TelemetrySample serial_telemetry, parallel_telemetry;
   PricingSample serial_pricing, parallel_pricing;
   CarrySample serial_carry, parallel_carry;
+  core::FaultCampaignReport serial_campaign, parallel_campaign;
   double t_serial_static = 0, t_parallel_static = 0;
   double t_serial_prete = 0, t_parallel_prete = 0;
   double t_serial_master = 0, t_parallel_master = 0;
   double t_serial_telemetry = 0, t_parallel_telemetry = 0;
   double t_serial_pricing = 0, t_parallel_pricing = 0;
   double t_serial_carry = 0, t_parallel_carry = 0;
+  double t_serial_campaign = 0, t_parallel_campaign = 0;
   const int pricing_instances = bench::fast_mode() ? 3 : 6;
   const int pipeline_iterations = bench::fast_mode() ? 4 : 10;
   const int carry_epochs = bench::fast_mode() ? 3 : 5;
+  const int campaign_steps = bench::fast_mode() ? 96 : 256;
 
   runtime::ThreadPool::set_global_threads(1);
   {
@@ -315,6 +334,14 @@ int main(int argc, char** argv) {
     bench::Phase phase("basis_carry serial");
     serial_carry = run_carry_phase(ctx, tunnels, demands, carry_epochs);
     t_serial_carry = phase.seconds();
+  }
+  {
+    bench::Phase phase("fault_campaign serial");
+    // Base (unscaled) demands: the campaign probes robustness, not capacity
+    // pressure, and near-saturation demands make every starved solve an
+    // order of magnitude more expensive for no extra fault coverage.
+    serial_campaign = run_campaign_phase(ctx, ctx.base_demands, campaign_steps);
+    t_serial_campaign = phase.seconds();
   }
 
   runtime::ThreadPool::set_global_threads(parallel_threads);
@@ -351,6 +378,12 @@ int main(int argc, char** argv) {
     parallel_carry = run_carry_phase(ctx, tunnels, demands, carry_epochs);
     t_parallel_carry = phase.seconds();
   }
+  {
+    bench::Phase phase("fault_campaign parallel");
+    parallel_campaign =
+        run_campaign_phase(ctx, ctx.base_demands, campaign_steps);
+    t_parallel_campaign = phase.seconds();
+  }
 
   table.add_row({"run_static", "1", util::Table::format(t_serial_static, 2),
                  util::Table::format(serial_static.mean_flow_availability, 6)});
@@ -372,7 +405,14 @@ int main(int argc, char** argv) {
   table.add_row({"telemetry", std::to_string(parallel_threads),
                  util::Table::format(t_parallel_telemetry, 2),
                  std::to_string(parallel_telemetry.cuts) + " cuts"});
+  table.add_row({"fault_campaign", "1",
+                 util::Table::format(t_serial_campaign, 2),
+                 std::to_string(serial_campaign.faults_injected) + " faults"});
+  table.add_row({"fault_campaign", std::to_string(parallel_threads),
+                 util::Table::format(t_parallel_campaign, 2),
+                 std::to_string(parallel_campaign.faults_injected) + " faults"});
   table.print(std::cout);
+  std::cout << "fault_campaign: " << serial_campaign.summary() << "\n";
 
   // LP kernel phases: pivot counts, not thread scaling, are the story here
   // (both legs also feed the bit-identity gate below).
@@ -412,7 +452,10 @@ int main(int argc, char** argv) {
       serial_prete.epochs_with_cut == parallel_prete.epochs_with_cut &&
       serial_master == parallel_master &&
       serial_telemetry == parallel_telemetry &&
-      serial_pricing == parallel_pricing && serial_carry == parallel_carry;
+      serial_pricing == parallel_pricing && serial_carry == parallel_carry &&
+      serial_campaign.decision_digest == parallel_campaign.decision_digest &&
+      serial_campaign.faults_injected == parallel_campaign.faults_injected &&
+      serial_campaign.rung_count == parallel_campaign.rung_count;
   std::cout << "bit-identical across thread counts: "
             << (identical ? "yes" : "NO — DETERMINISM BUG") << "\n";
   const bool pricing_ok =
@@ -432,6 +475,13 @@ int main(int argc, char** argv) {
     std::cout << "basis_carry gate FAILED (carried tail not cheaper or phi "
                  "drift)\n";
   }
+  const bool campaign_ok = serial_campaign.clean() &&
+                           serial_campaign.every_rung_exercised() &&
+                           serial_campaign.faults_injected > 0;
+  if (!campaign_ok) {
+    std::cout << "fault_campaign gate FAILED (exceptions, validator failures, "
+                 "or a degradation rung never exercised)\n";
+  }
   std::cout << "speedup run_static: "
             << util::Table::format(
                    t_serial_static / std::max(t_parallel_static, 1e-9), 2)
@@ -445,5 +495,5 @@ int main(int argc, char** argv) {
             << util::Table::format(
                    t_serial_telemetry / std::max(t_parallel_telemetry, 1e-9), 2)
             << "x on " << parallel_threads << " threads\n";
-  return identical && pricing_ok && carry_ok ? 0 : 1;
+  return identical && pricing_ok && carry_ok && campaign_ok ? 0 : 1;
 }

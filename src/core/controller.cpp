@@ -1,6 +1,12 @@
 #include "core/controller.h"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
+#include <utility>
+
+#include "core/policy_guard.h"
 
 namespace prete::core {
 
@@ -13,30 +19,176 @@ Controller::Controller(const net::Topology& topology,
       predictor_(std::move(predictor)),
       config_(config),
       tunnels_(net::build_tunnels(topology.network, topology.flows)),
-      scheme_(static_probs_, config_.te) {
+      scheme_(static_probs_, config_.te),
+      num_static_tunnels_(tunnels_.num_tunnels()) {
   if (static_cast<int>(static_probs_.size()) != topology.network.num_fibers()) {
     throw std::invalid_argument("static probabilities size mismatch");
   }
   if (!predictor_) throw std::invalid_argument("predictor is required");
 }
 
+void Controller::set_solver_budget(std::int64_t pivot_budget, double wall_ms) {
+  config_.solver_pivot_budget = pivot_budget;
+  config_.solver_wall_ms = wall_ms;
+}
+
+te::TeProblem Controller::current_problem(
+    const net::TrafficMatrix& demands) const {
+  te::TeProblem problem;
+  problem.network = &topology_.network;
+  problem.flows = &topology_.flows;
+  problem.tunnels = &tunnels_;
+  problem.demands = demands;
+  return problem;
+}
+
+std::optional<te::TePolicy> Controller::last_good_projection() const {
+  if (!last_good_.has_value()) return std::nullopt;
+  // The stored policy covers (a prefix of) the static tunnels, which keep
+  // their ids across dynamic-tunnel churn; everything past the prefix gets
+  // zero. Dropping allocations can only lower flow totals and link loads,
+  // so a policy that validated when stored re-validates here.
+  te::TePolicy projected;
+  projected.allocation.assign(
+      static_cast<std::size_t>(tunnels_.num_tunnels()), 0.0);
+  const std::size_t n =
+      std::min(projected.allocation.size(), last_good_->allocation.size());
+  std::copy_n(last_good_->allocation.begin(), n,
+              projected.allocation.begin());
+  return projected;
+}
+
+te::TePolicy Controller::static_floor(const net::TrafficMatrix& demands) const {
+  const net::Network& net = topology_.network;
+  te::TePolicy policy;
+  policy.allocation.assign(static_cast<std::size_t>(tunnels_.num_tunnels()),
+                           0.0);
+  for (const net::Flow& flow : topology_.flows) {
+    const auto& tunnels = tunnels_.tunnels_for_flow(flow.id);
+    if (tunnels.empty()) continue;
+    const double d = demands[static_cast<std::size_t>(flow.id)];
+    const double share = std::isfinite(d) && d > 0.0
+                             ? d / static_cast<double>(tunnels.size())
+                             : 0.0;
+    for (net::TunnelId t : tunnels) {
+      policy.allocation[static_cast<std::size_t>(t)] = share;
+    }
+  }
+  // Scale the whole split down by the worst link-overload ratio so the
+  // floor is capacity-safe by construction, whatever the demands are.
+  std::vector<double> load(static_cast<std::size_t>(net.num_links()), 0.0);
+  for (const net::Tunnel& t : tunnels_.tunnels()) {
+    for (net::LinkId e : t.path) {
+      load[static_cast<std::size_t>(e)] +=
+          policy.allocation[static_cast<std::size_t>(t.id)];
+    }
+  }
+  double worst = 1.0;
+  for (net::LinkId e = 0; e < net.num_links(); ++e) {
+    const double cap = net.link(e).capacity_gbps;
+    if (cap > 0.0) {
+      worst = std::max(worst, load[static_cast<std::size_t>(e)] / cap);
+    } else if (load[static_cast<std::size_t>(e)] > 0.0) {
+      worst = std::numeric_limits<double>::infinity();
+    }
+  }
+  const double scale = std::isfinite(worst) ? 1.0 / worst : 0.0;
+  for (double& a : policy.allocation) a *= scale;
+  return policy;
+}
+
 ControlDecision Controller::run_pipeline(
     const te::DegradationScenario& scenario, const net::TrafficMatrix& demands,
     bool include_detection) {
-  const auto outcome = scheme_.compute_for_degradation(
-      topology_.network, topology_.flows, tunnels_, demands, scenario);
+  util::Deadline deadline = util::Deadline::unlimited();
+  util::Deadline* budget = nullptr;
+  if (config_.solver_pivot_budget > 0) {
+    deadline.set_pivot_budget(config_.solver_pivot_budget);
+    budget = &deadline;
+  }
+  if (config_.solver_wall_ms > 0.0) {
+    deadline.set_wall_clock_ms(config_.solver_wall_ms);
+    budget = &deadline;
+  }
 
   ControlDecision decision;
-  decision.policy = outcome.policy;
-  decision.believed_scenarios = outcome.scenarios;
-  decision.new_tunnels = static_cast<int>(outcome.tunnel_update.created.size());
-  decision.phi = outcome.solver_result.phi;
-  decision.solver_pivots = outcome.solver_result.simplex_pivots;
+  decision.phi = 1.0;
+  decision.gap = 1.0;
+  bool installed = false;
+
+  // Rung 0/1: the full solve — or, when the deadline expires mid-solve, the
+  // solver's best incumbent. Either way the candidate must pass the
+  // validator before installation; a throw or a rejected policy descends
+  // the ladder instead of propagating.
+  try {
+    const auto outcome = scheme_.compute_for_degradation(
+        topology_.network, topology_.flows, tunnels_, demands, scenario,
+        budget);
+    decision.believed_scenarios = outcome.scenarios;
+    decision.new_tunnels =
+        static_cast<int>(outcome.tunnel_update.created.size());
+    decision.solver_pivots = outcome.solver_result.simplex_pivots;
+    decision.deadline_exceeded = outcome.solver_result.deadline_exceeded;
+    const PolicyCheck check =
+        validate_policy(current_problem(demands), outcome.policy);
+    bool usable = check.valid && !outcome.policy.allocation.empty();
+    if (usable && outcome.solver_result.deadline_exceeded) {
+      // A starved solve can hand back the trivial all-zero incumbent (it is
+      // primal-feasible and validator-clean, but it drops every flow). The
+      // lower rungs are strictly better than that, so an expired-deadline
+      // incumbent must carry actual allocation to count as usable.
+      double total_alloc = 0.0;
+      for (double a : outcome.policy.allocation) total_alloc += a;
+      double total_demand = 0.0;
+      for (double d : demands) total_demand += std::max(d, 0.0);
+      if (total_alloc <= 0.0 && total_demand > 0.0) usable = false;
+    }
+    if (usable) {
+      decision.policy = outcome.policy;
+      decision.phi = outcome.solver_result.phi;
+      decision.gap = outcome.solver_result.gap();
+      decision.fallback_level = outcome.solver_result.deadline_exceeded
+                                    ? FallbackLevel::kIncumbent
+                                    : FallbackLevel::kFull;
+      installed = true;
+    }
+  } catch (const std::exception&) {
+    decision.deadline_exceeded = budget != nullptr && budget->expired();
+  }
+
+  // Rung 2: re-project the last validated policy onto the current tunnels.
+  if (!installed) {
+    if (auto projected = last_good_projection();
+        projected.has_value() &&
+        validate_policy(current_problem(demands), *projected).valid) {
+      decision.policy = std::move(*projected);
+      decision.fallback_level = FallbackLevel::kLastGood;
+      installed = true;
+    }
+  }
+
+  // Rung 3: the static floor always validates.
+  if (!installed) {
+    decision.policy = static_floor(demands);
+    decision.fallback_level = FallbackLevel::kStaticFloor;
+  }
+
+  // Only healthy rungs refresh the last-good snapshot: re-installing a
+  // fallback must not launder it into "good".
+  if (decision.fallback_level == FallbackLevel::kFull ||
+      decision.fallback_level == FallbackLevel::kIncumbent) {
+    te::TePolicy trimmed = decision.policy;
+    trimmed.allocation.resize(
+        std::min(trimmed.allocation.size(),
+                 static_cast<std::size_t>(num_static_tunnels_)));
+    last_good_ = std::move(trimmed);
+  }
+
   sim::LatencyModel latency = config_.latency;
   if (!include_detection) latency.detection_ms = 0.0;
   decision.pipeline = sim::pipeline_trace(
       latency, decision.new_tunnels,
-      static_cast<int>(outcome.scenarios.scenarios.size()));
+      static_cast<int>(decision.believed_scenarios.scenarios.size()));
   return decision;
 }
 
@@ -50,11 +202,44 @@ std::optional<ControlDecision> Controller::on_telemetry(
     net::FiberId fiber, const std::vector<double>& trace_db,
     optical::TimeSec trace_start_sec, double healthy_loss_db,
     const net::TrafficMatrix& demands) {
+  last_telemetry_quality_ = optical::TelemetryQuality{};
+  // Consistency guards: a malformed window is dropped (nullopt, empty
+  // quality) rather than fed to detection. The one-week cap bounds the
+  // interpolation cost a runaway collector can impose.
+  constexpr std::size_t kMaxWindowSamples = 604800;  // 7 days at 1 Hz
+  if (fiber < 0 || fiber >= topology_.network.num_fibers()) {
+    return std::nullopt;
+  }
+  if (trace_db.empty() || trace_db.size() > kMaxWindowSamples) {
+    return std::nullopt;
+  }
+  if (trace_start_sec < 0) return std::nullopt;
+  if (!std::isfinite(healthy_loss_db) || healthy_loss_db <= 0.0) {
+    return std::nullopt;
+  }
+
+  const std::vector<double> clean =
+      optical::sanitize_trace(trace_db, &last_telemetry_quality_);
+  if (last_telemetry_quality_.all_missing) return std::nullopt;
+
   const optical::DegradationDetector detector(healthy_loss_db);
   const auto result =
-      detector.scan(optical::interpolate_missing(trace_db), trace_start_sec,
-                    topology_.network.fiber(fiber));
+      detector.scan(clean, trace_start_sec, topology_.network.fiber(fiber));
   if (result.degradations.empty()) return std::nullopt;
+
+  if (!last_telemetry_quality_.trusted()) {
+    // The window shows a degradation but its waveform is not trustworthy
+    // (mostly missing, stuck-at, corrupt): skip the ML predictor — whose
+    // features would be garbage — and react with the fiber's static
+    // probability instead.
+    te::DegradationScenario scenario =
+        te::DegradationScenario::none(topology_.network.num_fibers());
+    scenario.degraded[static_cast<std::size_t>(fiber)] = true;
+    scenario.predicted_prob[static_cast<std::size_t>(fiber)] =
+        static_probs_[static_cast<std::size_t>(fiber)];
+    return run_pipeline(scenario, demands, /*include_detection=*/true);
+  }
+
   // React to the first episode with an observed onset: a boundary-truncated
   // episode carries window-edge features (its degree is the walked noisy
   // level, its onset the window start), which would mislead the predictor.
@@ -80,7 +265,14 @@ ControlDecision Controller::on_degradation(
     throw std::out_of_range("degradation on unknown fiber");
   }
   scenario.degraded[fiber] = true;
-  scenario.predicted_prob[fiber] = predictor_->predict(features);
+  // A throwing predictor is a component fault, not a reason to drop the
+  // reaction: fall back to the fiber's static probability. (NaN predictions
+  // are sanitized further down by PreTeScheme.)
+  try {
+    scenario.predicted_prob[fiber] = predictor_->predict(features);
+  } catch (const std::exception&) {
+    scenario.predicted_prob[fiber] = static_probs_[fiber];
+  }
   return run_pipeline(scenario, demands, /*include_detection=*/true);
 }
 

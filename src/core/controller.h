@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -8,9 +9,11 @@
 #include "net/topology.h"
 #include "net/traffic.h"
 #include "optical/detector.h"
+#include "optical/sanitize.h"
 #include "sim/latency.h"
 #include "te/availability.h"
 #include "te/prete.h"
+#include "util/deadline.h"
 
 namespace prete::core {
 
@@ -21,6 +24,24 @@ struct ControllerConfig {
   // How long a dynamic tunnel is kept after a degradation clears (one TE
   // period by default, §4.2).
   double dynamic_tunnel_ttl_sec = 300.0;
+  // Per-decision solve budget (see util::Deadline): maximum simplex pivots
+  // and wall-clock milliseconds the TE solve may spend before the controller
+  // degrades to a fallback policy. 0 disables the respective limit; both 0
+  // (the default) leaves decisions bitwise identical to an unbudgeted build.
+  // The pivot budget is deterministic; the wall-clock budget is not and
+  // should stay off in reproducibility-sensitive runs.
+  std::int64_t solver_pivot_budget = 0;
+  double solver_wall_ms = 0.0;
+};
+
+// Which rung of the controller's graceful-degradation ladder produced a
+// decision. Ordered from best to worst; every rung's policy passes
+// validate_policy before installation.
+enum class FallbackLevel {
+  kFull = 0,         // Benders solve ran to completion
+  kIncumbent = 1,    // deadline expired; solver's best incumbent installed
+  kLastGood = 2,     // last validated policy re-projected onto current tunnels
+  kStaticFloor = 3,  // capacity-safe equal split (no solver involved)
 };
 
 // The outcome of one control decision: the policy to install, the pipeline
@@ -31,10 +52,17 @@ struct ControlDecision {
   te::ScenarioSet believed_scenarios;
   sim::PipelineTrace pipeline;
   int new_tunnels = 0;
-  double phi = 0.0;  // guaranteed beta-quantile loss
+  double phi = 0.0;  // guaranteed beta-quantile loss (1.0 on fallback rungs)
   // Simplex pivots spent producing this decision — drops on epochs that
   // reuse a carried basis (see te::BasisCache).
   int solver_pivots = 0;
+  // Degradation-ladder bookkeeping: which rung produced `policy`, whether
+  // the solve deadline expired on the way, and the Benders bound gap of the
+  // installed policy (0 at proven optimality, 1.0 on the ladder's lower
+  // rungs where no bound exists).
+  FallbackLevel fallback_level = FallbackLevel::kFull;
+  bool deadline_exceeded = false;
+  double gap = 0.0;
 };
 
 // The PreTE controller (Figure 8): consumes per-second optical telemetry,
@@ -44,6 +72,13 @@ struct ControlDecision {
 // The controller owns a mutable tunnel table seeded from the topology; each
 // degradation may append dynamic tunnels, and `on_degradation_cleared`
 // restores the original state.
+//
+// Fault tolerance: every decision descends a graceful-degradation ladder
+// (FallbackLevel) until a rung produces a policy that passes
+// validate_policy. A solver exception, an expired deadline with no usable
+// incumbent, or a validator rejection moves to the next rung; the static
+// floor always succeeds, so a decision is always produced and is always
+// safe to install.
 class Controller {
  public:
   Controller(const net::Topology& topology,
@@ -56,7 +91,14 @@ class Controller {
 
   // Telemetry-triggered run: a trace window for one fiber is scanned; if a
   // degradation is found, the full reactive pipeline executes. Returns
-  // nullopt when the trace shows no degradation.
+  // nullopt when the trace shows no degradation — or when the window is
+  // malformed (unknown fiber, empty/oversized trace, negative start time,
+  // non-positive or non-finite healthy loss) or carried no usable signal;
+  // consult last_telemetry_quality() to distinguish. The raw trace is
+  // sanitized (optical::sanitize_trace) before detection; a window that is
+  // degraded but untrusted (mostly-missing, stuck-at) still triggers the
+  // pipeline, using the fiber's static probability instead of the ML
+  // predictor whose features the garbage window would have fed.
   std::optional<ControlDecision> on_telemetry(
       net::FiberId fiber, const std::vector<double>& trace_db,
       optical::TimeSec trace_start_sec, double healthy_loss_db,
@@ -71,17 +113,35 @@ class Controller {
   // dynamic tunnels are dismantled (§4.2).
   void on_degradation_cleared();
 
+  // Replaces the solve budget for subsequent decisions (0 = unlimited).
+  // Exists so fault campaigns and operators can tighten or lift the budget
+  // without rebuilding the controller.
+  void set_solver_budget(std::int64_t pivot_budget, double wall_ms = 0.0);
+
   const net::TunnelSet& tunnels() const { return tunnels_; }
   const ControllerConfig& config() const { return config_; }
   const std::vector<double>& static_probs() const { return static_probs_; }
   // The long-lived TE scheme — exposes basis-cache statistics so callers
   // can observe cross-epoch warm-start behavior.
   const te::PreTeScheme& scheme() const { return scheme_; }
+  // Quality verdict of the most recent on_telemetry window (default-
+  // constructed before the first call).
+  const optical::TelemetryQuality& last_telemetry_quality() const {
+    return last_telemetry_quality_;
+  }
 
  private:
   ControlDecision run_pipeline(const te::DegradationScenario& scenario,
                                const net::TrafficMatrix& demands,
                                bool include_detection);
+  // Rung 2: the last validated policy, truncated to the static tunnel
+  // prefix, re-sized to the current tunnel table. Nullopt when no decision
+  // has been validated yet or the re-projection fails validation.
+  std::optional<te::TePolicy> last_good_projection() const;
+  // Rung 3: per-flow equal split over the static tunnels, scaled down by
+  // the worst link-overload ratio — capacity-safe by construction.
+  te::TePolicy static_floor(const net::TrafficMatrix& demands) const;
+  te::TeProblem current_problem(const net::TrafficMatrix& demands) const;
 
   const net::Topology& topology_;
   std::vector<double> static_probs_;
@@ -93,6 +153,13 @@ class Controller {
   // or tunnel-set change alters the problem-shape signature, which
   // invalidates the affected cache entry (cold solve, identical result).
   te::PreTeScheme scheme_;
+  // Ladder state. The last-good policy is stored truncated to the static
+  // tunnel prefix: dynamic tunnel ids are reused across
+  // on_degradation_cleared, so allocations beyond the prefix would silently
+  // land on different tunnels than they were computed for.
+  int num_static_tunnels_ = 0;
+  std::optional<te::TePolicy> last_good_;
+  optical::TelemetryQuality last_telemetry_quality_;
 };
 
 }  // namespace prete::core

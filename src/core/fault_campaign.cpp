@@ -1,0 +1,226 @@
+#include "core/fault_campaign.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/policy_guard.h"
+#include "util/rng.h"
+
+namespace prete::core {
+
+namespace {
+
+// Predictor whose failure mode the campaign arms per step.
+class FaultyPredictor final : public ml::FailurePredictor {
+ public:
+  enum class Mode { kNormal, kNaN, kThrow };
+
+  double predict(const optical::DegradationFeatures&) const override {
+    switch (mode_) {
+      case Mode::kNaN:
+        return std::numeric_limits<double>::quiet_NaN();
+      case Mode::kThrow:
+        throw std::runtime_error("injected predictor fault");
+      case Mode::kNormal:
+        break;
+    }
+    return 0.35;
+  }
+
+  void set_mode(Mode mode) { mode_ = mode; }
+
+ private:
+  Mode mode_ = Mode::kNormal;
+};
+
+std::uint64_t fnv1a(std::uint64_t hash, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::uint64_t fold_decision(std::uint64_t hash, int step,
+                            const ControlDecision& decision) {
+  hash = fnv1a(hash, &step, sizeof(step));
+  const int level = static_cast<int>(decision.fallback_level);
+  hash = fnv1a(hash, &level, sizeof(level));
+  const unsigned char exceeded = decision.deadline_exceeded ? 1 : 0;
+  hash = fnv1a(hash, &exceeded, sizeof(exceeded));
+  for (double a : decision.policy.allocation) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &a, sizeof(bits));
+    hash = fnv1a(hash, &bits, sizeof(bits));
+  }
+  return hash;
+}
+
+// Synthetic telemetry window for one step: healthy baseline with thermal
+// noise; on degraded steps a mid-window pulse 4-6 dB above baseline with
+// its own jitter, so the detector extracts nonzero gradient/fluctuation
+// features. Derived entirely from the step's split stream.
+std::vector<double> make_window(const FaultCampaignConfig& config,
+                                util::Rng stream, bool degraded) {
+  std::vector<double> trace(static_cast<std::size_t>(config.window_samples));
+  const double pulse_db = 4.0 + 2.0 * stream.next_double();
+  const std::size_t onset = trace.size() / 6;
+  const std::size_t recovery = trace.size() - trace.size() / 6;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    double level = config.healthy_loss_db;
+    if (degraded && i >= onset && i < recovery) level += pulse_db;
+    trace[i] = level + 0.04 * (stream.next_double() - 0.5);
+  }
+  return trace;
+}
+
+}  // namespace
+
+std::string FaultCampaignReport::summary() const {
+  std::ostringstream os;
+  os << "steps=" << steps << " faults=" << faults_injected
+     << " exceptions=" << exceptions << " invalid=" << validator_failures
+     << " rungs=[" << rung_count[0] << ',' << rung_count[1] << ','
+     << rung_count[2] << ',' << rung_count[3] << ']'
+     << " untrusted=" << untrusted_windows
+     << " malformed=" << malformed_windows << " digest=" << decision_digest;
+  return os.str();
+}
+
+FaultCampaignReport run_fault_campaign(const net::Topology& topology,
+                                       const std::vector<double>& static_probs,
+                                       const net::TrafficMatrix& demands,
+                                       const FaultCampaignConfig& config) {
+  using sim::FaultKind;
+
+  // Forced prologue (steps 0-7): exercise every ladder rung determin-
+  // istically. Step 0 collapses the solver before any decision exists, so
+  // the only rung left is the static floor; step 1 runs clean to establish
+  // a last-good policy and measure a full solve's pivot count; step 2
+  // collapses again, landing on last-good; steps 3-7 sweep partial budgets
+  // to catch the solve mid-flight with a usable incumbent.
+  sim::FaultPlan plan;
+  plan.seed = config.seed;
+  plan.rates = config.rates;
+  plan.forced = {{0, FaultKind::kSolverCollapse},
+                 {1, FaultKind::kNone},
+                 {2, FaultKind::kSolverCollapse},
+                 {3, FaultKind::kDeadlineExpiry},
+                 {4, FaultKind::kDeadlineExpiry},
+                 {5, FaultKind::kDeadlineExpiry},
+                 {6, FaultKind::kDeadlineExpiry},
+                 {7, FaultKind::kDeadlineExpiry}};
+  const sim::FaultInjector injector(plan);
+  // Budget fractions for the incumbent sweep, in units of 1/16 of the
+  // measured full-solve pivot count.
+  const int budget_sixteenths[] = {8, 4, 2, 1, 12};
+
+  auto predictor = std::make_shared<FaultyPredictor>();
+  ControllerConfig controller_config;
+  controller_config.te = config.te;
+  Controller controller(topology, static_probs, predictor, controller_config);
+
+  FaultCampaignReport report;
+  report.steps = config.steps;
+  report.decision_digest = 0xcbf29ce484222325ULL;  // FNV offset basis
+
+  const util::Rng root(config.seed ^ 0x5afe5afe5afeULL);
+  int full_solve_pivots = 0;
+
+  for (int step = 0; step < config.steps; ++step) {
+    const auto fiber =
+        static_cast<net::FiberId>(step % topology.network.num_fibers());
+    const FaultKind kind = injector.fault_at(step);
+    if (kind != FaultKind::kNone) ++report.faults_injected;
+
+    // Healthy (no-degradation) windows keep the nullopt path exercised.
+    const bool degraded = step < 8 || step % 9 != 8;
+    std::vector<double> trace = make_window(
+        config, root.split(static_cast<std::uint64_t>(step)), degraded);
+
+    predictor->set_mode(FaultyPredictor::Mode::kNormal);
+    controller.set_solver_budget(0);
+    switch (kind) {
+      case FaultKind::kTelemetryCorruption:
+        injector.corrupt_trace(step, trace);
+        break;
+      case FaultKind::kPredictorNaN:
+        predictor->set_mode(FaultyPredictor::Mode::kNaN);
+        break;
+      case FaultKind::kPredictorThrow:
+        predictor->set_mode(FaultyPredictor::Mode::kThrow);
+        break;
+      case FaultKind::kDeadlineExpiry: {
+        std::int64_t budget = sim::FaultInjector::kDeadlineExpiryPivots;
+        if (step >= 3 && step <= 7 && full_solve_pivots > 0) {
+          const int frac = budget_sixteenths[step - 3];
+          budget = std::max<std::int64_t>(
+              2, static_cast<std::int64_t>(full_solve_pivots) * frac / 16);
+        }
+        controller.set_solver_budget(budget);
+        break;
+      }
+      case FaultKind::kSolverCollapse:
+        controller.set_solver_budget(sim::FaultInjector::kSolverCollapsePivots);
+        break;
+      case FaultKind::kNone:
+        break;
+    }
+
+    // A slice of steps delivers malformed window metadata to exercise the
+    // input guards: the controller must reject them with nullopt.
+    double healthy_loss = config.healthy_loss_db;
+    optical::TimeSec t0 = static_cast<optical::TimeSec>(step) * 300;
+    if (step > 8 && step % 13 == 9) {
+      healthy_loss = std::numeric_limits<double>::quiet_NaN();
+    } else if (step > 8 && step % 13 == 10) {
+      t0 = -1;
+    }
+
+    try {
+      const auto decision =
+          controller.on_telemetry(fiber, trace, t0, healthy_loss, demands);
+      if (!std::isfinite(healthy_loss) || t0 < 0) {
+        ++report.malformed_windows;
+        if (decision.has_value()) ++report.validator_failures;  // guard hole
+      } else if (!decision.has_value()) {
+        ++report.no_decision_steps;
+      } else {
+        ++report.decisions;
+        ++report.rung_count[static_cast<std::size_t>(
+            decision->fallback_level)];
+        if (decision->deadline_exceeded) ++report.deadline_exceeded;
+        if (!controller.last_telemetry_quality().trusted()) {
+          ++report.untrusted_windows;
+        }
+        te::TeProblem problem;
+        problem.network = &topology.network;
+        problem.flows = &topology.flows;
+        problem.tunnels = &controller.tunnels();
+        problem.demands = demands;
+        if (!validate_policy(problem, decision->policy).valid) {
+          ++report.validator_failures;
+        }
+        report.decision_digest =
+            fold_decision(report.decision_digest, step, *decision);
+        if (kind == FaultKind::kNone &&
+            decision->fallback_level == FallbackLevel::kFull) {
+          full_solve_pivots = decision->solver_pivots;
+        }
+      }
+    } catch (const std::exception&) {
+      ++report.exceptions;
+    }
+
+    if (step % 8 == 7) controller.on_degradation_cleared();
+  }
+  return report;
+}
+
+}  // namespace prete::core

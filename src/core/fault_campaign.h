@@ -1,0 +1,73 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/controller.h"
+#include "net/topology.h"
+#include "net/traffic.h"
+#include "sim/fault_injector.h"
+
+namespace prete::core {
+
+// Configuration of a deterministic fault campaign against the controller.
+// Everything — fault sampling, telemetry waveforms, corruption shapes — is
+// derived from `seed` via split streams, so a campaign is a pure function
+// of (topology, static_probs, demands, config) and bit-identical at any
+// thread count.
+struct FaultCampaignConfig {
+  int steps = 256;
+  std::uint64_t seed = 7;
+  // Probabilistic fault mix for the steps after the forced prologue. The
+  // defaults sum to 0.85, so a 256-step campaign injects ~218 faults.
+  sim::FaultRates rates{0.35, 0.15, 0.15, 0.10, 0.10};
+  // Synthetic telemetry shape.
+  double healthy_loss_db = 2.0;
+  int window_samples = 120;
+  te::PreTeConfig te;
+};
+
+struct FaultCampaignReport {
+  int steps = 0;
+  int faults_injected = 0;      // steps with a non-kNone fault armed
+  int exceptions = 0;           // exceptions escaping the controller (must be 0)
+  int validator_failures = 0;   // installed policies failing validate_policy
+  int decisions = 0;            // steps that produced a ControlDecision
+  int no_decision_steps = 0;    // nullopt from on_telemetry
+  int malformed_windows = 0;    // windows rejected by the input guards
+  int untrusted_windows = 0;    // decisions taken on untrusted telemetry
+  int deadline_exceeded = 0;    // decisions whose solve ran out of budget
+  // Decisions per ladder rung, indexed by FallbackLevel.
+  std::array<int, 4> rung_count{};
+  // FNV-1a digest over every decision's (step, rung, deadline flag, policy
+  // bits) — the bit-identity witness for the CI thread matrix.
+  std::uint64_t decision_digest = 0;
+
+  bool every_rung_exercised() const {
+    for (int c : rung_count) {
+      if (c == 0) return false;
+    }
+    return true;
+  }
+  bool clean() const { return exceptions == 0 && validator_failures == 0; }
+
+  std::string summary() const;
+};
+
+// Drives a Controller through `config.steps` telemetry windows while
+// injecting faults: corrupted traces, NaN/throwing predictors, starved
+// solver budgets, and malformed window metadata. A forced prologue
+// guarantees each ladder rung is exercised at least once (solver collapse
+// before any decision -> static floor; collapse after a good decision ->
+// last-good; a sweep of partial budgets -> incumbent); the remaining steps
+// sample from config.rates. Every decision is re-validated with
+// validate_policy, and any exception escaping the controller is counted —
+// a clean run reports exceptions == 0 and validator_failures == 0.
+FaultCampaignReport run_fault_campaign(const net::Topology& topology,
+                                       const std::vector<double>& static_probs,
+                                       const net::TrafficMatrix& demands,
+                                       const FaultCampaignConfig& config = {});
+
+}  // namespace prete::core

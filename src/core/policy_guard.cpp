@@ -1,0 +1,71 @@
+#include "core/policy_guard.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace prete::core {
+
+std::string PolicyCheck::summary() const {
+  if (valid) return "valid";
+  std::ostringstream os;
+  os << "invalid:";
+  if (size_mismatch) os << " size-mismatch";
+  if (non_finite > 0) os << " non-finite=" << non_finite;
+  if (negative > 0) os << " negative=" << negative;
+  if (overloaded_links > 0) os << " overloaded-links=" << overloaded_links;
+  return os.str();
+}
+
+PolicyCheck validate_policy(const te::TeProblem& problem,
+                            const te::TePolicy& policy, double tol) {
+  PolicyCheck check;
+  if (problem.network == nullptr || problem.flows == nullptr ||
+      problem.tunnels == nullptr) {
+    check.valid = false;
+    check.size_mismatch = true;
+    return check;
+  }
+  const net::TunnelSet& tunnels = *problem.tunnels;
+  const auto n = static_cast<std::size_t>(tunnels.num_tunnels());
+  if (policy.allocation.size() != n) {
+    check.valid = false;
+    check.size_mismatch = true;
+    return check;
+  }
+
+  for (double a : policy.allocation) {
+    if (!std::isfinite(a)) {
+      ++check.non_finite;
+    } else if (a < -tol) {
+      ++check.negative;
+    }
+  }
+  if (check.non_finite > 0) {
+    // NaN entries would contaminate every sum below; the verdict is already
+    // fatal, so skip the aggregate checks.
+    check.valid = false;
+    return check;
+  }
+
+  const net::Network& net = *problem.network;
+  std::vector<double> load(static_cast<std::size_t>(net.num_links()), 0.0);
+  for (const net::Tunnel& t : tunnels.tunnels()) {
+    const double a = policy.allocation[static_cast<std::size_t>(t.id)];
+    for (net::LinkId e : t.path) {
+      load[static_cast<std::size_t>(e)] += a;
+    }
+  }
+  for (net::LinkId e = 0; e < net.num_links(); ++e) {
+    const double cap = net.link(e).capacity_gbps;
+    if (load[static_cast<std::size_t>(e)] > cap + tol * std::max(1.0, cap)) {
+      ++check.overloaded_links;
+    }
+  }
+
+  check.valid = check.negative == 0 && check.overloaded_links == 0;
+  return check;
+}
+
+}  // namespace prete::core

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "te/types.h"
+
+namespace prete::core {
+
+// Verdict of validate_policy: why (if at all) a candidate policy is unsafe
+// to install. `valid` is the conjunction of every individual check.
+struct PolicyCheck {
+  bool valid = true;
+  bool size_mismatch = false;  // allocation vector != tunnel-table size
+  std::size_t non_finite = 0;  // NaN/inf allocation entries
+  std::size_t negative = 0;    // entries below -tol
+  int overloaded_links = 0;    // link load exceeds its capacity
+
+  // One-line human-readable verdict for logs and bench reports.
+  std::string summary() const;
+};
+
+// Pre-install validation gate for the controller's degradation ladder: every
+// policy — from the full Benders solve down to the static floor — must pass
+// before it is installed on the network. Checks, against the CURRENT problem
+// (network, flows, tunnel table, demands):
+//   1. the allocation vector covers exactly the tunnel table,
+//   2. every entry is finite and non-negative (within `tol`),
+//   3. no link is loaded past its capacity (within `tol`, relative).
+// A flow's total allocation exceeding its demand is deliberately NOT an
+// error: the min-max program over-provisions surviving tunnels as
+// protection headroom (rate adaptation sends at most the demand), so only
+// physical capacity bounds what is installable.
+// The function never throws; a malformed policy yields a failing verdict.
+PolicyCheck validate_policy(const te::TeProblem& problem,
+                            const te::TePolicy& policy, double tol = 1e-6);
+
+}  // namespace prete::core

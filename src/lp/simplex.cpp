@@ -134,9 +134,15 @@ class SimplexEngine {
     const SolveStatus phase2 = optimize(ws_.phase2_cost, /*phase1=*/false, total_iters);
     solution.iterations = total_iters;
     solution.status = phase2;
-    if (phase2 != SolveStatus::kOptimal) return solution;
+    if (phase2 != SolveStatus::kOptimal &&
+        phase2 != SolveStatus::kIterationLimit) {
+      return solution;
+    }
 
-    // Extract primal values for structural variables.
+    // Extract primal values for structural variables. On a phase-2 iteration
+    // limit the current point is still primal feasible (the ratio test never
+    // leaves the feasible region), so the incumbent x and its objective go
+    // out with the kIterationLimit status instead of silent garbage.
     solution.x.assign(static_cast<std::size_t>(ws_.num_structural), 0.0);
     std::vector<double> full(static_cast<std::size_t>(ws_.total), 0.0);
     for (int j = 0; j < ws_.total; ++j) {
@@ -150,19 +156,22 @@ class SimplexEngine {
       solution.x[static_cast<std::size_t>(j)] = full[static_cast<std::size_t>(j)];
     }
 
-    // Duals: y = c_B' B^-1 for the internal minimization.
-    std::vector<double> y = dual_vector(ws_.phase2_cost);
-    solution.duals.assign(static_cast<std::size_t>(ws_.m), 0.0);
     double obj = 0.0;
     for (int j = 0; j < ws_.num_structural; ++j) {
       obj += ws_.phase2_cost[static_cast<std::size_t>(j)] *
              solution.x[static_cast<std::size_t>(j)];
     }
+    if (model.sense() == Sense::kMaximize) obj = -obj;
+    solution.objective = obj;
+    // Duals only at optimality: the incumbent basis of a truncated solve is
+    // not dual-feasible and its shadow prices would poison Benders cuts.
+    if (phase2 != SolveStatus::kOptimal) return solution;
+
+    std::vector<double> y = dual_vector(ws_.phase2_cost);
     if (model.sense() == Sense::kMaximize) {
-      obj = -obj;
       for (double& v : y) v = -v;
     }
-    solution.objective = obj;
+    solution.duals.assign(static_cast<std::size_t>(ws_.m), 0.0);
     for (int r = 0; r < ws_.m; ++r) {
       solution.duals[static_cast<std::size_t>(r)] = y[static_cast<std::size_t>(r)];
     }
@@ -598,6 +607,14 @@ class SimplexEngine {
     constexpr double kDevexResetThreshold = 1e7;
 
     for (int iter = 0; iter < max_iters; ++iter, ++total_iters) {
+      // Cooperative deadline: checked before the pivot so the overrun past
+      // expiry is at most the pivot in flight. Each loop iteration (pivot or
+      // bound flip) charges one pivot, making pivot-budget expiry a pure
+      // function of the work done — deterministic at any thread count.
+      if (options_.deadline != nullptr) {
+        if (options_.deadline->expired()) return SolveStatus::kIterationLimit;
+        options_.deadline->charge_pivots();
+      }
       const std::vector<double> y = dual_vector(cost);
 
       // Pricing.

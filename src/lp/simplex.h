@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "lp/model.h"
+#include "util/deadline.h"
 
 namespace prete::lp {
 
@@ -37,6 +38,14 @@ struct SimplexOptions {
   int degenerate_pivot_limit = 200;
   // Entering-variable selection rule (see PricingRule).
   PricingRule pricing = PricingRule::kDevex;
+  // Optional cooperative budget, checked (and charged one pivot) at every
+  // pivot of both phases. On expiry the solve stops with kIterationLimit;
+  // if phase 2 had begun, the returned solution still carries the current
+  // primal-feasible point (see SolveStatus::kIterationLimit notes on
+  // SimplexSolver::solve). The pointee is mutated by the solve, is not
+  // owned, and nullptr (the default) means unlimited — default-constructed
+  // solves behave exactly as before.
+  util::Deadline* deadline = nullptr;
 };
 
 // Snapshot of an optimal basis, reusable as a warm start for a later solve.
@@ -96,6 +105,13 @@ class SimplexSolver {
   // the next solve in the sequence. Warm starts change only the pivot path,
   // never the optimality conditions, and depend on nothing but the hint —
   // so solve sequences stay deterministic at any thread count.
+  //
+  // Status contract on kIterationLimit (pivot cap or an expired
+  // options.deadline): if the limit fell in phase 2 the solution carries the
+  // incumbent — a primal-feasible `x` and its true `objective` — so callers
+  // can install it as a best-effort answer; `duals` stay empty because the
+  // incumbent basis is not dual-feasible (never build cuts from it). A limit
+  // during phase 1 returns an empty `x`: no feasible point was reached.
   Solution solve(const Model& model, const SimplexBasis* warm,
                  SimplexBasis* basis_out) const;
 

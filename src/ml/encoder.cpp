@@ -7,6 +7,9 @@
 namespace prete::ml {
 
 double FeatureEncoder::Range::scale(double v) const {
+  // Neutral mid-range encoding for corrupt inputs: std::clamp would pass
+  // NaN straight through into the model.
+  if (!std::isfinite(v)) return 0.5;
   if (max <= min) return 0.0;
   return std::clamp((v - min) / (max - min), 0.0, 1.0);
 }
@@ -62,9 +65,11 @@ std::vector<double> FeatureEncoder::encode_dense(
   if (mask_.fluctuation) x.push_back(fluctuation_.scale(f.fluctuation));
   if (mask_.length) x.push_back(length_.scale(f.length_km));
   if (mask_.time) {
-    // One-hot hour of day (Appendix A.2).
-    int hour = static_cast<int>(std::floor(f.hour));
-    hour = std::clamp(hour, 0, 23);
+    // One-hot hour of day (Appendix A.2). Clamp in double space before the
+    // int cast: casting a NaN or out-of-int-range floor result is UB.
+    const double h_clamped =
+        std::isfinite(f.hour) ? std::clamp(std::floor(f.hour), 0.0, 23.0) : 0.0;
+    const int hour = static_cast<int>(h_clamped);
     for (int h = 0; h < 24; ++h) x.push_back(h == hour ? 1.0 : 0.0);
   }
   return x;

@@ -1,5 +1,6 @@
 #include "ml/logistic.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -84,10 +85,17 @@ double LogisticPredictor::train(const Dataset& raw_train) {
 
 double LogisticPredictor::predict(
     const optical::DegradationFeatures& f) const {
+  // Same input/output guards as MlpPredictor::predict: corrupted telemetry
+  // features yield the static prior, never a NaN probability.
+  if (!features_finite(f)) {
+    return std::clamp(config_.static_prior, 0.0, 1.0);
+  }
   const std::vector<double> x = encode(f);
   double z = weights_.back();
   for (std::size_t j = 0; j < x.size(); ++j) z += weights_[j] * x[j];
-  return 1.0 / (1.0 + std::exp(-z));
+  const double p = 1.0 / (1.0 + std::exp(-z));
+  if (!std::isfinite(p)) return std::clamp(config_.static_prior, 0.0, 1.0);
+  return std::clamp(p, 0.0, 1.0);
 }
 
 }  // namespace prete::ml

@@ -17,6 +17,9 @@ struct LogisticConfig {
   int iterations = 400;
   bool oversample_minority = true;
   std::uint64_t seed = 1;
+  // Fallback P(failure) when an input feature is non-finite (same contract
+  // as MlpConfig::static_prior).
+  double static_prior = 0.4;
 };
 
 class LogisticPredictor : public FailurePredictor {

@@ -222,7 +222,16 @@ double MlpPredictor::train(const Dataset& raw_train) {
 }
 
 double MlpPredictor::predict(const optical::DegradationFeatures& f) const {
-  return forward(assemble_input(f), nullptr, nullptr);
+  // Input guard: non-finite features would flow through every layer (ReLU
+  // passes NaN, softmax of NaN logits is NaN) and poison the calibrated
+  // probabilities downstream. Fall back to the static prior instead.
+  if (!features_finite(f)) {
+    return std::clamp(config_.static_prior, 0.0, 1.0);
+  }
+  const double p = forward(assemble_input(f), nullptr, nullptr);
+  // Output guard: a model loaded with corrupt weights can still emit NaN.
+  if (!std::isfinite(p)) return std::clamp(config_.static_prior, 0.0, 1.0);
+  return std::clamp(p, 0.0, 1.0);
 }
 
 namespace {

@@ -24,6 +24,10 @@ struct MlpConfig {
   int batch_size = 32;
   bool oversample_minority = true;
   std::uint64_t seed = 1;
+  // Fallback P(failure) returned when an input feature is non-finite
+  // (corrupted telemetry reached the predictor): roughly the base rate of
+  // degradations evolving into cuts (~40%, §3.1). Clamped to [0, 1] on use.
+  double static_prior = 0.4;
 };
 
 // The paper's failure-prediction network: min-max-scaled continuous inputs

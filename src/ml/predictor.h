@@ -1,8 +1,19 @@
 #pragma once
 
+#include <cmath>
+
 #include "optical/features.h"
 
 namespace prete::ml {
+
+// True when every continuous feature is finite. Learned predictors use this
+// as an input guard: NaN/inf features from corrupted telemetry must yield a
+// static prior, never propagate through the model arithmetic.
+inline bool features_finite(const optical::DegradationFeatures& f) {
+  return std::isfinite(f.length_km) && std::isfinite(f.hour) &&
+         std::isfinite(f.degree_db) && std::isfinite(f.gradient_db) &&
+         std::isfinite(f.fluctuation);
+}
 
 // Common interface of every failure-probability model compared in Table 5 /
 // Figure 15: TeaVar's static probability, the statistic model, the decision

@@ -41,12 +41,15 @@ DetectionResult DegradationDetector::scan(const std::vector<double>& trace,
     in_degradation = false;
   };
 
+  TimeSec last_finite_t = t0;
   for (std::size_t i = 0; i < trace.size(); ++i) {
     const double loss = trace[i];
-    if (std::isnan(loss)) {
-      throw std::invalid_argument(
-          "detector requires interpolated traces (NaN found)");
-    }
+    // Tolerate residual NaN/inf samples (interpolation cannot fill a fully
+    // missing window, and a corrupted collector can emit infinities): the
+    // sample is skipped without touching the episode state, so a NaN run
+    // inside a degradation neither ends the episode nor pollutes its
+    // gradient/fluctuation features.
+    if (!std::isfinite(loss)) continue;
     const TimeSec t = t0 + static_cast<TimeSec>(i) * sample_period_sec_;
     const FiberState state = classify(loss);
     switch (state) {
@@ -90,14 +93,14 @@ DetectionResult DegradationDetector::scan(const std::vector<double>& trace,
         break;
     }
     prev_loss = loss;
+    last_finite_t = t;
   }
   if (in_degradation) {
-    // The trace ran out mid-episode: stamp the last *observed* sample's
-    // timestamp (not one period past it — nothing was measured there) and
-    // flag the truncation so consumers know no recovery was seen.
+    // The trace ran out mid-episode: stamp the last *observed* (finite)
+    // sample's timestamp (not one period past it — nothing was measured
+    // there) and flag the truncation so consumers know no recovery was seen.
     current.truncated_end = true;
-    finish_degradation(t0 + static_cast<TimeSec>(trace.size() - 1) *
-                                sample_period_sec_);
+    finish_degradation(last_finite_t);
   }
   return result;
 }

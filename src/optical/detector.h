@@ -39,8 +39,12 @@ struct DetectionResult {
 
 // Streaming classifier over per-second (or coarser) loss samples, applying
 // the OpTel thresholds: healthy < baseline+3 dB, degraded in [3, 10) dB
-// above baseline, cut >= +10 dB. Missing samples must be interpolated
-// before detection (interpolate_missing).
+// above baseline, cut >= +10 dB. Missing samples should be interpolated
+// before detection (interpolate_missing); residual non-finite samples — a
+// fully missing window that interpolation could not fill, or corrupted
+// collector output — are skipped without perturbing episode state, so an
+// all-NaN or empty trace yields an empty DetectionResult rather than a
+// throw.
 class DegradationDetector {
  public:
   // `baseline_db` is the healthy transmission loss of the fiber;

@@ -1,0 +1,85 @@
+#include "optical/sanitize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "optical/simulator.h"
+
+namespace prete::optical {
+
+std::vector<double> sanitize_trace(std::vector<double> trace,
+                                   TelemetryQuality* quality) {
+  TelemetryQuality local;
+  TelemetryQuality& q = quality != nullptr ? *quality : local;
+  q = TelemetryQuality{};
+  q.total_samples = trace.size();
+
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  std::size_t stuck_run = 0;
+  double prev_finite = kNan;
+  std::size_t usable = 0;
+  for (double& s : trace) {
+    if (std::isnan(s)) {
+      ++q.missing;
+      continue;
+    }
+    if (std::isinf(s)) {
+      ++q.non_finite;
+      s = kNan;
+      continue;
+    }
+    if (s < 0.0 || s > kAbsurdLossDb) {
+      ++q.implausible;
+      s = kNan;
+      continue;
+    }
+    ++usable;
+    // Stuck-at detection runs on the surviving finite samples: holes do not
+    // reset the run (a stuck sensor interleaved with drops is still stuck).
+    if (!std::isnan(prev_finite) && s == prev_finite) {
+      if (++stuck_run + 1 >= kStuckRunLength) q.stuck_at = true;
+    } else {
+      stuck_run = 0;
+    }
+    prev_finite = s;
+  }
+  q.all_missing = usable == 0;
+  return interpolate_missing(std::move(trace));
+}
+
+std::vector<double> assemble_window(const std::vector<TimedSample>& samples,
+                                    TimeSec t0, std::size_t n, int period_sec,
+                                    TelemetryQuality* quality) {
+  TelemetryQuality local;
+  TelemetryQuality& q = quality != nullptr ? *quality : local;
+  q = TelemetryQuality{};
+  q.total_samples = n;
+
+  if (period_sec <= 0) period_sec = 1;
+
+  std::vector<TimedSample> ordered = samples;
+  for (std::size_t i = 1; i < ordered.size(); ++i) {
+    if (ordered[i].t_sec < ordered[i - 1].t_sec) ++q.out_of_order;
+  }
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const TimedSample& a, const TimedSample& b) {
+                     return a.t_sec < b.t_sec;
+                   });
+
+  std::vector<double> trace(n, std::numeric_limits<double>::quiet_NaN());
+  std::vector<bool> filled(n, false);
+  for (const TimedSample& s : ordered) {
+    if (s.t_sec < t0) continue;
+    const TimeSec offset = s.t_sec - t0;
+    if (offset % period_sec != 0) continue;  // off-grid sample: drop
+    const auto slot = static_cast<std::size_t>(offset / period_sec);
+    if (slot >= n) continue;
+    if (filled[slot]) ++q.duplicates;  // last delivered value wins
+    trace[slot] = s.loss_db;
+    filled[slot] = true;
+  }
+  return trace;
+}
+
+}  // namespace prete::optical

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "optical/events.h"
+
+namespace prete::optical {
+
+// Physical plausibility ceiling for a transmission-loss sample. Real fibers
+// never report more than ~25 dB even during a cut (kCutLossDb); anything
+// past this is collector corruption, not signal.
+inline constexpr double kAbsurdLossDb = 60.0;
+
+// A run of this many bit-identical finite samples marks a stuck-at sensor:
+// real loss readings carry thermal noise, so even a flat-line fiber jitters
+// at the 0.01 dB level sample to sample.
+inline constexpr std::size_t kStuckRunLength = 30;
+
+// Quality verdict for one telemetry window, accumulated by sanitize_trace /
+// assemble_window. The controller consults trusted() before feeding the
+// window to detection and prediction; an untrusted window downgrades the
+// pipeline to static failure probabilities instead of crashing or believing
+// garbage.
+struct TelemetryQuality {
+  std::size_t total_samples = 0;
+  std::size_t missing = 0;       // NaN on arrival
+  std::size_t non_finite = 0;    // +/-inf converted to missing
+  std::size_t implausible = 0;   // negative or > kAbsurdLossDb, -> missing
+  std::size_t duplicates = 0;    // repeated timestamps (assemble_window)
+  std::size_t out_of_order = 0;  // timestamp regressions (assemble_window)
+  bool stuck_at = false;         // >= kStuckRunLength identical finite samples
+  bool all_missing = false;      // nothing usable survived sanitization
+
+  bool empty() const { return total_samples == 0; }
+
+  // A window is trusted when it exists, carries live (non-stuck) signal, and
+  // a majority of its samples survived sanitization. Untrusted windows are
+  // still scannable (the detector skips NaN), but their features should not
+  // reach the ML predictor.
+  bool trusted() const {
+    if (empty() || all_missing || stuck_at) return false;
+    return (missing + non_finite + implausible) * 2 <= total_samples;
+  }
+};
+
+// Scrubs a raw loss trace in place of hand-written validity checks:
+//   1. converts +/-inf to NaN (counted as non_finite),
+//   2. converts negative or > kAbsurdLossDb samples to NaN (implausible),
+//   3. flags stuck-at runs of >= kStuckRunLength identical finite samples,
+//   4. fills interior NaN gaps via interpolate_missing (edge gaps hold the
+//      nearest finite value; an all-NaN trace stays NaN and sets
+//      all_missing).
+// `quality`, when non-null, receives the verdict for the window.
+std::vector<double> sanitize_trace(std::vector<double> trace,
+                                   TelemetryQuality* quality = nullptr);
+
+// One timestamped loss sample as delivered by a (possibly misbehaving)
+// collector stream.
+struct TimedSample {
+  TimeSec t_sec = 0;
+  double loss_db = 0.0;
+};
+
+// Rebuilds a dense window [t0, t0 + n * period_sec) from an unordered,
+// possibly duplicated sample stream. Out-of-order arrivals are counted and
+// sorted into place (stable, so among equal timestamps delivery order is
+// kept); duplicate timestamps keep the LAST delivered value and are counted;
+// samples outside the window are dropped silently; slots never delivered are
+// NaN. The result is ready for sanitize_trace.
+std::vector<double> assemble_window(const std::vector<TimedSample>& samples,
+                                    TimeSec t0, std::size_t n,
+                                    int period_sec = 1,
+                                    TelemetryQuality* quality = nullptr);
+
+}  // namespace prete::optical

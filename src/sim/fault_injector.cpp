@@ -1,0 +1,88 @@
+#include "sim/fault_injector.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace prete::sim {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kTelemetryCorruption:
+      return "telemetry-corruption";
+    case FaultKind::kPredictorNaN:
+      return "predictor-nan";
+    case FaultKind::kPredictorThrow:
+      return "predictor-throw";
+    case FaultKind::kDeadlineExpiry:
+      return "deadline-expiry";
+    case FaultKind::kSolverCollapse:
+      return "solver-collapse";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  if (plan_.rates.total() > 1.0 + 1e-12) {
+    throw std::invalid_argument("fault rates must sum to <= 1");
+  }
+}
+
+FaultKind FaultInjector::fault_at(std::int64_t step) const {
+  for (const FaultPlan::Forced& f : plan_.forced) {
+    if (f.step == step) return f.kind;
+  }
+  util::Rng stream =
+      util::Rng(plan_.seed).split(static_cast<std::uint64_t>(step));
+  double u = stream.next_double();
+  const FaultRates& r = plan_.rates;
+  if ((u -= r.telemetry_corruption) < 0.0) {
+    return FaultKind::kTelemetryCorruption;
+  }
+  if ((u -= r.predictor_nan) < 0.0) return FaultKind::kPredictorNaN;
+  if ((u -= r.predictor_throw) < 0.0) return FaultKind::kPredictorThrow;
+  if ((u -= r.deadline_expiry) < 0.0) return FaultKind::kDeadlineExpiry;
+  if ((u -= r.solver_collapse) < 0.0) return FaultKind::kSolverCollapse;
+  return FaultKind::kNone;
+}
+
+void FaultInjector::corrupt_trace(std::int64_t step,
+                                  std::vector<double>& trace) const {
+  if (trace.empty()) return;
+  // A distinct stream from fault_at's (xor'd constant) so corruption shape
+  // and fault sampling stay independent.
+  util::Rng stream = util::Rng(plan_.seed ^ 0xC0FFEEULL)
+                         .split(static_cast<std::uint64_t>(step));
+  const std::size_t n = trace.size();
+  const std::size_t start = static_cast<std::size_t>(stream.next_below(n));
+  const std::size_t len =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   stream.next_below(n / 4 + 1)));
+  const std::size_t end = std::min(n, start + len);
+  switch (stream.next_below(4)) {
+    case 0:  // NaN run (dropped samples)
+      for (std::size_t i = start; i < end; ++i) {
+        trace[i] = std::numeric_limits<double>::quiet_NaN();
+      }
+      break;
+    case 1:  // infinite spike
+      trace[start] = std::numeric_limits<double>::infinity();
+      break;
+    case 2: {  // stuck-at flatline from `anchor` to the end of the window
+      // Clamp the anchor off the last sample so the flatline always
+      // overwrites at least one reading (a corruption that corrupts nothing
+      // would silently weaken the campaign).
+      const std::size_t anchor = n >= 2 ? std::min(start, n - 2) : 0;
+      for (std::size_t i = anchor + 1; i < n; ++i) trace[i] = trace[anchor];
+      break;
+    }
+    default:  // negative (physically impossible) run
+      for (std::size_t i = start; i < end; ++i) trace[i] = -5.0;
+      break;
+  }
+}
+
+}  // namespace prete::sim

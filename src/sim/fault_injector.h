@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace prete::sim {
+
+// The component faults the harness can inject into a control-plane run.
+enum class FaultKind {
+  kNone = 0,
+  // Telemetry corruption: NaN runs, infinite spikes, stuck-at readings,
+  // negative samples (see corrupt_trace), or an absurd predicted
+  // probability where no raw trace exists.
+  kTelemetryCorruption,
+  kPredictorNaN,    // the failure predictor returns NaN
+  kPredictorThrow,  // the failure predictor throws
+  // The TE solve runs out of budget mid-decomposition: a moderate pivot
+  // budget that typically leaves a usable incumbent.
+  kDeadlineExpiry,
+  // The TE solve collapses entirely: a 1-pivot budget that cannot even
+  // finish simplex phase 1, so no incumbent exists and the controller must
+  // descend past the incumbent rung.
+  kSolverCollapse,
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+// Per-step probabilities of each fault kind, evaluated in declaration order
+// on a single uniform draw (so they are mutually exclusive and their sum
+// must be <= 1).
+struct FaultRates {
+  double telemetry_corruption = 0.0;
+  double predictor_nan = 0.0;
+  double predictor_throw = 0.0;
+  double deadline_expiry = 0.0;
+  double solver_collapse = 0.0;
+
+  double total() const {
+    return telemetry_corruption + predictor_nan + predictor_throw +
+           deadline_expiry + solver_collapse;
+  }
+};
+
+// A deterministic fault schedule: forced (step, kind) entries fire exactly
+// at their step; every other step samples from `rates` on the stream
+// util::Rng(seed).split(step). No wall clock, no global state — the same
+// plan yields the same faults at any thread count and in any query order.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  FaultRates rates;
+  struct Forced {
+    std::int64_t step = 0;
+    FaultKind kind = FaultKind::kNone;
+  };
+  std::vector<Forced> forced;
+};
+
+// Schedule-driven fault injector for the control plane. `step` is whatever
+// monotone identifier the harness uses for one decision opportunity — a
+// campaign step, an epoch signature — and fault_at(step) is a pure function
+// of (plan, step), so parallel consumers can query it order-independently.
+class FaultInjector {
+ public:
+  // Pivot budgets used when materializing the two solver-fault kinds.
+  static constexpr std::int64_t kDeadlineExpiryPivots = 500;
+  static constexpr std::int64_t kSolverCollapsePivots = 1;
+
+  explicit FaultInjector(FaultPlan plan);
+
+  FaultKind fault_at(std::int64_t step) const;
+
+  // Deterministically corrupts a telemetry trace in place, choosing among
+  // four corruption modes (NaN run, +inf spike, stuck-at flatline, negative
+  // run) from the step's stream. The trace keeps its length.
+  void corrupt_trace(std::int64_t step, std::vector<double>& trace) const;
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  FaultPlan plan_;
+};
+
+}  // namespace prete::sim

@@ -1,8 +1,10 @@
 #include "sim/monte_carlo.h"
 
 #include <cmath>
+#include <limits>
 
 #include "runtime/parallel.h"
+#include "util/deadline.h"
 #include "te/prete.h"
 #include "te/scenario.h"
 
@@ -128,7 +130,8 @@ MonteCarloResult MonteCarloStudy::run_static(te::TeScheme& scheme,
 }
 
 MonteCarloResult MonteCarloStudy::run_prete(const net::TrafficMatrix& demands,
-                                            util::Rng& rng) const {
+                                            util::Rng& rng,
+                                            const FaultInjector* faults) const {
   te::PreTeConfig config;
   config.beta = config_.beta;
   config.alpha = stats_.alpha;
@@ -172,6 +175,7 @@ MonteCarloResult MonteCarloStudy::run_prete(const net::TrafficMatrix& demands,
   struct CachedPolicy {
     net::TunnelSet tunnels{0};
     te::TePolicy policy;
+    int faulted = 0;
   };
   std::vector<CachedPolicy> cache(needed.size());
   runtime::parallel_for(signatures.size(), [&](std::size_t s) {
@@ -187,8 +191,46 @@ MonteCarloResult MonteCarloStudy::run_prete(const net::TrafficMatrix& demands,
           stats_.cut_given_degradation[static_cast<std::size_t>(
               degraded_fiber)];
     }
+    // Fault injection (step = signature index in the degraded-fiber space):
+    // corrupt the prediction or starve the solver, then prove the pipeline
+    // absorbs it. fault_at is a pure function of (plan, step), so the
+    // parallel schedule cannot perturb which signature gets which fault.
+    util::Deadline budget = util::Deadline::unlimited();
+    util::Deadline* deadline = nullptr;
+    if (faults != nullptr) {
+      const FaultKind kind = faults->fault_at(degraded_fiber + 1);
+      if (kind != FaultKind::kNone) slot.faulted = 1;
+      switch (kind) {
+        case FaultKind::kPredictorNaN:
+        case FaultKind::kPredictorThrow:
+          // A throwing predictor surfaces to the scheme as "no usable
+          // prediction" — identical to NaN from its point of view.
+          if (degraded_fiber >= 0) {
+            scenario.predicted_prob[static_cast<std::size_t>(degraded_fiber)] =
+                std::numeric_limits<double>::quiet_NaN();
+          }
+          break;
+        case FaultKind::kTelemetryCorruption:
+          if (degraded_fiber >= 0) {
+            scenario.predicted_prob[static_cast<std::size_t>(degraded_fiber)] =
+                1e9;  // absurd collector output; the scheme clamps it
+          }
+          break;
+        case FaultKind::kDeadlineExpiry:
+          budget.set_pivot_budget(FaultInjector::kDeadlineExpiryPivots);
+          deadline = &budget;
+          break;
+        case FaultKind::kSolverCollapse:
+          budget.set_pivot_budget(FaultInjector::kSolverCollapsePivots);
+          deadline = &budget;
+          break;
+        case FaultKind::kNone:
+          break;
+      }
+    }
     const auto outcome = prete.compute_for_degradation(
-        topology_.network, topology_.flows, slot.tunnels, demands, scenario);
+        topology_.network, topology_.flows, slot.tunnels, demands, scenario,
+        deadline);
     slot.policy = outcome.policy;
   });
 
@@ -217,7 +259,9 @@ MonteCarloResult MonteCarloStudy::run_prete(const net::TrafficMatrix& demands,
         return acc;
       },
       merge, kEpochGrain);
-  return finalize(total, config_.epochs);
+  MonteCarloResult result = finalize(total, config_.epochs);
+  for (const CachedPolicy& slot : cache) result.faults_injected += slot.faulted;
+  return result;
 }
 
 }  // namespace prete::sim

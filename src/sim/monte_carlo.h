@@ -4,6 +4,7 @@
 
 #include "net/topology.h"
 #include "net/traffic.h"
+#include "sim/fault_injector.h"
 #include "te/availability.h"
 #include "te/evaluator.h"
 
@@ -34,6 +35,9 @@ struct MonteCarloResult {
   int epochs_with_cut = 0;
   // Standard error of the availability estimate (per-epoch variance).
   double standard_error = 0.0;
+  // Component faults injected into policy computation (fault-aware
+  // run_prete only; 0 otherwise).
+  int faults_injected = 0;
 };
 
 class MonteCarloStudy {
@@ -49,8 +53,19 @@ class MonteCarloStudy {
 
   // Samples epochs for PreTE: each degradation epoch recomputes the policy
   // with the calibrated probability and Algorithm-1 tunnels.
+  //
+  // `faults` (may be null = no faults) injects component faults into each
+  // policy computation, keyed by signature step = degraded_fiber + 1:
+  // predictor NaN/throw become a NaN prediction (sanitized to the static
+  // prior by PreTeScheme), telemetry corruption becomes an absurd
+  // prediction (clamped), kDeadlineExpiry solves under a tight pivot
+  // budget, and kSolverCollapse under a 1-pivot budget (the policy comes
+  // back empty and evaluates as fully lost — degraded availability, never
+  // a crash). Determinism contract unchanged: results are bit-identical at
+  // any thread count for a fixed (rng, faults) pair.
   MonteCarloResult run_prete(const net::TrafficMatrix& demands,
-                             util::Rng& rng) const;
+                             util::Rng& rng,
+                             const FaultInjector* faults = nullptr) const;
 
  private:
   // Samples which fibers degrade and which fail in one epoch.

@@ -64,6 +64,9 @@ LazyResult solve_with_lazy_rows(lp::Model& model,
     }
   }
   // Ran out of rounds with violations remaining: report as iteration limit.
+  // The solution kept here is the last round's optimum — primal feasible for
+  // the rows generated so far — so it doubles as the usable incumbent the
+  // status contract promises.
   result.solution.status = lp::SolveStatus::kIterationLimit;
   return result;
 }

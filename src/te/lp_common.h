@@ -24,6 +24,14 @@ void add_capacity_rows(lp::Model& model, const TeProblem& problem,
 // none), adds them, and re-solves. This keeps the dense simplex basis small
 // on formulations with one row per (flow, scenario) pair, where almost all
 // rows are slack at the optimum.
+//
+// Status contract: kOptimal means no violated rows remained (or the row cap
+// was reached on an optimal basis). kIterationLimit — whether from the
+// simplex pivot cap, an expired SimplexOptions deadline, or round
+// exhaustion — is a usable incumbent, not garbage: `solution.x` is the last
+// primal-feasible point reached and `solution.objective` its true value
+// (empty only if not even phase 1 finished). Callers needing duals must
+// still require kOptimal.
 struct LazyResult {
   lp::Solution solution;
   int rounds = 0;

@@ -47,7 +47,9 @@ lp::Row phi_row(const TeProblem& problem, const std::vector<int>& alloc,
 }
 
 void check_mass(const ScenarioSet& scenarios, double beta) {
-  if (scenarios.covered_probability + 1e-12 < beta) {
+  // Negated form so a NaN covered_probability (corrupt upstream
+  // probabilities) fails the check instead of slipping past `<`.
+  if (!(scenarios.covered_probability + 1e-12 >= beta)) {
     throw std::invalid_argument(
         "scenario set covers less probability mass than beta");
   }
@@ -264,6 +266,9 @@ TePolicy refine_policy(const TeProblem& problem, const ScenarioSet& scenarios,
 
   const lp::SimplexSolver solver(simplex_options);
   lp::Solution solution;
+  // Last optimal round's solution: a deadline expiry or failed re-solve
+  // falls back to it instead of discarding the whole refinement.
+  lp::Solution best;
   // Rows and shortfall variables only ever append, so each re-solve also
   // warm-starts from the previous round's basis.
   lp::SimplexBasis snapshot_basis;
@@ -272,9 +277,14 @@ TePolicy refine_policy(const TeProblem& problem, const ScenarioSet& scenarios,
   constexpr int kMaxRowsPerRound = 60;
   constexpr int kMaxTotalRows = 900;
   for (int round = 0; round < kMaxRounds; ++round) {
+    if (simplex_options.deadline != nullptr &&
+        simplex_options.deadline->expired()) {
+      break;  // keep the last optimal round's refinement
+    }
     solution = solver.solve(model, warm.valid() ? &warm : nullptr, &warm);
     if (pivots != nullptr) *pivots += solution.iterations;
-    if (solution.status != lp::SolveStatus::kOptimal) return {};
+    if (solution.status != lp::SolveStatus::kOptimal) break;
+    best = solution;
     // Snapshot while basis and recipe agree: rows added below this point
     // would not be covered by `warm` until the next solve.
     snapshot_basis = warm;
@@ -329,12 +339,14 @@ TePolicy refine_policy(const TeProblem& problem, const ScenarioSet& scenarios,
       }
     }
   }
-  if (solution.status != lp::SolveStatus::kOptimal) return {};
+  if (best.status != lp::SolveStatus::kOptimal) return {};
   if (cache != nullptr && snapshot_basis.valid()) {
     cache->refine = std::move(snapshot_basis);
     cache->refine_rows = std::move(snapshot_recipe);
   }
-  return extract_policy(problem, alloc, solution);
+  // `best` may be from an earlier round than the current model, but the
+  // allocation variables are the model prefix, so the extraction is valid.
+  return extract_policy(problem, alloc, best);
 }
 
 }  // namespace
@@ -428,9 +440,19 @@ MinMaxResult solve_min_max_benders(const TeProblem& problem,
       ++cache->cold_starts;
     }
   }
-  const lp::SimplexSolver solver(options.simplex);
+  // The deadline rides inside the simplex options so every LP solve of the
+  // decomposition (subproblem rounds, refinement) charges pivots against the
+  // same budget; the Benders loop below also checks it per iteration.
+  lp::SimplexOptions simplex_options = options.simplex;
+  if (options.deadline != nullptr) simplex_options.deadline = options.deadline;
+  util::Deadline* const deadline = simplex_options.deadline;
+  const lp::SimplexSolver solver(simplex_options);
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
+    if (deadline != nullptr && deadline->expired()) {
+      result.deadline_exceeded = true;
+      break;  // return the incumbent with the gap reached so far
+    }
     result.iterations = iter + 1;
 
     // ---- Subproblem: LP with lazy Phi-rows for delta == 1 pairs. ----
@@ -537,6 +559,19 @@ MinMaxResult solve_min_max_benders(const TeProblem& problem,
       }
     }
     if (!sp_ok) {
+      // A pivot/deadline-limited subproblem still carries a primal-feasible
+      // point (the capacity rows are hard rows of every SP model), so its
+      // allocation is installable. Keep it as a best-effort policy when no
+      // completed subproblem produced one — but never trust its objective:
+      // mid-row-generation it underestimates the true SP value, so the
+      // bounds stay untouched and no cut is built from it.
+      if (sp_solution.status == lp::SolveStatus::kIterationLimit &&
+          !sp_solution.x.empty() && result.policy.allocation.empty()) {
+        result.policy = extract_policy(problem, alloc, sp_solution);
+      }
+      if (deadline != nullptr && deadline->expired()) {
+        result.deadline_exceeded = true;
+      }
       break;  // keep the best incumbent found so far
     }
     const lp::Solution& sp_result_solution = sp_solution;
@@ -637,11 +672,18 @@ MinMaxResult solve_min_max_benders(const TeProblem& problem,
     cache->benders = carry;
     cache->benders_rows = carry_keys;
   }
-  TePolicy refined =
-      refine_policy(problem, scenarios, best_delta, guarantee, options.beta,
-                    options.simplex, cache, &result.simplex_pivots);
-  if (!refined.allocation.empty()) {
-    result.policy = std::move(refined);
+  // Refinement is tie-breaking, not correctness: on an expired deadline the
+  // incumbent ships as-is rather than starting another LP sequence.
+  if (deadline == nullptr || !deadline->expired()) {
+    TePolicy refined =
+        refine_policy(problem, scenarios, best_delta, guarantee, options.beta,
+                      simplex_options, cache, &result.simplex_pivots);
+    if (!refined.allocation.empty()) {
+      result.policy = std::move(refined);
+    }
+  }
+  if (deadline != nullptr && deadline->expired()) {
+    result.deadline_exceeded = true;
   }
   return result;
 }

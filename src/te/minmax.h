@@ -36,6 +36,14 @@ struct MinMaxOptions {
   // Passed through to every LP solve inside the decomposition (pricing rule,
   // tolerances). Defaults select devex pricing.
   lp::SimplexOptions simplex;
+  // Optional cooperative budget (see util::Deadline), checked at every
+  // Benders iteration and — via the simplex options — at every pivot of
+  // every LP solve in the decomposition, refinement included. On expiry
+  // solve_min_max_benders returns its best incumbent with
+  // `deadline_exceeded` set and the bound gap it reached, instead of running
+  // over. nullptr (the default) is unlimited and leaves the solve bitwise
+  // identical to a build without deadlines.
+  util::Deadline* deadline = nullptr;
 };
 
 struct MinMaxResult {
@@ -58,6 +66,19 @@ struct MinMaxResult {
   // (subproblem rounds, per-flow masters, CVaR refinement). The number a
   // basis cache is supposed to shrink.
   int simplex_pivots = 0;
+  // The MinMaxOptions deadline expired mid-solve: `policy` is the best
+  // incumbent reached (possibly empty if not even one subproblem finished)
+  // and `upper_bound`/`lower_bound` bracket how far the decomposition got.
+  // `converged` stays meaningful: it is true only when the Benders bounds
+  // genuinely closed before the expiry (the deadline then fell in the
+  // post-convergence CVaR refinement, which ships the incumbent as-is).
+  // Callers should treat the policy as best-effort and consult gap() for
+  // the certified slack.
+  bool deadline_exceeded = false;
+
+  // Reported bound gap: how far the incumbent is from proven optimal. Always
+  // finite and non-negative (the reporting lower bound is clamped).
+  double gap() const { return upper_bound - std::min(lower_bound, upper_bound); }
 };
 
 // Cross-epoch warm-start state for the Benders decomposition, owned by the

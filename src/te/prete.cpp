@@ -1,6 +1,7 @@
 #include "te/prete.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace prete::te {
@@ -23,17 +24,31 @@ PreTeScheme::PreTeScheme(std::vector<double> static_fiber_probs,
 PreTeScheme::Outcome PreTeScheme::compute_for_degradation(
     const net::Network& network, const std::vector<net::Flow>& flows,
     net::TunnelSet& tunnels, const net::TrafficMatrix& demands,
-    const DegradationScenario& degradation) {
+    const DegradationScenario& degradation, util::Deadline* deadline) {
   if (degradation.degraded.size() != static_probs_.size() ||
       static_cast<int>(static_probs_.size()) != network.num_fibers()) {
+    throw std::invalid_argument("degradation scenario size mismatch");
+  }
+  if (degradation.predicted_prob.size() != degradation.degraded.size()) {
     throw std::invalid_argument("degradation scenario size mismatch");
   }
 
   Outcome outcome;
 
+  // Sanitize predictions before they reach scenario generation: a NaN or
+  // out-of-range p_NN from a faulted predictor must degrade this fiber's
+  // estimate, not invalidate the whole solve.
+  DegradationScenario believed = degradation;
+  for (std::size_t f = 0; f < believed.predicted_prob.size(); ++f) {
+    if (!believed.degraded[f]) continue;
+    double& p = believed.predicted_prob[f];
+    if (!std::isfinite(p)) p = static_probs_[f];
+    p = std::clamp(p, 0.0, 1.0);
+  }
+
   // Step 1 (§4.1): calibrate probabilities per Eqn. 1.
   const std::vector<double> calibrated = calibrated_probabilities(
-      static_probs_, degradation.degraded, degradation.predicted_prob,
+      static_probs_, believed.degraded, believed.predicted_prob,
       config_.alpha);
 
   // Step 2 (§4.2, Algorithm 1): reactive tunnel updates per degraded fiber.
@@ -60,6 +75,7 @@ PreTeScheme::Outcome PreTeScheme::compute_for_degradation(
 
   MinMaxOptions solver = config_.solver;
   solver.beta = std::min(config_.beta, outcome.scenarios.covered_probability);
+  if (deadline != nullptr) solver.deadline = deadline;
   if (basis_caches_.size() >= kMaxCachedShapes &&
       basis_caches_.find(problem_shape_signature(problem)) ==
           basis_caches_.end()) {

@@ -59,11 +59,22 @@ class PreTeScheme {
 
   // Computes the PreTE policy for a degradation scenario. `tunnels` must be
   // the mutable tunnel table for this epoch (dynamic tunnels are appended).
+  //
+  // Predicted probabilities in `degradation` are sanitized before use: a
+  // non-finite prediction for a degraded fiber falls back to that fiber's
+  // static probability, and every prediction is clamped to [0, 1], so a
+  // misbehaving predictor degrades the solve's accuracy but never its
+  // validity.
+  //
+  // `deadline` (may be null = unlimited) is threaded through to
+  // solve_min_max_benders; on expiry the returned policy is the solver's
+  // best incumbent and Outcome::solver_result.deadline_exceeded is set.
   Outcome compute_for_degradation(const net::Network& network,
                                   const std::vector<net::Flow>& flows,
                                   net::TunnelSet& tunnels,
                                   const net::TrafficMatrix& demands,
-                                  const DegradationScenario& degradation);
+                                  const DegradationScenario& degradation,
+                                  util::Deadline* deadline = nullptr);
 
   const PreTeConfig& config() const { return config_; }
   const std::vector<double>& static_probs() const { return static_probs_; }

@@ -38,7 +38,11 @@ ScenarioSet generate_failure_scenarios(const std::vector<double>& cut_probs,
                                        const ScenarioOptions& options) {
   const auto n = static_cast<int>(cut_probs.size());
   for (double p : cut_probs) {
-    if (p < 0.0 || p > 1.0) throw std::invalid_argument("probability out of range");
+    // Negated form so NaN (for which every comparison is false) is rejected
+    // instead of slipping through and poisoning every subset probability.
+    if (!(p >= 0.0 && p <= 1.0)) {
+      throw std::invalid_argument("probability out of range");
+    }
   }
 
   struct Candidate {

@@ -136,10 +136,14 @@ TePolicy FfcScheme::compute(const TeProblem& problem,
   };
 
   const LazyResult result = solve_with_lazy_rows(model, oracle);
-  if (result.solution.status != lp::SolveStatus::kOptimal) {
-    return EcmpScheme().compute(problem, {});  // defensive fallback
+  if (result.solution.status == lp::SolveStatus::kOptimal ||
+      (result.solution.status == lp::SolveStatus::kIterationLimit &&
+       !result.solution.x.empty())) {
+    // An iteration-limited lazy solve still carries a primal-feasible
+    // incumbent allocation — a better policy than abandoning the model.
+    return extract_policy(problem, alloc, result.solution);
   }
-  return extract_policy(problem, alloc, result.solution);
+  return EcmpScheme().compute(problem, {});  // defensive fallback
 }
 
 namespace {

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace prete::util {
+
+// Cooperative compute budget for interruptible solves. A Deadline is threaded
+// by pointer through te::solve_min_max_benders -> refine_policy ->
+// lp::SimplexSolver and checked at Benders-iteration and simplex-pivot
+// granularity; when it expires the solve unwinds with its best incumbent
+// instead of running over or throwing.
+//
+// Two budgets compose (whichever trips first wins):
+//  - pivot budget: a count of simplex pivots charged via charge_pivots().
+//    Purely a function of the work done, so deadline-limited solves stay
+//    bit-identical across runs and thread counts.
+//  - wall-clock budget: real elapsed time since arming. Inherently
+//    nondeterministic — two runs can be cut at different pivots — so it is
+//    OFF by default and meant for production loops where the TE period is a
+//    hard real-time bound and reproducibility is secondary.
+//
+// A default-constructed Deadline is unlimited and never expires; passing
+// nullptr wherever a Deadline* is accepted means the same thing. The object
+// is mutated by the solver (pivot accounting), so one Deadline serves one
+// solve call at a time; concurrent solves each get their own.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  static Deadline unlimited() { return Deadline(); }
+
+  static Deadline pivot_budget(std::int64_t pivots) {
+    Deadline d;
+    d.set_pivot_budget(pivots);
+    return d;
+  }
+
+  static Deadline wall_clock_ms(double ms) {
+    Deadline d;
+    d.set_wall_clock_ms(ms);
+    return d;
+  }
+
+  // budget <= 0 disables the pivot budget.
+  void set_pivot_budget(std::int64_t budget) { pivot_budget_ = budget; }
+
+  // ms <= 0 disables the wall clock. The clock starts now, not at first use.
+  void set_wall_clock_ms(double ms) {
+    wall_ms_ = ms;
+    armed_at_ = std::chrono::steady_clock::now();
+  }
+
+  bool limited() const { return pivot_budget_ > 0 || wall_ms_ > 0.0; }
+
+  void charge_pivots(std::int64_t n = 1) { pivots_charged_ += n; }
+
+  std::int64_t pivots_charged() const { return pivots_charged_; }
+  std::int64_t pivot_budget() const { return pivot_budget_; }
+
+  // True once either budget is exhausted. The wall clock is only sampled
+  // every kWallCheckStride calls so a per-pivot check stays cheap; the pivot
+  // budget is exact. Callers observing expiry may finish the pivot in flight
+  // — the overrun is bounded by one pivot (plus one wall-check stride).
+  bool expired() {
+    if (pivot_budget_ > 0 && pivots_charged_ >= pivot_budget_) return true;
+    if (wall_ms_ > 0.0) {
+      if (wall_expired_) return true;
+      if (++wall_check_counter_ >= kWallCheckStride) {
+        wall_check_counter_ = 0;
+        const auto elapsed = std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - armed_at_);
+        if (elapsed.count() >= wall_ms_) {
+          wall_expired_ = true;
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+ private:
+  static constexpr int kWallCheckStride = 16;
+
+  std::int64_t pivot_budget_ = 0;  // <= 0: unlimited
+  std::int64_t pivots_charged_ = 0;
+  double wall_ms_ = 0.0;  // <= 0: unlimited
+  std::chrono::steady_clock::time_point armed_at_{};
+  bool wall_expired_ = false;
+  int wall_check_counter_ = 0;
+};
+
+}  // namespace prete::util

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <stdexcept>
+
+#include "core/policy_guard.h"
 #include "optical/simulator.h"
 #include "te/evaluator.h"
 
@@ -173,6 +177,235 @@ TEST(ControllerTest, CarriedBasisCutsPivotsAcrossEpochs) {
   EXPECT_EQ(stats3.shapes, stats2.shapes + 1);
   EXPECT_GT(stats3.cold_starts, stats2.cold_starts);
   EXPECT_EQ(stats3.hits, stats2.hits);
+}
+
+TEST(ControllerTest, LadderDescendsToStaticFloorWithoutHistory) {
+  // A 1-pivot budget cannot finish any solve, and a fresh controller has no
+  // last-good policy: the first decision lands on the static floor, which is
+  // validator-clean by construction.
+  ControllerFixture fx;
+  Controller controller = fx.make();
+  controller.set_solver_budget(1);
+  const auto decision = controller.on_te_period({5.0, 5.0});
+  EXPECT_EQ(decision.fallback_level, FallbackLevel::kStaticFloor);
+  EXPECT_TRUE(decision.deadline_exceeded);
+  te::TeProblem problem;
+  problem.network = &fx.topo.network;
+  problem.flows = &fx.topo.flows;
+  problem.tunnels = &controller.tunnels();
+  problem.demands = {5.0, 5.0};
+  EXPECT_TRUE(validate_policy(problem, decision.policy).valid);
+  // The floor still carries traffic.
+  double total = 0.0;
+  for (double a : decision.policy.allocation) total += a;
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(ControllerTest, WarmBasisMakesStarvedSolveAnIncumbent) {
+  // After a full solve on the same problem shape, even a 1-pivot budget
+  // recovers the carried optimum as a usable (nonzero) incumbent — the
+  // warm-start cache turns solver starvation into rung 1, not rung 2.
+  ControllerFixture fx;
+  Controller controller = fx.make();
+  const auto full = controller.on_te_period({5.0, 5.0});
+  ASSERT_EQ(full.fallback_level, FallbackLevel::kFull);
+  EXPECT_FALSE(full.deadline_exceeded);
+
+  controller.set_solver_budget(1);
+  const auto fallback = controller.on_te_period({5.0, 5.0});
+  EXPECT_EQ(fallback.fallback_level, FallbackLevel::kIncumbent);
+  EXPECT_TRUE(fallback.deadline_exceeded);
+  double total = 0.0;
+  for (double a : fallback.policy.allocation) total += a;
+  EXPECT_GT(total, 0.0);
+  te::TeProblem problem;
+  problem.network = &fx.topo.network;
+  problem.flows = &fx.topo.flows;
+  problem.tunnels = &controller.tunnels();
+  problem.demands = {5.0, 5.0};
+  EXPECT_TRUE(validate_policy(problem, fallback.policy).valid);
+}
+
+TEST(ControllerTest, LadderFallsBackToLastGoodOnColdShape) {
+  // A degradation on B4 appends dynamic tunnels — a new problem shape with
+  // no cached basis. A starved cold solve yields no incumbent, so the
+  // controller re-projects the last validated policy onto the grown tunnel
+  // table: the static prefix is preserved, the new tunnels get zero.
+  net::Topology topo = net::make_b4();
+  std::vector<double> probs(
+      static_cast<std::size_t>(topo.network.num_fibers()), 0.005);
+  ControllerConfig config;
+  config.te.beta = 0.99;
+  Controller controller(topo, probs, std::make_shared<FixedPredictor>(0.45),
+                        config);
+  util::Rng rng(5);
+  net::TrafficConfig tc;
+  tc.diurnal_swing = 0.0;
+  tc.noise = 0.0;
+  const auto demands =
+      net::generate_traffic(topo.network, topo.flows, rng, tc)[0];
+
+  const auto full = controller.on_te_period(demands);
+  ASSERT_EQ(full.fallback_level, FallbackLevel::kFull);
+  const std::size_t static_count = full.policy.allocation.size();
+
+  controller.set_solver_budget(1);
+  optical::DegradationFeatures features;
+  features.fiber_id = 0;
+  const auto fallback = controller.on_degradation(features, demands);
+  EXPECT_GT(fallback.new_tunnels, 0);
+  EXPECT_EQ(fallback.fallback_level, FallbackLevel::kLastGood);
+  EXPECT_TRUE(fallback.deadline_exceeded);
+  // Fallback rungs carry no solver guarantee.
+  EXPECT_DOUBLE_EQ(fallback.phi, 1.0);
+  EXPECT_DOUBLE_EQ(fallback.gap, 1.0);
+  ASSERT_EQ(fallback.policy.allocation.size(),
+            static_count + static_cast<std::size_t>(fallback.new_tunnels));
+  for (std::size_t t = 0; t < fallback.policy.allocation.size(); ++t) {
+    const double expected =
+        t < static_count ? full.policy.allocation[t] : 0.0;
+    EXPECT_EQ(fallback.policy.allocation[t], expected) << "tunnel " << t;
+  }
+}
+
+TEST(ControllerTest, StaticFloorDoesNotLaunderIntoLastGood) {
+  // Two starved decisions on a fresh controller: if the first (static
+  // floor) decision had refreshed the last-good snapshot, the second would
+  // report kLastGood. It must not.
+  ControllerFixture fx;
+  Controller controller = fx.make();
+  controller.set_solver_budget(1);
+  const auto first = controller.on_te_period({5.0, 5.0});
+  EXPECT_EQ(first.fallback_level, FallbackLevel::kStaticFloor);
+  const auto second = controller.on_te_period({5.0, 5.0});
+  EXPECT_EQ(second.fallback_level, FallbackLevel::kStaticFloor);
+}
+
+TEST(ControllerTest, DefaultBudgetMatchesExplicitUnlimited) {
+  ControllerFixture fx;
+  Controller a = fx.make();
+  Controller b = fx.make();
+  b.set_solver_budget(0);
+  const auto da = a.on_te_period({5.0, 5.0});
+  const auto db = b.on_te_period({5.0, 5.0});
+  EXPECT_EQ(da.policy.allocation, db.policy.allocation);
+  EXPECT_EQ(da.fallback_level, FallbackLevel::kFull);
+  EXPECT_EQ(db.fallback_level, FallbackLevel::kFull);
+  EXPECT_EQ(da.solver_pivots, db.solver_pivots);
+}
+
+TEST(ControllerTest, GenerousBudgetMatchesUnbudgetedDecision) {
+  ControllerFixture fx;
+  Controller a = fx.make();
+  Controller b = fx.make();
+  b.set_solver_budget(1'000'000);
+  const auto da = a.on_te_period({5.0, 5.0});
+  const auto db = b.on_te_period({5.0, 5.0});
+  EXPECT_EQ(db.fallback_level, FallbackLevel::kFull);
+  EXPECT_FALSE(db.deadline_exceeded);
+  EXPECT_EQ(da.policy.allocation, db.policy.allocation);
+}
+
+TEST(ControllerTest, MalformedTelemetryWindowsAreRejected) {
+  ControllerFixture fx;
+  Controller controller = fx.make();
+  std::vector<double> trace(120, 5.0);
+  for (int t = 50; t < 80; ++t) trace[static_cast<std::size_t>(t)] = 11.0;
+
+  // Unknown fiber, empty trace, negative start, bad healthy loss: all
+  // rejected with nullopt instead of a throw or a garbage decision.
+  EXPECT_FALSE(
+      controller.on_telemetry(99, trace, 0, 5.0, {5.0, 5.0}).has_value());
+  EXPECT_FALSE(
+      controller.on_telemetry(-1, trace, 0, 5.0, {5.0, 5.0}).has_value());
+  EXPECT_FALSE(
+      controller.on_telemetry(0, {}, 0, 5.0, {5.0, 5.0}).has_value());
+  EXPECT_FALSE(
+      controller.on_telemetry(0, trace, -5, 5.0, {5.0, 5.0}).has_value());
+  EXPECT_FALSE(
+      controller.on_telemetry(0, trace, 0, 0.0, {5.0, 5.0}).has_value());
+  EXPECT_FALSE(controller
+                   .on_telemetry(0, trace, 0,
+                                 std::numeric_limits<double>::quiet_NaN(),
+                                 {5.0, 5.0})
+                   .has_value());
+  // The well-formed window still works.
+  EXPECT_TRUE(
+      controller.on_telemetry(0, trace, 0, 5.0, {5.0, 5.0}).has_value());
+}
+
+TEST(ControllerTest, NanRunsInTelemetryAreTolerated) {
+  ControllerFixture fx;
+  Controller controller = fx.make();
+  // Jittered baseline: a perfectly constant trace would (correctly) trip
+  // the stuck-at detector, which is not what this test is about.
+  std::vector<double> trace(120);
+  for (int t = 0; t < 120; ++t) {
+    trace[static_cast<std::size_t>(t)] = 5.0 + 0.02 * (t % 2);
+  }
+  for (int t = 50; t < 80; ++t) {
+    trace[static_cast<std::size_t>(t)] = 11.0 + 0.02 * (t % 2);
+  }
+  // Drop a NaN run inside the degradation and a few scattered holes.
+  for (int t = 60; t < 66; ++t) {
+    trace[static_cast<std::size_t>(t)] =
+        std::numeric_limits<double>::quiet_NaN();
+  }
+  trace[10] = std::numeric_limits<double>::quiet_NaN();
+  const auto decision = controller.on_telemetry(0, trace, 0, 5.0, {5.0, 5.0});
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_GT(controller.last_telemetry_quality().missing, 0u);
+  EXPECT_TRUE(controller.last_telemetry_quality().trusted());
+}
+
+TEST(ControllerTest, UntrustedWindowStillTriggersReaction) {
+  ControllerFixture fx;
+  Controller controller = fx.make();
+  // Degraded window where most samples are missing: the detector still sees
+  // the (interpolated) level shift, but the quality verdict forbids feeding
+  // the ML predictor; the decision must exist and be flagged untrusted.
+  std::vector<double> trace(120, std::numeric_limits<double>::quiet_NaN());
+  for (int t = 0; t < 120; t += 4) trace[static_cast<std::size_t>(t)] = 5.0;
+  for (int t = 48; t < 80; t += 4) {
+    trace[static_cast<std::size_t>(t)] = 11.0;
+  }
+  const auto decision = controller.on_telemetry(0, trace, 0, 5.0, {5.0, 5.0});
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_FALSE(controller.last_telemetry_quality().trusted());
+  // The reaction used the static probability, not the 45% predictor.
+  bool found = false;
+  for (const auto& s : decision->believed_scenarios.scenarios) {
+    if (s.fiber_failed[0]) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ControllerTest, AllNanWindowYieldsNoDecision) {
+  ControllerFixture fx;
+  Controller controller = fx.make();
+  const std::vector<double> trace(
+      120, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_FALSE(
+      controller.on_telemetry(0, trace, 0, 5.0, {5.0, 5.0}).has_value());
+  EXPECT_TRUE(controller.last_telemetry_quality().all_missing);
+}
+
+TEST(ControllerTest, ThrowingPredictorFallsBackToStaticProbability) {
+  ControllerFixture fx;
+  class ThrowingPredictor : public ml::FailurePredictor {
+   public:
+    double predict(const optical::DegradationFeatures&) const override {
+      throw std::runtime_error("injected");
+    }
+  };
+  Controller controller(fx.topo, {0.005, 0.009, 0.001},
+                        std::make_shared<ThrowingPredictor>(), fx.config);
+  optical::DegradationFeatures features;
+  features.fiber_id = 0;
+  features.degree_db = 6.0;
+  ControlDecision decision;
+  ASSERT_NO_THROW(decision = controller.on_degradation(features, {5.0, 5.0}));
+  EXPECT_EQ(decision.fallback_level, FallbackLevel::kFull);
 }
 
 TEST(ControllerTest, PipelineIncludesDetectionOnDegradation) {

@@ -1,0 +1,80 @@
+#include "core/fault_campaign.h"
+
+#include <gtest/gtest.h>
+
+#include "runtime/thread_pool.h"
+
+namespace prete::core {
+namespace {
+
+struct CampaignFixture {
+  net::Topology topo = net::make_triangle();
+  std::vector<double> static_probs{0.005, 0.009, 0.001};
+  net::TrafficMatrix demands{5.0, 5.0};
+
+  FaultCampaignConfig config(int steps = 256) const {
+    FaultCampaignConfig c;
+    c.steps = steps;
+    c.te.beta = 0.9;
+    return c;
+  }
+};
+
+TEST(FaultCampaignTest, CampaignIsCleanAndCoversEveryRung) {
+  CampaignFixture fx;
+  const auto report =
+      run_fault_campaign(fx.topo, fx.static_probs, fx.demands, fx.config());
+
+  EXPECT_EQ(report.steps, 256);
+  // The acceptance bar: a meaningful fault volume, no escaping exceptions,
+  // every installed policy validator-clean, every ladder rung hit.
+  EXPECT_GE(report.faults_injected, 200);
+  EXPECT_TRUE(report.clean()) << report.summary();
+  EXPECT_TRUE(report.every_rung_exercised()) << report.summary();
+  EXPECT_GT(report.decisions, 0);
+  EXPECT_GT(report.no_decision_steps, 0);   // healthy windows flow through
+  EXPECT_GT(report.malformed_windows, 0);   // input guards were exercised
+  EXPECT_GT(report.untrusted_windows, 0);   // corrupted-but-degraded windows
+  EXPECT_GT(report.deadline_exceeded, 0);
+}
+
+TEST(FaultCampaignTest, ReportIsDeterministic) {
+  CampaignFixture fx;
+  const auto a =
+      run_fault_campaign(fx.topo, fx.static_probs, fx.demands, fx.config(64));
+  const auto b =
+      run_fault_campaign(fx.topo, fx.static_probs, fx.demands, fx.config(64));
+  EXPECT_EQ(a.decision_digest, b.decision_digest);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.decisions, b.decisions);
+  EXPECT_EQ(a.rung_count, b.rung_count);
+}
+
+TEST(FaultCampaignTest, DigestIsBitIdenticalAcrossThreadCounts) {
+  CampaignFixture fx;
+  runtime::ThreadPool::set_global_threads(1);
+  const auto serial =
+      run_fault_campaign(fx.topo, fx.static_probs, fx.demands, fx.config(96));
+  runtime::ThreadPool::set_global_threads(4);
+  const auto parallel =
+      run_fault_campaign(fx.topo, fx.static_probs, fx.demands, fx.config(96));
+  runtime::ThreadPool::set_global_threads(0);
+
+  EXPECT_EQ(serial.decision_digest, parallel.decision_digest);
+  EXPECT_EQ(serial.rung_count, parallel.rung_count);
+  EXPECT_EQ(serial.deadline_exceeded, parallel.deadline_exceeded);
+  EXPECT_EQ(serial.untrusted_windows, parallel.untrusted_windows);
+}
+
+TEST(FaultCampaignTest, DifferentSeedsDiverge) {
+  CampaignFixture fx;
+  FaultCampaignConfig other = fx.config(64);
+  other.seed = 1234;
+  const auto a =
+      run_fault_campaign(fx.topo, fx.static_probs, fx.demands, fx.config(64));
+  const auto b = run_fault_campaign(fx.topo, fx.static_probs, fx.demands, other);
+  EXPECT_NE(a.decision_digest, b.decision_digest);
+}
+
+}  // namespace
+}  // namespace prete::core

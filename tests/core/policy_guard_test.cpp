@@ -1,0 +1,119 @@
+#include "core/policy_guard.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "net/topology.h"
+
+namespace prete::core {
+namespace {
+
+struct GuardFixture {
+  net::Topology topo = net::make_triangle();
+  net::TunnelSet tunnels{2};
+  te::TeProblem problem;
+
+  GuardFixture() {
+    tunnels.add_tunnel(0, {0});     // flow s1->s2 direct
+    tunnels.add_tunnel(0, {2, 5});  // s1->s3->s2
+    tunnels.add_tunnel(1, {2});     // flow s1->s3 direct
+    tunnels.add_tunnel(1, {0, 4});  // s1->s2->s3
+    problem.network = &topo.network;
+    problem.flows = &topo.flows;
+    problem.tunnels = &tunnels;
+    problem.demands = {10.0, 10.0};
+  }
+
+  te::TePolicy policy(std::vector<double> alloc) const {
+    te::TePolicy p;
+    p.allocation = std::move(alloc);
+    return p;
+  }
+};
+
+TEST(PolicyGuardTest, AcceptsWellFormedPolicy) {
+  GuardFixture fx;
+  const auto check = validate_policy(fx.problem, fx.policy({5.0, 5.0, 5.0, 5.0}));
+  EXPECT_TRUE(check.valid);
+  EXPECT_EQ(check.summary(), "valid");
+}
+
+TEST(PolicyGuardTest, AcceptsZeroPolicy) {
+  GuardFixture fx;
+  EXPECT_TRUE(validate_policy(fx.problem, fx.policy({0, 0, 0, 0})).valid);
+}
+
+TEST(PolicyGuardTest, RejectsSizeMismatch) {
+  GuardFixture fx;
+  const auto short_check = validate_policy(fx.problem, fx.policy({5.0, 5.0}));
+  EXPECT_FALSE(short_check.valid);
+  EXPECT_TRUE(short_check.size_mismatch);
+  const auto empty_check = validate_policy(fx.problem, fx.policy({}));
+  EXPECT_FALSE(empty_check.valid);
+  EXPECT_TRUE(empty_check.size_mismatch);
+}
+
+TEST(PolicyGuardTest, RejectsNonFiniteEntries) {
+  GuardFixture fx;
+  const auto nan_check = validate_policy(
+      fx.problem,
+      fx.policy({std::numeric_limits<double>::quiet_NaN(), 5.0, 5.0, 5.0}));
+  EXPECT_FALSE(nan_check.valid);
+  EXPECT_EQ(nan_check.non_finite, 1u);
+  const auto inf_check = validate_policy(
+      fx.problem,
+      fx.policy({5.0, std::numeric_limits<double>::infinity(), 5.0, 5.0}));
+  EXPECT_FALSE(inf_check.valid);
+  EXPECT_EQ(inf_check.non_finite, 1u);
+}
+
+TEST(PolicyGuardTest, RejectsNegativeEntries) {
+  GuardFixture fx;
+  const auto check = validate_policy(fx.problem, fx.policy({-1.0, 5.0, 5.0, 5.0}));
+  EXPECT_FALSE(check.valid);
+  EXPECT_EQ(check.negative, 1u);
+  // Tiny numerical negatives inside the tolerance pass.
+  EXPECT_TRUE(
+      validate_policy(fx.problem, fx.policy({-1e-9, 5.0, 5.0, 5.0})).valid);
+}
+
+TEST(PolicyGuardTest, RejectsLinkOverload) {
+  GuardFixture fx;
+  // Triangle links have 10 Gbps capacity; tunnels 0 and 3 share link 0.
+  const auto check =
+      validate_policy(fx.problem, fx.policy({8.0, 0.0, 0.0, 8.0}));
+  EXPECT_FALSE(check.valid);
+  EXPECT_GE(check.overloaded_links, 1);
+  EXPECT_NE(check.summary().find("overloaded"), std::string::npos);
+}
+
+TEST(PolicyGuardTest, AllowsProtectionHeadroomAboveDemand) {
+  GuardFixture fx;
+  // Flow 0 gets 15 Gbps of allocation against a 10 Gbps demand, spread over
+  // disjoint paths within link capacity. The min-max program deliberately
+  // over-provisions surviving tunnels as protection headroom, so this must
+  // NOT be flagged.
+  const auto check =
+      validate_policy(fx.problem, fx.policy({9.0, 6.0, 0.0, 0.0}));
+  EXPECT_TRUE(check.valid);
+}
+
+TEST(PolicyGuardTest, RejectsNullProblem) {
+  GuardFixture fx;
+  te::TeProblem null_problem;
+  const auto check =
+      validate_policy(null_problem, fx.policy({5.0, 5.0, 5.0, 5.0}));
+  EXPECT_FALSE(check.valid);
+  EXPECT_TRUE(check.size_mismatch);
+}
+
+TEST(PolicyGuardTest, NeverThrowsOnGarbage) {
+  GuardFixture fx;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_NO_THROW(validate_policy(fx.problem, fx.policy({nan, nan, nan, nan})));
+  EXPECT_NO_THROW(validate_policy(fx.problem, fx.policy({})));
+}
+
+}  // namespace
+}  // namespace prete::core

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "net/topology.h"
 
@@ -32,10 +33,46 @@ TEST(DetectorTest, RejectsBadPeriod) {
   EXPECT_THROW(DegradationDetector(5.0, 0), std::invalid_argument);
 }
 
-TEST(DetectorTest, RejectsNanTrace) {
+TEST(DetectorTest, SkipsNanSamplesWithoutEndingEpisode) {
   const DegradationDetector det(5.0);
-  EXPECT_THROW(det.scan({5.0, std::nan(""), 5.0}, 0, test_fiber()),
-               std::invalid_argument);
+  // A NaN run inside a degradation must not split or end the episode, and
+  // must not contribute to its gradient/fluctuation features.
+  const std::vector<double> trace{5.0,           11.0, 11.2,
+                                  std::nan(""),  std::nan(""),
+                                  11.4,          5.0};
+  const auto result = det.scan(trace, 0, test_fiber());
+  ASSERT_EQ(result.degradations.size(), 1u);
+  const auto& d = result.degradations[0];
+  EXPECT_EQ(d.onset_sec, 1);
+  EXPECT_EQ(d.end_sec, 6);
+  // In-event transitions: 11.0->11.2 and 11.2->11.4 (NaNs skipped).
+  EXPECT_NEAR(d.features.gradient_db, 0.2, 1e-9);
+  EXPECT_NEAR(d.features.fluctuation, 2.0, 1e-9);
+}
+
+TEST(DetectorTest, AllNanTraceYieldsNoEvents) {
+  const DegradationDetector det(5.0);
+  const std::vector<double> trace(10, std::nan(""));
+  const auto result = det.scan(trace, 0, test_fiber());
+  EXPECT_TRUE(result.degradations.empty());
+  EXPECT_TRUE(result.cuts.empty());
+}
+
+TEST(DetectorTest, EmptyTraceYieldsNoEvents) {
+  const DegradationDetector det(5.0);
+  const auto result = det.scan({}, 0, test_fiber());
+  EXPECT_TRUE(result.degradations.empty());
+  EXPECT_TRUE(result.cuts.empty());
+}
+
+TEST(DetectorTest, InfiniteSamplesAreSkipped) {
+  const DegradationDetector det(5.0);
+  const double inf = std::numeric_limits<double>::infinity();
+  // An infinite spike must not register as a cut.
+  const std::vector<double> trace{5.0, inf, 5.0, -inf, 5.0};
+  const auto result = det.scan(trace, 0, test_fiber());
+  EXPECT_TRUE(result.degradations.empty());
+  EXPECT_TRUE(result.cuts.empty());
 }
 
 TEST(DetectorTest, ExtractsSingleDegradation) {

@@ -1,0 +1,213 @@
+#include "optical/sanitize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "optical/simulator.h"
+
+namespace prete::optical {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// --- interpolate_missing edge cases (the detector's pre-scan fill) ---
+
+TEST(InterpolateMissingTest, FillsInteriorGapLinearly) {
+  const auto out = interpolate_missing({1.0, kNan, kNan, 4.0});
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  EXPECT_DOUBLE_EQ(out[1], 2.0);
+  EXPECT_DOUBLE_EQ(out[2], 3.0);
+  EXPECT_DOUBLE_EQ(out[3], 4.0);
+}
+
+TEST(InterpolateMissingTest, LeadingGapHoldsFirstFiniteValue) {
+  const auto out = interpolate_missing({kNan, kNan, 3.0, 4.0});
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_DOUBLE_EQ(out[0], 3.0);
+  EXPECT_DOUBLE_EQ(out[1], 3.0);
+  EXPECT_DOUBLE_EQ(out[2], 3.0);
+  EXPECT_DOUBLE_EQ(out[3], 4.0);
+}
+
+TEST(InterpolateMissingTest, TrailingGapHoldsLastFiniteValue) {
+  const auto out = interpolate_missing({1.0, 2.0, kNan, kNan});
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_DOUBLE_EQ(out[2], 2.0);
+  EXPECT_DOUBLE_EQ(out[3], 2.0);
+}
+
+TEST(InterpolateMissingTest, AllNanTraceStaysNan) {
+  const auto out = interpolate_missing({kNan, kNan, kNan});
+  ASSERT_EQ(out.size(), 3u);
+  for (double v : out) EXPECT_TRUE(std::isnan(v));
+}
+
+TEST(InterpolateMissingTest, EmptyTraceStaysEmpty) {
+  EXPECT_TRUE(interpolate_missing({}).empty());
+}
+
+// --- sanitize_trace ---
+
+TEST(SanitizeTraceTest, CountsMissingAndConvertsInfinities) {
+  TelemetryQuality q;
+  const auto out = sanitize_trace({5.0, kNan, kInf, -kInf, 5.0}, &q);
+  EXPECT_EQ(q.total_samples, 5u);
+  EXPECT_EQ(q.missing, 1u);
+  EXPECT_EQ(q.non_finite, 2u);
+  EXPECT_EQ(q.implausible, 0u);
+  EXPECT_FALSE(q.all_missing);
+  // Holes (including the converted infinities) are interpolated away.
+  for (double v : out) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(SanitizeTraceTest, FlagsImplausibleSamples) {
+  TelemetryQuality q;
+  const auto out = sanitize_trace({5.0, -3.0, kAbsurdLossDb + 1.0, 5.0}, &q);
+  EXPECT_EQ(q.implausible, 2u);
+  for (double v : out) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, kAbsurdLossDb);
+  }
+}
+
+TEST(SanitizeTraceTest, DetectsStuckAtRun) {
+  std::vector<double> flat(kStuckRunLength, 5.0);
+  TelemetryQuality q;
+  sanitize_trace(flat, &q);
+  EXPECT_TRUE(q.stuck_at);
+  EXPECT_FALSE(q.trusted());
+
+  // One sample short of the threshold is still live signal.
+  std::vector<double> shorter(kStuckRunLength - 1, 5.0);
+  sanitize_trace(shorter, &q);
+  EXPECT_FALSE(q.stuck_at);
+  EXPECT_TRUE(q.trusted());
+}
+
+TEST(SanitizeTraceTest, StuckRunSurvivesInterleavedHoles) {
+  // A stuck sensor whose collector also drops samples: the identical-value
+  // run must not be reset by the holes.
+  std::vector<double> trace;
+  for (std::size_t i = 0; i < kStuckRunLength; ++i) {
+    trace.push_back(7.5);
+    trace.push_back(kNan);
+  }
+  TelemetryQuality q;
+  sanitize_trace(trace, &q);
+  EXPECT_TRUE(q.stuck_at);
+}
+
+TEST(SanitizeTraceTest, JitterBreaksStuckRun) {
+  std::vector<double> trace;
+  for (std::size_t i = 0; i < 2 * kStuckRunLength; ++i) {
+    trace.push_back(5.0 + 0.01 * static_cast<double>(i % 2));
+  }
+  TelemetryQuality q;
+  sanitize_trace(trace, &q);
+  EXPECT_FALSE(q.stuck_at);
+  EXPECT_TRUE(q.trusted());
+}
+
+TEST(SanitizeTraceTest, AllMissingWindowIsUntrusted) {
+  TelemetryQuality q;
+  const auto out = sanitize_trace(std::vector<double>(8, kNan), &q);
+  EXPECT_TRUE(q.all_missing);
+  EXPECT_FALSE(q.trusted());
+  for (double v : out) EXPECT_TRUE(std::isnan(v));
+}
+
+TEST(SanitizeTraceTest, EmptyWindowIsUntrusted) {
+  TelemetryQuality q;
+  sanitize_trace({}, &q);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.trusted());
+}
+
+TEST(SanitizeTraceTest, TrustRequiresMajorityUsable) {
+  // Exactly half missing sits on the trusted side of the boundary...
+  std::vector<double> half{5.0, kNan, 5.1, kNan, 5.2, kNan, 5.3, kNan, 5.4,
+                           kNan};
+  TelemetryQuality q;
+  sanitize_trace(half, &q);
+  EXPECT_TRUE(q.trusted());
+  // ...one more loss tips it to untrusted.
+  half[0] = kNan;
+  sanitize_trace(half, &q);
+  EXPECT_FALSE(q.trusted());
+}
+
+// --- assemble_window ---
+
+TEST(AssembleWindowTest, PlacesInOrderSamples) {
+  const std::vector<TimedSample> samples{{100, 5.0}, {101, 5.1}, {102, 5.2}};
+  TelemetryQuality q;
+  const auto out = assemble_window(samples, 100, 4, 1, &q);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_DOUBLE_EQ(out[0], 5.0);
+  EXPECT_DOUBLE_EQ(out[1], 5.1);
+  EXPECT_DOUBLE_EQ(out[2], 5.2);
+  EXPECT_TRUE(std::isnan(out[3]));  // never delivered
+  EXPECT_EQ(q.out_of_order, 0u);
+  EXPECT_EQ(q.duplicates, 0u);
+}
+
+TEST(AssembleWindowTest, SortsOutOfOrderArrivalsAndCountsThem) {
+  const std::vector<TimedSample> samples{{102, 5.2}, {100, 5.0}, {101, 5.1}};
+  TelemetryQuality q;
+  const auto out = assemble_window(samples, 100, 3, 1, &q);
+  EXPECT_DOUBLE_EQ(out[0], 5.0);
+  EXPECT_DOUBLE_EQ(out[1], 5.1);
+  EXPECT_DOUBLE_EQ(out[2], 5.2);
+  EXPECT_EQ(q.out_of_order, 1u);
+}
+
+TEST(AssembleWindowTest, DuplicateTimestampsKeepLastDelivered) {
+  const std::vector<TimedSample> samples{{100, 5.0}, {100, 9.9}, {101, 5.1}};
+  TelemetryQuality q;
+  const auto out = assemble_window(samples, 100, 2, 1, &q);
+  EXPECT_DOUBLE_EQ(out[0], 9.9);
+  EXPECT_EQ(q.duplicates, 1u);
+}
+
+TEST(AssembleWindowTest, DropsSamplesOutsideWindowAndOffGrid) {
+  const std::vector<TimedSample> samples{
+      {98, 1.0},    // before t0
+      {100, 5.0},   // slot 0
+      {101, 9.0},   // off the 2-second grid: dropped
+      {102, 5.2},   // slot 1
+      {110, 9.0},   // past the window
+  };
+  TelemetryQuality q;
+  const auto out = assemble_window(samples, 100, 3, 2, &q);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0], 5.0);
+  EXPECT_DOUBLE_EQ(out[1], 5.2);
+  EXPECT_TRUE(std::isnan(out[2]));
+}
+
+TEST(AssembleWindowTest, FeedsSanitizeForEndToEndQuality) {
+  // Collector stream with disorder, a duplicate, and a drop: assemble, then
+  // sanitize; the final window is dense and the verdict aggregates both
+  // passes (assemble_window fills `duplicates`/`out_of_order`, sanitize_trace
+  // recounts the sample-level fields on the assembled window).
+  const std::vector<TimedSample> samples{
+      {103, 5.3}, {100, 5.0}, {101, 5.1}, {101, 5.15}};
+  TelemetryQuality assemble_q;
+  auto window = assemble_window(samples, 100, 5, 1, &assemble_q);
+  EXPECT_EQ(assemble_q.out_of_order, 1u);
+  EXPECT_EQ(assemble_q.duplicates, 1u);
+  TelemetryQuality q;
+  const auto out = sanitize_trace(std::move(window), &q);
+  EXPECT_EQ(q.missing, 2u);  // slots 102 and 104 were never delivered
+  for (double v : out) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_TRUE(q.trusted());
+}
+
+}  // namespace
+}  // namespace prete::optical

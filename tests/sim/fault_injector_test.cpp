@@ -1,0 +1,203 @@
+#include "sim/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+#include "sim/monte_carlo.h"
+#include "te/schemes.h"
+
+namespace prete::sim {
+namespace {
+
+TEST(FaultInjectorTest, SameStepSameFault) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.rates.telemetry_corruption = 0.2;
+  plan.rates.predictor_nan = 0.2;
+  plan.rates.deadline_expiry = 0.2;
+  const FaultInjector a(plan);
+  const FaultInjector b(plan);
+  for (std::int64_t step = 0; step < 500; ++step) {
+    EXPECT_EQ(a.fault_at(step), b.fault_at(step)) << "step " << step;
+    EXPECT_EQ(a.fault_at(step), a.fault_at(step)) << "step " << step;
+  }
+}
+
+TEST(FaultInjectorTest, QueryOrderDoesNotMatter) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.rates.solver_collapse = 0.3;
+  const FaultInjector inj(plan);
+  std::vector<FaultKind> forward, backward(200);
+  for (std::int64_t step = 0; step < 200; ++step) {
+    forward.push_back(inj.fault_at(step));
+  }
+  for (std::int64_t step = 199; step >= 0; --step) {
+    backward[static_cast<std::size_t>(step)] = inj.fault_at(step);
+  }
+  EXPECT_EQ(forward, backward);
+}
+
+TEST(FaultInjectorTest, ForcedEntriesOverrideSampling) {
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.rates.telemetry_corruption = 1.0;  // every unforced step corrupts
+  plan.forced.push_back({5, FaultKind::kSolverCollapse});
+  plan.forced.push_back({6, FaultKind::kNone});  // forced-clean step
+  const FaultInjector inj(plan);
+  EXPECT_EQ(inj.fault_at(5), FaultKind::kSolverCollapse);
+  EXPECT_EQ(inj.fault_at(6), FaultKind::kNone);
+  EXPECT_EQ(inj.fault_at(7), FaultKind::kTelemetryCorruption);
+}
+
+TEST(FaultInjectorTest, ZeroRatesInjectNothing) {
+  FaultPlan plan;
+  plan.seed = 9;
+  const FaultInjector inj(plan);
+  for (std::int64_t step = 0; step < 100; ++step) {
+    EXPECT_EQ(inj.fault_at(step), FaultKind::kNone);
+  }
+}
+
+TEST(FaultInjectorTest, RatesApproximateLongRunFrequencies) {
+  FaultPlan plan;
+  plan.seed = 17;
+  plan.rates.telemetry_corruption = 0.3;
+  plan.rates.predictor_throw = 0.1;
+  const FaultInjector inj(plan);
+  std::map<FaultKind, int> counts;
+  const int n = 5000;
+  for (std::int64_t step = 0; step < n; ++step) ++counts[inj.fault_at(step)];
+  EXPECT_NEAR(counts[FaultKind::kTelemetryCorruption] / double(n), 0.3, 0.03);
+  EXPECT_NEAR(counts[FaultKind::kPredictorThrow] / double(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[FaultKind::kNone] / double(n), 0.6, 0.03);
+  EXPECT_EQ(counts[FaultKind::kDeadlineExpiry], 0);
+}
+
+TEST(FaultInjectorTest, RateSumAboveOneThrows) {
+  FaultPlan plan;
+  plan.rates.telemetry_corruption = 0.7;
+  plan.rates.solver_collapse = 0.5;
+  EXPECT_THROW(FaultInjector{plan}, std::invalid_argument);
+}
+
+TEST(FaultInjectorTest, CorruptTraceIsDeterministicAndKeepsLength) {
+  FaultPlan plan;
+  plan.seed = 23;
+  const FaultInjector inj(plan);
+  // A sloped baseline so every corruption mode — including the stuck-at
+  // flatline — visibly changes the trace.
+  std::vector<double> clean(64);
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    clean[i] = 5.0 + 0.01 * static_cast<double>(i);
+  }
+  for (std::int64_t step = 0; step < 32; ++step) {
+    std::vector<double> a = clean;
+    std::vector<double> b = clean;
+    inj.corrupt_trace(step, a);
+    inj.corrupt_trace(step, b);
+    ASSERT_EQ(a.size(), clean.size());
+    // Bit-identical replay (NaNs compare by bit pattern, so compare slots).
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (std::isnan(a[i])) {
+        EXPECT_TRUE(std::isnan(b[i])) << "step " << step << " slot " << i;
+      } else {
+        EXPECT_EQ(a[i], b[i]) << "step " << step << " slot " << i;
+      }
+    }
+    // Something actually changed.
+    bool differs = false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (std::isnan(a[i]) || a[i] != clean[i]) differs = true;
+    }
+    EXPECT_TRUE(differs) << "step " << step;
+  }
+}
+
+// --- Monte Carlo integration ---
+
+struct McFixture {
+  net::Topology topo = net::make_b4();
+  te::PlantStatistics stats;
+  net::TrafficMatrix demands;
+
+  McFixture() {
+    util::Rng rng(11);
+    const auto params = optical::build_plant_model(topo.network, rng);
+    stats = te::derive_statistics(topo.network, params, {}, rng, 100);
+    util::Rng traffic_rng(12);
+    net::TrafficConfig tc;
+    tc.diurnal_swing = 0.0;
+    tc.noise = 0.0;
+    demands = net::scale_traffic(
+        net::generate_traffic(topo.network, topo.flows, traffic_rng, tc)[0],
+        3.0);
+  }
+
+  MonteCarloConfig config(int epochs) const {
+    MonteCarloConfig c;
+    c.epochs = epochs;
+    c.beta = 0.99;
+    c.planning_scenarios.max_simultaneous_failures = 1;
+    c.planning_scenarios.max_scenarios = 40;
+    return c;
+  }
+};
+
+TEST(FaultInjectorTest, MonteCarloRunSurvivesInjectedFaults) {
+  McFixture fx;
+  const MonteCarloStudy mc(fx.topo, fx.stats, fx.config(800));
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.rates.telemetry_corruption = 0.2;
+  plan.rates.predictor_nan = 0.15;
+  plan.rates.predictor_throw = 0.15;
+  plan.rates.deadline_expiry = 0.15;
+  plan.rates.solver_collapse = 0.15;
+  const FaultInjector faults(plan);
+
+  util::Rng rng(31);
+  MonteCarloResult result;
+  ASSERT_NO_THROW(result = mc.run_prete(fx.demands, rng, &faults));
+  EXPECT_GT(result.faults_injected, 0);
+  EXPECT_GE(result.mean_flow_availability, 0.0);
+  EXPECT_LE(result.mean_flow_availability, 1.0);
+
+  // A fault-free run through the same entry point reports zero injections.
+  util::Rng clean_rng(31);
+  const auto clean = mc.run_prete(fx.demands, clean_rng);
+  EXPECT_EQ(clean.faults_injected, 0);
+}
+
+TEST(FaultInjectorTest, FaultedRunIsBitIdenticalAcrossThreadCounts) {
+  McFixture fx;
+  const MonteCarloStudy mc(fx.topo, fx.stats, fx.config(400));
+  FaultPlan plan;
+  plan.seed = 13;
+  plan.rates.telemetry_corruption = 0.25;
+  plan.rates.deadline_expiry = 0.25;
+  plan.rates.solver_collapse = 0.25;
+  const FaultInjector faults(plan);
+
+  runtime::ThreadPool::set_global_threads(1);
+  util::Rng rng1(77);
+  const auto serial = mc.run_prete(fx.demands, rng1, &faults);
+  runtime::ThreadPool::set_global_threads(4);
+  util::Rng rng4(77);
+  const auto parallel = mc.run_prete(fx.demands, rng4, &faults);
+  runtime::ThreadPool::set_global_threads(0);
+
+  EXPECT_EQ(serial.faults_injected, parallel.faults_injected);
+  EXPECT_EQ(serial.mean_flow_availability, parallel.mean_flow_availability);
+  EXPECT_EQ(serial.epochs_with_degradation, parallel.epochs_with_degradation);
+  EXPECT_EQ(serial.epochs_with_cut, parallel.epochs_with_cut);
+}
+
+}  // namespace
+}  // namespace prete::sim

@@ -1,0 +1,132 @@
+#include "te/minmax.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "net/topology.h"
+#include "util/deadline.h"
+
+namespace prete::te {
+namespace {
+
+struct TriangleCase {
+  net::Topology topo = net::make_triangle();
+  net::TunnelSet tunnels{2};
+  TeProblem problem;
+
+  TriangleCase() {
+    tunnels.add_tunnel(0, {0});      // flow s1->s2 direct
+    tunnels.add_tunnel(0, {2, 5});   // s1->s3->s2
+    tunnels.add_tunnel(1, {2});      // flow s1->s3 direct
+    tunnels.add_tunnel(1, {0, 4});   // s1->s2->s3
+    problem.network = &topo.network;
+    problem.flows = &topo.flows;
+    problem.tunnels = &tunnels;
+    problem.demands = {10.0, 10.0};
+  }
+};
+
+ScenarioSet triangle_scenarios() {
+  return generate_failure_scenarios({0.02, 0.03, 0.01});
+}
+
+MinMaxOptions base_options() {
+  MinMaxOptions options;
+  options.beta = 0.95;
+  return options;
+}
+
+TEST(MinMaxDeadlineTest, GenerousBudgetIsBitwiseIdenticalToUnbudgeted) {
+  TriangleCase fx;
+  const auto set = triangle_scenarios();
+  const auto base = solve_min_max_benders(fx.problem, set, base_options());
+
+  util::Deadline deadline = util::Deadline::pivot_budget(1'000'000);
+  MinMaxOptions options = base_options();
+  options.deadline = &deadline;
+  const auto budgeted = solve_min_max_benders(fx.problem, set, options);
+
+  EXPECT_FALSE(budgeted.deadline_exceeded);
+  EXPECT_EQ(budgeted.phi, base.phi);
+  EXPECT_EQ(budgeted.upper_bound, base.upper_bound);
+  EXPECT_EQ(budgeted.lower_bound, base.lower_bound);
+  EXPECT_EQ(budgeted.iterations, base.iterations);
+  EXPECT_EQ(budgeted.simplex_pivots, base.simplex_pivots);
+  EXPECT_EQ(budgeted.policy.allocation, base.policy.allocation);
+}
+
+TEST(MinMaxDeadlineTest, TightBudgetReturnsIncumbentWithFiniteGap) {
+  TriangleCase fx;
+  const auto set = triangle_scenarios();
+  const auto base = solve_min_max_benders(fx.problem, set, base_options());
+  ASSERT_GT(base.simplex_pivots, 2);
+
+  // Stop the decomposition mid-flight: well past phase boundaries but short
+  // of the full pivot bill.
+  util::Deadline deadline =
+      util::Deadline::pivot_budget(base.simplex_pivots / 2);
+  MinMaxOptions options = base_options();
+  options.deadline = &deadline;
+  const auto result = solve_min_max_benders(fx.problem, set, options);
+
+  EXPECT_TRUE(result.deadline_exceeded);
+  EXPECT_FALSE(result.converged);
+  EXPECT_TRUE(std::isfinite(result.gap()));
+  EXPECT_GE(result.gap(), 0.0);
+  // The budget was honored: no LP charged past it.
+  EXPECT_LE(deadline.pivots_charged(), base.simplex_pivots / 2);
+  // The incumbent, when present, is well-formed.
+  for (double a : result.policy.allocation) {
+    EXPECT_TRUE(std::isfinite(a));
+    EXPECT_GE(a, -1e-9);
+  }
+}
+
+TEST(MinMaxDeadlineTest, BudgetSweepNeverThrows) {
+  TriangleCase fx;
+  const auto set = triangle_scenarios();
+  const auto base = solve_min_max_benders(fx.problem, set, base_options());
+
+  for (std::int64_t budget = 1; budget <= base.simplex_pivots;
+       budget += std::max<std::int64_t>(1, base.simplex_pivots / 16)) {
+    util::Deadline deadline = util::Deadline::pivot_budget(budget);
+    MinMaxOptions options = base_options();
+    options.deadline = &deadline;
+    MinMaxResult result;
+    ASSERT_NO_THROW(result = solve_min_max_benders(fx.problem, set, options))
+        << "budget " << budget;
+    EXPECT_TRUE(std::isfinite(result.gap())) << "budget " << budget;
+    EXPECT_GE(result.gap(), 0.0) << "budget " << budget;
+    // `converged` with an expired deadline is legitimate (the expiry fell in
+    // the post-convergence refinement); what must never happen is a claimed
+    // convergence with an open gap.
+    if (result.converged) {
+      EXPECT_LE(result.gap(), 1e-4 + 1e-9) << "budget " << budget;
+    }
+    // Either no usable incumbent (empty) or a policy covering every tunnel.
+    if (!result.policy.allocation.empty()) {
+      EXPECT_EQ(result.policy.allocation.size(),
+                static_cast<std::size_t>(fx.tunnels.num_tunnels()))
+          << "budget " << budget;
+    }
+  }
+}
+
+TEST(MinMaxDeadlineTest, PreExpiredDeadlineStillReturns) {
+  TriangleCase fx;
+  const auto set = triangle_scenarios();
+  util::Deadline deadline = util::Deadline::pivot_budget(1);
+  deadline.charge_pivots(2);
+  ASSERT_TRUE(deadline.expired());
+  MinMaxOptions options = base_options();
+  options.deadline = &deadline;
+  MinMaxResult result;
+  ASSERT_NO_THROW(result = solve_min_max_benders(fx.problem, set, options));
+  EXPECT_TRUE(result.deadline_exceeded);
+  EXPECT_FALSE(result.converged);
+}
+
+}  // namespace
+}  // namespace prete::te

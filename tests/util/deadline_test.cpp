@@ -1,0 +1,70 @@
+#include "util/deadline.h"
+
+#include <gtest/gtest.h>
+
+namespace prete::util {
+namespace {
+
+TEST(DeadlineTest, UnlimitedNeverExpires) {
+  Deadline d = Deadline::unlimited();
+  EXPECT_FALSE(d.limited());
+  for (int i = 0; i < 1000; ++i) d.charge_pivots();
+  EXPECT_FALSE(d.expired());
+}
+
+TEST(DeadlineTest, PivotBudgetExpiresExactly) {
+  Deadline d = Deadline::pivot_budget(5);
+  EXPECT_TRUE(d.limited());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(d.expired()) << "pivot " << i;
+    d.charge_pivots();
+  }
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.pivots_charged(), 5);
+}
+
+TEST(DeadlineTest, BulkChargeCountsEveryPivot) {
+  Deadline d = Deadline::pivot_budget(10);
+  d.charge_pivots(7);
+  EXPECT_FALSE(d.expired());
+  d.charge_pivots(7);
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.pivots_charged(), 14);
+}
+
+TEST(DeadlineTest, NonPositiveBudgetMeansUnlimited) {
+  Deadline d = Deadline::pivot_budget(0);
+  EXPECT_FALSE(d.limited());
+  d.charge_pivots(1000);
+  EXPECT_FALSE(d.expired());
+}
+
+TEST(DeadlineTest, ExpiredStaysExpired) {
+  Deadline d = Deadline::pivot_budget(1);
+  d.charge_pivots();
+  EXPECT_TRUE(d.expired());
+  EXPECT_TRUE(d.expired());  // latched, repeated queries agree
+}
+
+TEST(DeadlineTest, WallClockBudgetExpires) {
+  // A near-zero wall budget must expire within a few expired() samples
+  // (the check is strided, so charge a stride's worth). Note ms <= 0
+  // disables the wall clock, so use a tiny positive budget.
+  Deadline d = Deadline::wall_clock_ms(1e-9);
+  EXPECT_TRUE(d.limited());
+  bool expired = false;
+  for (int i = 0; i < 64 && !expired; ++i) {
+    d.charge_pivots();
+    expired = d.expired();
+  }
+  EXPECT_TRUE(expired);
+}
+
+TEST(DeadlineTest, GenerousWallClockDoesNotExpireImmediately) {
+  Deadline d = Deadline::wall_clock_ms(60000.0);
+  for (int i = 0; i < 64; ++i) d.charge_pivots();
+  EXPECT_FALSE(d.expired());
+}
+
+}  // namespace
+}  // namespace prete::util
