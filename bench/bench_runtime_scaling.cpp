@@ -8,7 +8,9 @@
 // hardware concurrency for the parallel run).
 #include "bench_common.h"
 
+#include <chrono>
 #include <cmath>
+#include <fstream>
 
 #include "core/fault_campaign.h"
 #include "lp/simplex.h"
@@ -125,6 +127,36 @@ struct PricingSample {
   }
 };
 
+// One benders_master-style subproblem LP: allocation variables + Phi, the
+// capacity rows, then the first 4 + e scenarios' Phi-rows for every flow —
+// related but distinct LPs, like successive Benders subproblem rounds.
+// Shared by the pricing phase and the lp_kernel phase so both benchmark the
+// same workload.
+lp::Model build_subproblem_lp(const te::TeProblem& problem,
+                              const net::TunnelSet& tunnels,
+                              const te::ScenarioSet& scenarios, int e) {
+  const auto& Q = scenarios.scenarios;
+  lp::Model model(lp::Sense::kMinimize);
+  const std::vector<int> alloc = te::add_allocation_variables(model, problem);
+  const int phi = model.add_variable(0.0, 1.0, 1.0, "Phi");
+  te::add_capacity_rows(model, problem, alloc);
+  const std::size_t slice = std::min(Q.size(), static_cast<std::size_t>(4 + e));
+  for (const net::Flow& flow : *problem.flows) {
+    const double d = std::max(problem.demand(flow.id), 1e-9);
+    for (std::size_t q = 0; q < slice; ++q) {
+      std::vector<lp::Coefficient> coefs;
+      for (net::TunnelId t : tunnels.tunnels_for_flow(flow.id)) {
+        if (tunnels.alive(*problem.network, t, Q[q].fiber_failed)) {
+          coefs.push_back({alloc[static_cast<std::size_t>(t)], 1.0 / d});
+        }
+      }
+      coefs.push_back({phi, 1.0});
+      model.add_row(std::move(coefs), lp::RowType::kGreaterEqual, 1.0);
+    }
+  }
+  return model;
+}
+
 PricingSample run_pricing_phase(const bench::Context& ctx,
                                 const net::TunnelSet& tunnels,
                                 const net::TrafficMatrix& demands,
@@ -138,31 +170,10 @@ PricingSample run_pricing_phase(const bench::Context& ctx,
   so.max_simultaneous_failures = 2;
   so.max_scenarios = 200;
   const auto scenarios = te::generate_failure_scenarios(ctx.stats.cut_prob, so);
-  const auto& Q = scenarios.scenarios;
 
   PricingSample sample;
   for (int e = 0; e < instances; ++e) {
-    lp::Model model(lp::Sense::kMinimize);
-    const std::vector<int> alloc = te::add_allocation_variables(model, problem);
-    const int phi = model.add_variable(0.0, 1.0, 1.0, "Phi");
-    te::add_capacity_rows(model, problem, alloc);
-    // Instance e covers the first 4 + e scenarios for every flow — related
-    // but distinct LPs, like successive Benders subproblem rounds.
-    const std::size_t slice =
-        std::min(Q.size(), static_cast<std::size_t>(4 + e));
-    for (const net::Flow& flow : *problem.flows) {
-      const double d = std::max(problem.demand(flow.id), 1e-9);
-      for (std::size_t q = 0; q < slice; ++q) {
-        std::vector<lp::Coefficient> coefs;
-        for (net::TunnelId t : tunnels.tunnels_for_flow(flow.id)) {
-          if (tunnels.alive(*problem.network, t, Q[q].fiber_failed)) {
-            coefs.push_back({alloc[static_cast<std::size_t>(t)], 1.0 / d});
-          }
-        }
-        coefs.push_back({phi, 1.0});
-        model.add_row(std::move(coefs), lp::RowType::kGreaterEqual, 1.0);
-      }
-    }
+    const lp::Model model = build_subproblem_lp(problem, tunnels, scenarios, e);
     lp::SimplexOptions dantzig_opts;
     dantzig_opts.pricing = lp::PricingRule::kDantzig;
     lp::SimplexOptions devex_opts;
@@ -188,6 +199,142 @@ PricingSample run_pricing_phase(const bench::Context& ctx,
   sample.pipeline_dantzig_pivots = bd.simplex_pivots;
   sample.pipeline_devex_pivots = bv.simplex_pivots;
   sample.pipeline_phi_delta = std::abs(bd.phi - bv.phi);
+  return sample;
+}
+
+// LP kernel phase: the same benders_master-style instance sequence solved
+// under the historical dense-binv kernel with full pricing (the reference)
+// and under the eta-file kernel at its production defaults (in-place
+// Gauss-Jordan anchor, incremental dual updates, auto pricing — on this
+// row-dominated workload the auto heuristic resolves to full pricing;
+// candidate-list windows are exercised by the pricing phase and the kernel
+// property tests). The gate demands bitwise-equal
+// objectives and eta wall-clock no worse than dense — the whole point of
+// the product-form kernel. Timing excludes model construction (built once,
+// solved per variant).
+struct KernelSample {
+  double dense_seconds = 0;
+  double eta_seconds = 0;
+  int dense_pivots = 0;
+  int eta_pivots = 0;
+  int dense_reinversions = 0;
+  int eta_reinversions = 0;
+  int eta_peak = 0;  // longest eta file across the sequence
+  bool objectives_bitwise_equal = true;
+  double objective_checksum = 0.0;
+  // Wall-clock stays out of the bit-identity comparison.
+  bool operator==(const KernelSample& o) const {
+    return dense_pivots == o.dense_pivots && eta_pivots == o.eta_pivots &&
+           dense_reinversions == o.dense_reinversions &&
+           eta_reinversions == o.eta_reinversions && eta_peak == o.eta_peak &&
+           objectives_bitwise_equal == o.objectives_bitwise_equal &&
+           objective_checksum == o.objective_checksum;
+  }
+};
+
+KernelSample run_kernel_phase(const bench::Context& ctx,
+                              const net::TunnelSet& tunnels,
+                              const net::TrafficMatrix& demands, int instances,
+                              int repeats) {
+  te::TeProblem problem;
+  problem.network = &ctx.topo.network;
+  problem.flows = &ctx.topo.flows;
+  problem.tunnels = &tunnels;
+  problem.demands = demands;
+  te::ScenarioOptions so;
+  so.max_simultaneous_failures = 2;
+  so.max_scenarios = 200;
+  const auto scenarios = te::generate_failure_scenarios(ctx.stats.cut_prob, so);
+
+  std::vector<lp::Model> models;
+  models.reserve(static_cast<std::size_t>(instances));
+  for (int e = 0; e < instances; ++e) {
+    models.push_back(build_subproblem_lp(problem, tunnels, scenarios, e));
+  }
+
+  lp::SimplexOptions dense_opts;
+  dense_opts.kernel = lp::BasisKernel::kDenseBinv;
+  dense_opts.pricing_window = -1;  // historical full pricing
+  lp::SimplexOptions eta_opts;
+  eta_opts.kernel = lp::BasisKernel::kEtaFile;
+  eta_opts.pricing_window = 0;  // auto window (the default)
+
+  KernelSample sample;
+  std::vector<double> dense_obj(models.size(), 0.0);
+  using clock = std::chrono::steady_clock;
+  {
+    const auto start = clock::now();
+    for (int r = 0; r < repeats; ++r) {
+      for (std::size_t i = 0; i < models.size(); ++i) {
+        const lp::Solution s = lp::SimplexSolver(dense_opts).solve(models[i]);
+        if (r == 0) {
+          dense_obj[i] = s.objective;
+          sample.dense_pivots += s.iterations;
+          sample.dense_reinversions += s.reinversions;
+        }
+      }
+    }
+    sample.dense_seconds =
+        std::chrono::duration<double>(clock::now() - start).count() / repeats;
+  }
+  {
+    const auto start = clock::now();
+    for (int r = 0; r < repeats; ++r) {
+      for (std::size_t i = 0; i < models.size(); ++i) {
+        const lp::Solution s = lp::SimplexSolver(eta_opts).solve(models[i]);
+        if (r == 0) {
+          if (s.objective != dense_obj[i]) {
+            sample.objectives_bitwise_equal = false;
+          }
+          sample.objective_checksum += s.objective;
+          sample.eta_pivots += s.iterations;
+          sample.eta_reinversions += s.reinversions;
+          sample.eta_peak = std::max(sample.eta_peak, s.eta_peak);
+        }
+      }
+    }
+    sample.eta_seconds =
+        std::chrono::duration<double>(clock::now() - start).count() / repeats;
+  }
+  return sample;
+}
+
+// Direct-solver phase: the exact MIP (branch-and-bound over every delta)
+// on a triangle instance small enough for solve_min_max_direct. The node
+// waves evaluate on the pool, so this is the thread-scaling witness for the
+// parallel branch-and-bound — and every bit of the result (phi, pivots,
+// nodes) must survive the pool resize.
+struct BnbSample {
+  double phi = 0.0;
+  int pivots = 0;
+  int nodes = 0;
+  bool operator==(const BnbSample& o) const {
+    return phi == o.phi && pivots == o.pivots && nodes == o.nodes;
+  }
+};
+
+BnbSample run_bnb_phase(int repeats) {
+  net::Topology topo = net::make_triangle();
+  net::TunnelSet tunnels{2};
+  tunnels.add_tunnel(0, {0});
+  tunnels.add_tunnel(0, {2, 5});
+  tunnels.add_tunnel(1, {2});
+  tunnels.add_tunnel(1, {0, 4});
+  te::TeProblem problem;
+  problem.network = &topo.network;
+  problem.flows = &topo.flows;
+  problem.tunnels = &tunnels;
+  problem.demands = {10.0, 10.0};
+  const auto scenarios = te::generate_failure_scenarios({0.02, 0.03, 0.01});
+  te::MinMaxOptions options;
+  options.beta = 0.95;
+  BnbSample sample;
+  for (int r = 0; r < repeats; ++r) {
+    const auto result = te::solve_min_max_direct(problem, scenarios, options);
+    sample.phi = result.phi;
+    sample.pivots += result.simplex_pivots;
+    sample.nodes += result.bb_nodes;
+  }
   return sample;
 }
 
@@ -287,6 +434,8 @@ int main(int argc, char** argv) {
   MasterSample serial_master, parallel_master;
   TelemetrySample serial_telemetry, parallel_telemetry;
   PricingSample serial_pricing, parallel_pricing;
+  KernelSample serial_kernel, parallel_kernel;
+  BnbSample serial_bnb, parallel_bnb;
   CarrySample serial_carry, parallel_carry;
   core::FaultCampaignReport serial_campaign, parallel_campaign;
   double t_serial_static = 0, t_parallel_static = 0;
@@ -294,10 +443,14 @@ int main(int argc, char** argv) {
   double t_serial_master = 0, t_parallel_master = 0;
   double t_serial_telemetry = 0, t_parallel_telemetry = 0;
   double t_serial_pricing = 0, t_parallel_pricing = 0;
+  double t_serial_bnb = 0, t_parallel_bnb = 0;
   double t_serial_carry = 0, t_parallel_carry = 0;
   double t_serial_campaign = 0, t_parallel_campaign = 0;
   const int pricing_instances = bench::fast_mode() ? 3 : 6;
   const int pipeline_iterations = bench::fast_mode() ? 4 : 10;
+  const int kernel_instances = bench::fast_mode() ? 3 : 6;
+  const int kernel_repeats = bench::fast_mode() ? 3 : 8;
+  const int bnb_repeats = bench::fast_mode() ? 4 : 12;
   const int carry_epochs = bench::fast_mode() ? 3 : 5;
   const int campaign_steps = bench::fast_mode() ? 96 : 256;
 
@@ -329,6 +482,16 @@ int main(int argc, char** argv) {
     serial_pricing = run_pricing_phase(ctx, tunnels, demands,
                                        pricing_instances, pipeline_iterations);
     t_serial_pricing = phase.seconds();
+  }
+  {
+    bench::Phase phase("lp_kernel serial");
+    serial_kernel = run_kernel_phase(ctx, tunnels, demands, kernel_instances,
+                                     kernel_repeats);
+  }
+  {
+    bench::Phase phase("bnb_direct serial");
+    serial_bnb = run_bnb_phase(bnb_repeats);
+    t_serial_bnb = phase.seconds();
   }
   {
     bench::Phase phase("basis_carry serial");
@@ -372,6 +535,16 @@ int main(int argc, char** argv) {
     parallel_pricing = run_pricing_phase(
         ctx, tunnels, demands, pricing_instances, pipeline_iterations);
     t_parallel_pricing = phase.seconds();
+  }
+  {
+    bench::Phase phase("lp_kernel parallel");
+    parallel_kernel = run_kernel_phase(ctx, tunnels, demands, kernel_instances,
+                                       kernel_repeats);
+  }
+  {
+    bench::Phase phase("bnb_direct parallel");
+    parallel_bnb = run_bnb_phase(bnb_repeats);
+    t_parallel_bnb = phase.seconds();
   }
   {
     bench::Phase phase("basis_carry parallel");
@@ -431,7 +604,27 @@ int main(int argc, char** argv) {
                     std::to_string(serial_carry.cold_tail_pivots)});
   lp_table.add_row({"basis_carry", "carried tail", "",
                     std::to_string(serial_carry.carried_tail_pivots)});
+  lp_table.add_row({"lp_kernel", "dense + full pricing",
+                    util::Table::format(serial_kernel.dense_seconds, 3),
+                    std::to_string(serial_kernel.dense_pivots)});
+  lp_table.add_row({"lp_kernel", "eta + auto pricing",
+                    util::Table::format(serial_kernel.eta_seconds, 3),
+                    std::to_string(serial_kernel.eta_pivots)});
+  lp_table.add_row({"bnb_direct", "serial",
+                    util::Table::format(t_serial_bnb, 2),
+                    std::to_string(serial_bnb.pivots)});
+  lp_table.add_row({"bnb_direct",
+                    std::to_string(parallel_threads) + " threads",
+                    util::Table::format(t_parallel_bnb, 2),
+                    std::to_string(parallel_bnb.pivots)});
   lp_table.print(std::cout);
+  std::cout << "lp_kernel objectives bitwise equal: "
+            << (serial_kernel.objectives_bitwise_equal ? "yes" : "NO")
+            << ", eta reinversions: " << serial_kernel.eta_reinversions
+            << " (dense: " << serial_kernel.dense_reinversions
+            << "), eta peak length: " << serial_kernel.eta_peak << "\n"
+            << "bnb_direct nodes: " << serial_bnb.nodes
+            << ", phi: " << util::Table::format(serial_bnb.phi, 6) << "\n";
   std::cout << "simplex_pricing cold objectives bitwise equal: "
             << (serial_pricing.objectives_bitwise_equal ? "yes" : "NO")
             << ", pipeline |phi_dantzig - phi_devex|: "
@@ -452,7 +645,9 @@ int main(int argc, char** argv) {
       serial_prete.epochs_with_cut == parallel_prete.epochs_with_cut &&
       serial_master == parallel_master &&
       serial_telemetry == parallel_telemetry &&
-      serial_pricing == parallel_pricing && serial_carry == parallel_carry &&
+      serial_pricing == parallel_pricing &&
+      serial_kernel == parallel_kernel && serial_bnb == parallel_bnb &&
+      serial_carry == parallel_carry &&
       serial_campaign.decision_digest == parallel_campaign.decision_digest &&
       serial_campaign.faults_injected == parallel_campaign.faults_injected &&
       serial_campaign.rung_count == parallel_campaign.rung_count;
@@ -482,6 +677,45 @@ int main(int argc, char** argv) {
     std::cout << "fault_campaign gate FAILED (exceptions, validator failures, "
                  "or a degradation rung never exercised)\n";
   }
+  // The eta kernel must not lose to the dense reference on its home
+  // workload, and the two kernels must agree on every optimum to the bit.
+  const bool kernel_ok = serial_kernel.objectives_bitwise_equal &&
+                         serial_kernel.eta_seconds <=
+                             serial_kernel.dense_seconds;
+  if (!kernel_ok) {
+    std::cout << "lp_kernel gate FAILED (eta slower than dense or objective "
+                 "mismatch): dense "
+              << util::Table::format(serial_kernel.dense_seconds, 3)
+              << " s vs eta "
+              << util::Table::format(serial_kernel.eta_seconds, 3) << " s\n";
+  }
+
+  {
+    std::ofstream json("BENCH_lp_kernel.json");
+    json << "{\n"
+         << "  \"threads\": " << parallel_threads << ",\n"
+         << "  \"lp_kernel\": {\n"
+         << "    \"dense\": {\"seconds\": " << serial_kernel.dense_seconds
+         << ", \"pivots\": " << serial_kernel.dense_pivots
+         << ", \"reinversions\": " << serial_kernel.dense_reinversions
+         << ", \"eta_peak\": 0},\n"
+         << "    \"eta\": {\"seconds\": " << serial_kernel.eta_seconds
+         << ", \"pivots\": " << serial_kernel.eta_pivots
+         << ", \"reinversions\": " << serial_kernel.eta_reinversions
+         << ", \"eta_peak\": " << serial_kernel.eta_peak << "},\n"
+         << "    \"objectives_bitwise_equal\": "
+         << (serial_kernel.objectives_bitwise_equal ? "true" : "false")
+         << "\n  },\n"
+         << "  \"bnb_direct\": {\n"
+         << "    \"serial\": {\"seconds\": " << t_serial_bnb
+         << ", \"pivots\": " << serial_bnb.pivots
+         << ", \"nodes\": " << serial_bnb.nodes << "},\n"
+         << "    \"parallel\": {\"seconds\": " << t_parallel_bnb
+         << ", \"pivots\": " << parallel_bnb.pivots
+         << ", \"nodes\": " << parallel_bnb.nodes << "}\n  },\n"
+         << "  \"gates\": {\"kernel_ok\": " << (kernel_ok ? "true" : "false")
+         << "}\n}\n";
+  }
   std::cout << "speedup run_static: "
             << util::Table::format(
                    t_serial_static / std::max(t_parallel_static, 1e-9), 2)
@@ -494,6 +728,10 @@ int main(int argc, char** argv) {
             << "x, telemetry: "
             << util::Table::format(
                    t_serial_telemetry / std::max(t_parallel_telemetry, 1e-9), 2)
+            << "x, bnb_direct: "
+            << util::Table::format(t_serial_bnb / std::max(t_parallel_bnb, 1e-9),
+                                   2)
             << "x on " << parallel_threads << " threads\n";
-  return identical && pricing_ok && carry_ok && campaign_ok ? 0 : 1;
+  return identical && pricing_ok && carry_ok && campaign_ok && kernel_ok ? 0
+                                                                         : 1;
 }

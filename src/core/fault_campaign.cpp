@@ -157,6 +157,18 @@ FaultCampaignReport run_fault_campaign(const net::Topology& topology,
         predictor->set_mode(FaultyPredictor::Mode::kThrow);
         break;
       case FaultKind::kDeadlineExpiry: {
+        if (config.wall_clock_mode()) {
+          // Wall-clock mode: the prologue's budget fractions scale the wall
+          // budget instead of the pivot count, floored so the deadline is
+          // armed (0 would mean unlimited) but still tight.
+          double ms = config.expiry_wall_ms;
+          if (step >= 3 && step <= 7) {
+            const int frac = budget_sixteenths[step - 3];
+            ms = config.expiry_wall_ms * static_cast<double>(frac) / 16.0;
+          }
+          controller.set_solver_budget(0, std::max(ms, 1e-3));
+          break;
+        }
         std::int64_t budget = sim::FaultInjector::kDeadlineExpiryPivots;
         if (step >= 3 && step <= 7 && full_solve_pivots > 0) {
           const int frac = budget_sixteenths[step - 3];
@@ -167,7 +179,12 @@ FaultCampaignReport run_fault_campaign(const net::Topology& topology,
         break;
       }
       case FaultKind::kSolverCollapse:
-        controller.set_solver_budget(sim::FaultInjector::kSolverCollapsePivots);
+        if (config.wall_clock_mode()) {
+          controller.set_solver_budget(0, std::max(config.collapse_wall_ms, 1e-3));
+        } else {
+          controller.set_solver_budget(
+              sim::FaultInjector::kSolverCollapsePivots);
+        }
         break;
       case FaultKind::kNone:
         break;

@@ -27,6 +27,19 @@ struct FaultCampaignConfig {
   double healthy_loss_db = 2.0;
   int window_samples = 120;
   te::PreTeConfig te;
+  // Wall-clock budget mode: when either value is positive, solver-budget
+  // faults arm wall-clock deadlines (milliseconds) instead of pivot
+  // budgets — kSolverCollapse steps get `collapse_wall_ms`, kDeadlineExpiry
+  // steps get `expiry_wall_ms` scaled by the prologue's budget fractions.
+  // Wall-clock expiry is timing-dependent, so a wall-mode campaign's
+  // decision_digest and rung mix are NOT reproducible run-to-run; soak
+  // tests assert clean() and rung coverage, never the digest. Zero (the
+  // default) keeps the deterministic pivot-budget faults.
+  double collapse_wall_ms = 0.0;
+  double expiry_wall_ms = 0.0;
+  bool wall_clock_mode() const {
+    return collapse_wall_ms > 0.0 || expiry_wall_ms > 0.0;
+  }
 };
 
 struct FaultCampaignReport {

@@ -1,0 +1,310 @@
+#include "lp/basis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace prete::lp {
+
+void BasisState::configure(BasisKernel kernel, int refactor_interval) {
+  kernel_ = kernel;
+  refactor_interval_ = refactor_interval;
+}
+
+void BasisState::clear_etas() {
+  eta_row_.clear();
+  eta_pivot_inv_.clear();
+  eta_idx_.clear();
+  eta_val_.clear();
+  eta_start_.assign(1, 0);
+}
+
+void BasisState::reset_diagonal(int m, const std::vector<double>& signs) {
+  m_ = m;
+  rows_.assign(static_cast<std::size_t>(m) * m, 0.0);
+  for (int i = 0; i < m; ++i) {
+    rows_[static_cast<std::size_t>(i) * m + i] = signs[static_cast<std::size_t>(i)];
+  }
+  if (kernel_ == BasisKernel::kEtaFile) {
+    cols_ = rows_;  // a diagonal matrix is its own transpose
+  }
+  clear_etas();
+  pivots_since_refactor_ = 0;
+}
+
+bool BasisState::refactorize(
+    const std::vector<const std::vector<Coefficient>*>& basis_columns) {
+  const int m = static_cast<int>(basis_columns.size());
+  m_ = m;
+  std::vector<double> dense(static_cast<std::size_t>(m) * m, 0.0);
+  for (int c = 0; c < m; ++c) {
+    for (const auto& entry : *basis_columns[static_cast<std::size_t>(c)]) {
+      dense[static_cast<std::size_t>(entry.var) * m + c] = entry.value;
+    }
+  }
+
+  if (kernel_ == BasisKernel::kDenseBinv) {
+    // Historical path: Gauss-Jordan over the widened (B | I) pair,
+    // bit-compatible with the pre-eta kernel.
+    std::vector<double> inv(static_cast<std::size_t>(m) * m, 0.0);
+    for (int i = 0; i < m; ++i) inv[static_cast<std::size_t>(i) * m + i] = 1.0;
+
+    for (int col = 0; col < m; ++col) {
+      int pivot = col;
+      double best = std::abs(dense[static_cast<std::size_t>(col) * m + col]);
+      for (int r = col + 1; r < m; ++r) {
+        const double v = std::abs(dense[static_cast<std::size_t>(r) * m + col]);
+        if (v > best) {
+          best = v;
+          pivot = r;
+        }
+      }
+      if (best < 1e-12) return false;  // numerically singular basis
+      if (pivot != col) {
+        for (int c = 0; c < m; ++c) {
+          std::swap(dense[static_cast<std::size_t>(pivot) * m + c],
+                    dense[static_cast<std::size_t>(col) * m + c]);
+          std::swap(inv[static_cast<std::size_t>(pivot) * m + c],
+                    inv[static_cast<std::size_t>(col) * m + c]);
+        }
+      }
+      const double piv = dense[static_cast<std::size_t>(col) * m + col];
+      const double inv_piv = 1.0 / piv;
+      for (int c = 0; c < m; ++c) {
+        dense[static_cast<std::size_t>(col) * m + c] *= inv_piv;
+        inv[static_cast<std::size_t>(col) * m + c] *= inv_piv;
+      }
+      for (int r = 0; r < m; ++r) {
+        if (r == col) continue;
+        const double factor = dense[static_cast<std::size_t>(r) * m + col];
+        if (factor == 0.0) continue;
+        for (int c = 0; c < m; ++c) {
+          dense[static_cast<std::size_t>(r) * m + c] -=
+              factor * dense[static_cast<std::size_t>(col) * m + c];
+          inv[static_cast<std::size_t>(r) * m + c] -=
+              factor * inv[static_cast<std::size_t>(col) * m + c];
+        }
+      }
+    }
+    rows_ = std::move(inv);
+  } else {
+    // Eta-kernel reinversion: single-pass in-place Gauss-Jordan. The matrix
+    // gradually becomes its own inverse (row swaps are undone as column
+    // swaps at the end), so each elimination step touches m entries per row
+    // instead of the 2m of the widened (B | I) sweep — reinversion is the
+    // dominant cost on TWAN-scale masters, and this halves it. The pivot
+    // sequence and per-entry arithmetic match the historical sweep exactly.
+    pivot_rows_.resize(static_cast<std::size_t>(m));
+    for (int col = 0; col < m; ++col) {
+      int pivot = col;
+      double best = std::abs(dense[static_cast<std::size_t>(col) * m + col]);
+      for (int r = col + 1; r < m; ++r) {
+        const double v = std::abs(dense[static_cast<std::size_t>(r) * m + col]);
+        if (v > best) {
+          best = v;
+          pivot = r;
+        }
+      }
+      if (best < 1e-12) return false;  // numerically singular basis
+      pivot_rows_[static_cast<std::size_t>(col)] = pivot;
+      if (pivot != col) {
+        std::swap_ranges(
+            dense.begin() + static_cast<std::ptrdiff_t>(pivot) * m,
+            dense.begin() + static_cast<std::ptrdiff_t>(pivot + 1) * m,
+            dense.begin() + static_cast<std::ptrdiff_t>(col) * m);
+      }
+      const double inv_piv =
+          1.0 / dense[static_cast<std::size_t>(col) * m + col];
+      double* prow = dense.data() + static_cast<std::size_t>(col) * m;
+      prow[col] = 1.0;
+      for (int c = 0; c < m; ++c) prow[c] *= inv_piv;
+      for (int r = 0; r < m; ++r) {
+        if (r == col) continue;
+        double* row = dense.data() + static_cast<std::size_t>(r) * m;
+        const double factor = row[col];
+        if (factor == 0.0) continue;
+        row[col] = 0.0;
+        for (int c = 0; c < m; ++c) {
+          row[c] -= factor * prow[c];
+        }
+      }
+    }
+    for (int col = m - 1; col >= 0; --col) {
+      const int pivot = pivot_rows_[static_cast<std::size_t>(col)];
+      if (pivot == col) continue;
+      for (int r = 0; r < m; ++r) {
+        std::swap(dense[static_cast<std::size_t>(r) * m + pivot],
+                  dense[static_cast<std::size_t>(r) * m + col]);
+      }
+    }
+    rows_ = std::move(dense);
+  }
+
+  if (kernel_ == BasisKernel::kEtaFile) {
+    cols_.resize(static_cast<std::size_t>(m) * m);
+    for (int r = 0; r < m; ++r) {
+      for (int c = 0; c < m; ++c) {
+        cols_[static_cast<std::size_t>(c) * m + r] =
+            rows_[static_cast<std::size_t>(r) * m + c];
+      }
+    }
+  }
+  clear_etas();
+  pivots_since_refactor_ = 0;
+  ++stats_.reinversions;
+  return true;
+}
+
+void BasisState::ftran(const std::vector<Coefficient>& a,
+                       std::vector<double>& w) const {
+  std::fill(w.begin(), w.end(), 0.0);
+  if (kernel_ == BasisKernel::kDenseBinv) {
+    // Historical operation order: accumulate one sparse entry at a time down
+    // the rows of the (strided) dense inverse.
+    for (const auto& entry : a) {
+      const double v = entry.value;
+      if (v == 0.0) continue;
+      const int c = entry.var;
+      for (int r = 0; r < m_; ++r) {
+        w[static_cast<std::size_t>(r)] +=
+            v * rows_[static_cast<std::size_t>(r) * m_ + c];
+      }
+    }
+    return;
+  }
+  // Anchor pass against the column-major mirror: contiguous axpy per sparse
+  // entry, then the eta file in forward order.
+  for (const auto& entry : a) {
+    const double v = entry.value;
+    if (v == 0.0) continue;
+    const double* col = cols_.data() + static_cast<std::size_t>(entry.var) * m_;
+    for (int r = 0; r < m_; ++r) {
+      w[static_cast<std::size_t>(r)] += v * col[r];
+    }
+  }
+  const std::size_t etas = eta_row_.size();
+  for (std::size_t k = 0; k < etas; ++k) {
+    const int r = eta_row_[k];
+    const double t = w[static_cast<std::size_t>(r)] * eta_pivot_inv_[k];
+    if (t != 0.0) {
+      const int begin = eta_start_[k];
+      const int end = eta_start_[k + 1];
+      for (int p = begin; p < end; ++p) {
+        w[static_cast<std::size_t>(eta_idx_[static_cast<std::size_t>(p)])] -=
+            eta_val_[static_cast<std::size_t>(p)] * t;
+      }
+    }
+    w[static_cast<std::size_t>(r)] = t;
+  }
+}
+
+void BasisState::btran(const std::vector<double>& v,
+                       std::vector<double>& y) const {
+  y.assign(static_cast<std::size_t>(m_), 0.0);
+  const std::vector<double>* src = &v;
+  if (kernel_ == BasisKernel::kEtaFile && !eta_row_.empty()) {
+    scratch_ = v;
+    for (std::size_t k = eta_row_.size(); k-- > 0;) {
+      const int r = eta_row_[k];
+      double s = scratch_[static_cast<std::size_t>(r)];
+      const int begin = eta_start_[k];
+      const int end = eta_start_[k + 1];
+      for (int p = begin; p < end; ++p) {
+        s -= scratch_[static_cast<std::size_t>(
+                 eta_idx_[static_cast<std::size_t>(p)])] *
+             eta_val_[static_cast<std::size_t>(p)];
+      }
+      scratch_[static_cast<std::size_t>(r)] = s * eta_pivot_inv_[k];
+    }
+    src = &scratch_;
+  }
+  for (int r = 0; r < m_; ++r) {
+    const double vr = (*src)[static_cast<std::size_t>(r)];
+    if (vr == 0.0) continue;
+    const double* row = rows_.data() + static_cast<std::size_t>(r) * m_;
+    for (int c = 0; c < m_; ++c) {
+      y[static_cast<std::size_t>(c)] += vr * row[c];
+    }
+  }
+}
+
+void BasisState::pivot_row(int r, std::vector<double>& rho) const {
+  if (kernel_ == BasisKernel::kDenseBinv || eta_row_.empty()) {
+    rho.assign(rows_.begin() + static_cast<std::ptrdiff_t>(r) * m_,
+               rows_.begin() + static_cast<std::ptrdiff_t>(r + 1) * m_);
+    return;
+  }
+  std::vector<double> unit(static_cast<std::size_t>(m_), 0.0);
+  unit[static_cast<std::size_t>(r)] = 1.0;
+  btran(unit, rho);
+}
+
+void BasisState::apply_inverse(const std::vector<double>& v,
+                               std::vector<double>& x) const {
+  x.assign(static_cast<std::size_t>(m_), 0.0);
+  for (int r = 0; r < m_; ++r) {
+    const double* row = rows_.data() + static_cast<std::size_t>(r) * m_;
+    double acc = 0.0;
+    for (int c = 0; c < m_; ++c) {
+      acc += row[c] * v[static_cast<std::size_t>(c)];
+    }
+    x[static_cast<std::size_t>(r)] = acc;
+  }
+  if (kernel_ != BasisKernel::kEtaFile) return;
+  const std::size_t etas = eta_row_.size();
+  for (std::size_t k = 0; k < etas; ++k) {
+    const int r = eta_row_[k];
+    const double t = x[static_cast<std::size_t>(r)] * eta_pivot_inv_[k];
+    if (t != 0.0) {
+      const int begin = eta_start_[k];
+      const int end = eta_start_[k + 1];
+      for (int p = begin; p < end; ++p) {
+        x[static_cast<std::size_t>(eta_idx_[static_cast<std::size_t>(p)])] -=
+            eta_val_[static_cast<std::size_t>(p)] * t;
+      }
+    }
+    x[static_cast<std::size_t>(r)] = t;
+  }
+}
+
+bool BasisState::update(int r, const std::vector<double>& w) {
+  ++pivots_since_refactor_;
+  if (kernel_ == BasisKernel::kDenseBinv) {
+    const double piv = w[static_cast<std::size_t>(r)];
+    const double inv_piv = 1.0 / piv;
+    double* pivot_row_data = rows_.data() + static_cast<std::size_t>(r) * m_;
+    for (int c = 0; c < m_; ++c) pivot_row_data[c] *= inv_piv;
+    for (int row = 0; row < m_; ++row) {
+      if (row == r) continue;
+      const double factor = w[static_cast<std::size_t>(row)];
+      if (factor == 0.0) continue;
+      double* dst = rows_.data() + static_cast<std::size_t>(row) * m_;
+      for (int c = 0; c < m_; ++c) {
+        dst[c] -= factor * pivot_row_data[c];
+      }
+    }
+    return pivots_since_refactor_ >= refactor_interval_;
+  }
+
+  // Eta append: record w as a pivot column of the product form.
+  const double piv = w[static_cast<std::size_t>(r)];
+  eta_row_.push_back(r);
+  eta_pivot_inv_.push_back(1.0 / piv);
+  double max_abs = 0.0;
+  for (int i = 0; i < m_; ++i) {
+    if (i == r) continue;
+    const double v = w[static_cast<std::size_t>(i)];
+    if (v == 0.0) continue;
+    eta_idx_.push_back(i);
+    eta_val_.push_back(v);
+    const double mag = std::abs(v);
+    if (mag > max_abs) max_abs = mag;
+  }
+  eta_start_.push_back(static_cast<int>(eta_idx_.size()));
+  stats_.eta_peak = std::max(stats_.eta_peak, static_cast<int>(eta_row_.size()));
+  const bool drift = max_abs > kDriftThreshold * std::abs(piv);
+  if (drift) ++stats_.drift_reinversions;
+  return drift || pivots_since_refactor_ >= refactor_interval_;
+}
+
+}  // namespace prete::lp

@@ -1,10 +1,13 @@
 #include "lp/branch_and_bound.h"
 
+#include <algorithm>
 #include <cmath>
 #include <queue>
 #include <tuple>
 #include <utility>
 #include <vector>
+
+#include "runtime/parallel.h"
 
 namespace prete::lp {
 
@@ -21,6 +24,44 @@ struct NodeOrder {
     return a.relaxation_bound > b.relaxation_bound;  // best-first
   }
 };
+
+// One relaxation scratch, reused across the nodes a wave slot evaluates.
+// Instead of resetting every variable's bounds per node (O(n) per node, and
+// n dwarfs the branch depth on the Benders masters), only the variables the
+// previous node's branch path touched are restored from the base model.
+struct Scratch {
+  Model model;
+  std::vector<int> touched;
+};
+
+struct NodeResult {
+  bool conflict = false;
+  Solution relax;
+};
+
+NodeResult evaluate_node(const Model& base, const SimplexSolver& simplex,
+                         Scratch& scratch, const Node& node) {
+  for (const int var : scratch.touched) {
+    const Variable& v = base.variable(var);
+    scratch.model.set_bounds(var, v.lower, v.upper);
+  }
+  scratch.touched.clear();
+
+  NodeResult result;
+  for (const auto& [var, lo, hi] : node.bounds) {
+    const Variable& v = scratch.model.variable(var);
+    const double new_lo = std::max(v.lower, lo);
+    const double new_hi = std::min(v.upper, hi);
+    if (new_lo > new_hi) {
+      result.conflict = true;
+      return result;
+    }
+    scratch.model.set_bounds(var, new_lo, new_hi);
+    scratch.touched.push_back(var);
+  }
+  result.relax = simplex.solve(scratch.model);
+  return result;
+}
 
 int most_fractional(const Model& model, const std::vector<double>& x,
                     double tol) {
@@ -50,75 +91,105 @@ Solution BranchAndBound::solve(const Model& model) const {
   incumbent.status = SolveStatus::kInfeasible;
   double incumbent_value = kInfinity;  // minimization form
 
+  // A shared deadline's pivot accounting (and its latched wall-clock expiry)
+  // would race across concurrent relaxations, so deadline solves go serial.
+  const int wave =
+      options_.simplex.deadline != nullptr ? 1 : std::max(1, options_.wave_size);
+
   std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
   open.push({{}, -kInfinity});
   int nodes = 0;
   bool hit_node_limit = false;
+  int total_pivots = 0;
+  int total_reinversions = 0;
+  int eta_peak = 0;
 
-  Model scratch = model;
+  std::vector<Scratch> slots;
+  slots.reserve(static_cast<std::size_t>(wave));
+  for (int s = 0; s < wave; ++s) slots.push_back({model, {}});
+  std::vector<Node> wave_nodes;
+  wave_nodes.reserve(static_cast<std::size_t>(wave));
+
   while (!open.empty() && nodes < options_.max_nodes) {
-    Node node = open.top();
-    open.pop();
-    ++nodes;
-    if (node.relaxation_bound >= incumbent_value - options_.gap_tol *
-                                       (1.0 + std::abs(incumbent_value))) {
-      continue;  // cannot improve
-    }
-
-    // Apply branching bounds on top of the base model.
-    for (int j = 0; j < model.num_variables(); ++j) {
-      const Variable& v = model.variable(j);
-      scratch.set_bounds(j, v.lower, v.upper);
-    }
-    bool conflict = false;
-    for (const auto& [var, lo, hi] : node.bounds) {
-      const Variable& v = scratch.variable(var);
-      const double new_lo = std::max(v.lower, lo);
-      const double new_hi = std::min(v.upper, hi);
-      if (new_lo > new_hi) {
-        conflict = true;
-        break;
+    // Pop the wave: up to `wave` best-bound nodes that survive pruning
+    // against the incumbent as of the wave boundary. Pop order (and with it
+    // the whole node tree) is a pure function of the queue contents.
+    wave_nodes.clear();
+    while (!open.empty() && static_cast<int>(wave_nodes.size()) < wave &&
+           nodes < options_.max_nodes) {
+      Node node = open.top();
+      open.pop();
+      ++nodes;
+      if (node.relaxation_bound >= incumbent_value - options_.gap_tol *
+                                        (1.0 + std::abs(incumbent_value))) {
+        continue;  // cannot improve
       }
-      scratch.set_bounds(var, new_lo, new_hi);
+      wave_nodes.push_back(std::move(node));
     }
-    if (conflict) continue;
+    if (wave_nodes.empty()) continue;
 
-    const Solution relax = simplex.solve(scratch);
-    if (relax.status == SolveStatus::kUnbounded) {
-      // An unbounded relaxation at the root means the MIP itself may be
-      // unbounded; report it rather than silently pruning.
-      if (node.bounds.empty()) {
-        Solution out;
-        out.status = SolveStatus::kUnbounded;
-        return out;
+    // Evaluate the wave. Each slot owns its scratch model, every relaxation
+    // is a self-contained function of its node's branch path, and
+    // parallel_map preserves slot order — bit-identical at any pool size.
+    std::vector<NodeResult> results;
+    if (wave_nodes.size() == 1) {
+      results.push_back(
+          evaluate_node(model, simplex, slots[0], wave_nodes[0]));
+    } else {
+      results = runtime::parallel_map(wave_nodes.size(), [&](std::size_t s) {
+        return evaluate_node(model, simplex, slots[s], wave_nodes[s]);
+      });
+    }
+
+    // Merge in fixed slot order; the incumbent may tighten mid-merge, which
+    // prunes later slots of the same wave exactly as it would serially.
+    for (std::size_t s = 0; s < results.size(); ++s) {
+      const NodeResult& result = results[s];
+      if (result.conflict) continue;
+      const Solution& relax = result.relax;
+      total_pivots += relax.iterations;
+      total_reinversions += relax.reinversions;
+      eta_peak = std::max(eta_peak, relax.eta_peak);
+      if (relax.status == SolveStatus::kUnbounded) {
+        // An unbounded relaxation at the root means the MIP itself may be
+        // unbounded; report it rather than silently pruning.
+        if (wave_nodes[s].bounds.empty()) {
+          Solution out;
+          out.status = SolveStatus::kUnbounded;
+          out.iterations = total_pivots;
+          out.reinversions = total_reinversions;
+          out.eta_peak = eta_peak;
+          out.nodes_explored = nodes;
+          return out;
+        }
+        continue;
       }
-      continue;
-    }
-    if (relax.status != SolveStatus::kOptimal) continue;
-    const double relax_value = sense_sign * relax.objective;
-    if (relax_value >= incumbent_value - options_.gap_tol *
-                           (1.0 + std::abs(incumbent_value))) {
-      continue;
-    }
+      if (relax.status != SolveStatus::kOptimal) continue;
+      const double relax_value = sense_sign * relax.objective;
+      if (relax_value >= incumbent_value - options_.gap_tol *
+                             (1.0 + std::abs(incumbent_value))) {
+        continue;
+      }
 
-    const int branch_var =
-        most_fractional(model, relax.x, options_.integrality_tol);
-    if (branch_var < 0) {
-      // Integral: new incumbent.
-      incumbent = relax;
-      incumbent_value = relax_value;
-      continue;
-    }
+      const int branch_var =
+          most_fractional(model, relax.x, options_.integrality_tol);
+      if (branch_var < 0) {
+        // Integral: new incumbent.
+        incumbent = relax;
+        incumbent_value = relax_value;
+        continue;
+      }
 
-    const double v = relax.x[static_cast<std::size_t>(branch_var)];
-    Node down = node;
-    down.relaxation_bound = relax_value;
-    down.bounds.emplace_back(branch_var, -kInfinity, std::floor(v));
-    Node up = node;
-    up.relaxation_bound = relax_value;
-    up.bounds.emplace_back(branch_var, std::ceil(v), kInfinity);
-    open.push(std::move(down));
-    open.push(std::move(up));
+      const double v = relax.x[static_cast<std::size_t>(branch_var)];
+      Node down = wave_nodes[s];
+      down.relaxation_bound = relax_value;
+      down.bounds.emplace_back(branch_var, -kInfinity, std::floor(v));
+      Node up = wave_nodes[s];
+      up.relaxation_bound = relax_value;
+      up.bounds.emplace_back(branch_var, std::ceil(v), kInfinity);
+      open.push(std::move(down));
+      open.push(std::move(up));
+    }
   }
   hit_node_limit = !open.empty() && nodes >= options_.max_nodes;
 
@@ -131,11 +202,19 @@ Solution BranchAndBound::solve(const Model& model) const {
       }
     }
     if (hit_node_limit) incumbent.status = SolveStatus::kIterationLimit;
+    incumbent.iterations = total_pivots;
+    incumbent.reinversions = total_reinversions;
+    incumbent.eta_peak = eta_peak;
+    incumbent.nodes_explored = nodes;
     return incumbent;
   }
   Solution out;
   out.status =
       hit_node_limit ? SolveStatus::kIterationLimit : SolveStatus::kInfeasible;
+  out.iterations = total_pivots;
+  out.reinversions = total_reinversions;
+  out.eta_peak = eta_peak;
+  out.nodes_explored = nodes;
   return out;
 }
 

@@ -91,7 +91,17 @@ struct Solution {
   // Dual value per row: the shadow price d(objective)/d(rhs) for the
   // minimization form of the model. Required by Benders decomposition.
   std::vector<double> duals;
+  // Simplex pivots spent. For a branch-and-bound solve this is the total
+  // across every node relaxation, not just the incumbent's.
   int iterations = 0;
+  // Kernel work counters: dense reinversions performed and the longest
+  // eta file reached between them (0 under the dense kernel). For
+  // branch-and-bound, summed / maxed across node relaxations.
+  int reinversions = 0;
+  int eta_peak = 0;
+  // Branch-and-bound nodes popped from the best-first queue (0 for pure LP
+  // solves).
+  int nodes_explored = 0;
 };
 
 }  // namespace prete::lp

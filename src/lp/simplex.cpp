@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "lp/basis.h"
+
 namespace prete::lp {
 
 SimplexBasis SimplexBasis::truncated(int rows, int structurals) const {
@@ -72,13 +74,7 @@ struct Workspace {
   std::vector<VarStatus> status;
   std::vector<int> basis;          // basis[r] = column basic in row r
   std::vector<double> basic_value; // value of basis[r]
-  std::vector<double> binv;        // dense m x m row-major basis inverse
   std::vector<double> nonbasic_value;  // value for every column (basic entries stale)
-
-  double& binv_at(int r, int c) { return binv[static_cast<std::size_t>(r) * m + c]; }
-  double binv_at(int r, int c) const {
-    return binv[static_cast<std::size_t>(r) * m + c];
-  }
 };
 
 double bound_start_value(double lower, double upper) {
@@ -167,7 +163,8 @@ class SimplexEngine {
     // not dual-feasible and its shadow prices would poison Benders cuts.
     if (phase2 != SolveStatus::kOptimal) return solution;
 
-    std::vector<double> y = dual_vector(ws_.phase2_cost);
+    std::vector<double> y;
+    compute_duals(ws_.phase2_cost, y);
     if (model.sense() == Sense::kMaximize) {
       for (double& v : y) v = -v;
     }
@@ -177,6 +174,8 @@ class SimplexEngine {
     }
     return solution;
   }
+
+  const BasisState::Stats& kernel_stats() const { return basis_.stats(); }
 
   // Snapshot of the final basis; only meaningful after an optimal run().
   void export_basis(SimplexBasis& out) const {
@@ -230,6 +229,21 @@ class SimplexEngine {
     ws_.num_slack = m;
     first_artificial_ = n + m;
     ws_.total = n + 2 * m;
+
+    basis_.configure(options_.kernel, options_.refactor_interval);
+    pricing_window_ = ws_.total;
+    if (options_.pricing_window > 0) {
+      pricing_window_ = std::min(options_.pricing_window, ws_.total);
+    } else if (options_.pricing_window == 0) {
+      // A shrunken candidate list only pays when the pricing scan dominates
+      // the per-pivot cost, i.e. when columns heavily outnumber rows. On
+      // row-dominated LPs the O(m^2) kernel solves dwarf the scan, so a
+      // window just lengthens the pivot path for no savings — price fully.
+      const int automatic = std::clamp(ws_.total / 8, 64, 512);
+      if (ws_.total >= 4 * m && automatic < ws_.total) {
+        pricing_window_ = automatic;
+      }
+    }
 
     ws_.columns.assign(static_cast<std::size_t>(ws_.total), {});
     ws_.lower.assign(static_cast<std::size_t>(ws_.total), 0.0);
@@ -300,7 +314,6 @@ class SimplexEngine {
 
     ws_.basis.assign(static_cast<std::size_t>(m), 0);
     ws_.basic_value.assign(static_cast<std::size_t>(m), 0.0);
-    ws_.binv.assign(static_cast<std::size_t>(m) * static_cast<std::size_t>(m), 0.0);
 
     if (compatible && install_warm_basis(*warm)) return;
     install_artificial_basis();
@@ -439,17 +452,18 @@ class SimplexEngine {
     const std::vector<int> no_plan(static_cast<std::size_t>(m), -1);
     const std::vector<double> residual =
         starting_residual(no_plan, std::vector<double>(static_cast<std::size_t>(m), 0.0));
-    std::fill(ws_.binv.begin(), ws_.binv.end(), 0.0);
+    std::vector<double> signs(static_cast<std::size_t>(m), 1.0);
     for (int i = 0; i < m; ++i) {
       const int art = first_artificial_ + i;
       const double sign = residual[static_cast<std::size_t>(i)] >= 0.0 ? 1.0 : -1.0;
+      signs[static_cast<std::size_t>(i)] = sign;
       ws_.columns[static_cast<std::size_t>(art)].assign(1, {i, sign});
       ws_.status[static_cast<std::size_t>(art)] = VarStatus::kBasic;
       ws_.basis[static_cast<std::size_t>(i)] = art;
       ws_.basic_value[static_cast<std::size_t>(i)] =
           std::abs(residual[static_cast<std::size_t>(i)]);
-      ws_.binv_at(i, i) = sign;  // inverse of the +-1 diagonal basis
     }
+    basis_.reset_diagonal(m, signs);  // inverse of the +-1 diagonal basis
   }
 
   double current_objective(const std::vector<double>& cost) const {
@@ -467,16 +481,14 @@ class SimplexEngine {
     return obj;
   }
 
-  std::vector<double> dual_vector(const std::vector<double>& cost) const {
-    std::vector<double> y(static_cast<std::size_t>(ws_.m), 0.0);
+  // y = c_B^T B^-1 via BTRAN through the kernel.
+  void compute_duals(const std::vector<double>& cost, std::vector<double>& y) {
+    cb_.assign(static_cast<std::size_t>(ws_.m), 0.0);
     for (int r = 0; r < ws_.m; ++r) {
-      const double cb = cost[static_cast<std::size_t>(ws_.basis[static_cast<std::size_t>(r)])];
-      if (cb == 0.0) continue;
-      for (int c = 0; c < ws_.m; ++c) {
-        y[static_cast<std::size_t>(c)] += cb * ws_.binv_at(r, c);
-      }
+      cb_[static_cast<std::size_t>(r)] =
+          cost[static_cast<std::size_t>(ws_.basis[static_cast<std::size_t>(r)])];
     }
-    return y;
+    basis_.btran(cb_, y);
   }
 
   double reduced_cost(int j, const std::vector<double>& cost,
@@ -488,71 +500,16 @@ class SimplexEngine {
     return d;
   }
 
-  // w = B^-1 * column_j
-  void ftran(int j, std::vector<double>& w) const {
-    std::fill(w.begin(), w.end(), 0.0);
-    for (const auto& entry : ws_.columns[static_cast<std::size_t>(j)]) {
-      const double a = entry.value;
-      if (a == 0.0) continue;
-      const int c = entry.var;
-      for (int r = 0; r < ws_.m; ++r) {
-        w[static_cast<std::size_t>(r)] += a * ws_.binv_at(r, c);
-      }
-    }
-  }
-
-  // Rebuilds binv from the current basis columns by Gauss-Jordan with
-  // partial pivoting, then recomputes the basic values.
+  // Rebuilds the dense anchor inverse from the current basis columns, then
+  // recomputes the basic values.
   bool refactorize() {
-    const int m = ws_.m;
-    std::vector<double> dense(static_cast<std::size_t>(m) * m, 0.0);
-    for (int c = 0; c < m; ++c) {
-      for (const auto& entry :
-           ws_.columns[static_cast<std::size_t>(ws_.basis[static_cast<std::size_t>(c)])]) {
-        dense[static_cast<std::size_t>(entry.var) * m + c] = entry.value;
-      }
+    basis_cols_.clear();
+    basis_cols_.reserve(static_cast<std::size_t>(ws_.m));
+    for (int r = 0; r < ws_.m; ++r) {
+      basis_cols_.push_back(
+          &ws_.columns[static_cast<std::size_t>(ws_.basis[static_cast<std::size_t>(r)])]);
     }
-    std::vector<double> inv(static_cast<std::size_t>(m) * m, 0.0);
-    for (int i = 0; i < m; ++i) inv[static_cast<std::size_t>(i) * m + i] = 1.0;
-
-    for (int col = 0; col < m; ++col) {
-      int pivot = col;
-      double best = std::abs(dense[static_cast<std::size_t>(col) * m + col]);
-      for (int r = col + 1; r < m; ++r) {
-        const double v = std::abs(dense[static_cast<std::size_t>(r) * m + col]);
-        if (v > best) {
-          best = v;
-          pivot = r;
-        }
-      }
-      if (best < 1e-12) return false;  // numerically singular basis
-      if (pivot != col) {
-        for (int c = 0; c < m; ++c) {
-          std::swap(dense[static_cast<std::size_t>(pivot) * m + c],
-                    dense[static_cast<std::size_t>(col) * m + c]);
-          std::swap(inv[static_cast<std::size_t>(pivot) * m + c],
-                    inv[static_cast<std::size_t>(col) * m + c]);
-        }
-      }
-      const double piv = dense[static_cast<std::size_t>(col) * m + col];
-      const double inv_piv = 1.0 / piv;
-      for (int c = 0; c < m; ++c) {
-        dense[static_cast<std::size_t>(col) * m + c] *= inv_piv;
-        inv[static_cast<std::size_t>(col) * m + c] *= inv_piv;
-      }
-      for (int r = 0; r < m; ++r) {
-        if (r == col) continue;
-        const double factor = dense[static_cast<std::size_t>(r) * m + col];
-        if (factor == 0.0) continue;
-        for (int c = 0; c < m; ++c) {
-          dense[static_cast<std::size_t>(r) * m + c] -=
-              factor * dense[static_cast<std::size_t>(col) * m + c];
-          inv[static_cast<std::size_t>(r) * m + c] -=
-              factor * inv[static_cast<std::size_t>(col) * m + c];
-        }
-      }
-    }
-    ws_.binv = std::move(inv);
+    if (!basis_.refactorize(basis_cols_)) return false;
     recompute_basic_values();
     return true;
   }
@@ -568,12 +525,123 @@ class SimplexEngine {
         rhs[static_cast<std::size_t>(entry.var)] -= entry.value * xj;
       }
     }
-    for (int r = 0; r < ws_.m; ++r) {
-      double v = 0.0;
-      for (int c = 0; c < ws_.m; ++c) {
-        v += ws_.binv_at(r, c) * rhs[static_cast<std::size_t>(c)];
+    basis_.apply_inverse(rhs, ws_.basic_value);
+  }
+
+  // Legacy-ordered segment scan for the entering variable: strictly-better
+  // merit wins; an equal merit at a lower column index wins only across the
+  // wrap of a rotated window (within one ascending segment the first-seen
+  // candidate already has the lowest index, exactly the historical rule).
+  void price_segment(int begin, int end, const std::vector<double>& cost,
+                     const std::vector<double>& y, bool devex,
+                     const std::vector<double>& devex_weight,
+                     double& best_merit, int& entering, double& entering_dir) const {
+    for (int j = begin; j < end; ++j) {
+      const VarStatus st = ws_.status[static_cast<std::size_t>(j)];
+      if (st == VarStatus::kBasic) continue;
+      // Locked variables (fixed artificials, equality slacks) cannot move.
+      if (ws_.lower[static_cast<std::size_t>(j)] ==
+          ws_.upper[static_cast<std::size_t>(j)]) {
+        continue;
       }
-      ws_.basic_value[static_cast<std::size_t>(r)] = v;
+      const double d = reduced_cost(j, cost, y);
+      double score = 0.0;
+      double dir = 0.0;
+      if ((st == VarStatus::kAtLower || st == VarStatus::kFreeAtZero) &&
+          d < -options_.optimality_tol) {
+        score = -d;
+        dir = 1.0;
+      } else if ((st == VarStatus::kAtUpper || st == VarStatus::kFreeAtZero) &&
+                 d > options_.optimality_tol) {
+        score = d;
+        dir = -1.0;
+      }
+      if (score <= 0.0) continue;
+      const double merit =
+          devex ? score * score / devex_weight[static_cast<std::size_t>(j)]
+                : score;
+      if (merit > best_merit ||
+          (merit == best_merit && entering >= 0 && j < entering)) {
+        best_merit = merit;
+        entering = j;
+        entering_dir = dir;
+      }
+    }
+  }
+
+  // Entering-variable selection. Full pricing scans every column; partial
+  // pricing scans the rotating candidate window, advancing it only when the
+  // window prices out, and declares optimality only after a full rotation
+  // finds no eligible column — the optimality conditions are identical to a
+  // full pass, only the pivot path differs.
+  int select_entering(const std::vector<double>& cost,
+                      const std::vector<double>& y, bool use_bland, bool devex,
+                      const std::vector<double>& devex_weight,
+                      double& entering_dir) {
+    if (use_bland) {  // first eligible index, every column
+      for (int j = 0; j < ws_.total; ++j) {
+        const VarStatus st = ws_.status[static_cast<std::size_t>(j)];
+        if (st == VarStatus::kBasic) continue;
+        if (ws_.lower[static_cast<std::size_t>(j)] ==
+            ws_.upper[static_cast<std::size_t>(j)]) {
+          continue;
+        }
+        const double d = reduced_cost(j, cost, y);
+        if ((st == VarStatus::kAtLower || st == VarStatus::kFreeAtZero) &&
+            d < -options_.optimality_tol) {
+          entering_dir = 1.0;
+          return j;
+        }
+        if ((st == VarStatus::kAtUpper || st == VarStatus::kFreeAtZero) &&
+            d > options_.optimality_tol) {
+          entering_dir = -1.0;
+          return j;
+        }
+      }
+      return -1;
+    }
+
+    const double merit_floor = devex ? 0.0 : options_.optimality_tol;
+    int entering = -1;
+    if (pricing_window_ >= ws_.total) {
+      double best_merit = merit_floor;
+      price_segment(0, ws_.total, cost, y, devex, devex_weight, best_merit,
+                    entering, entering_dir);
+      return entering;
+    }
+    const int windows = (ws_.total + pricing_window_ - 1) / pricing_window_;
+    for (int attempt = 0; attempt < windows; ++attempt) {
+      double best_merit = merit_floor;
+      const int begin = pricing_offset_;
+      const int end = begin + pricing_window_;
+      price_segment(begin, std::min(end, ws_.total), cost, y, devex,
+                    devex_weight, best_merit, entering, entering_dir);
+      if (end > ws_.total) {
+        price_segment(0, end - ws_.total, cost, y, devex, devex_weight,
+                      best_merit, entering, entering_dir);
+      }
+      if (entering >= 0) return entering;
+      pricing_offset_ = end % ws_.total;
+    }
+    return -1;
+  }
+
+  // Applies fn(j) to every column the current pricing pass covers: the
+  // active window under partial pricing, every column otherwise. The devex
+  // weight update iterates the same set — weights outside the window go
+  // stale (too small), which only overstates those columns' merit when the
+  // window rotates onto them; path quality, never correctness.
+  template <typename Fn>
+  void for_each_priced(bool full, Fn&& fn) const {
+    if (full || pricing_window_ >= ws_.total) {
+      for (int j = 0; j < ws_.total; ++j) fn(j);
+      return;
+    }
+    const int begin = pricing_offset_;
+    const int end = begin + pricing_window_;
+    for (int j = begin; j < std::min(end, ws_.total); ++j) fn(j);
+    if (end > ws_.total) {
+      for (int j = 0; j < end - ws_.total; ++j) fn(j);
     }
   }
 
@@ -585,8 +653,25 @@ class SimplexEngine {
             ? options_.max_iterations
             : 2000 + 40 * (ws_.total + m);
     std::vector<double> w(static_cast<std::size_t>(m), 0.0);
+    std::vector<double> y;
     int degenerate_streak = 0;
-    int since_refactor = 0;
+    basis_.reset_refactor_counter();
+
+    // Dual maintenance. The historical kernel recomputes y = c_B^T B^-1 by
+    // a full BTRAN every pivot — the single most expensive operation in the
+    // solve (phase 1's all-artificial cost vector makes c_B dense). The eta
+    // kernel instead updates the duals in O(m) per pivot from the identity
+    // y' = y + (d_q / w_r) * rho, where d_q is the entering column's reduced
+    // cost, w_r the pivot element, and rho the (pre-pivot) devex pivot row
+    // it already computes. Accumulated rounding is bounded by refreshing the
+    // duals at every reinversion, and optimality is never declared on
+    // updated duals: pricing out triggers one exact recompute and a
+    // re-price, so the termination conditions match the historical kernel's.
+    // The Bland anti-cycling regime also recomputes exactly every pivot —
+    // its guarantees assume exact reduced costs.
+    const bool incremental_duals = basis_.kernel() == BasisKernel::kEtaFile;
+    bool y_valid = false;  // y matches the current basis (exactly or updated)
+    bool y_exact = false;  // y came from a full BTRAN, not O(m) updates
 
     // Devex reference framework (Forrest & Goldfarb): every nonbasic column
     // starts at weight 1 (the phase's starting nonbasic set is the reference
@@ -615,51 +700,27 @@ class SimplexEngine {
         if (options_.deadline->expired()) return SolveStatus::kIterationLimit;
         options_.deadline->charge_pivots();
       }
-      const std::vector<double> y = dual_vector(cost);
-
       // Pricing.
       const bool use_bland = degenerate_streak > options_.degenerate_pivot_limit;
-      int entering = -1;
+      if (!incremental_duals || use_bland || !y_valid) {
+        compute_duals(cost, y);
+        y_valid = true;
+        y_exact = true;
+      }
       double entering_dir = 0.0;
-      double best_merit = devex ? 0.0 : options_.optimality_tol;
-      for (int j = 0; j < ws_.total; ++j) {
-        const VarStatus st = ws_.status[static_cast<std::size_t>(j)];
-        if (st == VarStatus::kBasic) continue;
-        // Locked variables (fixed artificials, equality slacks) cannot move.
-        if (ws_.lower[static_cast<std::size_t>(j)] ==
-            ws_.upper[static_cast<std::size_t>(j)]) {
-          continue;
-        }
-        const double d = reduced_cost(j, cost, y);
-        double score = 0.0;
-        double dir = 0.0;
-        if ((st == VarStatus::kAtLower || st == VarStatus::kFreeAtZero) &&
-            d < -options_.optimality_tol) {
-          score = -d;
-          dir = 1.0;
-        } else if ((st == VarStatus::kAtUpper || st == VarStatus::kFreeAtZero) &&
-                   d > options_.optimality_tol) {
-          score = d;
-          dir = -1.0;
-        }
-        if (score <= 0.0) continue;
-        if (use_bland) {  // first eligible index
-          entering = j;
-          entering_dir = dir;
-          break;
-        }
-        const double merit =
-            devex ? score * score / devex_weight[static_cast<std::size_t>(j)]
-                  : score;
-        if (merit > best_merit) {
-          best_merit = merit;
-          entering = j;
-          entering_dir = dir;
-        }
+      int entering =
+          select_entering(cost, y, use_bland, devex, devex_weight, entering_dir);
+      if (entering < 0 && incremental_duals && !y_exact) {
+        // Priced out on updated duals: verify against an exact recompute
+        // before declaring dual feasibility.
+        compute_duals(cost, y);
+        y_exact = true;
+        entering = select_entering(cost, y, use_bland, devex, devex_weight,
+                                   entering_dir);
       }
       if (entering < 0) return SolveStatus::kOptimal;  // dual feasible
 
-      ftran(entering, w);
+      basis_.ftran(ws_.columns[static_cast<std::size_t>(entering)], w);
 
       // Ratio test. The entering variable moves by t >= 0 in direction
       // entering_dir; basic variable r changes at rate -entering_dir * w[r].
@@ -736,29 +797,48 @@ class SimplexEngine {
       ws_.basis[static_cast<std::size_t>(leaving)] = entering;
       ws_.basic_value[static_cast<std::size_t>(leaving)] = entering_value;
 
+      // The pre-pivot row of the inverse serves both the devex weight update
+      // and the incremental dual update, so one kernel call covers both.
+      const bool need_rho = devex || (incremental_duals && !use_bland);
+      if (need_rho) basis_.pivot_row(leaving, rho_);
+      if (incremental_duals && !use_bland) {
+        const double d_q = reduced_cost(entering, cost, y);
+        const double theta_d = d_q / w[static_cast<std::size_t>(leaving)];
+        if (theta_d != 0.0) {
+          for (int i = 0; i < m; ++i) {
+            y[static_cast<std::size_t>(i)] +=
+                theta_d * rho_[static_cast<std::size_t>(i)];
+          }
+        }
+        y_exact = false;
+      } else {
+        y_valid = false;  // pivot without a dual update: recompute next pass
+      }
+
       if (devex) {
         // Reference-framework update: with entering weight gamma_q and pivot
-        // element alpha_q = w[leaving], every nonbasic column j updates to
-        // max(gamma_j, (alpha_j / alpha_q)^2 * gamma_q) where alpha_j is its
-        // pivot-row entry under the *pre-pivot* inverse; the leaving column
-        // gets max(gamma_q / alpha_q^2, 1). Bound flips above skip this —
-        // the basis (and hence the framework geometry) did not change.
+        // element alpha_q = w[leaving], every priced nonbasic column j
+        // updates to max(gamma_j, (alpha_j / alpha_q)^2 * gamma_q) where
+        // alpha_j is its pivot-row entry under the *pre-pivot* inverse; the
+        // leaving column gets max(gamma_q / alpha_q^2, 1). Bound flips above
+        // skip this — the basis (and hence the framework geometry) did not
+        // change.
         const double gamma_q = devex_weight[static_cast<std::size_t>(entering)];
         const double alpha_q = w[static_cast<std::size_t>(leaving)];
         const double alpha_q_sq = alpha_q * alpha_q;
         double max_weight = 1.0;
-        for (int j = 0; j < ws_.total; ++j) {
-          if (j == entering || j == leave_var) continue;
+        for_each_priced(use_bland, [&](int j) {
+          if (j == entering || j == leave_var) return;
           if (ws_.status[static_cast<std::size_t>(j)] == VarStatus::kBasic) {
-            continue;
+            return;
           }
           if (ws_.lower[static_cast<std::size_t>(j)] ==
               ws_.upper[static_cast<std::size_t>(j)]) {
-            continue;  // locked columns never price, so their weight is dead
+            return;  // locked columns never price, so their weight is dead
           }
           double alpha_j = 0.0;
           for (const auto& entry : ws_.columns[static_cast<std::size_t>(j)]) {
-            alpha_j += ws_.binv_at(leaving, entry.var) * entry.value;
+            alpha_j += rho_[static_cast<std::size_t>(entry.var)] * entry.value;
           }
           if (alpha_j != 0.0) {
             double& g = devex_weight[static_cast<std::size_t>(j)];
@@ -766,7 +846,7 @@ class SimplexEngine {
             if (cand > g) g = cand;
             if (g > max_weight) max_weight = g;
           }
-        }
+        });
         double& g_leave = devex_weight[static_cast<std::size_t>(leave_var)];
         g_leave = std::max(gamma_q / alpha_q_sq, 1.0);
         if (g_leave > max_weight) max_weight = g_leave;
@@ -777,22 +857,11 @@ class SimplexEngine {
         }
       }
 
-      // Product-form update of the inverse: pivot on w[leaving].
-      const double piv = w[static_cast<std::size_t>(leaving)];
-      const double inv_piv = 1.0 / piv;
-      for (int c = 0; c < m; ++c) ws_.binv_at(leaving, c) *= inv_piv;
-      for (int r = 0; r < m; ++r) {
-        if (r == leaving) continue;
-        const double factor = w[static_cast<std::size_t>(r)];
-        if (factor == 0.0) continue;
-        for (int c = 0; c < m; ++c) {
-          ws_.binv_at(r, c) -= factor * ws_.binv_at(leaving, c);
-        }
-      }
-
-      if (++since_refactor >= options_.refactor_interval) {
-        since_refactor = 0;
+      // Kernel pivot accounting: dense elimination or an eta append; a true
+      // return means the periodic interval or the drift trigger fired.
+      if (basis_.update(leaving, w)) {
         if (!refactorize()) return SolveStatus::kIterationLimit;
+        y_valid = false;  // refresh the duals from the clean anchor
       }
     }
     return SolveStatus::kIterationLimit;
@@ -800,7 +869,13 @@ class SimplexEngine {
 
   SimplexOptions options_;
   Workspace ws_;
+  BasisState basis_;
   int first_artificial_ = 0;
+  int pricing_window_ = 0;
+  int pricing_offset_ = 0;
+  std::vector<const std::vector<Coefficient>*> basis_cols_;
+  std::vector<double> cb_;
+  std::vector<double> rho_;
 };
 
 }  // namespace
@@ -836,6 +911,8 @@ Solution SimplexSolver::solve(const Model& model, const SimplexBasis* warm,
   }
   SimplexEngine engine(model, options_, warm);
   Solution solution = engine.run(model);
+  solution.reinversions = engine.kernel_stats().reinversions;
+  solution.eta_peak = engine.kernel_stats().eta_peak;
   if (basis_out != nullptr && solution.status == SolveStatus::kOptimal) {
     engine.export_basis(*basis_out);
   }

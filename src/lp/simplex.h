@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "lp/basis.h"
 #include "lp/model.h"
 #include "util/deadline.h"
 
@@ -31,8 +32,28 @@ struct SimplexOptions {
   // 0 means "choose automatically from problem size".
   int max_iterations = 0;
   // Rebuild the basis inverse from scratch every this many pivots to bound
-  // numerical drift of the product-form updates.
+  // numerical drift of the product-form updates. The eta-file kernel also
+  // reinverts early when an appended eta column's magnitude spread signals
+  // drift (see BasisState::update).
   int refactor_interval = 128;
+  // Basis-inverse representation (see lp::BasisKernel). kEtaFile replaces
+  // the O(m^2)-per-pivot dense inverse update with an O(nnz) eta append plus
+  // periodic dense reinversion; kDenseBinv is the historical kernel, kept as
+  // the bit-compatible reference for equivalence tests and the bench gate.
+  BasisKernel kernel = BasisKernel::kEtaFile;
+  // Candidate-list partial pricing: price a rotating window of this many
+  // columns per iteration, advancing the window only when it prices out (no
+  // eligible column); optimality is declared only after a full rotation
+  // finds nothing, so the optimality conditions are unchanged — only the
+  // pivot path moves. 0 sizes the window automatically (total/8, clamped to
+  // [64, 512]) but engages it only on column-dominated LPs (total >= 4m)
+  // where the pricing scan outweighs the kernel solves; row-dominated
+  // problems and problems smaller than the window price fully. Negative
+  // forces full pricing. The window position is a pure function of the
+  // solve history and ties still break toward the lowest column index, so
+  // partial pricing preserves determinism at any thread count. The Bland
+  // anti-cycling regime always scans every column.
+  int pricing_window = 0;
   // Switch to Bland's anti-cycling rule after this many consecutive
   // degenerate pivots.
   int degenerate_pivot_limit = 200;
@@ -87,9 +108,11 @@ struct SimplexBasis {
   SimplexBasis truncated(int rows, int structurals = -1) const;
 };
 
-// Two-phase bounded-variable revised primal simplex with a dense basis
-// inverse. Designed for the mid-sized LPs produced by the TE formulations
-// (hundreds to a few thousand rows once lazy row generation is applied).
+// Two-phase bounded-variable revised primal simplex. The basis inverse is
+// kept either as an explicit dense matrix or (the default) as a product-form
+// eta file anchored at periodic dense reinversions — see BasisKernel.
+// Designed for the mid-sized LPs produced by the TE formulations (hundreds
+// to a few thousand rows once lazy row generation is applied).
 //
 // The returned duals are shadow prices d(objective)/d(rhs) in the model's
 // own sense (for kMaximize they are the derivatives of the maximum).

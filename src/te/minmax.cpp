@@ -124,9 +124,15 @@ MinMaxResult solve_min_max_direct(const TeProblem& problem,
 
   lp::BranchAndBoundOptions bb;
   bb.max_nodes = 50000;
+  bb.simplex = options.simplex;
+  bb.simplex.deadline = options.deadline;
   const lp::Solution sol = lp::BranchAndBound(bb).solve(model);
   MinMaxResult result;
   result.iterations = 1;
+  result.simplex_pivots = sol.iterations;
+  result.bb_nodes = sol.nodes_explored;
+  result.deadline_exceeded =
+      options.deadline != nullptr && options.deadline->expired();
   if (sol.status != lp::SolveStatus::kOptimal) {
     result.phi = 1.0;
     return result;

@@ -66,6 +66,9 @@ struct MinMaxResult {
   // (subproblem rounds, per-flow masters, CVaR refinement). The number a
   // basis cache is supposed to shrink.
   int simplex_pivots = 0;
+  // Branch-and-bound nodes explored by solve_min_max_direct (0 for the
+  // Benders path, which never branches).
+  int bb_nodes = 0;
   // The MinMaxOptions deadline expired mid-solve: `policy` is the best
   // incumbent reached (possibly empty if not even one subproblem finished)
   // and `upper_bound`/`lower_bound` bracket how far the decomposition got.

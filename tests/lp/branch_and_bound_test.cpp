@@ -127,5 +127,66 @@ TEST_P(KnapsackProperty, MatchesBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, KnapsackProperty, ::testing::Range(1, 25));
 
+Model random_knapsack(std::uint64_t seed, int items) {
+  util::Rng rng(seed);
+  Model m(Sense::kMaximize);
+  std::vector<Coefficient> row;
+  for (int j = 0; j < items; ++j) {
+    m.add_binary(rng.uniform(1.0, 10.0));
+    row.push_back({j, rng.uniform(1.0, 5.0)});
+  }
+  double total = 0.0;
+  for (const auto& c : row) total += c.value;
+  m.add_row(std::move(row), RowType::kLessEqual, 0.45 * total);
+  return m;
+}
+
+// Wave evaluation explores a different node order than the serial search,
+// but both must land on the optimum.
+TEST(BranchAndBoundWaveTest, WaveMatchesSerialOptimum) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Model m = random_knapsack(seed * 131 + 5, 14);
+    BranchAndBoundOptions serial;
+    serial.wave_size = 1;
+    BranchAndBoundOptions waved;
+    waved.wave_size = 8;
+    const Solution a = BranchAndBound(serial).solve(m);
+    const Solution b = BranchAndBound(waved).solve(m);
+    ASSERT_EQ(a.status, SolveStatus::kOptimal) << "seed " << seed;
+    ASSERT_EQ(b.status, SolveStatus::kOptimal) << "seed " << seed;
+    EXPECT_NEAR(a.objective, b.objective, 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(BranchAndBoundWaveTest, WorkCountersPopulated) {
+  const Model m = random_knapsack(97, 12);
+  const Solution s = BranchAndBound().solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_GE(s.nodes_explored, 1);
+  EXPECT_GE(s.iterations, 1);       // total pivots across node relaxations
+  EXPECT_GE(s.eta_peak, 0);
+  // Pure LP solves report zero nodes.
+  Model lp(Sense::kMaximize);
+  const int x = lp.add_variable(0, 4.5, 1.0, "x");
+  lp.add_row({{x, 1.0}}, RowType::kLessEqual, 3.2);
+  EXPECT_EQ(BranchAndBound().solve(lp).nodes_explored, 0);
+}
+
+// The wave size is part of the solve's definition, never derived from the
+// pool, so repeated solves must be bit-identical (the cross-thread-count
+// witness lives in the runtime determinism suite).
+TEST(BranchAndBoundWaveTest, RepeatedSolvesBitIdentical) {
+  const Model m = random_knapsack(1234, 13);
+  const Solution a = BranchAndBound().solve(m);
+  const Solution b = BranchAndBound().solve(m);
+  ASSERT_EQ(a.status, b.status);
+  EXPECT_EQ(a.objective, b.objective);
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.nodes_explored, b.nodes_explored);
+  EXPECT_EQ(a.reinversions, b.reinversions);
+  EXPECT_EQ(a.eta_peak, b.eta_peak);
+}
+
 }  // namespace
 }  // namespace prete::lp

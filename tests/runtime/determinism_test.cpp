@@ -198,6 +198,44 @@ TEST(RuntimeDeterminismTest, PlantSimulatorBitIdenticalAcrossThreadCounts) {
   EXPECT_EQ(rng1.next_u64(), rng4.next_u64());
 }
 
+TEST(RuntimeDeterminismTest, DirectSolverBitIdenticalAcrossThreadCounts) {
+  // solve_min_max_direct runs branch-and-bound in parallel node waves; the
+  // wave size is fixed (never derived from the pool), pops and incumbent
+  // merges happen in deterministic order, and each node relaxation is a
+  // self-contained solve — so every returned bit, including the work
+  // counters, must survive a pool resize.
+  net::Topology topo = net::make_triangle();
+  net::TunnelSet tunnels{2};
+  tunnels.add_tunnel(0, {0});
+  tunnels.add_tunnel(0, {2, 5});
+  tunnels.add_tunnel(1, {2});
+  tunnels.add_tunnel(1, {0, 4});
+  te::TeProblem problem;
+  problem.network = &topo.network;
+  problem.flows = &topo.flows;
+  problem.tunnels = &tunnels;
+  problem.demands = {10.0, 10.0};
+  const auto scenarios = te::generate_failure_scenarios({0.02, 0.03, 0.01});
+  te::MinMaxOptions options;
+  options.beta = 0.95;
+
+  runtime::ThreadPool::set_global_threads(1);
+  const auto serial = te::solve_min_max_direct(problem, scenarios, options);
+
+  runtime::ThreadPool::set_global_threads(4);
+  const auto parallel = te::solve_min_max_direct(problem, scenarios, options);
+
+  runtime::ThreadPool::set_global_threads(0);
+  EXPECT_EQ(serial.phi, parallel.phi);
+  EXPECT_EQ(serial.simplex_pivots, parallel.simplex_pivots);
+  EXPECT_EQ(serial.bb_nodes, parallel.bb_nodes);
+  EXPECT_GE(serial.bb_nodes, 1);
+  ASSERT_EQ(serial.policy.allocation.size(), parallel.policy.allocation.size());
+  for (std::size_t t = 0; t < serial.policy.allocation.size(); ++t) {
+    EXPECT_EQ(serial.policy.allocation[t], parallel.policy.allocation[t]);
+  }
+}
+
 TEST(RuntimeDeterminismTest, RepeatedParallelRunsAreStable) {
   // Same seed, same thread count, run twice: scheduling jitter between runs
   // must not leak into the result.
