@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "core/policy_guard.h"
+#include "te/evaluator.h"
 #include "util/rng.h"
 
 namespace prete::core {
@@ -89,7 +90,12 @@ std::string FaultCampaignReport::summary() const {
      << " rungs=[" << rung_count[0] << ',' << rung_count[1] << ','
      << rung_count[2] << ',' << rung_count[3] << ']'
      << " untrusted=" << untrusted_windows
-     << " malformed=" << malformed_windows << " digest=" << decision_digest;
+     << " malformed=" << malformed_windows;
+  if (group_cuts_injected > 0) {
+    os << " group_cuts=" << group_cuts_injected << '/' << group_cuts_evaluated
+       << " group_outages=" << group_cut_flow_outages;
+  }
+  os << " digest=" << decision_digest;
   return os.str();
 }
 
@@ -116,7 +122,7 @@ FaultCampaignReport run_fault_campaign(const net::Topology& topology,
                  {5, FaultKind::kDeadlineExpiry},
                  {6, FaultKind::kDeadlineExpiry},
                  {7, FaultKind::kDeadlineExpiry}};
-  const sim::FaultInjector injector(plan);
+  const sim::FaultInjector injector(plan, config.group_cuts);
   // Budget fractions for the incumbent sweep, in units of 1/16 of the
   // measured full-solve pivot count.
   const int budget_sixteenths[] = {8, 4, 2, 1, 12};
@@ -138,6 +144,8 @@ FaultCampaignReport run_fault_campaign(const net::Topology& topology,
         static_cast<net::FiberId>(step % topology.network.num_fibers());
     const FaultKind kind = injector.fault_at(step);
     if (kind != FaultKind::kNone) ++report.faults_injected;
+    const int cut_group = injector.group_cut_at(step);
+    if (cut_group >= 0) ++report.group_cuts_injected;
 
     // Healthy (no-degradation) windows keep the nullopt path exercised.
     const bool degraded = step < 8 || step % 9 != 8;
@@ -226,6 +234,27 @@ FaultCampaignReport run_fault_campaign(const net::Topology& topology,
         }
         report.decision_digest =
             fold_decision(report.decision_digest, step, *decision);
+        if (cut_group >= 0) {
+          // Stress the freshly installed policy under the correlated group
+          // cut: every fiber of the SRLG group goes down at once. Losses
+          // fold into the digest so the CI thread matrix also witnesses the
+          // group-cut evaluation path bit-for-bit.
+          te::FailureScenario scenario;
+          scenario.fiber_failed = injector.group_cut_fibers(step);
+          scenario.probability = 1.0;
+          const auto losses =
+              te::flow_losses(problem, decision->policy, scenario);
+          ++report.group_cuts_evaluated;
+          for (double loss : losses) {
+            if (loss > 1e-4) ++report.group_cut_flow_outages;
+            report.worst_group_cut_loss =
+                std::max(report.worst_group_cut_loss, loss);
+            std::uint64_t bits = 0;
+            std::memcpy(&bits, &loss, sizeof(bits));
+            report.decision_digest =
+                fnv1a(report.decision_digest, &bits, sizeof(bits));
+          }
+        }
         if (kind == FaultKind::kNone &&
             decision->fallback_level == FallbackLevel::kFull) {
           full_solve_pivots = decision->solver_pivots;

@@ -40,6 +40,12 @@ struct FaultCampaignConfig {
   bool wall_clock_mode() const {
     return collapse_wall_ms > 0.0 || expiry_wall_ms > 0.0;
   }
+  // Correlated group cuts (conduit/weather SRLG events): when enabled, each
+  // step may additionally cut a whole risk group; the step's installed
+  // policy is stress-evaluated under the expanded fiber cut and the losses
+  // are folded into the decision digest. Disabled (the default) leaves the
+  // campaign bit-identical to a pre-SRLG build.
+  sim::GroupCutPlan group_cuts;
 };
 
 struct FaultCampaignReport {
@@ -54,6 +60,14 @@ struct FaultCampaignReport {
   int deadline_exceeded = 0;    // decisions whose solve ran out of budget
   // Decisions per ladder rung, indexed by FallbackLevel.
   std::array<int, 4> rung_count{};
+  // Correlated group-cut stress results (zero unless config.group_cuts is
+  // enabled): cuts injected, policy evaluations performed (a cut landing on
+  // a no-decision step is injected but not evaluable), flows pushed over
+  // the loss tolerance, and the worst per-flow loss observed.
+  int group_cuts_injected = 0;
+  int group_cuts_evaluated = 0;
+  int group_cut_flow_outages = 0;
+  double worst_group_cut_loss = 0.0;
   // FNV-1a digest over every decision's (step, rung, deadline flag, policy
   // bits) — the bit-identity witness for the CI thread matrix.
   std::uint64_t decision_digest = 0;

@@ -1,5 +1,8 @@
 #include "net/more_topologies.h"
 
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
 #include <utility>
 
 namespace prete::net {
@@ -55,6 +58,93 @@ Topology make_abilene() {
       {0, 1}, {1, 2}, {2, 3},  {3, 4},  {4, 5},  {5, 6},   {6, 7},
       {7, 0}, {1, 8}, {8, 9},  {9, 4},  {2, 10}, {10, 5},  {8, 10}};
   return build("Abilene", 11, edges, 30, 30, 0xAB11E);
+}
+
+Network build_geo_plant(const char* name, const std::vector<GeoNode>& nodes,
+                        const std::vector<GeoCorridor>& corridors, int regions,
+                        util::Rng& rng) {
+  if (nodes.empty()) {
+    throw std::invalid_argument("geo plant: need at least one node");
+  }
+  if (regions < 1) {
+    throw std::invalid_argument("geo plant: need at least one region");
+  }
+  double min_x = nodes.front().x_km;
+  double max_x = nodes.front().x_km;
+  for (const GeoNode& node : nodes) {
+    min_x = std::min(min_x, node.x_km);
+    max_x = std::max(max_x, node.x_km);
+  }
+  const double span_x = std::max(max_x - min_x, 1e-9);
+
+  Network net(name);
+  for (std::size_t i = 0; i < nodes.size(); ++i) net.add_node();
+  const int n = static_cast<int>(nodes.size());
+  for (std::size_t c = 0; c < corridors.size(); ++c) {
+    const GeoCorridor& corridor = corridors[c];
+    if (corridor.a < 0 || corridor.a >= n || corridor.b < 0 ||
+        corridor.b >= n || corridor.a == corridor.b) {
+      throw std::invalid_argument("geo plant: corridor endpoints out of range");
+    }
+    if (corridor.fibers < 1) {
+      throw std::invalid_argument("geo plant: corridor needs >= 1 fiber");
+    }
+    const GeoNode& a = nodes[static_cast<std::size_t>(corridor.a)];
+    const GeoNode& b = nodes[static_cast<std::size_t>(corridor.b)];
+    const double euclid = std::hypot(a.x_km - b.x_km, a.y_km - b.y_km);
+    const int region = std::min(
+        regions - 1,
+        static_cast<int>((a.x_km - min_x) / span_x *
+                         static_cast<double>(regions)));
+    // Per-corridor split stream: adding or reordering other corridors never
+    // perturbs this bundle's lengths/vendors.
+    util::Rng stream = rng.split(c);
+    for (int f = 0; f < corridor.fibers; ++f) {
+      const double slack = stream.uniform(1.20, 1.35);
+      net.add_fiber(corridor.a, corridor.b, std::max(euclid, 1.0) * slack,
+                    region, static_cast<int>(stream.next_below(4)),
+                    stream.uniform(1.0, 25.0));
+    }
+  }
+  return net;
+}
+
+std::vector<Flow> pick_gravity_flows(const std::vector<GeoNode>& nodes,
+                                     int count, double soften_km) {
+  if (!(soften_km > 0.0)) {
+    throw std::invalid_argument("gravity flows: soften_km must be positive");
+  }
+  struct Pair {
+    double score;
+    NodeId src;
+    NodeId dst;
+  };
+  std::vector<Pair> pairs;
+  const int n = static_cast<int>(nodes.size());
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const GeoNode& a = nodes[static_cast<std::size_t>(i)];
+      const GeoNode& b = nodes[static_cast<std::size_t>(j)];
+      const double distance = std::hypot(a.x_km - b.x_km, a.y_km - b.y_km);
+      pairs.push_back(
+          {a.population * b.population / (distance + soften_km), i, j});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.src != b.src) return a.src < b.src;
+    return a.dst < b.dst;
+  });
+  count = std::min<int>(count, static_cast<int>(pairs.size()));
+  std::vector<Flow> flows;
+  flows.reserve(static_cast<std::size_t>(count));
+  for (int k = 0; k < count; ++k) {
+    flows.push_back({k, pairs[static_cast<std::size_t>(k)].src,
+                     pairs[static_cast<std::size_t>(k)].dst,
+                     pairs[static_cast<std::size_t>(k)].score});
+  }
+  return flows;
 }
 
 Topology make_geant() {

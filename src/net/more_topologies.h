@@ -14,4 +14,43 @@ Topology make_abilene();
 // A GEANT-like European research backbone: 22 sites, 36 fibers.
 Topology make_geant();
 
+// --- Geographic fiber plants ------------------------------------------------
+
+// A node placed on a planar map with a gravity-model population weight
+// (the continental generator draws these; tests may hand-place them).
+struct GeoNode {
+  double x_km = 0.0;
+  double y_km = 0.0;
+  double population = 1.0;
+};
+
+// One right-of-way between two sites. `fibers` parallel fibers share the
+// corridor's conduit — the physical substrate of an SRLG group: one backhoe
+// reaches all of them.
+struct GeoCorridor {
+  int a = -1;
+  int b = -1;
+  int fibers = 1;
+};
+
+// Builds the optical layer of a geographic plant: every corridor becomes
+// `fibers` parallel fibers whose length is the Euclidean site distance times
+// a routing-slack factor with small per-fiber jitter (parallel fibers take
+// slightly different paths through the same right-of-way). Fiber ids are
+// assigned corridor by corridor in input order, so corridor k's bundle is a
+// contiguous id range — callers recover conduit groups from the corridor
+// list alone. Region is the node's horizontal map band (a timezone proxy).
+// Throws std::invalid_argument on out-of-range endpoints, self-loops, or
+// non-positive fiber counts.
+Network build_geo_plant(const char* name, const std::vector<GeoNode>& nodes,
+                        const std::vector<GeoCorridor>& corridors, int regions,
+                        util::Rng& rng);
+
+// Selects the top `count` ordered node pairs by the population gravity score
+// pop_a * pop_b / (distance_km + soften_km) as the flow set (deterministic
+// tie-breaks). Unlike pick_flows, weights come from the geography instead of
+// fresh uniform draws.
+std::vector<Flow> pick_gravity_flows(const std::vector<GeoNode>& nodes,
+                                     int count, double soften_km = 500.0);
+
 }  // namespace prete::net

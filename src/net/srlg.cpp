@@ -65,6 +65,40 @@ SrlgMap sample_srlg(const Network& network, double share_prob, util::Rng& rng) {
   return from_parents(network, std::move(parent));
 }
 
+SrlgMap srlg_from_groups(int num_fibers,
+                         const std::vector<std::vector<FiberId>>& groups) {
+  if (num_fibers < 0) {
+    throw std::invalid_argument("srlg_from_groups: negative fiber count");
+  }
+  SrlgMap map;
+  map.group_of.assign(static_cast<std::size_t>(num_fibers), -1);
+  for (const auto& group : groups) {
+    if (group.empty()) {
+      throw std::invalid_argument("srlg_from_groups: empty group");
+    }
+    map.members.emplace_back();
+    for (FiberId f : group) {
+      if (f < 0 || f >= num_fibers) {
+        throw std::invalid_argument("srlg_from_groups: fiber out of range");
+      }
+      if (map.group_of[static_cast<std::size_t>(f)] >= 0) {
+        throw std::invalid_argument(
+            "srlg_from_groups: fiber in more than one group");
+      }
+      map.group_of[static_cast<std::size_t>(f)] = map.num_groups;
+      map.members.back().push_back(f);
+    }
+    ++map.num_groups;
+  }
+  for (FiberId f = 0; f < num_fibers; ++f) {
+    if (map.group_of[static_cast<std::size_t>(f)] < 0) {
+      map.group_of[static_cast<std::size_t>(f)] = map.num_groups++;
+      map.members.push_back({f});
+    }
+  }
+  return map;
+}
+
 std::vector<bool> expand_group_failures(const SrlgMap& map,
                                         const std::vector<bool>& group_failed) {
   if (group_failed.size() != static_cast<std::size_t>(map.num_groups)) {

@@ -33,6 +33,13 @@ SrlgMap identity_srlg(const Network& network);
 // given rng state.
 SrlgMap sample_srlg(const Network& network, double share_prob, util::Rng& rng);
 
+// Builds a map from explicit fiber groups (conduit bundles, weather cells).
+// Groups must be disjoint; fibers not listed in any group become singleton
+// groups. Group ids are assigned in input order, singletons after. Throws
+// std::invalid_argument on out-of-range or duplicated fibers.
+SrlgMap srlg_from_groups(int num_fibers,
+                         const std::vector<std::vector<FiberId>>& groups);
+
 // Expands a group-level failure vector into the fiber-level vector the TE
 // layer consumes.
 std::vector<bool> expand_group_failures(const SrlgMap& map,

@@ -59,6 +59,84 @@ std::vector<TrafficMatrix> generate_traffic(const Network& net,
   return matrices;
 }
 
+void validate_diurnal_config(const DiurnalConfig& config, int num_nodes) {
+  // Negated comparisons so NaN parameters are rejected too.
+  if (!(config.base_max_utilization > 0.0) ||
+      !std::isfinite(config.base_max_utilization)) {
+    throw std::invalid_argument(
+        "diurnal traffic: base_max_utilization must be positive and finite");
+  }
+  if (config.num_matrices < 1) {
+    throw std::invalid_argument("diurnal traffic: num_matrices must be >= 1");
+  }
+  if (!(config.diurnal_swing >= 0.0 && config.diurnal_swing < 1.0)) {
+    throw std::invalid_argument(
+        "diurnal traffic: diurnal_swing must be in [0, 1)");
+  }
+  if (!(config.noise >= 0.0 && config.noise < 1.0)) {
+    throw std::invalid_argument("diurnal traffic: noise must be in [0, 1)");
+  }
+  if (!(config.demand_scale > 0.0) || !std::isfinite(config.demand_scale)) {
+    throw std::invalid_argument(
+        "diurnal traffic: demand_scale must be positive and finite");
+  }
+  if (!config.node_offset_hours.empty() &&
+      config.node_offset_hours.size() != static_cast<std::size_t>(num_nodes)) {
+    throw std::invalid_argument(
+        "diurnal traffic: node_offset_hours must be empty or one per node");
+  }
+  for (double offset : config.node_offset_hours) {
+    if (!std::isfinite(offset)) {
+      throw std::invalid_argument(
+          "diurnal traffic: node offsets must be finite");
+    }
+  }
+}
+
+std::vector<TrafficMatrix> generate_diurnal_traffic(
+    const Network& net, const std::vector<Flow>& flows, util::Rng& rng,
+    const DiurnalConfig& config) {
+  validate_diurnal_config(config, net.num_nodes());
+
+  TrafficMatrix base(flows.size());
+  for (const Flow& f : flows) {
+    base[static_cast<std::size_t>(f.id)] = std::max(f.demand_gbps, 1e-6);
+  }
+  const double util = shortest_path_max_utilization(net, flows, base);
+  const double norm =
+      config.base_max_utilization * config.demand_scale / util;
+  for (double& d : base) d *= norm;
+
+  // A flow's local phase is the mean of its endpoints' timezone offsets.
+  std::vector<double> flow_phase_hours(flows.size(), 0.0);
+  if (!config.node_offset_hours.empty()) {
+    for (const Flow& f : flows) {
+      flow_phase_hours[static_cast<std::size_t>(f.id)] =
+          0.5 * (config.node_offset_hours[static_cast<std::size_t>(f.src)] +
+                 config.node_offset_hours[static_cast<std::size_t>(f.dst)]);
+    }
+  }
+
+  std::vector<TrafficMatrix> matrices;
+  matrices.reserve(static_cast<std::size_t>(config.num_matrices));
+  constexpr double kTwoPi = 6.283185307179586;
+  for (int h = 0; h < config.num_matrices; ++h) {
+    TrafficMatrix tm(base.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      const double local_hour =
+          static_cast<double>(h) + flow_phase_hours[i];
+      const double phase =
+          kTwoPi * local_hour / static_cast<double>(config.num_matrices);
+      const double diurnal =
+          1.0 - config.diurnal_swing * 0.5 * (1.0 + std::cos(phase));
+      const double jitter = 1.0 + config.noise * (2.0 * rng.next_double() - 1.0);
+      tm[i] = base[i] * diurnal * jitter;
+    }
+    matrices.push_back(std::move(tm));
+  }
+  return matrices;
+}
+
 TrafficMatrix scale_traffic(const TrafficMatrix& tm, double scale) {
   TrafficMatrix out(tm.size());
   for (std::size_t i = 0; i < tm.size(); ++i) out[i] = tm[i] * scale;

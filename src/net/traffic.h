@@ -31,6 +31,39 @@ std::vector<TrafficMatrix> generate_traffic(const Network& net,
                                             util::Rng& rng,
                                             const TrafficConfig& config = {});
 
+// Continental diurnal traffic: the Table-3 recipe extended with per-node
+// timezone phase offsets (a flow's curve is shifted by the mean of its
+// endpoints' offsets, so coast-to-coast flows peak between their endpoints'
+// local busy hours) and an aggregate demand scale for millions-of-users
+// sizing. All parameters are validated up front — a malformed config throws
+// std::invalid_argument instead of silently generating garbage matrices
+// (same contract as util::thin_cdf).
+struct DiurnalConfig {
+  // Target maximum link utilization under shortest-path routing before
+  // `demand_scale` is applied; must be positive and finite.
+  double base_max_utilization = 0.4;
+  // Number of matrices (hours); must be >= 1.
+  int num_matrices = 24;
+  // Peak-to-trough swing; must be in [0, 1).
+  double diurnal_swing = 0.35;
+  // Relative per-flow noise; must be in [0, 1).
+  double noise = 0.05;
+  // Aggregate demand multiplier applied after normalization; must be
+  // positive and finite.
+  double demand_scale = 1.0;
+  // Per-node local-time offsets in hours (timezone phases). Must be empty
+  // (no offsets) or exactly one finite value per node.
+  std::vector<double> node_offset_hours;
+};
+
+// Validates `config` against a topology with `num_nodes` nodes; throws
+// std::invalid_argument with a specific message on the first violation.
+void validate_diurnal_config(const DiurnalConfig& config, int num_nodes);
+
+std::vector<TrafficMatrix> generate_diurnal_traffic(
+    const Network& net, const std::vector<Flow>& flows, util::Rng& rng,
+    const DiurnalConfig& config = {});
+
 // The shortest-path normalization used by generate_traffic, exposed for
 // tests: max link utilization when each flow's demand rides its one
 // shortest path.

@@ -25,9 +25,24 @@ const char* fault_kind_name(FaultKind kind) {
   return "unknown";
 }
 
-FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+FaultInjector::FaultInjector(FaultPlan plan)
+    : FaultInjector(std::move(plan), GroupCutPlan{}) {}
+
+FaultInjector::FaultInjector(FaultPlan plan, GroupCutPlan group_cuts)
+    : plan_(std::move(plan)), group_cuts_(std::move(group_cuts)) {
   if (plan_.rates.total() > 1.0 + 1e-12) {
     throw std::invalid_argument("fault rates must sum to <= 1");
+  }
+  if (!(group_cuts_.rate >= 0.0 && group_cuts_.rate <= 1.0)) {
+    throw std::invalid_argument("group cut rate must be in [0, 1]");
+  }
+  for (const GroupCutPlan::Forced& f : group_cuts_.forced) {
+    if (f.group < 0 || f.group >= group_cuts_.srlg.num_groups) {
+      throw std::invalid_argument("forced group cut out of range");
+    }
+  }
+  for (int g = 0; g < group_cuts_.srlg.num_groups; ++g) {
+    if (!group_cuts_.srlg.singleton(g)) cuttable_groups_.push_back(g);
   }
 }
 
@@ -47,6 +62,30 @@ FaultKind FaultInjector::fault_at(std::int64_t step) const {
   if ((u -= r.deadline_expiry) < 0.0) return FaultKind::kDeadlineExpiry;
   if ((u -= r.solver_collapse) < 0.0) return FaultKind::kSolverCollapse;
   return FaultKind::kNone;
+}
+
+int FaultInjector::group_cut_at(std::int64_t step) const {
+  if (!group_cuts_.enabled()) return -1;
+  for (const GroupCutPlan::Forced& f : group_cuts_.forced) {
+    if (f.step == step) return f.group;
+  }
+  if (group_cuts_.rate <= 0.0 || cuttable_groups_.empty()) return -1;
+  // Group cuts draw from their own stream family (xor'd constant) so they
+  // compose with fault_at without perturbing its samples.
+  util::Rng stream = util::Rng(plan_.seed ^ 0x6C0DEULL)
+                         .split(static_cast<std::uint64_t>(step));
+  if (!stream.bernoulli(group_cuts_.rate)) return -1;
+  return cuttable_groups_[static_cast<std::size_t>(
+      stream.next_below(cuttable_groups_.size()))];
+}
+
+std::vector<bool> FaultInjector::group_cut_fibers(std::int64_t step) const {
+  std::vector<bool> group_failed(
+      static_cast<std::size_t>(group_cuts_.srlg.num_groups), false);
+  const int group = group_cut_at(step);
+  if (group >= 0) group_failed[static_cast<std::size_t>(group)] = true;
+  if (group_cuts_.srlg.num_groups == 0) return {};
+  return net::expand_group_failures(group_cuts_.srlg, group_failed);
 }
 
 void FaultInjector::corrupt_trace(std::int64_t step,

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "net/srlg.h"
 #include "util/rng.h"
 
 namespace prete::sim {
@@ -57,6 +58,26 @@ struct FaultPlan {
   std::vector<Forced> forced;
 };
 
+// A correlated group-cut schedule layered on top of the component faults:
+// conduit dig-ups and weather events take down every fiber of an SRLG group
+// at once. Like FaultPlan, forced (step, group) entries fire exactly at
+// their step; every other step cuts a random non-singleton group with
+// probability `rate`, sampled on an independent split stream — group cuts
+// never perturb the component-fault draws and vice versa.
+struct GroupCutPlan {
+  net::SrlgMap srlg;
+  double rate = 0.0;
+  struct Forced {
+    std::int64_t step = 0;
+    int group = -1;
+  };
+  std::vector<Forced> forced;
+
+  bool enabled() const {
+    return srlg.num_groups > 0 && (rate > 0.0 || !forced.empty());
+  }
+};
+
 // Schedule-driven fault injector for the control plane. `step` is whatever
 // monotone identifier the harness uses for one decision opportunity — a
 // campaign step, an epoch signature — and fault_at(step) is a pure function
@@ -68,8 +89,20 @@ class FaultInjector {
   static constexpr std::int64_t kSolverCollapsePivots = 1;
 
   explicit FaultInjector(FaultPlan plan);
+  FaultInjector(FaultPlan plan, GroupCutPlan group_cuts);
 
   FaultKind fault_at(std::int64_t step) const;
+
+  // Which SRLG group (if any) is cut at `step`: a forced entry wins, then a
+  // rate-sampled draw on the step's group-cut stream picks uniformly among
+  // the non-singleton groups. Returns -1 for no group cut. Pure function of
+  // (plans, step), like fault_at.
+  int group_cut_at(std::int64_t step) const;
+
+  // Fiber-level expansion of group_cut_at: the failed-fiber vector for the
+  // step's group cut, or an all-false vector when no cut fires. Empty when
+  // no group-cut plan is configured.
+  std::vector<bool> group_cut_fibers(std::int64_t step) const;
 
   // Deterministically corrupts a telemetry trace in place, choosing among
   // four corruption modes (NaN run, +inf spike, stuck-at flatline, negative
@@ -77,9 +110,15 @@ class FaultInjector {
   void corrupt_trace(std::int64_t step, std::vector<double>& trace) const;
 
   const FaultPlan& plan() const { return plan_; }
+  const GroupCutPlan& group_cuts() const { return group_cuts_; }
 
  private:
   FaultPlan plan_;
+  GroupCutPlan group_cuts_;
+  // Non-singleton groups, ascending — the candidates for sampled cuts
+  // (cutting a singleton group is just an independent fiber fault, which
+  // the base fault plan already covers).
+  std::vector<int> cuttable_groups_;
 };
 
 }  // namespace prete::sim

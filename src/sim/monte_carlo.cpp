@@ -72,6 +72,18 @@ MonteCarloStudy::Epoch MonteCarloStudy::sample_epoch(util::Rng& rng) const {
       epoch.failed[f] = true;
     }
   }
+  // Correlated events (conduit dig-ups, weather cells) stack on the
+  // independent draws: abrupt multi-fiber cuts with no degradation warning.
+  if (config_.correlated_nature != nullptr) {
+    for (const te::CutEvent& event : config_.correlated_nature->events) {
+      if (!rng.bernoulli(event.probability)) continue;
+      for (std::size_t i = 0; i < event.fibers.size(); ++i) {
+        if (rng.bernoulli(event.conditional[i])) {
+          epoch.failed[static_cast<std::size_t>(event.fibers[i])] = true;
+        }
+      }
+    }
+  }
   return epoch;
 }
 
@@ -99,8 +111,11 @@ MonteCarloResult MonteCarloStudy::run_static(te::TeScheme& scheme,
   problem.flows = &topology_.flows;
   problem.tunnels = &base_tunnels_;
   problem.demands = demands;
-  const auto believed = te::generate_failure_scenarios(
-      stats_.cut_prob, config_.planning_scenarios);
+  const auto believed =
+      config_.planning_source
+          ? config_.planning_source(stats_.cut_prob)
+          : te::generate_failure_scenarios(stats_.cut_prob,
+                                           config_.planning_scenarios);
   const te::TePolicy policy = scheme.compute(problem, believed);
 
   // One draw advances the caller's rng identically at any thread count;
@@ -137,6 +152,7 @@ MonteCarloResult MonteCarloStudy::run_prete(const net::TrafficMatrix& demands,
   config.alpha = stats_.alpha;
   config.tunnel_update = config_.tunnel_update;
   config.scenario_options = config_.planning_scenarios;
+  config.scenario_source = config_.planning_source;
 
   // Three phases so the epoch evaluation loop only ever reads shared state:
   // (1) sample every epoch from its split stream, (2) compute the policy

@@ -27,6 +27,17 @@ struct MonteCarloConfig {
   te::ScenarioOptions planning_scenarios;
   te::TunnelUpdateConfig tunnel_update;
   double loss_tolerance = 1e-4;
+  // Optional pluggable believed-scenario generator (SRLG-correlated models,
+  // scenario reduction): replaces generate_failure_scenarios for the static
+  // schemes' beliefs and is forwarded to PreTeScheme in run_prete. Must be
+  // deterministic.
+  te::ScenarioSource planning_source;
+  // Optional correlated nature model: after the independent per-fiber
+  // draws, each cut event fires with its probability and cuts its members
+  // per the conditional probabilities — still one split stream per epoch,
+  // so determinism is unchanged. Null = independent nature (bit-compatible
+  // with pre-correlation runs). The pointee must outlive the study.
+  const te::CorrelatedFailureModel* correlated_nature = nullptr;
 };
 
 struct MonteCarloResult {

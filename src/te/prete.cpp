@@ -63,9 +63,13 @@ PreTeScheme::Outcome PreTeScheme::compute_for_degradation(
                                          r.created.begin(), r.created.end());
   }
 
-  // Step 3 (§4.3): regenerate scenarios and solve the unified program.
+  // Step 3 (§4.3): regenerate scenarios and solve the unified program. A
+  // configured scenario_source (correlated SRLG model, reduction pipeline)
+  // replaces the independent product-form enumeration.
   outcome.scenarios =
-      generate_failure_scenarios(calibrated, config_.scenario_options);
+      config_.scenario_source
+          ? config_.scenario_source(calibrated)
+          : generate_failure_scenarios(calibrated, config_.scenario_options);
 
   TeProblem problem;
   problem.network = &network;

@@ -29,6 +29,12 @@ struct PreTeConfig {
   TunnelUpdateConfig tunnel_update;
   MinMaxOptions solver;
   ScenarioOptions scenario_options;
+  // Optional scenario-generator override. When set it replaces the default
+  // generate_failure_scenarios(calibrated, scenario_options) call, receiving
+  // the calibrated per-fiber probabilities — this is how SRLG-correlated
+  // models and scenario reduction are wired through the controller and the
+  // Monte Carlo study. Must be deterministic for reproducible runs.
+  ScenarioSource scenario_source;
 };
 
 // The PreTE TE scheme (§4): on each TE period (or degradation trigger),

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "net/graph.h"
@@ -22,6 +24,14 @@ struct ScenarioSet {
   // (1 - covered) corresponds to rare multi-failure scenarios beyond the
   // cutoff (treated as loss by pessimistic evaluators).
   double covered_probability = 0.0;
+  // Truncation accounting: how many positive-probability candidates the
+  // generator enumerated but dropped (max_scenarios / target_mass cutoffs),
+  // and the total uncovered mass — dropped candidates plus outcomes the
+  // generator never enumerated (higher-order joint failures). Generators
+  // maintain covered_probability + residual_probability ≈ 1 and verify the
+  // identity before returning, so truncation is never silent.
+  int dropped_scenarios = 0;
+  double residual_probability = 0.0;
 };
 
 struct ScenarioOptions {
@@ -39,6 +49,89 @@ struct ScenarioOptions {
 // failure scenarios based on the specific cutoff values").
 ScenarioSet generate_failure_scenarios(const std::vector<double>& cut_probs,
                                        const ScenarioOptions& options = {});
+
+// --- Correlated (SRLG) failure model ---------------------------------------
+
+// A correlated multi-fiber cut event: a conduit dig-up or a weather cell
+// (ReWeave-style localized multi-link failure). When the event fires, each
+// member fiber is cut independently with its *conditional* probability;
+// fibers outside the event keep their background probabilities. Events are
+// rare enough that scenarios condition on at most one firing at a time —
+// simultaneous events fall into the residual mass.
+struct CutEvent {
+  std::vector<int> fibers;          // sorted, unique member fiber ids
+  double probability = 0.0;         // P(event fires), in [0, 1)
+  std::vector<double> conditional;  // per-member cut prob given the event
+  std::string name;                 // e.g. "conduit:17", "weather:3"
+};
+
+struct CorrelatedFailureModel {
+  int num_fibers = 0;
+  // Independent background cut probabilities, in [0, 1) per fiber.
+  std::vector<double> background;
+  std::vector<CutEvent> events;
+};
+
+struct CorrelatedScenarioOptions {
+  // Background (event-free) joint failures up to this cardinality.
+  int max_background_failures = 2;
+  // Background pairs are enumerated only among the top-K fibers by
+  // background probability; the remaining pair mass joins the residual.
+  int background_pair_candidates = 64;
+  // Per event, keep only this many highest-probability member cut patterns
+  // (the others contribute to the residual).
+  int max_patterns_per_event = 8;
+  double target_mass = 1.0 - 1e-6;
+  int max_scenarios = 2000;
+};
+
+// Enumerates scenarios under the correlated model: background-only outcomes
+// (no failure, singles, top-K pairs) plus, for each event, its most likely
+// member cut patterns combined with no background failure elsewhere.
+// Outcomes with identical failed-fiber sets are aggregated (e.g. an event
+// that fires but cuts nothing merges with the no-failure scenario), so the
+// returned probabilities are exact sums of disjoint product-form outcomes.
+// Scenarios are ordered by (probability desc, failed-set lex) and truncation
+// is reported via dropped_scenarios / residual_probability.
+ScenarioSet generate_correlated_scenarios(
+    const CorrelatedFailureModel& model,
+    const CorrelatedScenarioOptions& options = {});
+
+// --- Scenario reduction -----------------------------------------------------
+
+// Importance-ranked scenario reduction: rank scenarios by
+// probability * (1 + failure_count)^impact_exponent and keep the top ones
+// until `max_scenarios` or `target_mass` is hit. impact_exponent = 0 is pure
+// probability-mass ranking; > 0 biases toward multi-fiber scenarios, whose
+// losses dominate the Benders max even at lower probability. The no-failure
+// scenario is always kept. Ranking ties break on the failed-set pattern, so
+// the reduced set is invariant under input-order permutation.
+struct ReductionOptions {
+  int max_scenarios = 600;
+  double target_mass = 1.0;
+  double impact_exponent = 0.0;
+};
+
+struct ReductionReport {
+  int before = 0;
+  int after = 0;
+  int dropped = 0;
+  double covered_before = 0.0;
+  double covered_after = 0.0;
+  double dropped_mass = 0.0;
+};
+
+ScenarioSet reduce_scenarios(const ScenarioSet& set,
+                             const ReductionOptions& options,
+                             ReductionReport* report = nullptr);
+
+// A pluggable scenario generator: maps calibrated per-fiber cut
+// probabilities to the believed scenario set. PreTeScheme (and everything
+// layered on it — core::Controller, sim::MonteCarloStudy) calls this instead
+// of generate_failure_scenarios when configured, which is how correlated
+// SRLG models and scenario reduction reach the optimizer.
+using ScenarioSource =
+    std::function<ScenarioSet(const std::vector<double>& fiber_cut_probs)>;
 
 // Eqn. 1 / §4.3: per-fiber failure probabilities under a degradation
 // scenario. For degraded fibers use the predictor output; otherwise the

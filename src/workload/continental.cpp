@@ -1,0 +1,412 @@
+#include "workload/continental.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+namespace prete::workload {
+
+namespace {
+
+// Sub-stream ids off the root seed; every generation phase draws from its
+// own split so phases never perturb each other.
+enum Stream : std::uint64_t {
+  kPlacement = 1,
+  kChords = 2,
+  kBundles = 3,
+  kPlant = 4,
+  kTrunks = 5,
+  kHazard = 6,
+  kTraffic = 7,
+};
+
+// Approximately standard-normal draw (Irwin-Hall with 12 uniforms); enough
+// tail for a lognormal population spread without Box-Muller's transcendental
+// calls in the hot path.
+double approx_normal(util::Rng& rng) {
+  double sum = 0.0;
+  for (int i = 0; i < 12; ++i) sum += rng.next_double();
+  return sum - 6.0;
+}
+
+std::pair<int, int> normalized(int a, int b) {
+  return {std::min(a, b), std::max(a, b)};
+}
+
+double site_distance(const net::GeoNode& a, const net::GeoNode& b) {
+  return std::hypot(a.x_km - b.x_km, a.y_km - b.y_km);
+}
+
+}  // namespace
+
+void ContinentalConfig::validate() const {
+  const auto fail = [](const char* message) {
+    throw std::invalid_argument(message);
+  };
+  if (nodes < 8) fail("continental: nodes must be >= 8");
+  if (min_fibers < nodes) fail("continental: min_fibers must be >= nodes");
+  if (!(width_km > 0.0) || !std::isfinite(width_km) || !(height_km > 0.0) ||
+      !std::isfinite(height_km)) {
+    fail("continental: map dimensions must be positive and finite");
+  }
+  if (!(chord_fraction >= 0.0) || !std::isfinite(chord_fraction)) {
+    fail("continental: chord_fraction must be >= 0");
+  }
+  if (!(waxman_scale > 0.0)) fail("continental: waxman_scale must be > 0");
+  if (conduit_max_fibers < 1) {
+    fail("continental: conduit_max_fibers must be >= 1");
+  }
+  if (flows < 1) fail("continental: flows must be >= 1");
+  if (timezones < 1) fail("continental: timezones must be >= 1");
+  if (!std::isfinite(timezone_step_hours)) {
+    fail("continental: timezone_step_hours must be finite");
+  }
+  if (!(mean_cut_prob_per_1000km >= 0.0 && mean_cut_prob_per_1000km < 0.01)) {
+    fail("continental: mean_cut_prob_per_1000km must be in [0, 0.01)");
+  }
+  if (!(risky_fraction >= 0.0 && risky_fraction <= 1.0)) {
+    fail("continental: risky_fraction must be in [0, 1]");
+  }
+  if (!(risky_multiplier >= 1.0) || !std::isfinite(risky_multiplier)) {
+    fail("continental: risky_multiplier must be >= 1 and finite");
+  }
+  if (!(conduit_event_rate >= 0.0 && conduit_event_rate < 1.0) ||
+      !(weather_event_rate >= 0.0 && weather_event_rate < 1.0)) {
+    fail("continental: event rates must be in [0, 1)");
+  }
+  if (!(conduit_conditional >= 0.0 && conduit_conditional <= 1.0) ||
+      !(weather_conditional >= 0.0 && weather_conditional <= 1.0)) {
+    fail("continental: conditional probabilities must be in [0, 1]");
+  }
+  if (weather_cells_x < 1 || weather_cells_y < 1) {
+    fail("continental: weather grid must be at least 1x1");
+  }
+  if (weather_group_max < 2) {
+    fail("continental: weather_group_max must be >= 2");
+  }
+  if (solver_pivot_budget < 0) {
+    fail("continental: solver_pivot_budget must be >= 0");
+  }
+  // Diurnal parameters minus the offsets (which the generator fills).
+  net::DiurnalConfig d = diurnal;
+  d.node_offset_hours.clear();
+  net::validate_diurnal_config(d, nodes);
+}
+
+ContinentalWorkload generate_continental_workload(
+    const ContinentalConfig& config) {
+  config.validate();
+  const util::Rng root(config.seed);
+  const int n = config.nodes;
+
+  ContinentalWorkload out;
+
+  // --- Sites: positions + lognormal gravity populations ---------------------
+  out.sites.resize(static_cast<std::size_t>(n));
+  const util::Rng placement = root.split(kPlacement);
+  for (int i = 0; i < n; ++i) {
+    util::Rng stream = placement.split(static_cast<std::uint64_t>(i));
+    auto& site = out.sites[static_cast<std::size_t>(i)];
+    site.x_km = stream.next_double() * config.width_km;
+    site.y_km = stream.next_double() * config.height_km;
+    site.population = std::exp(1.1 * approx_normal(stream));
+  }
+
+  // --- Corridors: spanning tree + coastal ring + Waxman chords --------------
+  std::set<std::pair<int, int>> used;
+  std::vector<net::GeoCorridor> corridors;
+  const auto add_corridor = [&](int a, int b) {
+    const auto key = normalized(a, b);
+    if (!used.insert(key).second) return false;
+    corridors.push_back({key.first, key.second, 1});
+    return true;
+  };
+  // Nearest preceding neighbor: guarantees connectivity.
+  for (int i = 1; i < n; ++i) {
+    int best = 0;
+    double best_d = site_distance(out.sites[static_cast<std::size_t>(i)],
+                                  out.sites[0]);
+    for (int j = 1; j < i; ++j) {
+      const double d = site_distance(out.sites[static_cast<std::size_t>(i)],
+                                     out.sites[static_cast<std::size_t>(j)]);
+      if (d < best_d) {
+        best_d = d;
+        best = j;
+      }
+    }
+    add_corridor(i, best);
+  }
+  // Angular ring around the centroid: makes the plant 2-connected, so
+  // fiber-disjoint tunnel pairs exist for most flows.
+  {
+    double cx = 0.0;
+    double cy = 0.0;
+    for (const auto& s : out.sites) {
+      cx += s.x_km;
+      cy += s.y_km;
+    }
+    cx /= static_cast<double>(n);
+    cy /= static_cast<double>(n);
+    std::vector<int> by_angle(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) by_angle[static_cast<std::size_t>(i)] = i;
+    std::sort(by_angle.begin(), by_angle.end(), [&](int a, int b) {
+      const double aa =
+          std::atan2(out.sites[static_cast<std::size_t>(a)].y_km - cy,
+                     out.sites[static_cast<std::size_t>(a)].x_km - cx);
+      const double ab =
+          std::atan2(out.sites[static_cast<std::size_t>(b)].y_km - cy,
+                     out.sites[static_cast<std::size_t>(b)].x_km - cx);
+      if (aa != ab) return aa < ab;
+      return a < b;
+    });
+    for (int i = 0; i < n; ++i) {
+      add_corridor(by_angle[static_cast<std::size_t>(i)],
+                   by_angle[static_cast<std::size_t>((i + 1) % n)]);
+    }
+  }
+  // Waxman chords by weighted sampling without replacement
+  // (Efraimidis-Spirakis keys u^(1/w)): short pairs exponentially likelier.
+  {
+    const int want = static_cast<int>(
+        std::ceil(config.chord_fraction * static_cast<double>(n)));
+    const double diag = std::hypot(config.width_km, config.height_km);
+    const util::Rng chords = root.split(kChords);
+    struct Chord {
+      double key;
+      int a;
+      int b;
+    };
+    std::vector<Chord> candidates;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (used.count({i, j}) != 0) continue;
+        const double d = site_distance(out.sites[static_cast<std::size_t>(i)],
+                                       out.sites[static_cast<std::size_t>(j)]);
+        const double w = std::exp(-d / (config.waxman_scale * diag));
+        util::Rng stream = chords.split(
+            static_cast<std::uint64_t>(i) * static_cast<std::uint64_t>(n) +
+            static_cast<std::uint64_t>(j));
+        candidates.push_back({std::pow(stream.next_double(), 1.0 / w), i, j});
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Chord& a, const Chord& b) {
+                if (a.key != b.key) return a.key > b.key;
+                if (a.a != b.a) return a.a < b.a;
+                return a.b < b.b;
+              });
+    int added = 0;
+    for (const Chord& c : candidates) {
+      if (added >= want) break;
+      if (add_corridor(c.a, c.b)) ++added;
+    }
+  }
+  out.corridors = static_cast<int>(corridors.size());
+
+  // --- Conduit bundles: parallel fibers per corridor, topped up to the
+  // fiber floor on the longest corridors ------------------------------------
+  {
+    const util::Rng bundles = root.split(kBundles);
+    int total = 0;
+    for (std::size_t c = 0; c < corridors.size(); ++c) {
+      util::Rng stream = bundles.split(c);
+      const double u = stream.next_double();
+      int size = u < 0.45 ? 1 : (u < 0.80 ? 2 : 3);
+      size = std::min(size, config.conduit_max_fibers);
+      corridors[c].fibers = size;
+      total += size;
+    }
+    std::vector<std::size_t> by_length(corridors.size());
+    for (std::size_t c = 0; c < corridors.size(); ++c) by_length[c] = c;
+    std::sort(by_length.begin(), by_length.end(),
+              [&](std::size_t a, std::size_t b) {
+                const double la = site_distance(
+                    out.sites[static_cast<std::size_t>(corridors[a].a)],
+                    out.sites[static_cast<std::size_t>(corridors[a].b)]);
+                const double lb = site_distance(
+                    out.sites[static_cast<std::size_t>(corridors[b].a)],
+                    out.sites[static_cast<std::size_t>(corridors[b].b)]);
+                if (la != lb) return la > lb;
+                return a < b;
+              });
+    for (std::size_t r = 0; total < config.min_fibers;
+         r = (r + 1) % by_length.size()) {
+      ++corridors[by_length[r]].fibers;
+      ++total;
+    }
+  }
+
+  // --- Optical + IP layers --------------------------------------------------
+  util::Rng plant_rng = root.split(kPlant);
+  net::Network network = net::build_geo_plant(
+      "Continental", out.sites, corridors, config.timezones, plant_rng);
+  {
+    const util::Rng trunks = root.split(kTrunks);
+    for (net::FiberId f = 0; f < network.num_fibers(); ++f) {
+      util::Rng stream = trunks.split(static_cast<std::uint64_t>(f));
+      const double u = stream.next_double();
+      network.add_ip_link_pair(f,
+                               u < 0.5 ? 800.0 : (u < 0.85 ? 1600.0 : 2400.0));
+    }
+  }
+
+  // Conduit partition: build_geo_plant assigns fiber ids corridor by
+  // corridor, so each bundle is a contiguous range.
+  {
+    std::vector<std::vector<net::FiberId>> groups;
+    net::FiberId next = 0;
+    for (const net::GeoCorridor& corridor : corridors) {
+      groups.emplace_back();
+      for (int f = 0; f < corridor.fibers; ++f) groups.back().push_back(next++);
+    }
+    out.conduits = net::srlg_from_groups(network.num_fibers(), groups);
+  }
+
+  // --- Hazard: heavy-tailed background cut probabilities --------------------
+  {
+    const util::Rng hazard = root.split(kHazard);
+    out.cut_probs.resize(static_cast<std::size_t>(network.num_fibers()));
+    for (net::FiberId f = 0; f < network.num_fibers(); ++f) {
+      util::Rng stream = hazard.split(static_cast<std::uint64_t>(f));
+      const bool risky = stream.bernoulli(config.risky_fraction);
+      double p = config.mean_cut_prob_per_1000km *
+                 (network.fiber(f).length_km / 1000.0) *
+                 (risky ? config.risky_multiplier : 1.0);
+      out.cut_probs[static_cast<std::size_t>(f)] =
+          std::clamp(p, 1e-12, 0.05);
+    }
+  }
+
+  // --- Correlated events ----------------------------------------------------
+  out.failure_model.num_fibers = network.num_fibers();
+  out.failure_model.background = out.cut_probs;
+  for (int g = 0; g < out.conduits.num_groups; ++g) {
+    const auto& members = out.conduits.members[static_cast<std::size_t>(g)];
+    if (members.size() < 2) continue;
+    te::CutEvent event;
+    event.fibers.assign(members.begin(), members.end());
+    event.probability = config.conduit_event_rate;
+    event.conditional.assign(members.size(), config.conduit_conditional);
+    event.name = "conduit:" + std::to_string(g);
+    out.failure_model.events.push_back(std::move(event));
+    ++out.conduit_events;
+  }
+  {
+    // Weather cells: grid the map, group each cell's riskiest fibers by
+    // midpoint. Groups are disjoint across cells, so they also form a
+    // partition for the injector.
+    const int cells_x = config.weather_cells_x;
+    const int cells_y = config.weather_cells_y;
+    std::vector<std::vector<net::FiberId>> cell_fibers(
+        static_cast<std::size_t>(cells_x * cells_y));
+    for (net::FiberId f = 0; f < network.num_fibers(); ++f) {
+      const net::Fiber& fiber = network.fiber(f);
+      const auto& a = out.sites[static_cast<std::size_t>(fiber.a)];
+      const auto& b = out.sites[static_cast<std::size_t>(fiber.b)];
+      const double mx = 0.5 * (a.x_km + b.x_km);
+      const double my = 0.5 * (a.y_km + b.y_km);
+      const int cx = std::min(cells_x - 1,
+                              static_cast<int>(mx / config.width_km *
+                                               static_cast<double>(cells_x)));
+      const int cy = std::min(cells_y - 1,
+                              static_cast<int>(my / config.height_km *
+                                               static_cast<double>(cells_y)));
+      cell_fibers[static_cast<std::size_t>(cy * cells_x + cx)].push_back(f);
+    }
+    std::vector<std::vector<net::FiberId>> weather_groups;
+    for (std::size_t cell = 0; cell < cell_fibers.size(); ++cell) {
+      auto& fibers = cell_fibers[cell];
+      std::sort(fibers.begin(), fibers.end(), [&](net::FiberId x,
+                                                  net::FiberId y) {
+        const double px = out.cut_probs[static_cast<std::size_t>(x)];
+        const double py = out.cut_probs[static_cast<std::size_t>(y)];
+        if (px != py) return px > py;
+        return x < y;
+      });
+      if (fibers.size() > static_cast<std::size_t>(config.weather_group_max)) {
+        fibers.resize(static_cast<std::size_t>(config.weather_group_max));
+      }
+      if (fibers.size() < 2) continue;
+      std::sort(fibers.begin(), fibers.end());
+      te::CutEvent event;
+      event.fibers.assign(fibers.begin(), fibers.end());
+      event.probability = config.weather_event_rate;
+      event.conditional.assign(fibers.size(), config.weather_conditional);
+      event.name = "weather:" + std::to_string(cell);
+      out.failure_model.events.push_back(std::move(event));
+      weather_groups.push_back(fibers);
+      ++out.weather_events;
+    }
+    out.weather = net::srlg_from_groups(network.num_fibers(), weather_groups);
+  }
+
+  // --- Demand: gravity flows + diurnal matrices -----------------------------
+  out.topology.network = std::move(network);
+  out.topology.flows =
+      net::pick_gravity_flows(out.sites, config.flows);
+  out.node_offset_hours.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int tz = std::min(
+        config.timezones - 1,
+        static_cast<int>(out.sites[static_cast<std::size_t>(i)].x_km /
+                         config.width_km *
+                         static_cast<double>(config.timezones)));
+    out.node_offset_hours[static_cast<std::size_t>(i)] =
+        static_cast<double>(tz) * config.timezone_step_hours;
+  }
+  {
+    net::DiurnalConfig diurnal = config.diurnal;
+    diurnal.node_offset_hours = out.node_offset_hours;
+    util::Rng traffic_rng = root.split(kTraffic);
+    out.matrices = net::generate_diurnal_traffic(
+        out.topology.network, out.topology.flows, traffic_rng, diurnal);
+  }
+  return out;
+}
+
+te::ScenarioSource make_scenario_source(te::CorrelatedFailureModel model,
+                                        te::CorrelatedScenarioOptions gen,
+                                        te::ReductionOptions reduction) {
+  return [model = std::move(model), gen,
+          reduction](const std::vector<double>& probs) -> te::ScenarioSet {
+    if (probs.size() != static_cast<std::size_t>(model.num_fibers)) {
+      throw std::invalid_argument(
+          "scenario source: calibrated probability size mismatch");
+    }
+    te::CorrelatedFailureModel calibrated = model;
+    calibrated.background = probs;
+    // Calibrated probabilities may touch 1.0 (a certain predicted cut);
+    // the correlated generator's ratio forms need strictly < 1.
+    for (double& b : calibrated.background) {
+      b = std::clamp(b, 0.0, 1.0 - 1e-9);
+    }
+    const te::ScenarioSet full =
+        te::generate_correlated_scenarios(calibrated, gen);
+    return te::reduce_scenarios(full, reduction);
+  };
+}
+
+te::PlantStatistics plant_statistics(const ContinentalWorkload& workload,
+                                     double alpha) {
+  te::PlantStatistics stats;
+  stats.alpha = alpha;
+  stats.cut_prob = workload.cut_probs;
+  const std::size_t n = workload.cut_probs.size();
+  stats.degradation_prob.resize(n);
+  stats.cut_given_degradation.resize(n);
+  for (std::size_t f = 0; f < n; ++f) {
+    // Degradations fire ~8x more often than cuts; the conditional is scaled
+    // so alpha of the cut mass is degradation-preceded, matching the
+    // sample_epoch decomposition exactly.
+    const double p = workload.cut_probs[f];
+    const double degradation = std::min(0.2, 8.0 * p);
+    stats.degradation_prob[f] = degradation;
+    stats.cut_given_degradation[f] =
+        degradation > 0.0 ? std::min(1.0, alpha * p / degradation) : 0.0;
+  }
+  return stats;
+}
+
+}  // namespace prete::workload

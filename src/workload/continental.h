@@ -1,0 +1,135 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/more_topologies.h"
+#include "net/srlg.h"
+#include "net/topology.h"
+#include "net/traffic.h"
+#include "te/availability.h"
+#include "te/scenario.h"
+
+namespace prete::workload {
+
+// Generator parameters for a continental-scale evaluation workload:
+// hundreds of sites on a planar map, thousands of fibers bundled into
+// shared conduits, SRLG-correlated cut events (conduit dig-ups and weather
+// cells), diurnal traffic with per-timezone phase offsets, and the scenario
+// generation/reduction pipeline that keeps the optimizer tractable.
+// Everything is a pure function of `seed` via util::Rng::split streams, so
+// the same config yields bit-identical workloads at any thread count.
+struct ContinentalConfig {
+  std::uint64_t seed = 2026;
+
+  // --- Map and plant --------------------------------------------------------
+  int nodes = 220;
+  int min_fibers = 1100;
+  double width_km = 4200.0;
+  double height_km = 2600.0;
+  // Express corridors beyond the spanning tree + coastal ring, as a fraction
+  // of the node count. Chords are chosen by Waxman-weighted sampling:
+  // geographically short pairs are exponentially more likely.
+  double chord_fraction = 0.6;
+  // Waxman decay scale as a fraction of the map diagonal.
+  double waxman_scale = 0.18;
+  // Parallel fibers sharing one corridor's conduit (1..conduit_max_fibers).
+  int conduit_max_fibers = 3;
+
+  // --- Demand ---------------------------------------------------------------
+  int flows = 64;
+  int timezones = 5;
+  double timezone_step_hours = 1.0;
+  net::DiurnalConfig diurnal;  // node_offset_hours is filled by the generator
+
+  // --- Hazard (per TE epoch) ------------------------------------------------
+  // Background cut probability per 1000 km for an ordinary fiber; a small
+  // "risky" minority (aging plant, exposed rights-of-way) carries a
+  // heavy-tailed multiplier. Concentrating the hazard this way is what makes
+  // covered mass >= 0.999 reachable with a few hundred scenarios.
+  double mean_cut_prob_per_1000km = 5e-7;
+  double risky_fraction = 0.12;
+  double risky_multiplier = 180.0;
+
+  // --- Correlated events ----------------------------------------------------
+  // Conduit dig-up: every multi-fiber conduit can be hit as one event; each
+  // member fiber is cut with the conditional probability.
+  double conduit_event_rate = 2e-5;
+  // High conditional keeps the event mass concentrated on the all-members
+  // pattern, so truncating secondary patterns costs little covered mass.
+  double conduit_conditional = 0.97;
+  // Weather cells: the map is gridded; each cell's riskiest fibers (by
+  // midpoint) form a localized multi-link event, ReWeave-style.
+  int weather_cells_x = 6;
+  int weather_cells_y = 4;
+  int weather_group_max = 6;
+  double weather_event_rate = 1.5e-5;
+  double weather_conditional = 0.85;
+
+  // --- Scenario pipeline ----------------------------------------------------
+  // Generation enumerates wide (no early stop), then reduction ranks by
+  // probability mass and keeps the top `reduction.max_scenarios`.
+  te::CorrelatedScenarioOptions scenario_gen{
+      .max_background_failures = 2,
+      .background_pair_candidates = 48,
+      .max_patterns_per_event = 8,
+      .target_mass = 1.0 - 1e-9,
+      .max_scenarios = 8000};
+  te::ReductionOptions reduction{
+      .max_scenarios = 1500, .target_mass = 1.0, .impact_exponent = 0.0};
+
+  // --- Solver ---------------------------------------------------------------
+  // Default per-decision solve deadline (deterministic pivot budget) for
+  // controller epochs on this workload; 0 disables.
+  std::int64_t solver_pivot_budget = 12000;
+
+  // Throws std::invalid_argument with a specific message on the first
+  // malformed parameter.
+  void validate() const;
+};
+
+// A fully generated continental workload.
+struct ContinentalWorkload {
+  net::Topology topology;
+  // Site coordinates and gravity populations (index = NodeId).
+  std::vector<net::GeoNode> sites;
+  // Per-node local-time offsets (also copied into the diurnal matrices).
+  std::vector<double> node_offset_hours;
+  // Conduit partition: corridor bundles (every fiber belongs to exactly one
+  // conduit). Weather partition: grid-cell groups over the same fibers.
+  net::SrlgMap conduits;
+  net::SrlgMap weather;
+  // Per-fiber background cut probabilities (the heavy-tailed hazard).
+  std::vector<double> cut_probs;
+  // The correlated model: background hazard + conduit/weather cut events.
+  te::CorrelatedFailureModel failure_model;
+  // Hourly diurnal traffic matrices.
+  std::vector<net::TrafficMatrix> matrices;
+
+  int corridors = 0;
+  int conduit_events = 0;
+  int weather_events = 0;
+};
+
+// Generates the workload. Deterministic: same config, same workload,
+// bit-for-bit, regardless of PRETE_THREADS.
+ContinentalWorkload generate_continental_workload(
+    const ContinentalConfig& config);
+
+// A te::ScenarioSource closing over the correlated model: swaps the model's
+// background probabilities for the calibrated per-fiber probabilities the
+// scheme passes in (clamped below 1), regenerates correlated scenarios, and
+// reduces them to the configured budget. This is the hook that carries
+// SRLG correlation through PreTeScheme / core::Controller /
+// sim::MonteCarloStudy.
+te::ScenarioSource make_scenario_source(te::CorrelatedFailureModel model,
+                                        te::CorrelatedScenarioOptions gen,
+                                        te::ReductionOptions reduction);
+
+// TE-layer plant statistics consistent with the workload's hazard, for
+// sim::MonteCarloStudy: degradations precede alpha of the cuts
+// (cut_given_degradation * degradation_prob = alpha * cut_prob).
+te::PlantStatistics plant_statistics(const ContinentalWorkload& workload,
+                                     double alpha = 0.25);
+
+}  // namespace prete::workload

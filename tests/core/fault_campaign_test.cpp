@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "net/srlg.h"
 #include "runtime/thread_pool.h"
 
 namespace prete::core {
@@ -74,6 +75,54 @@ TEST(FaultCampaignTest, DifferentSeedsDiverge) {
       run_fault_campaign(fx.topo, fx.static_probs, fx.demands, fx.config(64));
   const auto b = run_fault_campaign(fx.topo, fx.static_probs, fx.demands, other);
   EXPECT_NE(a.decision_digest, b.decision_digest);
+}
+
+
+TEST(FaultCampaignTest, GroupCutsAreCountedAndEvaluated) {
+  CampaignFixture fx;
+  FaultCampaignConfig config = fx.config(96);
+  config.group_cuts.srlg = net::srlg_from_groups(3, {{0, 1}});
+  config.group_cuts.rate = 0.5;
+  const auto report =
+      run_fault_campaign(fx.topo, fx.static_probs, fx.demands, config);
+  EXPECT_TRUE(report.clean()) << report.summary();
+  EXPECT_GT(report.group_cuts_injected, 10);
+  EXPECT_GT(report.group_cuts_evaluated, 0);
+  EXPECT_LE(report.group_cuts_evaluated, report.group_cuts_injected);
+  EXPECT_GE(report.worst_group_cut_loss, 0.0);
+}
+
+TEST(FaultCampaignTest, GroupCutDigestIsDeterministic) {
+  CampaignFixture fx;
+  FaultCampaignConfig config = fx.config(64);
+  config.group_cuts.srlg = net::srlg_from_groups(3, {{0, 1}});
+  config.group_cuts.rate = 0.4;
+  const auto a =
+      run_fault_campaign(fx.topo, fx.static_probs, fx.demands, config);
+  const auto b =
+      run_fault_campaign(fx.topo, fx.static_probs, fx.demands, config);
+  EXPECT_EQ(a.decision_digest, b.decision_digest);
+  EXPECT_EQ(a.group_cuts_injected, b.group_cuts_injected);
+  EXPECT_EQ(a.group_cut_flow_outages, b.group_cut_flow_outages);
+
+  // The stress evaluation feeds the digest: the same campaign without group
+  // cuts must diverge.
+  const auto without =
+      run_fault_campaign(fx.topo, fx.static_probs, fx.demands, fx.config(64));
+  EXPECT_NE(a.decision_digest, without.decision_digest);
+}
+
+TEST(FaultCampaignTest, DisabledGroupPlanLeavesDigestUnchanged) {
+  CampaignFixture fx;
+  FaultCampaignConfig config = fx.config(64);
+  config.group_cuts.srlg = net::srlg_from_groups(3, {{0, 1}});
+  config.group_cuts.rate = 0.0;  // configured but disabled: no cuts fire
+  const auto with_plan =
+      run_fault_campaign(fx.topo, fx.static_probs, fx.demands, config);
+  const auto baseline =
+      run_fault_campaign(fx.topo, fx.static_probs, fx.demands, fx.config(64));
+  EXPECT_EQ(with_plan.decision_digest, baseline.decision_digest);
+  EXPECT_EQ(with_plan.group_cuts_injected, 0);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "net/topology.h"
 
 namespace prete::net {
@@ -104,6 +106,30 @@ TEST(SrlgTest, GroupedFailuresAreMoreDisruptive) {
               static_cast<int>(map.members[static_cast<std::size_t>(g)].size()));
     EXPECT_GE(dead, 1);
   }
+}
+
+
+TEST(SrlgTest, FromGroupsAssignsListedThenSingletons) {
+  const SrlgMap map = srlg_from_groups(6, {{1, 2}, {4, 5}});
+  EXPECT_EQ(map.num_groups, 4);  // 2 bundles + singletons {0} and {3}
+  EXPECT_EQ(map.group_of[1], 0);
+  EXPECT_EQ(map.group_of[2], 0);
+  EXPECT_EQ(map.group_of[4], 1);
+  EXPECT_EQ(map.group_of[5], 1);
+  EXPECT_EQ(map.group_of[0], 2);
+  EXPECT_EQ(map.group_of[3], 3);
+  EXPECT_TRUE(map.singleton(2));
+  EXPECT_TRUE(map.singleton(3));
+  EXPECT_FALSE(map.singleton(0));
+  EXPECT_EQ(map.members[0], (std::vector<FiberId>{1, 2}));
+}
+
+TEST(SrlgTest, FromGroupsRejectsMalformedInput) {
+  EXPECT_THROW(srlg_from_groups(-1, {}), std::invalid_argument);
+  EXPECT_THROW(srlg_from_groups(4, {{}}), std::invalid_argument);
+  EXPECT_THROW(srlg_from_groups(4, {{0, 4}}), std::invalid_argument);
+  EXPECT_THROW(srlg_from_groups(4, {{0, 1}, {1, 2}}), std::invalid_argument);
+  EXPECT_THROW(srlg_from_groups(4, {{2, 2}}), std::invalid_argument);
 }
 
 }  // namespace

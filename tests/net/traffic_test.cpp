@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <stdexcept>
+
 #include "net/topology.h"
 
 namespace prete::net {
@@ -76,6 +79,83 @@ TEST_P(TrafficScaleProperty, UtilizationScalesLinearly) {
 
 INSTANTIATE_TEST_SUITE_P(Scales, TrafficScaleProperty,
                          ::testing::Values(0.5, 1.0, 2.0, 3.3, 5.7));
+
+
+TEST(DiurnalTrafficTest, ValidateAcceptsTheDefaults) {
+  EXPECT_NO_THROW(validate_diurnal_config(DiurnalConfig{}, 12));
+}
+
+TEST(DiurnalTrafficTest, ValidateRejectsMalformedConfigs) {
+  const int nodes = 3;
+  DiurnalConfig c;
+  c.demand_scale = 0.0;
+  EXPECT_THROW(validate_diurnal_config(c, nodes), std::invalid_argument);
+  c = DiurnalConfig{};
+  c.demand_scale = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(validate_diurnal_config(c, nodes), std::invalid_argument);
+  c = DiurnalConfig{};
+  c.base_max_utilization = -0.4;
+  EXPECT_THROW(validate_diurnal_config(c, nodes), std::invalid_argument);
+  c = DiurnalConfig{};
+  c.num_matrices = 0;
+  EXPECT_THROW(validate_diurnal_config(c, nodes), std::invalid_argument);
+  c = DiurnalConfig{};
+  c.diurnal_swing = 1.0;  // swing must stay strictly below 1
+  EXPECT_THROW(validate_diurnal_config(c, nodes), std::invalid_argument);
+  c = DiurnalConfig{};
+  c.noise = -0.1;
+  EXPECT_THROW(validate_diurnal_config(c, nodes), std::invalid_argument);
+  c = DiurnalConfig{};
+  c.node_offset_hours = {1.0};  // must be empty or one per node
+  EXPECT_THROW(validate_diurnal_config(c, nodes), std::invalid_argument);
+  c.node_offset_hours = {0.0, std::numeric_limits<double>::infinity(), 1.0};
+  EXPECT_THROW(validate_diurnal_config(c, nodes), std::invalid_argument);
+}
+
+TEST(DiurnalTrafficTest, GenerateRejectsBadConfigBeforeDrawing) {
+  const Topology topo = make_b4();
+  util::Rng rng(9);
+  DiurnalConfig c;
+  c.demand_scale = -2.0;
+  EXPECT_THROW(generate_diurnal_traffic(topo.network, topo.flows, rng, c),
+               std::invalid_argument);
+}
+
+TEST(DiurnalTrafficTest, DemandScaleMultipliesEveryEntry) {
+  const Topology topo = make_b4();
+  DiurnalConfig c;
+  c.noise = 0.0;
+  util::Rng rng1(3);
+  const auto base = generate_diurnal_traffic(topo.network, topo.flows, rng1, c);
+  c.demand_scale = 2.5;
+  util::Rng rng2(3);
+  const auto big = generate_diurnal_traffic(topo.network, topo.flows, rng2, c);
+  for (std::size_t h = 0; h < base.size(); ++h) {
+    for (std::size_t i = 0; i < base[h].size(); ++i) {
+      EXPECT_NEAR(big[h][i], 2.5 * base[h][i], 1e-9 * base[h][i]);
+    }
+  }
+}
+
+TEST(DiurnalTrafficTest, TimezoneOffsetsRotateTheCurve) {
+  const Topology topo = make_b4();
+  DiurnalConfig c;
+  c.noise = 0.0;
+  util::Rng rng1(4);
+  const auto utc = generate_diurnal_traffic(topo.network, topo.flows, rng1, c);
+  // Every node shifted 6 hours west: hour h must reproduce the UTC matrix
+  // of hour h+6 exactly (normalization is offset-independent).
+  c.node_offset_hours.assign(
+      static_cast<std::size_t>(topo.network.num_nodes()), 6.0);
+  util::Rng rng2(4);
+  const auto west = generate_diurnal_traffic(topo.network, topo.flows, rng2, c);
+  for (std::size_t h = 0; h < west.size(); ++h) {
+    const std::size_t utc_hour = (h + 6) % utc.size();
+    for (std::size_t i = 0; i < west[h].size(); ++i) {
+      EXPECT_DOUBLE_EQ(west[h][i], utc[utc_hour][i]) << "hour " << h;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace prete::net

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "runtime/thread_pool.h"
+#include "net/srlg.h"
 #include "sim/monte_carlo.h"
 #include "te/schemes.h"
 
@@ -197,6 +198,94 @@ TEST(FaultInjectorTest, FaultedRunIsBitIdenticalAcrossThreadCounts) {
   EXPECT_EQ(serial.mean_flow_availability, parallel.mean_flow_availability);
   EXPECT_EQ(serial.epochs_with_degradation, parallel.epochs_with_degradation);
   EXPECT_EQ(serial.epochs_with_cut, parallel.epochs_with_cut);
+}
+
+
+GroupCutPlan example_group_plan(double rate) {
+  GroupCutPlan plan;
+  plan.srlg = net::srlg_from_groups(5, {{0, 1}, {2, 3, 4}});
+  plan.rate = rate;
+  return plan;
+}
+
+TEST(GroupCutTest, DisabledWithoutRateOrForcedEntries) {
+  FaultPlan plan;
+  const FaultInjector inj(plan, example_group_plan(0.0));
+  EXPECT_FALSE(inj.group_cuts().enabled());
+  for (std::int64_t step = 0; step < 50; ++step) {
+    EXPECT_EQ(inj.group_cut_at(step), -1);
+  }
+}
+
+TEST(GroupCutTest, ForcedEntriesWinOverSampling) {
+  FaultPlan plan;
+  GroupCutPlan cuts = example_group_plan(0.0);
+  cuts.forced.push_back({3, 1});
+  cuts.forced.push_back({7, 0});
+  const FaultInjector inj(plan, cuts);
+  EXPECT_EQ(inj.group_cut_at(3), 1);
+  EXPECT_EQ(inj.group_cut_at(7), 0);
+  EXPECT_EQ(inj.group_cut_at(4), -1);
+  const auto fibers = inj.group_cut_fibers(3);
+  EXPECT_EQ(fibers, (std::vector<bool>{false, false, true, true, true}));
+  const auto none = inj.group_cut_fibers(4);
+  EXPECT_EQ(none, std::vector<bool>(5, false));
+}
+
+TEST(GroupCutTest, SampledCutsAreDeterministicAndOrderIndependent) {
+  FaultPlan plan;
+  plan.seed = 17;
+  const FaultInjector a(plan, example_group_plan(0.5));
+  const FaultInjector b(plan, example_group_plan(0.5));
+  std::vector<int> forward, backward(300);
+  for (std::int64_t step = 0; step < 300; ++step) {
+    forward.push_back(a.group_cut_at(step));
+  }
+  for (std::int64_t step = 299; step >= 0; --step) {
+    backward[static_cast<std::size_t>(step)] = b.group_cut_at(step);
+  }
+  EXPECT_EQ(forward, backward);
+  int cut_steps = 0;
+  for (int g : forward) {
+    EXPECT_GE(g, -1);
+    EXPECT_LT(g, 2);  // only the two non-singleton groups are cuttable
+    cut_steps += g >= 0 ? 1 : 0;
+  }
+  EXPECT_GT(cut_steps, 100);  // rate 0.5 over 300 steps
+  EXPECT_LT(cut_steps, 200);
+}
+
+TEST(GroupCutTest, SingletonGroupsAreNeverSampled) {
+  FaultPlan plan;
+  plan.seed = 5;
+  GroupCutPlan cuts;
+  cuts.srlg = net::srlg_from_groups(4, {{1, 3}});  // fibers 0, 2 singleton
+  cuts.rate = 1.0;
+  const FaultInjector inj(plan, cuts);
+  for (std::int64_t step = 0; step < 100; ++step) {
+    EXPECT_EQ(inj.group_cut_at(step), 0);  // the only non-singleton group
+  }
+}
+
+TEST(GroupCutTest, GroupCutsDoNotPerturbComponentFaults) {
+  FaultPlan plan;
+  plan.seed = 23;
+  plan.rates.telemetry_corruption = 0.3;
+  plan.rates.solver_collapse = 0.2;
+  const FaultInjector bare(plan);
+  const FaultInjector with_cuts(plan, example_group_plan(0.9));
+  for (std::int64_t step = 0; step < 200; ++step) {
+    EXPECT_EQ(bare.fault_at(step), with_cuts.fault_at(step)) << step;
+  }
+}
+
+TEST(GroupCutTest, RejectsMalformedPlans) {
+  FaultPlan plan;
+  GroupCutPlan bad_rate = example_group_plan(1.5);
+  EXPECT_THROW(FaultInjector(plan, bad_rate), std::invalid_argument);
+  GroupCutPlan bad_forced = example_group_plan(0.1);
+  bad_forced.forced.push_back({0, 99});
+  EXPECT_THROW(FaultInjector(plan, bad_forced), std::invalid_argument);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "te/scenario.h"
 #include "te/schemes.h"
 
 namespace prete::sim {
@@ -105,6 +106,67 @@ TEST(MonteCarloTest, DeterministicForSameSeed) {
   const auto r2 = mc.run_static(teavar, fx.demands, b);
   EXPECT_DOUBLE_EQ(r1.mean_flow_availability, r2.mean_flow_availability);
   EXPECT_EQ(r1.epochs_with_cut, r2.epochs_with_cut);
+}
+
+
+TEST(MonteCarloTest, CorrelatedNatureAddsCutEpochs) {
+  McFixture fx;
+  MonteCarloConfig with_events = fx.config(2000);
+  te::CorrelatedFailureModel model;
+  model.num_fibers = fx.stats.num_fibers();
+  model.background = fx.stats.cut_prob;
+  model.events.push_back({{0, 1, 2}, 0.05, {0.95, 0.95, 0.95}, "conduit:0"});
+  with_events.correlated_nature = &model;
+
+  te::TeaVarScheme teavar(0.99);
+  util::Rng rng1(21);
+  const auto plain =
+      MonteCarloStudy(fx.topo, fx.stats, fx.config(2000))
+          .run_static(teavar, fx.demands, rng1);
+  util::Rng rng2(21);
+  const auto correlated = MonteCarloStudy(fx.topo, fx.stats, with_events)
+                              .run_static(teavar, fx.demands, rng2);
+  // A 5% three-fiber event over 2000 epochs adds on the order of 100 cut
+  // epochs on top of the independent draws.
+  EXPECT_GT(correlated.epochs_with_cut, plain.epochs_with_cut + 40);
+}
+
+TEST(MonteCarloTest, CorrelatedNatureIsDeterministic) {
+  McFixture fx;
+  MonteCarloConfig config = fx.config(1000);
+  te::CorrelatedFailureModel model;
+  model.num_fibers = fx.stats.num_fibers();
+  model.background = fx.stats.cut_prob;
+  model.events.push_back({{3, 4}, 0.1, {0.9, 0.8}, "weather:0"});
+  config.correlated_nature = &model;
+  const MonteCarloStudy mc(fx.topo, fx.stats, config);
+  te::TeaVarScheme teavar(0.99);
+  util::Rng a(6);
+  util::Rng b(6);
+  const auto r1 = mc.run_static(teavar, fx.demands, a);
+  const auto r2 = mc.run_static(teavar, fx.demands, b);
+  EXPECT_DOUBLE_EQ(r1.mean_flow_availability, r2.mean_flow_availability);
+  EXPECT_EQ(r1.epochs_with_cut, r2.epochs_with_cut);
+  EXPECT_EQ(r1.epochs_with_degradation, r2.epochs_with_degradation);
+}
+
+TEST(MonteCarloTest, PlanningSourceReplacesDefaultScenarios) {
+  McFixture fx;
+  MonteCarloConfig config = fx.config(400);
+  int calls = 0;
+  config.planning_source = [&calls](const std::vector<double>& probs) {
+    ++calls;
+    te::ScenarioOptions options;
+    options.max_simultaneous_failures = 1;
+    options.max_scenarios = 10;
+    return te::generate_failure_scenarios(probs, options);
+  };
+  const MonteCarloStudy mc(fx.topo, fx.stats, config);
+  te::TeaVarScheme teavar(0.99);
+  util::Rng rng(8);
+  const auto result = mc.run_static(teavar, fx.demands, rng);
+  EXPECT_EQ(calls, 1);  // static schemes plan once
+  EXPECT_GT(result.mean_flow_availability, 0.0);
 }
 
 }  // namespace
