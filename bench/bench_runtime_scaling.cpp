@@ -19,6 +19,7 @@
 #include "te/lp_common.h"
 #include "te/minmax.h"
 #include "te/schemes.h"
+#include "workload/continental.h"
 
 using namespace prete;
 
@@ -393,6 +394,87 @@ CarrySample run_carry_phase(const bench::Context& ctx,
   return sample;
 }
 
+// Cross-epoch cut bank phase: steady-state TE epochs on the continental
+// workload. Demands are fixed (cut replay requires demand equality) and
+// scaled until the plant is under real capacity pressure — at the base
+// matrix the Benders solve converges in one iteration with phi = 0 and a
+// warm start has nothing to save. Each epoch one fiber's predicted cut
+// probability drifts, so the regenerated reduced scenario set reorders —
+// exactly what the bank's signature keying must absorb. Every epoch is
+// solved twice: cold (no state) and warm (a carried te::CutBank); the gate
+// requires the warm steady-state tail to cut Benders iterations AND total
+// pivots while agreeing with every cold objective to the bit.
+struct CutBankSample {
+  int cold_tail_iterations = 0;
+  int warm_tail_iterations = 0;
+  int cold_tail_pivots = 0;
+  int warm_tail_pivots = 0;
+  int cuts_replayed = 0;
+  int cuts_invalidated = 0;
+  int cuts_banked = 0;
+  bool all_converged = true;
+  bool objectives_bitwise_equal = true;
+  double phi_checksum = 0.0;
+  bool operator==(const CutBankSample& o) const {
+    return cold_tail_iterations == o.cold_tail_iterations &&
+           warm_tail_iterations == o.warm_tail_iterations &&
+           cold_tail_pivots == o.cold_tail_pivots &&
+           warm_tail_pivots == o.warm_tail_pivots &&
+           cuts_replayed == o.cuts_replayed &&
+           cuts_invalidated == o.cuts_invalidated &&
+           cuts_banked == o.cuts_banked && all_converged == o.all_converged &&
+           objectives_bitwise_equal == o.objectives_bitwise_equal &&
+           phi_checksum == o.phi_checksum;
+  }
+};
+
+CutBankSample run_cut_bank_phase(const workload::ContinentalWorkload& w,
+                                 const workload::ContinentalConfig& config,
+                                 const net::TunnelSet& tunnels,
+                                 int steady_epochs) {
+  te::TeProblem problem;
+  problem.network = &w.topology.network;
+  problem.flows = &w.topology.flows;
+  problem.tunnels = &tunnels;
+  problem.demands = net::scale_traffic(w.matrices.front(), 8.0);
+  // The full 1500-scenario reduction would make each pressured cold solve
+  // several times more expensive without changing the story; the trimmed
+  // set keeps the phase honest (hundreds of correlated scenarios, nonzero
+  // residual) and the bench fast.
+  te::ReductionOptions reduction = config.reduction;
+  reduction.max_scenarios = 600;
+  const te::ScenarioSource source = workload::make_scenario_source(
+      w.failure_model, config.scenario_gen, reduction);
+
+  CutBankSample sample;
+  te::CutBank bank;
+  for (int e = 0; e <= steady_epochs; ++e) {
+    std::vector<double> probs = w.cut_probs;
+    probs[7] *= 1.0 + 0.25 * e;  // one fiber's prediction drifts per epoch
+    const te::ScenarioSet set = source(probs);
+    te::MinMaxOptions options;
+    options.beta = std::min(0.99, set.covered_probability);
+    const te::MinMaxResult cold =
+        te::solve_min_max_benders(problem, set, options);
+    const te::MinMaxResult warm =
+        te::solve_min_max_benders(problem, set, options, nullptr, &bank);
+    sample.all_converged =
+        sample.all_converged && cold.converged && warm.converged;
+    sample.objectives_bitwise_equal =
+        sample.objectives_bitwise_equal && warm.phi == cold.phi;
+    sample.phi_checksum += cold.phi;
+    if (e == 0) continue;  // warm-up epoch: fills the bank, replays nothing
+    sample.cold_tail_iterations += cold.iterations;
+    sample.warm_tail_iterations += warm.iterations;
+    sample.cold_tail_pivots += cold.simplex_pivots;
+    sample.warm_tail_pivots += warm.simplex_pivots;
+    sample.cuts_replayed += warm.cuts_replayed;
+    sample.cuts_invalidated += warm.cuts_invalidated;
+    sample.cuts_banked += warm.cuts_banked;
+  }
+  return sample;
+}
+
 // Fault-campaign phase: the deterministic robustness harness end to end —
 // the controller driven through injected telemetry corruption, predictor
 // faults, and starved solver budgets. The decision digest doubles as the
@@ -437,6 +519,7 @@ int main(int argc, char** argv) {
   KernelSample serial_kernel, parallel_kernel;
   BnbSample serial_bnb, parallel_bnb;
   CarrySample serial_carry, parallel_carry;
+  CutBankSample serial_cut_bank, parallel_cut_bank;
   core::FaultCampaignReport serial_campaign, parallel_campaign;
   double t_serial_static = 0, t_parallel_static = 0;
   double t_serial_prete = 0, t_parallel_prete = 0;
@@ -445,6 +528,7 @@ int main(int argc, char** argv) {
   double t_serial_pricing = 0, t_parallel_pricing = 0;
   double t_serial_bnb = 0, t_parallel_bnb = 0;
   double t_serial_carry = 0, t_parallel_carry = 0;
+  double t_serial_cut_bank = 0, t_parallel_cut_bank = 0;
   double t_serial_campaign = 0, t_parallel_campaign = 0;
   const int pricing_instances = bench::fast_mode() ? 3 : 6;
   const int pipeline_iterations = bench::fast_mode() ? 4 : 10;
@@ -452,7 +536,17 @@ int main(int argc, char** argv) {
   const int kernel_repeats = bench::fast_mode() ? 3 : 8;
   const int bnb_repeats = bench::fast_mode() ? 4 : 12;
   const int carry_epochs = bench::fast_mode() ? 3 : 5;
+  const int cut_bank_epochs = bench::fast_mode() ? 2 : 3;
   const int campaign_steps = bench::fast_mode() ? 96 : 256;
+
+  // Continental workload for the cut-bank phase, generated once and shared
+  // by both legs (generation itself is bit-identical at any pool size —
+  // workload_continental_test covers that).
+  const workload::ContinentalConfig continental_config;
+  const workload::ContinentalWorkload continental =
+      workload::generate_continental_workload(continental_config);
+  const net::TunnelSet continental_tunnels = net::build_tunnels(
+      continental.topology.network, continental.topology.flows);
 
   runtime::ThreadPool::set_global_threads(1);
   {
@@ -497,6 +591,12 @@ int main(int argc, char** argv) {
     bench::Phase phase("basis_carry serial");
     serial_carry = run_carry_phase(ctx, tunnels, demands, carry_epochs);
     t_serial_carry = phase.seconds();
+  }
+  {
+    bench::Phase phase("cut_bank serial");
+    serial_cut_bank = run_cut_bank_phase(continental, continental_config,
+                                         continental_tunnels, cut_bank_epochs);
+    t_serial_cut_bank = phase.seconds();
   }
   {
     bench::Phase phase("fault_campaign serial");
@@ -552,6 +652,12 @@ int main(int argc, char** argv) {
     t_parallel_carry = phase.seconds();
   }
   {
+    bench::Phase phase("cut_bank parallel");
+    parallel_cut_bank = run_cut_bank_phase(
+        continental, continental_config, continental_tunnels, cut_bank_epochs);
+    t_parallel_cut_bank = phase.seconds();
+  }
+  {
     bench::Phase phase("fault_campaign parallel");
     parallel_campaign =
         run_campaign_phase(ctx, ctx.base_demands, campaign_steps);
@@ -604,6 +710,11 @@ int main(int argc, char** argv) {
                     std::to_string(serial_carry.cold_tail_pivots)});
   lp_table.add_row({"basis_carry", "carried tail", "",
                     std::to_string(serial_carry.carried_tail_pivots)});
+  lp_table.add_row({"cut_bank", "cold tail",
+                    util::Table::format(t_serial_cut_bank, 2),
+                    std::to_string(serial_cut_bank.cold_tail_pivots)});
+  lp_table.add_row({"cut_bank", "replayed tail", "",
+                    std::to_string(serial_cut_bank.warm_tail_pivots)});
   lp_table.add_row({"lp_kernel", "dense + full pricing",
                     util::Table::format(serial_kernel.dense_seconds, 3),
                     std::to_string(serial_kernel.dense_pivots)});
@@ -633,6 +744,14 @@ int main(int argc, char** argv) {
             << "basis_carry cache hits: " << serial_carry.cache_hits
             << ", max |phi_cold - phi_carried|: "
             << util::Table::format(serial_carry.max_phi_delta, 9) << "\n";
+  std::cout << "cut_bank steady-state iterations: cold "
+            << serial_cut_bank.cold_tail_iterations << " vs replayed "
+            << serial_cut_bank.warm_tail_iterations << " (replayed "
+            << serial_cut_bank.cuts_replayed << ", invalidated "
+            << serial_cut_bank.cuts_invalidated << ", banked "
+            << serial_cut_bank.cuts_banked << "), objectives bitwise equal: "
+            << (serial_cut_bank.objectives_bitwise_equal ? "yes" : "NO")
+            << "\n";
 
   const bool identical =
       serial_static.mean_flow_availability ==
@@ -648,6 +767,7 @@ int main(int argc, char** argv) {
       serial_pricing == parallel_pricing &&
       serial_kernel == parallel_kernel && serial_bnb == parallel_bnb &&
       serial_carry == parallel_carry &&
+      serial_cut_bank == parallel_cut_bank &&
       serial_campaign.decision_digest == parallel_campaign.decision_digest &&
       serial_campaign.faults_injected == parallel_campaign.faults_injected &&
       serial_campaign.rung_count == parallel_campaign.rung_count;
@@ -669,6 +789,20 @@ int main(int argc, char** argv) {
   if (!carry_ok) {
     std::cout << "basis_carry gate FAILED (carried tail not cheaper or phi "
                  "drift)\n";
+  }
+  // The cut bank must actually shorten the steady-state decomposition —
+  // fewer Benders iterations AND fewer total pivots — while replaying cuts
+  // and agreeing with every cold objective to the bit.
+  const bool cut_bank_ok =
+      serial_cut_bank.all_converged &&
+      serial_cut_bank.objectives_bitwise_equal &&
+      serial_cut_bank.cuts_replayed > 0 &&
+      serial_cut_bank.warm_tail_iterations <
+          serial_cut_bank.cold_tail_iterations &&
+      serial_cut_bank.warm_tail_pivots < serial_cut_bank.cold_tail_pivots;
+  if (!cut_bank_ok) {
+    std::cout << "cut_bank gate FAILED (no iteration/pivot reduction, nothing "
+                 "replayed, or objective mismatch)\n";
   }
   const bool campaign_ok = serial_campaign.clean() &&
                            serial_campaign.every_rung_exercised() &&
@@ -713,7 +847,23 @@ int main(int argc, char** argv) {
          << "    \"parallel\": {\"seconds\": " << t_parallel_bnb
          << ", \"pivots\": " << parallel_bnb.pivots
          << ", \"nodes\": " << parallel_bnb.nodes << "}\n  },\n"
+         << "  \"cut_bank\": {\n"
+         << "    \"steady_epochs\": " << cut_bank_epochs
+         << ", \"seconds\": " << t_serial_cut_bank << ",\n"
+         << "    \"cold\": {\"iterations\": "
+         << serial_cut_bank.cold_tail_iterations
+         << ", \"pivots\": " << serial_cut_bank.cold_tail_pivots << "},\n"
+         << "    \"replayed\": {\"iterations\": "
+         << serial_cut_bank.warm_tail_iterations
+         << ", \"pivots\": " << serial_cut_bank.warm_tail_pivots
+         << ", \"cuts_replayed\": " << serial_cut_bank.cuts_replayed
+         << ", \"cuts_invalidated\": " << serial_cut_bank.cuts_invalidated
+         << "},\n"
+         << "    \"objectives_bitwise_equal\": "
+         << (serial_cut_bank.objectives_bitwise_equal ? "true" : "false")
+         << "\n  },\n"
          << "  \"gates\": {\"kernel_ok\": " << (kernel_ok ? "true" : "false")
+         << ", \"cut_bank_ok\": " << (cut_bank_ok ? "true" : "false")
          << "}\n}\n";
   }
   std::cout << "speedup run_static: "
@@ -732,6 +882,8 @@ int main(int argc, char** argv) {
             << util::Table::format(t_serial_bnb / std::max(t_parallel_bnb, 1e-9),
                                    2)
             << "x on " << parallel_threads << " threads\n";
-  return identical && pricing_ok && carry_ok && campaign_ok && kernel_ok ? 0
-                                                                         : 1;
+  return identical && pricing_ok && carry_ok && campaign_ok && kernel_ok &&
+                 cut_bank_ok
+             ? 0
+             : 1;
 }

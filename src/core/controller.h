@@ -56,6 +56,18 @@ struct ControlDecision {
   // Simplex pivots spent producing this decision — drops on epochs that
   // reuse a carried basis (see te::BasisCache).
   int solver_pivots = 0;
+  // Benders iterations the solve took (0 when the solve threw before
+  // returning). Steady-state epochs with a warm cut bank converge in fewer
+  // iterations than cold ones.
+  int benders_iterations = 0;
+  // Cut-bank provenance of the solve behind this decision (see te::CutBank):
+  // persisted cuts replayed onto the master, stored cuts dropped by the
+  // validity check, and fresh cuts banked for the next epoch. All zero when
+  // the solve threw — on the ladder's lower rungs the counters still
+  // describe the attempted solve, whose bank writeback already happened.
+  int cuts_replayed = 0;
+  int cuts_invalidated = 0;
+  int cuts_banked = 0;
   // Degradation-ladder bookkeeping: which rung produced `policy`, whether
   // the solve deadline expired on the way, and the Benders bound gap of the
   // installed policy (0 at proven optimality, 1.0 on the ladder's lower
@@ -149,9 +161,14 @@ class Controller {
   ControllerConfig config_;
   net::TunnelSet tunnels_;
   // Persists across on_te_period / on_degradation calls so its per-shape
-  // basis caches carry simplex warm starts from epoch to epoch. A topology
-  // or tunnel-set change alters the problem-shape signature, which
-  // invalidates the affected cache entry (cold solve, identical result).
+  // basis caches carry simplex warm starts — and its per-shape cut banks
+  // carry Benders optimality cuts — from epoch to epoch. A topology or
+  // tunnel-set change alters the problem-shape signature, which invalidates
+  // the affected entry (cold solve, identical result). Degradation-ladder
+  // interaction: a deadline-starved solve (kIncumbent rung) still banks the
+  // cuts its completed subproblems derived — they are exact inequalities
+  // regardless of convergence — so even a string of degraded epochs keeps
+  // warming the next full solve; only a solve that throws banks nothing.
   te::PreTeScheme scheme_;
   // Ladder state. The last-good policy is stored truncated to the static
   // tunnel prefix: dynamic tunnel ids are reused across

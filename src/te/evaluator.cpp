@@ -141,14 +141,26 @@ AvailabilityResult evaluate_availability(const TeProblem& problem,
   result.system_availability = total.system_avail;
   result.expected_max_loss = total.expected_max_loss;
 
+  // Residual mass: prefer the generator's explicit accounting (which is how
+  // reduce_scenarios' dropped mass reaches evaluation) over re-deriving it
+  // from the covered mass; fall back only for sets without accounting.
+  const double covered = scenarios.covered_probability;
+  const bool accounted =
+      std::abs(covered + scenarios.residual_probability - 1.0) <= 1e-6;
+  result.residual_mass = accounted ? scenarios.residual_probability
+                                   : std::max(1.0 - covered, 0.0);
   if (!options.residual_counts_as_loss) {
-    // Optimistic: scale up by the covered mass.
-    const double mass = std::max(scenarios.covered_probability, 1e-12);
+    // Optimistic: renormalize by the covered mass — and report that the
+    // residual was scaled away rather than charged.
+    result.renormalized = true;
+    const double mass = std::max(covered, 1e-12);
     result.mean_flow_availability /= mass;
     result.system_availability /= mass;
     result.expected_max_loss /= mass;
   } else {
-    result.expected_max_loss += 1.0 - scenarios.covered_probability;
+    // Pessimistic: the uncovered mass is charged as total loss, using the
+    // explicit residual accounting.
+    result.expected_max_loss += result.residual_mass;
   }
   return result;
 }

@@ -42,6 +42,17 @@ struct AvailabilityResult {
   double system_availability = 0.0;
   // Expected maximum flow loss (the Phi objective, for diagnostics).
   double expected_max_loss = 0.0;
+  // Explicit residual-mass accounting: the probability mass the scenario
+  // set does not cover, taken from the generator's residual_probability
+  // when the set's covered + residual ≈ 1 identity holds (the
+  // ReductionReport dropped mass propagates through that field) and from
+  // 1 - covered otherwise (hand-built sets without accounting). Pessimistic
+  // evaluations charge exactly this mass to expected_max_loss; optimistic
+  // ones renormalize by the covered mass and say so via `renormalized` —
+  // either way the consumer sees what happened to the dropped mass instead
+  // of having to re-derive it.
+  double residual_mass = 0.0;
+  bool renormalized = false;
 };
 
 struct EvaluationOptions {

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <map>
+#include <numeric>
 #include <set>
 #include <tuple>
 #include <stdexcept>
@@ -73,6 +75,30 @@ std::uint64_t problem_shape_signature(const TeProblem& problem) {
     mix(static_cast<std::uint64_t>(t.flow));
     mix(static_cast<std::uint64_t>(t.path.size()));
     for (net::LinkId link : t.path) mix(static_cast<std::uint64_t>(link));
+  }
+  return h;
+}
+
+std::uint64_t cut_environment_signature(const TeProblem& problem) {
+  // FNV-1a over the subproblem data that can change v(delta) without
+  // changing the shape signature: each link's capacity and the fiber it
+  // rides on (the latter decides which tunnels a failure pattern kills).
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  const net::Network& net = *problem.network;
+  mix(static_cast<std::uint64_t>(net.num_fibers()));
+  for (net::LinkId e = 0; e < net.num_links(); ++e) {
+    const net::Link& link = net.link(e);
+    mix(static_cast<std::uint64_t>(link.fiber));
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(link.capacity_gbps));
+    std::memcpy(&bits, &link.capacity_gbps, sizeof(bits));
+    mix(bits);
   }
   return h;
 }
@@ -153,6 +179,12 @@ struct BendersCut {
   // Sparse weights keyed by (flow, scenario index); all weights <= 0 would
   // make the cut useless, so only nonzero entries are stored.
   std::map<std::pair<int, std::size_t>, double> weights;
+  // Bank provenance: index of the CutBank entry this cut was replayed from
+  // (-1 for a cut derived by this solve), and whether the cut influenced the
+  // solve — attained a per-(f,q) master drop weight that was spent, or the
+  // lower-bound max — which is what keeps its bank entry alive.
+  int bank_index = -1;
+  bool active = false;
 
   double value(const std::vector<std::vector<char>>& delta) const {
     double v = constant;
@@ -163,6 +195,37 @@ struct BendersCut {
     return v;
   }
 };
+
+// Deterministic total order on distinct bank entries for size-bound
+// eviction tie-breaks: lexicographic over (terms, constant). Identical
+// (terms, constant) pairs never coexist in a bank (insertion dedups them),
+// so the order is strict among stored cuts.
+bool cut_lex_less(const CutBank::Cut& a, const CutBank::Cut& b) {
+  const std::size_t n = std::min(a.terms.size(), b.terms.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const CutBank::Term& ta = a.terms[i];
+    const CutBank::Term& tb = b.terms[i];
+    if (ta.flow != tb.flow) return ta.flow < tb.flow;
+    if (ta.pattern != tb.pattern) return ta.pattern < tb.pattern;
+    if (ta.weight != tb.weight) return ta.weight < tb.weight;
+  }
+  if (a.terms.size() != b.terms.size()) {
+    return a.terms.size() < b.terms.size();
+  }
+  return a.constant < b.constant;
+}
+
+bool same_cut_terms(const std::vector<CutBank::Term>& a,
+                    const std::vector<CutBank::Term>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].flow != b[i].flow || a[i].pattern != b[i].pattern ||
+        a[i].weight != b[i].weight) {
+      return false;
+    }
+  }
+  return true;
+}
 
 }  // namespace
 
@@ -360,7 +423,7 @@ TePolicy refine_policy(const TeProblem& problem, const ScenarioSet& scenarios,
 MinMaxResult solve_min_max_benders(const TeProblem& problem,
                                    const ScenarioSet& scenarios,
                                    const MinMaxOptions& options,
-                                   BasisCache* cache) {
+                                   BasisCache* cache, CutBank* cut_bank) {
   check_mass(scenarios, options.beta);
   const auto& flows = *problem.flows;
   const auto& Q = scenarios.scenarios;
@@ -373,6 +436,22 @@ MinMaxResult solve_min_max_benders(const TeProblem& problem,
   if (cache != nullptr && cache->signature != signature) {
     *cache = BasisCache{};
     cache->signature = signature;
+  }
+  // A cut bank, unlike a basis cache, is NOT self-revalidating: a stored
+  // cut from a different shape, capacity vector, or link->fiber mapping
+  // bounds a different value function and would silently corrupt the master.
+  // Any mismatch starts the bank fresh (policy knobs survive the reset).
+  if (cut_bank != nullptr) {
+    const std::uint64_t environment = cut_environment_signature(problem);
+    if (cut_bank->signature != signature ||
+        cut_bank->environment != environment) {
+      CutBank fresh;
+      fresh.max_cuts = cut_bank->max_cuts;
+      fresh.inactivity_ttl = cut_bank->inactivity_ttl;
+      fresh.signature = signature;
+      fresh.environment = environment;
+      *cut_bank = std::move(fresh);
+    }
   }
 
   // Fatal pairs: scenarios where a flow keeps no tunnel at all. No
@@ -428,7 +507,145 @@ MinMaxResult solve_min_max_benders(const TeProblem& problem,
   result.pinned_fatal_mass = pinned_mass;
   BendersBounds bounds;
   std::vector<BendersCut> cuts;
+
+  // ---- Cut-bank replay: seed the master with last epoch's cuts. ----
+  // Stored weights are keyed by pattern signature; re-key them to this
+  // epoch's scenario indices and validate before trusting anything. The
+  // validity rule: a cut replays only when every clamped demand equals the
+  // snapshot it was derived under. Probability changes are always safe —
+  // v(delta) does not depend on them, which is why re-keying by pattern
+  // signature suffices — but ANY demand change drops the cut. A shrunk
+  // demand breaks the inequality outright (v is monotone nondecreasing in
+  // each demand), and although a grown demand keeps the cut a valid lower
+  // bound, its weights stay priced for the old instance: they outrank the
+  // fresh cuts' weights in the greedy master's drop ordering indefinitely,
+  // steering every subsequent delta away from the current optimum (observed
+  // as a warm solve stuck at a wrong master selection while the cold solve
+  // converges). Dropping on any demand change keeps the replayed family
+  // homogeneous with the cuts this run derives.
+  // Terms for vanished patterns are dropped with the constant untouched
+  // (equivalent to fixing their delta to 0 — the cut weakens, stays valid).
+  std::vector<std::uint64_t> pattern_sig;
+  if (cut_bank != nullptr) {
+    pattern_sig.resize(Q.size());
+    std::map<std::uint64_t, std::size_t> sig_to_q;
+    for (std::size_t q = 0; q < Q.size(); ++q) {
+      pattern_sig[q] = scenario_signature(Q[q]);
+      sig_to_q.emplace(pattern_sig[q], q);  // first occurrence wins on a dup
+    }
+    for (std::size_t i = 0; i < cut_bank->cuts.size(); ++i) {
+      const CutBank::Cut& stored = cut_bank->cuts[i];
+      bool valid = stored.demands.size() == problem.demands.size();
+      if (valid) {
+        for (std::size_t f = 0; f < stored.demands.size(); ++f) {
+          // Compare the clamped demands the Phi-rows actually use.
+          if (std::max(problem.demands[f], 1e-9) !=
+              std::max(stored.demands[f], 1e-9)) {
+            valid = false;
+            break;
+          }
+        }
+      }
+      BendersCut cut;
+      cut.constant = stored.constant;
+      cut.bank_index = static_cast<int>(i);
+      if (valid) {
+        for (const CutBank::Term& term : stored.terms) {
+          const auto it = sig_to_q.find(term.pattern);
+          if (it == sig_to_q.end()) continue;  // vanished pattern: delta = 0
+          if (term.flow < 0 ||
+              static_cast<std::size_t>(term.flow) >= delta.size()) {
+            valid = false;
+            break;
+          }
+          cut.weights[{term.flow, it->second}] += term.weight;
+        }
+      }
+      if (!valid || cut.weights.empty()) {
+        ++result.cuts_invalidated;
+        ++cut_bank->invalidated;
+        continue;
+      }
+      cuts.push_back(std::move(cut));
+      ++result.cuts_replayed;
+      ++cut_bank->replayed;
+    }
+  }
+
   std::vector<std::vector<char>> best_delta = delta;
+
+  // Master pass: per-flow scenario selection over the current cut list.
+  // Each flow's pass is independent — it aggregates its own cut weights
+  // (max over cuts, a monotone proxy that keeps every cut's reduction
+  // opportunities visible; the cut maps are ordered by (flow, scenario),
+  // so a flow's entries are one contiguous range), sorts its own drop
+  // order, and spends its own budget. Flows shard over the pool and write
+  // disjoint delta rows — including their slot of the activity marks — so
+  // the pass is bit-identical at any pool size. With a bank, the cut whose
+  // weight wins a spent drop is marked active: it steered the selection,
+  // which is the signal that keeps its bank entry alive.
+  std::vector<std::vector<int>> master_marks(
+      cut_bank != nullptr ? flows.size() : 0);
+  auto run_master = [&]() {
+    const bool track = cut_bank != nullptr;
+    runtime::parallel_for(
+        flows.size(),
+        [&](std::size_t fi) {
+          const net::Flow& flow = flows[fi];
+          const auto f = static_cast<std::size_t>(flow.id);
+          std::vector<double> weight(Q.size(), 0.0);
+          std::vector<int> arg(track ? Q.size() : 0, -1);
+          for (std::size_t ci = 0; ci < cuts.size(); ++ci) {
+            const BendersCut& c = cuts[ci];
+            for (auto it = c.weights.lower_bound({flow.id, 0});
+                 it != c.weights.end() && it->first.first == flow.id; ++it) {
+              double& cell = weight[it->first.second];
+              if (it->second > cell) {
+                cell = it->second;
+                if (track) arg[it->first.second] = static_cast<int>(ci);
+              }
+            }
+          }
+          auto& df = delta[f];
+          const auto& pins = fatal[f];
+          const double budget = base_budget - pinned_mass[f];
+          for (std::size_t q = 0; q < Q.size(); ++q) df[q] = pins[q] ? 0 : 1;
+          // Drop scenarios in decreasing weight while the mass budget
+          // allows; ties broken toward lower-probability scenarios (cheaper
+          // to drop).
+          std::vector<std::size_t> order(Q.size());
+          for (std::size_t q = 0; q < Q.size(); ++q) order[q] = q;
+          std::sort(order.begin(), order.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      if (weight[a] != weight[b]) return weight[a] > weight[b];
+                      return Q[a].probability < Q[b].probability;
+                    });
+          double dropped = 0.0;
+          if (track) master_marks[fi].clear();
+          for (std::size_t q : order) {
+            if (pins[q]) continue;
+            if (weight[q] <= 0.0) break;
+            if (dropped + Q[q].probability <= budget + 1e-12) {
+              df[q] = 0;
+              dropped += Q[q].probability;
+              if (track && arg[q] >= 0) master_marks[fi].push_back(arg[q]);
+            }
+          }
+        });
+    if (track) {
+      for (const std::vector<int>& marks : master_marks) {
+        for (int ci : marks) cuts[static_cast<std::size_t>(ci)].active = true;
+      }
+    }
+  };
+  // Replayed cuts drive a master pass BEFORE the first subproblem, so
+  // iteration 1 already solves at the warm drop selection instead of the
+  // expensive all-ones point. In a steady-state epoch the fresh cut then
+  // closes the gap immediately and the warm solve converges in one
+  // iteration. Without a bank (or with an empty one) the pre-pass is
+  // skipped and the solve is bitwise the legacy cold algorithm.
+  if (!cuts.empty()) run_master();
+
   // Successive subproblems share the variable layout and the capacity-row
   // prefix. The final basis of one solve warm-starts the next by replaying
   // its Phi-row keys: re-adding the same rows in the same order makes the
@@ -607,60 +824,42 @@ MinMaxResult solve_min_max_benders(const TeProblem& problem,
     cuts.push_back(cut);
 
     // ---- Master: per-flow scenario selection. ----
-    // Each flow's pass is independent — it aggregates its own cut weights
-    // (max over cuts, a monotone proxy that keeps every cut's reduction
-    // opportunities visible; the cut maps are ordered by (flow, scenario),
-    // so a flow's entries are one contiguous range), sorts its own drop
-    // order, and spends its own budget. Flows shard over the pool and write
-    // disjoint delta rows, so the pass is bit-identical at any pool size.
-    runtime::parallel_for(
-        flows.size(),
-        [&](std::size_t fi) {
-          const net::Flow& flow = flows[fi];
-          const auto f = static_cast<std::size_t>(flow.id);
-          std::vector<double> weight(Q.size(), 0.0);
-          for (const BendersCut& c : cuts) {
-            for (auto it = c.weights.lower_bound({flow.id, 0});
-                 it != c.weights.end() && it->first.first == flow.id; ++it) {
-              double& cell = weight[it->first.second];
-              cell = std::max(cell, it->second);
-            }
-          }
-          auto& df = delta[f];
-          const auto& pins = fatal[f];
-          const double budget = base_budget - pinned_mass[f];
-          for (std::size_t q = 0; q < Q.size(); ++q) df[q] = pins[q] ? 0 : 1;
-          // Drop scenarios in decreasing weight while the mass budget
-          // allows; ties broken toward lower-probability scenarios (cheaper
-          // to drop).
-          std::vector<std::size_t> order(Q.size());
-          for (std::size_t q = 0; q < Q.size(); ++q) order[q] = q;
-          std::sort(order.begin(), order.end(),
-                    [&](std::size_t a, std::size_t b) {
-                      if (weight[a] != weight[b]) return weight[a] > weight[b];
-                      return Q[a].probability < Q[b].probability;
-                    });
-          double dropped = 0.0;
-          for (std::size_t q : order) {
-            if (pins[q]) continue;
-            if (weight[q] <= 0.0) break;
-            if (dropped + Q[q].probability <= budget + 1e-12) {
-              df[q] = 0;
-              dropped += Q[q].probability;
-            }
-          }
-        });
+    run_master();
 
     // Lower bound estimate: the master value at the new delta. The cut list
     // grows linearly with iterations and each evaluation is independent;
     // max is associative, so the chunked reduction is bit-identical at any
     // pool size. A candidate above the incumbent marks the bounds as
     // crossed instead of being clamped into a spurious zero gap.
+    //
+    // Replayed cuts are EXCLUDED here even though they are valid: the
+    // greedy master's delta does not minimize the cut envelope, so the
+    // envelope value only tracks the incumbent when the cuts are the
+    // homogeneous family this run derived. A cut banked under different
+    // demands keeps its support priced for another instance; letting it
+    // into the bound made warm solves latch bound_crossed (and never
+    // report convergence) on epochs where the cold solve converges. Bank
+    // cuts steer the master's drop selection — the actual warm start —
+    // while only this run's own cuts bound it, which restores the cold
+    // solve's crossing semantics exactly.
     const double lb = runtime::parallel_reduce(
         cuts.size(), 0.0,
-        [&](std::size_t i) { return cuts[i].value(delta); },
+        [&](std::size_t i) {
+          return cuts[i].bank_index >= 0 ? 0.0 : cuts[i].value(delta);
+        },
         [](double a, double b) { return std::max(a, b); },
         /*grain=*/8);
+    if (cut_bank != nullptr) {
+      // Fresh cuts attaining the lower bound are doing the bounding work;
+      // that also keeps their future bank entries alive. Serial pass, so
+      // the marks are independent of the pool size. (Replayed cuts earn
+      // their keep through master_marks instead.)
+      for (BendersCut& c : cuts) {
+        if (!c.active && c.bank_index < 0 && c.value(delta) == lb) {
+          c.active = true;
+        }
+      }
+    }
     const bool gap_closed = bounds.update(lb, options.epsilon);
     result.lower_bound = bounds.clamped_lower();
     result.bound_crossed = bounds.crossed;
@@ -677,6 +876,99 @@ MinMaxResult solve_min_max_benders(const TeProblem& problem,
   if (cache != nullptr && carry.valid()) {
     cache->benders = carry;
     cache->benders_rows = carry_keys;
+  }
+  // ---- Cut-bank writeback: refresh, insert, evict. ----
+  // Runs alongside the basis writeback (before refinement) so a deadline
+  // expiry during refinement cannot lose this solve's cuts. Cuts from
+  // COMPLETED subproblems are exact inequalities even when the overall solve
+  // expired (only completed SPs reach the cut derivation), so banking from a
+  // deadline-starved incumbent solve is sound.
+  if (cut_bank != nullptr) {
+    const std::uint64_t now = cut_bank->epoch;
+    // Replayed cuts that influenced this solve stay fresh. Bank indices are
+    // stable here: nothing has been inserted or evicted since replay.
+    for (const BendersCut& c : cuts) {
+      if (c.bank_index >= 0 && c.active) {
+        cut_bank->cuts[static_cast<std::size_t>(c.bank_index)].last_active =
+            now;
+      }
+    }
+    // Bank this solve's fresh cuts under signature keys with a demand
+    // snapshot (the validity witness for future replays).
+    for (const BendersCut& c : cuts) {
+      if (c.bank_index >= 0) continue;
+      CutBank::Cut stored;
+      stored.constant = c.constant;
+      stored.terms.reserve(c.weights.size());
+      for (const auto& [key, w] : c.weights) {
+        stored.terms.push_back({key.first, pattern_sig[key.second], w});
+      }
+      std::sort(stored.terms.begin(), stored.terms.end(),
+                [](const CutBank::Term& a, const CutBank::Term& b) {
+                  return std::tie(a.flow, a.pattern, a.weight) <
+                         std::tie(b.flow, b.pattern, b.weight);
+                });
+      stored.demands = problem.demands;
+      stored.last_active = now;
+      // A re-derived identical cut refreshes its existing entry instead of
+      // duplicating it. The demand snapshot is replaced with this solve's —
+      // replay requires demand equality, so the freshest derivation is the
+      // witness that keeps the entry replayable next epoch.
+      bool duplicate = false;
+      for (CutBank::Cut& existing : cut_bank->cuts) {
+        if (existing.constant == stored.constant &&
+            same_cut_terms(existing.terms, stored.terms)) {
+          existing.last_active = now;
+          existing.demands = stored.demands;
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+      cut_bank->cuts.push_back(std::move(stored));
+      ++cut_bank->inserted;
+      ++result.cuts_banked;
+    }
+    // Activity eviction: a cut idle for inactivity_ttl epochs goes first.
+    {
+      std::vector<CutBank::Cut> kept;
+      kept.reserve(cut_bank->cuts.size());
+      for (CutBank::Cut& c : cut_bank->cuts) {
+        if (now - c.last_active >= cut_bank->inactivity_ttl) {
+          ++cut_bank->evicted;
+        } else {
+          kept.push_back(std::move(c));
+        }
+      }
+      cut_bank->cuts = std::move(kept);
+    }
+    // Size bound: evict oldest activity first; ties (same last_active epoch)
+    // break lexicographically on (terms, constant), largest first — fully
+    // deterministic, no dependence on insertion history beyond the entries
+    // themselves. Survivors keep their insertion order.
+    if (cut_bank->cuts.size() > cut_bank->max_cuts) {
+      std::vector<std::size_t> idx(cut_bank->cuts.size());
+      std::iota(idx.begin(), idx.end(), std::size_t{0});
+      std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+        const CutBank::Cut& ca = cut_bank->cuts[a];
+        const CutBank::Cut& cb = cut_bank->cuts[b];
+        if (ca.last_active != cb.last_active) {
+          return ca.last_active < cb.last_active;
+        }
+        return cut_lex_less(cb, ca);
+      });
+      const std::size_t excess = cut_bank->cuts.size() - cut_bank->max_cuts;
+      std::vector<char> victim(cut_bank->cuts.size(), 0);
+      for (std::size_t i = 0; i < excess; ++i) victim[idx[i]] = 1;
+      std::vector<CutBank::Cut> kept;
+      kept.reserve(cut_bank->max_cuts);
+      for (std::size_t i = 0; i < cut_bank->cuts.size(); ++i) {
+        if (!victim[i]) kept.push_back(std::move(cut_bank->cuts[i]));
+      }
+      cut_bank->cuts = std::move(kept);
+      cut_bank->evicted += static_cast<int>(excess);
+    }
+    ++cut_bank->epoch;
   }
   // Refinement is tie-breaking, not correctness: on an expired deadline the
   // incumbent ships as-is rather than starting another LP sequence.

@@ -69,6 +69,14 @@ struct MinMaxResult {
   // Branch-and-bound nodes explored by solve_min_max_direct (0 for the
   // Benders path, which never branches).
   int bb_nodes = 0;
+  // Cut-bank provenance (all zero when no CutBank was passed): how many
+  // persisted cuts the solve replayed onto its master before iterating, how
+  // many stored cuts failed the validity check (changed demand, no surviving
+  // pattern) and were dropped, and how many fresh cuts this solve banked for
+  // the next epoch.
+  int cuts_replayed = 0;
+  int cuts_invalidated = 0;
+  int cuts_banked = 0;
   // The MinMaxOptions deadline expired mid-solve: `policy` is the best
   // incumbent reached (possibly empty if not even one subproblem finished)
   // and `upper_bound`/`lower_bound` bracket how far the decomposition got.
@@ -125,6 +133,72 @@ struct BasisCache {
   int cold_starts = 0;  // solves that found no usable basis
 };
 
+// Cross-epoch bank of Benders optimality cuts, owned by the caller next to
+// its BasisCache (te::PreTeScheme keeps one per problem shape). Cuts are
+// stored with their weights re-keyed from scenario *indices* to scenario
+// *pattern signatures* (scenario_signature), so they survive
+// reduce_scenarios reordering and probability drift between epochs — the
+// subproblem value function v(delta) depends only on the problem shape,
+// demands, capacities, and each scenario's failed-fiber set, never on the
+// probabilities, which enter the master alone.
+//
+// Replay validity is checked, not assumed (see solve_min_max_benders):
+//  - `signature` / `environment` mismatches reset the bank — a different LP
+//    shape, capacity vector, or link->fiber mapping changes v(delta) itself.
+//  - A stored cut replays only when every clamped demand equals its
+//    creation-time snapshot. A shrunk demand breaks the inequality (v is
+//    monotone nondecreasing in each demand, via the 1/d_f Phi-row
+//    coefficients); a grown demand keeps the cut valid but mispriced — its
+//    weights permanently outrank fresh cuts in the greedy master's drop
+//    ordering and steer the warm solve away from the current optimum — so
+//    any demand change drops the cut.
+//  - Weight terms whose pattern vanished from the current scenario set are
+//    dropped with the constant untouched, which weakens the cut (treats the
+//    pattern as delta = 0) but keeps it valid.
+// A cut that survives replay is byte-for-byte the inequality the original
+// subproblem proved, so warm solves keep the cold solve's convergence
+// semantics and bit-determinism across PRETE_THREADS.
+struct CutBank {
+  std::uint64_t signature = 0;   // problem_shape_signature of the cuts' origin
+  std::uint64_t environment = 0;  // cut_environment_signature (capacities,
+                                  // link->fiber map) — shape excludes these
+
+  struct Term {
+    int flow = 0;
+    std::uint64_t pattern = 0;  // scenario_signature of the failed-fiber set
+    double weight = 0.0;
+  };
+  struct Cut {
+    double constant = 0.0;
+    std::vector<Term> terms;      // sorted by (flow, pattern)
+    std::vector<double> demands;  // per-flow demand snapshot at derivation
+    std::uint64_t last_active = 0;  // bank epoch the cut last influenced a
+                                    // solve (master drop or lower bound)
+  };
+
+  std::vector<Cut> cuts;
+  std::uint64_t epoch = 0;  // advanced once per banked solve
+
+  // Eviction policy: a cut idle for `inactivity_ttl` epochs is dropped; the
+  // total size is bounded by `max_cuts` with oldest-activity-first victims
+  // and a deterministic lexicographic tie-break on (terms, constant).
+  std::size_t max_cuts = 256;
+  std::uint64_t inactivity_ttl = 8;
+
+  // Monotone counters (reset with the bank on a signature change).
+  int replayed = 0;     // cuts successfully replayed onto a master
+  int invalidated = 0;  // stored cuts dropped by the validity check
+  int inserted = 0;     // fresh cuts banked
+  int evicted = 0;      // cuts removed by TTL or the size bound
+};
+
+// Hash of the subproblem data the shape signature deliberately excludes but
+// cut validity depends on: per-link capacities and the link->fiber mapping
+// (which fixes what each failure pattern means for tunnel liveness). A warm
+// basis is self-revalidating, so BasisCache does not need this; a stale cut
+// would silently overestimate the subproblem, so CutBank does.
+std::uint64_t cut_environment_signature(const TeProblem& problem);
+
 // Stable hash of the LP-shape-determining parts of a TeProblem: link count,
 // tunnel count, and each tunnel's (flow, path) — everything that fixes the
 // variable order and the capacity-row coefficients. Demands are deliberately
@@ -178,9 +252,19 @@ MinMaxResult solve_min_max_direct(const TeProblem& problem,
 // visits, so cached and uncached runs may return different policies of equal
 // quality. For a fixed cache state the solve is still a pure function of its
 // inputs: repeated runs, at any thread count, are bit-identical.
+//
+// `cut_bank` (may be null) carries Benders optimality cuts across calls: on
+// entry every stored cut that passes the validity check (see CutBank) is
+// replayed onto the master before iteration 1, so steady-state epochs
+// converge in fewer iterations; on exit this solve's fresh cuts are banked
+// and idle cuts evicted. Replayed cuts are exact inequalities of the current
+// instance, so convergence, bound semantics, and thread-count bit-identity
+// are preserved; the solve remains a pure function of (inputs, cache state,
+// bank state).
 MinMaxResult solve_min_max_benders(const TeProblem& problem,
                                    const ScenarioSet& scenarios,
                                    const MinMaxOptions& options = {},
-                                   BasisCache* cache = nullptr);
+                                   BasisCache* cache = nullptr,
+                                   CutBank* cut_bank = nullptr);
 
 }  // namespace prete::te

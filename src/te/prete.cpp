@@ -80,25 +80,52 @@ PreTeScheme::Outcome PreTeScheme::compute_for_degradation(
   MinMaxOptions solver = config_.solver;
   solver.beta = std::min(config_.beta, outcome.scenarios.covered_probability);
   if (deadline != nullptr) solver.deadline = deadline;
-  if (basis_caches_.size() >= kMaxCachedShapes &&
-      basis_caches_.find(problem_shape_signature(problem)) ==
-          basis_caches_.end()) {
-    basis_caches_.clear();
-  }
-  BasisCache& cache = basis_caches_[problem_shape_signature(problem)];
-  outcome.solver_result =
-      solve_min_max_benders(problem, outcome.scenarios, solver, &cache);
+  ShapeState& state = shape_state(problem_shape_signature(problem));
+  outcome.solver_result = solve_min_max_benders(
+      problem, outcome.scenarios, solver, &state.basis, &state.cut_bank);
   outcome.policy = outcome.solver_result.policy;
   return outcome;
 }
 
+PreTeScheme::ShapeState& PreTeScheme::shape_state(std::uint64_t signature) {
+  auto it = shape_states_.find(signature);
+  if (it == shape_states_.end()) {
+    if (shape_states_.size() >= kMaxCachedShapes) {
+      // Evict the least-recently-used shape. Stamps are unique (one per
+      // access), so the victim — and therefore the whole cache trajectory —
+      // is deterministic. Its counters retire into the aggregates.
+      auto victim = shape_states_.begin();
+      for (auto jt = std::next(shape_states_.begin());
+           jt != shape_states_.end(); ++jt) {
+        if (jt->second.last_used < victim->second.last_used) victim = jt;
+      }
+      retired_.hits += victim->second.basis.hits;
+      retired_.cold_starts += victim->second.basis.cold_starts;
+      retired_.cuts_replayed += victim->second.cut_bank.replayed;
+      retired_.cuts_invalidated += victim->second.cut_bank.invalidated;
+      retired_.cuts_banked += victim->second.cut_bank.inserted;
+      retired_.cut_evictions += victim->second.cut_bank.evicted;
+      shape_states_.erase(victim);
+      ++evictions_;
+    }
+    it = shape_states_.emplace(signature, ShapeState{}).first;
+  }
+  it->second.last_used = ++access_counter_;
+  return it->second;
+}
+
 PreTeScheme::CacheStats PreTeScheme::cache_stats() const {
-  CacheStats stats;
-  stats.shapes = static_cast<int>(basis_caches_.size());
-  for (const auto& [signature, cache] : basis_caches_) {
+  CacheStats stats = retired_;
+  stats.shapes = static_cast<int>(shape_states_.size());
+  stats.evictions = evictions_;
+  for (const auto& [signature, state] : shape_states_) {
     (void)signature;
-    stats.hits += cache.hits;
-    stats.cold_starts += cache.cold_starts;
+    stats.hits += state.basis.hits;
+    stats.cold_starts += state.basis.cold_starts;
+    stats.cuts_replayed += state.cut_bank.replayed;
+    stats.cuts_invalidated += state.cut_bank.invalidated;
+    stats.cuts_banked += state.cut_bank.inserted;
+    stats.cut_evictions += state.cut_bank.evicted;
   }
   return stats;
 }

@@ -46,12 +46,16 @@ struct PreTeConfig {
 // compute_for_degradation mutates the tunnel set (adds dynamic tunnels) and
 // returns the policy over the enlarged tunnel table.
 //
-// The scheme is stateful across calls: it keeps one te::BasisCache per LP
-// problem shape (keyed by problem_shape_signature), so a long-lived scheme
-// — core::Controller holds one for the controller lifetime — warm-starts
-// each epoch's Benders solve from the previous epoch with the same topology
-// and tunnel set. Tunnel-set changes produce a new signature and therefore a
-// cold (but correct) solve; results are bit-identical to a stateless scheme.
+// The scheme is stateful across calls: it keeps one te::BasisCache and one
+// te::CutBank per LP problem shape (keyed by problem_shape_signature), so a
+// long-lived scheme — core::Controller holds one for the controller
+// lifetime — warm-starts each epoch's Benders solve from the previous epoch
+// with the same topology and tunnel set, and replays that epoch's still-valid
+// optimality cuts onto the master. Tunnel-set changes produce a new
+// signature and therefore a cold (but correct) solve. The shape table is
+// bounded: past kMaxCachedShapes the least-recently-used shape is evicted
+// (deterministic — access stamps are unique), and cache_stats() reports the
+// eviction count so callers can see thrash.
 class PreTeScheme {
  public:
   PreTeScheme(std::vector<double> static_fiber_probs, PreTeConfig config = {});
@@ -85,23 +89,49 @@ class PreTeScheme {
   const PreTeConfig& config() const { return config_; }
   const std::vector<double>& static_probs() const { return static_probs_; }
 
-  // Aggregate basis-cache statistics over every shape seen so far.
+  // Aggregate cache statistics over every shape seen so far. Hit/replay
+  // counters are monotone across shape evictions: an evicted entry's totals
+  // are folded into retired aggregates instead of vanishing, so a controller
+  // watching the stats sees thrash (evictions climbing) rather than counters
+  // that mysteriously reset.
   struct CacheStats {
     int shapes = 0;       // distinct problem shapes currently cached
     int hits = 0;         // LP solves seeded from a carried basis
     int cold_starts = 0;  // LP solves with no usable carried basis
+    int evictions = 0;    // shape entries evicted by the LRU bound
+    // Cut-bank aggregates (see te::CutBank), summed like hits.
+    int cuts_replayed = 0;
+    int cuts_invalidated = 0;
+    int cuts_banked = 0;
+    int cut_evictions = 0;
   };
   CacheStats cache_stats() const;
 
  private:
   // Bounded so a scheme driven through many distinct tunnel sets (Monte
-  // Carlo sweeps) cannot grow without limit; clearing everything on overflow
-  // is deterministic and merely costs the next few solves a cold start.
+  // Carlo sweeps) cannot grow without limit. Overflow evicts the
+  // least-recently-used shape — deterministic because every access gets a
+  // unique monotone stamp — and costs only that shape's next solve a cold
+  // start, instead of the historical clear-everything behavior that cold-
+  // started every cached shape at once.
   static constexpr std::size_t kMaxCachedShapes = 16;
+
+  // Warm-start state for one problem shape: the simplex basis cache and the
+  // Benders cut bank, plus the LRU stamp.
+  struct ShapeState {
+    BasisCache basis;
+    CutBank cut_bank;
+    std::uint64_t last_used = 0;
+  };
+  ShapeState& shape_state(std::uint64_t signature);
 
   std::vector<double> static_probs_;
   PreTeConfig config_;
-  std::map<std::uint64_t, BasisCache> basis_caches_;
+  std::map<std::uint64_t, ShapeState> shape_states_;
+  std::uint64_t access_counter_ = 0;
+  int evictions_ = 0;
+  // Counter totals carried over from evicted shape entries.
+  CacheStats retired_;
 };
 
 }  // namespace prete::te

@@ -18,6 +18,24 @@ int FailureScenario::failure_count() const {
       std::count(fiber_failed.begin(), fiber_failed.end(), true));
 }
 
+std::uint64_t scenario_signature(const FailureScenario& scenario) {
+  // FNV-1a over the failed fiber ids in increasing order (vector<bool>
+  // iteration is index order, so the set is already canonical). The fiber
+  // count and probability stay out: the signature identifies the failure
+  // pattern itself, which is all the Benders subproblem sees.
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  for (std::size_t f = 0; f < scenario.fiber_failed.size(); ++f) {
+    if (scenario.fiber_failed[f]) mix(static_cast<std::uint64_t>(f));
+  }
+  return h;
+}
+
 namespace {
 
 // Exact product-form probability of the scenario where exactly the fibers

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -17,6 +18,15 @@ struct FailureScenario {
   bool any_failure() const;
   int failure_count() const;
 };
+
+// Stable 64-bit signature of a scenario's failed-fiber *pattern* (FNV-1a
+// over the sorted failed fiber ids; probability is deliberately excluded).
+// Two scenarios with the same failed set hash identically no matter where
+// they sit in their ScenarioSet — reduce_scenarios reordering, probability
+// drift between epochs, and input permutation all leave the signature
+// unchanged, which is what lets te::CutBank re-key persisted Benders cuts
+// onto the next epoch's scenario indices.
+std::uint64_t scenario_signature(const FailureScenario& scenario);
 
 struct ScenarioSet {
   std::vector<FailureScenario> scenarios;

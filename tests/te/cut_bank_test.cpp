@@ -1,0 +1,272 @@
+// Cross-epoch cut bank: replay validity, convergence agreement with cold
+// solves, order-invariant signature keying, activity eviction, and
+// bit-identity across thread counts (the bank's determinism contract).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/topology.h"
+#include "runtime/thread_pool.h"
+#include "te/minmax.h"
+
+namespace prete::te {
+namespace {
+
+// Triangle under capacity pressure: demands equal capacity, so rerouting
+// around a cut contends for links and the Benders master's scenario drops
+// genuinely move Phi — the regime where cuts carry information.
+struct Fixture {
+  net::Topology topo = net::make_triangle();
+  net::TunnelSet tunnels{2};
+  TeProblem problem;
+
+  Fixture() {
+    tunnels.add_tunnel(0, {0});     // flow s1->s2 direct
+    tunnels.add_tunnel(0, {2, 5});  // s1->s3->s2
+    tunnels.add_tunnel(1, {2});     // flow s1->s3 direct
+    tunnels.add_tunnel(1, {0, 4});  // s1->s2->s3
+    problem.network = &topo.network;
+    problem.flows = &topo.flows;
+    problem.tunnels = &tunnels;
+    problem.demands = {10.0, 10.0};
+  }
+};
+
+MinMaxOptions options_for(const ScenarioSet& set) {
+  MinMaxOptions options;
+  options.beta = std::min(0.95, set.covered_probability);
+  return options;
+}
+
+TEST(ScenarioSignatureTest, IdentifiesThePatternNotTheScenario) {
+  FailureScenario a;
+  a.fiber_failed = {true, false, true, false};
+  a.probability = 0.25;
+  FailureScenario b;
+  b.fiber_failed = {true, false, true, false};
+  b.probability = 0.0001;  // probability must not matter
+  EXPECT_EQ(scenario_signature(a), scenario_signature(b));
+
+  FailureScenario c;
+  c.fiber_failed = {true, true, false, false};
+  c.probability = 0.25;
+  EXPECT_NE(scenario_signature(a), scenario_signature(c));
+
+  FailureScenario none;
+  none.fiber_failed = {false, false, false, false};
+  EXPECT_NE(scenario_signature(a), scenario_signature(none));
+}
+
+TEST(CutBankTest, SteadyStateWarmSolveCutsIterationsWithIdenticalPhi) {
+  Fixture fx;
+  const auto set = generate_failure_scenarios({0.02, 0.03, 0.01});
+  const MinMaxOptions options = options_for(set);
+
+  CutBank bank;
+  const MinMaxResult first =
+      solve_min_max_benders(fx.problem, set, options, nullptr, &bank);
+  ASSERT_TRUE(first.converged);
+  EXPECT_EQ(first.cuts_replayed, 0);
+  EXPECT_GT(first.cuts_banked, 0);
+  EXPECT_EQ(static_cast<int>(bank.cuts.size()), first.cuts_banked);
+
+  // Steady-state epoch: identical inputs, warm bank vs cold.
+  const MinMaxResult cold = solve_min_max_benders(fx.problem, set, options);
+  const MinMaxResult warm =
+      solve_min_max_benders(fx.problem, set, options, nullptr, &bank);
+  ASSERT_TRUE(cold.converged);
+  ASSERT_TRUE(warm.converged);
+  EXPECT_FALSE(warm.bound_crossed);
+  EXPECT_GT(warm.cuts_replayed, 0);
+  EXPECT_EQ(warm.cuts_invalidated, 0);
+  // The replayed master drops the right scenarios before iteration 1, so
+  // the fresh cut closes the gap immediately.
+  EXPECT_LT(warm.iterations, cold.iterations);
+  EXPECT_LT(warm.simplex_pivots, cold.simplex_pivots);
+  // Converged objectives must agree to the bit: replayed cuts are exact
+  // inequalities of the same instance.
+  EXPECT_EQ(warm.phi, cold.phi);
+  EXPECT_EQ(warm.upper_bound, cold.upper_bound);
+}
+
+// Satellite regression: a stale cut replayed blindly across a probability
+// change can cross the bounds on iteration 1 of the warm solve. Validated
+// replay must keep warm and cold solves agreeing on converged / gap().
+TEST(CutBankTest, PerturbedProbabilitiesAgreeWithColdSolve) {
+  Fixture fx;
+  const auto epoch1 = generate_failure_scenarios({0.02, 0.03, 0.01});
+  const MinMaxOptions options1 = options_for(epoch1);
+
+  CutBank bank;
+  ASSERT_TRUE(solve_min_max_benders(fx.problem, epoch1, options1, nullptr,
+                                    &bank)
+                  .converged);
+  const int banked = static_cast<int>(bank.cuts.size());
+  ASSERT_GT(banked, 0);
+
+  // One fiber's predicted probability moves enough to reorder the
+  // probability-sorted scenario set — index-keyed replay would bind stored
+  // weights to the wrong scenarios; signature keying must remap them all.
+  const auto epoch2 = generate_failure_scenarios({0.035, 0.008, 0.012});
+  const MinMaxOptions options2 = options_for(epoch2);
+  const MinMaxResult cold = solve_min_max_benders(fx.problem, epoch2, options2);
+  const MinMaxResult warm =
+      solve_min_max_benders(fx.problem, epoch2, options2, nullptr, &bank);
+
+  EXPECT_EQ(warm.cuts_replayed, banked);
+  EXPECT_EQ(warm.cuts_invalidated, 0);
+  EXPECT_FALSE(warm.bound_crossed);
+  EXPECT_EQ(warm.converged, cold.converged);
+  EXPECT_NEAR(warm.gap(), cold.gap(), options2.epsilon);
+  EXPECT_NEAR(warm.phi, cold.phi, options2.epsilon);
+}
+
+// Any demand change invalidates stored cuts — a shrunk demand breaks the
+// cut inequality outright, and a grown demand leaves the cut valid but
+// priced for the old instance, where its weights would permanently steer
+// the greedy master away from the new optimum. After invalidation the warm
+// solve IS the cold solve, bit for bit.
+TEST(CutBankTest, DemandChangeInvalidatesCutsAndMatchesColdBitwise) {
+  const auto set = generate_failure_scenarios({0.02, 0.03, 0.01});
+  const std::vector<std::vector<double>> drifted = {
+      {9.0, 10.0},   // shrink
+      {10.4, 10.2},  // growth
+  };
+  for (const std::vector<double>& demands : drifted) {
+    Fixture fx;
+    const MinMaxOptions options = options_for(set);
+    CutBank bank;
+    ASSERT_TRUE(
+        solve_min_max_benders(fx.problem, set, options, nullptr, &bank)
+            .converged);
+    const int banked = static_cast<int>(bank.cuts.size());
+    ASSERT_GT(banked, 0);
+
+    fx.problem.demands = demands;
+    const MinMaxResult warm =
+        solve_min_max_benders(fx.problem, set, options, nullptr, &bank);
+    const MinMaxResult cold = solve_min_max_benders(fx.problem, set, options);
+    EXPECT_EQ(warm.cuts_replayed, 0);
+    EXPECT_EQ(warm.cuts_invalidated, banked);
+    EXPECT_FALSE(warm.bound_crossed);
+    EXPECT_EQ(warm.converged, cold.converged);
+    EXPECT_EQ(warm.phi, cold.phi);
+    EXPECT_EQ(warm.iterations, cold.iterations);
+    EXPECT_EQ(warm.simplex_pivots, cold.simplex_pivots);
+    EXPECT_EQ(warm.lower_bound, cold.lower_bound);
+  }
+}
+
+TEST(CutBankTest, ScenarioPermutationReplaysEveryCut) {
+  Fixture fx;
+  const auto set = generate_failure_scenarios({0.02, 0.03, 0.01});
+  const MinMaxOptions options = options_for(set);
+  CutBank bank;
+  ASSERT_TRUE(
+      solve_min_max_benders(fx.problem, set, options, nullptr, &bank)
+          .converged);
+  const int banked = static_cast<int>(bank.cuts.size());
+
+  // Same scenarios, permuted order (as a different generator or a
+  // re-reduced set might present them): signature keying must remap every
+  // cut; nothing is invalidated.
+  ScenarioSet permuted = set;
+  std::reverse(permuted.scenarios.begin(), permuted.scenarios.end());
+  const MinMaxResult cold = solve_min_max_benders(fx.problem, permuted, options);
+  const MinMaxResult warm =
+      solve_min_max_benders(fx.problem, permuted, options, nullptr, &bank);
+  EXPECT_EQ(warm.cuts_replayed, banked);
+  EXPECT_EQ(warm.cuts_invalidated, 0);
+  EXPECT_EQ(warm.converged, cold.converged);
+  EXPECT_NEAR(warm.phi, cold.phi, options.epsilon);
+}
+
+TEST(CutBankTest, ShapeChangeResetsTheBank) {
+  Fixture fx;
+  const auto set = generate_failure_scenarios({0.02, 0.03, 0.01});
+  const MinMaxOptions options = options_for(set);
+  CutBank bank;
+  ASSERT_TRUE(
+      solve_min_max_benders(fx.problem, set, options, nullptr, &bank)
+          .converged);
+  ASSERT_GT(bank.cuts.size(), 0u);
+
+  // A new tunnel changes the problem shape: stored cuts bound a different
+  // value function and must not survive into the warm solve.
+  Fixture grown;
+  grown.tunnels.add_tunnel(0, {1, 3});
+  const MinMaxResult warm =
+      solve_min_max_benders(grown.problem, set, options, nullptr, &bank);
+  EXPECT_EQ(warm.cuts_replayed, 0);
+  EXPECT_EQ(bank.signature, problem_shape_signature(grown.problem));
+}
+
+TEST(CutBankTest, InactivityAndSizeBoundEvictDeterministically) {
+  Fixture fx;
+  const auto set = generate_failure_scenarios({0.02, 0.03, 0.01});
+  const MinMaxOptions options = options_for(set);
+
+  CutBank bank;
+  bank.inactivity_ttl = 2;
+  ASSERT_TRUE(
+      solve_min_max_benders(fx.problem, set, options, nullptr, &bank)
+          .converged);
+  ASSERT_GT(bank.cuts.size(), 0u);
+
+  // Epochs whose solves never touch the stored cuts age them out: shrink
+  // the demands so every replay invalidates, twice (ttl = 2).
+  Fixture shrunk = fx;
+  shrunk.problem.demands = {9.0, 10.0};
+  solve_min_max_benders(shrunk.problem, set, options, nullptr, &bank);
+  solve_min_max_benders(shrunk.problem, set, options, nullptr, &bank);
+  // The original cuts (last_active = 0) are now two epochs stale; only the
+  // shrunk epochs' own cuts survive.
+  EXPECT_GT(bank.evicted, 0);
+  for (const CutBank::Cut& cut : bank.cuts) {
+    EXPECT_GE(cut.last_active + bank.inactivity_ttl, bank.epoch);
+  }
+
+  // Size bound: a one-cut bank keeps exactly one cut across epochs.
+  CutBank tiny;
+  tiny.max_cuts = 1;
+  solve_min_max_benders(fx.problem, set, options, nullptr, &tiny);
+  const int inserted_first = tiny.inserted;
+  ASSERT_GT(inserted_first, 0);
+  EXPECT_EQ(tiny.cuts.size(), 1u);
+  solve_min_max_benders(shrunk.problem, set, options, nullptr, &tiny);
+  EXPECT_EQ(tiny.cuts.size(), 1u);
+  EXPECT_GE(tiny.evicted, inserted_first - 1);
+}
+
+TEST(CutBankTest, ReplayedSolveBitIdenticalAcrossThreadCounts) {
+  const auto set = generate_failure_scenarios({0.02, 0.03, 0.01});
+
+  // The whole two-epoch warm sequence — bank build-up plus replayed solve —
+  // must be a pure function of its inputs at any pool size.
+  auto run_sequence = [&set]() {
+    Fixture fx;
+    const MinMaxOptions options = options_for(set);
+    CutBank bank;
+    solve_min_max_benders(fx.problem, set, options, nullptr, &bank);
+    return solve_min_max_benders(fx.problem, set, options, nullptr, &bank);
+  };
+
+  runtime::ThreadPool::set_global_threads(1);
+  const MinMaxResult serial = run_sequence();
+  runtime::ThreadPool::set_global_threads(4);
+  const MinMaxResult pooled = run_sequence();
+  runtime::ThreadPool::set_global_threads(0);  // restore default
+
+  EXPECT_EQ(serial.phi, pooled.phi);
+  EXPECT_EQ(serial.upper_bound, pooled.upper_bound);
+  EXPECT_EQ(serial.lower_bound, pooled.lower_bound);
+  EXPECT_EQ(serial.iterations, pooled.iterations);
+  EXPECT_EQ(serial.simplex_pivots, pooled.simplex_pivots);
+  EXPECT_EQ(serial.cuts_replayed, pooled.cuts_replayed);
+  EXPECT_EQ(serial.cuts_invalidated, pooled.cuts_invalidated);
+  EXPECT_EQ(serial.cuts_banked, pooled.cuts_banked);
+  EXPECT_EQ(serial.converged, pooled.converged);
+}
+
+}  // namespace
+}  // namespace prete::te

@@ -143,6 +143,39 @@ TEST(EvaluatorTest, ResidualMassCountsAsLoss) {
   EXPECT_NEAR(r2.mean_flow_availability, 1.0, 1e-12);
 }
 
+TEST(EvaluatorTest, ResidualMassUsesGeneratorAccounting) {
+  TriangleFixture fx;
+  TePolicy policy;
+  policy.allocation = {10.0, 0.0, 10.0, 0.0};
+  // A generator-produced set carries explicit residual accounting
+  // (covered + residual closes to 1): the evaluator must surface that exact
+  // residual instead of re-deriving it from the covered mass.
+  ScenarioSet set;
+  set.scenarios = {no_failure()};
+  set.covered_probability = 0.9;
+  set.residual_probability = 0.1;
+  const auto pessimistic = evaluate_availability(fx.problem, policy, set);
+  EXPECT_DOUBLE_EQ(pessimistic.residual_mass, 0.1);
+  EXPECT_FALSE(pessimistic.renormalized);
+  EXPECT_NEAR(pessimistic.expected_max_loss, 0.1, 1e-12);
+
+  EvaluationOptions optimistic;
+  optimistic.residual_counts_as_loss = false;
+  const auto renorm = evaluate_availability(fx.problem, policy, set, optimistic);
+  EXPECT_DOUBLE_EQ(renorm.residual_mass, 0.1);
+  EXPECT_TRUE(renorm.renormalized);
+
+  // Hand-built set without accounting (residual left 0, covered < 1): the
+  // evaluator falls back to 1 - covered rather than trusting the
+  // inconsistent zero.
+  ScenarioSet bare;
+  bare.scenarios = {no_failure()};
+  bare.covered_probability = 0.9;
+  const auto fallback = evaluate_availability(fx.problem, policy, bare);
+  EXPECT_NEAR(fallback.residual_mass, 0.1, 1e-12);
+  EXPECT_NEAR(fallback.expected_max_loss, 0.1, 1e-12);
+}
+
 TEST(EvaluatorTest, RecomputeChargesAffectedFlows) {
   TriangleFixture fx;
   fx.problem.demands = {5.0, 5.0};

@@ -134,5 +134,57 @@ TEST(PreTeTest, AlphaZeroMatchesStaticScenarios) {
               0.98 * 0.97 * 0.99, 1e-12);
 }
 
+// Regression for the basis-cache shape bound: overflowing the 16-shape cap
+// used to clear every cached entry at once; it must instead evict exactly
+// the least-recently-used shape, deterministically, and report it.
+TEST(PreTeTest, ShapeCacheEvictsLeastRecentlyUsedOnOverflow) {
+  net::Topology topo = net::make_triangle();
+  PreTeConfig config;
+  config.beta = 0.95;
+  PreTeScheme prete({0.02, 0.02, 0.02}, config);
+
+  // Each extra tunnel changes the problem-shape signature, so `extra`
+  // indexes a distinct cache entry.
+  auto solve_shape = [&](int extra) {
+    net::TunnelSet tunnels(2);
+    tunnels.add_tunnel(0, {0});
+    tunnels.add_tunnel(0, {2, 5});
+    tunnels.add_tunnel(1, {2});
+    for (int i = 0; i < extra; ++i) tunnels.add_tunnel(1, {0, 4});
+    prete.compute_for_degradation(topo.network, topo.flows, tunnels,
+                                  {10.0, 10.0}, DegradationScenario::none(3));
+  };
+
+  for (int shape = 0; shape < 16; ++shape) solve_shape(shape);
+  auto stats = prete.cache_stats();
+  EXPECT_EQ(stats.shapes, 16);
+  EXPECT_EQ(stats.evictions, 0);
+
+  // Refresh shape 0, then add a 17th distinct shape: the victim must be the
+  // least recently used (shape 1), not shape 0 and not the whole cache.
+  solve_shape(0);
+  solve_shape(16);
+  stats = prete.cache_stats();
+  EXPECT_EQ(stats.shapes, 16);
+  EXPECT_EQ(stats.evictions, 1);
+
+  // Shape 0 survived the eviction: re-solving it is a basis-cache hit and
+  // evicts nothing further.
+  const int hits_before = stats.hits;
+  solve_shape(0);
+  stats = prete.cache_stats();
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_GT(stats.hits, hits_before);
+
+  // Shape 1 was the victim: bringing it back overflows again and evicts
+  // exactly one more entry. The counters are monotone across evictions —
+  // retired entries fold their hit/cold-start tallies into the aggregate.
+  solve_shape(1);
+  stats = prete.cache_stats();
+  EXPECT_EQ(stats.shapes, 16);
+  EXPECT_EQ(stats.evictions, 2);
+  EXPECT_GE(stats.cold_starts, 17 + 1);  // every first solve of a shape + revisit
+}
+
 }  // namespace
 }  // namespace prete::te

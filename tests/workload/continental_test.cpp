@@ -7,7 +7,9 @@
 #include <set>
 #include <stdexcept>
 
+#include "net/tunnels.h"
 #include "runtime/thread_pool.h"
+#include "te/evaluator.h"
 #include "te/scenario.h"
 
 namespace prete::workload {
@@ -139,6 +141,58 @@ TEST(ContinentalTest, ScenarioSourceMatchesDirectPipeline) {
     EXPECT_EQ(via_source.scenarios[i].fiber_failed,
               direct.scenarios[i].fiber_failed);
   }
+}
+
+// End-to-end residual accounting: the mass reduce_scenarios drops must
+// reach the availability evaluator as an explicit residual_mass — closing
+// covered + residual to 1 — instead of being silently renormalized away.
+TEST(ContinentalTest, ReductionResidualMassPropagatesToAvailability) {
+  const ContinentalConfig config;
+  const ContinentalWorkload& w = default_workload();
+  const te::ScenarioSource source = make_scenario_source(
+      w.failure_model, config.scenario_gen, config.reduction);
+  const te::ScenarioSet reduced = source(w.cut_probs);
+  ASSERT_NEAR(reduced.covered_probability + reduced.residual_probability, 1.0,
+              1e-6);
+  ASSERT_GT(reduced.residual_probability, 0.0);  // the reduction dropped mass
+
+  const net::TunnelSet tunnels =
+      net::build_tunnels(w.topology.network, w.topology.flows);
+  te::TeProblem problem;
+  problem.network = &w.topology.network;
+  problem.flows = &w.topology.flows;
+  problem.tunnels = &tunnels;
+  problem.demands = w.matrices.front();
+  te::TePolicy policy;
+  policy.allocation.assign(static_cast<std::size_t>(tunnels.num_tunnels()),
+                           0.0);
+  for (const net::Flow& flow : w.topology.flows) {
+    const auto& flow_tunnels = tunnels.tunnels_for_flow(flow.id);
+    if (flow_tunnels.empty()) continue;
+    const double share = problem.demand(flow.id) /
+                         static_cast<double>(flow_tunnels.size());
+    for (net::TunnelId t : flow_tunnels) {
+      policy.allocation[static_cast<std::size_t>(t)] = share;
+    }
+  }
+
+  // Pessimistic: the dropped mass is charged explicitly, and the consumer
+  // sees exactly the generator's accounting.
+  const te::AvailabilityResult pessimistic =
+      te::evaluate_availability(problem, policy, reduced);
+  EXPECT_EQ(pessimistic.residual_mass, reduced.residual_probability);
+  EXPECT_FALSE(pessimistic.renormalized);
+  EXPECT_GE(pessimistic.expected_max_loss, pessimistic.residual_mass);
+
+  // Optimistic: renormalization is reported, never silent, and the residual
+  // is still surfaced.
+  te::EvaluationOptions optimistic;
+  optimistic.residual_counts_as_loss = false;
+  const te::AvailabilityResult renorm =
+      te::evaluate_availability(problem, policy, reduced, optimistic);
+  EXPECT_EQ(renorm.residual_mass, reduced.residual_probability);
+  EXPECT_TRUE(renorm.renormalized);
+  EXPECT_LE(renorm.mean_flow_availability, 1.0 + 1e-9);
 }
 
 TEST(ContinentalTest, ScenarioSourceRejectsWrongProbeSize) {
