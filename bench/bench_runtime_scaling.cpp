@@ -9,6 +9,7 @@
 #include "bench_common.h"
 
 #include <chrono>
+#include <climits>
 #include <cmath>
 #include <fstream>
 
@@ -300,6 +301,127 @@ KernelSample run_kernel_phase(const bench::Context& ctx,
   return sample;
 }
 
+// LU-anchor phase: the eta kernel's two anchor representations head to head
+// on a thousand-row continental master (the regime the sparse Markowitz LU
+// exists for). Two masters over the same rows: the base-demand master, whose
+// optimum is exactly 0 — there both anchors must converge to the bit — and a
+// demand-pressured master with a nonzero optimum, which carries the timing
+// comparison. At a nonzero vertex the anchors may legitimately differ in the
+// last ulps (ftran/btran round differently, so pivot paths can split on
+// near-ties), so the pressured leg gates on relative agreement within solver
+// tolerance, not bitwise. The wall-clock gate is the tentpole claim: at
+// m >= 1000 the sparse LU anchor must beat the explicit inverse end to end.
+struct LuAnchorSample {
+  int rows = 0;
+  double explicit_seconds = 0;
+  double lu_seconds = 0;
+  int explicit_pivots = 0;
+  int lu_pivots = 0;
+  int explicit_reinversions = 0;
+  int lu_reinversions = 0;  // LU-anchored reinversions inside the LU solves
+  bool all_optimal = true;
+  bool base_objectives_bitwise_equal = true;
+  double pressured_objective_delta = 0.0;  // relative, explicit vs LU
+  double objective_checksum = 0.0;
+  // Wall-clock stays out of the bit-identity comparison.
+  bool operator==(const LuAnchorSample& o) const {
+    return rows == o.rows && explicit_pivots == o.explicit_pivots &&
+           lu_pivots == o.lu_pivots &&
+           explicit_reinversions == o.explicit_reinversions &&
+           lu_reinversions == o.lu_reinversions &&
+           all_optimal == o.all_optimal &&
+           base_objectives_bitwise_equal == o.base_objectives_bitwise_equal &&
+           pressured_objective_delta == o.pressured_objective_delta &&
+           objective_checksum == o.objective_checksum;
+  }
+};
+
+LuAnchorSample run_lu_anchor_phase(const workload::ContinentalWorkload& w,
+                                   const workload::ContinentalConfig& config,
+                                   const net::TunnelSet& tunnels, int repeats) {
+  te::TeProblem problem;
+  problem.network = &w.topology.network;
+  problem.flows = &w.topology.flows;
+  problem.tunnels = &tunnels;
+  // A few hundred reduced scenarios give plenty of Phi-rows; the full 1500
+  // would only slow model construction.
+  te::ReductionOptions reduction = config.reduction;
+  reduction.max_scenarios = 400;
+  const te::ScenarioSource source = workload::make_scenario_source(
+      w.failure_model, config.scenario_gen, reduction);
+  const te::ScenarioSet set = source(w.cut_probs);
+
+  // Widen the scenario slice until the master clears a thousand rows.
+  problem.demands = w.matrices.front();
+  lp::Model base = build_subproblem_lp(problem, tunnels, set, 0);
+  for (int e = 1; base.num_rows() < 1000 && e < 256; ++e) {
+    base = build_subproblem_lp(problem, tunnels, set, e);
+  }
+  LuAnchorSample sample;
+  sample.rows = base.num_rows();
+  // Same rows, demands scaled until capacity pressure makes the optimum a
+  // nonzero interior vertex (at the base matrix the plant fully protects the
+  // sliced scenarios and Phi = 0 exactly).
+  problem.demands = net::scale_traffic(w.matrices.front(), 30.0);
+  lp::Model pressured = build_subproblem_lp(problem, tunnels, set, 0);
+  for (int e = 1; pressured.num_rows() < 1000 && e < 256; ++e) {
+    pressured = build_subproblem_lp(problem, tunnels, set, e);
+  }
+
+  lp::SimplexOptions explicit_opts;
+  explicit_opts.kernel = lp::BasisKernel::kEtaFile;
+  explicit_opts.lu_threshold = INT_MAX;  // pin the explicit-inverse anchor
+  lp::SimplexOptions lu_opts;
+  lu_opts.kernel = lp::BasisKernel::kEtaFile;
+  lu_opts.lu_threshold = 1;  // pin the sparse LU anchor
+
+  using clock = std::chrono::steady_clock;
+  double explicit_obj = 0.0;
+  {
+    const auto start = clock::now();
+    for (int r = 0; r < repeats; ++r) {
+      const lp::Solution s = lp::SimplexSolver(explicit_opts).solve(pressured);
+      if (r == 0) {
+        explicit_obj = s.objective;
+        sample.explicit_pivots = s.iterations;
+        sample.explicit_reinversions = s.reinversions;
+        sample.all_optimal =
+            sample.all_optimal && s.status == lp::SolveStatus::kOptimal;
+      }
+    }
+    sample.explicit_seconds =
+        std::chrono::duration<double>(clock::now() - start).count() / repeats;
+  }
+  {
+    const auto start = clock::now();
+    for (int r = 0; r < repeats; ++r) {
+      const lp::Solution s = lp::SimplexSolver(lu_opts).solve(pressured);
+      if (r == 0) {
+        sample.lu_pivots = s.iterations;
+        sample.lu_reinversions = s.lu_reinversions;
+        sample.all_optimal =
+            sample.all_optimal && s.status == lp::SolveStatus::kOptimal;
+        sample.pressured_objective_delta =
+            std::abs(s.objective - explicit_obj) /
+            std::max(1.0, std::abs(explicit_obj));
+        sample.objective_checksum += s.objective;
+      }
+    }
+    sample.lu_seconds =
+        std::chrono::duration<double>(clock::now() - start).count() / repeats;
+  }
+
+  const lp::Solution base_explicit = lp::SimplexSolver(explicit_opts).solve(base);
+  const lp::Solution base_lu = lp::SimplexSolver(lu_opts).solve(base);
+  sample.all_optimal = sample.all_optimal &&
+                       base_explicit.status == lp::SolveStatus::kOptimal &&
+                       base_lu.status == lp::SolveStatus::kOptimal;
+  sample.base_objectives_bitwise_equal =
+      base_explicit.objective == base_lu.objective;
+  sample.objective_checksum += base_lu.objective;
+  return sample;
+}
+
 // Direct-solver phase: the exact MIP (branch-and-bound over every delta)
 // on a triangle instance small enough for solve_min_max_direct. The node
 // waves evaluate on the pool, so this is the thread-scaling witness for the
@@ -517,6 +639,7 @@ int main(int argc, char** argv) {
   TelemetrySample serial_telemetry, parallel_telemetry;
   PricingSample serial_pricing, parallel_pricing;
   KernelSample serial_kernel, parallel_kernel;
+  LuAnchorSample serial_lu_anchor, parallel_lu_anchor;
   BnbSample serial_bnb, parallel_bnb;
   CarrySample serial_carry, parallel_carry;
   CutBankSample serial_cut_bank, parallel_cut_bank;
@@ -534,6 +657,7 @@ int main(int argc, char** argv) {
   const int pipeline_iterations = bench::fast_mode() ? 4 : 10;
   const int kernel_instances = bench::fast_mode() ? 3 : 6;
   const int kernel_repeats = bench::fast_mode() ? 3 : 8;
+  const int lu_anchor_repeats = bench::fast_mode() ? 2 : 6;
   const int bnb_repeats = bench::fast_mode() ? 4 : 12;
   const int carry_epochs = bench::fast_mode() ? 3 : 5;
   const int cut_bank_epochs = bench::fast_mode() ? 2 : 3;
@@ -581,6 +705,12 @@ int main(int argc, char** argv) {
     bench::Phase phase("lp_kernel serial");
     serial_kernel = run_kernel_phase(ctx, tunnels, demands, kernel_instances,
                                      kernel_repeats);
+  }
+  {
+    bench::Phase phase("lu_anchor serial");
+    serial_lu_anchor = run_lu_anchor_phase(continental, continental_config,
+                                           continental_tunnels,
+                                           lu_anchor_repeats);
   }
   {
     bench::Phase phase("bnb_direct serial");
@@ -640,6 +770,12 @@ int main(int argc, char** argv) {
     bench::Phase phase("lp_kernel parallel");
     parallel_kernel = run_kernel_phase(ctx, tunnels, demands, kernel_instances,
                                        kernel_repeats);
+  }
+  {
+    bench::Phase phase("lu_anchor parallel");
+    parallel_lu_anchor = run_lu_anchor_phase(continental, continental_config,
+                                             continental_tunnels,
+                                             lu_anchor_repeats);
   }
   {
     bench::Phase phase("bnb_direct parallel");
@@ -721,6 +857,13 @@ int main(int argc, char** argv) {
   lp_table.add_row({"lp_kernel", "eta + auto pricing",
                     util::Table::format(serial_kernel.eta_seconds, 3),
                     std::to_string(serial_kernel.eta_pivots)});
+  lp_table.add_row({"lu_anchor", "explicit inverse (m=" +
+                        std::to_string(serial_lu_anchor.rows) + ")",
+                    util::Table::format(serial_lu_anchor.explicit_seconds, 3),
+                    std::to_string(serial_lu_anchor.explicit_pivots)});
+  lp_table.add_row({"lu_anchor", "sparse LU",
+                    util::Table::format(serial_lu_anchor.lu_seconds, 3),
+                    std::to_string(serial_lu_anchor.lu_pivots)});
   lp_table.add_row({"bnb_direct", "serial",
                     util::Table::format(t_serial_bnb, 2),
                     std::to_string(serial_bnb.pivots)});
@@ -736,6 +879,15 @@ int main(int argc, char** argv) {
             << "), eta peak length: " << serial_kernel.eta_peak << "\n"
             << "bnb_direct nodes: " << serial_bnb.nodes
             << ", phi: " << util::Table::format(serial_bnb.phi, 6) << "\n";
+  std::cout << "lu_anchor rows: " << serial_lu_anchor.rows
+            << ", LU reinversions: " << serial_lu_anchor.lu_reinversions
+            << " (explicit: " << serial_lu_anchor.explicit_reinversions
+            << "), base objectives bitwise equal: "
+            << (serial_lu_anchor.base_objectives_bitwise_equal ? "yes" : "NO")
+            << ", pressured relative delta: "
+            << util::Table::format(serial_lu_anchor.pressured_objective_delta,
+                                   12)
+            << "\n";
   std::cout << "simplex_pricing cold objectives bitwise equal: "
             << (serial_pricing.objectives_bitwise_equal ? "yes" : "NO")
             << ", pipeline |phi_dantzig - phi_devex|: "
@@ -765,7 +917,8 @@ int main(int argc, char** argv) {
       serial_master == parallel_master &&
       serial_telemetry == parallel_telemetry &&
       serial_pricing == parallel_pricing &&
-      serial_kernel == parallel_kernel && serial_bnb == parallel_bnb &&
+      serial_kernel == parallel_kernel &&
+      serial_lu_anchor == parallel_lu_anchor && serial_bnb == parallel_bnb &&
       serial_carry == parallel_carry &&
       serial_cut_bank == parallel_cut_bank &&
       serial_campaign.decision_digest == parallel_campaign.decision_digest &&
@@ -823,6 +976,24 @@ int main(int argc, char** argv) {
               << " s vs eta "
               << util::Table::format(serial_kernel.eta_seconds, 3) << " s\n";
   }
+  // The sparse LU anchor must carry its weight at the scale it exists for: a
+  // thousand-row master, reinversions actually routed through the LU, the
+  // exact base optimum reproduced to the bit, the pressured optimum within
+  // solver tolerance, and end-to-end wall-clock no worse than the explicit
+  // inverse.
+  const bool lu_anchor_ok =
+      serial_lu_anchor.rows >= 1000 && serial_lu_anchor.all_optimal &&
+      serial_lu_anchor.lu_reinversions >= 1 &&
+      serial_lu_anchor.base_objectives_bitwise_equal &&
+      serial_lu_anchor.pressured_objective_delta < 1e-9 &&
+      serial_lu_anchor.lu_seconds <= serial_lu_anchor.explicit_seconds;
+  if (!lu_anchor_ok) {
+    std::cout << "lu_anchor gate FAILED (LU slower than explicit inverse or "
+                 "objective mismatch): explicit "
+              << util::Table::format(serial_lu_anchor.explicit_seconds, 3)
+              << " s vs LU "
+              << util::Table::format(serial_lu_anchor.lu_seconds, 3) << " s\n";
+  }
 
   {
     std::ofstream json("BENCH_lp_kernel.json");
@@ -840,6 +1011,23 @@ int main(int argc, char** argv) {
          << "    \"objectives_bitwise_equal\": "
          << (serial_kernel.objectives_bitwise_equal ? "true" : "false")
          << "\n  },\n"
+         << "  \"lu_anchor\": {\n"
+         << "    \"rows\": " << serial_lu_anchor.rows
+         << ", \"repeats\": " << lu_anchor_repeats << ",\n"
+         << "    \"explicit\": {\"seconds\": "
+         << serial_lu_anchor.explicit_seconds
+         << ", \"pivots\": " << serial_lu_anchor.explicit_pivots
+         << ", \"reinversions\": " << serial_lu_anchor.explicit_reinversions
+         << "},\n"
+         << "    \"lu\": {\"seconds\": " << serial_lu_anchor.lu_seconds
+         << ", \"pivots\": " << serial_lu_anchor.lu_pivots
+         << ", \"lu_reinversions\": " << serial_lu_anchor.lu_reinversions
+         << "},\n"
+         << "    \"base_objectives_bitwise_equal\": "
+         << (serial_lu_anchor.base_objectives_bitwise_equal ? "true" : "false")
+         << ",\n"
+         << "    \"pressured_objective_delta\": "
+         << serial_lu_anchor.pressured_objective_delta << "\n  },\n"
          << "  \"bnb_direct\": {\n"
          << "    \"serial\": {\"seconds\": " << t_serial_bnb
          << ", \"pivots\": " << serial_bnb.pivots
@@ -863,6 +1051,7 @@ int main(int argc, char** argv) {
          << (serial_cut_bank.objectives_bitwise_equal ? "true" : "false")
          << "\n  },\n"
          << "  \"gates\": {\"kernel_ok\": " << (kernel_ok ? "true" : "false")
+         << ", \"lu_anchor_ok\": " << (lu_anchor_ok ? "true" : "false")
          << ", \"cut_bank_ok\": " << (cut_bank_ok ? "true" : "false")
          << "}\n}\n";
   }
@@ -883,7 +1072,7 @@ int main(int argc, char** argv) {
                                    2)
             << "x on " << parallel_threads << " threads\n";
   return identical && pricing_ok && carry_ok && campaign_ok && kernel_ok &&
-                 cut_bank_ok
+                 lu_anchor_ok && cut_bank_ok
              ? 0
              : 1;
 }

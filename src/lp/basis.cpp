@@ -6,9 +6,11 @@
 
 namespace prete::lp {
 
-void BasisState::configure(BasisKernel kernel, int refactor_interval) {
+void BasisState::configure(BasisKernel kernel, int refactor_interval,
+                           int lu_threshold) {
   kernel_ = kernel;
   refactor_interval_ = refactor_interval;
+  lu_threshold_ = lu_threshold;
 }
 
 void BasisState::clear_etas() {
@@ -21,6 +23,16 @@ void BasisState::clear_etas() {
 
 void BasisState::reset_diagonal(int m, const std::vector<double>& signs) {
   m_ = m;
+  anchor_is_lu_ = kernel_ == BasisKernel::kEtaFile && m >= lu_threshold_;
+  if (anchor_is_lu_) {
+    // Trivial LU of diag(signs) — no O(m^2) buffer ever materializes.
+    lu_.reset_diagonal(m, signs);
+    rows_.clear();
+    cols_.clear();
+    clear_etas();
+    pivots_since_refactor_ = 0;
+    return;
+  }
   rows_.assign(static_cast<std::size_t>(m) * m, 0.0);
   for (int i = 0; i < m; ++i) {
     rows_[static_cast<std::size_t>(i) * m + i] = signs[static_cast<std::size_t>(i)];
@@ -36,17 +48,39 @@ bool BasisState::refactorize(
     const std::vector<const std::vector<Coefficient>*>& basis_columns) {
   const int m = static_cast<int>(basis_columns.size());
   m_ = m;
-  std::vector<double> dense(static_cast<std::size_t>(m) * m, 0.0);
+  anchor_is_lu_ = kernel_ == BasisKernel::kEtaFile && m >= lu_threshold_;
+  if (anchor_is_lu_) {
+    if (!lu_.factorize(basis_columns, lu_arena_)) return false;
+    rows_.clear();
+    cols_.clear();
+    clear_etas();
+    pivots_since_refactor_ = 0;
+    ++stats_.reinversions;
+    ++stats_.lu_reinversions;
+    return true;
+  }
+
+  // Dense-anchor paths. The O(m^2) workspaces are members reused across
+  // reinversions (and swapped — not moved — into rows_ at the end), so
+  // steady-state reinversion no longer touches the heap.
+  std::vector<double>& dense = dense_scratch_;
+  dense.assign(static_cast<std::size_t>(m) * m, 0.0);
+  col_scale_.assign(static_cast<std::size_t>(m), 0.0);
   for (int c = 0; c < m; ++c) {
     for (const auto& entry : *basis_columns[static_cast<std::size_t>(c)]) {
       dense[static_cast<std::size_t>(entry.var) * m + c] = entry.value;
+      const double mag = std::abs(entry.value);
+      if (mag > col_scale_[static_cast<std::size_t>(c)]) {
+        col_scale_[static_cast<std::size_t>(c)] = mag;
+      }
     }
   }
 
   if (kernel_ == BasisKernel::kDenseBinv) {
     // Historical path: Gauss-Jordan over the widened (B | I) pair,
     // bit-compatible with the pre-eta kernel.
-    std::vector<double> inv(static_cast<std::size_t>(m) * m, 0.0);
+    std::vector<double>& inv = inv_scratch_;
+    inv.assign(static_cast<std::size_t>(m) * m, 0.0);
     for (int i = 0; i < m; ++i) inv[static_cast<std::size_t>(i) * m + i] = 1.0;
 
     for (int col = 0; col < m; ++col) {
@@ -59,7 +93,13 @@ bool BasisState::refactorize(
           pivot = r;
         }
       }
-      if (best < 1e-12) return false;  // numerically singular basis
+      // Relative singularity: the eliminated column's best pivot collapsed
+      // against the column's input magnitude. An absolute cutoff here
+      // misclassifies badly scaled (but perfectly conditioned) bases — a
+      // basis scaled by 1e-13 is not singular.
+      if (best <= 1e-12 * col_scale_[static_cast<std::size_t>(col)]) {
+        return false;  // numerically singular basis
+      }
       if (pivot != col) {
         for (int c = 0; c < m; ++c) {
           std::swap(dense[static_cast<std::size_t>(pivot) * m + c],
@@ -86,7 +126,7 @@ bool BasisState::refactorize(
         }
       }
     }
-    rows_ = std::move(inv);
+    rows_.swap(inv);
   } else {
     // Eta-kernel reinversion: single-pass in-place Gauss-Jordan. The matrix
     // gradually becomes its own inverse (row swaps are undone as column
@@ -105,7 +145,10 @@ bool BasisState::refactorize(
           pivot = r;
         }
       }
-      if (best < 1e-12) return false;  // numerically singular basis
+      // Relative singularity — see the dense-kernel sweep above.
+      if (best <= 1e-12 * col_scale_[static_cast<std::size_t>(col)]) {
+        return false;  // numerically singular basis
+      }
       pivot_rows_[static_cast<std::size_t>(col)] = pivot;
       if (pivot != col) {
         std::swap_ranges(
@@ -137,7 +180,7 @@ bool BasisState::refactorize(
                   dense[static_cast<std::size_t>(r) * m + col]);
       }
     }
-    rows_ = std::move(dense);
+    rows_.swap(dense);
   }
 
   if (kernel_ == BasisKernel::kEtaFile) {
@@ -172,14 +215,19 @@ void BasisState::ftran(const std::vector<Coefficient>& a,
     }
     return;
   }
-  // Anchor pass against the column-major mirror: contiguous axpy per sparse
-  // entry, then the eta file in forward order.
-  for (const auto& entry : a) {
-    const double v = entry.value;
-    if (v == 0.0) continue;
-    const double* col = cols_.data() + static_cast<std::size_t>(entry.var) * m_;
-    for (int r = 0; r < m_; ++r) {
-      w[static_cast<std::size_t>(r)] += v * col[r];
+  // Anchor pass — sparse LU triangular solves for large bases, otherwise a
+  // contiguous axpy per sparse entry against the column-major mirror — then
+  // the eta file in forward order.
+  if (anchor_is_lu_) {
+    lu_.ftran(a, w);
+  } else {
+    for (const auto& entry : a) {
+      const double v = entry.value;
+      if (v == 0.0) continue;
+      const double* col = cols_.data() + static_cast<std::size_t>(entry.var) * m_;
+      for (int r = 0; r < m_; ++r) {
+        w[static_cast<std::size_t>(r)] += v * col[r];
+      }
     }
   }
   const std::size_t etas = eta_row_.size();
@@ -218,6 +266,10 @@ void BasisState::btran(const std::vector<double>& v,
     }
     src = &scratch_;
   }
+  if (anchor_is_lu_) {
+    lu_.btran(*src, y);
+    return;
+  }
   for (int r = 0; r < m_; ++r) {
     const double vr = (*src)[static_cast<std::size_t>(r)];
     if (vr == 0.0) continue;
@@ -229,7 +281,8 @@ void BasisState::btran(const std::vector<double>& v,
 }
 
 void BasisState::pivot_row(int r, std::vector<double>& rho) const {
-  if (kernel_ == BasisKernel::kDenseBinv || eta_row_.empty()) {
+  if (!anchor_is_lu_ &&
+      (kernel_ == BasisKernel::kDenseBinv || eta_row_.empty())) {
     rho.assign(rows_.begin() + static_cast<std::ptrdiff_t>(r) * m_,
                rows_.begin() + static_cast<std::ptrdiff_t>(r + 1) * m_);
     return;
@@ -241,14 +294,18 @@ void BasisState::pivot_row(int r, std::vector<double>& rho) const {
 
 void BasisState::apply_inverse(const std::vector<double>& v,
                                std::vector<double>& x) const {
-  x.assign(static_cast<std::size_t>(m_), 0.0);
-  for (int r = 0; r < m_; ++r) {
-    const double* row = rows_.data() + static_cast<std::size_t>(r) * m_;
-    double acc = 0.0;
-    for (int c = 0; c < m_; ++c) {
-      acc += row[c] * v[static_cast<std::size_t>(c)];
+  if (anchor_is_lu_) {
+    lu_.ftran_dense(v, x);
+  } else {
+    x.assign(static_cast<std::size_t>(m_), 0.0);
+    for (int r = 0; r < m_; ++r) {
+      const double* row = rows_.data() + static_cast<std::size_t>(r) * m_;
+      double acc = 0.0;
+      for (int c = 0; c < m_; ++c) {
+        acc += row[c] * v[static_cast<std::size_t>(c)];
+      }
+      x[static_cast<std::size_t>(r)] = acc;
     }
-    x[static_cast<std::size_t>(r)] = acc;
   }
   if (kernel_ != BasisKernel::kEtaFile) return;
   const std::size_t etas = eta_row_.size();

@@ -3,7 +3,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "lp/lu.h"
 #include "lp/model.h"
+#include "util/arena.h"
 
 namespace prete::lp {
 
@@ -26,6 +28,13 @@ namespace prete::lp {
 // into a fresh anchor every `refactor_interval` pivots, or early when an
 // appended eta's magnitude spread signals numerical drift of the product
 // form.
+//
+// The eta kernel's anchor itself has two representations, auto-selected by
+// basis dimension at every refactorize/reset: below `lu_threshold` rows the
+// explicit dense inverse above; at or above it a Markowitz-ordered sparse LU
+// factorization (lp::LuFactorization) whose memory and reinversion cost
+// track the basis nonzero count instead of m^2 — the regime of the
+// thousand-row continental masters. Both anchors feed the same eta file.
 enum class BasisKernel : std::uint8_t { kDenseBinv, kEtaFile };
 
 // The basis-inverse state shared by both kernels. One instance serves one
@@ -39,15 +48,24 @@ enum class BasisKernel : std::uint8_t { kDenseBinv, kEtaFile };
 class BasisState {
  public:
   struct Stats {
-    int reinversions = 0;  // dense refactorizations performed
+    int reinversions = 0;  // anchor refactorizations performed
     int eta_peak = 0;      // longest eta file reached between reinversions
     int drift_reinversions = 0;  // reinversions forced by the drift trigger
+    int lu_reinversions = 0;     // reinversions that built a sparse LU anchor
   };
 
-  // `refactor_interval` <= 0 refactorizes after every pivot.
-  void configure(BasisKernel kernel, int refactor_interval);
+  // `refactor_interval` <= 0 refactorizes after every pivot. `lu_threshold`
+  // is the basis dimension at or above which the eta kernel's anchor
+  // switches from the explicit dense inverse to the sparse LU (tests force a
+  // side with 1 / a huge value; the default is calibrated by the lu_anchor
+  // bench phase).
+  void configure(BasisKernel kernel, int refactor_interval,
+                 int lu_threshold = 512);
 
   BasisKernel kernel() const { return kernel_; }
+
+  // True when the current anchor is the sparse LU factorization.
+  bool anchor_is_lu() const { return anchor_is_lu_; }
 
   // Resets to the inverse of a +-1 diagonal basis (the all-artificial cold
   // start): rows_ = diag(signs). Clears the eta file.
@@ -104,7 +122,14 @@ class BasisState {
   int m_ = 0;
   BasisKernel kernel_ = BasisKernel::kEtaFile;
   int refactor_interval_ = 128;
+  int lu_threshold_ = 512;
   int pivots_since_refactor_ = 0;
+  bool anchor_is_lu_ = false;
+
+  // Sparse LU anchor (eta kernel, m >= lu_threshold_) and the arena backing
+  // its elimination workspace across reinversions.
+  LuFactorization lu_;
+  util::Arena lu_arena_;
 
   // Dense anchor inverse, row-major (BTRAN reads rows contiguously).
   std::vector<double> rows_;
@@ -126,6 +151,16 @@ class BasisState {
 
   // Scratch for BTRAN-style passes that transform a copy of the input.
   mutable std::vector<double> scratch_;
+
+  // Member scratch buffers for the dense refactorization paths, reused
+  // across reinversions (swapped with rows_, never moved from — a move
+  // would steal the buffer back out and reintroduce the per-reinversion
+  // O(m^2) allocation this exists to remove).
+  std::vector<double> dense_scratch_;
+  std::vector<double> inv_scratch_;
+  // Per-column max input magnitude of the basis being refactorized — the
+  // reference scale for the relative singularity test.
+  std::vector<double> col_scale_;
 
   Stats stats_;
 };

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "lp/presolve.h"
 #include "runtime/parallel.h"
 
 namespace prete::lp {
@@ -82,6 +83,41 @@ int most_fractional(const Model& model, const std::vector<double>& x,
 }  // namespace
 
 Solution BranchAndBound::solve(const Model& model) const {
+  if (!options_.simplex.presolve) return solve_direct(model);
+
+  const PresolveResult pre = presolve(model);
+  if (pre.infeasible) {
+    Solution out;
+    out.status = SolveStatus::kInfeasible;
+    return out;
+  }
+  // An integer variable presolve fixed at a fractional value (a singleton
+  // row forcing x = 0.5, say) makes the MIP infeasible — the reduced model
+  // no longer carries the variable, so the check must happen here.
+  for (int j = 0; j < model.num_variables(); ++j) {
+    const auto js = static_cast<std::size_t>(j);
+    if (!model.variable(j).is_integer || pre.variable_map[js] >= 0) continue;
+    const double v = pre.fixed_value[js];
+    if (std::abs(v - std::round(v)) > options_.integrality_tol) {
+      Solution out;
+      out.status = SolveStatus::kInfeasible;
+      return out;
+    }
+  }
+  BranchAndBound inner_solver([&] {
+    BranchAndBoundOptions inner = options_;
+    inner.simplex.presolve = false;
+    return inner;
+  }());
+  Solution reduced = inner_solver.solve_direct(pre.reduced);
+  if (reduced.x.empty()) return reduced;
+  reduced.x = pre.restore(reduced.x);
+  reduced.objective = model.objective_value(reduced.x);
+  reduced.duals.clear();  // presolve re-indexed the rows; see class comment
+  return reduced;
+}
+
+Solution BranchAndBound::solve_direct(const Model& model) const {
   SimplexSolver simplex(options_.simplex);
   if (!model.has_integers()) return simplex.solve(model);
 
@@ -102,6 +138,7 @@ Solution BranchAndBound::solve(const Model& model) const {
   bool hit_node_limit = false;
   int total_pivots = 0;
   int total_reinversions = 0;
+  int total_lu_reinversions = 0;
   int eta_peak = 0;
 
   std::vector<Scratch> slots;
@@ -149,6 +186,7 @@ Solution BranchAndBound::solve(const Model& model) const {
       const Solution& relax = result.relax;
       total_pivots += relax.iterations;
       total_reinversions += relax.reinversions;
+      total_lu_reinversions += relax.lu_reinversions;
       eta_peak = std::max(eta_peak, relax.eta_peak);
       if (relax.status == SolveStatus::kUnbounded) {
         // An unbounded relaxation at the root means the MIP itself may be
@@ -158,6 +196,7 @@ Solution BranchAndBound::solve(const Model& model) const {
           out.status = SolveStatus::kUnbounded;
           out.iterations = total_pivots;
           out.reinversions = total_reinversions;
+          out.lu_reinversions = total_lu_reinversions;
           out.eta_peak = eta_peak;
           out.nodes_explored = nodes;
           return out;
@@ -204,6 +243,7 @@ Solution BranchAndBound::solve(const Model& model) const {
     if (hit_node_limit) incumbent.status = SolveStatus::kIterationLimit;
     incumbent.iterations = total_pivots;
     incumbent.reinversions = total_reinversions;
+    incumbent.lu_reinversions = total_lu_reinversions;
     incumbent.eta_peak = eta_peak;
     incumbent.nodes_explored = nodes;
     return incumbent;
@@ -213,6 +253,7 @@ Solution BranchAndBound::solve(const Model& model) const {
       hit_node_limit ? SolveStatus::kIterationLimit : SolveStatus::kInfeasible;
   out.iterations = total_pivots;
   out.reinversions = total_reinversions;
+  out.lu_reinversions = total_lu_reinversions;
   out.eta_peak = eta_peak;
   out.nodes_explored = nodes;
   return out;

@@ -126,15 +126,25 @@ PresolveResult presolve(const Model& model) {
       if (!std::isfinite(x)) {
         // Unbounded empty column: leave it in the model so the solver
         // reports unboundedness properly.
-        result.variable_map[js] = result.reduced.add_variable(
-            lower[js], upper[js], v.objective, v.name);
+        result.variable_map[js] =
+            v.is_integer
+                ? result.reduced.add_integer(lower[js], upper[js], v.objective,
+                                             v.name)
+                : result.reduced.add_variable(lower[js], upper[js],
+                                              v.objective, v.name);
         continue;
       }
       result.fixed_value[js] = x;
       continue;
     }
+    // Integrality survives reduction: branch-and-bound presolves its root
+    // model and must still see which reduced columns need branching.
     result.variable_map[js] =
-        result.reduced.add_variable(lower[js], upper[js], v.objective, v.name);
+        v.is_integer
+            ? result.reduced.add_integer(lower[js], upper[js], v.objective,
+                                         v.name)
+            : result.reduced.add_variable(lower[js], upper[js], v.objective,
+                                          v.name);
   }
 
   // Pass 3: rebuild surviving rows with substituted fixed variables.

@@ -230,7 +230,8 @@ class SimplexEngine {
     first_artificial_ = n + m;
     ws_.total = n + 2 * m;
 
-    basis_.configure(options_.kernel, options_.refactor_interval);
+    basis_.configure(options_.kernel, options_.refactor_interval,
+                     options_.lu_threshold);
     pricing_window_ = ws_.total;
     if (options_.pricing_window > 0) {
       pricing_window_ = std::min(options_.pricing_window, ws_.total);
@@ -913,6 +914,7 @@ Solution SimplexSolver::solve(const Model& model, const SimplexBasis* warm,
   Solution solution = engine.run(model);
   solution.reinversions = engine.kernel_stats().reinversions;
   solution.eta_peak = engine.kernel_stats().eta_peak;
+  solution.lu_reinversions = engine.kernel_stats().lu_reinversions;
   if (basis_out != nullptr && solution.status == SolveStatus::kOptimal) {
     engine.export_basis(*basis_out);
   }

@@ -41,6 +41,24 @@ struct SimplexOptions {
   // periodic dense reinversion; kDenseBinv is the historical kernel, kept as
   // the bit-compatible reference for equivalence tests and the bench gate.
   BasisKernel kernel = BasisKernel::kEtaFile;
+  // Basis dimension at or above which the eta kernel's reinversion anchor
+  // switches from the explicit dense inverse (O(m^2) memory, O(m^3)
+  // rebuild) to the Markowitz-ordered sparse LU factorization whose cost
+  // tracks the basis nonzero count (see lp::LuFactorization). The default
+  // is set from the lu_anchor phase of bench_runtime_scaling: below a few
+  // hundred rows the dense anchor's contiguous sweeps win; by a thousand
+  // rows the sparse factors win decisively. Tests pin the anchor with 1
+  // (always LU) or INT_MAX (never LU). Ignored by kDenseBinv.
+  int lu_threshold = 512;
+  // Run lp::presolve ahead of the solve and lift the reduced solution back
+  // (see lp::solve_with_presolve). Honored by lp::BranchAndBound root and
+  // node relaxations via its own wiring; the raw SimplexSolver ignores it
+  // because presolve re-indexes rows, and every raw-solver call site in the
+  // Benders stack consumes `duals` positionally against the original row
+  // order to build cuts — lifting duals through eliminated rows would need
+  // the dropped multipliers that presolve discards. Branch-and-bound never
+  // reads duals, so the flag lives safely there.
+  bool presolve = false;
   // Candidate-list partial pricing: price a rotating window of this many
   // columns per iteration, advancing the window only when it prices out (no
   // eligible column); optimality is declared only after a full rotation

@@ -1,0 +1,162 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace prete::util {
+
+// Bump (arena) allocator for numeric-kernel workspaces. Allocation is a
+// pointer bump inside the current chunk; `reset()` rewinds every chunk in
+// O(1) without returning memory to the OS, so a workspace that is rebuilt
+// many times (the sparse-LU refactorization is the motivating case) touches
+// the heap only while its high-water mark is still growing. Nothing is ever
+// destructed — only trivially-destructible payloads belong here (enforced by
+// allocate_array and ArenaVector).
+//
+// Not thread-safe: one arena serves one solve, like the BasisState it backs.
+class Arena {
+ public:
+  explicit Arena(std::size_t chunk_bytes = 1 << 16)
+      : chunk_bytes_(chunk_bytes == 0 ? 1 : chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Raw allocation. `align` must be a power of two.
+  void* allocate(std::size_t bytes, std::size_t align) {
+    if (bytes == 0) bytes = 1;
+    while (true) {
+      if (chunk_ < chunks_.size()) {
+        Chunk& c = chunks_[chunk_];
+        const std::size_t aligned = (c.used + (align - 1)) & ~(align - 1);
+        if (aligned + bytes <= c.size) {
+          c.used = aligned + bytes;
+          return c.data.get() + aligned;
+        }
+        // Chunk exhausted for this request: move on (the tail is wasted
+        // until the next reset, the usual bump-allocator trade).
+        ++chunk_;
+        continue;
+      }
+      // No chunk fits: grow. Oversized requests get a dedicated chunk so a
+      // single large row never forces a permanently huge chunk size.
+      const std::size_t want = bytes + align > chunk_bytes_ ? bytes + align
+                                                            : chunk_bytes_;
+      chunks_.push_back(Chunk{std::make_unique<std::byte[]>(want), want, 0});
+    }
+  }
+
+  template <typename T>
+  T* allocate_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is never destructed");
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  // Rewinds every chunk. All memory handed out so far is invalidated;
+  // the chunks themselves are retained for reuse.
+  void reset() {
+    for (Chunk& c : chunks_) c.used = 0;
+    chunk_ = 0;
+  }
+
+  // Total bytes reserved from the heap (stable once the workspace's
+  // high-water mark stops growing — the "no churn" witness in tests).
+  std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    return total;
+  }
+
+  // Bytes handed out since the last reset (including alignment padding).
+  std::size_t bytes_used() const {
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.used;
+    return total;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t chunk_ = 0;
+};
+
+// Flat growable array of trivially-copyable elements backed by an Arena.
+// Growth allocates a doubled block and memcpys; the old block is abandoned
+// to the arena (reclaimed wholesale at the next reset). Move-only: copying
+// would silently alias arena memory.
+template <typename T>
+class ArenaVector {
+  static_assert(std::is_trivially_copyable_v<T> &&
+                    std::is_trivially_destructible_v<T>,
+                "ArenaVector holds flat numeric payloads only");
+
+ public:
+  explicit ArenaVector(Arena& arena) : arena_(&arena) {}
+
+  ArenaVector(const ArenaVector&) = delete;
+  ArenaVector& operator=(const ArenaVector&) = delete;
+  ArenaVector(ArenaVector&& other) noexcept
+      : arena_(other.arena_), data_(other.data_), size_(other.size_),
+        capacity_(other.capacity_) {
+    other.data_ = nullptr;
+    other.size_ = other.capacity_ = 0;
+  }
+  ArenaVector& operator=(ArenaVector&& other) noexcept {
+    arena_ = other.arena_;
+    data_ = other.data_;
+    size_ = other.size_;
+    capacity_ = other.capacity_;
+    other.data_ = nullptr;
+    other.size_ = other.capacity_ = 0;
+    return *this;
+  }
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) grow(capacity_ == 0 ? 8 : 2 * capacity_);
+    data_[size_++] = value;
+  }
+
+  void reserve(std::size_t capacity) {
+    if (capacity > capacity_) grow(capacity);
+  }
+
+  void clear() { size_ = 0; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T& back() { return data_[size_ - 1]; }
+
+ private:
+  void grow(std::size_t capacity) {
+    T* next = arena_->allocate_array<T>(capacity);
+    if (size_ > 0) std::memcpy(next, data_, size_ * sizeof(T));
+    data_ = next;
+    capacity_ = capacity;
+  }
+
+  Arena* arena_;
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace prete::util

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <climits>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "lp/basis.h"
+#include "util/rng.h"
+
+// BasisState refactorization regressions: the singularity test must be
+// relative to each column's input magnitude (an absolute cutoff misreads
+// badly scaled — but perfectly conditioned — bases as singular), and truly
+// singular bases must still be rejected under every anchor.
+
+namespace prete::lp {
+namespace {
+
+std::vector<std::vector<Coefficient>> scaled_basis(int m, double scale,
+                                                   std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<Coefficient>> cols(static_cast<std::size_t>(m));
+  for (int c = 0; c < m; ++c) {
+    auto& col = cols[static_cast<std::size_t>(c)];
+    col.push_back(
+        {c, scale * rng.uniform(2.0, 4.0) * (rng.bernoulli(0.5) ? 1.0 : -1.0)});
+    if (c + 1 < m) col.push_back({c + 1, scale * rng.uniform(-0.5, 0.5)});
+  }
+  return cols;
+}
+
+std::vector<const std::vector<Coefficient>*> column_pointers(
+    const std::vector<std::vector<Coefficient>>& cols) {
+  std::vector<const std::vector<Coefficient>*> ptrs;
+  ptrs.reserve(cols.size());
+  for (const auto& col : cols) ptrs.push_back(&col);
+  return ptrs;
+}
+
+double ftran_residual(const std::vector<std::vector<Coefficient>>& cols,
+                      const std::vector<double>& x,
+                      const std::vector<double>& rhs) {
+  std::vector<double> bx(rhs.size(), 0.0);
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    for (const auto& entry : cols[c]) {
+      bx[static_cast<std::size_t>(entry.var)] += entry.value * x[c];
+    }
+  }
+  double worst = 0.0;
+  for (std::size_t i = 0; i < rhs.size(); ++i) {
+    worst = std::max(worst, std::abs(bx[i] - rhs[i]));
+  }
+  return worst;
+}
+
+class ScaledBasisRegression : public ::testing::TestWithParam<BasisKernel> {};
+
+TEST_P(ScaledBasisRegression, TinyButWellConditionedBasisRefactorizes) {
+  // Every entry ~1e-13: below the historical absolute 1e-12 pivot cutoff,
+  // which called this basis singular. The relative test must accept it and
+  // the inverse must actually work.
+  constexpr int kDim = 10;
+  const auto cols = scaled_basis(kDim, 1e-13, 42);
+  BasisState basis;
+  basis.configure(GetParam(), 128);
+  ASSERT_TRUE(basis.refactorize(column_pointers(cols)))
+      << "well-conditioned basis misclassified as singular";
+
+  std::vector<Coefficient> rhs_sparse = {{3, 1.0}};
+  std::vector<double> rhs(kDim, 0.0);
+  rhs[3] = 1.0;
+  std::vector<double> x(kDim, 0.0);
+  basis.ftran(rhs_sparse, x);
+  // Inverse entries are ~1e13; residual in the input scale stays tiny.
+  EXPECT_LT(ftran_residual(cols, x, rhs), 1e-6);
+}
+
+TEST_P(ScaledBasisRegression, HugeBasisRefactorizes) {
+  const auto cols = scaled_basis(8, 1e14, 7);
+  BasisState basis;
+  basis.configure(GetParam(), 128);
+  EXPECT_TRUE(basis.refactorize(column_pointers(cols)));
+}
+
+TEST_P(ScaledBasisRegression, TrulySingularBasisStillRejected) {
+  auto cols = scaled_basis(8, 1.0, 11);
+  cols[5] = cols[1];  // duplicate column: exactly singular
+  BasisState basis;
+  basis.configure(GetParam(), 128);
+  EXPECT_FALSE(basis.refactorize(column_pointers(cols)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, ScaledBasisRegression,
+                         ::testing::Values(BasisKernel::kDenseBinv,
+                                           BasisKernel::kEtaFile));
+
+TEST(BasisStateLuAnchorTest, ScaledAndSingularBasesUnderLuAnchor) {
+  // The same two regressions with the sparse LU forced as the anchor.
+  BasisState basis;
+  basis.configure(BasisKernel::kEtaFile, 128, /*lu_threshold=*/1);
+
+  const auto tiny = scaled_basis(10, 1e-13, 42);
+  ASSERT_TRUE(basis.refactorize(column_pointers(tiny)));
+  EXPECT_TRUE(basis.anchor_is_lu());
+  EXPECT_EQ(basis.stats().lu_reinversions, 1);
+
+  auto singular = scaled_basis(8, 1.0, 11);
+  singular[5] = singular[1];
+  EXPECT_FALSE(basis.refactorize(column_pointers(singular)));
+}
+
+TEST(BasisStateLuAnchorTest, ThresholdSelectsAnchor) {
+  const auto cols = scaled_basis(6, 1.0, 3);
+  const auto ptrs = column_pointers(cols);
+
+  BasisState below;
+  below.configure(BasisKernel::kEtaFile, 128, /*lu_threshold=*/7);
+  ASSERT_TRUE(below.refactorize(ptrs));
+  EXPECT_FALSE(below.anchor_is_lu());
+  EXPECT_EQ(below.stats().lu_reinversions, 0);
+
+  BasisState at;
+  at.configure(BasisKernel::kEtaFile, 128, /*lu_threshold=*/6);
+  ASSERT_TRUE(at.refactorize(ptrs));
+  EXPECT_TRUE(at.anchor_is_lu());
+  EXPECT_EQ(at.stats().lu_reinversions, 1);
+
+  // The dense kernel never routes through the LU regardless of threshold.
+  BasisState dense;
+  dense.configure(BasisKernel::kDenseBinv, 128, /*lu_threshold=*/1);
+  ASSERT_TRUE(dense.refactorize(ptrs));
+  EXPECT_FALSE(dense.anchor_is_lu());
+}
+
+TEST(BasisStateLuAnchorTest, AnchorsAgreeOnSolves) {
+  // Explicit-inverse anchor and LU anchor represent the same B^-1: ftran,
+  // btran, pivot_row, and apply_inverse must agree to rounding.
+  constexpr int kDim = 24;
+  const auto cols = scaled_basis(kDim, 1.0, 17);
+  const auto ptrs = column_pointers(cols);
+
+  BasisState explicit_anchor;
+  explicit_anchor.configure(BasisKernel::kEtaFile, 128, INT_MAX);
+  ASSERT_TRUE(explicit_anchor.refactorize(ptrs));
+  BasisState lu_anchor;
+  lu_anchor.configure(BasisKernel::kEtaFile, 128, 1);
+  ASSERT_TRUE(lu_anchor.refactorize(ptrs));
+
+  util::Rng rng(23);
+  std::vector<Coefficient> a;
+  for (int i = 0; i < kDim; ++i) {
+    if (rng.bernoulli(0.4)) a.push_back({i, rng.uniform(-2.0, 2.0)});
+  }
+  std::vector<double> wa(kDim, 0.0);
+  std::vector<double> wb(kDim, 0.0);
+  explicit_anchor.ftran(a, wa);
+  lu_anchor.ftran(a, wb);
+  for (int i = 0; i < kDim; ++i) {
+    EXPECT_NEAR(wa[static_cast<std::size_t>(i)], wb[static_cast<std::size_t>(i)],
+                1e-9)
+        << "ftran[" << i << "]";
+  }
+
+  std::vector<double> v(kDim);
+  for (int i = 0; i < kDim; ++i) v[static_cast<std::size_t>(i)] = rng.uniform(-1.0, 1.0);
+  std::vector<double> ya;
+  std::vector<double> yb;
+  explicit_anchor.btran(v, ya);
+  lu_anchor.btran(v, yb);
+  for (int i = 0; i < kDim; ++i) {
+    EXPECT_NEAR(ya[static_cast<std::size_t>(i)], yb[static_cast<std::size_t>(i)],
+                1e-9)
+        << "btran[" << i << "]";
+  }
+
+  std::vector<double> ra;
+  std::vector<double> rb;
+  explicit_anchor.pivot_row(5, ra);
+  lu_anchor.pivot_row(5, rb);
+  for (int i = 0; i < kDim; ++i) {
+    EXPECT_NEAR(ra[static_cast<std::size_t>(i)], rb[static_cast<std::size_t>(i)],
+                1e-9)
+        << "pivot_row[" << i << "]";
+  }
+
+  std::vector<double> xa;
+  std::vector<double> xb;
+  explicit_anchor.apply_inverse(v, xa);
+  lu_anchor.apply_inverse(v, xb);
+  for (int i = 0; i < kDim; ++i) {
+    EXPECT_NEAR(xa[static_cast<std::size_t>(i)], xb[static_cast<std::size_t>(i)],
+                1e-9)
+        << "apply_inverse[" << i << "]";
+  }
+}
+
+}  // namespace
+}  // namespace prete::lp

@@ -236,6 +236,45 @@ TEST(RuntimeDeterminismTest, DirectSolverBitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(RuntimeDeterminismTest,
+     DirectSolverWithLuAnchorBitIdenticalAcrossThreadCounts) {
+  // Same property as above with the sparse LU anchor forced (lu_threshold =
+  // 1) and frequent reinversion: the Markowitz pivot order and the
+  // triangular solves are pure functions of the basis, so the LU-anchored
+  // node relaxations must survive a pool resize bit-for-bit too.
+  net::Topology topo = net::make_triangle();
+  net::TunnelSet tunnels{2};
+  tunnels.add_tunnel(0, {0});
+  tunnels.add_tunnel(0, {2, 5});
+  tunnels.add_tunnel(1, {2});
+  tunnels.add_tunnel(1, {0, 4});
+  te::TeProblem problem;
+  problem.network = &topo.network;
+  problem.flows = &topo.flows;
+  problem.tunnels = &tunnels;
+  problem.demands = {10.0, 10.0};
+  const auto scenarios = te::generate_failure_scenarios({0.02, 0.03, 0.01});
+  te::MinMaxOptions options;
+  options.beta = 0.95;
+  options.simplex.lu_threshold = 1;
+  options.simplex.refactor_interval = 4;
+
+  runtime::ThreadPool::set_global_threads(1);
+  const auto serial = te::solve_min_max_direct(problem, scenarios, options);
+
+  runtime::ThreadPool::set_global_threads(4);
+  const auto parallel = te::solve_min_max_direct(problem, scenarios, options);
+
+  runtime::ThreadPool::set_global_threads(0);
+  EXPECT_EQ(serial.phi, parallel.phi);
+  EXPECT_EQ(serial.simplex_pivots, parallel.simplex_pivots);
+  EXPECT_EQ(serial.bb_nodes, parallel.bb_nodes);
+  ASSERT_EQ(serial.policy.allocation.size(), parallel.policy.allocation.size());
+  for (std::size_t t = 0; t < serial.policy.allocation.size(); ++t) {
+    EXPECT_EQ(serial.policy.allocation[t], parallel.policy.allocation[t]);
+  }
+}
+
 TEST(RuntimeDeterminismTest, RepeatedParallelRunsAreStable) {
   // Same seed, same thread count, run twice: scheduling jitter between runs
   // must not leak into the result.

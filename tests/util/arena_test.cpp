@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "util/arena.h"
+
+// Arena allocator properties: alignment, reset-reuse (the steady-state
+// "no heap churn" contract the LP kernel depends on), oversized dedicated
+// chunks, and ArenaVector growth semantics.
+
+namespace prete::util {
+namespace {
+
+TEST(ArenaTest, AllocationsAreAlignedAndDisjoint) {
+  Arena arena(256);
+  auto* a = arena.allocate_array<double>(10);
+  auto* b = arena.allocate_array<std::int32_t>(3);
+  auto* c = arena.allocate_array<double>(5);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % alignof(double), 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % alignof(std::int32_t), 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % alignof(double), 0u);
+  // Write through every block; overlap would corrupt a neighbour.
+  for (int i = 0; i < 10; ++i) a[i] = 1.5 * i;
+  for (int i = 0; i < 3; ++i) b[i] = -i;
+  for (int i = 0; i < 5; ++i) c[i] = 100.0 + i;
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a[i], 1.5 * i);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(b[i], -i);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(c[i], 100.0 + i);
+}
+
+TEST(ArenaTest, ResetReusesMemoryWithoutGrowingReservation) {
+  Arena arena(1 << 10);
+  // First pass establishes the high-water mark.
+  for (int i = 0; i < 64; ++i) arena.allocate_array<double>(16);
+  const std::size_t reserved = arena.bytes_reserved();
+  EXPECT_GT(reserved, 0u);
+  // Identical passes after reset must not reserve any more memory — this is
+  // the whole point of the arena for per-reinversion workspaces.
+  for (int pass = 0; pass < 10; ++pass) {
+    arena.reset();
+    EXPECT_EQ(arena.bytes_used(), 0u);
+    for (int i = 0; i < 64; ++i) arena.allocate_array<double>(16);
+    EXPECT_EQ(arena.bytes_reserved(), reserved) << "pass " << pass;
+  }
+}
+
+TEST(ArenaTest, ResetRewindsToFirstChunk) {
+  Arena arena(64);
+  void* first = arena.allocate(32, 8);
+  arena.allocate(4096, 8);  // forces extra chunks
+  arena.reset();
+  // The first allocation after reset lands back at the start of chunk 0.
+  EXPECT_EQ(arena.allocate(32, 8), first);
+}
+
+TEST(ArenaTest, OversizedRequestGetsDedicatedChunk) {
+  Arena arena(64);
+  auto* big = arena.allocate_array<double>(1000);  // 8000 bytes >> chunk
+  for (int i = 0; i < 1000; ++i) big[i] = i;
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(big[i], i);
+  EXPECT_GE(arena.bytes_reserved(), 8000u);
+  // Small allocations still work afterwards.
+  auto* small = arena.allocate_array<std::int32_t>(4);
+  small[0] = 7;
+  EXPECT_EQ(small[0], 7);
+}
+
+TEST(ArenaTest, ZeroByteAllocationReturnsValidPointer) {
+  Arena arena;
+  EXPECT_NE(arena.allocate(0, 1), nullptr);
+}
+
+TEST(ArenaVectorTest, PushBackGrowsAndPreservesContents) {
+  Arena arena;
+  ArenaVector<int> v(arena);
+  EXPECT_TRUE(v.empty());
+  for (int i = 0; i < 1000; ++i) v.push_back(i * 3);
+  ASSERT_EQ(v.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i * 3);
+  EXPECT_EQ(v.back(), 999 * 3);
+  // Range iteration sees the same data.
+  int expect = 0;
+  for (const int x : v) {
+    EXPECT_EQ(x, expect * 3);
+    ++expect;
+  }
+}
+
+TEST(ArenaVectorTest, ReserveAvoidsLaterGrowth) {
+  Arena arena;
+  ArenaVector<double> v(arena);
+  v.reserve(128);
+  const double* data = v.data();
+  for (int i = 0; i < 128; ++i) v.push_back(0.5 * i);
+  EXPECT_EQ(v.data(), data) << "growth happened despite reserve";
+}
+
+TEST(ArenaVectorTest, MoveTransfersOwnership) {
+  Arena arena;
+  ArenaVector<int> a(arena);
+  a.push_back(1);
+  a.push_back(2);
+  ArenaVector<int> b(std::move(a));
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0], 1);
+  EXPECT_EQ(b[1], 2);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move): spec'd empty
+  a = std::move(b);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[1], 2);
+}
+
+TEST(ArenaVectorTest, ClearKeepsCapacityAcrossArenaLifetime) {
+  Arena arena;
+  ArenaVector<int> v(arena);
+  for (int i = 0; i < 50; ++i) v.push_back(i);
+  const int* data = v.data();
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  for (int i = 0; i < 50; ++i) v.push_back(-i);
+  EXPECT_EQ(v.data(), data) << "clear should not shed capacity";
+  EXPECT_EQ(v[49], -49);
+}
+
+}  // namespace
+}  // namespace prete::util
