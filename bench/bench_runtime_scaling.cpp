@@ -12,7 +12,9 @@
 #include <climits>
 #include <cmath>
 #include <fstream>
+#include <thread>
 
+#include "core/epoch_pipeline.h"
 #include "core/fault_campaign.h"
 #include "lp/simplex.h"
 #include "net/tunnels.h"
@@ -612,6 +614,116 @@ core::FaultCampaignReport run_campaign_phase(const bench::Context& ctx,
                                   config);
 }
 
+// Epoch-pipeline phase: the overlapped control plane on the continental
+// workload. Each epoch's ingest (sanitize + detector scan + correlated
+// scenario generation and reduction — the pure, parallelizable stage)
+// dominates; the base-demand solve commits quickly. The serial drive pays
+// ingest and solve back to back; the pipeline overlaps up to
+// max_in_flight ingests across the pool while commits stay strictly
+// ordered — so the decisions must replay the serial run bit for bit while
+// epochs/sec climbs with the thread count.
+struct EpochPipelineSample {
+  int epochs = 0;
+  double serial_seconds = 0;
+  double pipelined_seconds = 0;
+  std::size_t decided = 0;
+  bool decisions_bitwise_equal = true;
+  double alloc_checksum = 0.0;
+  // Wall-clock stays out of the bit-identity comparison.
+  bool operator==(const EpochPipelineSample& o) const {
+    return epochs == o.epochs && decided == o.decided &&
+           decisions_bitwise_equal == o.decisions_bitwise_equal &&
+           alloc_checksum == o.alloc_checksum;
+  }
+};
+
+class BenchPredictor : public ml::FailurePredictor {
+ public:
+  double predict(const optical::DegradationFeatures&) const override {
+    return 0.45;
+  }
+};
+
+EpochPipelineSample run_epoch_pipeline_phase(
+    const workload::ContinentalWorkload& w,
+    const workload::ContinentalConfig& config, int epochs) {
+  te::ReductionOptions reduction = config.reduction;
+  reduction.max_scenarios = 300;
+  core::ControllerConfig cc;
+  cc.te.scenario_source = workload::make_scenario_source(
+      w.failure_model, config.scenario_gen, reduction);
+  auto predictor = std::make_shared<BenchPredictor>();
+
+  const auto num_fibers = w.topology.network.num_fibers();
+  std::vector<core::EpochInput> inputs;
+  inputs.reserve(static_cast<std::size_t>(epochs));
+  for (int e = 0; e < epochs; ++e) {
+    core::EpochInput in;
+    in.fiber = static_cast<net::FiberId>(e % num_fibers);
+    // A +6 dB mid-window pulse over the healthy baseline; per-sample dither
+    // keeps the plateaus below the stuck-at run length.
+    in.trace_db.resize(120);
+    for (int t = 0; t < 120; ++t) {
+      const double base = (t >= 40 && t < 90) ? 11.0 : 5.0;
+      in.trace_db[static_cast<std::size_t>(t)] =
+          base + 0.002 * static_cast<double>(t % 5) +
+          0.01 * static_cast<double>(e % 3);
+    }
+    in.trace_start_sec = static_cast<optical::TimeSec>(e) * 300;
+    in.healthy_loss_db = 5.0;
+    in.demands = w.matrices.front();
+    inputs.push_back(std::move(in));
+  }
+
+  EpochPipelineSample sample;
+  sample.epochs = epochs;
+  using clock = std::chrono::steady_clock;
+
+  std::vector<std::optional<core::ControlDecision>> serial;
+  {
+    core::Controller controller(w.topology, w.cut_probs, predictor, cc);
+    const auto start = clock::now();
+    for (const core::EpochInput& in : inputs) {
+      serial.push_back(controller.on_telemetry(
+          in.fiber, in.trace_db, in.trace_start_sec, in.healthy_loss_db,
+          in.demands));
+    }
+    sample.serial_seconds =
+        std::chrono::duration<double>(clock::now() - start).count();
+  }
+  {
+    core::Controller controller(w.topology, w.cut_probs, predictor, cc);
+    core::EpochPipelineConfig pipe_config;
+    pipe_config.max_in_flight = 4;
+    core::EpochPipeline pipeline(controller, pipe_config);
+    const auto start = clock::now();
+    for (const core::EpochInput& in : inputs) pipeline.submit(in);
+    const auto results = pipeline.drain();
+    sample.pipelined_seconds =
+        std::chrono::duration<double>(clock::now() - start).count();
+
+    for (std::size_t e = 0; e < results.size(); ++e) {
+      if (results[e].decision.has_value() != serial[e].has_value()) {
+        sample.decisions_bitwise_equal = false;
+        continue;
+      }
+      if (!results[e].decision.has_value()) continue;
+      ++sample.decided;
+      const auto& a = serial[e]->policy.allocation;
+      const auto& b = results[e].decision->policy.allocation;
+      if (a.size() != b.size()) {
+        sample.decisions_bitwise_equal = false;
+        continue;
+      }
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] != b[i]) sample.decisions_bitwise_equal = false;
+        sample.alloc_checksum += b[i];
+      }
+    }
+  }
+  return sample;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -644,6 +756,7 @@ int main(int argc, char** argv) {
   CarrySample serial_carry, parallel_carry;
   CutBankSample serial_cut_bank, parallel_cut_bank;
   core::FaultCampaignReport serial_campaign, parallel_campaign;
+  EpochPipelineSample serial_epoch, parallel_epoch;
   double t_serial_static = 0, t_parallel_static = 0;
   double t_serial_prete = 0, t_parallel_prete = 0;
   double t_serial_master = 0, t_parallel_master = 0;
@@ -662,6 +775,7 @@ int main(int argc, char** argv) {
   const int carry_epochs = bench::fast_mode() ? 3 : 5;
   const int cut_bank_epochs = bench::fast_mode() ? 2 : 3;
   const int campaign_steps = bench::fast_mode() ? 96 : 256;
+  const int pipeline_epochs = bench::fast_mode() ? 8 : 16;
 
   // Continental workload for the cut-bank phase, generated once and shared
   // by both legs (generation itself is bit-identical at any pool size —
@@ -736,6 +850,11 @@ int main(int argc, char** argv) {
     serial_campaign = run_campaign_phase(ctx, ctx.base_demands, campaign_steps);
     t_serial_campaign = phase.seconds();
   }
+  {
+    bench::Phase phase("epoch_pipeline serial-pool");
+    serial_epoch = run_epoch_pipeline_phase(continental, continental_config,
+                                            pipeline_epochs);
+  }
 
   runtime::ThreadPool::set_global_threads(parallel_threads);
   {
@@ -799,6 +918,11 @@ int main(int argc, char** argv) {
         run_campaign_phase(ctx, ctx.base_demands, campaign_steps);
     t_parallel_campaign = phase.seconds();
   }
+  {
+    bench::Phase phase("epoch_pipeline parallel");
+    parallel_epoch = run_epoch_pipeline_phase(continental, continental_config,
+                                              pipeline_epochs);
+  }
 
   table.add_row({"run_static", "1", util::Table::format(t_serial_static, 2),
                  util::Table::format(serial_static.mean_flow_availability, 6)});
@@ -826,8 +950,38 @@ int main(int argc, char** argv) {
   table.add_row({"fault_campaign", std::to_string(parallel_threads),
                  util::Table::format(t_parallel_campaign, 2),
                  std::to_string(parallel_campaign.faults_injected) + " faults"});
+  const auto epochs_per_sec = [](int epochs, double seconds) {
+    return static_cast<double>(epochs) / std::max(seconds, 1e-9);
+  };
+  table.add_row(
+      {"epoch_pipeline", "1",
+       util::Table::format(serial_epoch.pipelined_seconds, 2),
+       util::Table::format(epochs_per_sec(serial_epoch.epochs,
+                                          serial_epoch.pipelined_seconds),
+                           2) +
+           " ep/s"});
+  table.add_row(
+      {"epoch_pipeline", std::to_string(parallel_threads),
+       util::Table::format(parallel_epoch.pipelined_seconds, 2),
+       util::Table::format(epochs_per_sec(parallel_epoch.epochs,
+                                          parallel_epoch.pipelined_seconds),
+                           2) +
+           " ep/s"});
   table.print(std::cout);
   std::cout << "fault_campaign: " << serial_campaign.summary() << "\n";
+  std::cout << "epoch_pipeline: serial drive "
+            << util::Table::format(
+                   epochs_per_sec(parallel_epoch.epochs,
+                                  parallel_epoch.serial_seconds),
+                   2)
+            << " ep/s vs pipelined "
+            << util::Table::format(
+                   epochs_per_sec(parallel_epoch.epochs,
+                                  parallel_epoch.pipelined_seconds),
+                   2)
+            << " ep/s on " << parallel_threads
+            << " threads, decisions bitwise equal: "
+            << (parallel_epoch.decisions_bitwise_equal ? "yes" : "NO") << "\n";
 
   // LP kernel phases: pivot counts, not thread scaling, are the story here
   // (both legs also feed the bit-identity gate below).
@@ -923,7 +1077,8 @@ int main(int argc, char** argv) {
       serial_cut_bank == parallel_cut_bank &&
       serial_campaign.decision_digest == parallel_campaign.decision_digest &&
       serial_campaign.faults_injected == parallel_campaign.faults_injected &&
-      serial_campaign.rung_count == parallel_campaign.rung_count;
+      serial_campaign.rung_count == parallel_campaign.rung_count &&
+      serial_epoch == parallel_epoch;
   std::cout << "bit-identical across thread counts: "
             << (identical ? "yes" : "NO — DETERMINISM BUG") << "\n";
   const bool pricing_ok =
@@ -963,6 +1118,27 @@ int main(int argc, char** argv) {
   if (!campaign_ok) {
     std::cout << "fault_campaign gate FAILED (exceptions, validator failures, "
                  "or a degradation rung never exercised)\n";
+  }
+  // The pipeline must replay the serial decision stream bit for bit at any
+  // thread count. The throughput leg of the gate (pipelined >= 1.3x the
+  // serial drive's epochs/sec) only binds where the overlap has hardware to
+  // run on — at least 4 pool threads on at least 4 cores.
+  const bool pipeline_gate_binds =
+      parallel_threads >= 4 && std::thread::hardware_concurrency() >= 4;
+  const bool epoch_pipeline_ok =
+      serial_epoch.decisions_bitwise_equal &&
+      parallel_epoch.decisions_bitwise_equal &&
+      parallel_epoch.decided > 0 &&
+      (!pipeline_gate_binds ||
+       parallel_epoch.serial_seconds >=
+           1.3 * parallel_epoch.pipelined_seconds);
+  if (!epoch_pipeline_ok) {
+    std::cout << "epoch_pipeline gate FAILED (decision mismatch or pipelined "
+                 "drive under 1.3x the serial epochs/sec): serial "
+              << util::Table::format(parallel_epoch.serial_seconds, 3)
+              << " s vs pipelined "
+              << util::Table::format(parallel_epoch.pipelined_seconds, 3)
+              << " s\n";
   }
   // The eta kernel must not lose to the dense reference on its home
   // workload, and the two kernels must agree on every optimum to the bit.
@@ -1055,6 +1231,30 @@ int main(int argc, char** argv) {
          << ", \"cut_bank_ok\": " << (cut_bank_ok ? "true" : "false")
          << "}\n}\n";
   }
+  {
+    std::ofstream json("BENCH_epoch_pipeline.json");
+    json << "{\n"
+         << "  \"threads\": " << parallel_threads << ",\n"
+         << "  \"epochs\": " << parallel_epoch.epochs << ",\n"
+         << "  \"serial\": {\"seconds\": " << parallel_epoch.serial_seconds
+         << ", \"epochs_per_sec\": "
+         << epochs_per_sec(parallel_epoch.epochs,
+                           parallel_epoch.serial_seconds)
+         << "},\n"
+         << "  \"pipelined\": {\"seconds\": "
+         << parallel_epoch.pipelined_seconds << ", \"epochs_per_sec\": "
+         << epochs_per_sec(parallel_epoch.epochs,
+                           parallel_epoch.pipelined_seconds)
+         << "},\n"
+         << "  \"single_thread_pipelined_seconds\": "
+         << serial_epoch.pipelined_seconds << ",\n"
+         << "  \"decisions_bitwise_equal\": "
+         << (parallel_epoch.decisions_bitwise_equal ? "true" : "false")
+         << ",\n"
+         << "  \"gate_binds\": " << (pipeline_gate_binds ? "true" : "false")
+         << ", \"epoch_pipeline_ok\": "
+         << (epoch_pipeline_ok ? "true" : "false") << "\n}\n";
+  }
   std::cout << "speedup run_static: "
             << util::Table::format(
                    t_serial_static / std::max(t_parallel_static, 1e-9), 2)
@@ -1072,7 +1272,7 @@ int main(int argc, char** argv) {
                                    2)
             << "x on " << parallel_threads << " threads\n";
   return identical && pricing_ok && carry_ok && campaign_ok && kernel_ok &&
-                 lu_anchor_ok && cut_bank_ok
+                 lu_anchor_ok && cut_bank_ok && epoch_pipeline_ok
              ? 0
              : 1;
 }

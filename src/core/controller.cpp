@@ -28,6 +28,13 @@ Controller::Controller(const net::Topology& topology,
 }
 
 void Controller::set_solver_budget(std::int64_t pivot_budget, double wall_ms) {
+  if (pivot_budget < 0) {
+    throw std::invalid_argument("solver pivot budget must be >= 0");
+  }
+  // Rejects NaN too: !(NaN >= 0) is true.
+  if (!(wall_ms >= 0.0)) {
+    throw std::invalid_argument("solver wall budget must be >= 0 ms");
+  }
   config_.solver_pivot_budget = pivot_budget;
   config_.solver_wall_ms = wall_ms;
 }
@@ -99,16 +106,24 @@ te::TePolicy Controller::static_floor(const net::TrafficMatrix& demands) const {
 
 ControlDecision Controller::run_pipeline(
     const te::DegradationScenario& scenario, const net::TrafficMatrix& demands,
-    bool include_detection) {
+    bool include_detection, const te::PreTeScheme::Prepared* prepared,
+    util::Deadline* external) {
+  // With an external deadline the configured budgets are armed on it and
+  // it is threaded through the solve even when unlimited — that is what
+  // lets another thread's request_cancel() reach the pivot loop. An
+  // unlimited, never-cancelled external deadline leaves the solve bitwise
+  // identical to the internal-deadline path.
   util::Deadline deadline = util::Deadline::unlimited();
-  util::Deadline* budget = nullptr;
+  util::Deadline* budget = external;
   if (config_.solver_pivot_budget > 0) {
-    deadline.set_pivot_budget(config_.solver_pivot_budget);
-    budget = &deadline;
+    (budget != nullptr ? budget : &deadline)
+        ->set_pivot_budget(config_.solver_pivot_budget);
+    if (budget == nullptr) budget = &deadline;
   }
   if (config_.solver_wall_ms > 0.0) {
-    deadline.set_wall_clock_ms(config_.solver_wall_ms);
-    budget = &deadline;
+    (budget != nullptr ? budget : &deadline)
+        ->set_wall_clock_ms(config_.solver_wall_ms);
+    if (budget == nullptr) budget = &deadline;
   }
 
   ControlDecision decision;
@@ -121,9 +136,18 @@ ControlDecision Controller::run_pipeline(
   // validator before installation; a throw or a rejected policy descends
   // the ladder instead of propagating.
   try {
-    const auto outcome = scheme_.compute_for_degradation(
-        topology_.network, topology_.flows, tunnels_, demands, scenario,
-        budget);
+    if (armed_solver_faults_ > 0) {
+      --armed_solver_faults_;
+      throw std::runtime_error("injected solver exception");
+    }
+    const auto outcome =
+        prepared != nullptr
+            ? scheme_.compute_with_prepared(topology_.network, topology_.flows,
+                                            tunnels_, demands, *prepared,
+                                            budget)
+            : scheme_.compute_for_degradation(topology_.network,
+                                              topology_.flows, tunnels_,
+                                              demands, scenario, budget);
     decision.believed_scenarios = outcome.scenarios;
     decision.new_tunnels =
         static_cast<int>(outcome.tunnel_update.created.size());
@@ -159,6 +183,7 @@ ControlDecision Controller::run_pipeline(
   } catch (const std::exception&) {
     decision.deadline_exceeded = budget != nullptr && budget->expired();
   }
+  decision.superseded = external != nullptr && external->cancel_requested();
 
   // Rung 2: re-project the last validated policy onto the current tunnels.
   if (!installed) {
@@ -178,9 +203,12 @@ ControlDecision Controller::run_pipeline(
   }
 
   // Only healthy rungs refresh the last-good snapshot: re-installing a
-  // fallback must not launder it into "good".
-  if (decision.fallback_level == FallbackLevel::kFull ||
-      decision.fallback_level == FallbackLevel::kIncumbent) {
+  // fallback must not launder it into "good". A superseded (cancelled)
+  // solve never refreshes it either, whatever rung it harvested — the
+  // superseding epoch installs the policy that should become last-good.
+  if (!decision.superseded &&
+      (decision.fallback_level == FallbackLevel::kFull ||
+       decision.fallback_level == FallbackLevel::kIncumbent)) {
     te::TePolicy trimmed = decision.policy;
     trimmed.allocation.resize(
         std::min(trimmed.allocation.size(),
@@ -202,70 +230,94 @@ ControlDecision Controller::on_te_period(const net::TrafficMatrix& demands) {
       /*include_detection=*/false);
 }
 
-std::optional<ControlDecision> Controller::on_telemetry(
+PreparedEpoch Controller::prepare_telemetry(
     net::FiberId fiber, const std::vector<double>& trace_db,
-    optical::TimeSec trace_start_sec, double healthy_loss_db,
-    const net::TrafficMatrix& demands) {
-  last_telemetry_quality_ = optical::TelemetryQuality{};
-  // Consistency guards: a malformed window is dropped (nullopt, empty
-  // quality) rather than fed to detection. The one-week cap bounds the
-  // interpolation cost a runaway collector can impose.
+    optical::TimeSec trace_start_sec, double healthy_loss_db) const {
+  PreparedEpoch prepared;
+  // Consistency guards: a malformed window is rejected (empty quality)
+  // rather than fed to detection. The one-week cap bounds the interpolation
+  // cost a runaway collector can impose.
   constexpr std::size_t kMaxWindowSamples = 604800;  // 7 days at 1 Hz
-  if (fiber < 0 || fiber >= topology_.network.num_fibers()) {
-    return std::nullopt;
-  }
-  if (trace_db.empty() || trace_db.size() > kMaxWindowSamples) {
-    return std::nullopt;
-  }
-  if (trace_start_sec < 0) return std::nullopt;
-  if (!std::isfinite(healthy_loss_db) || healthy_loss_db <= 0.0) {
-    return std::nullopt;
+  if (fiber < 0 || fiber >= topology_.network.num_fibers() ||
+      trace_db.empty() || trace_db.size() > kMaxWindowSamples ||
+      trace_start_sec < 0 || !std::isfinite(healthy_loss_db) ||
+      healthy_loss_db <= 0.0) {
+    prepared.malformed = true;
+    return prepared;
   }
 
   const std::vector<double> clean =
-      optical::sanitize_trace(trace_db, &last_telemetry_quality_);
-  if (last_telemetry_quality_.all_missing) return std::nullopt;
+      optical::sanitize_trace(trace_db, &prepared.quality);
+  if (prepared.quality.all_missing) return prepared;
 
   const optical::DegradationDetector detector(healthy_loss_db);
   const auto result =
       detector.scan(clean, trace_start_sec, topology_.network.fiber(fiber));
-  if (result.degradations.empty()) return std::nullopt;
+  if (result.degradations.empty()) return prepared;
 
-  if (!last_telemetry_quality_.trusted()) {
+  if (!prepared.quality.trusted()) {
     // The window shows a degradation but its waveform is not trustworthy
     // (mostly missing, stuck-at, corrupt): skip the ML predictor — whose
     // features would be garbage — and react with the fiber's static
     // probability instead.
-    te::DegradationScenario scenario =
+    prepared.scenario =
         te::DegradationScenario::none(topology_.network.num_fibers());
-    scenario.degraded[static_cast<std::size_t>(fiber)] = true;
-    scenario.predicted_prob[static_cast<std::size_t>(fiber)] =
+    prepared.scenario.degraded[static_cast<std::size_t>(fiber)] = true;
+    prepared.scenario.predicted_prob[static_cast<std::size_t>(fiber)] =
         static_probs_[static_cast<std::size_t>(fiber)];
-    return run_pipeline(scenario, demands, /*include_detection=*/true);
-  }
-
-  // React to the first episode with an observed onset: a boundary-truncated
-  // episode carries window-edge features (its degree is the walked noisy
-  // level, its onset the window start), which would mislead the predictor.
-  // When every episode in the window is truncated, react to the first one
-  // anyway — stale features still beat ignoring a live degradation.
-  const optical::DetectedDegradation* chosen = &result.degradations.front();
-  for (const optical::DetectedDegradation& d : result.degradations) {
-    if (!d.truncated_start) {
-      chosen = &d;
-      break;
+  } else {
+    // React to the first episode with an observed onset: a boundary-
+    // truncated episode carries window-edge features (its degree is the
+    // walked noisy level, its onset the window start), which would mislead
+    // the predictor. When every episode in the window is truncated, react
+    // to the first one anyway — stale features still beat ignoring a live
+    // degradation.
+    const optical::DetectedDegradation* chosen = &result.degradations.front();
+    for (const optical::DetectedDegradation& d : result.degradations) {
+      if (!d.truncated_start) {
+        chosen = &d;
+        break;
+      }
     }
+    prepared.scenario = scenario_for_features(chosen->features);
   }
-  return on_degradation(chosen->features, demands);
+  prepared.has_signal = true;
+  prepared.prepared =
+      scheme_.prepare_scenarios(topology_.network, prepared.scenario);
+  return prepared;
 }
 
-ControlDecision Controller::on_degradation(
-    const optical::DegradationFeatures& features,
+std::optional<ControlDecision> Controller::on_telemetry(
+    net::FiberId fiber, const std::vector<double>& trace_db,
+    optical::TimeSec trace_start_sec, double healthy_loss_db,
     const net::TrafficMatrix& demands) {
+  const PreparedEpoch prepared =
+      prepare_telemetry(fiber, trace_db, trace_start_sec, healthy_loss_db);
+  last_telemetry_quality_ = prepared.quality;
+  if (!prepared.has_signal) return std::nullopt;
+  return decide_prepared(prepared, demands);
+}
+
+ControlDecision Controller::decide_prepared(const PreparedEpoch& prepared,
+                                            const net::TrafficMatrix& demands,
+                                            util::Deadline* external) {
+  if (!prepared.has_signal) {
+    throw std::invalid_argument("decide_prepared needs a prepared signal");
+  }
+  last_telemetry_quality_ = prepared.quality;
+  return run_pipeline(prepared.scenario, demands, /*include_detection=*/true,
+                      prepared.prepared.has_value() ? &*prepared.prepared
+                                                    : nullptr,
+                      external);
+}
+
+te::DegradationScenario Controller::scenario_for_features(
+    const optical::DegradationFeatures& features) const {
   te::DegradationScenario scenario =
       te::DegradationScenario::none(topology_.network.num_fibers());
   const auto fiber = static_cast<std::size_t>(features.fiber_id);
-  if (features.fiber_id < 0 || features.fiber_id >= topology_.network.num_fibers()) {
+  if (features.fiber_id < 0 ||
+      features.fiber_id >= topology_.network.num_fibers()) {
     throw std::out_of_range("degradation on unknown fiber");
   }
   scenario.degraded[fiber] = true;
@@ -277,7 +329,14 @@ ControlDecision Controller::on_degradation(
   } catch (const std::exception&) {
     scenario.predicted_prob[fiber] = static_probs_[fiber];
   }
-  return run_pipeline(scenario, demands, /*include_detection=*/true);
+  return scenario;
+}
+
+ControlDecision Controller::on_degradation(
+    const optical::DegradationFeatures& features,
+    const net::TrafficMatrix& demands) {
+  return run_pipeline(scenario_for_features(features), demands,
+                      /*include_detection=*/true);
 }
 
 void Controller::on_degradation_cleared() { tunnels_.clear_dynamic(); }

@@ -75,6 +75,31 @@ struct ControlDecision {
   FallbackLevel fallback_level = FallbackLevel::kFull;
   bool deadline_exceeded = false;
   double gap = 0.0;
+  // True when the solve behind this decision was cancelled by a superseding
+  // epoch (util::Deadline::request_cancel). The harvested incumbent is
+  // still installed through the ladder, but a superseded decision never
+  // refreshes the last-good snapshot: the canceller is about to install a
+  // fresher policy, and a half-finished solve must not become the state the
+  // controller falls back to.
+  bool superseded = false;
+};
+
+// The side-effect-free front half of a telemetry epoch (input guards,
+// sanitization, degradation detection, failure prediction, scenario
+// regeneration), produced by Controller::prepare_telemetry and consumed by
+// Controller::decide_prepared. The epoch pipeline prepares epoch t+1 on the
+// thread pool while epoch t's solve is still running.
+struct PreparedEpoch {
+  // Window rejected by the input guards (unknown fiber, empty/oversized
+  // trace, negative start, bad healthy loss): nothing else is filled in.
+  bool malformed = false;
+  // A degradation was found; `scenario` and `prepared` are valid.
+  bool has_signal = false;
+  optical::TelemetryQuality quality;
+  te::DegradationScenario scenario;
+  // Scenario regeneration done ahead of the solve (see
+  // te::PreTeScheme::prepare_scenarios).
+  std::optional<te::PreTeScheme::Prepared> prepared;
 };
 
 // The PreTE controller (Figure 8): consumes per-second optical telemetry,
@@ -121,14 +146,58 @@ class Controller {
   ControlDecision on_degradation(const optical::DegradationFeatures& features,
                                  const net::TrafficMatrix& demands);
 
+  // The telemetry front half of on_telemetry, with no controller-state side
+  // effects: input guards, sanitization, detection, prediction, and
+  // scenario regeneration. Const and safe to call concurrently with a
+  // running decide_prepared — this is how the epoch pipeline overlaps epoch
+  // t+1's ingest with epoch t's solve. The failure predictor must be
+  // thread-safe for concurrent preparation; every predictor in this repo is
+  // a pure const function of the features.
+  PreparedEpoch prepare_telemetry(net::FiberId fiber,
+                                  const std::vector<double>& trace_db,
+                                  optical::TimeSec trace_start_sec,
+                                  double healthy_loss_db) const;
+
+  // The stateful back half: tunnel updates, the (budgeted) solve, the
+  // degradation ladder, and last-good bookkeeping. on_telemetry is exactly
+  // prepare_telemetry + decide_prepared, so pipelined and serial execution
+  // produce bit-identical decision sequences.
+  //
+  // `external`, when non-null, is the deadline threaded through the solve
+  // in place of an internal one (the configured budgets are armed on it
+  // first): another thread may request_cancel() it to abandon the solve
+  // mid-flight, harvesting the best incumbent through the ladder. A
+  // cancelled solve's decision is marked `superseded` and never refreshes
+  // the last-good snapshot.
+  ControlDecision decide_prepared(const PreparedEpoch& prepared,
+                                  const net::TrafficMatrix& demands,
+                                  util::Deadline* external = nullptr);
+
   // The degradation cleared without a cut (or the cut was repaired):
   // dynamic tunnels are dismantled (§4.2).
   void on_degradation_cleared();
 
-  // Replaces the solve budget for subsequent decisions (0 = unlimited).
-  // Exists so fault campaigns and operators can tighten or lift the budget
-  // without rebuilding the controller.
+  // Replaces the solve budget for subsequent decisions. Exists so fault
+  // campaigns and operators can tighten or lift the budget without
+  // rebuilding the controller. Semantics of the two knobs:
+  //  - pivot_budget = 0 disables the pivot budget; wall_ms = 0 disables the
+  //    wall clock. Both 0 means unlimited solves.
+  //  - wall_ms = 0 with pivot_budget > 0 is the pivot-budget-only mode:
+  //    solves are cut after exactly `pivot_budget` simplex pivots, which is
+  //    a pure function of the work done — decisions stay bit-identical
+  //    across runs and thread counts. This is the mode reproducibility-
+  //    sensitive deployments (and every deterministic test) should use.
+  //  - wall_ms > 0 arms a real-time bound as well; expiry then depends on
+  //    machine load, so decisions are no longer reproducible run-to-run.
+  // Negative pivot_budget, or negative/NaN wall_ms, is a contract violation
+  // and throws std::invalid_argument without touching the current budget.
   void set_solver_budget(std::int64_t pivot_budget, double wall_ms = 0.0);
+
+  // Chaos-engineering seam: the next `n` solve attempts throw from inside
+  // the solve stage (before the scheme runs), exercising the ladder's
+  // exception containment exactly as a crashing solver would. Used by the
+  // fault campaign's solver-exception injection; never armed in production.
+  void arm_solver_exception(int n) { armed_solver_faults_ = n; }
 
   const net::TunnelSet& tunnels() const { return tunnels_; }
   const ControllerConfig& config() const { return config_; }
@@ -145,7 +214,15 @@ class Controller {
  private:
   ControlDecision run_pipeline(const te::DegradationScenario& scenario,
                                const net::TrafficMatrix& demands,
-                               bool include_detection);
+                               bool include_detection,
+                               const te::PreTeScheme::Prepared* prepared =
+                                   nullptr,
+                               util::Deadline* external = nullptr);
+  // Builds the degradation scenario for one detected event, querying the
+  // failure predictor (with the static-probability fallback on a throwing
+  // predictor). Const: shared by on_degradation and prepare_telemetry.
+  te::DegradationScenario scenario_for_features(
+      const optical::DegradationFeatures& features) const;
   // Rung 2: the last validated policy, truncated to the static tunnel
   // prefix, re-sized to the current tunnel table. Nullopt when no decision
   // has been validated yet or the re-projection fails validation.
@@ -177,6 +254,8 @@ class Controller {
   int num_static_tunnels_ = 0;
   std::optional<te::TePolicy> last_good_;
   optical::TelemetryQuality last_telemetry_quality_;
+  // Armed solver-exception count (see arm_solver_exception).
+  int armed_solver_faults_ = 0;
 };
 
 }  // namespace prete::core

@@ -46,6 +46,30 @@ struct FaultCampaignConfig {
   // are folded into the decision digest. Disabled (the default) leaves the
   // campaign bit-identical to a pre-SRLG build.
   sim::GroupCutPlan group_cuts;
+  // Sharding: the campaign's steps are split into `shards` contiguous
+  // slices, each driven against its own fresh Controller concurrently on
+  // the global thread pool. Every slice replays the forced rung prologue at
+  // its first 8 local steps (remapped onto its global step numbers) so each
+  // shard's ladder is fully exercised; window waveforms, sampled faults,
+  // and corruption shapes keep their global-step streams. Per-slice digests
+  // are folded in shard order, so the combined digest is bit-identical at
+  // any thread count. shards = 1 (the default) reproduces the historical
+  // single-controller campaign — same digest, same counters.
+  int shards = 1;
+  // Drive each slice's windows through a core::EpochPipeline (overlapped
+  // prepare + ordered commit) instead of direct on_telemetry calls. The
+  // decision sequence, and therefore the digest, is identical either way —
+  // that equality is the pipelined-vs-serial determinism witness.
+  bool through_pipeline = false;
+  int pipeline_max_in_flight = 4;
+  // Supersede-cancellation inside the pipeline. Timing-dependent: only
+  // meaningful in wall-clock/soak campaigns, never in digest-asserting runs.
+  bool pipeline_cancel_superseded = false;
+  // Maximum injected stall for kStageStall steps (milliseconds). When
+  // positive and through_pipeline, the pipeline watchdog is armed at half
+  // this value so injected stalls trip it. Wall-clock behavior; keep 0 in
+  // deterministic campaigns (kStageStall then degenerates to a no-op).
+  double stall_ms = 0.0;
 };
 
 struct FaultCampaignReport {
@@ -68,6 +92,15 @@ struct FaultCampaignReport {
   int group_cuts_evaluated = 0;
   int group_cut_flow_outages = 0;
   double worst_group_cut_loss = 0.0;
+  // Control-plane fault accounting (zero unless the new FaultRates fields
+  // are armed): dropped windows must yield no decision; duplicate
+  // re-deliveries must be deduplicated at ingest; quarantined / superseded
+  // / watchdog counters are populated by pipelined (through_pipeline) runs.
+  int dropped_windows = 0;
+  int duplicate_windows = 0;
+  int quarantined = 0;
+  int superseded = 0;
+  int watchdog_trips = 0;
   // FNV-1a digest over every decision's (step, rung, deadline flag, policy
   // bits) — the bit-identity witness for the CI thread matrix.
   std::uint64_t decision_digest = 0;

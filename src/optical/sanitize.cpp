@@ -8,6 +8,18 @@
 
 namespace prete::optical {
 
+const char* retry_hint_name(RetryHint hint) {
+  switch (hint) {
+    case RetryHint::kNone:
+      return "none";
+    case RetryHint::kTransient:
+      return "transient";
+    case RetryHint::kStructural:
+      return "structural";
+  }
+  return "unknown";
+}
+
 std::vector<double> sanitize_trace(std::vector<double> trace,
                                    TelemetryQuality* quality) {
   TelemetryQuality local;

@@ -17,6 +17,25 @@ inline constexpr double kAbsurdLossDb = 60.0;
 // at the 0.01 dB level sample to sample.
 inline constexpr std::size_t kStuckRunLength = 30;
 
+// Machine-readable retryability verdict for a degraded telemetry window:
+// whether asking the collector to redeliver could plausibly yield a usable
+// window. The epoch pipeline's ingest retry policy keys on this — transient
+// gaps are worth a bounded refetch, structurally poisoned windows are
+// quarantined immediately so the retry budget is never burned re-ingesting
+// a window that can only come back poisoned.
+enum class RetryHint {
+  kNone = 0,    // window is usable as delivered; nothing to retry
+  // Loss of samples (drops, non-finite readings) dominates: the plant
+  // signal behind the gaps may be fine, so a redelivery can succeed.
+  kTransient,
+  // The waveform itself is wrong — a stuck-at sensor or implausible
+  // (negative / absurd) levels. Redelivering the same window reproduces the
+  // same poison; do not re-ingest, react on static probabilities instead.
+  kStructural,
+};
+
+const char* retry_hint_name(RetryHint hint);
+
 // Quality verdict for one telemetry window, accumulated by sanitize_trace /
 // assemble_window. The controller consults trusted() before feeding the
 // window to detection and prediction; an untrusted window downgrades the
@@ -41,6 +60,18 @@ struct TelemetryQuality {
   bool trusted() const {
     if (empty() || all_missing || stuck_at) return false;
     return (missing + non_finite + implausible) * 2 <= total_samples;
+  }
+
+  // The retry policy for this window (see RetryHint). Structural verdicts
+  // win over transient ones: a window that is both gappy and stuck-at is
+  // poisoned, not merely lossy.
+  RetryHint retry_hint() const {
+    if (empty()) return RetryHint::kTransient;  // nothing delivered at all
+    if (stuck_at || implausible * 2 > total_samples) {
+      return RetryHint::kStructural;
+    }
+    if (all_missing || !trusted()) return RetryHint::kTransient;
+    return RetryHint::kNone;
   }
 };
 

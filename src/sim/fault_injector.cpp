@@ -21,6 +21,14 @@ const char* fault_kind_name(FaultKind kind) {
       return "deadline-expiry";
     case FaultKind::kSolverCollapse:
       return "solver-collapse";
+    case FaultKind::kStageStall:
+      return "stage-stall";
+    case FaultKind::kWindowDrop:
+      return "window-drop";
+    case FaultKind::kWindowDuplicate:
+      return "window-duplicate";
+    case FaultKind::kSolverThrow:
+      return "solver-throw";
   }
   return "unknown";
 }
@@ -61,7 +69,20 @@ FaultKind FaultInjector::fault_at(std::int64_t step) const {
   if ((u -= r.predictor_throw) < 0.0) return FaultKind::kPredictorThrow;
   if ((u -= r.deadline_expiry) < 0.0) return FaultKind::kDeadlineExpiry;
   if ((u -= r.solver_collapse) < 0.0) return FaultKind::kSolverCollapse;
+  if ((u -= r.stage_stall) < 0.0) return FaultKind::kStageStall;
+  if ((u -= r.window_drop) < 0.0) return FaultKind::kWindowDrop;
+  if ((u -= r.window_duplicate) < 0.0) return FaultKind::kWindowDuplicate;
+  if ((u -= r.solver_throw) < 0.0) return FaultKind::kSolverThrow;
   return FaultKind::kNone;
+}
+
+double FaultInjector::stall_ms_at(std::int64_t step, double max_ms) const {
+  if (max_ms <= 0.0) return 0.0;
+  // Its own stream family (xor'd constant), like corruption and group cuts,
+  // so stall durations never perturb the other schedules' draws.
+  util::Rng stream = util::Rng(plan_.seed ^ 0x57A11ULL)
+                         .split(static_cast<std::uint64_t>(step));
+  return max_ms * (0.5 + 0.5 * stream.next_double());
 }
 
 int FaultInjector::group_cut_at(std::int64_t step) const {

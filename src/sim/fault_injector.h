@@ -24,6 +24,22 @@ enum class FaultKind {
   // finish simplex phase 1, so no incumbent exists and the controller must
   // descend past the incumbent rung.
   kSolverCollapse,
+  // Control-plane faults, injected into the epoch pipeline rather than a
+  // single component. A stalled ingest/sanitize stage (the telemetry
+  // collector hangs): the stage sleeps, tripping the pipeline's wall-mode
+  // watchdog. A no-op in deterministic (pivot-budget) campaigns, where wall
+  // time must not influence decisions.
+  kStageStall,
+  // The telemetry window for the step is never delivered: the harness hands
+  // the controller an empty trace, which the input guards must reject.
+  kWindowDrop,
+  // The window is delivered twice (collector retransmit); ingest dedup must
+  // drop the second copy so the controller is not double-driven.
+  kWindowDuplicate,
+  // The solve stage itself throws (Controller::arm_solver_exception): the
+  // degradation ladder must contain the exception and still install a
+  // validated policy.
+  kSolverThrow,
 };
 
 const char* fault_kind_name(FaultKind kind);
@@ -37,10 +53,18 @@ struct FaultRates {
   double predictor_throw = 0.0;
   double deadline_expiry = 0.0;
   double solver_collapse = 0.0;
+  // Control-plane fault rates. Appended after the component rates and
+  // evaluated after them on the same draw, so a plan that leaves these at
+  // their zero defaults samples bit-identically to a pre-pipeline build.
+  double stage_stall = 0.0;
+  double window_drop = 0.0;
+  double window_duplicate = 0.0;
+  double solver_throw = 0.0;
 
   double total() const {
     return telemetry_corruption + predictor_nan + predictor_throw +
-           deadline_expiry + solver_collapse;
+           deadline_expiry + solver_collapse + stage_stall + window_drop +
+           window_duplicate + solver_throw;
   }
 };
 
@@ -108,6 +132,11 @@ class FaultInjector {
   // four corruption modes (NaN run, +inf spike, stuck-at flatline, negative
   // run) from the step's stream. The trace keeps its length.
   void corrupt_trace(std::int64_t step, std::vector<double>& trace) const;
+
+  // Stall duration for a kStageStall step: uniform in [max_ms/2, max_ms],
+  // drawn from the step's own stall stream (pure function of plan and
+  // step, like the other schedules). Returns 0 when max_ms <= 0.
+  double stall_ms_at(std::int64_t step, double max_ms) const;
 
   const FaultPlan& plan() const { return plan_; }
   const GroupCutPlan& group_cuts() const { return group_cuts_; }

@@ -21,10 +21,9 @@ PreTeScheme::PreTeScheme(std::vector<double> static_fiber_probs,
                          PreTeConfig config)
     : static_probs_(std::move(static_fiber_probs)), config_(config) {}
 
-PreTeScheme::Outcome PreTeScheme::compute_for_degradation(
-    const net::Network& network, const std::vector<net::Flow>& flows,
-    net::TunnelSet& tunnels, const net::TrafficMatrix& demands,
-    const DegradationScenario& degradation, util::Deadline* deadline) {
+PreTeScheme::Prepared PreTeScheme::prepare_scenarios(
+    const net::Network& network,
+    const DegradationScenario& degradation) const {
   if (degradation.degraded.size() != static_probs_.size() ||
       static_cast<int>(static_probs_.size()) != network.num_fibers()) {
     throw std::invalid_argument("degradation scenario size mismatch");
@@ -33,27 +32,55 @@ PreTeScheme::Outcome PreTeScheme::compute_for_degradation(
     throw std::invalid_argument("degradation scenario size mismatch");
   }
 
-  Outcome outcome;
+  Prepared prepared;
 
   // Sanitize predictions before they reach scenario generation: a NaN or
   // out-of-range p_NN from a faulted predictor must degrade this fiber's
   // estimate, not invalidate the whole solve.
-  DegradationScenario believed = degradation;
-  for (std::size_t f = 0; f < believed.predicted_prob.size(); ++f) {
-    if (!believed.degraded[f]) continue;
-    double& p = believed.predicted_prob[f];
+  prepared.believed = degradation;
+  for (std::size_t f = 0; f < prepared.believed.predicted_prob.size(); ++f) {
+    if (!prepared.believed.degraded[f]) continue;
+    double& p = prepared.believed.predicted_prob[f];
     if (!std::isfinite(p)) p = static_probs_[f];
     p = std::clamp(p, 0.0, 1.0);
   }
 
   // Step 1 (§4.1): calibrate probabilities per Eqn. 1.
-  const std::vector<double> calibrated = calibrated_probabilities(
-      static_probs_, believed.degraded, believed.predicted_prob,
-      config_.alpha);
+  prepared.calibrated = calibrated_probabilities(
+      static_probs_, prepared.believed.degraded,
+      prepared.believed.predicted_prob, config_.alpha);
+
+  // Step 3 (§4.3), generation half: regenerate the believed scenario set. A
+  // configured scenario_source (correlated SRLG model, reduction pipeline)
+  // replaces the independent product-form enumeration. Generation sees only
+  // the calibrated probabilities, so hoisting it ahead of the tunnel
+  // updates (step 2, which runs in compute_with_prepared) cannot change the
+  // result.
+  prepared.scenarios = config_.scenario_source
+                           ? config_.scenario_source(prepared.calibrated)
+                           : generate_failure_scenarios(
+                                 prepared.calibrated, config_.scenario_options);
+  return prepared;
+}
+
+PreTeScheme::Outcome PreTeScheme::compute_for_degradation(
+    const net::Network& network, const std::vector<net::Flow>& flows,
+    net::TunnelSet& tunnels, const net::TrafficMatrix& demands,
+    const DegradationScenario& degradation, util::Deadline* deadline) {
+  return compute_with_prepared(network, flows, tunnels, demands,
+                               prepare_scenarios(network, degradation),
+                               deadline);
+}
+
+PreTeScheme::Outcome PreTeScheme::compute_with_prepared(
+    const net::Network& network, const std::vector<net::Flow>& flows,
+    net::TunnelSet& tunnels, const net::TrafficMatrix& demands,
+    const Prepared& prepared, util::Deadline* deadline) {
+  Outcome outcome;
 
   // Step 2 (§4.2, Algorithm 1): reactive tunnel updates per degraded fiber.
   for (net::FiberId f = 0; f < network.num_fibers(); ++f) {
-    if (!degradation.degraded[static_cast<std::size_t>(f)]) continue;
+    if (!prepared.believed.degraded[static_cast<std::size_t>(f)]) continue;
     const TunnelUpdateResult r = update_tunnels_for_degradation(
         network, flows, tunnels, f, config_.tunnel_update);
     outcome.tunnel_update.affected_flows += r.affected_flows;
@@ -63,13 +90,7 @@ PreTeScheme::Outcome PreTeScheme::compute_for_degradation(
                                          r.created.begin(), r.created.end());
   }
 
-  // Step 3 (§4.3): regenerate scenarios and solve the unified program. A
-  // configured scenario_source (correlated SRLG model, reduction pipeline)
-  // replaces the independent product-form enumeration.
-  outcome.scenarios =
-      config_.scenario_source
-          ? config_.scenario_source(calibrated)
-          : generate_failure_scenarios(calibrated, config_.scenario_options);
+  outcome.scenarios = prepared.scenarios;
 
   TeProblem problem;
   problem.network = &network;

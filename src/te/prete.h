@@ -67,6 +67,37 @@ class PreTeScheme {
     MinMaxResult solver_result;
   };
 
+  // The pure front half of an epoch: sanitized predictions, calibrated
+  // per-fiber probabilities (Eqn. 1), and the regenerated believed scenario
+  // set. Scenario generation depends only on the calibrated probabilities —
+  // never on the tunnel table — so preparation for epoch t+1 can run
+  // concurrently with epoch t's solve.
+  struct Prepared {
+    DegradationScenario believed;    // predictions sanitized and clamped
+    std::vector<double> calibrated;  // per-fiber probabilities after Eqn. 1
+    ScenarioSet scenarios;
+  };
+
+  // Builds the Prepared state for a degradation scenario. Const and free of
+  // scheme-state access: safe to call from several threads at once provided
+  // config().scenario_source (when set) is itself thread-safe — every
+  // source in this repo is a pure function of the probability vector.
+  Prepared prepare_scenarios(const net::Network& network,
+                             const DegradationScenario& degradation) const;
+
+  // The stateful back half: reactive tunnel updates, then the Benders solve
+  // seeded from this shape's basis cache and cut bank. Equivalent to
+  // compute_for_degradation when `prepared` came from prepare_scenarios on
+  // the same degradation — compute_for_degradation is exactly the
+  // composition of the two halves, so pipelined and serial epochs produce
+  // bit-identical outcomes.
+  Outcome compute_with_prepared(const net::Network& network,
+                                const std::vector<net::Flow>& flows,
+                                net::TunnelSet& tunnels,
+                                const net::TrafficMatrix& demands,
+                                const Prepared& prepared,
+                                util::Deadline* deadline = nullptr);
+
   // Computes the PreTE policy for a degradation scenario. `tunnels` must be
   // the mutable tunnel table for this epoch (dynamic tunnels are appended).
   //

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
@@ -20,13 +21,44 @@ namespace prete::util {
 //    OFF by default and meant for production loops where the TE period is a
 //    hard real-time bound and reproducibility is secondary.
 //
+// A third trigger, request_cancel(), is asynchronous: any thread may trip
+// it while a solve is in flight (the epoch pipeline cancels a stale solve
+// when a superseding epoch arrives), and expired() reports true from the
+// next cooperative check on. Whether the solve is cut at pivot k or k+1 —
+// or completes before the request lands — is inherently timing-dependent,
+// so cancellation carries the same reproducibility caveat as the wall
+// clock; deterministic runs simply never request it.
+//
 // A default-constructed Deadline is unlimited and never expires; passing
 // nullptr wherever a Deadline* is accepted means the same thing. The object
 // is mutated by the solver (pivot accounting), so one Deadline serves one
-// solve call at a time; concurrent solves each get their own.
+// solve call at a time; concurrent solves each get their own — only
+// request_cancel()/cancel_requested() may be called from other threads.
 class Deadline {
  public:
   Deadline() = default;
+
+  // Copying carries the budgets and accounting but snapshots the cancel
+  // flag: a copy is a fresh, independently cancellable deadline.
+  Deadline(const Deadline& o)
+      : pivot_budget_(o.pivot_budget_),
+        pivots_charged_(o.pivots_charged_),
+        wall_ms_(o.wall_ms_),
+        armed_at_(o.armed_at_),
+        wall_expired_(o.wall_expired_),
+        wall_check_counter_(o.wall_check_counter_),
+        cancelled_(o.cancelled_.load(std::memory_order_relaxed)) {}
+  Deadline& operator=(const Deadline& o) {
+    pivot_budget_ = o.pivot_budget_;
+    pivots_charged_ = o.pivots_charged_;
+    wall_ms_ = o.wall_ms_;
+    armed_at_ = o.armed_at_;
+    wall_expired_ = o.wall_expired_;
+    wall_check_counter_ = o.wall_check_counter_;
+    cancelled_.store(o.cancelled_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    return *this;
+  }
 
   static Deadline unlimited() { return Deadline(); }
 
@@ -53,6 +85,14 @@ class Deadline {
 
   bool limited() const { return pivot_budget_ > 0 || wall_ms_ > 0.0; }
 
+  // Asynchronous cooperative cancellation (thread-safe): the next expired()
+  // check returns true and the solve unwinds exactly as on budget expiry,
+  // handing back its best incumbent. Irreversible for this deadline.
+  void request_cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
   void charge_pivots(std::int64_t n = 1) { pivots_charged_ += n; }
 
   std::int64_t pivots_charged() const { return pivots_charged_; }
@@ -63,6 +103,7 @@ class Deadline {
   // budget is exact. Callers observing expiry may finish the pivot in flight
   // — the overrun is bounded by one pivot (plus one wall-check stride).
   bool expired() {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
     if (pivot_budget_ > 0 && pivots_charged_ >= pivot_budget_) return true;
     if (wall_ms_ > 0.0) {
       if (wall_expired_) return true;
@@ -88,6 +129,7 @@ class Deadline {
   std::chrono::steady_clock::time_point armed_at_{};
   bool wall_expired_ = false;
   int wall_check_counter_ = 0;
+  std::atomic<bool> cancelled_{false};
 };
 
 }  // namespace prete::util

@@ -420,5 +420,124 @@ TEST(ControllerTest, PipelineIncludesDetectionOnDegradation) {
   EXPECT_GE(decision.pipeline.total_ms, decision.pipeline.control_path_ms);
 }
 
+TEST(ControllerTest, SolverBudgetRejectsInvalidValues) {
+  ControllerFixture fx;
+  Controller controller = fx.make();
+  controller.set_solver_budget(5000);
+  EXPECT_THROW(controller.set_solver_budget(-1), std::invalid_argument);
+  EXPECT_THROW(controller.set_solver_budget(0, -0.5), std::invalid_argument);
+  EXPECT_THROW(
+      controller.set_solver_budget(
+          0, std::numeric_limits<double>::quiet_NaN()),
+      std::invalid_argument);
+  // A rejected call leaves the current budget untouched.
+  EXPECT_EQ(controller.config().solver_pivot_budget, 5000);
+  EXPECT_EQ(controller.config().solver_wall_ms, 0.0);
+}
+
+TEST(ControllerTest, PivotBudgetOnlyModeLeavesWallClockDisarmed) {
+  // wall_ms = 0 with a positive pivot budget is the documented
+  // reproducible mode: expiry depends only on work done, so the same call
+  // yields the same decision twice.
+  ControllerFixture fx;
+  Controller a = fx.make();
+  Controller b = fx.make();
+  a.set_solver_budget(40, 0.0);
+  b.set_solver_budget(40, 0.0);
+  const auto da = a.on_te_period({5.0, 5.0});
+  const auto db = b.on_te_period({5.0, 5.0});
+  EXPECT_EQ(da.fallback_level, db.fallback_level);
+  EXPECT_EQ(da.deadline_exceeded, db.deadline_exceeded);
+  ASSERT_EQ(da.policy.allocation.size(), db.policy.allocation.size());
+  for (std::size_t i = 0; i < da.policy.allocation.size(); ++i) {
+    EXPECT_EQ(da.policy.allocation[i], db.policy.allocation[i]);
+  }
+}
+
+TEST(ControllerTest, PrepareDecideComposesToOnTelemetry) {
+  ControllerFixture fx;
+  Controller serial = fx.make();
+  Controller split = fx.make();
+  std::vector<double> trace(120, 5.0);
+  for (int t = 50; t < 80; ++t) trace[static_cast<std::size_t>(t)] = 11.0;
+
+  const auto direct = serial.on_telemetry(0, trace, 0, 5.0, {5.0, 5.0});
+  const PreparedEpoch prepared = split.prepare_telemetry(0, trace, 0, 5.0);
+  ASSERT_TRUE(prepared.has_signal);
+  EXPECT_FALSE(prepared.malformed);
+  const auto composed = split.decide_prepared(prepared, {5.0, 5.0});
+
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_EQ(direct->fallback_level, composed.fallback_level);
+  ASSERT_EQ(direct->policy.allocation.size(),
+            composed.policy.allocation.size());
+  for (std::size_t i = 0; i < direct->policy.allocation.size(); ++i) {
+    EXPECT_EQ(direct->policy.allocation[i], composed.policy.allocation[i]);
+  }
+}
+
+TEST(ControllerTest, DecidePreparedWithoutSignalThrows) {
+  ControllerFixture fx;
+  Controller controller = fx.make();
+  PreparedEpoch empty;
+  EXPECT_THROW(controller.decide_prepared(empty, {5.0, 5.0}),
+               std::invalid_argument);
+}
+
+TEST(ControllerTest, CancelledSolveIsSupersededAndSkipsLastGoodRefresh) {
+  ControllerFixture fx;
+  Controller controller = fx.make();
+  std::vector<double> trace(120, 5.0);
+  for (int t = 50; t < 80; ++t) trace[static_cast<std::size_t>(t)] = 11.0;
+
+  // Epoch A: clean full solve seeds the last-good snapshot.
+  const auto a = controller.on_telemetry(0, trace, 0, 5.0, {5.0, 5.0});
+  ASSERT_TRUE(a.has_value());
+  ASSERT_EQ(a->fallback_level, FallbackLevel::kFull);
+
+  // Probe 1: a collapsed solve lands on last-good; remember that policy.
+  controller.arm_solver_exception(1);
+  const auto probe1 = controller.on_telemetry(1, trace, 300, 5.0, {5.0, 5.0});
+  ASSERT_TRUE(probe1.has_value());
+  ASSERT_EQ(probe1->fallback_level, FallbackLevel::kLastGood);
+
+  // Epoch B: a superseding epoch cancels the solve before it can pivot. The
+  // decision is marked superseded and must NOT refresh last-good.
+  const PreparedEpoch prepared =
+      controller.prepare_telemetry(2, trace, 600, 5.0);
+  ASSERT_TRUE(prepared.has_signal);
+  util::Deadline cancelled = util::Deadline::unlimited();
+  cancelled.request_cancel();
+  const auto b = controller.decide_prepared(prepared, {5.0, 5.0}, &cancelled);
+  EXPECT_TRUE(b.superseded);
+  EXPECT_NE(b.fallback_level, FallbackLevel::kFull);
+  EXPECT_NE(b.fallback_level, FallbackLevel::kIncumbent);
+
+  // Probe 2: another collapse must land on the SAME last-good policy as
+  // probe 1 — bit-for-bit — proving the cancelled solve refreshed nothing.
+  controller.arm_solver_exception(1);
+  const auto probe2 = controller.on_telemetry(0, trace, 900, 5.0, {5.0, 5.0});
+  ASSERT_TRUE(probe2.has_value());
+  ASSERT_EQ(probe2->fallback_level, FallbackLevel::kLastGood);
+  ASSERT_EQ(probe1->policy.allocation.size(),
+            probe2->policy.allocation.size());
+  for (std::size_t i = 0; i < probe1->policy.allocation.size(); ++i) {
+    EXPECT_EQ(probe1->policy.allocation[i], probe2->policy.allocation[i]);
+  }
+}
+
+TEST(ControllerTest, ArmedSolverExceptionIsContainedByLadder) {
+  ControllerFixture fx;
+  Controller controller = fx.make();
+  controller.arm_solver_exception(1);
+  ControlDecision decision;
+  ASSERT_NO_THROW(decision = controller.on_te_period({5.0, 5.0}));
+  // No history yet: the injected throw descends all the way to the floor.
+  EXPECT_EQ(decision.fallback_level, FallbackLevel::kStaticFloor);
+  // The armed count is consumed: the next solve is healthy again.
+  const auto next = controller.on_te_period({5.0, 5.0});
+  EXPECT_EQ(next.fallback_level, FallbackLevel::kFull);
+}
+
 }  // namespace
 }  // namespace prete::core

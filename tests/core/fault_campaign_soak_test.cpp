@@ -80,5 +80,39 @@ TEST(FaultCampaignSoakTest, TightBudgetsForceDegradedRungs) {
   EXPECT_GT(report.deadline_exceeded, 0) << report.summary();
 }
 
+TEST(FaultCampaignSoakTest, PipelinedChaosSoakStaysClean) {
+  // The full chaos surface at once: wall-clock budgets, overlapped epochs
+  // through the pipeline with stale-solve cancellation armed, stage stalls
+  // under a watchdog, window drops/duplicates, solver throws, and the
+  // retry-then-quarantine path (wall-clock mode installs a refetcher that
+  // redelivers the same window, so transiently-bad windows quarantine after
+  // the attempt budget). Timing decides how many solves get cancelled or
+  // which rung an expiry lands on, so the assertions are soak-shaped: the
+  // run completes (no deadlock), stays clean, and every chaos mechanism
+  // actually fired.
+  SoakFixture fx;
+  FaultCampaignConfig config = fx.config(11, 0.5);
+  config.steps = 96;
+  config.through_pipeline = true;
+  config.pipeline_cancel_superseded = true;
+  config.stall_ms = 4.0;  // watchdog arms at half of this
+  config.rates = sim::FaultRates{0.15, 0.10, 0.10, 0.10, 0.05,
+                                 0.10, 0.10, 0.10, 0.10};
+  const auto report =
+      run_fault_campaign(fx.topo, fx.static_probs, fx.demands, config);
+  EXPECT_TRUE(report.clean()) << report.summary();
+  EXPECT_GT(report.decisions, 0) << report.summary();
+  EXPECT_GT(report.faults_injected, 0);
+  EXPECT_GT(report.dropped_windows, 0) << report.summary();
+  EXPECT_GT(report.duplicate_windows, 0) << report.summary();
+  EXPECT_GT(report.watchdog_trips, 0) << report.summary();
+  EXPECT_GT(report.quarantined + report.untrusted_windows, 0)
+      << report.summary();
+  EXPECT_GT(report.rung_count[0], 0) << report.summary();
+  EXPECT_GT(report.rung_count[1] + report.rung_count[2] + report.rung_count[3],
+            0)
+      << report.summary();
+}
+
 }  // namespace
 }  // namespace prete::core

@@ -112,6 +112,105 @@ TEST(FaultCampaignTest, GroupCutDigestIsDeterministic) {
   EXPECT_NE(a.decision_digest, without.decision_digest);
 }
 
+TEST(FaultCampaignTest, PipelinedDigestMatchesSerialDigest) {
+  // The pipelined-vs-serial determinism witness: the same campaign driven
+  // through the EpochPipeline must produce the exact decision digest of the
+  // direct on_telemetry drive.
+  CampaignFixture fx;
+  const auto serial =
+      run_fault_campaign(fx.topo, fx.static_probs, fx.demands, fx.config(96));
+  FaultCampaignConfig piped = fx.config(96);
+  piped.through_pipeline = true;
+  const auto pipelined =
+      run_fault_campaign(fx.topo, fx.static_probs, fx.demands, piped);
+  EXPECT_EQ(serial.decision_digest, pipelined.decision_digest);
+  EXPECT_EQ(serial.rung_count, pipelined.rung_count);
+  EXPECT_EQ(serial.decisions, pipelined.decisions);
+  EXPECT_EQ(serial.no_decision_steps, pipelined.no_decision_steps);
+  EXPECT_EQ(serial.malformed_windows, pipelined.malformed_windows);
+  EXPECT_EQ(serial.untrusted_windows, pipelined.untrusted_windows);
+  EXPECT_TRUE(pipelined.clean()) << pipelined.summary();
+}
+
+TEST(FaultCampaignTest, ShardedDigestIsThreadCountInvariant) {
+  CampaignFixture fx;
+  FaultCampaignConfig config = fx.config(96);
+  config.shards = 4;
+  runtime::ThreadPool::set_global_threads(1);
+  const auto one =
+      run_fault_campaign(fx.topo, fx.static_probs, fx.demands, config);
+  runtime::ThreadPool::set_global_threads(4);
+  const auto four =
+      run_fault_campaign(fx.topo, fx.static_probs, fx.demands, config);
+  runtime::ThreadPool::set_global_threads(0);
+
+  EXPECT_EQ(one.decision_digest, four.decision_digest);
+  EXPECT_EQ(one.rung_count, four.rung_count);
+  EXPECT_EQ(one.decisions, four.decisions);
+  EXPECT_EQ(one.faults_injected, four.faults_injected);
+  EXPECT_TRUE(four.clean()) << four.summary();
+  // Every shard replays the rung prologue, so coverage holds per shard too.
+  EXPECT_TRUE(four.every_rung_exercised()) << four.summary();
+}
+
+TEST(FaultCampaignTest, ShardedPipelinedMatchesShardedSerial) {
+  CampaignFixture fx;
+  FaultCampaignConfig serial_config = fx.config(64);
+  serial_config.shards = 2;
+  FaultCampaignConfig piped_config = serial_config;
+  piped_config.through_pipeline = true;
+  const auto serial =
+      run_fault_campaign(fx.topo, fx.static_probs, fx.demands, serial_config);
+  const auto pipelined =
+      run_fault_campaign(fx.topo, fx.static_probs, fx.demands, piped_config);
+  EXPECT_EQ(serial.decision_digest, pipelined.decision_digest);
+  EXPECT_EQ(serial.rung_count, pipelined.rung_count);
+}
+
+TEST(FaultCampaignTest, ControlPlaneFaultsAreCleanAndDeterministic) {
+  CampaignFixture fx;
+  FaultCampaignConfig config = fx.config(128);
+  // Rebalance the mix to include the control-plane kinds (sum stays <= 1).
+  config.rates = sim::FaultRates{0.20, 0.10, 0.10, 0.10, 0.05,
+                                 0.05, 0.10, 0.10, 0.10};
+  const auto serial =
+      run_fault_campaign(fx.topo, fx.static_probs, fx.demands, config);
+  EXPECT_TRUE(serial.clean()) << serial.summary();
+  EXPECT_GT(serial.dropped_windows, 0);
+  EXPECT_GT(serial.duplicate_windows, 0);
+
+  FaultCampaignConfig piped = config;
+  piped.through_pipeline = true;
+  const auto pipelined =
+      run_fault_campaign(fx.topo, fx.static_probs, fx.demands, piped);
+  EXPECT_TRUE(pipelined.clean()) << pipelined.summary();
+  EXPECT_EQ(serial.decision_digest, pipelined.decision_digest);
+  EXPECT_EQ(serial.dropped_windows, pipelined.dropped_windows);
+  EXPECT_EQ(serial.duplicate_windows, pipelined.duplicate_windows);
+  EXPECT_EQ(serial.rung_count, pipelined.rung_count);
+}
+
+TEST(FaultCampaignTest, ZeroedControlPlaneRatesPreserveLegacyDigest) {
+  // FaultRates gained four appended fields; with them at their zero
+  // defaults the sampled schedule — and therefore the digest — must be
+  // exactly what the five-field struct produced.
+  CampaignFixture fx;
+  FaultCampaignConfig legacy = fx.config(64);
+  FaultCampaignConfig extended = fx.config(64);
+  extended.rates.stage_stall = 0.0;
+  extended.rates.window_drop = 0.0;
+  extended.rates.window_duplicate = 0.0;
+  extended.rates.solver_throw = 0.0;
+  const auto a =
+      run_fault_campaign(fx.topo, fx.static_probs, fx.demands, legacy);
+  const auto b =
+      run_fault_campaign(fx.topo, fx.static_probs, fx.demands, extended);
+  EXPECT_EQ(a.decision_digest, b.decision_digest);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.dropped_windows, 0);
+  EXPECT_EQ(a.duplicate_windows, 0);
+}
+
 TEST(FaultCampaignTest, DisabledGroupPlanLeavesDigestUnchanged) {
   CampaignFixture fx;
   FaultCampaignConfig config = fx.config(64);

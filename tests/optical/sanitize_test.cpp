@@ -209,5 +209,79 @@ TEST(AssembleWindowTest, FeedsSanitizeForEndToEndQuality) {
   EXPECT_TRUE(q.trusted());
 }
 
+TEST(RetryHintTest, CleanWindowNeedsNoRetry) {
+  std::vector<double> trace(60);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    trace[i] = 5.0 + 0.01 * static_cast<double>(i % 7);
+  }
+  TelemetryQuality q;
+  sanitize_trace(std::move(trace), &q);
+  EXPECT_EQ(q.retry_hint(), RetryHint::kNone);
+}
+
+TEST(RetryHintTest, MostlyMissingWindowIsTransient) {
+  std::vector<double> trace(60, std::numeric_limits<double>::quiet_NaN());
+  for (std::size_t i = 0; i < trace.size(); i += 4) {
+    trace[i] = 5.0 + 0.01 * static_cast<double>(i % 7);
+  }
+  TelemetryQuality q;
+  sanitize_trace(std::move(trace), &q);
+  EXPECT_FALSE(q.trusted());
+  EXPECT_EQ(q.retry_hint(), RetryHint::kTransient);
+}
+
+TEST(RetryHintTest, AllMissingWindowIsTransient) {
+  std::vector<double> trace(60, std::numeric_limits<double>::quiet_NaN());
+  TelemetryQuality q;
+  sanitize_trace(std::move(trace), &q);
+  EXPECT_TRUE(q.all_missing);
+  EXPECT_EQ(q.retry_hint(), RetryHint::kTransient);
+}
+
+TEST(RetryHintTest, EmptyWindowIsTransient) {
+  TelemetryQuality q;
+  sanitize_trace({}, &q);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.retry_hint(), RetryHint::kTransient);
+}
+
+TEST(RetryHintTest, StuckAtWindowIsStructural) {
+  std::vector<double> trace(60, 7.5);  // one long identical run
+  TelemetryQuality q;
+  sanitize_trace(std::move(trace), &q);
+  EXPECT_TRUE(q.stuck_at);
+  EXPECT_EQ(q.retry_hint(), RetryHint::kStructural);
+}
+
+TEST(RetryHintTest, ImplausibleMajorityIsStructural) {
+  std::vector<double> trace(60);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    // Majority negative (implausible), the rest live with dither.
+    trace[i] = i < 40 ? -3.0 : 5.0 + 0.01 * static_cast<double>(i % 7);
+  }
+  TelemetryQuality q;
+  sanitize_trace(std::move(trace), &q);
+  EXPECT_EQ(q.implausible, 40u);
+  EXPECT_EQ(q.retry_hint(), RetryHint::kStructural);
+}
+
+TEST(RetryHintTest, StructuralVerdictWinsOverTransient) {
+  // Stuck AND gappy: the poison dominates — a redelivery would come back
+  // stuck, so the hint must not suggest a refetch.
+  std::vector<double> trace(60, std::numeric_limits<double>::quiet_NaN());
+  for (std::size_t i = 0; i < trace.size(); i += 2) trace[i] = 7.5;
+  TelemetryQuality q;
+  sanitize_trace(std::move(trace), &q);
+  EXPECT_TRUE(q.stuck_at);
+  EXPECT_FALSE(q.trusted());
+  EXPECT_EQ(q.retry_hint(), RetryHint::kStructural);
+}
+
+TEST(RetryHintTest, NamesAreStable) {
+  EXPECT_STREQ(retry_hint_name(RetryHint::kNone), "none");
+  EXPECT_STREQ(retry_hint_name(RetryHint::kTransient), "transient");
+  EXPECT_STREQ(retry_hint_name(RetryHint::kStructural), "structural");
+}
+
 }  // namespace
 }  // namespace prete::optical

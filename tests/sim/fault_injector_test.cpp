@@ -288,5 +288,69 @@ TEST(GroupCutTest, RejectsMalformedPlans) {
   EXPECT_THROW(FaultInjector(plan, bad_forced), std::invalid_argument);
 }
 
+TEST(FaultInjectorTest, ControlPlaneKindNamesAreStable) {
+  EXPECT_STREQ(fault_kind_name(FaultKind::kStageStall), "stage-stall");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kWindowDrop), "window-drop");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kWindowDuplicate),
+               "window-duplicate");
+  EXPECT_STREQ(fault_kind_name(FaultKind::kSolverThrow), "solver-throw");
+}
+
+TEST(FaultInjectorTest, ControlPlaneRatesAreSampled) {
+  FaultPlan plan;
+  plan.seed = 91;
+  plan.rates.stage_stall = 0.2;
+  plan.rates.window_drop = 0.2;
+  plan.rates.window_duplicate = 0.2;
+  plan.rates.solver_throw = 0.2;
+  const FaultInjector inj(plan);
+  std::map<FaultKind, int> counts;
+  for (std::int64_t step = 0; step < 1000; ++step) ++counts[inj.fault_at(step)];
+  EXPECT_GT(counts[FaultKind::kStageStall], 100);
+  EXPECT_GT(counts[FaultKind::kWindowDrop], 100);
+  EXPECT_GT(counts[FaultKind::kWindowDuplicate], 100);
+  EXPECT_GT(counts[FaultKind::kSolverThrow], 100);
+  EXPECT_GT(counts[FaultKind::kNone], 100);
+}
+
+TEST(FaultInjectorTest, ZeroControlPlaneRatesLeaveLegacyDrawsUntouched) {
+  // The four appended rates consume probability mass strictly after the
+  // original five, so at their zero defaults every step's draw resolves to
+  // the same kind the pre-pipeline injector produced.
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.rates.telemetry_corruption = 0.25;
+  plan.rates.predictor_nan = 0.15;
+  plan.rates.deadline_expiry = 0.1;
+  FaultPlan extended = plan;
+  extended.rates.stage_stall = 0.0;
+  extended.rates.solver_throw = 0.0;
+  const FaultInjector a(plan);
+  const FaultInjector b(extended);
+  for (std::int64_t step = 0; step < 500; ++step) {
+    EXPECT_EQ(a.fault_at(step), b.fault_at(step)) << step;
+  }
+}
+
+TEST(FaultInjectorTest, StallDurationIsDeterministicAndBounded) {
+  FaultPlan plan;
+  plan.seed = 17;
+  const FaultInjector a(plan);
+  const FaultInjector b(plan);
+  bool varies = false;
+  double prev = -1.0;
+  for (std::int64_t step = 0; step < 100; ++step) {
+    const double ms = a.stall_ms_at(step, 40.0);
+    EXPECT_EQ(ms, b.stall_ms_at(step, 40.0));  // bit-identical replay
+    EXPECT_GE(ms, 20.0);  // half to full of the configured ceiling
+    EXPECT_LE(ms, 40.0);
+    if (prev >= 0.0 && ms != prev) varies = true;
+    prev = ms;
+  }
+  EXPECT_TRUE(varies);
+  EXPECT_EQ(a.stall_ms_at(3, 0.0), 0.0);    // disabled ceiling
+  EXPECT_EQ(a.stall_ms_at(3, -5.0), 0.0);   // nonsense ceiling
+}
+
 }  // namespace
 }  // namespace prete::sim
