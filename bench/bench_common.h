@@ -98,6 +98,21 @@ class Phase {
   std::chrono::steady_clock::time_point start_;
 };
 
+// Every BENCH_*.json artifact opens with the same stamp: a schema version
+// (bump when a writer's structure changes incompatibly), the thread count
+// the run used, and whether PRETE_BENCH_FAST trimmed the sweeps. Downstream
+// trajectory tooling needs all three to refuse cross-generation or
+// incomparable (fast vs full, different pool) comparisons.
+inline constexpr int kBenchSchemaVersion = 2;
+
+// Emits the stamp fields immediately after the opening '{'. Callers supply
+// the brace and the rest of the document.
+inline void json_stamp(std::ostream& json) {
+  json << "  \"schema_version\": " << kBenchSchemaVersion << ",\n"
+       << "  \"threads\": " << runtime::ThreadPool::global().size() << ",\n"
+       << "  \"fast_mode\": " << (fast_mode() ? "true" : "false") << ",\n";
+}
+
 // One fully wired evaluation context for a topology.
 struct Context {
   net::Topology topo;

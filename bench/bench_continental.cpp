@@ -402,9 +402,9 @@ int main(int argc, char** argv) {
 
   {
     std::ofstream json("BENCH_continental.json");
-    json << "{\n"
-         << "  \"threads\": " << parallel_threads << ",\n"
-         << "  \"topology\": {\"nodes\": " << w.topology.network.num_nodes()
+    json << "{\n";
+    bench::json_stamp(json);
+    json << "  \"topology\": {\"nodes\": " << w.topology.network.num_nodes()
          << ", \"fibers\": " << w.topology.network.num_fibers()
          << ", \"links\": " << w.topology.network.num_links()
          << ", \"corridors\": " << w.corridors

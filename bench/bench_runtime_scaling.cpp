@@ -17,6 +17,7 @@
 #include "core/epoch_pipeline.h"
 #include "core/fault_campaign.h"
 #include "lp/simplex.h"
+#include "ml/oracle.h"
 #include "net/tunnels.h"
 #include "sim/monte_carlo.h"
 #include "te/lp_common.h"
@@ -599,6 +600,101 @@ CutBankSample run_cut_bank_phase(const workload::ContinentalWorkload& w,
   return sample;
 }
 
+// Learned warm-start phase: the oracle's home regime — drifting demands on
+// the continental workload. Demand drift is exactly where the cut bank and
+// basis cache run out of road (the bank requires demand equality; the cache
+// only re-anchors per-LP bases), but the oracle regresses the predicted
+// allocation and drop-set envelope from recent traces, so its hints track
+// the drift. Warm-up epochs harvest cold solver traces online; every gated
+// epoch is then solved twice, cold (the reference) and hinted, and the gate
+// requires every hint verified-accepted, a >= 2x total pivot reduction over
+// the gated tail, and every converged objective bitwise equal to cold.
+struct WarmStartSample {
+  int cold_tail_iterations = 0;
+  int hinted_tail_iterations = 0;
+  int cold_tail_pivots = 0;
+  int hinted_tail_pivots = 0;
+  int epochs_gated = 0;
+  int hints_accepted = 0;
+  int hints_rejected = 0;
+  bool all_converged = true;
+  bool objectives_bitwise_equal = true;
+  double phi_checksum = 0.0;
+  bool operator==(const WarmStartSample& o) const {
+    return cold_tail_iterations == o.cold_tail_iterations &&
+           hinted_tail_iterations == o.hinted_tail_iterations &&
+           cold_tail_pivots == o.cold_tail_pivots &&
+           hinted_tail_pivots == o.hinted_tail_pivots &&
+           epochs_gated == o.epochs_gated &&
+           hints_accepted == o.hints_accepted &&
+           hints_rejected == o.hints_rejected &&
+           all_converged == o.all_converged &&
+           objectives_bitwise_equal == o.objectives_bitwise_equal &&
+           phi_checksum == o.phi_checksum;
+  }
+};
+
+WarmStartSample run_learned_warm_start_phase(
+    const workload::ContinentalWorkload& w,
+    const workload::ContinentalConfig& config, const net::TunnelSet& tunnels,
+    int warmup_epochs, int gated_epochs) {
+  te::TeProblem problem;
+  problem.network = &w.topology.network;
+  problem.flows = &w.topology.flows;
+  problem.tunnels = &tunnels;
+  // Same pressure scaling and trimmed reduction as the cut-bank phase: at
+  // the base matrix the solve converges in one iteration and a warm start
+  // has nothing to save.
+  const net::TrafficMatrix base = net::scale_traffic(w.matrices.front(), 8.0);
+  te::ReductionOptions reduction = config.reduction;
+  reduction.max_scenarios = 600;
+  const te::ScenarioSource source = workload::make_scenario_source(
+      w.failure_model, config.scenario_gen, reduction);
+  const te::ScenarioSet set = source(w.cut_probs);
+
+  ml::WarmStartOracle oracle;
+  WarmStartSample sample;
+  for (int e = 0; e < warmup_epochs + gated_epochs; ++e) {
+    // Per-epoch demand drift: small enough that the drop-set votes stay
+    // stable across the harvested traces, large enough that a cut bank
+    // keyed on demand equality could replay nothing here.
+    problem.demands = net::scale_traffic(base, 1.0 + 0.004 * e);
+    te::MinMaxOptions options;
+    options.beta = std::min(0.99, set.covered_probability);
+    options.collect_trace = true;
+    // Tracing is pure reporting (warm_hint_test pins traced == untraced to
+    // the bit), so this cold solve doubles as the gate reference.
+    const te::MinMaxResult cold =
+        te::solve_min_max_benders(problem, set, options);
+    sample.all_converged = sample.all_converged && cold.converged;
+    if (e >= warmup_epochs) {
+      const auto hint = oracle.predict(problem, w.cut_probs);
+      te::MinMaxOptions hinted_options;
+      hinted_options.beta = options.beta;
+      hinted_options.warm_hint = hint ? &*hint : nullptr;
+      const te::MinMaxResult hinted =
+          te::solve_min_max_benders(problem, set, hinted_options);
+      ++sample.epochs_gated;
+      sample.cold_tail_iterations += cold.iterations;
+      sample.hinted_tail_iterations += hinted.iterations;
+      sample.cold_tail_pivots += cold.simplex_pivots;
+      sample.hinted_tail_pivots += hinted.simplex_pivots;
+      sample.hints_accepted += hinted.hint_accepted;
+      sample.hints_rejected += hinted.hint_rejected;
+      sample.all_converged = sample.all_converged && hinted.converged;
+      sample.objectives_bitwise_equal =
+          sample.objectives_bitwise_equal && hinted.phi == cold.phi;
+      sample.phi_checksum += cold.phi;
+    }
+    // Online harvest continues through the gated tail so the regression
+    // keeps tracking the drift — training happens between solves, never
+    // inside one.
+    oracle.observe(problem, w.cut_probs, cold);
+    oracle.train();
+  }
+  return sample;
+}
+
 // Fault-campaign phase: the deterministic robustness harness end to end —
 // the controller driven through injected telemetry corruption, predictor
 // faults, and starved solver budgets. The decision digest doubles as the
@@ -755,6 +851,7 @@ int main(int argc, char** argv) {
   BnbSample serial_bnb, parallel_bnb;
   CarrySample serial_carry, parallel_carry;
   CutBankSample serial_cut_bank, parallel_cut_bank;
+  WarmStartSample serial_warm_start, parallel_warm_start;
   core::FaultCampaignReport serial_campaign, parallel_campaign;
   EpochPipelineSample serial_epoch, parallel_epoch;
   double t_serial_static = 0, t_parallel_static = 0;
@@ -765,6 +862,7 @@ int main(int argc, char** argv) {
   double t_serial_bnb = 0, t_parallel_bnb = 0;
   double t_serial_carry = 0, t_parallel_carry = 0;
   double t_serial_cut_bank = 0, t_parallel_cut_bank = 0;
+  double t_serial_warm_start = 0, t_parallel_warm_start = 0;
   double t_serial_campaign = 0, t_parallel_campaign = 0;
   const int pricing_instances = bench::fast_mode() ? 3 : 6;
   const int pipeline_iterations = bench::fast_mode() ? 4 : 10;
@@ -774,6 +872,8 @@ int main(int argc, char** argv) {
   const int bnb_repeats = bench::fast_mode() ? 4 : 12;
   const int carry_epochs = bench::fast_mode() ? 3 : 5;
   const int cut_bank_epochs = bench::fast_mode() ? 2 : 3;
+  const int warm_start_warmup = 3;
+  const int warm_start_gated = bench::fast_mode() ? 2 : 3;
   const int campaign_steps = bench::fast_mode() ? 96 : 256;
   const int pipeline_epochs = bench::fast_mode() ? 8 : 16;
 
@@ -841,6 +941,13 @@ int main(int argc, char** argv) {
     serial_cut_bank = run_cut_bank_phase(continental, continental_config,
                                          continental_tunnels, cut_bank_epochs);
     t_serial_cut_bank = phase.seconds();
+  }
+  {
+    bench::Phase phase("learned_warm_start serial");
+    serial_warm_start = run_learned_warm_start_phase(
+        continental, continental_config, continental_tunnels,
+        warm_start_warmup, warm_start_gated);
+    t_serial_warm_start = phase.seconds();
   }
   {
     bench::Phase phase("fault_campaign serial");
@@ -911,6 +1018,13 @@ int main(int argc, char** argv) {
     parallel_cut_bank = run_cut_bank_phase(
         continental, continental_config, continental_tunnels, cut_bank_epochs);
     t_parallel_cut_bank = phase.seconds();
+  }
+  {
+    bench::Phase phase("learned_warm_start parallel");
+    parallel_warm_start = run_learned_warm_start_phase(
+        continental, continental_config, continental_tunnels,
+        warm_start_warmup, warm_start_gated);
+    t_parallel_warm_start = phase.seconds();
   }
   {
     bench::Phase phase("fault_campaign parallel");
@@ -1005,6 +1119,11 @@ int main(int argc, char** argv) {
                     std::to_string(serial_cut_bank.cold_tail_pivots)});
   lp_table.add_row({"cut_bank", "replayed tail", "",
                     std::to_string(serial_cut_bank.warm_tail_pivots)});
+  lp_table.add_row({"learned_warm_start", "cold tail",
+                    util::Table::format(t_serial_warm_start, 2),
+                    std::to_string(serial_warm_start.cold_tail_pivots)});
+  lp_table.add_row({"learned_warm_start", "hinted tail", "",
+                    std::to_string(serial_warm_start.hinted_tail_pivots)});
   lp_table.add_row({"lp_kernel", "dense + full pricing",
                     util::Table::format(serial_kernel.dense_seconds, 3),
                     std::to_string(serial_kernel.dense_pivots)});
@@ -1058,6 +1177,15 @@ int main(int argc, char** argv) {
             << serial_cut_bank.cuts_banked << "), objectives bitwise equal: "
             << (serial_cut_bank.objectives_bitwise_equal ? "yes" : "NO")
             << "\n";
+  std::cout << "learned_warm_start gated pivots: cold "
+            << serial_warm_start.cold_tail_pivots << " vs hinted "
+            << serial_warm_start.hinted_tail_pivots << " (accepted "
+            << serial_warm_start.hints_accepted << "/"
+            << serial_warm_start.epochs_gated << ", rejected "
+            << serial_warm_start.hints_rejected
+            << "), objectives bitwise equal: "
+            << (serial_warm_start.objectives_bitwise_equal ? "yes" : "NO")
+            << "\n";
 
   const bool identical =
       serial_static.mean_flow_availability ==
@@ -1075,6 +1203,7 @@ int main(int argc, char** argv) {
       serial_lu_anchor == parallel_lu_anchor && serial_bnb == parallel_bnb &&
       serial_carry == parallel_carry &&
       serial_cut_bank == parallel_cut_bank &&
+      serial_warm_start == parallel_warm_start &&
       serial_campaign.decision_digest == parallel_campaign.decision_digest &&
       serial_campaign.faults_injected == parallel_campaign.faults_injected &&
       serial_campaign.rung_count == parallel_campaign.rung_count &&
@@ -1111,6 +1240,22 @@ int main(int argc, char** argv) {
   if (!cut_bank_ok) {
     std::cout << "cut_bank gate FAILED (no iteration/pivot reduction, nothing "
                  "replayed, or objective mismatch)\n";
+  }
+  // The headline oracle gate: on the drifting tail every predicted hint must
+  // survive verification (accepted, never discarded as worse-than-cold), the
+  // hinted solves must spend at most half the cold pivots in total, and
+  // every converged objective must agree with the cold reference to the bit.
+  const bool warm_start_ok =
+      serial_warm_start.all_converged &&
+      serial_warm_start.objectives_bitwise_equal &&
+      serial_warm_start.epochs_gated > 0 &&
+      serial_warm_start.hints_accepted == serial_warm_start.epochs_gated &&
+      serial_warm_start.hints_rejected == 0 &&
+      2 * serial_warm_start.hinted_tail_pivots <=
+          serial_warm_start.cold_tail_pivots;
+  if (!warm_start_ok) {
+    std::cout << "learned_warm_start gate FAILED (hint rejected, under 2x "
+                 "pivot reduction, or objective mismatch)\n";
   }
   const bool campaign_ok = serial_campaign.clean() &&
                            serial_campaign.every_rung_exercised() &&
@@ -1173,9 +1318,9 @@ int main(int argc, char** argv) {
 
   {
     std::ofstream json("BENCH_lp_kernel.json");
-    json << "{\n"
-         << "  \"threads\": " << parallel_threads << ",\n"
-         << "  \"lp_kernel\": {\n"
+    json << "{\n";
+    bench::json_stamp(json);
+    json << "  \"lp_kernel\": {\n"
          << "    \"dense\": {\"seconds\": " << serial_kernel.dense_seconds
          << ", \"pivots\": " << serial_kernel.dense_pivots
          << ", \"reinversions\": " << serial_kernel.dense_reinversions
@@ -1232,10 +1377,32 @@ int main(int argc, char** argv) {
          << "}\n}\n";
   }
   {
+    std::ofstream json("BENCH_learned_warm_start.json");
+    json << "{\n";
+    bench::json_stamp(json);
+    json << "  \"warmup_epochs\": " << warm_start_warmup
+         << ", \"gated_epochs\": " << serial_warm_start.epochs_gated
+         << ", \"seconds\": " << t_serial_warm_start << ",\n"
+         << "  \"cold\": {\"iterations\": "
+         << serial_warm_start.cold_tail_iterations
+         << ", \"pivots\": " << serial_warm_start.cold_tail_pivots << "},\n"
+         << "  \"hinted\": {\"iterations\": "
+         << serial_warm_start.hinted_tail_iterations
+         << ", \"pivots\": " << serial_warm_start.hinted_tail_pivots
+         << ", \"hints_accepted\": " << serial_warm_start.hints_accepted
+         << ", \"hints_rejected\": " << serial_warm_start.hints_rejected
+         << "},\n"
+         << "  \"objectives_bitwise_equal\": "
+         << (serial_warm_start.objectives_bitwise_equal ? "true" : "false")
+         << ",\n"
+         << "  \"gates\": {\"warm_start_ok\": "
+         << (warm_start_ok ? "true" : "false") << "}\n}\n";
+  }
+  {
     std::ofstream json("BENCH_epoch_pipeline.json");
-    json << "{\n"
-         << "  \"threads\": " << parallel_threads << ",\n"
-         << "  \"epochs\": " << parallel_epoch.epochs << ",\n"
+    json << "{\n";
+    bench::json_stamp(json);
+    json << "  \"epochs\": " << parallel_epoch.epochs << ",\n"
          << "  \"serial\": {\"seconds\": " << parallel_epoch.serial_seconds
          << ", \"epochs_per_sec\": "
          << epochs_per_sec(parallel_epoch.epochs,
@@ -1272,7 +1439,8 @@ int main(int argc, char** argv) {
                                    2)
             << "x on " << parallel_threads << " threads\n";
   return identical && pricing_ok && carry_ok && campaign_ok && kernel_ok &&
-                 lu_anchor_ok && cut_bank_ok && epoch_pipeline_ok
+                 lu_anchor_ok && cut_bank_ok && warm_start_ok &&
+                 epoch_pipeline_ok
              ? 0
              : 1;
 }

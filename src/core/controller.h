@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "ml/oracle.h"
 #include "ml/predictor.h"
 #include "net/topology.h"
 #include "net/traffic.h"
@@ -32,6 +33,16 @@ struct ControllerConfig {
   // should stay off in reproducibility-sensitive runs.
   std::int64_t solver_pivot_budget = 0;
   double solver_wall_ms = 0.0;
+  // Learned warm-start oracle (ml::WarmStartOracle): when enabled the
+  // controller harvests converged solver traces each decision, trains the
+  // oracle incrementally after the decision is assembled (off the solve
+  // path), and passes its predictions into the Benders solve as
+  // verified-on-arrival hints. A hint can only reduce pivots — converged
+  // objectives are bitwise-unaffected by construction (see
+  // te::MinMaxOptions::warm_hint) — so the knob defaults off purely to keep
+  // the default controller allocation-free of oracle state.
+  bool learned_warm_start = false;
+  ml::OracleConfig oracle;
 };
 
 // Which rung of the controller's graceful-degradation ladder produced a
@@ -68,6 +79,14 @@ struct ControlDecision {
   int cuts_replayed = 0;
   int cuts_invalidated = 0;
   int cuts_banked = 0;
+  // Warm-hint provenance of the solve (see te::MinMaxResult): whether a
+  // learned hint was applied, rejected (verification failure or mid-solve
+  // discard), and how many pivots an applied hint saved against the
+  // oracle's expected-cold estimate. All zero when the oracle is disabled,
+  // abstained, or the solve threw.
+  int hint_accepted = 0;
+  int hint_rejected = 0;
+  int hint_pivots_saved = 0;
   // Degradation-ladder bookkeeping: which rung produced `policy`, whether
   // the solve deadline expired on the way, and the Benders bound gap of the
   // installed policy (0 at proven optimality, 1.0 on the ladder's lower
@@ -210,6 +229,11 @@ class Controller {
   const optical::TelemetryQuality& last_telemetry_quality() const {
     return last_telemetry_quality_;
   }
+  // The learned warm-start oracle's counters (all zero when
+  // ControllerConfig::learned_warm_start is off).
+  ml::WarmStartOracle::Stats oracle_stats() const {
+    return oracle_ ? oracle_->stats() : ml::WarmStartOracle::Stats{};
+  }
 
  private:
   ControlDecision run_pipeline(const te::DegradationScenario& scenario,
@@ -251,6 +275,11 @@ class Controller {
   // tunnel prefix: dynamic tunnel ids are reused across
   // on_degradation_cleared, so allocations beyond the prefix would silently
   // land on different tunnels than they were computed for.
+  // Learned warm-start state (engaged only when the config enables it).
+  // Owned here — not by the scheme — because harvesting needs the
+  // controller's view of the epoch (effective fiber probabilities, the
+  // post-update tunnel table) and training must run off the solve path.
+  std::optional<ml::WarmStartOracle> oracle_;
   int num_static_tunnels_ = 0;
   std::optional<te::TePolicy> last_good_;
   optical::TelemetryQuality last_telemetry_quality_;

@@ -39,8 +39,39 @@ void MlpPredictor::Tensor::adam_step(double lr, double l2, int t) {
   }
 }
 
+void MlpConfig::validate() const {
+  // Negated comparisons throughout (mirroring validate_diurnal_config) so a
+  // NaN in any field fails the check instead of slipping past `<`.
+  if (hidden_units < 1) {
+    throw std::invalid_argument("mlp: hidden_units must be >= 1");
+  }
+  if (region_embedding < 1 || fiber_embedding < 1 || vendor_embedding < 1) {
+    throw std::invalid_argument("mlp: embedding widths must be >= 1");
+  }
+  if (!(learning_rate > 0.0) || !std::isfinite(learning_rate)) {
+    throw std::invalid_argument(
+        "mlp: learning_rate must be positive and finite");
+  }
+  if (!(l2 >= 0.0) || !std::isfinite(l2)) {
+    throw std::invalid_argument("mlp: l2 must be non-negative and finite");
+  }
+  if (epochs < 1) {
+    throw std::invalid_argument("mlp: epochs must be >= 1");
+  }
+  if (batch_size < 1) {
+    throw std::invalid_argument("mlp: batch_size must be >= 1");
+  }
+  // Out-of-range finite priors stay legal — the predictor clamps them to
+  // [0, 1] on use (see the field comment and PredictorGuardTest) — but a
+  // non-finite bound has no clamp-to value and is rejected.
+  if (!std::isfinite(static_prior)) {
+    throw std::invalid_argument("mlp: static_prior must be finite");
+  }
+}
+
 MlpPredictor::MlpPredictor(FeatureEncoder encoder, MlpConfig config)
     : encoder_(std::move(encoder)), config_(config) {
+  config_.validate();
   util::Rng rng(config_.seed);
   const auto& mask = encoder_.mask();
   const int dense = encoder_.dense_size();

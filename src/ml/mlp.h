@@ -28,6 +28,12 @@ struct MlpConfig {
   // (corrupted telemetry reached the predictor): roughly the base rate of
   // degradations evolving into cuts (~40%, §3.1). Clamped to [0, 1] on use.
   double static_prior = 0.4;
+
+  // Throws std::invalid_argument on non-positive layer widths, a malformed
+  // learning rate / epoch count, or a non-finite scale bound. Called by the
+  // MlpPredictor constructor, so a bad config fails loudly at build time
+  // instead of producing NaN weights mid-training.
+  void validate() const;
 };
 
 // The paper's failure-prediction network: min-max-scaled continuous inputs

@@ -1,0 +1,426 @@
+#include "ml/oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "runtime/parallel.h"
+
+namespace prete::ml {
+
+namespace {
+
+// Feature/target scale shared by featurize() and the allocation head:
+// demands and allocations are Gbps in the hundreds-to-thousands on the
+// continental workload, so 1e-3 keeps the regression in unit range.
+constexpr double kGbpsScale = 1e-3;
+// Per-fiber cut probabilities sit around 1e-5..1e-3; 1e4 spreads them over
+// [0, 1] without a fitted range (incremental training never refits).
+constexpr double kProbScale = 1e4;
+
+// Majority vote over the reservoir: a (flow, pattern) pair is predicted
+// when at least `fraction` of the traces contain it, carrying the mean of
+// the weights it was observed with (the solver clamps them into the dual
+// range on use; non-finite observations are dropped from the mean). The
+// tally map is ordered, so the emitted pairs are sorted by (flow, pattern)
+// — a deterministic order the solver consumes as given — and the mean is
+// folded in trace order, so it is bit-reproducible too.
+std::vector<te::WarmHint::Pair> vote_pairs(
+    const std::vector<SolveTrace>& samples,
+    std::vector<te::WarmHint::Pair> SolveTrace::*field, double fraction) {
+  struct Tally {
+    std::size_t count = 0;
+    std::size_t weighted = 0;
+    double weight_sum = 0.0;
+  };
+  std::map<std::pair<int, std::uint64_t>, Tally> tallies;
+  for (const SolveTrace& s : samples) {
+    for (const te::WarmHint::Pair& p : s.*field) {
+      Tally& t = tallies[{p.flow, p.pattern}];
+      ++t.count;
+      if (std::isfinite(p.weight) && p.weight > 0.0) {
+        ++t.weighted;
+        t.weight_sum += p.weight;
+      }
+    }
+  }
+  const double need = fraction * static_cast<double>(samples.size());
+  std::vector<te::WarmHint::Pair> out;
+  for (const auto& [key, tally] : tallies) {
+    if (static_cast<double>(tally.count) + 1e-9 >= need) {
+      const double w =
+          tally.weighted > 0
+              ? tally.weight_sum / static_cast<double>(tally.weighted)
+              : 0.0;
+      out.push_back({key.first, key.second, w});
+    }
+  }
+  return out;
+}
+
+// Deterministic feasibility repair, the same idiom as the controller's
+// static floor: scale the whole vector down by the worst link-overload
+// ratio. The output always passes the solver's capacity verification, so a
+// wild regression output degrades into a conservative hint, never a
+// rejected one.
+void repair_capacity(const te::TeProblem& problem,
+                     std::vector<double>& allocation) {
+  const net::Network& net = *problem.network;
+  if (allocation.size() !=
+      static_cast<std::size_t>(problem.tunnels->num_tunnels())) {
+    allocation.clear();  // not this problem's shape; let the solver reject
+    return;
+  }
+  std::vector<double> load(static_cast<std::size_t>(net.num_links()), 0.0);
+  for (const net::Tunnel& t : problem.tunnels->tunnels()) {
+    for (net::LinkId e : t.path) {
+      load[static_cast<std::size_t>(e)] +=
+          allocation[static_cast<std::size_t>(t.id)];
+    }
+  }
+  double worst = 1.0;
+  bool hopeless = false;
+  for (net::LinkId e = 0; e < net.num_links(); ++e) {
+    const double cap = net.link(e).capacity_gbps;
+    if (load[static_cast<std::size_t>(e)] > cap) {
+      if (cap > 0.0) {
+        worst = std::max(worst, load[static_cast<std::size_t>(e)] / cap);
+      } else {
+        hopeless = true;  // positive load on a zero-capacity link
+      }
+    }
+  }
+  if (hopeless || !std::isfinite(worst)) {
+    std::fill(allocation.begin(), allocation.end(), 0.0);
+  } else if (worst > 1.0) {
+    const double scale = worst * (1.0 + 1e-9);
+    for (double& a : allocation) a /= scale;
+  }
+}
+
+}  // namespace
+
+void OracleConfig::validate() const {
+  // Negated comparisons so NaN fields fail instead of slipping past `<`.
+  if (hidden_units < 1) {
+    throw std::invalid_argument("oracle: hidden_units must be >= 1");
+  }
+  if (!(learning_rate > 0.0) || !std::isfinite(learning_rate)) {
+    throw std::invalid_argument(
+        "oracle: learning_rate must be positive and finite");
+  }
+  if (!(l2 >= 0.0) || !std::isfinite(l2)) {
+    throw std::invalid_argument("oracle: l2 must be non-negative and finite");
+  }
+  if (train_epochs < 1) {
+    throw std::invalid_argument("oracle: train_epochs must be >= 1");
+  }
+  if (reservoir_capacity < 1) {
+    throw std::invalid_argument("oracle: reservoir_capacity must be >= 1");
+  }
+  if (min_examples < 1) {
+    throw std::invalid_argument("oracle: min_examples must be >= 1");
+  }
+  if (!(vote_fraction > 0.0 && vote_fraction <= 1.0)) {
+    throw std::invalid_argument("oracle: vote_fraction must be in (0, 1]");
+  }
+  if (max_shapes < 1) {
+    throw std::invalid_argument("oracle: max_shapes must be >= 1");
+  }
+  if (!(pivot_ewma_alpha > 0.0 && pivot_ewma_alpha <= 1.0)) {
+    throw std::invalid_argument(
+        "oracle: pivot_ewma_alpha must be in (0, 1]");
+  }
+}
+
+bool TraceDataset::add(SolveTrace trace) {
+  const std::uint64_t i = seen_++;
+  if (samples_.size() < capacity_) {
+    samples_.push_back(std::move(trace));
+    return true;
+  }
+  // Reservoir step on the order-independent sub-stream for arrival i:
+  // retention is a pure function of (seed, i), so two datasets fed the same
+  // sequence hold identical samples regardless of what else draws
+  // randomness in the process.
+  const std::uint64_t j = root_.split(i).next_below(i + 1);
+  if (j < capacity_) {
+    samples_[static_cast<std::size_t>(j)] = std::move(trace);
+    return true;
+  }
+  return false;
+}
+
+WarmStartOracle::WarmStartOracle(OracleConfig config) : config_(config) {
+  config_.validate();
+}
+
+std::vector<double> WarmStartOracle::featurize(
+    const te::TeProblem& problem, const std::vector<double>& fiber_probs) {
+  std::vector<double> x;
+  x.reserve(problem.demands.size() + fiber_probs.size());
+  for (const double d : problem.demands) {
+    x.push_back(std::isfinite(d) ? d * kGbpsScale : 0.0);
+  }
+  for (const double p : fiber_probs) {
+    x.push_back(std::isfinite(p)
+                    ? std::min(std::max(p, 0.0) * kProbScale, 1.0)
+                    : 0.0);
+  }
+  return x;
+}
+
+WarmStartOracle::ShapeModel& WarmStartOracle::shape_model(
+    std::uint64_t signature) {
+  auto it = shapes_.find(signature);
+  if (it == shapes_.end()) {
+    it = shapes_
+             .emplace(signature, ShapeModel(config_.reservoir_capacity,
+                                            config_.seed ^ signature))
+             .first;
+    it->second.last_used = ++clock_;
+    // LRU bound, mirroring te::PreTeScheme's shape cap: the entry just
+    // created carries the newest clock, so it is never its own victim.
+    while (shapes_.size() > config_.max_shapes) {
+      auto victim = shapes_.begin();
+      for (auto jt = shapes_.begin(); jt != shapes_.end(); ++jt) {
+        if (jt->second.last_used < victim->second.last_used) victim = jt;
+      }
+      shapes_.erase(victim);
+      ++stats_.shapes_evicted;
+    }
+  }
+  it->second.last_used = ++clock_;
+  return it->second;
+}
+
+void WarmStartOracle::observe(const te::TeProblem& problem,
+                              const std::vector<double>& fiber_probs,
+                              const te::MinMaxResult& result) {
+  // Only converged solves with a policy make training examples; a
+  // deadline-starved incumbent describes where the solve stopped, not
+  // where it was headed.
+  if (!result.converged || result.policy.allocation.empty()) return;
+  ShapeModel& model = shape_model(te::problem_shape_signature(problem));
+  if (result.hint_accepted == 0) {
+    // Unhinted (or rejected-hint, i.e. bitwise-cold) solves calibrate the
+    // expected-cold-pivots estimate; hinted solves would bias it down.
+    const auto pivots = static_cast<double>(result.simplex_pivots);
+    model.pivot_ewma =
+        model.pivot_ewma <= 0.0
+            ? pivots
+            : (1.0 - config_.pivot_ewma_alpha) * model.pivot_ewma +
+                  config_.pivot_ewma_alpha * pivots;
+  }
+  SolveTrace trace;
+  trace.features = featurize(problem, fiber_probs);
+  trace.allocation = result.policy.allocation;
+  trace.drops = result.trace_drops;
+  trace.active_rows = result.trace_active_rows;
+  trace.pivots = result.simplex_pivots;
+  model.dataset.add(std::move(trace));
+  model.dirty = true;
+  ++stats_.observed;
+}
+
+void WarmStartOracle::RegressionHead::init(int in, int hid, int out,
+                                           util::Rng rng) {
+  input = in;
+  hidden = hid;
+  output = out;
+  const double s1 = 0.5 / std::sqrt(static_cast<double>(std::max(1, in)));
+  const double s2 = 0.5 / std::sqrt(static_cast<double>(std::max(1, hid)));
+  w1.assign(static_cast<std::size_t>(hid) * static_cast<std::size_t>(in), 0.0);
+  for (double& w : w1) w = s1 * (2.0 * rng.next_double() - 1.0);
+  b1.assign(static_cast<std::size_t>(hid), 0.0);
+  w2.assign(static_cast<std::size_t>(out) * static_cast<std::size_t>(hid),
+            0.0);
+  for (double& w : w2) w = s2 * (2.0 * rng.next_double() - 1.0);
+  b2.assign(static_cast<std::size_t>(out), 0.0);
+  trained = false;
+}
+
+std::vector<double> WarmStartOracle::RegressionHead::forward(
+    const std::vector<double>& x) const {
+  std::vector<double> h(static_cast<std::size_t>(hidden), 0.0);
+  for (int j = 0; j < hidden; ++j) {
+    double acc = b1[static_cast<std::size_t>(j)];
+    const double* row =
+        w1.data() + static_cast<std::size_t>(j) * static_cast<std::size_t>(input);
+    for (int k = 0; k < input; ++k) acc += row[k] * x[static_cast<std::size_t>(k)];
+    h[static_cast<std::size_t>(j)] = acc > 0.0 ? acc : 0.0;
+  }
+  std::vector<double> y(static_cast<std::size_t>(output), 0.0);
+  for (int o = 0; o < output; ++o) {
+    double acc = b2[static_cast<std::size_t>(o)];
+    const double* row =
+        w2.data() + static_cast<std::size_t>(o) * static_cast<std::size_t>(hidden);
+    for (int j = 0; j < hidden; ++j) acc += row[j] * h[static_cast<std::size_t>(j)];
+    y[static_cast<std::size_t>(o)] = acc;
+  }
+  return y;
+}
+
+void WarmStartOracle::train_shape(std::uint64_t signature, ShapeModel& model) {
+  const std::vector<SolveTrace>& samples = model.dataset.samples();
+  const SolveTrace& ref = samples.back();
+  const int in = static_cast<int>(ref.features.size());
+  const int out = static_cast<int>(ref.allocation.size());
+  if (in == 0 || out == 0) return;
+  RegressionHead& head = model.head;
+  if (head.input != in || head.hidden != config_.hidden_units ||
+      head.output != out) {
+    // Weight init is a pure function of (seed, shape), independent of when
+    // the shape was first seen.
+    head.init(in, config_.hidden_units, out,
+              util::Rng(config_.seed).split(signature));
+  }
+  // Traces with stale dimensions (harvested before a feature-source change)
+  // are skipped rather than crashing the fold; the reservoir rotates them
+  // out naturally.
+  std::vector<const SolveTrace*> batch;
+  batch.reserve(samples.size());
+  for (const SolveTrace& s : samples) {
+    if (static_cast<int>(s.features.size()) == in &&
+        static_cast<int>(s.allocation.size()) == out) {
+      batch.push_back(&s);
+    }
+  }
+  if (batch.empty()) return;
+
+  struct Grad {
+    std::vector<double> w1, b1, w2, b2;
+  };
+  const auto hid = static_cast<std::size_t>(head.hidden);
+  const auto nin = static_cast<std::size_t>(in);
+  const auto nout = static_cast<std::size_t>(out);
+  for (int epoch = 0; epoch < config_.train_epochs; ++epoch) {
+    // Per-sample gradients on the pool; each task touches only its own Grad,
+    // and the fold below runs serially in sample order — bit-identical at
+    // any pool size.
+    const std::vector<Grad> grads = runtime::parallel_map(
+        batch.size(),
+        [&](std::size_t s) {
+          const SolveTrace& t = *batch[s];
+          Grad g;
+          g.w1.assign(hid * nin, 0.0);
+          g.b1.assign(hid, 0.0);
+          g.w2.assign(nout * hid, 0.0);
+          g.b2.assign(nout, 0.0);
+          // Forward with the pre-activation kept for the ReLU mask.
+          std::vector<double> pre(hid, 0.0), h(hid, 0.0);
+          for (std::size_t j = 0; j < hid; ++j) {
+            double acc = head.b1[j];
+            const double* row = head.w1.data() + j * nin;
+            for (std::size_t k = 0; k < nin; ++k) acc += row[k] * t.features[k];
+            pre[j] = acc;
+            h[j] = acc > 0.0 ? acc : 0.0;
+          }
+          std::vector<double> dy(nout, 0.0);
+          for (std::size_t o = 0; o < nout; ++o) {
+            double acc = head.b2[o];
+            const double* row = head.w2.data() + o * hid;
+            for (std::size_t j = 0; j < hid; ++j) acc += row[j] * h[j];
+            dy[o] = acc - t.allocation[o] * kGbpsScale;  // d(0.5 MSE)/dy
+          }
+          std::vector<double> dh(hid, 0.0);
+          for (std::size_t o = 0; o < nout; ++o) {
+            const double d = dy[o];
+            double* grow = g.w2.data() + o * hid;
+            const double* wrow = head.w2.data() + o * hid;
+            for (std::size_t j = 0; j < hid; ++j) {
+              grow[j] += d * h[j];
+              dh[j] += d * wrow[j];
+            }
+            g.b2[o] += d;
+          }
+          for (std::size_t j = 0; j < hid; ++j) {
+            if (pre[j] <= 0.0) continue;
+            const double d = dh[j];
+            double* grow = g.w1.data() + j * nin;
+            for (std::size_t k = 0; k < nin; ++k) grow[k] += d * t.features[k];
+            g.b1[j] += d;
+          }
+          return g;
+        },
+        /*grain=*/1);
+    const double inv = 1.0 / static_cast<double>(batch.size());
+    const double lr = config_.learning_rate;
+    const double l2 = config_.l2;
+    auto apply = [&](std::vector<double>& w,
+                     std::vector<double> Grad::*member) {
+      for (std::size_t i = 0; i < w.size(); ++i) {
+        double g = 0.0;
+        for (const Grad& grad : grads) g += (grad.*member)[i];
+        w[i] -= lr * (g * inv + l2 * w[i]);
+      }
+    };
+    apply(head.w1, &Grad::w1);
+    apply(head.b1, &Grad::b1);
+    apply(head.w2, &Grad::w2);
+    apply(head.b2, &Grad::b2);
+  }
+  head.trained = true;
+}
+
+void WarmStartOracle::train() {
+  // Ordered map, so shapes train in signature order — deterministic
+  // regardless of observation interleaving.
+  for (auto& [signature, model] : shapes_) {
+    if (!model.dirty) continue;
+    if (static_cast<int>(model.dataset.samples().size()) <
+        config_.min_examples) {
+      continue;
+    }
+    train_shape(signature, model);
+    model.dirty = false;
+    ++stats_.trained_batches;
+  }
+}
+
+std::optional<te::WarmHint> WarmStartOracle::predict(
+    const te::TeProblem& problem, const std::vector<double>& fiber_probs) {
+  const std::uint64_t signature = te::problem_shape_signature(problem);
+  const auto it = shapes_.find(signature);
+  if (it == shapes_.end()) return std::nullopt;
+  ShapeModel& model = it->second;
+  if (!model.head.trained ||
+      static_cast<int>(model.dataset.samples().size()) <
+          config_.min_examples) {
+    return std::nullopt;
+  }
+  const std::vector<double> x = featurize(problem, fiber_probs);
+  if (static_cast<int>(x.size()) != model.head.input) return std::nullopt;
+  model.last_used = ++clock_;
+
+  te::WarmHint hint;
+  hint.shape_signature = signature;
+  const std::vector<double> y = model.head.forward(x);
+  hint.allocation.resize(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const double v = y[i] / kGbpsScale;
+    hint.allocation[i] = std::isfinite(v) && v > 0.0 ? v : 0.0;
+  }
+  repair_capacity(problem, hint.allocation);
+  hint.drops =
+      vote_pairs(model.dataset.samples(), &SolveTrace::drops,
+                 config_.vote_fraction);
+  hint.active_rows =
+      vote_pairs(model.dataset.samples(), &SolveTrace::active_rows,
+                 config_.vote_fraction);
+  hint.expected_cold_pivots =
+      model.pivot_ewma > 0.0
+          ? static_cast<int>(std::lround(model.pivot_ewma))
+          : 0;
+  ++stats_.hints_issued;
+  return hint;
+}
+
+WarmStartOracle::Stats WarmStartOracle::stats() const {
+  Stats s = stats_;
+  s.shapes = static_cast<int>(shapes_.size());
+  return s;
+}
+
+}  // namespace prete::ml

@@ -1,0 +1,166 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "te/minmax.h"
+#include "te/types.h"
+#include "util/rng.h"
+
+namespace prete::ml {
+
+// Configuration of the learned warm-start oracle. The oracle is an
+// accelerator, never an authority — every prediction it emits is re-verified
+// by solve_min_max_benders — so these knobs trade prediction quality against
+// memory and training cost, not against correctness.
+struct OracleConfig {
+  // Regression-head architecture: one ReLU hidden layer between the
+  // (demands ++ fiber probabilities) feature vector and the per-tunnel
+  // allocation output.
+  int hidden_units = 16;
+  double learning_rate = 5e-3;
+  double l2 = 1e-6;
+  // Full passes over the reservoir per train() call. Training is
+  // incremental: each call continues from the current weights.
+  int train_epochs = 2;
+  // Bounded per-shape training store (see TraceDataset).
+  std::size_t reservoir_capacity = 32;
+  // predict() abstains until a shape has at least this many harvested
+  // traces — an oracle guessing from one example only burns verification.
+  int min_examples = 2;
+  // A (flow, pattern) pair enters the predicted drop / active-row set when
+  // it appears in at least this fraction of the reservoir's traces.
+  double vote_fraction = 0.5;
+  // Per-shape state is LRU-bounded, mirroring te::PreTeScheme's shape cap.
+  std::size_t max_shapes = 8;
+  std::uint64_t seed = 17;
+  // EWMA factor for the expected-cold-pivots estimate (weight of the newest
+  // unhinted observation).
+  double pivot_ewma_alpha = 0.3;
+
+  // Throws std::invalid_argument on non-positive widths/counts, a malformed
+  // learning rate, or out-of-range fractions (NaN rejected throughout).
+  void validate() const;
+};
+
+// One harvested solver trace: the features the epoch was solved under and
+// the converged artifacts worth imitating. Drops and active rows are keyed
+// by (flow, pattern signature) — the cross-epoch-stable key — exactly as
+// MinMaxResult::trace_* report them.
+struct SolveTrace {
+  std::vector<double> features;
+  std::vector<double> allocation;
+  std::vector<te::WarmHint::Pair> drops;
+  std::vector<te::WarmHint::Pair> active_rows;
+  int pivots = 0;
+};
+
+// Bounded training store with deterministic reservoir sampling. Retention
+// of arrival i is decided by Rng::split(i) — a pure function of (seed,
+// arrival index) that consumes no generator state — so the retained set
+// depends only on the add sequence, never on thread count or on anything
+// else drawing randomness in the process.
+class TraceDataset {
+ public:
+  TraceDataset(std::size_t capacity, std::uint64_t seed)
+      : capacity_(capacity < 1 ? 1 : capacity), root_(seed) {}
+
+  // Classic reservoir step; returns whether the trace was retained.
+  bool add(SolveTrace trace);
+
+  const std::vector<SolveTrace>& samples() const { return samples_; }
+  std::uint64_t seen() const { return seen_; }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  util::Rng root_;
+  std::vector<SolveTrace> samples_;
+  std::uint64_t seen_ = 0;
+};
+
+// Learned warm-start oracle for the Benders TE solve: harvests converged
+// solver traces per problem shape (observe), trains a small regression head
+// plus vote tables incrementally (train, deterministic on the runtime
+// pool), and emits te::WarmHint predictions (predict) — a per-tunnel
+// allocation repaired to capacity feasibility, the majority-vote drop set,
+// the majority-vote active Phi-rows, and a running expected-cold-pivots
+// estimate. The solver verifies everything; see MinMaxOptions::warm_hint
+// for the exactness contract.
+class WarmStartOracle {
+ public:
+  explicit WarmStartOracle(OracleConfig config = {});
+
+  // Feature map shared by observe() and predict(): scaled demands followed
+  // by scaled per-fiber cut probabilities. Deliberately data-independent
+  // scaling (no fitted ranges) so incremental training never needs a refit,
+  // and non-finite inputs map to 0 instead of poisoning the weights.
+  static std::vector<double> featurize(const te::TeProblem& problem,
+                                       const std::vector<double>& fiber_probs);
+
+  // Harvests one solve. Only converged solves with a policy and an
+  // unhinted (cold-equivalent) pivot count contribute; hinted solves still
+  // feed the reservoir but not the expected-cold-pivots EWMA.
+  void observe(const te::TeProblem& problem,
+               const std::vector<double>& fiber_probs,
+               const te::MinMaxResult& result);
+
+  // Incremental training pass over every shape with new data. Runs
+  // per-sample gradients on the runtime pool and folds them in sample
+  // order, so the resulting weights are bit-identical at any pool size.
+  void train();
+
+  // Emits a hint for the given epoch, or nullopt when the shape is unknown,
+  // undertrained, or below min_examples.
+  std::optional<te::WarmHint> predict(const te::TeProblem& problem,
+                                      const std::vector<double>& fiber_probs);
+
+  struct Stats {
+    int observed = 0;         // traces harvested into a reservoir
+    int trained_batches = 0;  // per-shape training passes completed
+    int hints_issued = 0;     // predictions emitted
+    int shapes = 0;           // live per-shape models
+    int shapes_evicted = 0;   // models dropped by the LRU bound
+  };
+  Stats stats() const;
+
+  const OracleConfig& config() const { return config_; }
+
+ private:
+  // Tiny deterministic regression net: input -> ReLU hidden -> linear
+  // output. Weights live in plain row-major vectors; initialization is a
+  // pure function of (seed, shape signature).
+  struct RegressionHead {
+    int input = 0;
+    int hidden = 0;
+    int output = 0;
+    std::vector<double> w1, b1, w2, b2;
+    bool trained = false;
+
+    void init(int in, int hid, int out, util::Rng rng);
+    std::vector<double> forward(const std::vector<double>& x) const;
+  };
+
+  struct ShapeModel {
+    TraceDataset dataset;
+    RegressionHead head;
+    double pivot_ewma = 0.0;
+    bool dirty = false;        // reservoir changed since the last train()
+    std::uint64_t last_used = 0;
+
+    ShapeModel(std::size_t capacity, std::uint64_t seed)
+        : dataset(capacity, seed) {}
+  };
+
+  ShapeModel& shape_model(std::uint64_t signature);
+  void train_shape(std::uint64_t signature, ShapeModel& model);
+
+  OracleConfig config_;
+  std::map<std::uint64_t, ShapeModel> shapes_;
+  std::uint64_t clock_ = 0;
+  Stats stats_;
+};
+
+}  // namespace prete::ml

@@ -185,6 +185,10 @@ struct BendersCut {
   // lower-bound max — which is what keeps its bank entry alive.
   int bank_index = -1;
   bool active = false;
+  // A warm-hint steering pseudo-cut: not an inequality at all, only a drop-
+  // ordering prior. Excluded from the lower bound AND from cut-bank
+  // writeback (a bank cut is at least a valid inequality; this is neither).
+  bool steering = false;
 
   double value(const std::vector<std::vector<char>>& delta) const {
     double v = constant;
@@ -213,6 +217,50 @@ bool cut_lex_less(const CutBank::Cut& a, const CutBank::Cut& b) {
     return a.terms.size() < b.terms.size();
   }
   return a.constant < b.constant;
+}
+
+// Ceiling for steering-cut weights: genuine Phi-row duals sum to at most
+// the Phi objective coefficient (1), so clamping predicted weights to
+// [0, kSteerWeightCap] keeps the steering cut inside the range the fresh
+// cuts occupy. A sentinel weight above that range would pin the master to
+// the predicted drop set no matter what the genuine cuts say — and since
+// each fresh cut is tight at the very point it was generated, a pinned
+// master would certify ANY predicted point as converged. Realistic weights
+// close that hole: a wrong envelope loses the master pass to the real
+// duals and costs iterations, not correctness.
+constexpr double kSteerWeightCap = 1.0;
+
+// Verification of a hint's predicted allocation: representable in the SP
+// (finite, non-negative, one entry per tunnel) and feasible for the hard
+// capacity rows. The tolerance mirrors the simplex primal tolerance — a
+// hint is only ever an incumbent-policy fallback, so a marginally loose
+// load would still validate downstream, but rejecting keeps the contract
+// simple: accepted means feasible.
+bool hint_allocation_feasible(const TeProblem& problem,
+                              const std::vector<double>& allocation) {
+  const net::TunnelSet& tunnels = *problem.tunnels;
+  if (allocation.size() !=
+      static_cast<std::size_t>(tunnels.num_tunnels())) {
+    return false;
+  }
+  for (const double v : allocation) {
+    if (!std::isfinite(v) || !(v >= 0.0)) return false;
+  }
+  const net::Network& net = *problem.network;
+  std::vector<double> load(static_cast<std::size_t>(net.num_links()), 0.0);
+  for (const net::Tunnel& t : tunnels.tunnels()) {
+    for (net::LinkId e : t.path) {
+      load[static_cast<std::size_t>(e)] +=
+          allocation[static_cast<std::size_t>(t.id)];
+    }
+  }
+  for (net::LinkId e = 0; e < net.num_links(); ++e) {
+    const double cap = net.link(e).capacity_gbps;
+    if (load[static_cast<std::size_t>(e)] > cap + 1e-6 * std::max(1.0, cap)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 bool same_cut_terms(const std::vector<CutBank::Term>& a,
@@ -526,13 +574,16 @@ MinMaxResult solve_min_max_benders(const TeProblem& problem,
   // Terms for vanished patterns are dropped with the constant untouched
   // (equivalent to fixing their delta to 0 — the cut weakens, stays valid).
   std::vector<std::uint64_t> pattern_sig;
-  if (cut_bank != nullptr) {
+  std::map<std::uint64_t, std::size_t> sig_to_q;
+  if (cut_bank != nullptr || options.warm_hint != nullptr ||
+      options.collect_trace) {
     pattern_sig.resize(Q.size());
-    std::map<std::uint64_t, std::size_t> sig_to_q;
     for (std::size_t q = 0; q < Q.size(); ++q) {
       pattern_sig[q] = scenario_signature(Q[q]);
       sig_to_q.emplace(pattern_sig[q], q);  // first occurrence wins on a dup
     }
+  }
+  if (cut_bank != nullptr) {
     for (std::size_t i = 0; i < cut_bank->cuts.size(); ++i) {
       const CutBank::Cut& stored = cut_bank->cuts[i];
       bool valid = stored.demands.size() == problem.demands.size();
@@ -572,6 +623,61 @@ MinMaxResult solve_min_max_benders(const TeProblem& problem,
     }
   }
 
+  // ---- Warm-hint verification: trust nothing, charge rejections. ----
+  // An accepted hint contributes three things, none of which can move the
+  // converged objective: a steering pseudo-cut (drop-ordering prior for the
+  // master, excluded from the lower bound and the bank), a pre-seeded row
+  // set for the first subproblem (valid Phi-rows never change an LP
+  // optimum), and a verified-feasible incumbent policy (a fallback shipped
+  // only if a deadline expires before any subproblem completes — the bound
+  // pair is untouched). Any failed check rejects the hint whole: the solve
+  // is then bitwise identical to one called without a hint.
+  const WarmHint* hint = options.warm_hint;
+  bool hint_verified = false;
+  bool steering_live = false;
+  if (hint != nullptr) {
+    bool ok = hint->shape_signature == signature &&
+              hint_allocation_feasible(problem, hint->allocation);
+    if (ok) {
+      for (const WarmHint::Pair& p : hint->drops) {
+        if (p.flow < 0 || static_cast<std::size_t>(p.flow) >= delta.size() ||
+            !(p.weight >= 0.0) || !std::isfinite(p.weight)) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) {
+      for (const WarmHint::Pair& p : hint->active_rows) {
+        if (p.flow < 0 || static_cast<std::size_t>(p.flow) >= delta.size()) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) {
+      hint_verified = true;
+      result.hint_accepted = 1;
+      result.policy.allocation = hint->allocation;
+      BendersCut steer;
+      steer.steering = true;
+      for (const WarmHint::Pair& p : hint->drops) {
+        const auto it = sig_to_q.find(p.pattern);
+        if (it == sig_to_q.end()) continue;  // vanished pattern: no opinion
+        if (fatal[static_cast<std::size_t>(p.flow)][it->second]) continue;
+        const double w = std::min(p.weight, kSteerWeightCap);
+        if (w <= 0.0) continue;  // the master never drops weight-0 pairs
+        steer.weights[{p.flow, it->second}] = w;
+      }
+      if (!steer.weights.empty()) {
+        cuts.push_back(std::move(steer));
+        steering_live = true;
+      }
+    } else {
+      result.hint_rejected = 1;
+    }
+  }
+
   std::vector<std::vector<char>> best_delta = delta;
 
   // Master pass: per-flow scenario selection over the current cut list.
@@ -586,6 +692,12 @@ MinMaxResult solve_min_max_benders(const TeProblem& problem,
   // which is the signal that keeps its bank entry alive.
   std::vector<std::vector<int>> master_marks(
       cut_bank != nullptr ? flows.size() : 0);
+  // Traced solves snapshot each master pass's per-flow weight envelope (the
+  // max-over-cuts aggregate); the last snapshot is what justified the final
+  // drop selection and is what trace_drops reports per dropped pair. Rows
+  // are written disjointly by flow, so the snapshot is pool-size-invariant.
+  std::vector<std::vector<double>> trace_weights(
+      options.collect_trace ? flows.size() : 0);
   auto run_master = [&]() {
     const bool track = cut_bank != nullptr;
     runtime::parallel_for(
@@ -606,6 +718,7 @@ MinMaxResult solve_min_max_benders(const TeProblem& problem,
               }
             }
           }
+          if (!trace_weights.empty()) trace_weights[f] = weight;
           auto& df = delta[f];
           const auto& pins = fatal[f];
           const double budget = base_budget - pinned_mass[f];
@@ -638,12 +751,12 @@ MinMaxResult solve_min_max_benders(const TeProblem& problem,
       }
     }
   };
-  // Replayed cuts drive a master pass BEFORE the first subproblem, so
-  // iteration 1 already solves at the warm drop selection instead of the
-  // expensive all-ones point. In a steady-state epoch the fresh cut then
-  // closes the gap immediately and the warm solve converges in one
-  // iteration. Without a bank (or with an empty one) the pre-pass is
-  // skipped and the solve is bitwise the legacy cold algorithm.
+  // Replayed cuts — and the warm hint's steering pseudo-cut — drive a
+  // master pass BEFORE the first subproblem, so iteration 1 already solves
+  // at the warm drop selection instead of the expensive all-ones point. In
+  // a steady-state epoch the fresh cut then closes the gap immediately and
+  // the warm solve converges in one iteration. Without a bank or hint the
+  // pre-pass is skipped and the solve is bitwise the legacy cold algorithm.
   if (!cuts.empty()) run_master();
 
   // Successive subproblems share the variable layout and the capacity-row
@@ -709,12 +822,33 @@ MinMaxResult solve_min_max_benders(const TeProblem& problem,
       }
     }
     if (row_keys.empty()) {
-      // Cold seed: the highest-probability scenario's rows.
-      for (const net::Flow& flow : flows) {
-        if (delta[static_cast<std::size_t>(flow.id)][0]) {
-          sp.add_row(phi_row(problem, alloc, phi, flow.id, Q[0], 1.0));
-          row_keys.push_back({flow.id, 0});
-          seen_keys.insert({flow.id, 0});
+      // Hint seed: the oracle's predicted final Phi-rows, restricted to
+      // pairs the current delta actually selects. Any selected pair's
+      // Phi-row is a valid member of the full subproblem, so seeding can
+      // only save row-generation rounds, never change the SP optimum.
+      if (hint_verified && iter == 0) {
+        for (const WarmHint::Pair& p : hint->active_rows) {
+          const auto it = sig_to_q.find(p.pattern);
+          if (it == sig_to_q.end()) continue;
+          const std::pair<int, std::size_t> key{p.flow, it->second};
+          if (!delta[static_cast<std::size_t>(p.flow)][it->second] ||
+              seen_keys.count(key)) {
+            continue;
+          }
+          sp.add_row(
+              phi_row(problem, alloc, phi, p.flow, Q[it->second], 1.0));
+          row_keys.push_back(key);
+          seen_keys.insert(key);
+        }
+      }
+      if (row_keys.empty()) {
+        // Cold seed: the highest-probability scenario's rows.
+        for (const net::Flow& flow : flows) {
+          if (delta[static_cast<std::size_t>(flow.id)][0]) {
+            sp.add_row(phi_row(problem, alloc, phi, flow.id, Q[0], 1.0));
+            row_keys.push_back({flow.id, 0});
+            seen_keys.insert({flow.id, 0});
+          }
         }
       }
     }
@@ -842,10 +976,15 @@ MinMaxResult solve_min_max_benders(const TeProblem& problem,
     // cuts steer the master's drop selection — the actual warm start —
     // while only this run's own cuts bound it, which restores the cold
     // solve's crossing semantics exactly.
+    // The warm hint's steering pseudo-cut is excluded for a stronger reason
+    // than bank cuts: it is not an inequality at all, just a drop-ordering
+    // prior carrying predicted (dual-range-clamped) weights.
     const double lb = runtime::parallel_reduce(
         cuts.size(), 0.0,
         [&](std::size_t i) {
-          return cuts[i].bank_index >= 0 ? 0.0 : cuts[i].value(delta);
+          return cuts[i].bank_index >= 0 || cuts[i].steering
+                     ? 0.0
+                     : cuts[i].value(delta);
         },
         [](double a, double b) { return std::max(a, b); },
         /*grain=*/8);
@@ -855,7 +994,8 @@ MinMaxResult solve_min_max_benders(const TeProblem& problem,
       // the marks are independent of the pool size. (Replayed cuts earn
       // their keep through master_marks instead.)
       for (BendersCut& c : cuts) {
-        if (!c.active && c.bank_index < 0 && c.value(delta) == lb) {
+        if (!c.active && c.bank_index < 0 && !c.steering &&
+            c.value(delta) == lb) {
           c.active = true;
         }
       }
@@ -866,6 +1006,19 @@ MinMaxResult solve_min_max_benders(const TeProblem& problem,
     if (gap_closed) {
       result.converged = true;
       break;
+    }
+    // Worse-than-cold discard: a steered first iteration that failed to
+    // close the gap means the prediction missed — drop the steering cut so
+    // every later master pass runs on genuine cuts only (the fresh cut
+    // derived at the steered point is a valid inequality and stays). The
+    // discard is counted as a rejection alongside the acceptance, so
+    // callers can tell "applied and paid off" from "applied and abandoned".
+    if (steering_live && iter == 0) {
+      cuts.erase(std::remove_if(cuts.begin(), cuts.end(),
+                                [](const BendersCut& c) { return c.steering; }),
+                 cuts.end());
+      steering_live = false;
+      result.hint_rejected = 1;
     }
   }
   // Second stage: keep the Phi guarantee when it is SLA-meaningful, and in
@@ -894,9 +1047,10 @@ MinMaxResult solve_min_max_benders(const TeProblem& problem,
       }
     }
     // Bank this solve's fresh cuts under signature keys with a demand
-    // snapshot (the validity witness for future replays).
+    // snapshot (the validity witness for future replays). The steering
+    // pseudo-cut is not an inequality and must never be banked.
     for (const BendersCut& c : cuts) {
-      if (c.bank_index >= 0) continue;
+      if (c.bank_index >= 0 || c.steering) continue;
       CutBank::Cut stored;
       stored.constant = c.constant;
       stored.terms.reserve(c.weights.size());
@@ -982,6 +1136,34 @@ MinMaxResult solve_min_max_benders(const TeProblem& problem,
   }
   if (deadline != nullptr && deadline->expired()) {
     result.deadline_exceeded = true;
+  }
+  // Hint savings are credited only to hints that were applied and survived
+  // (never discarded), against the oracle's expected-cold estimate; both
+  // sides count total decomposition pivots, refinement included.
+  if (result.hint_accepted != 0 && result.hint_rejected == 0 &&
+      hint->expected_cold_pivots > 0) {
+    result.hint_pivots_saved =
+        std::max(0, hint->expected_cold_pivots - result.simplex_pivots);
+  }
+  // ---- Solve trace for oracle harvesting (pure reporting). ----
+  // Only converged solves make training examples: an incumbent cut short by
+  // a deadline has a drop set and row family that describe where the solve
+  // stopped, not where it was headed.
+  if (options.collect_trace && result.converged) {
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      for (std::size_t q = 0; q < Q.size(); ++q) {
+        if (!best_delta[f][q] && !fatal[f][q]) {
+          const double w =
+              trace_weights[f].size() == Q.size() ? trace_weights[f][q] : 0.0;
+          result.trace_drops.push_back(
+              {static_cast<int>(f), pattern_sig[q], w});
+        }
+      }
+    }
+    result.trace_active_rows.reserve(carry_keys.size());
+    for (const auto& key : carry_keys) {
+      result.trace_active_rows.push_back({key.first, pattern_sig[key.second]});
+    }
   }
   return result;
 }

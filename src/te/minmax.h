@@ -21,6 +21,57 @@ namespace prete::te {
 //   Phi + sum_{t in (T u Y)_{f,q}} a_{f,t} / d_f >= delta_{f,q}
 // with delta only in the right-hand side — which makes Benders cuts exact
 // subgradients of the subproblem value function.
+// A learned warm-start hint for solve_min_max_benders, produced by
+// ml::WarmStartOracle from solver traces of earlier epochs. A hint is
+// advisory only and verified on arrival (see MinMaxOptions::warm_hint):
+// nothing in it can change the converged objective, only how fast the
+// decomposition reaches it.
+struct WarmHint {
+  // problem_shape_signature(problem) the prediction was made for. A
+  // mismatch (e.g. tunnels were rebuilt mid-call) rejects the whole hint.
+  std::uint64_t shape_signature = 0;
+
+  // Predicted per-tunnel allocation (same units/order as
+  // TePolicy::allocation). Verified finite, non-negative, and
+  // capacity-feasible; on acceptance it seeds the incumbent *policy* — the
+  // fallback shipped if a deadline expires before any subproblem finishes —
+  // but never the bound pair, which only exact LP values may move.
+  std::vector<double> allocation;
+
+  // A (flow, scenario-pattern) pair, the cross-epoch-stable key used by the
+  // cut bank: `pattern` is scenario_signature of the failed-fiber set, so
+  // the pair survives reduce_scenarios reordering and probability drift.
+  // `weight` is meaningful only for `drops`: the predicted master envelope
+  // weight that justified the drop (the max-over-cuts aggregate a converged
+  // cold solve recorded, see MinMaxResult::trace_drops). It is clamped into
+  // [0, 1] — the range genuine Phi-row duals live in — before entering the
+  // steering pseudo-cut, so a prediction competes with the fresh cuts on
+  // equal footing instead of overriding them with sentinel weights: a wrong
+  // drop set loses the master pass to the genuine duals and costs
+  // iterations, never a different certificate. Non-finite or negative
+  // weights reject the whole hint; a zero weight drops the pair from the
+  // steering cut (the master never drops weight-0 scenarios anyway).
+  struct Pair {
+    int flow = 0;
+    std::uint64_t pattern = 0;
+    double weight = 0.0;
+  };
+
+  // Predicted converged drop set: the scenarios each flow's master is
+  // expected to ignore. Steers the first master pass (and drop ordering)
+  // via a pseudo-cut that is excluded from the lower bound and the bank.
+  std::vector<Pair> drops;
+
+  // Predicted Phi-rows of the final subproblem; valid pairs pre-seed the
+  // first subproblem's lazy rows, cutting row-generation rounds.
+  std::vector<Pair> active_rows;
+
+  // Oracle's running estimate of an unhinted solve's simplex pivots for
+  // this shape (0 = unknown); MinMaxResult::hint_pivots_saved reports
+  // max(0, expected_cold_pivots - actual pivots) for accepted hints.
+  int expected_cold_pivots = 0;
+};
+
 struct MinMaxOptions {
   double beta = 0.99;
   // Benders convergence threshold on UB - LB (Algorithm 2's epsilon).
@@ -44,6 +95,18 @@ struct MinMaxOptions {
   // over. nullptr (the default) is unlimited and leaves the solve bitwise
   // identical to a build without deadlines.
   util::Deadline* deadline = nullptr;
+  // Optional learned warm-start hint (not owned; may be null). Every field
+  // is verified before use — shape signature, allocation feasibility,
+  // pattern validity — and a hint that fails any check is discarded whole:
+  // the solve is then bitwise identical to one with no hint. Accepted hints
+  // steer the master's first drop selection and pre-seed subproblem rows but
+  // are excluded from the bound arithmetic and the cut bank, so the
+  // converged phi stays bitwise-equal to the unhinted solve's.
+  const WarmHint* warm_hint = nullptr;
+  // Fill MinMaxResult::trace_drops / trace_active_rows so a caller can
+  // harvest this solve as an oracle training example. Off the default path:
+  // tracing only formats keys after convergence, it never changes the solve.
+  bool collect_trace = false;
 };
 
 struct MinMaxResult {
@@ -77,6 +140,25 @@ struct MinMaxResult {
   int cuts_replayed = 0;
   int cuts_invalidated = 0;
   int cuts_banked = 0;
+  // Warm-hint provenance (all zero when MinMaxOptions::warm_hint was null):
+  // whether the hint passed verification and was applied, whether it was
+  // rejected (shape mismatch, infeasible allocation, or its steered first
+  // iteration failed to close the gap and the steering was dropped), and
+  // how many pivots the accepted hint saved against the oracle's
+  // expected-cold estimate (0 when the estimate is unknown).
+  int hint_accepted = 0;
+  int hint_rejected = 0;
+  int hint_pivots_saved = 0;
+  // Solve trace for oracle harvesting, filled only when
+  // MinMaxOptions::collect_trace is set and the solve converged: the
+  // converged master drop set (excluding pre-pinned fatal scenarios) and
+  // the final subproblem's generated Phi-rows, both keyed by
+  // (flow, pattern signature) so they stay meaningful across epochs. Each
+  // drop also records the final master pass's envelope weight for its pair
+  // — the quantity a future epoch's steering cut needs to reproduce this
+  // drop ordering with genuine-scale weights.
+  std::vector<WarmHint::Pair> trace_drops;
+  std::vector<WarmHint::Pair> trace_active_rows;
   // The MinMaxOptions deadline expired mid-solve: `policy` is the best
   // incumbent reached (possibly empty if not even one subproblem finished)
   // and `upper_bound`/`lower_bound` bracket how far the decomposition got.

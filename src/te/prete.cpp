@@ -66,16 +66,18 @@ PreTeScheme::Prepared PreTeScheme::prepare_scenarios(
 PreTeScheme::Outcome PreTeScheme::compute_for_degradation(
     const net::Network& network, const std::vector<net::Flow>& flows,
     net::TunnelSet& tunnels, const net::TrafficMatrix& demands,
-    const DegradationScenario& degradation, util::Deadline* deadline) {
+    const DegradationScenario& degradation, util::Deadline* deadline,
+    const WarmHint* warm_hint) {
   return compute_with_prepared(network, flows, tunnels, demands,
                                prepare_scenarios(network, degradation),
-                               deadline);
+                               deadline, warm_hint);
 }
 
 PreTeScheme::Outcome PreTeScheme::compute_with_prepared(
     const net::Network& network, const std::vector<net::Flow>& flows,
     net::TunnelSet& tunnels, const net::TrafficMatrix& demands,
-    const Prepared& prepared, util::Deadline* deadline) {
+    const Prepared& prepared, util::Deadline* deadline,
+    const WarmHint* warm_hint) {
   Outcome outcome;
 
   // Step 2 (§4.2, Algorithm 1): reactive tunnel updates per degraded fiber.
@@ -101,6 +103,7 @@ PreTeScheme::Outcome PreTeScheme::compute_with_prepared(
   MinMaxOptions solver = config_.solver;
   solver.beta = std::min(config_.beta, outcome.scenarios.covered_probability);
   if (deadline != nullptr) solver.deadline = deadline;
+  if (warm_hint != nullptr) solver.warm_hint = warm_hint;
   ShapeState& state = shape_state(problem_shape_signature(problem));
   outcome.solver_result = solve_min_max_benders(
       problem, outcome.scenarios, solver, &state.basis, &state.cut_bank);

@@ -91,12 +91,17 @@ class PreTeScheme {
   // the same degradation — compute_for_degradation is exactly the
   // composition of the two halves, so pipelined and serial epochs produce
   // bit-identical outcomes.
+  // `warm_hint` (may be null, not owned) is a learned warm-start prediction
+  // forwarded to solve_min_max_benders, which verifies it against the
+  // post-tunnel-update problem — a hint predicted before in-call tunnel
+  // growth fails the shape check and is rejected, never trusted.
   Outcome compute_with_prepared(const net::Network& network,
                                 const std::vector<net::Flow>& flows,
                                 net::TunnelSet& tunnels,
                                 const net::TrafficMatrix& demands,
                                 const Prepared& prepared,
-                                util::Deadline* deadline = nullptr);
+                                util::Deadline* deadline = nullptr,
+                                const WarmHint* warm_hint = nullptr);
 
   // Computes the PreTE policy for a degradation scenario. `tunnels` must be
   // the mutable tunnel table for this epoch (dynamic tunnels are appended).
@@ -115,7 +120,8 @@ class PreTeScheme {
                                   net::TunnelSet& tunnels,
                                   const net::TrafficMatrix& demands,
                                   const DegradationScenario& degradation,
-                                  util::Deadline* deadline = nullptr);
+                                  util::Deadline* deadline = nullptr,
+                                  const WarmHint* warm_hint = nullptr);
 
   const PreTeConfig& config() const { return config_; }
   const std::vector<double>& static_probs() const { return static_probs_; }

@@ -179,6 +179,44 @@ TEST(ControllerTest, CarriedBasisCutsPivotsAcrossEpochs) {
   EXPECT_EQ(stats3.hits, stats2.hits);
 }
 
+TEST(ControllerTest, LearnedWarmStartSurfacesCountersAndPreservesPhi) {
+  // Two controllers on identical inputs, one with the oracle enabled. The
+  // oracle needs min_examples harvested epochs before it hints; once it
+  // does, the hint must be verified-accepted and the decision phi must stay
+  // bitwise equal to the oracle-off controller's — acceleration, not a
+  // different answer.
+  ControllerFixture fx;
+  // Capacity-pressure demands so the master's drop selection is non-trivial
+  // and traces carry real drop sets.
+  const net::TrafficMatrix demands = {10.0, 10.0};
+  Controller plain = fx.make();
+  fx.config.learned_warm_start = true;
+  Controller learned = fx.make();
+
+  int accepted_epochs = 0;
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    const auto expect = plain.on_te_period(demands);
+    const auto got = learned.on_te_period(demands);
+    EXPECT_EQ(got.phi, expect.phi) << "epoch " << epoch;
+    // The oracle-off controller never sees hint traffic.
+    EXPECT_EQ(expect.hint_accepted, 0);
+    EXPECT_EQ(expect.hint_rejected, 0);
+    EXPECT_EQ(expect.hint_pivots_saved, 0);
+    if (got.hint_accepted == 1 && got.hint_rejected == 0) ++accepted_epochs;
+  }
+  // Epochs 1-2 harvest (min_examples = 2), later epochs hint.
+  EXPECT_GE(accepted_epochs, 1);
+
+  const auto stats = learned.oracle_stats();
+  EXPECT_GE(stats.observed, 4);  // every converged epoch harvested
+  EXPECT_GE(stats.trained_batches, 1);
+  EXPECT_GE(stats.hints_issued, 1);
+  EXPECT_EQ(stats.shapes, 1);
+  // Oracle-off controller reports empty stats.
+  EXPECT_EQ(plain.oracle_stats().observed, 0);
+  EXPECT_EQ(plain.oracle_stats().hints_issued, 0);
+}
+
 TEST(ControllerTest, LadderDescendsToStaticFloorWithoutHistory) {
   // A 1-pivot budget cannot finish any solve, and a fresh controller has no
   // last-good policy: the first decision lands on the static floor, which is

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "runtime/thread_pool.h"
+
 namespace prete::ml {
 namespace {
 
@@ -27,6 +29,35 @@ TEST(EncoderTest, DenseSizeFullMask) {
   enc.fit(tiny_dataset());
   // 4 continuous + 24 one-hot hours.
   EXPECT_EQ(enc.dense_size(), 28);
+}
+
+// Fitting is a pure function of the dataset: two encoders fitted on the
+// same examples transform bitwise-identically, at any runtime pool size.
+// This is what lets a retrained controller reload a model file and feed it
+// inputs scaled exactly as at training time.
+TEST(EncoderTest, FitTransformBitwiseDeterministicAcrossThreadCounts) {
+  const Dataset ds = tiny_dataset();
+  FeatureEncoder reference;
+  reference.fit(ds);
+  std::vector<std::vector<double>> expected;
+  for (const Example& e : ds.examples) {
+    expected.push_back(reference.encode_dense(e.features));
+  }
+
+  for (const int threads : {1, 4}) {
+    runtime::ThreadPool::set_global_threads(threads);
+    FeatureEncoder refit;
+    refit.fit(ds);
+    EXPECT_EQ(refit.dense_size(), reference.dense_size());
+    for (std::size_t i = 0; i < ds.examples.size(); ++i) {
+      const auto x = refit.encode_dense(ds.examples[i].features);
+      ASSERT_EQ(x.size(), expected[i].size());
+      for (std::size_t k = 0; k < x.size(); ++k) {
+        EXPECT_EQ(x[k], expected[i][k]) << "example " << i << " dim " << k;
+      }
+    }
+  }
+  runtime::ThreadPool::set_global_threads(0);  // restore default
 }
 
 TEST(EncoderTest, MinMaxScalingIntoUnitInterval) {

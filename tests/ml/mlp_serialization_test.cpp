@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 
 #include "ml/metrics.h"
 #include "ml/mlp.h"
+#include "runtime/thread_pool.h"
 #include "util/rng.h"
 
 namespace prete::ml {
@@ -45,6 +47,40 @@ TEST(MlpSerializationTest, RoundTripPreservesPredictions) {
   for (const Example& e : train.examples) {
     EXPECT_NEAR(loaded.predict(e.features), trained.predict(e.features), 1e-12);
   }
+}
+
+// The deployment boundary must be lossless: a reloaded model is the SAME
+// model, bit for bit, and stays so regardless of the runtime pool size —
+// the controller may run with any PRETE_THREADS setting.
+TEST(MlpSerializationTest, RoundTripIsBitwiseExactAcrossThreadCounts) {
+  util::Rng rng(5);
+  const Dataset train = make_dataset(300, rng);
+  const Dataset probe = make_dataset(50, rng);
+  FeatureEncoder encoder;
+  encoder.fit(train);
+  MlpConfig config;
+  config.epochs = 8;
+  MlpPredictor trained(encoder, config);
+  trained.train(train);
+
+  std::stringstream buffer;
+  trained.save(buffer);
+  const std::string bytes = buffer.str();
+
+  for (const int threads : {1, 4}) {
+    runtime::ThreadPool::set_global_threads(threads);
+    std::stringstream in(bytes);
+    MlpPredictor loaded(encoder, config);
+    loaded.load(in);
+    for (const Example& e : probe.examples) {
+      EXPECT_EQ(loaded.predict(e.features), trained.predict(e.features));
+    }
+    // Save of the loaded model reproduces the file byte for byte.
+    std::stringstream out;
+    loaded.save(out);
+    EXPECT_EQ(out.str(), bytes);
+  }
+  runtime::ThreadPool::set_global_threads(0);  // restore default
 }
 
 TEST(MlpSerializationTest, LoadRejectsGarbage) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "ml/metrics.h"
 #include "net/topology.h"
 #include "optical/simulator.h"
@@ -27,6 +29,50 @@ Dataset separable_dataset(int n, util::Rng& rng) {
     ds.examples.push_back(e);
   }
   return ds;
+}
+
+TEST(MlpConfigTest, ValidateRejectsMalformedFields) {
+  EXPECT_NO_THROW(MlpConfig{}.validate());
+  auto expect_throws = [](auto mutate) {
+    MlpConfig config;
+    mutate(config);
+    EXPECT_THROW(config.validate(), std::invalid_argument);
+  };
+  expect_throws([](MlpConfig& c) { c.hidden_units = 0; });
+  expect_throws([](MlpConfig& c) { c.region_embedding = 0; });
+  expect_throws([](MlpConfig& c) { c.fiber_embedding = -1; });
+  expect_throws([](MlpConfig& c) { c.vendor_embedding = 0; });
+  expect_throws([](MlpConfig& c) { c.learning_rate = 0.0; });
+  expect_throws([](MlpConfig& c) { c.learning_rate = -1e-3; });
+  expect_throws([](MlpConfig& c) {
+    c.learning_rate = std::numeric_limits<double>::quiet_NaN();
+  });
+  expect_throws([](MlpConfig& c) {
+    c.learning_rate = std::numeric_limits<double>::infinity();
+  });
+  expect_throws([](MlpConfig& c) { c.l2 = -1.0; });
+  expect_throws([](MlpConfig& c) {
+    c.l2 = std::numeric_limits<double>::quiet_NaN();
+  });
+  expect_throws([](MlpConfig& c) { c.epochs = 0; });
+  expect_throws([](MlpConfig& c) { c.batch_size = 0; });
+  expect_throws([](MlpConfig& c) {
+    c.static_prior = std::numeric_limits<double>::quiet_NaN();
+  });
+  // An out-of-range but finite prior stays legal: the predictor clamps it
+  // to [0, 1] on use (PredictorGuardTest.MlpClampsOutOfRangePrior).
+  MlpConfig clamped;
+  clamped.static_prior = 1.7;
+  EXPECT_NO_THROW(clamped.validate());
+
+  // The constructor enforces the contract at build time.
+  util::Rng rng(11);
+  const Dataset train = separable_dataset(50, rng);
+  FeatureEncoder enc;
+  enc.fit(train);
+  MlpConfig bad;
+  bad.epochs = -5;
+  EXPECT_THROW(MlpPredictor(enc, bad), std::invalid_argument);
 }
 
 TEST(MlpTest, LearnsSeparableRule) {

@@ -1,0 +1,254 @@
+// WarmStartOracle: config validation, deterministic bounded reservoir,
+// deterministic featurization/training (bitwise across pool sizes), and the
+// end-to-end harvest -> train -> predict -> verified-accept loop against the
+// real Benders solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "ml/oracle.h"
+#include "net/topology.h"
+#include "runtime/thread_pool.h"
+#include "te/minmax.h"
+
+namespace prete::ml {
+namespace {
+
+struct Fixture {
+  net::Topology topo = net::make_triangle();
+  net::TunnelSet tunnels{2};
+  te::TeProblem problem;
+
+  Fixture() {
+    tunnels.add_tunnel(0, {0});
+    tunnels.add_tunnel(0, {2, 5});
+    tunnels.add_tunnel(1, {2});
+    tunnels.add_tunnel(1, {0, 4});
+    problem.network = &topo.network;
+    problem.flows = &topo.flows;
+    problem.tunnels = &tunnels;
+    problem.demands = {10.0, 10.0};
+  }
+};
+
+te::MinMaxOptions options_for(const te::ScenarioSet& set) {
+  te::MinMaxOptions options;
+  options.beta = std::min(0.95, set.covered_probability);
+  return options;
+}
+
+TEST(OracleConfigTest, ValidateRejectsMalformedFields) {
+  EXPECT_NO_THROW(OracleConfig{}.validate());
+  auto expect_throws = [](auto mutate) {
+    OracleConfig config;
+    mutate(config);
+    EXPECT_THROW(config.validate(), std::invalid_argument);
+  };
+  expect_throws([](OracleConfig& c) { c.hidden_units = 0; });
+  expect_throws([](OracleConfig& c) { c.learning_rate = 0.0; });
+  expect_throws([](OracleConfig& c) {
+    c.learning_rate = std::numeric_limits<double>::quiet_NaN();
+  });
+  expect_throws([](OracleConfig& c) { c.l2 = -1.0; });
+  expect_throws([](OracleConfig& c) { c.train_epochs = 0; });
+  expect_throws([](OracleConfig& c) { c.reservoir_capacity = 0; });
+  expect_throws([](OracleConfig& c) { c.min_examples = 0; });
+  expect_throws([](OracleConfig& c) { c.vote_fraction = 0.0; });
+  expect_throws([](OracleConfig& c) { c.vote_fraction = 1.5; });
+  expect_throws([](OracleConfig& c) { c.max_shapes = 0; });
+  expect_throws([](OracleConfig& c) { c.pivot_ewma_alpha = 0.0; });
+  // The constructor enforces the same contract.
+  OracleConfig bad;
+  bad.hidden_units = -3;
+  EXPECT_THROW(WarmStartOracle{bad}, std::invalid_argument);
+}
+
+TEST(TraceDatasetTest, BoundedWithDeterministicRetention) {
+  auto feed = [](TraceDataset& ds, int n) {
+    for (int i = 0; i < n; ++i) {
+      SolveTrace t;
+      t.pivots = i;  // arrival marker
+      t.features = {static_cast<double>(i)};
+      ds.add(std::move(t));
+    }
+  };
+  TraceDataset a(8, 42), b(8, 42);
+  feed(a, 100);
+  feed(b, 100);
+  EXPECT_EQ(a.seen(), 100u);
+  EXPECT_EQ(a.samples().size(), 8u);
+  ASSERT_EQ(a.samples().size(), b.samples().size());
+  for (std::size_t i = 0; i < a.samples().size(); ++i) {
+    EXPECT_EQ(a.samples()[i].pivots, b.samples()[i].pivots) << "slot " << i;
+  }
+  // The retained set is a genuine sample of the stream, not just its head
+  // or tail: at 100 arrivals into 8 slots some replacement must occur.
+  bool replaced = false;
+  for (const SolveTrace& t : a.samples()) replaced |= t.pivots >= 8;
+  EXPECT_TRUE(replaced);
+
+  // A different seed selects a different reservoir (overwhelmingly likely),
+  // but stays within the same bound.
+  TraceDataset c(8, 43);
+  feed(c, 100);
+  EXPECT_EQ(c.samples().size(), 8u);
+}
+
+TEST(WarmStartOracleTest, FeaturizeSanitizesAndIsDeterministic) {
+  Fixture fx;
+  const std::vector<double> probs = {0.02, 1e-5,
+                                     std::numeric_limits<double>::quiet_NaN()};
+  const std::vector<double> x =
+      WarmStartOracle::featurize(fx.problem, probs);
+  ASSERT_EQ(x.size(), fx.problem.demands.size() + probs.size());
+  for (const double v : x) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 0.0);
+  }
+  EXPECT_EQ(x.back(), 0.0);  // NaN probability maps to 0, not poison
+  EXPECT_EQ(x, WarmStartOracle::featurize(fx.problem, probs));
+}
+
+TEST(WarmStartOracleTest, AbstainsOnUnknownOrUndertrainedShapes) {
+  Fixture fx;
+  const std::vector<double> probs = {0.02, 0.03, 0.01};
+  WarmStartOracle oracle;
+  EXPECT_FALSE(oracle.predict(fx.problem, probs).has_value());
+
+  const auto set = te::generate_failure_scenarios(probs);
+  te::MinMaxOptions traced = options_for(set);
+  traced.collect_trace = true;
+  const te::MinMaxResult cold =
+      te::solve_min_max_benders(fx.problem, set, traced);
+  ASSERT_TRUE(cold.converged);
+
+  oracle.observe(fx.problem, probs, cold);
+  oracle.train();  // one example < min_examples: still abstains
+  EXPECT_FALSE(oracle.predict(fx.problem, probs).has_value());
+  EXPECT_EQ(oracle.stats().trained_batches, 0);
+
+  oracle.observe(fx.problem, probs, cold);
+  oracle.train();
+  EXPECT_TRUE(oracle.predict(fx.problem, probs).has_value());
+  EXPECT_EQ(oracle.stats().observed, 2);
+  EXPECT_GE(oracle.stats().trained_batches, 1);
+
+  // Unconverged results never become training examples.
+  te::MinMaxResult unconverged = cold;
+  unconverged.converged = false;
+  oracle.observe(fx.problem, probs, unconverged);
+  EXPECT_EQ(oracle.stats().observed, 2);
+}
+
+// End to end against the real solver: harvested traces train a hint the
+// solver accepts, and the hinted solve converges to the bitwise-identical
+// objective with fewer pivots — the oracle exactness contract in one test.
+TEST(WarmStartOracleTest, LearnedHintIsAcceptedAndPreservesPhiBitwise) {
+  Fixture fx;
+  const std::vector<double> probs = {0.02, 0.03, 0.01};
+  const auto set = te::generate_failure_scenarios(probs);
+  te::MinMaxOptions traced = options_for(set);
+  traced.collect_trace = true;
+
+  WarmStartOracle oracle;
+  te::MinMaxResult cold;
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    cold = te::solve_min_max_benders(fx.problem, set, traced);
+    ASSERT_TRUE(cold.converged);
+    oracle.observe(fx.problem, probs, cold);
+  }
+  oracle.train();
+
+  const auto hint = oracle.predict(fx.problem, probs);
+  ASSERT_TRUE(hint.has_value());
+  EXPECT_EQ(hint->shape_signature, te::problem_shape_signature(fx.problem));
+  EXPECT_EQ(hint->expected_cold_pivots, cold.simplex_pivots);
+
+  te::MinMaxOptions hinted_options = options_for(set);
+  hinted_options.warm_hint = &*hint;
+  const te::MinMaxResult hinted =
+      te::solve_min_max_benders(fx.problem, set, hinted_options);
+  EXPECT_EQ(hinted.hint_accepted, 1);
+  EXPECT_EQ(hinted.hint_rejected, 0);
+  ASSERT_TRUE(hinted.converged);
+  EXPECT_EQ(hinted.phi, cold.phi);
+  EXPECT_LT(hinted.simplex_pivots, cold.simplex_pivots);
+  EXPECT_GT(hinted.hint_pivots_saved, 0);
+  EXPECT_EQ(oracle.stats().hints_issued, 1);
+}
+
+// The whole observe -> train -> predict pipeline is a pure function of the
+// observation sequence: per-sample gradients fan out over the pool but fold
+// serially, so the emitted hint is bitwise identical at any pool size.
+TEST(WarmStartOracleTest, TrainingAndPredictionBitIdenticalAcrossThreads) {
+  const std::vector<double> probs = {0.02, 0.03, 0.01};
+
+  auto run_sequence = [&probs]() {
+    Fixture fx;
+    const auto set = te::generate_failure_scenarios(probs);
+    te::MinMaxOptions traced = options_for(set);
+    traced.collect_trace = true;
+    WarmStartOracle oracle;
+    for (int epoch = 0; epoch < 3; ++epoch) {
+      const te::MinMaxResult cold =
+          te::solve_min_max_benders(fx.problem, set, traced);
+      oracle.observe(fx.problem, probs, cold);
+      oracle.train();
+    }
+    return oracle.predict(fx.problem, probs);
+  };
+
+  runtime::ThreadPool::set_global_threads(1);
+  const auto serial = run_sequence();
+  runtime::ThreadPool::set_global_threads(4);
+  const auto pooled = run_sequence();
+  runtime::ThreadPool::set_global_threads(0);  // restore default
+
+  ASSERT_TRUE(serial.has_value());
+  ASSERT_TRUE(pooled.has_value());
+  EXPECT_EQ(serial->shape_signature, pooled->shape_signature);
+  EXPECT_EQ(serial->expected_cold_pivots, pooled->expected_cold_pivots);
+  ASSERT_EQ(serial->allocation.size(), pooled->allocation.size());
+  for (std::size_t i = 0; i < serial->allocation.size(); ++i) {
+    EXPECT_EQ(serial->allocation[i], pooled->allocation[i]) << "tunnel " << i;
+  }
+  ASSERT_EQ(serial->drops.size(), pooled->drops.size());
+  for (std::size_t i = 0; i < serial->drops.size(); ++i) {
+    EXPECT_EQ(serial->drops[i].flow, pooled->drops[i].flow);
+    EXPECT_EQ(serial->drops[i].pattern, pooled->drops[i].pattern);
+    EXPECT_EQ(serial->drops[i].weight, pooled->drops[i].weight);
+  }
+  ASSERT_EQ(serial->active_rows.size(), pooled->active_rows.size());
+}
+
+TEST(WarmStartOracleTest, ShapeTableIsLruBounded) {
+  Fixture small;
+  const std::vector<double> probs = {0.02, 0.03, 0.01};
+  const auto set = te::generate_failure_scenarios(probs);
+  te::MinMaxOptions traced = options_for(set);
+  traced.collect_trace = true;
+  const te::MinMaxResult cold =
+      te::solve_min_max_benders(small.problem, set, traced);
+  ASSERT_TRUE(cold.converged);
+
+  OracleConfig config;
+  config.max_shapes = 1;
+  WarmStartOracle oracle(config);
+  oracle.observe(small.problem, probs, cold);
+  EXPECT_EQ(oracle.stats().shapes, 1);
+
+  // A second shape (one more tunnel) evicts the first under max_shapes = 1.
+  Fixture grown;
+  grown.tunnels.add_tunnel(0, {1, 3});
+  te::MinMaxResult grown_cold =
+      te::solve_min_max_benders(grown.problem, set, traced);
+  ASSERT_TRUE(grown_cold.converged);
+  oracle.observe(grown.problem, probs, grown_cold);
+  EXPECT_EQ(oracle.stats().shapes, 1);
+  EXPECT_EQ(oracle.stats().shapes_evicted, 1);
+}
+
+}  // namespace
+}  // namespace prete::ml
